@@ -1,0 +1,85 @@
+// Ablation: duplicate full archives (1-level) vs summary-only (N-level).
+//
+// Paper §3.3 on figure 6: "In all data points the aggregate CPU usage is
+// less for the N-level monitor.  This result is due to redundancy in the
+// system, specifically superfluous metric archives ... Nodes in the N-level
+// monitoring tree keep only summary archives of descendants rather than
+// full duplicates, yielding a near-linear increase in archive state, and
+// lowering the total amount of work performed by the system."
+//
+// This bench isolates exactly that term: the per-round archiving cost at a
+// non-authority node for 12 remote clusters of H hosts, archived (a) at
+// full host granularity (the 1-level duplicate) vs (b) as one summary per
+// cluster.  Reported: RRD updates per round, CPU per round, and resident
+// archive bytes.
+//
+// Usage: ablation_archiving [hosts] [rounds]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/cpu_timer.hpp"
+#include "gmetad/archiver.hpp"
+#include "gmon/pseudo_gmond.hpp"
+
+using namespace ganglia;
+
+int main(int argc, char** argv) {
+  const std::size_t hosts =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 100;
+  const int rounds = argc > 2 ? std::atoi(argv[2]) : 10;
+  constexpr int kClusters = 12;
+
+  WallClock clock;
+  std::vector<Cluster> clusters;
+  for (int i = 0; i < kClusters; ++i) {
+    gmon::PseudoGmondConfig config;
+    config.cluster_name = "c" + std::to_string(i);
+    config.host_count = hosts;
+    config.seed = 7919u + static_cast<unsigned>(i);
+    gmon::PseudoGmond emulator(config, clock);
+    clusters.push_back(emulator.snapshot());
+  }
+
+  gmetad::Archiver full({15, 120, ""});
+  gmetad::Archiver summary_only({15, 120, ""});
+  CpuMeter full_cpu, summary_cpu;
+
+  std::int64_t t = 1'000'000;
+  for (int round = 0; round < rounds; ++round) {
+    t += 15;
+    {
+      ScopedCpuMeter meter(full_cpu);
+      for (const Cluster& c : clusters) full.record_cluster("remote", c, t);
+    }
+    {
+      ScopedCpuMeter meter(summary_cpu);
+      for (const Cluster& c : clusters) {
+        summary_only.record_summary("remote/" + c.name, c.summarize(), t);
+      }
+    }
+  }
+
+  const double r = static_cast<double>(rounds);
+  std::printf("Ablation: archive duplication at a non-authority node\n");
+  std::printf("(12 remote clusters x %zu hosts, %d rounds)\n\n", hosts, rounds);
+  std::printf("%-28s %16s %16s\n", "", "full duplicate", "summary-only");
+  std::printf("%-28s %16.0f %16.0f\n", "RRD updates / round",
+              static_cast<double>(full.rrd_updates()) / r,
+              static_cast<double>(summary_only.rrd_updates()) / r);
+  std::printf("%-28s %16zu %16zu\n", "databases", full.database_count(),
+              summary_only.database_count());
+  std::printf("%-28s %16.1f %16.1f\n", "archive state (MB)",
+              static_cast<double>(full.storage_bytes()) / 1e6,
+              static_cast<double>(summary_only.storage_bytes()) / 1e6);
+  std::printf("%-28s %16.2f %16.2f\n", "CPU ms / round",
+              full_cpu.total_seconds() * 1e3 / r,
+              summary_cpu.total_seconds() * 1e3 / r);
+  std::printf("\narchiving cost ratio (full/summary): %.1fx CPU, %.1fx state\n",
+              full_cpu.total_seconds() / summary_cpu.total_seconds(),
+              static_cast<double>(full.storage_bytes()) /
+                  static_cast<double>(summary_only.storage_bytes()));
+  return 0;
+}

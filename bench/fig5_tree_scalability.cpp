@@ -1,0 +1,81 @@
+// Figure 5 — Wide-area scalability: per-gmeta %CPU in the monitor tree.
+//
+// Paper setup: the six-gmeta tree of figure 2, twelve pseudo-gmond clusters
+// of 100 hosts each, CPU percentages collected over a 60-minute window.
+// Expected shape: the 1-level design concentrates load at the root of the
+// tree (root, ucsd); the N-level design pushes computation towards the
+// leaves (which pay a summarisation penalty) and drastically reduces load
+// on non-leaf monitors.
+//
+// Usage: fig5_tree_scalability [rounds] [hosts_per_cluster]
+//   (defaults: 40 rounds of the 15 s poll interval = 10 simulated minutes,
+//    100 hosts per cluster)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gmetad/testbed.hpp"
+
+using namespace ganglia;
+using gmetad::Mode;
+using gmetad::Testbed;
+using gmetad::fig2_spec;
+
+namespace {
+
+/// Run one mode's timing window; returns %CPU per node in tree order.
+std::vector<double> run_mode(Mode mode, std::size_t rounds,
+                             std::size_t hosts,
+                             const std::vector<std::string>& nodes) {
+  Testbed bed(fig2_spec(hosts, mode));
+  bed.run_rounds(3);  // warm up: archives open, data reaches the root
+  bed.begin_window();
+  bed.run_rounds(rounds);
+  std::vector<double> cpu;
+  cpu.reserve(nodes.size());
+  for (const std::string& node : nodes) {
+    cpu.push_back(bed.cpu_percent(node));
+  }
+  return cpu;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rounds =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 40;
+  const std::size_t hosts =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+
+  const std::vector<std::string> nodes = {"root", "ucsd",    "physics",
+                                          "math", "sdsc", "attic"};
+
+  std::printf(
+      "Wide-Area Scalability: Ganglia CPU utilization in Monitor Tree "
+      "(paper fig 5)\n");
+  std::printf(
+      "12 clusters x %zu hosts, %zu polling rounds (%zu simulated seconds)\n\n",
+      hosts, rounds, rounds * 15);
+
+  const auto one_level = run_mode(Mode::one_level, rounds, hosts, nodes);
+  const auto n_level = run_mode(Mode::n_level, rounds, hosts, nodes);
+
+  std::printf("%-10s %14s %14s\n", "gmeta", "1-level %CPU", "N-level %CPU");
+  double one_sum = 0;
+  double n_sum = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::printf("%-10s %14.3f %14.3f\n", nodes[i].c_str(), one_level[i],
+                n_level[i]);
+    one_sum += one_level[i];
+    n_sum += n_level[i];
+  }
+  std::printf("%-10s %14.3f %14.3f\n", "TOTAL", one_sum, n_sum);
+
+  // Shape checks mirrored from the paper's discussion.
+  const double one_root_share = one_level[0] / one_sum;
+  const double n_root_share = n_level[0] / n_sum;
+  std::printf("\nroot's share of total work: 1-level %.0f%%, N-level %.0f%%\n",
+              100 * one_root_share, 100 * n_root_share);
+  std::printf("aggregate N-level/1-level work ratio: %.2f\n", n_sum / one_sum);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figure 6 — Changing cluster sizes: aggregate %CPU across the tree.
+//
+// Paper setup: the figure-2 monitoring tree is kept fixed while the size of
+// the twelve monitored clusters sweeps {10,50,100,150,200,300,400,500};
+// the y-axis aggregates CPU utilization over the six gmeta nodes.
+// Expected shape: N-level scales linearly with a low slope; 1-level has a
+// visibly higher slope (the union of all data crossing every level, plus
+// duplicated metric archives), trending upward as the root saturates.
+//
+// Usage: fig6_cluster_size_sweep [rounds] [max_size]
+//   (defaults: 8 rounds per point; sweep to 500 hosts per cluster)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "gmetad/testbed.hpp"
+
+using namespace ganglia;
+using gmetad::Mode;
+using gmetad::Testbed;
+using gmetad::fig2_spec;
+
+namespace {
+
+const std::vector<std::string> kNodes = {"root", "ucsd",    "physics",
+                                         "math", "sdsc", "attic"};
+
+/// Aggregate %CPU over the six gmeta nodes for one mode and cluster size.
+double aggregate_cpu_percent(Mode mode, std::size_t hosts,
+                             std::size_t rounds) {
+  Testbed bed(fig2_spec(hosts, mode));
+  bed.run_rounds(2);  // warm up
+  bed.begin_window();
+  bed.run_rounds(rounds);
+  double sum = 0;
+  for (const std::string& node : kNodes) sum += bed.cpu_percent(node);
+  return sum;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t rounds =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  const std::size_t max_size =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 500;
+
+  const std::vector<std::size_t> sweep = {10, 50, 100, 150, 200, 300, 400, 500};
+
+  std::printf(
+      "Wide-Area Scalability: Aggregate CPU utilization in Monitor Tree "
+      "(paper fig 6)\n");
+  std::printf("fixed tree, 12 clusters, %zu rounds per point\n\n", rounds);
+  std::printf("%-14s %16s %16s %8s\n", "cluster size", "1-level agg %CPU",
+              "N-level agg %CPU", "ratio");
+
+  double first_one = 0, first_n = 0, last_one = 0, last_n = 0;
+  std::size_t first_size = 0, last_size = 0;
+  for (std::size_t hosts : sweep) {
+    if (hosts > max_size) break;
+    const double one = aggregate_cpu_percent(Mode::one_level, hosts, rounds);
+    const double n = aggregate_cpu_percent(Mode::n_level, hosts, rounds);
+    std::printf("%-14zu %16.3f %16.3f %8.2f\n", hosts, one, n, one / n);
+    if (first_size == 0) {
+      first_size = hosts;
+      first_one = one;
+      first_n = n;
+    }
+    last_size = hosts;
+    last_one = one;
+    last_n = n;
+  }
+
+  if (last_size > first_size) {
+    const double span = static_cast<double>(last_size - first_size);
+    std::printf("\nslope (%%CPU per host of cluster size): 1-level %.4f, "
+                "N-level %.4f\n",
+                (last_one - first_one) / span, (last_n - first_n) / span);
+  }
+  return 0;
+}

@@ -1,0 +1,226 @@
+// Microbenchmarks (google-benchmark) on the substrates the paper's numbers
+// rest on: Ganglia XML serialisation and SAX parsing, summarisation, RRD
+// updates, and store queries — the per-poll cost model of §2.3.2.
+
+#include <benchmark/benchmark.h>
+
+#include "common/clock.hpp"
+#include "gmetad/query.hpp"
+#include "gmetad/store.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "gmon/wire.hpp"
+#include "sim/multicast.hpp"
+#include "rrd/rrd.hpp"
+#include "xml/ganglia.hpp"
+#include "xml/sax.hpp"
+
+namespace {
+
+using namespace ganglia;
+
+std::string cluster_xml(std::size_t hosts) {
+  WallClock clock;
+  gmon::PseudoGmondConfig config;
+  config.cluster_name = "bench";
+  config.host_count = hosts;
+  config.fresh_values_per_query = false;
+  gmon::PseudoGmond emulator(config, clock);
+  return emulator.report_xml();
+}
+
+// ---------------------------------------------------------------- XML
+
+void BM_XmlSerialize(benchmark::State& state) {
+  WallClock clock;
+  gmon::PseudoGmondConfig config;
+  config.host_count = static_cast<std::size_t>(state.range(0));
+  config.fresh_values_per_query = false;
+  gmon::PseudoGmond emulator(config, clock);
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string xml_text = emulator.report_xml();
+    bytes = xml_text.size();
+    benchmark::DoNotOptimize(xml_text);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_XmlSerialize)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_SaxParse(benchmark::State& state) {
+  const std::string doc = cluster_xml(static_cast<std::size_t>(state.range(0)));
+  xml::SaxParser parser;
+  struct Null : xml::SaxHandler {
+  } handler;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parser.parse(doc, handler).ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(doc.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SaxParse)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_ReportParse(benchmark::State& state) {
+  const std::string doc = cluster_xml(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto report = parse_report(doc);
+    benchmark::DoNotOptimize(report.ok());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(doc.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ReportParse)->Arg(10)->Arg(100)->Arg(500);
+
+// ------------------------------------------------------------- summaries
+
+void BM_Summarize(benchmark::State& state) {
+  auto report = parse_report(cluster_xml(static_cast<std::size_t>(state.range(0))));
+  const Cluster& cluster = report->clusters.front();
+  for (auto _ : state) {
+    SummaryInfo summary = cluster.summarize();
+    benchmark::DoNotOptimize(summary.hosts_up);
+  }
+  state.SetItemsProcessed(state.range(0) * state.iterations());
+}
+BENCHMARK(BM_Summarize)->Arg(10)->Arg(100)->Arg(500);
+
+// ------------------------------------------------------------------ RRD
+
+void BM_RrdUpdate(benchmark::State& state) {
+  auto db = rrd::RoundRobinDb::create(rrd::RrdDef::ganglia_default(), 0);
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    t += 15;
+    benchmark::DoNotOptimize(db->update(t, 1.5).ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RrdUpdate);
+
+void BM_RrdFetch(benchmark::State& state) {
+  auto db = rrd::RoundRobinDb::create(rrd::RrdDef::ganglia_default(), 0);
+  std::int64_t t = 0;
+  for (int i = 0; i < 100000; ++i) {
+    t += 15;
+    (void)db->update(t, 1.5);
+  }
+  for (auto _ : state) {
+    auto series = db->fetch(rrd::ConsolidationFn::average,
+                            t - state.range(0), t);
+    benchmark::DoNotOptimize(series.ok());
+  }
+}
+BENCHMARK(BM_RrdFetch)->Arg(3600)->Arg(86400)->Arg(604800);
+
+// ---------------------------------------------------------- query engine
+
+struct QueryFixture {
+  gmetad::Store store;
+  gmetad::QueryEngine engine{store};
+  gmetad::QueryContext ctx;
+
+  explicit QueryFixture(std::size_t hosts) {
+    auto report = parse_report(cluster_xml(hosts));
+    store.publish(std::make_shared<gmetad::SourceSnapshot>(
+        "bench", std::move(*report), 100));
+    ctx.grid_name = "g";
+    ctx.now = 100;
+  }
+};
+
+void BM_QueryHost(benchmark::State& state) {
+  QueryFixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fixture.engine.execute("/bench/compute-0-3.local", fixture.ctx);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+// O(1) hash lookups: host query time must not scale with cluster size.
+BENCHMARK(BM_QueryHost)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryClusterSummary(benchmark::State& state) {
+  QueryFixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fixture.engine.execute("/bench?filter=summary", fixture.ctx);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_QueryClusterSummary)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_QueryFullCluster(benchmark::State& state) {
+  QueryFixture fixture(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = fixture.engine.execute("/bench", fixture.ctx);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+// O(H): full-resolution dumps scale with cluster size (paper §2.3.2).
+BENCHMARK(BM_QueryFullCluster)->Arg(10)->Arg(100)->Arg(1000);
+
+// ------------------------------------------------------------- gmon wire
+
+void BM_WireEncodeMetric(benchmark::State& state) {
+  gmon::MetricMessage msg;
+  msg.host_name = "compute-0-17.local";
+  msg.host_ip = "10.0.0.17";
+  msg.metric.name = "load_one";
+  msg.metric.set_double(1.75);
+  msg.metric.tmax = 70;
+  for (auto _ : state) {
+    const std::string datagram = gmon::encode(msg);
+    benchmark::DoNotOptimize(datagram);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireEncodeMetric);
+
+void BM_WireDecodeMetric(benchmark::State& state) {
+  gmon::MetricMessage msg;
+  msg.host_name = "compute-0-17.local";
+  msg.host_ip = "10.0.0.17";
+  msg.metric.name = "load_one";
+  msg.metric.set_double(1.75);
+  const std::string datagram = gmon::encode(msg);
+  for (auto _ : state) {
+    auto decoded = gmon::decode(datagram);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireDecodeMetric);
+
+void BM_MulticastPublish(benchmark::State& state) {
+  sim::MulticastBus bus;
+  const auto members = state.range(0);
+  for (std::int64_t i = 0; i < members; ++i) {
+    bus.join([](int, std::string_view) {});
+  }
+  gmon::HeartbeatMessage hb{"node-0", "10.0.0.1", 12345};
+  const std::string datagram = gmon::encode(hb);
+  for (auto _ : state) {
+    bus.publish(0, datagram);
+  }
+  state.SetItemsProcessed(members * state.iterations());
+}
+BENCHMARK(BM_MulticastPublish)->Arg(16)->Arg(128)->Arg(512);
+
+// ----------------------------------------------------- store publish path
+
+void BM_SnapshotBuildAndPublish(benchmark::State& state) {
+  // The whole background half of a poll round: parse + snapshot (with
+  // eager summaries + cluster caches) + atomic swap.
+  const std::string doc = cluster_xml(static_cast<std::size_t>(state.range(0)));
+  gmetad::Store store;
+  for (auto _ : state) {
+    auto report = parse_report(doc);
+    store.publish(std::make_shared<gmetad::SourceSnapshot>(
+        "bench", std::move(*report), 100));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(doc.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_SnapshotBuildAndPublish)->Arg(10)->Arg(100)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

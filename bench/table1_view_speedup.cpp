@@ -1,0 +1,101 @@
+// Table 1 — Web-frontend query+parse time per view, 1-level vs N-level.
+//
+// Paper setup: the viewer is pointed at the sdsc gmeta node of the figure-2
+// tree with 100-host clusters; each value is the time for the frontend to
+// download and parse the XML behind one page, averaged over five samples.
+// Paper numbers (seconds):
+//
+//              Meta    Cluster   Host
+//   1-level    2.091   2.093     2.096
+//   N-level    0.0092  0.198     0.003
+//   Speedup    227     10.5      698
+//
+// The shape to reproduce: all 1-level views cost the same (the frontend
+// always downloads and parses the full tree); the N-level meta and host
+// views are orders of magnitude cheaper; the cluster view improves least
+// because it still transfers one full-resolution cluster.
+//
+// Usage: table1_view_speedup [samples] [hosts_per_cluster]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "gmetad/testbed.hpp"
+#include "presenter/viewer.hpp"
+
+using namespace ganglia;
+using gmetad::Mode;
+using gmetad::Testbed;
+using gmetad::fig2_spec;
+using presenter::Strategy;
+using presenter::Viewer;
+
+namespace {
+
+struct Timings {
+  double meta = 0;
+  double cluster = 0;
+  double host = 0;
+};
+
+Timings measure(Testbed& bed, Strategy strategy, std::size_t samples) {
+  Viewer viewer(bed.transport(), Testbed::dump_address("sdsc"),
+                Testbed::interactive_address("sdsc"), strategy);
+  Timings sums;
+  for (std::size_t i = 0; i < samples; ++i) {
+    auto meta = viewer.meta_view();
+    if (!meta.ok()) std::abort();
+    sums.meta += viewer.last_timing().total_seconds;
+
+    auto cluster = viewer.cluster_view("meteor");
+    if (!cluster.ok()) std::abort();
+    sums.cluster += viewer.last_timing().total_seconds;
+
+    auto host = viewer.host_view("meteor", "compute-0-0.local");
+    if (!host.ok()) std::abort();
+    sums.host += viewer.last_timing().total_seconds;
+  }
+  const double n = static_cast<double>(samples);
+  return {sums.meta / n, sums.cluster / n, sums.host / n};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t samples =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 5;
+  const std::size_t hosts =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 100;
+
+  std::printf("Viewer download+parse time at the sdsc gmeta (paper table 1)\n");
+  std::printf("12 clusters x %zu hosts, average of %zu samples\n\n", hosts,
+              samples);
+
+  // Each strategy runs against a tree built in the matching design, as in
+  // the paper (monitor-core 2.5.1 vs the 2.5.4 beta).  Archiving is off:
+  // experiment 3 measures only the viewer's download+parse cost.
+  auto one_spec = fig2_spec(hosts, Mode::one_level);
+  one_spec.archive_enabled = false;
+  Testbed one_bed(std::move(one_spec));
+  one_bed.run_rounds(3);
+  auto n_spec = fig2_spec(hosts, Mode::n_level);
+  n_spec.archive_enabled = false;
+  Testbed n_bed(std::move(n_spec));
+  n_bed.run_rounds(3);
+
+  // Untimed warmup (allocator + code paths hot, like a running frontend).
+  (void)measure(one_bed, Strategy::one_level, 1);
+  (void)measure(n_bed, Strategy::n_level, 1);
+
+  const Timings one = measure(one_bed, Strategy::one_level, samples);
+  const Timings n = measure(n_bed, Strategy::n_level, samples);
+
+  std::printf("%-10s %12s %12s %12s\n", "", "Meta", "Cluster", "Host");
+  std::printf("%-10s %12.6f %12.6f %12.6f\n", "1-level", one.meta, one.cluster,
+              one.host);
+  std::printf("%-10s %12.6f %12.6f %12.6f\n", "N-level", n.meta, n.cluster,
+              n.host);
+  std::printf("%-10s %12.1f %12.1f %12.1f\n", "Speedup", one.meta / n.meta,
+              one.cluster / n.cluster, one.host / n.host);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// gmond_node: a production-style gmond driven by a gmond.conf file.
+//
+//   $ ./gmond_node path/to/gmond.conf
+//   $ ./gmond_node --sample          # print a template config
+//
+// Runs the threaded UDP-mesh gmond until interrupted: samples /proc (or
+// synthetic values), multicasts on soft-state timers, folds in peers'
+// datagrams, and serves the full cluster report on its TCP port.  Start a
+// few of these (pointing udp_peer at each other) plus a gmetad_daemon and
+// you have a working monitoring deployment.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "common/log.hpp"
+#include "gmon/gmond_config.hpp"
+#include "net/tcp.hpp"
+
+using namespace ganglia;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+void handle_signal(int) { g_stop = true; }
+
+constexpr const char* kSampleConfig = R"(# sample gmond.conf
+cluster_name "meteor"
+owner "SDSC"
+host_name "compute-0-0"
+host_ip 127.0.0.1
+udp_bind 127.0.0.1:8649
+# udp_peer 10.0.0.2:8649      # repeat for every mesh peer
+tcp_bind 127.0.0.1:8650
+heartbeat_interval 20
+use_proc on
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--sample") == 0) {
+    std::fputs(kSampleConfig, stdout);
+    return 0;
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <gmond.conf>\n       %s --sample\n", argv[0],
+                 argv[0]);
+    return 2;
+  }
+
+  auto config = gmon::load_gmond_config_file(argv[1]);
+  if (!config.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 config.error().to_string().c_str());
+    return 1;
+  }
+
+  set_log_level(LogLevel::info);
+  WallClock clock;
+  net::TcpTransport tcp;
+  gmon::GmondDaemon daemon(std::move(*config));
+  if (auto s = daemon.start(tcp, clock); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+  std::printf("gmond up: udp %s, report port %s (Ctrl-C to stop)\n",
+              daemon.udp_address().c_str(), daemon.tcp_address().c_str());
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::printf("shutting down; cluster view held %zu host(s)\n",
+              daemon.state().host_count());
+  daemon.stop();
+  return 0;
+}

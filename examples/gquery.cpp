@@ -1,0 +1,99 @@
+// gquery: command-line client for gmetad ports.
+//
+//   $ gquery host:8651                       # dump the whole tree
+//   $ gquery host:8652 /meteor               # path query
+//   $ gquery host:8652 '/meteor?filter=summary'
+//   $ gquery host:8652 '/~.*/~compute-0-[0-3]'
+//   $ gquery --summary host:8652 /meteor     # parse + tabulate instead of raw
+//
+// Without --summary the raw XML is printed (pipe into anything).  With
+// --summary the response is parsed and rendered as a small table — handy
+// for eyeballing a live tree.
+
+#include <cstdio>
+#include <cstring>
+
+#include "net/tcp.hpp"
+#include "xml/ganglia.hpp"
+
+using namespace ganglia;
+
+namespace {
+
+void print_cluster_row(const Cluster& cluster, int depth) {
+  const SummaryInfo s = cluster.summarize();
+  std::printf("%*s[cluster] %-16s %4u up %3u down%s\n", depth * 2, "",
+              cluster.name.c_str(), s.hosts_up, s.hosts_down,
+              cluster.is_summary_form() ? "  (summary)" : "");
+  for (const auto& [name, host] : cluster.hosts) {
+    const Metric* load = host.find_metric("load_one");
+    std::printf("%*s  %-24s %-4s load %s\n", depth * 2, "", name.c_str(),
+                host.is_up() ? "up" : "DOWN",
+                load != nullptr ? load->value.c_str() : "-");
+  }
+}
+
+void print_grid(const Grid& grid, int depth) {
+  const SummaryInfo s = grid.summarize();
+  std::printf("%*s[grid] %-18s %4u up %3u down%s  %s\n", depth * 2, "",
+              grid.name.c_str(), s.hosts_up, s.hosts_down,
+              grid.is_summary_form() ? "  (summary)" : "",
+              grid.authority.c_str());
+  for (const Cluster& c : grid.clusters) print_cluster_row(c, depth + 1);
+  for (const Grid& g : grid.grids) print_grid(g, depth + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tabulate = false;
+  int arg = 1;
+  if (arg < argc && std::strcmp(argv[arg], "--summary") == 0) {
+    tabulate = true;
+    ++arg;
+  }
+  if (arg >= argc) {
+    std::fprintf(stderr,
+                 "usage: %s [--summary] host:port [query]\n"
+                 "  no query: read the dump port to EOF\n"
+                 "  query:    send one line to the interactive port\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string address = argv[arg++];
+  const char* query = arg < argc ? argv[arg] : nullptr;
+
+  net::TcpTransport transport;
+  auto stream = transport.connect(address, 10 * kMicrosPerSecond);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "connect: %s\n", stream.error().to_string().c_str());
+    return 1;
+  }
+  if (query != nullptr) {
+    if (auto s = (*stream)->write_all(std::string(query) + "\n"); !s.ok()) {
+      std::fprintf(stderr, "send: %s\n", s.to_string().c_str());
+      return 1;
+    }
+  }
+  auto body = net::read_to_eof(**stream);
+  if (!body.ok()) {
+    std::fprintf(stderr, "read: %s\n", body.error().to_string().c_str());
+    return 1;
+  }
+
+  if (!tabulate) {
+    std::fwrite(body->data(), 1, body->size(), stdout);
+    std::fputc('\n', stdout);
+    return 0;
+  }
+
+  auto report = parse_report(*body);
+  if (!report.ok()) {
+    std::fprintf(stderr, "response did not parse: %s\nraw:\n%s\n",
+                 report.error().to_string().c_str(), body->c_str());
+    return 1;
+  }
+  for (const Cluster& c : report->clusters) print_cluster_row(c, 0);
+  for (const Grid& g : report->grids) print_grid(g, 0);
+  return 0;
+}

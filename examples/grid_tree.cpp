@@ -1,0 +1,189 @@
+// grid_tree: the paper's figure-2 deployment, miniaturised on loopback TCP.
+//
+// Six gmetad daemons (root <- {ucsd, sdsc}, ucsd <- {physics, math},
+// sdsc <- {attic}) each monitoring two simulated clusters, all speaking
+// real TCP.  The demo prints the root's multiple-resolution view of the
+// whole grid, follows an authority pointer one level down, runs a few
+// path queries against sdsc, and writes browsable HTML pages.
+//
+//   $ ./grid_tree [hosts_per_cluster]     (default 8)
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <thread>
+
+#include "gmetad/gmetad.hpp"
+#include "net/service_server.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "net/tcp.hpp"
+#include "presenter/html.hpp"
+#include "presenter/viewer.hpp"
+
+using namespace ganglia;
+
+namespace {
+
+struct NodeSpec {
+  std::string name;
+  std::vector<std::string> children;
+  std::vector<std::string> clusters;
+};
+
+const std::vector<NodeSpec> kTree = {
+    {"root", {"ucsd", "sdsc"}, {"root-alpha", "root-beta"}},
+    {"ucsd", {"physics", "math"}, {"ucsd-alpha", "ucsd-beta"}},
+    {"sdsc", {"attic"}, {"meteor", "nashi"}},
+    {"physics", {}, {"physics-alpha", "physics-beta"}},
+    {"math", {}, {"math-alpha", "math-beta"}},
+    {"attic", {}, {"attic-alpha", "attic-beta"}},
+};
+
+void print_grid(const Grid& grid, int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  const SummaryInfo summary = grid.summarize();
+  std::printf("%s[grid] %-10s %3u up / %u down%s  authority=%s\n", pad.c_str(),
+              grid.name.c_str(), summary.hosts_up, summary.hosts_down,
+              grid.is_summary_form() ? "  (summary form)" : "",
+              grid.authority.c_str());
+  for (const Cluster& c : grid.clusters) {
+    const SummaryInfo cs = c.summarize();
+    std::printf("%s  [cluster] %-12s %3u up / %u down\n", pad.c_str(),
+                c.name.c_str(), cs.hosts_up, cs.hosts_down);
+  }
+  for (const Grid& g : grid.grids) print_grid(g, depth + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t hosts =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  WallClock clock;
+  net::TcpTransport transport;
+
+  // --- clusters ------------------------------------------------------------
+  std::map<std::string, std::unique_ptr<gmon::PseudoGmond>> clusters;
+  std::map<std::string, std::unique_ptr<net::ServiceServer>> gmond_ports;
+  std::map<std::string, std::string> gmond_addresses;
+  std::uint64_t seed = 2003;
+  for (const NodeSpec& node : kTree) {
+    for (const std::string& cluster_name : node.clusters) {
+      gmon::PseudoGmondConfig config;
+      config.cluster_name = cluster_name;
+      config.host_count = hosts;
+      config.seed = seed++;
+      auto emulator = std::make_unique<gmon::PseudoGmond>(config, clock);
+      auto server = std::make_unique<net::ServiceServer>();
+      if (auto s = server->start(transport, "127.0.0.1:0", emulator->service());
+          !s.ok()) {
+        std::fprintf(stderr, "cluster %s: %s\n", cluster_name.c_str(),
+                     s.to_string().c_str());
+        return 1;
+      }
+      gmond_addresses[cluster_name] = server->address();
+      clusters.emplace(cluster_name, std::move(emulator));
+      gmond_ports.emplace(cluster_name, std::move(server));
+    }
+  }
+
+  // --- gmetads, leaves first so parents can resolve children ---------------
+  std::map<std::string, std::unique_ptr<gmetad::Gmetad>> monitors;
+  for (auto it = kTree.rbegin(); it != kTree.rend(); ++it) {
+    const NodeSpec& node = *it;
+    gmetad::GmetadConfig config;
+    config.grid_name = node.name;
+    config.xml_bind = "127.0.0.1:0";
+    config.interactive_bind = "127.0.0.1:0";
+    config.archive_step_s = 1;
+    for (const std::string& cluster_name : node.clusters) {
+      gmetad::DataSourceConfig ds;
+      ds.name = cluster_name;
+      ds.addresses = {gmond_addresses.at(cluster_name)};
+      ds.poll_interval_s = 1;
+      config.sources.push_back(std::move(ds));
+    }
+    for (const std::string& child : node.children) {
+      gmetad::DataSourceConfig ds;
+      ds.name = child;
+      ds.addresses = {monitors.at(child)->xml_address()};
+      ds.poll_interval_s = 1;
+      config.sources.push_back(std::move(ds));
+    }
+    auto monitor =
+        std::make_unique<gmetad::Gmetad>(std::move(config), transport, clock);
+    if (auto s = monitor->start(); !s.ok()) {
+      std::fprintf(stderr, "gmetad %s: %s\n", node.name.c_str(),
+                   s.to_string().c_str());
+      return 1;
+    }
+    // The authority pointer must carry the *bound* (ephemeral) address.
+    std::printf("gmetad %-8s dump=%s query=%s\n", node.name.c_str(),
+                monitor->xml_address().c_str(),
+                monitor->interactive_address().c_str());
+    monitors.emplace(node.name, std::move(monitor));
+  }
+
+  // Let data propagate leaf -> root (3 poll generations at 1 s cadence).
+  std::this_thread::sleep_for(std::chrono::milliseconds(4000));
+
+  // --- the multiple-resolution view from the root ---------------------------
+  std::printf("\n=== root's view of the grid ===\n");
+  auto root_report = parse_report(monitors.at("root")->dump_xml());
+  if (!root_report.ok()) {
+    std::fprintf(stderr, "root dump unparseable: %s\n",
+                 root_report.error().to_string().c_str());
+    return 1;
+  }
+  print_grid(root_report->grids.front(), 0);
+
+  // --- follow an authority pointer for more resolution ----------------------
+  std::printf("\n=== drilling into sdsc via path queries ===\n");
+  auto& sdsc = *monitors.at("sdsc");
+  for (const char* query :
+       {"/meteor?filter=summary", "/meteor/compute-0-0.local/load_one"}) {
+    auto result = sdsc.query(query);
+    std::printf("query %-38s -> %zu bytes\n", query,
+                result.ok() ? result->size() : 0);
+  }
+
+  // --- browsable HTML snapshot ----------------------------------------------
+  presenter::Viewer viewer(transport, sdsc.xml_address(),
+                           sdsc.interactive_address(),
+                           presenter::Strategy::n_level);
+  const auto out_dir = std::filesystem::temp_directory_path() / "ganglia_demo";
+  std::filesystem::create_directories(out_dir);
+  if (auto meta = viewer.meta_view(); meta.ok()) {
+    std::ofstream(out_dir / "meta.html") << presenter::render_meta_html(*meta);
+  }
+  if (auto cluster = viewer.cluster_view("meteor"); cluster.ok()) {
+    std::ofstream(out_dir / "meteor.html")
+        << presenter::render_cluster_html(*cluster);
+  }
+  if (auto host = viewer.host_view("meteor", "compute-0-0.local"); host.ok()) {
+    // Embed RRD graphs fetched over the HISTORY protocol.
+    std::vector<std::pair<std::string, rrd::Series>> histories;
+    const std::int64_t now = clock.now_seconds();
+    for (const char* metric : {"load_one", "cpu_user"}) {
+      auto series = viewer.history(
+          "/meteor/meteor/compute-0-0.local/" + std::string(metric), now - 30,
+          now + 1);
+      if (series.ok()) histories.emplace_back(metric, std::move(*series));
+    }
+    std::ofstream(out_dir / "host.html")
+        << presenter::render_host_html(*host, histories);
+  }
+  std::printf("\nHTML pages written to %s\n", out_dir.c_str());
+
+  for (auto& [name, monitor] : monitors) {
+    (void)name;
+    monitor->stop();
+  }
+  for (auto& [name, port] : gmond_ports) {
+    (void)name;
+    port->stop();
+  }
+  std::printf("grid_tree done.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "alarm/alarm.hpp"
+
+#include "common/strings.hpp"
+
+namespace ganglia::alarm {
+
+std::string_view comparison_name(Comparison c) noexcept {
+  switch (c) {
+    case Comparison::gt: return ">";
+    case Comparison::ge: return ">=";
+    case Comparison::lt: return "<";
+    case Comparison::le: return "<=";
+    case Comparison::eq: return "==";
+    case Comparison::ne: return "!=";
+  }
+  return "?";
+}
+
+bool compare(double value, Comparison c, double threshold) noexcept {
+  switch (c) {
+    case Comparison::gt: return value > threshold;
+    case Comparison::ge: return value >= threshold;
+    case Comparison::lt: return value < threshold;
+    case Comparison::le: return value <= threshold;
+    case Comparison::eq: return value == threshold;
+    case Comparison::ne: return value != threshold;
+  }
+  return false;
+}
+
+std::string AlarmEvent::to_string() const {
+  return strprintf("[%s] %s: %s (value %.3f at t=%lld)",
+                   kind == Kind::raised ? "RAISED" : "CLEARED", rule.c_str(),
+                   subject.c_str(), value, static_cast<long long>(at));
+}
+
+Status AlarmEngine::add_rule(AlarmRule rule) {
+  for (const CompiledRule& existing : rules_) {
+    if (existing.rule.name == rule.name) {
+      return Err(Errc::invalid_argument, "duplicate rule '" + rule.name + "'");
+    }
+  }
+  CompiledRule compiled;
+  try {
+    if (!rule.cluster_pattern.empty()) {
+      compiled.cluster_re.emplace(rule.cluster_pattern,
+                                  std::regex::ECMAScript | std::regex::optimize);
+    }
+    if (!rule.host_pattern.empty()) {
+      compiled.host_re.emplace(rule.host_pattern,
+                               std::regex::ECMAScript | std::regex::optimize);
+    }
+  } catch (const std::regex_error& e) {
+    return Err(Errc::invalid_argument,
+               "bad pattern in rule '" + rule.name + "': " + e.what());
+  }
+  compiled.rule = std::move(rule);
+  rules_.push_back(std::move(compiled));
+  return {};
+}
+
+void AlarmEngine::consider(const CompiledRule& compiled,
+                           const std::string& subject, double value,
+                           std::int64_t now, std::vector<AlarmEvent>& events) {
+  const AlarmRule& rule = compiled.rule;
+  SubjectState& state = states_[{rule.name, subject}];
+
+  const bool breaching = compare(value, rule.comparison, rule.threshold);
+  if (breaching) {
+    if (state.breaching_since < 0) state.breaching_since = now;
+    const bool held = now - state.breaching_since >= rule.hold_s;
+    if (held && !state.raised) {
+      state.raised = true;
+      events.push_back({AlarmEvent::Kind::raised, rule.name, subject, value, now});
+    }
+    return;
+  }
+
+  // Not breaching the raise threshold; apply hysteresis for clearing.
+  if (state.raised) {
+    const double clear_at = rule.clear_threshold.value_or(rule.threshold);
+    if (!compare(value, rule.comparison, clear_at)) {
+      state.raised = false;
+      state.breaching_since = -1;
+      events.push_back(
+          {AlarmEvent::Kind::cleared, rule.name, subject, value, now});
+    }
+    return;
+  }
+  state.breaching_since = -1;
+}
+
+std::vector<AlarmEvent> AlarmEngine::evaluate(const gmetad::Store& store,
+                                              std::int64_t now) {
+  std::vector<AlarmEvent> events;
+
+  // Visit every full-detail host under every snapshot, including hosts
+  // forwarded through 1-level child grids.
+  const auto visit_cluster = [&](const CompiledRule& compiled,
+                                 const std::string& source,
+                                 const Cluster& cluster) {
+    const AlarmRule& rule = compiled.rule;
+    if (compiled.cluster_re &&
+        !std::regex_match(cluster.name, *compiled.cluster_re)) {
+      return;
+    }
+    for (const auto& [host_name, host] : cluster.hosts) {
+      if (compiled.host_re && !std::regex_match(host_name, *compiled.host_re)) {
+        continue;
+      }
+      const std::string subject = source + "/" + cluster.name + "/" + host_name;
+      if (rule.metric == "__host_down__") {
+        consider(compiled, subject, host.is_up() ? 0.0 : 1.0, now, events);
+        continue;
+      }
+      const Metric* metric = host.find_metric(rule.metric);
+      if (metric == nullptr || !metric->is_numeric()) continue;
+      consider(compiled, subject, metric->numeric, now, events);
+    }
+  };
+
+  const auto snapshots = store.all();
+  for (const CompiledRule& compiled : rules_) {
+    for (const auto& snapshot : snapshots) {
+      for (const Cluster& cluster : snapshot->clusters()) {
+        visit_cluster(compiled, snapshot->name(), cluster);
+      }
+      // Recurse through full-detail child grids.
+      struct Walker {
+        const decltype(visit_cluster)& visit;
+        const CompiledRule& compiled;
+        const std::string& source;
+        void walk(const Grid& grid) const {
+          for (const Cluster& c : grid.clusters) visit(compiled, source, c);
+          for (const Grid& g : grid.grids) walk(g);
+        }
+      };
+      for (const Grid& grid : snapshot->grids()) {
+        Walker{visit_cluster, compiled, snapshot->name()}.walk(grid);
+      }
+    }
+  }
+
+  for (const AlarmEvent& event : events) {
+    for (const AlarmSink& sink : sinks_) sink(event);
+  }
+  return events;
+}
+
+Result<AlarmRule> rule_from_config(
+    const gmetad::GmetadConfig::AlarmRuleConfig& config) {
+  AlarmRule rule;
+  rule.name = config.name;
+  rule.metric = config.metric;
+  rule.cluster_pattern = config.cluster_pattern;
+  rule.host_pattern = config.host_pattern;
+  rule.threshold = config.threshold;
+  rule.hold_s = config.hold_s;
+  rule.clear_threshold = config.clear_threshold;
+  if (config.comparison == ">") rule.comparison = Comparison::gt;
+  else if (config.comparison == ">=") rule.comparison = Comparison::ge;
+  else if (config.comparison == "<") rule.comparison = Comparison::lt;
+  else if (config.comparison == "<=") rule.comparison = Comparison::le;
+  else if (config.comparison == "==") rule.comparison = Comparison::eq;
+  else if (config.comparison == "!=") rule.comparison = Comparison::ne;
+  else {
+    return Err(Errc::invalid_argument,
+               "bad comparison '" + config.comparison + "' in alarm '" +
+                   config.name + "'");
+  }
+  return rule;
+}
+
+Status attach_alarms(gmetad::Gmetad& monitor, AlarmEngine& engine) {
+  for (const auto& config : monitor.config().alarms) {
+    auto rule = rule_from_config(config);
+    if (!rule.ok()) return rule.error();
+    if (Status s = engine.add_rule(std::move(*rule)); !s.ok()) return s;
+  }
+  monitor.set_post_poll_hook([&monitor, &engine](std::int64_t now) {
+    engine.evaluate(monitor.store(), now);
+  });
+  return {};
+}
+
+std::vector<std::pair<std::string, std::string>> AlarmEngine::active() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, state] : states_) {
+    if (state.raised) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace ganglia::alarm

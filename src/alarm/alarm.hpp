@@ -1,0 +1,106 @@
+// Alarm engine (the paper's §4 future-work feature).
+//
+// "We would like to implement a general alarm mechanism that tracks the
+// data and automatically identifies situations that should be relayed to a
+// human observer."
+//
+// Rules compare a metric against a threshold across hosts selected by
+// regex; a condition must hold for `hold_s` before the alarm raises
+// (debounce), and clears through a separate hysteresis threshold so
+// flapping values do not flap alarms.  The engine evaluates against the
+// gmetad store's immutable snapshots, so it shares the query engine's
+// wait-free read path.  The pseudo-metric "__host_down__" alarms on
+// liveness itself.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "gmetad/gmetad.hpp"
+#include "gmetad/store.hpp"
+
+namespace ganglia::alarm {
+
+enum class Comparison { gt, ge, lt, le, eq, ne };
+
+std::string_view comparison_name(Comparison c) noexcept;
+bool compare(double value, Comparison c, double threshold) noexcept;
+
+struct AlarmRule {
+  std::string name;
+  std::string metric;  ///< metric name, or "__host_down__" for liveness
+  /// ECMAScript regexes selecting subjects; empty = match everything.
+  std::string cluster_pattern;
+  std::string host_pattern;
+  Comparison comparison = Comparison::gt;
+  double threshold = 0.0;
+  /// Condition must hold this many seconds before the alarm raises.
+  std::int64_t hold_s = 0;
+  /// Clear when the value crosses back past this (defaults to threshold).
+  std::optional<double> clear_threshold;
+};
+
+struct AlarmEvent {
+  enum class Kind { raised, cleared };
+  Kind kind = Kind::raised;
+  std::string rule;
+  std::string subject;  ///< "source/cluster/host"
+  double value = 0.0;
+  std::int64_t at = 0;
+
+  std::string to_string() const;
+};
+
+/// Notification sink; the engine fans every event out to all sinks.
+using AlarmSink = std::function<void(const AlarmEvent&)>;
+
+class AlarmEngine {
+ public:
+  /// Register a rule.  Fails on duplicate names or invalid regexes.
+  Status add_rule(AlarmRule rule);
+  void add_sink(AlarmSink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Evaluate all rules against current store snapshots.  Returns the
+  /// events generated this round (also delivered to sinks).
+  std::vector<AlarmEvent> evaluate(const gmetad::Store& store, std::int64_t now);
+
+  /// Subjects currently in the raised state, per rule.
+  std::vector<std::pair<std::string, std::string>> active() const;
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  struct CompiledRule {
+    AlarmRule rule;
+    std::optional<std::regex> cluster_re;
+    std::optional<std::regex> host_re;
+  };
+  struct SubjectState {
+    std::int64_t breaching_since = -1;  ///< -1: not currently breaching
+    bool raised = false;
+  };
+
+  void consider(const CompiledRule& rule, const std::string& subject,
+                double value, std::int64_t now,
+                std::vector<AlarmEvent>& events);
+
+  std::vector<CompiledRule> rules_;
+  std::vector<AlarmSink> sinks_;
+  /// (rule name, subject) -> state
+  std::map<std::pair<std::string, std::string>, SubjectState> states_;
+};
+
+/// Translate a gmetad.conf alarm directive into a rule.
+Result<AlarmRule> rule_from_config(
+    const gmetad::GmetadConfig::AlarmRuleConfig& config);
+
+/// Install `monitor`'s configured alarm rules into `engine` and hook the
+/// engine into the monitor's poll loop (evaluated after every round).
+/// The engine must outlive the monitor's polling.
+Status attach_alarms(gmetad::Gmetad& monitor, AlarmEngine& engine);
+
+}  // namespace ganglia::alarm

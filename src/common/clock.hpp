@@ -1,0 +1,64 @@
+// Clock abstraction.
+//
+// Every time-dependent component (soft-state membership, pollers, RRD
+// archives, failure retry) takes a Clock&, so tests and benches can run the
+// whole monitoring tree on a simulated clock and advance hours of "wall
+// time" in microseconds of real time.  The simulated implementation lives in
+// src/sim; WallClock here is the production implementation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace ganglia {
+
+/// Monotonic-ish epoch time in whole microseconds.  Signed so durations and
+/// differences are natural; 64 bits covers ~292k years.
+using TimeUs = std::int64_t;
+
+constexpr TimeUs kMicrosPerSecond = 1'000'000;
+
+constexpr TimeUs seconds_to_us(double s) {
+  return static_cast<TimeUs>(s * static_cast<double>(kMicrosPerSecond));
+}
+constexpr double us_to_seconds(TimeUs us) {
+  return static_cast<double>(us) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds since an arbitrary (per-clock) epoch.
+  virtual TimeUs now_us() = 0;
+
+  /// Block (or simulate blocking) for the given duration.
+  virtual void sleep_us(TimeUs duration) = 0;
+
+  /// Whole seconds, the granularity most Ganglia timestamps use.
+  std::int64_t now_seconds() { return now_us() / kMicrosPerSecond; }
+};
+
+/// Real time, backed by std::chrono::system_clock (Ganglia timestamps are
+/// wall-clock UNIX times).
+class WallClock final : public Clock {
+ public:
+  TimeUs now_us() override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+  void sleep_us(TimeUs duration) override {
+    if (duration > 0) std::this_thread::sleep_for(std::chrono::microseconds(duration));
+  }
+
+  /// Shared process-wide instance for call-sites without injected clocks.
+  static WallClock& instance() {
+    static WallClock clock;
+    return clock;
+  }
+};
+
+}  // namespace ganglia

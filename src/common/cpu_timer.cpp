@@ -1,0 +1,18 @@
+#include "common/cpu_timer.hpp"
+
+#include <ctime>
+
+namespace ganglia {
+
+namespace {
+std::int64_t clock_ns(clockid_t id) {
+  std::timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+}  // namespace
+
+std::int64_t thread_cpu_ns() { return clock_ns(CLOCK_THREAD_CPUTIME_ID); }
+std::int64_t process_cpu_ns() { return clock_ns(CLOCK_PROCESS_CPUTIME_ID); }
+
+}  // namespace ganglia

@@ -1,0 +1,54 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace ganglia {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::warn)};
+}  // namespace detail
+
+void set_log_level(LogLevel level) noexcept {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+namespace {
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void log_emit(LogLevel level, std::string_view component, std::string_view msg) {
+  if (!log_enabled(level)) return;
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm_utc{};
+  gmtime_r(&ts.tv_sec, &tm_utc);
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "%02d:%02d:%02d.%03ld", tm_utc.tm_hour,
+                tm_utc.tm_min, tm_utc.tm_sec, ts.tv_nsec / 1000000);
+  std::lock_guard lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %s %.*s: %.*s\n", stamp, level_tag(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace ganglia

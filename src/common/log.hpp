@@ -1,0 +1,58 @@
+// Tiny leveled, thread-safe logger.
+//
+// Monitoring daemons log from several threads (pollers, servers, alarm
+// engine); messages are assembled off-lock and emitted under one mutex so
+// lines never interleave.  The global level is atomic so hot paths can
+// early-out without synchronisation.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace ganglia {
+
+enum class LogLevel : int { trace = 0, debug, info, warn, error, off };
+
+/// Process-wide minimum level.  Defaults to warn so tests/benches are quiet.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+void log_emit(LogLevel level, std::string_view component, std::string_view msg);
+
+/// Stream-style builder; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <class T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace ganglia
+
+// Usage: GLOG(info, "gmetad") << "polled " << n << " sources";
+#define GLOG(level, component)                                      \
+  if (!::ganglia::log_enabled(::ganglia::LogLevel::level)) {        \
+  } else                                                            \
+    ::ganglia::detail::LogLine(::ganglia::LogLevel::level, component)

@@ -1,0 +1,137 @@
+// Minimal expected-like result type used throughout the library.
+//
+// We deliberately avoid exceptions on hot monitoring paths (poll loops,
+// query serving): a wide-area monitor treats remote failure as a normal
+// input, not an exceptional one.  Result<T> carries either a value or an
+// Error with a category and human-readable message.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ganglia {
+
+/// Broad failure categories.  Benches and retry logic branch on these;
+/// the message is for humans and logs.
+enum class Errc {
+  ok = 0,
+  invalid_argument,
+  parse_error,
+  not_found,
+  io_error,
+  timeout,
+  refused,        ///< connection refused / trust rejected
+  closed,         ///< peer closed mid-stream (intermittent failure)
+  unsupported,
+  exhausted,      ///< all failover candidates failed
+  internal,
+};
+
+/// Human-readable name of an error category.
+constexpr const char* errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::parse_error: return "parse_error";
+    case Errc::not_found: return "not_found";
+    case Errc::io_error: return "io_error";
+    case Errc::timeout: return "timeout";
+    case Errc::refused: return "refused";
+    case Errc::closed: return "closed";
+    case Errc::unsupported: return "unsupported";
+    case Errc::exhausted: return "exhausted";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/// An error: category plus context message.
+struct Error {
+  Errc code = Errc::internal;
+  std::string message;
+
+  std::string to_string() const {
+    std::string s = errc_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+/// Result<T>: either a T or an Error.  Accessors assert on misuse.
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Error err) : state_(std::move(err)) {}           // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(state_) : std::move(fallback);
+  }
+
+  const Error& error() const& {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+  Errc code() const noexcept {
+    return ok() ? Errc::ok : std::get<Error>(state_).code;
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+/// Result<void> analogue.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;                                     // ok
+  Status(Error err) : err_(std::move(err)), ok_(false) {} // NOLINT(implicit)
+  Status(Errc code, std::string msg)
+      : err_{code, std::move(msg)}, ok_(false) {}
+
+  static Status success() { return Status{}; }
+
+  bool ok() const noexcept { return ok_; }
+  explicit operator bool() const noexcept { return ok_; }
+  const Error& error() const {
+    assert(!ok_);
+    return err_;
+  }
+  Errc code() const noexcept { return ok_ ? Errc::ok : err_.code; }
+  std::string to_string() const { return ok_ ? "ok" : err_.to_string(); }
+
+ private:
+  Error err_{};
+  bool ok_ = true;
+};
+
+/// Convenience factory: Err(Errc::timeout, "poll of {} timed out").
+inline Error Err(Errc code, std::string message) {
+  return Error{code, std::move(message)};
+}
+
+}  // namespace ganglia

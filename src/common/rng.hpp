@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// The paper's pseudo-gmond emulators choose metric values "randomly"; for a
+// reproducible experimental harness we need every run to draw the same
+// sequence.  xoshiro256** is tiny, fast, and splittable by reseeding from a
+// SplitMix64 stream, so each simulated host gets an independent stream from
+// one experiment seed.
+#pragma once
+
+#include <cstdint>
+
+namespace ganglia {
+
+/// SplitMix64: used to expand one seed into many.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) via Lemire's multiply-shift (bound > 0).
+  constexpr std::uint32_t next_below(std::uint32_t bound) {
+    const std::uint64_t x = next_u64() >> 32;
+    return static_cast<std::uint32_t>((x * bound) >> 32);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double next_range(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// True with probability p.
+  constexpr bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace ganglia

@@ -1,0 +1,42 @@
+// Small string utilities shared across modules (no locale surprises,
+// no allocations where a view suffices).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ganglia {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character.  Empty fields are preserved unless
+/// skip_empty is set ("a,,b" -> {"a","","b"} / {"a","b"}).
+std::vector<std::string_view> split(std::string_view s, char delim,
+                                    bool skip_empty = false);
+
+/// Split on arbitrary whitespace runs, skipping empties.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Strict integer / double parsing: entire (trimmed) input must convert.
+std::optional<std::int64_t> parse_i64(std::string_view s);
+std::optional<std::uint64_t> parse_u64(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// Shortest round-trippable representation of a double ("%.17g" trimmed),
+/// used when serialising metric values to XML.
+std::string format_double(double v);
+
+/// printf-style convenience returning std::string.
+std::string strprintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace ganglia

@@ -1,0 +1,42 @@
+#include "common/uri.hpp"
+
+#include "common/strings.hpp"
+
+namespace ganglia {
+
+std::string Uri::to_string() const {
+  std::string s = scheme + "://" + host;
+  if (port != 0) s += ":" + std::to_string(port);
+  s += path.empty() ? "/" : path;
+  return s;
+}
+
+std::optional<Uri> parse_uri(std::string_view text) {
+  text = trim(text);
+  const auto scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) return std::nullopt;
+
+  Uri uri;
+  uri.scheme = std::string(text.substr(0, scheme_end));
+  std::string_view rest = text.substr(scheme_end + 3);
+
+  const auto path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  uri.path = path_start == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(path_start));
+
+  const auto colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    auto port = parse_u64(authority.substr(colon + 1));
+    if (!port || *port == 0 || *port > 65535) return std::nullopt;
+    uri.port = static_cast<std::uint16_t>(*port);
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty()) return std::nullopt;
+  uri.host = std::string(authority);
+  return uri;
+}
+
+}  // namespace ganglia

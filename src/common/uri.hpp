@@ -1,0 +1,30 @@
+// Authority URLs.
+//
+// Every N-level gmetad advertises a URL pointer to itself; upstream nodes
+// attach that pointer to the summaries they keep, so a viewer can walk the
+// distributed tree towards full resolution (paper §2.2).  We parse just the
+// subset of URL syntax Ganglia uses: scheme://host[:port][/path].
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ganglia {
+
+struct Uri {
+  std::string scheme;   ///< e.g. "gmetad", "http"
+  std::string host;     ///< hostname or address
+  std::uint16_t port = 0;  ///< 0 when absent
+  std::string path;     ///< always begins with '/' ("/" when absent)
+
+  std::string to_string() const;
+  bool operator==(const Uri&) const = default;
+};
+
+/// Parse "scheme://host[:port][/path]".  Returns nullopt on syntax errors
+/// (missing scheme, empty host, non-numeric/overflowing port).
+std::optional<Uri> parse_uri(std::string_view text);
+
+}  // namespace ganglia

@@ -1,0 +1,186 @@
+#include "gmetad/archiver.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/strings.hpp"
+#include "rrd/rrd_file.hpp"
+
+namespace ganglia::gmetad {
+
+namespace {
+std::string host_key(const std::string& source, const std::string& cluster,
+                     const std::string& host, const std::string& metric) {
+  return source + "/" + cluster + "/" + host + "/" + metric;
+}
+std::string summary_key(const std::string& scope, const std::string& metric) {
+  return scope + "/__summary__/" + metric;
+}
+}  // namespace
+
+rrd::RoundRobinDb* Archiver::open(const std::string& key,
+                                  std::size_t ds_count, std::int64_t now) {
+  const auto it = databases_.find(key);
+  if (it != databases_.end()) return it->second.get();
+
+  rrd::RrdDef def = rrd::RrdDef::ganglia_default("sum", options_.heartbeat_s);
+  def.step_s = options_.step_s;
+  if (ds_count == 2) {
+    rrd::DsDef num = def.ds.front();
+    num.name = "num";
+    def.ds.push_back(std::move(num));
+  }
+  auto db = rrd::RoundRobinDb::create(std::move(def), now - 1);
+  if (!db.ok()) return nullptr;  // invalid options; callers treat as no-op
+  auto owned = std::make_unique<rrd::RoundRobinDb>(std::move(*db));
+  rrd::RoundRobinDb* raw = owned.get();
+  databases_.emplace(key, std::move(owned));
+  return raw;
+}
+
+void Archiver::record_host_metric(const std::string& source,
+                                  const std::string& cluster,
+                                  const Host& host, const Metric& metric,
+                                  std::int64_t now) {
+  if (!metric.is_numeric()) return;
+  std::lock_guard lock(mutex_);
+  rrd::RoundRobinDb* db = open(host_key(source, cluster, host.name, metric.name),
+                               1, now);
+  if (db == nullptr) return;
+  if (db->update(now, metric.numeric).ok()) ++updates_;
+}
+
+void Archiver::record_cluster(const std::string& source,
+                              const Cluster& cluster, std::int64_t now) {
+  for (const auto& [host_name, host] : cluster.hosts) {
+    (void)host_name;
+    if (!host.is_up()) continue;  // silent hosts leave unknown gaps
+    for (const Metric& metric : host.metrics) {
+      record_host_metric(source, cluster.name, host, metric, now);
+    }
+  }
+}
+
+void Archiver::record_summary(const std::string& scope,
+                              const SummaryInfo& summary, std::int64_t now) {
+  std::lock_guard lock(mutex_);
+  for (const auto& [metric_name, ms] : summary.metrics) {
+    rrd::RoundRobinDb* db = open(summary_key(scope, metric_name), 2, now);
+    if (db == nullptr) continue;
+    const double values[2] = {ms.sum, static_cast<double>(ms.num)};
+    if (db->update(now, std::span<const double>(values, 2)).ok()) ++updates_;
+  }
+}
+
+Result<rrd::Series> Archiver::fetch_host_metric(
+    const std::string& source, const std::string& cluster,
+    const std::string& host, const std::string& metric, std::int64_t start,
+    std::int64_t end) const {
+  std::lock_guard lock(mutex_);
+  const auto it = databases_.find(host_key(source, cluster, host, metric));
+  if (it == databases_.end()) {
+    return Err(Errc::not_found, "no archive for " + host + "/" + metric);
+  }
+  return it->second->fetch(rrd::ConsolidationFn::average, start, end);
+}
+
+Result<rrd::Series> Archiver::fetch_summary_metric(const std::string& scope,
+                                                   const std::string& metric,
+                                                   std::int64_t start,
+                                                   std::int64_t end,
+                                                   std::size_t ds_index) const {
+  std::lock_guard lock(mutex_);
+  const auto it = databases_.find(summary_key(scope, metric));
+  if (it == databases_.end()) {
+    return Err(Errc::not_found, "no summary archive for " + scope + "/" + metric);
+  }
+  return it->second->fetch(rrd::ConsolidationFn::average, start, end, ds_index);
+}
+
+namespace {
+/// Filesystem-safe file name for an archive key ('/' and other bytes that
+/// matter to filesystems are percent-encoded).
+std::string encode_key(const std::string& key) {
+  std::string out;
+  out.reserve(key.size());
+  for (char c : key) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                      c == '.';
+    if (safe) {
+      out += c;
+    } else {
+      out += strprintf("%%%02X", static_cast<unsigned char>(c));
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Status Archiver::flush_to_disk() const {
+  if (options_.persist_dir.empty()) {
+    return Err(Errc::invalid_argument, "no persist_dir configured");
+  }
+  std::lock_guard lock(mutex_);
+  std::error_code ec;
+  std::filesystem::create_directories(options_.persist_dir, ec);
+  if (ec) {
+    return Err(Errc::io_error,
+               "cannot create " + options_.persist_dir + ": " + ec.message());
+  }
+  // Manifest: one "encoded-filename<TAB>raw-key" line per archive.
+  std::string manifest;
+  for (const auto& [key, db] : databases_) {
+    const std::string file = encode_key(key) + ".grrd";
+    if (Status s = rrd::RrdCodec::save_file(
+            *db, options_.persist_dir + "/" + file);
+        !s.ok()) {
+      return s;
+    }
+    manifest += file + "\t" + key + "\n";
+  }
+  std::ofstream out(options_.persist_dir + "/manifest.tsv", std::ios::trunc);
+  if (!out) return Err(Errc::io_error, "cannot write manifest");
+  out << manifest;
+  return {};
+}
+
+Status Archiver::load_from_disk() {
+  if (options_.persist_dir.empty()) {
+    return Err(Errc::invalid_argument, "no persist_dir configured");
+  }
+  std::ifstream manifest(options_.persist_dir + "/manifest.tsv");
+  if (!manifest) return {};  // cold start
+  std::lock_guard lock(mutex_);
+  std::string line;
+  while (std::getline(manifest, line)) {
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    const std::string file = line.substr(0, tab);
+    const std::string key = line.substr(tab + 1);
+    auto db = rrd::RrdCodec::load_file(options_.persist_dir + "/" + file);
+    if (!db.ok()) {
+      return Err(db.error().code,
+                 "archive '" + key + "': " + db.error().message);
+    }
+    databases_[key] = std::make_unique<rrd::RoundRobinDb>(std::move(*db));
+  }
+  return {};
+}
+
+std::size_t Archiver::database_count() const {
+  std::lock_guard lock(mutex_);
+  return databases_.size();
+}
+
+std::size_t Archiver::storage_bytes() const {
+  std::lock_guard lock(mutex_);
+  std::size_t bytes = 0;
+  for (const auto& [key, db] : databases_) {
+    (void)key;
+    bytes += db->storage_bytes();
+  }
+  return bytes;
+}
+
+}  // namespace ganglia::gmetad

@@ -1,0 +1,93 @@
+// Gmetad configuration (gmetad.conf work-alike).
+//
+// The wide-area tree is configured per node: each gmetad names its grid,
+// advertises an authority URL, and lists data sources.  A data source is an
+// ordered list of redundant addresses — any gmon node can serve the whole
+// cluster, so extra addresses are failover candidates (paper fig 1); a
+// source pointing at another gmetad's XML port grafts that child's grid
+// into this node's tree.  Trust edges are configured on the *child*: a
+// parent's address must appear in trusted_hosts before the child will serve
+// it ("we manually configure the unidirectional trust edges such that a
+// child must explicitly trust its parent", paper §2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace ganglia::gmetad {
+
+/// 1-level reports the union of children's data upstream and archives the
+/// whole subtree; N-level summarises remote grids (the paper's designs
+/// §2.1 vs §2.2-2.3).
+enum class Mode { one_level, n_level };
+
+struct DataSourceConfig {
+  std::string name;                     ///< cluster or child-grid name
+  std::vector<std::string> addresses;   ///< failover candidates, in order
+  std::int64_t poll_interval_s = 15;
+};
+
+struct GmetadConfig {
+  std::string grid_name = "unspecified";
+  std::string authority;                ///< URL advertised upstream
+  Mode mode = Mode::n_level;
+  std::vector<DataSourceConfig> sources;
+  std::vector<std::string> trusted_hosts;  ///< empty = trust everyone
+  std::string xml_bind = "127.0.0.1:8651";
+  std::string interactive_bind = "127.0.0.1:8652";
+  std::int64_t connect_timeout_s = 10;
+  bool archive_enabled = true;
+  std::int64_t archive_step_s = 15;
+  /// Directory for persistent RRD images (empty = in-memory only, the
+  /// paper's tmpfs-style configuration).  Loaded on start, flushed on stop.
+  std::string archive_dir;
+  /// Shared secret for the soft-state join protocol (empty = joins refused).
+  std::string join_key;
+  /// A dynamically joined child is pruned after this silence (seconds).
+  std::int64_t join_expiry_s = 240;
+
+  /// Config-declared alarm rules, evaluated after every poll round (the
+  /// paper's §4 alarm mechanism, wired into the daemon).
+  struct AlarmRuleConfig {
+    std::string name;
+    std::string metric;
+    std::string comparison;  ///< one of > >= < <= == !=
+    double threshold = 0;
+    std::int64_t hold_s = 0;
+    std::optional<double> clear_threshold;
+    std::string host_pattern;     ///< regex; empty = all hosts
+    std::string cluster_pattern;  ///< regex; empty = all clusters
+  };
+  std::vector<AlarmRuleConfig> alarms;
+};
+
+/// Parse gmetad.conf syntax:
+///
+///   # comment
+///   gridname "SDSC"
+///   authority "gmetad://sdsc.example:8651/"
+///   mode n-level                        # or: one-level
+///   data_source "meteor" 15 m0:8649 m1:8649
+///   data_source "attic" attic-gmeta:8651        # default interval
+///   trusted_hosts 10.0.0.1 parent.example
+///   xml_port 8651                        # or xml_bind host:port
+///   interactive_port 8652
+///   connect_timeout 10
+///   archive off                          # or: archive on
+///   archive_step 15
+///   archive_dir "/var/lib/gmetad/rrds"   # persist archives across restarts
+///   join_key "sekrit"
+///   join_expiry 240
+///   alarm "high-load" load_one > 8 hold 30 clear 4
+///   alarm "dead" __host_down__ >= 1 hosts "web-.*" clusters "prod-.*"
+Result<GmetadConfig> parse_config(std::string_view text);
+
+/// Load + parse a config file.
+Result<GmetadConfig> load_config_file(const std::string& path);
+
+}  // namespace ganglia::gmetad

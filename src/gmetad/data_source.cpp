@@ -1,0 +1,49 @@
+#include "gmetad/data_source.hpp"
+
+#include "common/log.hpp"
+
+namespace ganglia::gmetad {
+
+Result<std::string> DataSource::fetch(net::Transport& transport,
+                                      TimeUs timeout, std::int64_t now_s) {
+  Error last = Err(Errc::exhausted, "no addresses configured");
+  const std::size_t n = config_.addresses.size();
+  for (std::size_t attempt = 0; attempt < n; ++attempt) {
+    const std::size_t index = (preferred_ + attempt) % n;
+    const std::string& address = config_.addresses[index];
+
+    auto stream = transport.connect(address, timeout);
+    if (!stream.ok()) {
+      last = stream.error();
+      GLOG(debug, "gmetad") << "source " << config_.name << ": connect to "
+                            << address << " failed: " << last.to_string();
+      continue;
+    }
+    auto body = net::read_to_eof(**stream);
+    if (!body.ok()) {
+      last = body.error();
+      GLOG(debug, "gmetad") << "source " << config_.name << ": read from "
+                            << address << " failed: " << last.to_string();
+      continue;
+    }
+    if (index != preferred_) {
+      ++failovers_;
+      GLOG(info, "gmetad") << "source " << config_.name << ": failed over to "
+                           << address;
+      preferred_ = index;
+    }
+    reachable_ = true;
+    consecutive_failures_ = 0;
+    last_success_s_ = now_s;
+    last_error_.clear();
+    return body;
+  }
+  reachable_ = false;
+  ++consecutive_failures_;
+  last_error_ = last.to_string();
+  return Err(Errc::exhausted,
+             "all " + std::to_string(n) + " addresses of source '" +
+                 config_.name + "' failed; last: " + last.to_string());
+}
+
+}  // namespace ganglia::gmetad

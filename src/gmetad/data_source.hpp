@@ -1,0 +1,65 @@
+// Data source with failover.
+//
+// "The wide-area Gmeta uses [redundant gmon state] to automatically
+// fail-over when a cluster node malfunctions, preventing a node stop
+// failure from disrupting its monitoring activities.  To handle
+// intermittent failures, Gmeta retries the failed node periodically."
+// (paper §1)
+//
+// fetch() tries the preferred address first and rotates through the
+// remaining candidates on failure.  A success promotes the serving address
+// to preferred; total failure leaves the source marked unreachable and the
+// next poll round retries from the top — failures never cause permanent
+// fissures in the tree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "gmetad/config.hpp"
+#include "net/transport.hpp"
+
+namespace ganglia::gmetad {
+
+class DataSource {
+ public:
+  explicit DataSource(DataSourceConfig config) : config_(std::move(config)) {}
+
+  /// Download one full report, failing over across candidate addresses.
+  /// On success records which address served.  On exhaustion returns
+  /// Errc::exhausted carrying the last error detail.
+  Result<std::string> fetch(net::Transport& transport, TimeUs timeout,
+                            std::int64_t now_s);
+
+  const DataSourceConfig& config() const noexcept { return config_; }
+  const std::string& name() const noexcept { return config_.name; }
+  std::int64_t poll_interval_s() const noexcept {
+    return config_.poll_interval_s;
+  }
+
+  // -- health introspection ------------------------------------------------
+  bool reachable() const noexcept { return reachable_; }
+  std::size_t preferred_index() const noexcept { return preferred_; }
+  const std::string& preferred_address() const {
+    return config_.addresses[preferred_];
+  }
+  std::uint32_t consecutive_failures() const noexcept {
+    return consecutive_failures_;
+  }
+  std::int64_t last_success_s() const noexcept { return last_success_s_; }
+  std::uint64_t failovers() const noexcept { return failovers_; }
+  const std::string& last_error() const noexcept { return last_error_; }
+
+ private:
+  DataSourceConfig config_;
+  std::size_t preferred_ = 0;
+  bool reachable_ = true;  ///< optimistic until the first poll says otherwise
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::int64_t last_success_s_ = 0;
+  std::string last_error_;
+};
+
+}  // namespace ganglia::gmetad

@@ -1,0 +1,432 @@
+#include "gmetad/gmetad.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia::gmetad {
+
+Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
+    : config_(std::move(config)),
+      transport_(transport),
+      clock_(clock),
+      archiver_(ArchiverOptions{config_.archive_step_s,
+                                config_.archive_step_s * 8,
+                                config_.archive_dir}),
+      engine_(store_),
+      joins_(config_.join_expiry_s) {
+  for (const DataSourceConfig& ds : config_.sources) {
+    sources_.push_back(std::make_unique<DataSource>(ds));
+  }
+}
+
+Gmetad::~Gmetad() { stop(); }
+
+QueryContext Gmetad::context() {
+  QueryContext ctx;
+  ctx.grid_name = config_.grid_name;
+  ctx.authority = config_.authority;
+  ctx.mode = config_.mode;
+  ctx.now = clock_.now_seconds();
+  return ctx;
+}
+
+// ----------------------------------------------------------------- polling
+
+std::vector<Gmetad::PollResult> Gmetad::poll_once() {
+  ScopedCpuMeter meter(cpu_meter_);
+  const std::int64_t now = clock_.now_seconds();
+  std::vector<PollResult> results;
+
+  // Prune dynamic children whose joins lapsed.
+  for (const JoinRegistry::Child& expired : joins_.prune(now)) {
+    GLOG(info, "gmetad") << config_.grid_name << ": pruning silent child '"
+                         << expired.request.name << "'";
+    std::lock_guard lock(sources_mutex_);
+    std::erase_if(sources_, [&](const std::unique_ptr<DataSource>& ds) {
+      return ds->name() == expired.request.name;
+    });
+    store_.remove(expired.request.name);
+  }
+
+  std::vector<DataSource*> to_poll;
+  {
+    std::lock_guard lock(sources_mutex_);
+    to_poll.reserve(sources_.size());
+    for (const auto& ds : sources_) to_poll.push_back(ds.get());
+  }
+
+  for (DataSource* source : to_poll) {
+    PollResult result;
+    result.source = source->name();
+    auto body = source->fetch(transport_,
+                              config_.connect_timeout_s * kMicrosPerSecond, now);
+    if (!body.ok()) {
+      result.error = body.error().to_string();
+      // Keep serving the previous data, marked unreachable; RRD heartbeats
+      // lapse on their own, writing the forensic unknown records.
+      store_.publish(SourceSnapshot::unreachable_from(
+          store_.get(source->name()), source->name(), now));
+      results.push_back(std::move(result));
+      continue;
+    }
+    result.bytes = body->size();
+    bytes_polled_ += body->size();
+
+    auto report = parse_report(*body);
+    if (!report.ok()) {
+      result.error = report.error().to_string();
+      store_.publish(SourceSnapshot::unreachable_from(
+          store_.get(source->name()), source->name(), now));
+      results.push_back(std::move(result));
+      continue;
+    }
+
+    // "Gmeta only keeps numerical summaries of data from clusters it is
+    // not an authority on": in N-level mode remote grids are reduced to
+    // summary form before they ever enter the store, shrinking state and
+    // archive load alike.  (The 1-level design keeps everything — that is
+    // precisely its scalability defect.)
+    if (config_.mode == Mode::n_level) {
+      for (Grid& grid : report->grids) {
+        if (!grid.is_summary_form()) {
+          grid.summary = grid.summarize();
+          grid.clusters.clear();
+          grid.grids.clear();
+        }
+      }
+    }
+
+    // The 1-level design performs no summarisation during polling (the
+    // frontend computed its own); N-level summarises eagerly here, on the
+    // summarisation time scale.
+    auto snapshot = std::make_shared<SourceSnapshot>(
+        source->name(), std::move(*report), now,
+        /*eager_summary=*/config_.mode == Mode::n_level);
+    if (config_.archive_enabled) archive_snapshot(*snapshot);
+    // One atomic swap: queries never see a half-parsed source.
+    store_.publish(std::move(snapshot));
+    result.ok = true;
+    results.push_back(std::move(result));
+  }
+
+  // Root-of-this-node summary archive (the grid's own history).  Part of
+  // the N-level design's summarisation work; 2.5.1 had no equivalent.
+  if (config_.archive_enabled && config_.mode == Mode::n_level) {
+    SummaryInfo total;
+    for (const auto& snapshot : store_.all()) total.merge(snapshot->summary());
+    archiver_.record_summary(config_.grid_name, total, now);
+  }
+
+  if (post_poll_hook_) post_poll_hook_(now);
+  return results;
+}
+
+void Gmetad::archive_snapshot(const SourceSnapshot& snapshot) {
+  const std::int64_t now = clock_.now_seconds();
+
+  // N-level: every source gets a source-level summary archive.
+  if (config_.mode == Mode::n_level) {
+    archiver_.record_summary(snapshot.name(), snapshot.summary(), now);
+  }
+
+  // Full-detail clusters: per-host metric archives, plus (N-level only) a
+  // cluster summary archive.
+  for (const Cluster& cluster : snapshot.clusters()) {
+    archiver_.record_cluster(snapshot.name(), cluster, now);
+    if (config_.mode == Mode::n_level) {
+      archiver_.record_summary(snapshot.name() + "/" + cluster.name,
+                               snapshot.cluster_summary(cluster), now);
+    }
+  }
+
+  for (const Grid& grid : snapshot.grids()) {
+    if (config_.mode == Mode::one_level) {
+      // 1-level design: archive the entire remote subtree at host
+      // granularity — the duplicated archives of paper fig 3 (right).
+      struct Walker {
+        Archiver& archiver;
+        const std::string& source;
+        std::int64_t now;
+        void walk(const Grid& g) {
+          for (const Cluster& c : g.clusters) {
+            archiver.record_cluster(source, c, now);
+          }
+          for (const Grid& child : g.grids) walk(child);
+        }
+      } walker{archiver_, snapshot.name(), now};
+      walker.walk(grid);
+    }
+    // N-level: the source-level summary recorded above is all we keep for
+    // grids we are not the authority on.
+  }
+}
+
+// ------------------------------------------------------------ serving
+
+std::string Gmetad::dump_xml() {
+  ScopedCpuMeter meter(cpu_meter_);
+  return engine_.dump(context());
+}
+
+Result<std::string> Gmetad::query(std::string_view line) {
+  ScopedCpuMeter meter(cpu_meter_);
+  return engine_.execute(line, context());
+}
+
+Result<std::string> Gmetad::handle_join_line(std::string_view line) {
+  auto request = parse_join_line(line, config_.join_key);
+  if (!request.ok()) return request.error();
+  const std::int64_t now = clock_.now_seconds();
+  if (joins_.refresh(*request, now)) {
+    GLOG(info, "gmetad") << config_.grid_name << ": child '" << request->name
+                         << "' joined from " << request->address;
+    DataSourceConfig ds;
+    ds.name = request->name;
+    ds.addresses = {request->address};
+    std::lock_guard lock(sources_mutex_);
+    sources_.push_back(std::make_unique<DataSource>(std::move(ds)));
+  }
+  return std::string("OK\n");
+}
+
+Result<std::string> Gmetad::handle_interactive(std::string_view line) {
+  ScopedCpuMeter meter(cpu_meter_);
+  const std::string_view trimmed = trim(line);
+  if (starts_with(trimmed, "JOIN ")) return handle_join_line(trimmed);
+  if (starts_with(trimmed, "HISTORY ")) return handle_history_line(trimmed);
+  return engine_.execute(trimmed, context());
+}
+
+Result<std::string> Gmetad::handle_history_line(std::string_view line) {
+  const auto fields = split_ws(line);
+  if (fields.size() != 4) {
+    return Err(Errc::invalid_argument,
+               "expected 'HISTORY <path> <start> <end>'");
+  }
+  const auto start = parse_i64(fields[2]);
+  const auto end = parse_i64(fields[3]);
+  if (!start || !end) {
+    return Err(Errc::invalid_argument, "HISTORY start/end must be integers");
+  }
+  return history(fields[1], *start, *end);
+}
+
+Result<std::string> Gmetad::history(std::string_view path, std::int64_t start,
+                                    std::int64_t end) {
+  const auto segments = split(trim(path), '/', /*skip_empty=*/true);
+  Result<rrd::Series> series = Err(Errc::invalid_argument, "");
+  std::string metric_name;
+  if (segments.size() == 4) {
+    metric_name = std::string(segments[3]);
+    series = archiver_.fetch_host_metric(
+        std::string(segments[0]), std::string(segments[1]),
+        std::string(segments[2]), metric_name, start, end);
+  } else if (segments.size() == 2 || segments.size() == 3) {
+    // Summary scope: "source/metric" or "source/cluster/metric".
+    metric_name = std::string(segments.back());
+    std::string scope(segments[0]);
+    for (std::size_t i = 1; i + 1 < segments.size(); ++i) {
+      scope += "/" + std::string(segments[i]);
+    }
+    series = archiver_.fetch_summary_metric(scope, metric_name, start, end);
+  } else {
+    return Err(Errc::invalid_argument,
+               "history path must be /source/cluster/host/metric or "
+               "/scope.../metric");
+  }
+  if (!series.ok()) return series.error();
+
+  // <SERIES NAME=".." START=".." STEP=".." END=".." CF="AVERAGE">v v U v</SERIES>
+  std::string out;
+  xml::XmlWriter w(out);
+  w.declaration();
+  w.open("SERIES");
+  w.attr("NAME", metric_name);
+  w.attr("PATH", trim(path));
+  w.attr("START", series->start);
+  w.attr("STEP", series->step);
+  w.attr("END", series->end);
+  w.attr("CF", rrd::cf_name(series->cf));
+  std::string body;
+  for (std::size_t i = 0; i < series->values.size(); ++i) {
+    if (i > 0) body += ' ';
+    body += rrd::is_unknown(series->values[i]) ? "U"
+                                               : format_double(series->values[i]);
+  }
+  w.text(body);
+  w.close();
+  return out;
+}
+
+net::ServiceFn Gmetad::dump_service() {
+  return [this](std::string_view) -> Result<std::string> {
+    return dump_xml();
+  };
+}
+
+net::ServiceFn Gmetad::interactive_service() {
+  return [this](std::string_view request) -> Result<std::string> {
+    // The request may carry a trailing newline from read_line-style writers.
+    return handle_interactive(request);
+  };
+}
+
+Status Gmetad::send_join(const std::string& parent_interactive_address) {
+  if (config_.join_key.empty()) {
+    return Err(Errc::invalid_argument, "no join_key configured");
+  }
+  JoinRequest request;
+  request.name = config_.grid_name;
+  request.address = xml_address();
+  request.authority = config_.authority;
+  auto stream = transport_.connect(parent_interactive_address,
+                                   config_.connect_timeout_s * kMicrosPerSecond);
+  if (!stream.ok()) return stream.error();
+  if (Status s = (*stream)->write_all(format_join_line(request, config_.join_key));
+      !s.ok()) {
+    return s;
+  }
+  auto reply = net::read_line(**stream);
+  if (!reply.ok()) return reply.error();
+  if (*reply != "OK") {
+    return Err(Errc::refused, "parent rejected join: " + *reply);
+  }
+  return {};
+}
+
+// ------------------------------------------------------------- daemon mode
+
+std::string Gmetad::xml_address() const {
+  return xml_listener_ ? xml_listener_->address() : config_.xml_bind;
+}
+
+std::string Gmetad::interactive_address() const {
+  return interactive_listener_ ? interactive_listener_->address()
+                               : config_.interactive_bind;
+}
+
+bool Gmetad::peer_trusted(const std::string& peer) const {
+  if (config_.trusted_hosts.empty()) return true;
+  const auto colon = peer.rfind(':');
+  const std::string host = peer.substr(0, colon);
+  for (const std::string& trusted : config_.trusted_hosts) {
+    if (trusted == host || trusted == peer) return true;
+  }
+  return false;
+}
+
+void Gmetad::handle_connection(net::Stream& stream, bool interactive) {
+  if (!peer_trusted(stream.peer_address())) {
+    GLOG(warn, "gmetad") << config_.grid_name << ": rejected untrusted peer "
+                         << stream.peer_address();
+    stream.close();
+    return;
+  }
+  if (!interactive) {
+    const std::string report = dump_xml();
+    (void)stream.write_all(report);
+    stream.close();
+    return;
+  }
+  // Interactive: one query line, one response, close — clients read to EOF
+  // to find the response boundary (the in-memory fabric behaves the same).
+  auto line = net::read_line(stream);
+  if (line.ok()) {
+    auto response = handle_interactive(*line);
+    if (response.ok()) {
+      (void)stream.write_all(*response);
+    } else {
+      (void)stream.write_all("<!-- ERROR: " + response.error().to_string() +
+                             " -->\n");
+    }
+  }
+  stream.close();
+}
+
+Status Gmetad::start() {
+  if (running_.exchange(true)) return {};
+
+  if (!config_.archive_dir.empty()) {
+    if (Status s = archiver_.load_from_disk(); !s.ok()) {
+      GLOG(warn, "gmetad") << config_.grid_name
+                           << ": archive restore failed: " << s.to_string();
+    }
+  }
+
+  auto xml_listener = transport_.listen(config_.xml_bind);
+  if (!xml_listener.ok()) {
+    running_ = false;
+    return xml_listener.error();
+  }
+  auto interactive_listener = transport_.listen(config_.interactive_bind);
+  if (!interactive_listener.ok()) {
+    running_ = false;
+    return interactive_listener.error();
+  }
+  xml_listener_ = std::move(*xml_listener);
+  interactive_listener_ = std::move(*interactive_listener);
+  if (config_.authority.empty()) {
+    // Advertise the bound address so upstream summaries carry a usable
+    // pointer to this node's higher-resolution view.
+    config_.authority = "gmetad://" + xml_listener_->address() + "/";
+  }
+
+  const auto accept_loop = [this](net::Listener* listener, bool interactive) {
+    while (running_.load()) {
+      auto stream = listener->accept();
+      if (!stream.ok()) return;  // listener closed
+      handle_connection(**stream, interactive);
+    }
+  };
+  threads_.emplace_back(accept_loop, xml_listener_.get(), false);
+  threads_.emplace_back(accept_loop, interactive_listener_.get(), true);
+
+  // Poller thread: fixed cadence from the minimum source interval.
+  threads_.emplace_back([this](std::stop_token token) {
+    std::int64_t interval_s = 15;
+    {
+      std::lock_guard lock(sources_mutex_);
+      for (const auto& ds : sources_) {
+        interval_s = std::min(interval_s, ds->poll_interval_s());
+      }
+    }
+    while (!token.stop_requested() && running_.load()) {
+      poll_once();
+      for (std::int64_t waited = 0;
+           waited < interval_s * 10 && running_.load(); ++waited) {
+        clock_.sleep_us(kMicrosPerSecond / 10);
+      }
+    }
+  });
+  GLOG(info, "gmetad") << config_.grid_name << ": serving dump on "
+                       << xml_address() << ", queries on "
+                       << interactive_address();
+  return {};
+}
+
+void Gmetad::stop() {
+  if (!running_.exchange(false)) return;
+  if (!config_.archive_dir.empty()) {
+    if (Status s = archiver_.flush_to_disk(); !s.ok()) {
+      GLOG(warn, "gmetad") << config_.grid_name
+                           << ": archive flush failed: " << s.to_string();
+    }
+  }
+  if (xml_listener_) xml_listener_->close();
+  if (interactive_listener_) interactive_listener_->close();
+  for (std::jthread& t : threads_) t.request_stop();
+  threads_.clear();  // joins
+  xml_listener_.reset();
+  interactive_listener_.reset();
+}
+
+std::vector<const DataSource*> Gmetad::sources() const {
+  std::lock_guard lock(sources_mutex_);
+  std::vector<const DataSource*> out;
+  out.reserve(sources_.size());
+  for (const auto& ds : sources_) out.push_back(ds.get());
+  return out;
+}
+
+}  // namespace ganglia::gmetad

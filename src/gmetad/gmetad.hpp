@@ -1,0 +1,153 @@
+// Gmetad: the wide-area monitor node (the paper's contribution).
+//
+// One Gmetad instance is one hexagon in the paper's figure-2 tree.  It
+// polls its data sources (gmon clusters and child gmetads) on the
+// summarisation time scale, parses their XML off to the side, publishes
+// immutable snapshots into the hash-table store, archives metrics into
+// RRDs, and serves two endpoints: a dump port that reports the whole tree
+// and an interactive port answering path queries (and JOIN messages).
+//
+// The instance can be driven two ways:
+//  * deterministically — poll_once() per simulated 15 s round; tests and
+//    the paper-figure benches use this with the in-memory transport;
+//  * as a daemon — start()/stop() spin poller and server threads over any
+//    transport (the examples run real TCP on loopback).
+//
+// Every unit of processing (polling, parsing, summarising, archiving, and
+// serving queries — including dump requests made *by a parent*) is charged
+// to this node's CpuMeter, reproducing the per-gmeta %CPU measurements of
+// the paper's figures 5 and 6.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.hpp"
+#include "common/cpu_timer.hpp"
+#include "gmetad/archiver.hpp"
+#include "gmetad/config.hpp"
+#include "gmetad/data_source.hpp"
+#include "gmetad/join.hpp"
+#include "gmetad/query.hpp"
+#include "gmetad/store.hpp"
+#include "net/transport.hpp"
+
+namespace ganglia::gmetad {
+
+class Gmetad {
+ public:
+  Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock);
+  ~Gmetad();
+
+  Gmetad(const Gmetad&) = delete;
+  Gmetad& operator=(const Gmetad&) = delete;
+
+  // -- deterministic driving ----------------------------------------------
+
+  struct PollResult {
+    std::string source;
+    bool ok = false;
+    std::size_t bytes = 0;
+    std::string error;
+  };
+
+  /// Poll every data source once (fetch, parse, summarise, archive).
+  /// Dynamic children that stopped joining are pruned first.
+  std::vector<PollResult> poll_once();
+
+  // -- reporting / queries --------------------------------------------------
+
+  /// The dump-port document: whole tree per this node's mode.
+  std::string dump_xml();
+
+  /// Answer one interactive-port line: a path query, a JOIN message, or a
+  /// HISTORY request ("HISTORY <path> <start> <end>") that serves an RRD
+  /// series as XML — the data behind the frontend's graphs.
+  Result<std::string> handle_interactive(std::string_view line);
+
+  /// Serve archived history for "/source/cluster/host/metric" (host series)
+  /// or "/scope/metric" (summary series; scope = source or source/cluster)
+  /// over [start, end) as a <SERIES> document.
+  Result<std::string> history(std::string_view path, std::int64_t start,
+                              std::int64_t end);
+
+  /// Path query only (no JOIN handling).
+  Result<std::string> query(std::string_view line);
+
+  /// Service adapters for in-memory transports.  Work done inside them is
+  /// charged to *this* node's CPU meter even when a parent's poll thread
+  /// runs them.
+  net::ServiceFn dump_service();
+  net::ServiceFn interactive_service();
+
+  // -- join protocol (child side) -----------------------------------------
+
+  /// Send one JOIN message to a parent's interactive address.
+  Status send_join(const std::string& parent_interactive_address);
+
+  // -- daemon mode ----------------------------------------------------------
+
+  /// Start poller + server threads.  Binds the configured addresses on the
+  /// injected transport.
+  Status start();
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  /// Actual bound addresses (useful with ephemeral ports).
+  std::string xml_address() const;
+  std::string interactive_address() const;
+
+  // -- introspection ----------------------------------------------------------
+
+  const GmetadConfig& config() const noexcept { return config_; }
+  Store& store() noexcept { return store_; }
+  const Store& store() const noexcept { return store_; }
+  Archiver& archiver() noexcept { return archiver_; }
+  CpuMeter& cpu_meter() noexcept { return cpu_meter_; }
+  const JoinRegistry& joins() const noexcept { return joins_; }
+
+  /// Failover/health state per configured source.
+  std::vector<const DataSource*> sources() const;
+
+  /// Total bytes downloaded from sources since construction.
+  std::uint64_t bytes_polled() const noexcept { return bytes_polled_; }
+
+  /// Hook invoked at the end of every poll round with the round's
+  /// timestamp — the attachment point for the alarm engine (src/alarm
+  /// layers on top of gmetad, so the dependency points this way).
+  void set_post_poll_hook(std::function<void(std::int64_t now)> hook) {
+    post_poll_hook_ = std::move(hook);
+  }
+
+ private:
+  QueryContext context();
+  Result<std::string> handle_history_line(std::string_view line);
+  void archive_snapshot(const SourceSnapshot& snapshot);
+  void handle_connection(net::Stream& stream, bool interactive);
+  bool peer_trusted(const std::string& peer) const;
+  Result<std::string> handle_join_line(std::string_view line);
+
+  GmetadConfig config_;
+  net::Transport& transport_;
+  Clock& clock_;
+  Store store_;
+  Archiver archiver_;
+  QueryEngine engine_;
+  JoinRegistry joins_;
+  CpuMeter cpu_meter_;
+  std::uint64_t bytes_polled_ = 0;
+  std::function<void(std::int64_t)> post_poll_hook_;
+
+  mutable std::mutex sources_mutex_;
+  std::vector<std::unique_ptr<DataSource>> sources_;
+
+  // Daemon mode.
+  std::atomic<bool> running_{false};
+  std::unique_ptr<net::Listener> xml_listener_;
+  std::unique_ptr<net::Listener> interactive_listener_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace ganglia::gmetad

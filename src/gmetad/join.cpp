@@ -1,0 +1,92 @@
+#include "gmetad/join.hpp"
+
+#include "common/strings.hpp"
+
+namespace ganglia::gmetad {
+
+std::string join_mac(std::string_view key, std::string_view message) {
+  // Sponge over (key || message || key) with two FNV-1a lanes started from
+  // different offsets; rendered as 32 hex chars.
+  auto lane = [&](std::uint64_t h) {
+    const auto absorb = [&h](std::string_view s) {
+      for (char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+      }
+    };
+    absorb(key);
+    absorb(message);
+    absorb(key);
+    // Final avalanche.
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+  };
+  const std::uint64_t a = lane(0xcbf29ce484222325ULL);
+  const std::uint64_t b = lane(0x84222325cbf29ce4ULL);
+  return strprintf("%016llx%016llx", static_cast<unsigned long long>(a),
+                   static_cast<unsigned long long>(b));
+}
+
+std::string format_join_line(const JoinRequest& request, std::string_view key) {
+  return "JOIN " + request.canonical() + " " +
+         join_mac(key, request.canonical()) + "\n";
+}
+
+Result<JoinRequest> parse_join_line(std::string_view line,
+                                    std::string_view key) {
+  if (key.empty()) {
+    return Err(Errc::refused, "join protocol disabled (no join_key)");
+  }
+  const auto fields = split_ws(trim(line));
+  if (fields.size() != 5 || fields[0] != "JOIN") {
+    return Err(Errc::parse_error,
+               "expected 'JOIN <name> <address> <authority> <mac>'");
+  }
+  JoinRequest request;
+  request.name = std::string(fields[1]);
+  request.address = std::string(fields[2]);
+  request.authority = std::string(fields[3]);
+  if (request.address.find(':') == std::string::npos) {
+    return Err(Errc::parse_error, "join address must be host:port");
+  }
+  const std::string expected = join_mac(key, request.canonical());
+  if (expected != fields[4]) {
+    return Err(Errc::refused, "join MAC verification failed for '" +
+                                  request.name + "'");
+  }
+  return request;
+}
+
+bool JoinRegistry::refresh(const JoinRequest& request, std::int64_t now) {
+  auto [it, inserted] = children_.try_emplace(request.name);
+  it->second.request = request;
+  it->second.last_join_s = now;
+  return inserted;
+}
+
+std::vector<JoinRegistry::Child> JoinRegistry::prune(std::int64_t now) {
+  std::vector<Child> expired;
+  for (auto it = children_.begin(); it != children_.end();) {
+    if (now - it->second.last_join_s > expiry_s_) {
+      expired.push_back(it->second);
+      it = children_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+std::vector<JoinRegistry::Child> JoinRegistry::children() const {
+  std::vector<Child> out;
+  out.reserve(children_.size());
+  for (const auto& [name, child] : children_) {
+    (void)name;
+    out.push_back(child);
+  }
+  return out;
+}
+
+}  // namespace ganglia::gmetad

@@ -1,0 +1,77 @@
+// Soft-state tree membership (the paper's §4 future-work extension).
+//
+// "We would like to incorporate a wide-area trust model similar to MDS,
+// where parents have no explicit knowledge of their children.  Children in
+// an MDS tree periodically send join messages to their parents, who verify
+// trust via a cryptographic certificate sent with the message.  Nodes are
+// automatically pruned from the tree if their join messages cease."
+//
+// We implement exactly that shape: a child periodically sends
+//
+//   JOIN <name> <address> <authority-url> <mac>\n
+//
+// to its parent's interactive port, where <mac> authenticates the message
+// fields under a shared key.  The parent adds (or refreshes) a dynamic data
+// source for the child and prunes it when joins stop arriving for
+// `expiry_s`.  The MAC here is a keyed hash, standing in for the MDS
+// certificate — the protocol shape, not the cryptography, is what the
+// paper sketches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ganglia::gmetad {
+
+/// Keyed message authenticator (FNV-based sponge; NOT cryptographically
+/// strong — a stand-in for the certificate scheme the paper references).
+std::string join_mac(std::string_view key, std::string_view message);
+
+struct JoinRequest {
+  std::string name;       ///< child grid name (data source name)
+  std::string address;    ///< child's XML port ("host:port")
+  std::string authority;  ///< child's advertised authority URL
+
+  /// The canonical string covered by the MAC.
+  std::string canonical() const { return name + " " + address + " " + authority; }
+};
+
+/// Render "JOIN ..." line for a child to send.
+std::string format_join_line(const JoinRequest& request, std::string_view key);
+
+/// Parse + authenticate a join line.  Errc::refused on MAC mismatch or when
+/// the key is empty (joins disabled).
+Result<JoinRequest> parse_join_line(std::string_view line, std::string_view key);
+
+/// Parent-side registry of dynamically joined children.
+class JoinRegistry {
+ public:
+  explicit JoinRegistry(std::int64_t expiry_s) : expiry_s_(expiry_s) {}
+
+  struct Child {
+    JoinRequest request;
+    std::int64_t last_join_s = 0;
+  };
+
+  /// Record a fresh, authenticated join.  Returns true when the child is
+  /// new (caller should add a data source).
+  bool refresh(const JoinRequest& request, std::int64_t now);
+
+  /// Children whose joins lapsed; they are removed from the registry and
+  /// returned so the caller can drop their data sources.
+  std::vector<Child> prune(std::int64_t now);
+
+  std::vector<Child> children() const;
+  std::size_t size() const noexcept { return children_.size(); }
+
+ private:
+  std::int64_t expiry_s_;
+  std::map<std::string, Child> children_;
+};
+
+}  // namespace ganglia::gmetad

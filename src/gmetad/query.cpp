@@ -1,0 +1,284 @@
+#include "gmetad/query.hpp"
+
+#include "common/strings.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia::gmetad {
+
+bool QuerySegment::matches(std::string_view name) const {
+  if (!is_regex) return text == name;
+  return std::regex_match(name.begin(), name.end(), pattern);
+}
+
+Result<ParsedQuery> parse_query(std::string_view line) {
+  line = trim(line);
+  if (line.empty() || line.front() != '/') {
+    return Err(Errc::invalid_argument,
+               "query must start with '/', got '" + std::string(line) + "'");
+  }
+
+  ParsedQuery query;
+  const auto qmark = line.find('?');
+  if (qmark != std::string_view::npos) {
+    const std::string_view option = line.substr(qmark + 1);
+    if (option == "filter=summary") {
+      query.summary = true;
+    } else {
+      return Err(Errc::invalid_argument,
+                 "unknown query option '" + std::string(option) + "'");
+    }
+    line = line.substr(0, qmark);
+  }
+
+  for (std::string_view raw : split(line, '/', /*skip_empty=*/true)) {
+    QuerySegment segment;
+    if (!raw.empty() && raw.front() == '~') {
+      segment.is_regex = true;
+      segment.text = std::string(raw.substr(1));
+      try {
+        segment.pattern = std::regex(segment.text,
+                                     std::regex::ECMAScript | std::regex::optimize);
+      } catch (const std::regex_error& e) {
+        return Err(Errc::invalid_argument,
+                   "bad regex '" + segment.text + "': " + e.what());
+      }
+    } else {
+      segment.text = std::string(raw);
+    }
+    query.segments.push_back(std::move(segment));
+  }
+  return query;
+}
+
+namespace {
+
+/// Write one host wrapped in its cluster's attributes.
+void write_cluster_wrapper_open(xml::XmlWriter& w, const Cluster& cluster) {
+  w.open("CLUSTER");
+  w.attr("NAME", cluster.name);
+  w.attr("LOCALTIME", cluster.localtime);
+  if (!cluster.owner.empty()) w.attr("OWNER", cluster.owner);
+}
+
+void write_host_wrapper_open(xml::XmlWriter& w, const Host& host) {
+  w.open("HOST");
+  w.attr("NAME", host.name);
+  w.attr("IP", host.ip);
+  w.attr("REPORTED", host.reported);
+  w.attr("TN", static_cast<std::uint64_t>(host.tn));
+  w.attr("TMAX", static_cast<std::uint64_t>(host.tmax));
+  w.attr("DMAX", static_cast<std::uint64_t>(host.dmax));
+}
+
+struct ResolveState {
+  const ParsedQuery& query;
+  xml::XmlWriter& writer;
+  Mode mode;
+  const SourceSnapshot* snapshot = nullptr;  ///< source being resolved
+  std::size_t matches = 0;
+  std::string redirect;  ///< authority URL hit below a summary grid
+};
+
+void resolve_host(ResolveState& state, const Cluster& cluster,
+                  const Host& host, std::size_t seg) {
+  const auto& segments = state.query.segments;
+  if (seg == segments.size()) {
+    write_cluster_wrapper_open(state.writer, cluster);
+    write_host(state.writer, host);
+    state.writer.close();
+    ++state.matches;
+    return;
+  }
+  // Exactly one more segment can match: a metric name (nothing lives
+  // below a metric).
+  if (seg + 1 != segments.size()) return;
+  for (const Metric& metric : host.metrics) {
+    if (!segments[seg].matches(metric.name)) continue;
+    write_cluster_wrapper_open(state.writer, cluster);
+    write_host_wrapper_open(state.writer, host);
+    write_metric(state.writer, metric);
+    state.writer.close();
+    state.writer.close();
+    ++state.matches;
+  }
+}
+
+void resolve_cluster(ResolveState& state, const Cluster& cluster,
+                     std::size_t seg) {
+  const auto& segments = state.query.segments;
+  if (seg == segments.size()) {
+    if (state.query.summary) {
+      // Serve the reduction precomputed on the summarisation time scale:
+      // O(m), independent of cluster size.
+      write_cluster_wrapper_open(state.writer, cluster);
+      write_summary_info(state.writer,
+                         state.snapshot->cluster_summary(cluster));
+      state.writer.close();
+    } else {
+      write_cluster(state.writer, cluster);
+    }
+    ++state.matches;
+    return;
+  }
+  if (cluster.is_summary_form()) {
+    // Host data lives at the authority; nothing to descend into.
+    return;
+  }
+  for (const auto& [host_name, host] : cluster.hosts) {
+    if (!segments[seg].matches(host_name)) continue;
+    resolve_host(state, cluster, host, seg + 1);
+  }
+}
+
+void resolve_grid(ResolveState& state, const Grid& grid, std::size_t seg) {
+  const auto& segments = state.query.segments;
+  if (seg == segments.size()) {
+    if (state.query.summary || grid.is_summary_form()) {
+      state.writer.open("GRID");
+      state.writer.attr("NAME", grid.name);
+      state.writer.attr("AUTHORITY", grid.authority);
+      state.writer.attr("LOCALTIME", grid.localtime);
+      write_summary_info(state.writer, grid.summarize());
+      state.writer.close();
+    } else {
+      write_grid(state.writer, grid);
+    }
+    ++state.matches;
+    return;
+  }
+  if (grid.is_summary_form()) {
+    // An N-level node keeps only the summary; the higher-resolution view
+    // lives at the grid's own authority URL (the paper's pointer tree).
+    if (state.redirect.empty()) state.redirect = grid.authority;
+    return;
+  }
+  state.writer.open("GRID");
+  state.writer.attr("NAME", grid.name);
+  state.writer.attr("AUTHORITY", grid.authority);
+  state.writer.attr("LOCALTIME", grid.localtime);
+  for (const Cluster& cluster : grid.clusters) {
+    if (segments[seg].matches(cluster.name)) {
+      resolve_cluster(state, cluster, seg + 1);
+    }
+  }
+  for (const Grid& child : grid.grids) {
+    if (segments[seg].matches(child.name)) {
+      resolve_grid(state, child, seg + 1);
+    }
+  }
+  state.writer.close();
+}
+
+/// Write a full source per mode (the no-further-segments case).
+void write_source_full(xml::XmlWriter& w, const SourceSnapshot& snapshot,
+                       Mode mode, bool summary_only) {
+  for (const Cluster& cluster : snapshot.clusters()) {
+    if (summary_only) {
+      write_cluster_wrapper_open(w, cluster);
+      write_summary_info(w, snapshot.cluster_summary(cluster));
+      w.close();
+    } else {
+      write_cluster(w, cluster);
+    }
+  }
+  for (const Grid& grid : snapshot.grids()) {
+    if (mode == Mode::n_level || summary_only || grid.is_summary_form()) {
+      w.open("GRID");
+      w.attr("NAME", grid.name);
+      w.attr("AUTHORITY", grid.authority);
+      w.attr("LOCALTIME", grid.localtime);
+      write_summary_info(w, grid.summarize());
+      w.close();
+    } else {
+      write_grid(w, grid);  // 1-level: forward the union, full detail
+    }
+  }
+}
+
+}  // namespace
+
+std::string QueryEngine::render(const ParsedQuery& query,
+                                const QueryContext& ctx, std::size_t& matches,
+                                std::string& redirect) const {
+  std::string out;
+  xml::XmlWriter w(out);
+  w.declaration();
+  w.open("GANGLIA_XML");
+  w.attr("VERSION", ctx.version);
+  w.attr("SOURCE", "gmetad");
+  w.open("GRID");
+  w.attr("NAME", ctx.grid_name);
+  w.attr("AUTHORITY", ctx.authority);
+  w.attr("LOCALTIME", ctx.now);
+
+  const auto snapshots = store_.all();
+
+  if (query.segments.empty()) {
+    if (query.summary) {
+      // Meta view: per-source summary rows followed by the grand total —
+      // O(sources * m) bytes instead of O(C*H*m).
+      SummaryInfo total;
+      for (const auto& snapshot : snapshots) {
+        write_source_full(w, *snapshot, ctx.mode, /*summary_only=*/true);
+        total.merge(snapshot->summary());
+      }
+      write_summary_info(w, total);
+      matches = 1;
+    } else {
+      for (const auto& snapshot : snapshots) {
+        write_source_full(w, *snapshot, ctx.mode, false);
+      }
+      matches = 1;
+    }
+    w.close();
+    w.close();
+    return out;
+  }
+
+  ResolveState state{query, w, ctx.mode, nullptr, 0, {}};
+  for (const auto& snapshot : snapshots) {
+    if (!query.segments[0].matches(snapshot->name())) continue;
+    state.snapshot = snapshot.get();
+    // The source's own node: single cluster for gmond sources, the child's
+    // top grid for gmetad sources.
+    for (const Cluster& cluster : snapshot->clusters()) {
+      resolve_cluster(state, cluster, 1);
+    }
+    for (const Grid& grid : snapshot->grids()) {
+      resolve_grid(state, grid, 1);
+    }
+  }
+  matches = state.matches;
+  redirect = state.redirect;
+  w.close();
+  w.close();
+  return out;
+}
+
+Result<std::string> QueryEngine::execute(std::string_view line,
+                                         const QueryContext& ctx) const {
+  auto parsed = parse_query(line);
+  if (!parsed.ok()) return parsed.error();
+  std::size_t matches = 0;
+  std::string redirect;
+  std::string out = render(*parsed, ctx, matches, redirect);
+  if (matches == 0) {
+    if (!redirect.empty()) {
+      return Err(Errc::not_found,
+                 "subtree is summarised here; full resolution at authority " +
+                     redirect);
+    }
+    return Err(Errc::not_found,
+               "no subtree matches '" + std::string(trim(line)) + "'");
+  }
+  return out;
+}
+
+std::string QueryEngine::dump(const QueryContext& ctx) const {
+  ParsedQuery all;  // "/"
+  std::size_t matches = 0;
+  std::string redirect;
+  return render(all, ctx, matches, redirect);
+}
+
+}  // namespace ganglia::gmetad

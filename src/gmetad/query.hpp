@@ -1,0 +1,85 @@
+// The gmetad query engine.
+//
+// "Instead of returning the entire tree rooted at a node, monitors accept a
+// small path-like query that specifies a single local subtree to report"
+// (paper §2.3, fig 4).  Queries resolve through the store's three hash
+// levels — data sources, clusters/grids, hosts — in O(1) per level; dumping
+// the matched subtree then costs O(m) for summaries, O(H) for full-detail
+// clusters, exactly the cost model of §2.3.2.
+//
+// Grammar:
+//
+//   query       := path [ "?" option ] | "/"
+//   path        := "/" segment { "/" segment } [ "/" ]
+//   segment     := literal | "~" regex          (regex: ECMAScript)
+//   option      := "filter=summary"
+//
+// Examples:
+//   /                          whole tree (the dump port's output)
+//   /?filter=summary           meta view: one summary over all sources
+//   /meteor                    cluster "meteor" at full resolution
+//   /meteor?filter=summary     cluster-summary filter (§2.3.2)
+//   /meteor/compute-0-0        one host
+//   /meteor/compute-0-0/load_one   one metric
+//   /attic/nashi/host-3        descend through a child grid
+//   /~compute-.*/              regex (planned "next version" extension §4)
+//
+// Descending below a summary-form grid is impossible by design — the data
+// lives at the child; the error carries the child's authority URL so the
+// caller can follow the pointer-based distributed tree (§2.2).
+#pragma once
+
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "gmetad/config.hpp"
+#include "gmetad/store.hpp"
+
+namespace ganglia::gmetad {
+
+struct QuerySegment {
+  std::string text;
+  bool is_regex = false;
+  std::regex pattern;  // valid when is_regex
+
+  bool matches(std::string_view name) const;
+};
+
+struct ParsedQuery {
+  std::vector<QuerySegment> segments;
+  bool summary = false;
+};
+
+/// Parse a query line.  Fails on empty input, bad options, bad regexes.
+Result<ParsedQuery> parse_query(std::string_view line);
+
+/// Identity of the answering gmetad, stamped on every response.
+struct QueryContext {
+  std::string grid_name;
+  std::string authority;
+  std::string version = "2.5.4";
+  Mode mode = Mode::n_level;
+  std::int64_t now = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(const Store& store) : store_(store) {}
+
+  /// Execute a query line and render the response document.
+  Result<std::string> execute(std::string_view line,
+                              const QueryContext& ctx) const;
+
+  /// The dump-port document: the entire tree per the node's mode
+  /// (equivalent to the query "/").
+  std::string dump(const QueryContext& ctx) const;
+
+ private:
+  std::string render(const ParsedQuery& query, const QueryContext& ctx,
+                     std::size_t& matches, std::string& redirect) const;
+
+  const Store& store_;
+};
+
+}  // namespace ganglia::gmetad

@@ -1,0 +1,127 @@
+#include "gmetad/store.hpp"
+
+#include <mutex>
+
+namespace ganglia::gmetad {
+
+SourceSnapshot::SourceSnapshot(std::string name, Report report,
+                               std::int64_t fetched_at, bool eager_summary)
+    : name_(std::move(name)), report_(std::move(report)),
+      fetched_at_(fetched_at) {
+  is_grid_ = !report_.grids.empty();
+  if (is_grid_ && !report_.grids.empty()) {
+    authority_ = report_.grids.front().authority;
+  }
+  for (const Cluster& c : report_.clusters) {
+    cluster_index_.emplace(c.name, &c);
+    host_count_ += c.hosts.size();
+  }
+  for (const Grid& g : report_.grids) index_grid(g);
+  if (eager_summary) summary();
+}
+
+void SourceSnapshot::compute_summary() const {
+  // One pass computes and caches every cluster reduction (including those
+  // inside full-detail child grids) and folds them into the source total.
+  const auto add_cluster = [this](const Cluster& c) -> const SummaryInfo& {
+    return cluster_summaries_.emplace(&c, c.summarize()).first->second;
+  };
+  for (const Cluster& c : report_.clusters) summary_.merge(add_cluster(c));
+  const auto walk = [this, &add_cluster](const auto& self,
+                                         const Grid& g) -> SummaryInfo {
+    if (g.summary) return *g.summary;
+    SummaryInfo total;
+    for (const Cluster& c : g.clusters) total.merge(add_cluster(c));
+    for (const Grid& child : g.grids) total.merge(self(self, child));
+    return total;
+  };
+  for (const Grid& g : report_.grids) summary_.merge(walk(walk, g));
+}
+
+const SummaryInfo& SourceSnapshot::summary() const {
+  std::call_once(summary_once_, [this] { compute_summary(); });
+  return summary_;
+}
+
+const SummaryInfo& SourceSnapshot::cluster_summary(const Cluster& cluster) const {
+  summary();  // ensure the cache is built (all clusters of this snapshot)
+  const auto it = cluster_summaries_.find(&cluster);
+  if (it != cluster_summaries_.end()) return it->second;
+  // A cluster that is not part of this snapshot (defensive; concurrent
+  // callers must not mutate the cache, so compute under a lock).
+  std::lock_guard lock(fallback_mutex_);
+  return fallback_summaries_.emplace(&cluster, cluster.summarize())
+      .first->second;
+}
+
+void SourceSnapshot::index_grid(const Grid& grid) {
+  grid_index_.emplace(grid.name, &grid);
+  for (const Cluster& c : grid.clusters) {
+    cluster_index_.emplace(c.name, &c);
+    host_count_ += c.hosts.size();
+  }
+  for (const Grid& g : grid.grids) index_grid(g);
+}
+
+std::shared_ptr<const SourceSnapshot> SourceSnapshot::unreachable_from(
+    const std::shared_ptr<const SourceSnapshot>& previous, std::string name,
+    std::int64_t at) {
+  std::shared_ptr<SourceSnapshot> snapshot;
+  if (previous) {
+    // Indexes must be rebuilt against this snapshot's own report copy.
+    Report copy = previous->report_;
+    snapshot = std::shared_ptr<SourceSnapshot>(
+        new SourceSnapshot(std::move(name), std::move(copy), at));
+    snapshot->fetched_at_ = previous->fetched_at_;  // data is still old
+  } else {
+    snapshot = std::shared_ptr<SourceSnapshot>(new SourceSnapshot());
+    snapshot->name_ = std::move(name);
+  }
+  snapshot->reachable_ = false;
+  return snapshot;
+}
+
+const Cluster* SourceSnapshot::find_cluster(std::string_view cluster_name) const {
+  const auto it = cluster_index_.find(cluster_name);
+  return it == cluster_index_.end() ? nullptr : it->second;
+}
+
+const Grid* SourceSnapshot::find_grid(std::string_view grid_name) const {
+  const auto it = grid_index_.find(grid_name);
+  return it == grid_index_.end() ? nullptr : it->second;
+}
+
+void Store::publish(std::shared_ptr<const SourceSnapshot> snapshot) {
+  std::unique_lock lock(mutex_);
+  snapshots_[snapshot->name()] = std::move(snapshot);
+}
+
+std::shared_ptr<const SourceSnapshot> Store::get(std::string_view source) const {
+  std::shared_lock lock(mutex_);
+  const auto it = snapshots_.find(source);
+  return it == snapshots_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<const SourceSnapshot>> Store::all() const {
+  std::shared_lock lock(mutex_);
+  std::vector<std::shared_ptr<const SourceSnapshot>> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [name, snapshot] : snapshots_) {
+    (void)name;
+    out.push_back(snapshot);
+  }
+  return out;
+}
+
+void Store::remove(std::string_view source) {
+  std::unique_lock lock(mutex_);
+  const auto it = snapshots_.find(source);
+  if (it != snapshots_.end()) snapshots_.erase(it);
+}
+
+std::size_t Store::size() const {
+  std::shared_lock lock(mutex_);
+  return snapshots_.size();
+}
+
+}  // namespace ganglia::gmetad

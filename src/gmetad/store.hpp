@@ -1,0 +1,136 @@
+// The gmetad in-memory store.
+//
+// "By organizing the parsed monitoring data in a series of hash tables, we
+// can support very low-latency queries.  Our approach approximates a DOM
+// design where each XML tag name keys into a hash table ... A node must
+// search at most three hash table levels to find the desired subtree: data
+// sources, summaries and cluster nodes, and node metrics." (paper §2.3.2)
+//
+// Concurrency follows the paper's freshness-for-latency trade: the poller
+// parses a source's new report *off to the side* into an immutable
+// SourceSnapshot and then publishes it with one atomic shared_ptr swap.
+// "Query results are based only on the latest fully-parsed data, making
+// long parsing times relatively insignificant.  If a query arrives during
+// parsing, the previous summary will be returned."  Readers never block on
+// the parser and vice versa.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmetad {
+
+/// Immutable parsed state of one data source.  Hash indexes are built once
+/// at construction; afterwards the snapshot is safe for lock-free reads.
+class SourceSnapshot {
+ public:
+  /// Build from a parsed report (`report` is consumed).  `is_grid` is
+  /// inferred: a report carrying GRID elements came from a child gmetad.
+  /// With eager_summary=false the reduction is computed on first use —
+  /// the 1-level design (monitor-core 2.5.1) performed no summarisation
+  /// during polling, and its poll path must not pay for one here.
+  SourceSnapshot(std::string name, Report report, std::int64_t fetched_at,
+                 bool eager_summary = true);
+
+  // The hash indexes hold string_views into report_ (short names sit in
+  // SSO buffers), so the object must never relocate its storage.
+  SourceSnapshot(const SourceSnapshot&) = delete;
+  SourceSnapshot& operator=(const SourceSnapshot&) = delete;
+  SourceSnapshot(SourceSnapshot&&) = delete;
+  SourceSnapshot& operator=(SourceSnapshot&&) = delete;
+
+  /// An unreachable placeholder carrying the previous snapshot's data (so
+  /// queries keep serving the last-known state, marked stale).
+  static std::shared_ptr<const SourceSnapshot> unreachable_from(
+      const std::shared_ptr<const SourceSnapshot>& previous, std::string name,
+      std::int64_t at);
+
+  const std::string& name() const noexcept { return name_; }
+  bool is_grid() const noexcept { return is_grid_; }
+  bool reachable() const noexcept { return reachable_; }
+  std::int64_t fetched_at() const noexcept { return fetched_at_; }
+
+  /// Full-detail clusters (gmond sources have exactly one; a 1-level child
+  /// gmetad forwards many inside grids).
+  const std::vector<Cluster>& clusters() const noexcept {
+    return report_.clusters;
+  }
+  /// Child grids as received (full detail from 1-level children, summary
+  /// form from N-level children).
+  const std::vector<Grid>& grids() const noexcept { return report_.grids; }
+
+  /// Additive summary over everything in this source (computed lazily when
+  /// the snapshot was built without an eager summary; thread-safe).
+  const SummaryInfo& summary() const;
+
+  /// Precomputed summary of one cluster in this snapshot, so the
+  /// cluster-summary query filter serves in O(m) instead of O(H) — the
+  /// paper computes all reductions on the summarisation time scale, never
+  /// at query time.  `cluster` must belong to this snapshot.
+  const SummaryInfo& cluster_summary(const Cluster& cluster) const;
+
+  /// Authority URL of the child gmetad (empty for gmond sources).
+  const std::string& authority() const noexcept { return authority_; }
+
+  // -- hash lookups (level 2 of the paper's three) -------------------------
+  /// Find a cluster anywhere in this source by name (O(1)).
+  const Cluster* find_cluster(std::string_view cluster_name) const;
+  /// Find a nested grid by name (O(1)).
+  const Grid* find_grid(std::string_view grid_name) const;
+
+  /// Total host count at full detail.
+  std::size_t host_count() const noexcept { return host_count_; }
+
+ private:
+  SourceSnapshot() = default;
+  void index_grid(const Grid& grid);
+  void compute_summary() const;
+
+  std::string name_;
+  Report report_;
+  mutable std::once_flag summary_once_;
+  mutable SummaryInfo summary_;
+  mutable std::unordered_map<const Cluster*, SummaryInfo> cluster_summaries_;
+  mutable std::mutex fallback_mutex_;
+  mutable std::map<const Cluster*, SummaryInfo> fallback_summaries_;
+  std::string authority_;
+  std::int64_t fetched_at_ = 0;
+  bool is_grid_ = false;
+  bool reachable_ = true;
+  std::size_t host_count_ = 0;
+  std::unordered_map<std::string_view, const Cluster*> cluster_index_;
+  std::unordered_map<std::string_view, const Grid*> grid_index_;
+};
+
+/// Level-1 hash table: data source name -> latest snapshot.
+class Store {
+ public:
+  /// Atomically publish a new snapshot for its source.
+  void publish(std::shared_ptr<const SourceSnapshot> snapshot);
+
+  /// Latest snapshot for a source (nullptr when unknown).  Lock held only
+  /// for the map lookup; the returned snapshot is immutable.
+  std::shared_ptr<const SourceSnapshot> get(std::string_view source) const;
+
+  /// All snapshots ordered by source name (stable report output).
+  std::vector<std::shared_ptr<const SourceSnapshot>> all() const;
+
+  /// Remove a source entirely (dynamic children that left the tree).
+  void remove(std::string_view source);
+
+  std::size_t size() const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  std::map<std::string, std::shared_ptr<const SourceSnapshot>, std::less<>>
+      snapshots_;
+};
+
+}  // namespace ganglia::gmetad

@@ -1,0 +1,131 @@
+#include "gmetad/testbed.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ganglia::gmetad {
+
+TestbedSpec fig2_spec(std::size_t hosts_per_cluster, Mode mode) {
+  TestbedSpec spec;
+  spec.hosts_per_cluster = hosts_per_cluster;
+  spec.mode = mode;
+  spec.nodes = {
+      {"root", {"ucsd", "sdsc"}, {"root-alpha", "root-beta"}},
+      {"ucsd", {"physics", "math"}, {"ucsd-alpha", "ucsd-beta"}},
+      {"sdsc", {"attic"}, {"meteor", "nashi"}},
+      {"physics", {}, {"physics-alpha", "physics-beta"}},
+      {"math", {}, {"math-alpha", "math-beta"}},
+      {"attic", {}, {"attic-alpha", "attic-beta"}},
+  };
+  return spec;
+}
+
+Testbed::Testbed(TestbedSpec spec) : spec_(std::move(spec)) {
+  // Clusters first: every leaf source is a pseudo-gmond service.
+  std::uint64_t cluster_index = 0;
+  for (const TestbedNodeSpec& node : spec_.nodes) {
+    for (const std::string& cluster_name : node.cluster_names) {
+      gmon::PseudoGmondConfig config;
+      config.cluster_name = cluster_name;
+      config.host_count = spec_.hosts_per_cluster;
+      config.seed = spec_.seed + (++cluster_index) * 7919;
+      auto emulator = std::make_unique<gmon::PseudoGmond>(config, clock_);
+      transport_.register_service(gmond_address(cluster_name),
+                                  emulator->service());
+      clusters_.emplace(cluster_name, std::move(emulator));
+    }
+  }
+
+  // Gmetads next.  A node's sources are its local clusters plus the dump
+  // ports of its children.
+  for (const TestbedNodeSpec& node : spec_.nodes) {
+    GmetadConfig config;
+    config.grid_name = node.name;
+    config.authority = "gmetad://" + node.name + ".gmeta:8651/";
+    config.mode = spec_.mode;
+    config.archive_enabled = spec_.archive_enabled;
+    config.archive_step_s = spec_.poll_interval_s;
+    for (const std::string& cluster_name : node.cluster_names) {
+      DataSourceConfig ds;
+      ds.name = cluster_name;
+      ds.addresses = {gmond_address(cluster_name)};
+      ds.poll_interval_s = spec_.poll_interval_s;
+      config.sources.push_back(std::move(ds));
+    }
+    for (const std::string& child : node.children) {
+      DataSourceConfig ds;
+      ds.name = child;
+      ds.addresses = {dump_address(child)};
+      ds.poll_interval_s = spec_.poll_interval_s;
+      config.sources.push_back(std::move(ds));
+    }
+    auto gmetad = std::make_unique<Gmetad>(std::move(config), transport_, clock_);
+    transport_.register_service(dump_address(node.name),
+                                gmetad->dump_service());
+    transport_.register_service(interactive_address(node.name),
+                                gmetad->interactive_service());
+    gmetads_.emplace(node.name, std::move(gmetad));
+  }
+
+  // Children-first polling order (post-order from the root).
+  std::vector<std::string> stack;
+  const auto visit = [&](const auto& self, const std::string& name) -> void {
+    for (const TestbedNodeSpec& node : spec_.nodes) {
+      if (node.name != name) continue;
+      for (const std::string& child : node.children) self(self, child);
+      poll_order_.push_back(name);
+      return;
+    }
+    throw std::invalid_argument("testbed child '" + name + "' is not a node");
+  };
+  if (!spec_.nodes.empty()) visit(visit, spec_.nodes.front().name);
+  window_start_us_ = clock_.now_us();
+}
+
+void Testbed::run_round() {
+  clock_.advance_seconds(static_cast<double>(spec_.poll_interval_s));
+  for (const std::string& name : poll_order_) {
+    gmetads_.at(name)->poll_once();
+  }
+  ++rounds_;
+}
+
+Gmetad& Testbed::node(const std::string& name) {
+  const auto it = gmetads_.find(name);
+  assert(it != gmetads_.end());
+  return *it->second;
+}
+
+gmon::PseudoGmond& Testbed::cluster(const std::string& name) {
+  const auto it = clusters_.find(name);
+  assert(it != clusters_.end());
+  return *it->second;
+}
+
+double Testbed::cpu_seconds(const std::string& name) {
+  return node(name).cpu_meter().total_seconds();
+}
+
+double Testbed::cpu_percent(const std::string& name) {
+  const TimeUs window = clock_.now_us() - window_start_us_;
+  if (window <= 0) return 0.0;
+  return 100.0 * cpu_seconds(name) / us_to_seconds(window);
+}
+
+void Testbed::resize_clusters(std::size_t hosts_per_cluster) {
+  spec_.hosts_per_cluster = hosts_per_cluster;
+  for (auto& [name, cluster] : clusters_) {
+    (void)name;
+    cluster->resize(hosts_per_cluster);
+  }
+}
+
+void Testbed::begin_window() {
+  for (auto& [name, gmetad] : gmetads_) {
+    (void)name;
+    gmetad->cpu_meter().reset();
+  }
+  window_start_us_ = clock_.now_us();
+}
+
+}  // namespace ganglia::gmetad

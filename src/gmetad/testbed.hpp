@@ -1,0 +1,104 @@
+// Experiment testbed: declaratively wire a monitoring tree.
+//
+// Builds the paper's experimental apparatus in one process: pseudo-gmond
+// cluster emulators and gmetad monitors connected over the deterministic
+// in-memory transport, driven in rounds of the 15-second summarisation
+// time scale.  Within a round children poll before parents so fresh data
+// propagates leafward-to-rootward exactly once, mirroring the steady state
+// of free-running daemons.
+//
+// fig2_spec() reproduces the tree of paper figure 2 — six gmetads
+// (root←{ucsd,sdsc}, ucsd←{physics,math}, sdsc←{attic}) with two monitored
+// clusters each, twelve clusters total; the sdsc node's clusters are named
+// meteor and nashi as in the paper's figure 3.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "gmetad/gmetad.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "net/inmem.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace ganglia::gmetad {
+
+struct TestbedNodeSpec {
+  std::string name;
+  std::vector<std::string> children;        ///< child gmetad names
+  std::vector<std::string> cluster_names;   ///< local clusters (leaf sources)
+};
+
+struct TestbedSpec {
+  std::vector<TestbedNodeSpec> nodes;  ///< first entry is the root
+  std::size_t hosts_per_cluster = 100;
+  Mode mode = Mode::n_level;
+  std::int64_t poll_interval_s = 15;
+  std::uint64_t seed = 2003;
+  bool archive_enabled = true;
+};
+
+/// The monitoring tree of paper figure 2.
+TestbedSpec fig2_spec(std::size_t hosts_per_cluster, Mode mode);
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedSpec spec);
+
+  /// Advance the clock one poll interval and poll every gmetad,
+  /// children before parents.
+  void run_round();
+
+  /// Convenience: run several rounds (a timing window).
+  void run_rounds(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) run_round();
+  }
+
+  Gmetad& node(const std::string& name);
+  gmon::PseudoGmond& cluster(const std::string& name);
+  net::InMemTransport& transport() noexcept { return transport_; }
+  sim::SimClock& clock() noexcept { return clock_; }
+  const TestbedSpec& spec() const noexcept { return spec_; }
+  std::size_t rounds_run() const noexcept { return rounds_; }
+
+  /// Node names in polling (children-first) order.
+  const std::vector<std::string>& poll_order() const noexcept {
+    return poll_order_;
+  }
+
+  /// CPU seconds this node's processing consumed so far.
+  double cpu_seconds(const std::string& name);
+
+  /// %CPU over the elapsed simulated window — the paper's y-axis: CPU time
+  /// consumed divided by simulated wall-clock time.
+  double cpu_percent(const std::string& name);
+
+  /// Resize every monitored cluster (figure 6's sweep variable).
+  void resize_clusters(std::size_t hosts_per_cluster);
+
+  /// Reset all CPU meters and the window start (begin a timing window).
+  void begin_window();
+
+  static std::string gmond_address(const std::string& cluster) {
+    return cluster + ".gmon:8649";
+  }
+  static std::string dump_address(const std::string& node) {
+    return node + ".gmeta:8651";
+  }
+  static std::string interactive_address(const std::string& node) {
+    return node + ".gmeta:8652";
+  }
+
+ private:
+  TestbedSpec spec_;
+  sim::SimClock clock_;
+  net::InMemTransport transport_;
+  std::map<std::string, std::unique_ptr<gmon::PseudoGmond>> clusters_;
+  std::map<std::string, std::unique_ptr<Gmetad>> gmetads_;
+  std::vector<std::string> poll_order_;
+  std::size_t rounds_ = 0;
+  TimeUs window_start_us_ = 0;
+};
+
+}  // namespace ganglia::gmetad

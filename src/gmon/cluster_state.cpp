@@ -1,0 +1,123 @@
+#include "gmon/cluster_state.hpp"
+
+#include "gmon/metrics.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia::gmon {
+
+namespace {
+
+Host& ensure_host(Cluster& cluster, const std::string& name,
+                  const std::string& ip, std::int64_t now) {
+  auto it = cluster.hosts.find(name);
+  if (it == cluster.hosts.end()) {
+    Host host;
+    host.name = name;
+    host.ip = ip;
+    host.reported = now;
+    host.tmax = 20;  // heartbeat interval bound
+    host.dmax = 0;
+    it = cluster.hosts.emplace(name, std::move(host)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+void ClusterState::apply(const WireMessage& msg, std::int64_t now) {
+  if (const auto* hb = std::get_if<HeartbeatMessage>(&msg)) {
+    apply_heartbeat(*hb, now);
+  } else if (const auto* metric = std::get_if<MetricMessage>(&msg)) {
+    apply_metric(*metric, now);
+  }
+}
+
+void ClusterState::apply_heartbeat(const HeartbeatMessage& msg,
+                                   std::int64_t now) {
+  std::lock_guard lock(mutex_);
+  Host& host = ensure_host(cluster_, msg.host_name, msg.host_ip, now);
+  host.reported = now;
+  host.gmond_started = msg.gmond_started;
+}
+
+void ClusterState::apply_metric(const MetricMessage& msg, std::int64_t now) {
+  std::lock_guard lock(mutex_);
+  Host& host = ensure_host(cluster_, msg.host_name, msg.host_ip, now);
+  // Metric traffic proves liveness just like heartbeats do.
+  host.reported = now;
+  if (Metric* existing = host.find_metric(msg.metric.name)) {
+    *existing = msg.metric;
+  } else {
+    host.metrics.push_back(msg.metric);
+  }
+  // Track when we heard this metric so snapshot() can compute TN.
+  last_metric_time_[host.name + "\x1f" + msg.metric.name] = now;
+}
+
+std::size_t ClusterState::expire(std::int64_t now) {
+  std::lock_guard lock(mutex_);
+  std::size_t removed = 0;
+  for (auto host_it = cluster_.hosts.begin();
+       host_it != cluster_.hosts.end();) {
+    Host& host = host_it->second;
+    const std::int64_t silent = now - host.reported;
+    // Metric-level DMAX expiry.
+    std::erase_if(host.metrics, [&](const Metric& m) {
+      if (m.dmax == 0) return false;
+      const auto key = host.name + "\x1f" + m.name;
+      const auto it = last_metric_time_.find(key);
+      const std::int64_t heard = it == last_metric_time_.end() ? host.reported
+                                                               : it->second;
+      if (now - heard > static_cast<std::int64_t>(m.dmax)) {
+        last_metric_time_.erase(key);
+        return true;
+      }
+      return false;
+    });
+    // Host-level DMAX expiry (departed node removed entirely).
+    if (host.dmax != 0 && silent > static_cast<std::int64_t>(host.dmax)) {
+      for (const Metric& m : host.metrics) {
+        last_metric_time_.erase(host.name + "\x1f" + m.name);
+      }
+      host_it = cluster_.hosts.erase(host_it);
+      ++removed;
+    } else {
+      ++host_it;
+    }
+  }
+  return removed;
+}
+
+Cluster ClusterState::snapshot(std::int64_t now) const {
+  std::lock_guard lock(mutex_);
+  Cluster out = cluster_;
+  out.localtime = now;
+  for (auto& [name, host] : out.hosts) {
+    (void)name;
+    host.tn = static_cast<std::uint32_t>(
+        std::max<std::int64_t>(0, now - host.reported));
+    for (Metric& m : host.metrics) {
+      const auto it = last_metric_time_.find(host.name + "\x1f" + m.name);
+      const std::int64_t heard =
+          it == last_metric_time_.end() ? host.reported : it->second;
+      m.tn = static_cast<std::uint32_t>(std::max<std::int64_t>(0, now - heard));
+    }
+  }
+  return out;
+}
+
+std::string ClusterState::report_xml(std::int64_t now,
+                                     std::string_view gmond_version) const {
+  Report report;
+  report.version = std::string(gmond_version);
+  report.source = "gmond";
+  report.clusters.push_back(snapshot(now));
+  return write_report(report);
+}
+
+std::size_t ClusterState::host_count() const {
+  std::lock_guard lock(mutex_);
+  return cluster_.hosts.size();
+}
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,54 @@
+// Redundant, soft-state cluster membership.
+//
+// "All Gmon agents have redundant global knowledge of the cluster, so that
+// any node can supply a complete report containing the state of itself and
+// all its neighbors" (paper §1).  This class is that knowledge: every agent
+// owns one, folds in heartbeat/metric datagrams from the multicast channel,
+// and expires hosts/metrics whose soft-state timers (tmax/dmax) lapse —
+// newly arrived and departed nodes are incorporated automatically, with no
+// a priori configuration.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+#include "gmon/wire.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmon {
+
+class ClusterState {
+ public:
+  /// `cluster` supplies the CLUSTER attributes of reports.
+  explicit ClusterState(Cluster cluster_attrs)
+      : cluster_(std::move(cluster_attrs)) {}
+
+  /// Fold in a decoded datagram at time `now` (seconds).
+  void apply(const WireMessage& msg, std::int64_t now);
+  void apply_heartbeat(const HeartbeatMessage& msg, std::int64_t now);
+  void apply_metric(const MetricMessage& msg, std::int64_t now);
+
+  /// Drop metrics whose DMAX lapsed and hosts silent past their DMAX.
+  /// (TMAX lapses mark a host down but keep it — the paper's monitors
+  /// report down hosts so archives keep "zero records" for forensics.)
+  /// Returns the number of hosts removed.
+  std::size_t expire(std::int64_t now);
+
+  /// Snapshot as a typed Cluster with TN values computed against `now`.
+  Cluster snapshot(std::int64_t now) const;
+
+  /// Full cluster report as Ganglia XML (what the gmond TCP port serves).
+  std::string report_xml(std::int64_t now, std::string_view gmond_version) const;
+
+  std::size_t host_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Cluster cluster_;  ///< hosts' reported/tn track last-heard times
+  /// "host\x1fmetric" -> time the metric was last heard (drives TN/DMAX).
+  std::unordered_map<std::string, std::int64_t> last_metric_time_;
+};
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,212 @@
+#include "gmon/gmond.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ganglia::gmon {
+
+namespace {
+Cluster cluster_attrs_from(const GmondConfig& config) {
+  Cluster c;
+  c.name = config.cluster_name;
+  c.owner = config.owner;
+  c.latlong = config.latlong;
+  c.url = config.url;
+  return c;
+}
+}  // namespace
+
+GmondAgent::GmondAgent(GmondConfig config, std::string host_name,
+                       std::string host_ip, sim::MulticastBus& bus,
+                       sim::EventQueue& events)
+    : config_(std::move(config)),
+      host_name_(std::move(host_name)),
+      host_ip_(std::move(host_ip)),
+      bus_(bus),
+      events_(events),
+      state_(cluster_attrs_from(config_)),
+      rng_(SplitMix64(config_.seed).next() ^
+           std::hash<std::string>{}(host_name_)) {
+  const auto catalogue = standard_metrics();
+  current_values_.resize(catalogue.size());
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    const MetricDef& def = catalogue[i];
+    current_values_[i] = rng_.next_range(def.sim_lo, def.sim_hi);
+  }
+}
+
+GmondAgent::~GmondAgent() { stop(); }
+
+void GmondAgent::start() {
+  if (running_) return;
+  running_ = true;
+  *alive_ = true;
+  started_at_ = events_.clock().now_seconds();
+  member_id_ = bus_.join(
+      [this](int, std::string_view payload) { on_datagram(payload); });
+  // First heartbeat fires immediately so neighbours learn of us at once;
+  // metrics stagger over their own intervals.
+  send_heartbeat();
+  schedule_heartbeat();
+  const auto catalogue = standard_metrics();
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    send_metric(i);
+    schedule_metric(i);
+  }
+}
+
+void GmondAgent::stop() {
+  if (!running_) return;
+  running_ = false;
+  *alive_ = false;
+  bus_.leave(member_id_);
+  member_id_ = -1;
+  // Scheduled closures see *alive_ == false and do nothing.
+  alive_ = std::make_shared<bool>(false);
+}
+
+void GmondAgent::set_metric_override(std::string_view name, double value) {
+  overrides_[std::string(name)] = value;
+  announce_metric(name);
+}
+
+void GmondAgent::clear_metric_override(std::string_view name) {
+  overrides_.erase(std::string(name));
+  announce_metric(name);
+}
+
+void GmondAgent::announce_metric(std::string_view name) {
+  // Real gmond multicasts immediately when a value changes beyond its
+  // threshold; a pinned/unpinned value is exactly such a change.
+  if (!running_) return;
+  const auto catalogue = standard_metrics();
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    if (catalogue[i].name == name) {
+      send_metric(i);
+      return;
+    }
+  }
+}
+
+void GmondAgent::publish_user_metric(const Metric& metric) {
+  if (!running_) return;
+  MetricMessage msg{host_name_, host_ip_, metric};
+  msg.metric.source = "gmetric";
+  bus_.publish(member_id_, encode(msg));
+}
+
+std::string GmondAgent::report_xml() {
+  return state_.report_xml(events_.clock().now_seconds(), config_.version);
+}
+
+net::ServiceFn GmondAgent::service() {
+  return [this](std::string_view) -> Result<std::string> {
+    if (!running_) return Err(Errc::refused, host_name_ + " gmond stopped");
+    return report_xml();
+  };
+}
+
+void GmondAgent::on_datagram(std::string_view payload) {
+  auto decoded = decode(payload);
+  if (!decoded.ok()) return;  // undecodable datagrams are dropped
+  state_.apply(*decoded, events_.clock().now_seconds());
+  if (config_.host_dmax != 0) {
+    state_.expire(events_.clock().now_seconds());
+  }
+}
+
+void GmondAgent::send_heartbeat() {
+  if (!running_) return;
+  HeartbeatMessage msg{host_name_, host_ip_, started_at_};
+  bus_.publish(member_id_, encode(msg));
+}
+
+void GmondAgent::schedule_heartbeat() {
+  // Jittered so a cluster's agents do not synchronise their sends.
+  const double interval =
+      static_cast<double>(config_.heartbeat_interval_s) *
+      rng_.next_range(0.8, 1.0);
+  auto alive = alive_;
+  events_.schedule_after(seconds_to_us(interval), [this, alive] {
+    if (!*alive) return;
+    send_heartbeat();
+    schedule_heartbeat();
+  });
+}
+
+double GmondAgent::draw_value(const MetricDef& def, double current) {
+  // Bounded random walk: step up to 15% of the range per send.
+  const double span = def.sim_hi - def.sim_lo;
+  const double next =
+      current + span * 0.15 * (rng_.next_double() * 2.0 - 1.0);
+  return std::clamp(next, def.sim_lo, def.sim_hi);
+}
+
+Metric GmondAgent::make_metric(const MetricDef& def, double value) const {
+  Metric m;
+  m.name = std::string(def.name);
+  m.units = std::string(def.units);
+  m.slope = def.slope;
+  m.tmax = def.tmax;
+  m.dmax = def.dmax;
+  m.source = "gmond";
+  switch (def.type) {
+    case MetricType::string_t:
+      m.set_string(std::string(def.string_value));
+      break;
+    case MetricType::float_t:
+    case MetricType::double_t: {
+      m.type = def.type;
+      m.numeric = value;
+      m.value = strprintf("%.2f", value);
+      break;
+    }
+    case MetricType::timestamp:
+    case MetricType::int8:
+    case MetricType::int16:
+    case MetricType::int32:
+      m.set_int(static_cast<std::int64_t>(value), def.type);
+      break;
+    case MetricType::uint8:
+    case MetricType::uint16:
+    case MetricType::uint32:
+      m.set_uint(static_cast<std::uint64_t>(value), def.type);
+      break;
+  }
+  return m;
+}
+
+void GmondAgent::send_metric(std::size_t metric_index) {
+  if (!running_) return;
+  const MetricDef& def = standard_metrics()[metric_index];
+  if (!def.constant) {
+    current_values_[metric_index] =
+        draw_value(def, current_values_[metric_index]);
+  }
+  double value = current_values_[metric_index];
+  if (auto it = overrides_.find(std::string(def.name)); it != overrides_.end()) {
+    value = it->second;
+  }
+  // heartbeat-the-metric carries uptime seconds in real gmond.
+  if (def.name == "heartbeat") {
+    value = static_cast<double>(events_.clock().now_seconds() - started_at_);
+  }
+  MetricMessage msg{host_name_, host_ip_, make_metric(def, value)};
+  bus_.publish(member_id_, encode(msg));
+}
+
+void GmondAgent::schedule_metric(std::size_t metric_index) {
+  const MetricDef& def = standard_metrics()[metric_index];
+  // Send somewhere inside the soft-state window so TMAX is never exceeded.
+  const double interval =
+      static_cast<double>(def.tmax) * rng_.next_range(0.5, 0.9);
+  auto alive = alive_;
+  events_.schedule_after(seconds_to_us(interval), [this, alive, metric_index] {
+    if (!*alive) return;
+    send_metric(metric_index);
+    schedule_metric(metric_index);
+  });
+}
+
+}  // namespace ganglia::gmon

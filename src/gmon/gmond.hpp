@@ -1,0 +1,106 @@
+// Gmond: the local-area monitor agent.
+//
+// One agent runs per cluster node.  Agents multicast heartbeats and metric
+// values on soft-state timers and listen to their neighbours rather than
+// polling them, so the network is redundant and leaderless: *any* node can
+// serve the complete cluster report over TCP, which is what lets the
+// wide-area gmetad fail over between nodes (paper fig 1).
+//
+// Agents run on the discrete-event simulator (sim::EventQueue +
+// sim::MulticastBus): start() schedules the first timers and every timer
+// reschedules itself, exactly like the daemon's main loop.  Metric values
+// are drawn from the catalogue's simulation ranges with a bounded random
+// walk; tests can pin values with set_metric_override, and one-shot
+// user-defined key-value pairs publish like the real `gmetric` tool.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "gmon/cluster_state.hpp"
+#include "gmon/metrics.hpp"
+#include "net/transport.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/multicast.hpp"
+
+namespace ganglia::gmon {
+
+struct GmondConfig {
+  std::string cluster_name = "unspecified";
+  std::string owner;
+  std::string latlong;
+  std::string url;
+  std::uint32_t heartbeat_interval_s = 20;
+  /// Seconds after which silent hosts are forgotten entirely (0 = never;
+  /// they are then reported as down, preserving forensic history).
+  std::uint32_t host_dmax = 0;
+  std::string version = "2.5.4";
+  std::uint64_t seed = 1;
+};
+
+class GmondAgent {
+ public:
+  GmondAgent(GmondConfig config, std::string host_name, std::string host_ip,
+             sim::MulticastBus& bus, sim::EventQueue& events);
+  ~GmondAgent();
+
+  GmondAgent(const GmondAgent&) = delete;
+  GmondAgent& operator=(const GmondAgent&) = delete;
+
+  /// Join the multicast group and schedule heartbeat + metric timers.
+  void start();
+
+  /// Leave the group and stop all timers (simulates killing the daemon).
+  void stop();
+
+  bool running() const noexcept { return running_; }
+  const std::string& host_name() const noexcept { return host_name_; }
+
+  /// Pin a metric to a fixed value (tests / injecting load patterns).
+  void set_metric_override(std::string_view name, double value);
+  void clear_metric_override(std::string_view name);
+
+  /// One-shot user-defined metric, like the real `gmetric` tool: multicast
+  /// immediately with the caller's TMAX/DMAX soft-state bounds.
+  void publish_user_metric(const Metric& metric);
+
+  /// This agent's redundant view of the whole cluster.
+  ClusterState& state() noexcept { return state_; }
+  const ClusterState& state() const noexcept { return state_; }
+
+  /// Full cluster report (the gmond TCP port payload).
+  std::string report_xml();
+
+  /// Service wrapper for in-memory transports: any write is ignored, the
+  /// response is the full cluster report.
+  net::ServiceFn service();
+
+ private:
+  void on_datagram(std::string_view payload);
+  void announce_metric(std::string_view name);
+  void send_heartbeat();
+  void send_metric(std::size_t metric_index);
+  void schedule_heartbeat();
+  void schedule_metric(std::size_t metric_index);
+  double draw_value(const MetricDef& def, double current);
+  Metric make_metric(const MetricDef& def, double value) const;
+
+  GmondConfig config_;
+  std::string host_name_;
+  std::string host_ip_;
+  sim::MulticastBus& bus_;
+  sim::EventQueue& events_;
+  ClusterState state_;
+  Rng rng_;
+  int member_id_ = -1;
+  bool running_ = false;
+  std::int64_t started_at_ = 0;
+  /// Lifetime guard: scheduled closures hold this; stale ones no-op.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(false);
+
+  std::vector<double> current_values_;  ///< per catalogue metric
+  std::unordered_map<std::string, double> overrides_;
+};
+
+}  // namespace ganglia::gmon

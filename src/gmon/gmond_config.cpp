@@ -1,0 +1,161 @@
+#include "gmon/gmond_config.hpp"
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace ganglia::gmon {
+
+namespace {
+
+Error bad_line(std::size_t line_no, const std::string& what) {
+  return Err(Errc::parse_error, what + " on line " + std::to_string(line_no));
+}
+
+/// Same token rules as gmetad.conf: whitespace-separated, double quotes
+/// keep phrases whole, '#' comments.
+Result<std::vector<std::string>> tokenize(std::string_view line,
+                                          std::size_t line_no) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t') {
+      ++i;
+    } else if (c == '#') {
+      break;
+    } else if (c == '"') {
+      const std::size_t end = line.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        return bad_line(line_no, "unterminated quote");
+      }
+      tokens.emplace_back(line.substr(i + 1, end - i - 1));
+      i = end + 1;
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && line[end] != ' ' && line[end] != '\t' &&
+             line[end] != '#') {
+        ++end;
+      }
+      tokens.emplace_back(line.substr(i, end - i));
+      i = end;
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Result<GmondDaemonConfig> parse_gmond_config(std::string_view text) {
+  GmondDaemonConfig config;
+  {
+    char hostname[256] = {};
+    if (gethostname(hostname, sizeof hostname - 1) == 0 && hostname[0] != 0) {
+      config.host_name = hostname;
+    }
+  }
+
+  std::size_t line_no = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++line_no;
+    auto tokens_r = tokenize(line, line_no);
+    if (!tokens_r.ok()) return tokens_r.error();
+    const auto& tokens = *tokens_r;
+    if (tokens.empty()) continue;
+    const std::string& key = tokens[0];
+    const auto need_value = [&]() -> Result<std::string> {
+      if (tokens.size() != 2) {
+        return bad_line(line_no, key + " needs exactly one value");
+      }
+      return tokens[1];
+    };
+
+    if (key == "cluster_name") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      config.base.cluster_name = *v;
+    } else if (key == "owner") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      config.base.owner = *v;
+    } else if (key == "latlong") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      config.base.latlong = *v;
+    } else if (key == "url") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      config.base.url = *v;
+    } else if (key == "host_name") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      config.host_name = *v;
+    } else if (key == "host_ip") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      config.host_ip = *v;
+    } else if (key == "udp_bind") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      if (v->find(':') == std::string::npos) {
+        return bad_line(line_no, "udp_bind must be ip:port");
+      }
+      config.channel.bind = *v;
+    } else if (key == "udp_peer") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      if (v->find(':') == std::string::npos) {
+        return bad_line(line_no, "udp_peer must be ip:port");
+      }
+      config.channel.peers.push_back(*v);
+    } else if (key == "tcp_bind") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      if (v->find(':') == std::string::npos) {
+        return bad_line(line_no, "tcp_bind must be host:port");
+      }
+      config.tcp_bind = *v;
+    } else if (key == "heartbeat_interval") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      auto n = parse_u64(*v);
+      if (!n || *n == 0) return bad_line(line_no, "bad heartbeat_interval");
+      config.base.heartbeat_interval_s = static_cast<std::uint32_t>(*n);
+    } else if (key == "host_dmax") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      auto n = parse_u64(*v);
+      if (!n) return bad_line(line_no, "bad host_dmax");
+      config.base.host_dmax = static_cast<std::uint32_t>(*n);
+    } else if (key == "use_proc") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      if (*v != "on" && *v != "off") {
+        return bad_line(line_no, "use_proc must be on or off");
+      }
+      config.use_proc = *v == "on";
+    } else if (key == "timer_scale") {
+      auto v = need_value();
+      if (!v.ok()) return v.error();
+      auto scale = parse_double(*v);
+      if (!scale || *scale <= 0) return bad_line(line_no, "bad timer_scale");
+      config.timer_scale = *scale;
+    } else {
+      return bad_line(line_no, "unknown directive '" + key + "'");
+    }
+  }
+  return config;
+}
+
+Result<GmondDaemonConfig> load_gmond_config_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Err(Errc::io_error, "cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_gmond_config(text.str());
+}
+
+}  // namespace ganglia::gmon

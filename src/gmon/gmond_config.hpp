@@ -1,0 +1,35 @@
+// gmond.conf parsing for the threaded GmondDaemon.
+//
+// Mirrors real gmond's configuration surface for the parts this
+// reproduction implements: cluster identity, the UDP channel (bind +
+// unicast send peers), the TCP report port, soft-state timing, and the
+// value source (/proc or synthetic).
+#pragma once
+
+#include "common/result.hpp"
+#include "gmon/gmond_daemon.hpp"
+
+namespace ganglia::gmon {
+
+/// Parse gmond.conf syntax:
+///
+///   # comment
+///   cluster_name "meteor"
+///   owner "SDSC"
+///   latlong "N32.87 W117.22"
+///   url "http://meteor.example/"
+///   host_name "compute-0-0"            # defaults to the machine hostname
+///   host_ip 10.0.0.7                   # defaults to 127.0.0.1
+///   udp_bind 0.0.0.0:8649              # defaults to 127.0.0.1:0
+///   udp_peer 10.0.0.1:8649             # repeatable: the unicast mesh
+///   tcp_bind 0.0.0.0:8650              # XML report port
+///   heartbeat_interval 20
+///   host_dmax 0                        # forget silent hosts after N s
+///   use_proc on                        # sample /proc (off = synthetic)
+///   timer_scale 1.0                    # compress soft-state timers (tests)
+Result<GmondDaemonConfig> parse_gmond_config(std::string_view text);
+
+/// Load + parse a config file.
+Result<GmondDaemonConfig> load_gmond_config_file(const std::string& path);
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,162 @@
+#include "gmon/gmond_daemon.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace ganglia::gmon {
+
+namespace {
+Cluster cluster_attrs_from(const GmondConfig& config) {
+  Cluster c;
+  c.name = config.cluster_name;
+  c.owner = config.owner;
+  c.latlong = config.latlong;
+  c.url = config.url;
+  return c;
+}
+}  // namespace
+
+GmondDaemon::GmondDaemon(GmondDaemonConfig config)
+    : config_(std::move(config)),
+      state_(cluster_attrs_from(config_.base)),
+      rng_(SplitMix64(config_.seed).next() ^
+           std::hash<std::string>{}(config_.host_name)) {
+  const auto catalogue = standard_metrics();
+  synthetic_values_.reserve(catalogue.size());
+  for (const MetricDef& def : catalogue) {
+    synthetic_values_.push_back(rng_.next_range(def.sim_lo, def.sim_hi));
+  }
+  next_send_s_.assign(catalogue.size(), 0.0);
+}
+
+GmondDaemon::~GmondDaemon() { stop(); }
+
+Status GmondDaemon::start(net::Transport& tcp_transport, Clock& clock) {
+  if (running_.exchange(true)) return {};
+
+  auto channel = UdpMeshChannel::open(config_.channel);
+  if (!channel.ok()) {
+    running_ = false;
+    return channel.error();
+  }
+  channel_ = std::move(*channel);
+
+  if (config_.use_proc) {
+    sampler_ = std::make_unique<ProcSampler>(clock);
+    (void)sampler_->sample();  // prime rate counters
+  }
+
+  // Inbound datagrams fold into the shared, mutex-protected cluster state.
+  Status receiver = channel_->start_receiver([this, &clock](std::string_view d) {
+    auto decoded = decode(d);
+    if (decoded.ok()) state_.apply(*decoded, clock.now_seconds());
+  });
+  if (!receiver.ok()) {
+    running_ = false;
+    return receiver;
+  }
+
+  // The TCP report port: any node serves the whole cluster.
+  Status tcp = tcp_server_.start(
+      tcp_transport, config_.tcp_bind,
+      [this, &clock](std::string_view) -> Result<std::string> {
+        return state_.report_xml(clock.now_seconds(), config_.base.version);
+      });
+  if (!tcp.ok()) {
+    running_ = false;
+    channel_->close();
+    return tcp;
+  }
+
+  sender_ = std::thread([this, &clock] { sender_loop(&clock); });
+  GLOG(info, "gmond") << config_.host_name << ": udp " << udp_address()
+                      << ", tcp " << tcp_address();
+  return {};
+}
+
+void GmondDaemon::stop() {
+  if (!running_.exchange(false)) return;
+  if (sender_.joinable()) sender_.join();
+  tcp_server_.stop();
+  if (channel_) channel_->close();
+}
+
+void GmondDaemon::send_all_metrics(std::int64_t now) {
+  const auto catalogue = standard_metrics();
+  std::vector<Metric> proc_metrics;
+  if (sampler_ != nullptr) proc_metrics = sampler_->sample();
+
+  const double now_d = static_cast<double>(now);
+  for (std::size_t i = 0; i < catalogue.size(); ++i) {
+    if (now_d < next_send_s_[i]) continue;
+    const MetricDef& def = catalogue[i];
+
+    Metric metric;
+    bool have = false;
+    if (sampler_ != nullptr) {
+      for (Metric& m : proc_metrics) {
+        if (m.name == def.name) {
+          metric = std::move(m);
+          have = true;
+          break;
+        }
+      }
+    }
+    if (!have) {
+      // Synthetic random walk inside the catalogue range.
+      if (!def.constant) {
+        const double span = def.sim_hi - def.sim_lo;
+        synthetic_values_[i] =
+            std::clamp(synthetic_values_[i] +
+                           span * 0.15 * (rng_.next_double() * 2.0 - 1.0),
+                       def.sim_lo, def.sim_hi);
+      }
+      metric.name = std::string(def.name);
+      metric.units = std::string(def.units);
+      metric.slope = def.slope;
+      metric.tmax = def.tmax;
+      metric.dmax = def.dmax;
+      if (def.type == MetricType::string_t) {
+        metric.set_string(std::string(def.string_value));
+      } else if (def.type == MetricType::float_t ||
+                 def.type == MetricType::double_t) {
+        metric.type = def.type;
+        metric.numeric = synthetic_values_[i];
+        metric.value = strprintf("%.2f", synthetic_values_[i]);
+      } else {
+        metric.set_uint(static_cast<std::uint64_t>(synthetic_values_[i]),
+                        def.type);
+      }
+    }
+    (void)channel_->publish(
+        encode(MetricMessage{config_.host_name, config_.host_ip, metric}));
+    next_send_s_[i] = now_d + static_cast<double>(def.tmax) *
+                                  rng_.next_range(0.5, 0.9) *
+                                  config_.timer_scale;
+  }
+}
+
+void GmondDaemon::sender_loop(Clock* clock) {
+  const std::int64_t started = clock->now_seconds();
+  while (running_.load()) {
+    const std::int64_t now = clock->now_seconds();
+    const double now_d = static_cast<double>(now);
+
+    if (now_d >= next_heartbeat_s_) {
+      (void)channel_->publish(encode(
+          HeartbeatMessage{config_.host_name, config_.host_ip, started}));
+      next_heartbeat_s_ =
+          now_d + static_cast<double>(config_.base.heartbeat_interval_s) *
+                      rng_.next_range(0.8, 1.0) * config_.timer_scale;
+    }
+    send_all_metrics(now);
+    if (config_.base.host_dmax != 0) state_.expire(now);
+
+    // Tick at ~50 ms so scaled timers stay responsive; stop() is prompt.
+    clock->sleep_us(50'000);
+  }
+}
+
+}  // namespace ganglia::gmon

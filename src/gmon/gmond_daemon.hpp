@@ -1,0 +1,80 @@
+// GmondDaemon: a real, threaded gmond.
+//
+// Where GmondAgent lives on the discrete-event simulator, this daemon runs
+// on wall-clock threads and real sockets: metrics go out over a UDP mesh
+// channel on their soft-state timers, inbound datagrams fold into the
+// shared ClusterState, and a TCP port serves the full cluster report —
+// a faithful small gmond.  Values come either from the /proc sampler
+// (monitor the real host) or from the catalogue's synthetic random walk.
+//
+// `timer_scale` compresses every soft-state interval (heartbeat, TMAX) by
+// the given factor so integration tests can watch minutes of protocol in
+// hundreds of milliseconds; 1.0 is the production cadence.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/service_server.hpp"
+#include "gmon/cluster_state.hpp"
+#include "gmon/gmond.hpp"
+#include "gmon/metrics.hpp"
+#include "gmon/proc_sampler.hpp"
+#include "gmon/udp_channel.hpp"
+
+namespace ganglia::gmon {
+
+struct GmondDaemonConfig {
+  GmondConfig base;                   ///< cluster attrs + heartbeat interval
+  std::string host_name = "localhost";
+  std::string host_ip = "127.0.0.1";
+  UdpMeshChannel::Config channel;     ///< UDP mesh (peers may be added later)
+  std::string tcp_bind = "127.0.0.1:0";  ///< XML report port
+  bool use_proc = false;              ///< sample /proc instead of synthetic
+  double timer_scale = 1.0;           ///< multiply all soft-state intervals
+  std::uint64_t seed = 1;
+};
+
+class GmondDaemon {
+ public:
+  explicit GmondDaemon(GmondDaemonConfig config);
+  ~GmondDaemon();
+
+  GmondDaemon(const GmondDaemon&) = delete;
+  GmondDaemon& operator=(const GmondDaemon&) = delete;
+
+  /// Open the UDP channel, start the receiver + sender threads, and bind
+  /// the TCP report port on `tcp_transport`.
+  Status start(net::Transport& tcp_transport, Clock& clock);
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  const std::string& udp_address() const { return channel_->address(); }
+  std::string tcp_address() const { return tcp_server_.address(); }
+  void add_peer(const std::string& udp_address) {
+    channel_->add_peer(udp_address);
+  }
+
+  ClusterState& state() noexcept { return state_; }
+  UdpMeshChannel::Stats channel_stats() const { return channel_->stats(); }
+
+ private:
+  void sender_loop(Clock* clock);
+  void send_all_metrics(std::int64_t now);
+
+  GmondDaemonConfig config_;
+  ClusterState state_;
+  Rng rng_;
+  std::unique_ptr<UdpMeshChannel> channel_;
+  net::ServiceServer tcp_server_;
+  std::unique_ptr<ProcSampler> sampler_;
+  std::vector<double> synthetic_values_;
+  std::vector<double> next_send_s_;  ///< per-metric deadline (scaled)
+  double next_heartbeat_s_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread sender_;
+};
+
+}  // namespace ganglia::gmon

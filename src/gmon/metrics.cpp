@@ -1,0 +1,70 @@
+#include "gmon/metrics.hpp"
+
+#include <array>
+
+namespace ganglia::gmon {
+
+namespace {
+
+using MT = MetricType;
+using SL = Slope;
+
+// Catalogue mirrors gmond 2.5's metric.h defaults: identity constants have
+// long tmax (they rarely change); volatile metrics refresh on short timers.
+constexpr std::array<MetricDef, 33> kStandardMetrics = {{
+    // name            type          units        slope       tmax  dmax  const  lo       hi       string
+    {"cpu_num",        MT::uint16,   "CPUs",      SL::zero,   1200, 0,    true,  1,       4,       {}},
+    {"cpu_speed",      MT::uint32,   "MHz",       SL::zero,   1200, 0,    true,  1000,    2800,    {}},
+    {"mem_total",      MT::uint32,   "KB",        SL::zero,   1200, 0,    true,  524288,  2097152, {}},
+    {"swap_total",     MT::uint32,   "KB",        SL::zero,   1200, 0,    true,  524288,  2097152, {}},
+    {"boottime",       MT::uint32,   "s",         SL::zero,   1200, 0,    true,  1.05e9,  1.06e9,  {}},
+    {"sys_clock",      MT::timestamp,"s",         SL::zero,   1200, 0,    false, 1.06e9,  1.07e9,  {}},
+    {"machine_type",   MT::string_t, "",          SL::zero,   1200, 0,    true,  0,       0,       "x86"},
+    {"os_name",        MT::string_t, "",          SL::zero,   1200, 0,    true,  0,       0,       "Linux"},
+    {"os_release",     MT::string_t, "",          SL::zero,   1200, 0,    true,  0,       0,       "2.4.18-27.7.xsmp"},
+    {"gexec",          MT::string_t, "",          SL::zero,   300,  0,    true,  0,       0,       "OFF"},
+    {"heartbeat",      MT::uint32,   "",          SL::unspecified, 20, 80, false, 0,      4.0e9,   {}},
+    {"load_one",       MT::float_t,  "",          SL::both,   70,   0,    false, 0.0,     8.0,     {}},
+    {"load_five",      MT::float_t,  "",          SL::both,   325,  0,    false, 0.0,     6.0,     {}},
+    {"load_fifteen",   MT::float_t,  "",          SL::both,   950,  0,    false, 0.0,     4.0,     {}},
+    {"proc_run",       MT::uint32,   "",          SL::both,   950,  0,    false, 0,       16,      {}},
+    {"proc_total",     MT::uint32,   "",          SL::both,   950,  0,    false, 40,      400,     {}},
+    {"cpu_user",       MT::float_t,  "%",         SL::both,   90,   0,    false, 0.0,     100.0,   {}},
+    {"cpu_nice",       MT::float_t,  "%",         SL::both,   90,   0,    false, 0.0,     10.0,    {}},
+    {"cpu_system",     MT::float_t,  "%",         SL::both,   90,   0,    false, 0.0,     30.0,    {}},
+    {"cpu_idle",       MT::float_t,  "%",         SL::both,   90,   0,    false, 0.0,     100.0,   {}},
+    {"cpu_wio",        MT::float_t,  "%",         SL::both,   90,   0,    false, 0.0,     20.0,    {}},
+    {"cpu_aidle",      MT::float_t,  "%",         SL::both,   90,   0,    false, 0.0,     100.0,   {}},
+    {"mem_free",       MT::uint32,   "KB",        SL::both,   180,  0,    false, 16384,   1048576, {}},
+    {"mem_shared",     MT::uint32,   "KB",        SL::both,   180,  0,    false, 0,       65536,   {}},
+    {"mem_buffers",    MT::uint32,   "KB",        SL::both,   180,  0,    false, 4096,    262144,  {}},
+    {"mem_cached",     MT::uint32,   "KB",        SL::both,   180,  0,    false, 16384,   524288,  {}},
+    {"swap_free",      MT::uint32,   "KB",        SL::both,   180,  0,    false, 262144,  2097152, {}},
+    {"bytes_in",       MT::float_t,  "bytes/sec", SL::both,   300,  0,    false, 0.0,     1.0e7,   {}},
+    {"bytes_out",      MT::float_t,  "bytes/sec", SL::both,   300,  0,    false, 0.0,     1.0e7,   {}},
+    {"pkts_in",        MT::float_t,  "packets/sec", SL::both, 300,  0,    false, 0.0,     9000.0,  {}},
+    {"pkts_out",       MT::float_t,  "packets/sec", SL::both, 300,  0,    false, 0.0,     9000.0,  {}},
+    {"disk_total",     MT::double_t, "GB",        SL::both,   1200, 0,    true,  18.0,    240.0,   {}},
+    {"part_max_used",  MT::float_t,  "%",         SL::both,   950,  0,    false, 5.0,     95.0,    {}},
+}};
+
+}  // namespace
+
+std::span<const MetricDef> standard_metrics() { return kStandardMetrics; }
+
+const MetricDef* find_metric_def(std::string_view name) {
+  for (const MetricDef& def : kStandardMetrics) {
+    if (def.name == name) return &def;
+  }
+  return nullptr;
+}
+
+std::size_t numeric_metric_count() {
+  std::size_t n = 0;
+  for (const MetricDef& def : kStandardMetrics) {
+    if (metric_type_is_numeric(def.type)) ++n;
+  }
+  return n;
+}
+
+}  // namespace ganglia::gmon

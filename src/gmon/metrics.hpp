@@ -1,0 +1,48 @@
+// The standard gmond metric catalogue.
+//
+// "Each node in the cluster has about 30 monitoring metrics, which can also
+// be user-defined" (paper fig 3).  This table reproduces ganglia 2.5's
+// built-in metric set: identity/capacity constants (cpu_num, mem_total,
+// boottime, os_name ...) broadcast rarely, and volatile metrics (load_one,
+// cpu_user, bytes_in ...) broadcast on short soft-state timers.  Each entry
+// also carries a plausible simulation range so pseudo-gmond can draw
+// random-but-realistic values.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmon {
+
+struct MetricDef {
+  std::string_view name;
+  MetricType type = MetricType::float_t;
+  std::string_view units;
+  Slope slope = Slope::both;
+  /// Max seconds between multicasts of this metric (soft-state refresh).
+  std::uint32_t tmax = 60;
+  /// Seconds after which a silent metric is deleted from peers (0 = never).
+  std::uint32_t dmax = 0;
+  /// True for per-host constants (cpu_num, os_name, boottime ...): chosen
+  /// once per host rather than redrawn every report.
+  bool constant = false;
+  /// Simulation value range for numeric metrics.
+  double sim_lo = 0.0;
+  double sim_hi = 1.0;
+  /// Fixed value for string metrics.
+  std::string_view string_value = {};
+};
+
+/// The full built-in catalogue (33 metrics).
+std::span<const MetricDef> standard_metrics();
+
+/// Lookup by name; nullptr when unknown (user-defined metrics).
+const MetricDef* find_metric_def(std::string_view name);
+
+/// Number of numeric metrics in the catalogue (what summaries carry).
+std::size_t numeric_metric_count();
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,191 @@
+#include "gmon/proc_sampler.hpp"
+
+#include <sys/utsname.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.hpp"
+#include "gmon/metrics.hpp"
+
+namespace ganglia::gmon {
+
+ProcSampler::ProcSampler(Clock& clock, std::string root)
+    : clock_(clock), root_(std::move(root)) {}
+
+bool ProcSampler::available() const {
+  return read_file("loadavg").has_value();
+}
+
+std::optional<std::string> ProcSampler::read_file(const std::string& name) const {
+  std::ifstream in(root_ + "/" + name);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::optional<ProcSampler::CpuTimes> ProcSampler::read_cpu() const {
+  const auto stat = read_file("stat");
+  if (!stat) return std::nullopt;
+  // First line: "cpu  user nice system idle iowait irq softirq ..."
+  const auto line_end = stat->find('\n');
+  const auto fields = split_ws(std::string_view(*stat).substr(0, line_end));
+  if (fields.size() < 5 || fields[0] != "cpu") return std::nullopt;
+  CpuTimes t;
+  t.user = parse_u64(fields[1]).value_or(0);
+  t.nice = parse_u64(fields[2]).value_or(0);
+  t.system = parse_u64(fields[3]).value_or(0);
+  t.idle = parse_u64(fields[4]).value_or(0);
+  if (fields.size() > 5) t.iowait = parse_u64(fields[5]).value_or(0);
+  return t;
+}
+
+std::optional<ProcSampler::NetTotals> ProcSampler::read_net() const {
+  const auto dev = read_file("net/dev");
+  if (!dev) return std::nullopt;
+  NetTotals totals;
+  for (std::string_view line : split(*dev, '\n', /*skip_empty=*/true)) {
+    const auto colon = line.find(':');
+    if (colon == std::string_view::npos) continue;  // header lines
+    const std::string_view iface = trim(line.substr(0, colon));
+    if (iface == "lo") continue;  // loopback is not network load
+    const auto fields = split_ws(line.substr(colon + 1));
+    if (fields.size() < 10) continue;
+    totals.bytes_in += parse_u64(fields[0]).value_or(0);
+    totals.pkts_in += parse_u64(fields[1]).value_or(0);
+    totals.bytes_out += parse_u64(fields[8]).value_or(0);
+    totals.pkts_out += parse_u64(fields[9]).value_or(0);
+  }
+  return totals;
+}
+
+std::vector<Metric> ProcSampler::sample() {
+  std::vector<Metric> metrics;
+  const auto add_gauge = [&](std::string_view name, double value) {
+    const MetricDef* def = find_metric_def(name);
+    Metric m;
+    m.name = std::string(name);
+    if (def != nullptr) {
+      m.units = std::string(def->units);
+      m.slope = def->slope;
+      m.tmax = def->tmax;
+      m.dmax = def->dmax;
+      m.type = def->type;
+    }
+    if (m.type == MetricType::float_t || m.type == MetricType::double_t) {
+      m.numeric = value;
+      m.value = strprintf("%.2f", value);
+    } else {
+      m.set_uint(static_cast<std::uint64_t>(value),
+                 def != nullptr ? def->type : MetricType::uint32);
+    }
+    metrics.push_back(std::move(m));
+  };
+  const auto add_string = [&](std::string_view name, std::string value) {
+    Metric m;
+    m.name = std::string(name);
+    if (const MetricDef* def = find_metric_def(name)) {
+      m.tmax = def->tmax;
+      m.slope = def->slope;
+    }
+    m.set_string(std::move(value));
+    metrics.push_back(std::move(m));
+  };
+
+  // loadavg: "0.42 0.36 0.30 1/123 4567"
+  if (const auto loadavg = read_file("loadavg")) {
+    const auto fields = split_ws(*loadavg);
+    if (fields.size() >= 4) {
+      add_gauge("load_one", parse_double(fields[0]).value_or(0));
+      add_gauge("load_five", parse_double(fields[1]).value_or(0));
+      add_gauge("load_fifteen", parse_double(fields[2]).value_or(0));
+      const auto procs = split(fields[3], '/');
+      if (procs.size() == 2) {
+        add_gauge("proc_run", static_cast<double>(parse_u64(procs[0]).value_or(0)));
+        add_gauge("proc_total", static_cast<double>(parse_u64(procs[1]).value_or(0)));
+      }
+    }
+  }
+
+  // meminfo: "MemTotal:  16384 kB" style lines.
+  if (const auto meminfo = read_file("meminfo")) {
+    const auto value_of = [&](std::string_view key) -> std::optional<double> {
+      for (std::string_view line : split(*meminfo, '\n', true)) {
+        if (!starts_with(line, key)) continue;
+        const auto fields = split_ws(line.substr(key.size()));
+        if (!fields.empty()) {
+          if (auto v = parse_u64(fields[0])) return static_cast<double>(*v);
+        }
+      }
+      return std::nullopt;
+    };
+    if (auto v = value_of("MemTotal:")) add_gauge("mem_total", *v);
+    if (auto v = value_of("MemFree:")) add_gauge("mem_free", *v);
+    if (auto v = value_of("Shmem:")) add_gauge("mem_shared", *v);
+    if (auto v = value_of("Buffers:")) add_gauge("mem_buffers", *v);
+    if (auto v = value_of("Cached:")) add_gauge("mem_cached", *v);
+    if (auto v = value_of("SwapTotal:")) add_gauge("swap_total", *v);
+    if (auto v = value_of("SwapFree:")) add_gauge("swap_free", *v);
+  }
+
+  const TimeUs now_us = clock_.now_us();
+  const double elapsed =
+      prev_sample_us_ > 0 ? us_to_seconds(now_us - prev_sample_us_) : 0.0;
+
+  // CPU percentages from jiffy deltas.
+  if (const auto cpu = read_cpu()) {
+    if (prev_cpu_ && cpu->total() > prev_cpu_->total()) {
+      const double total =
+          static_cast<double>(cpu->total() - prev_cpu_->total());
+      const auto pct = [&](std::uint64_t cur, std::uint64_t prev) {
+        return 100.0 * static_cast<double>(cur - prev) / total;
+      };
+      add_gauge("cpu_user", pct(cpu->user, prev_cpu_->user));
+      add_gauge("cpu_nice", pct(cpu->nice, prev_cpu_->nice));
+      add_gauge("cpu_system", pct(cpu->system, prev_cpu_->system));
+      add_gauge("cpu_idle", pct(cpu->idle, prev_cpu_->idle));
+      add_gauge("cpu_wio", pct(cpu->iowait, prev_cpu_->iowait));
+    }
+    prev_cpu_ = cpu;
+  }
+
+  // Network rates from byte/packet counter deltas.
+  if (const auto netdev = read_net()) {
+    if (prev_net_ && elapsed > 0) {
+      const auto rate = [&](std::uint64_t cur, std::uint64_t prev) {
+        return cur >= prev ? static_cast<double>(cur - prev) / elapsed : 0.0;
+      };
+      add_gauge("bytes_in", rate(netdev->bytes_in, prev_net_->bytes_in));
+      add_gauge("bytes_out", rate(netdev->bytes_out, prev_net_->bytes_out));
+      add_gauge("pkts_in", rate(netdev->pkts_in, prev_net_->pkts_in));
+      add_gauge("pkts_out", rate(netdev->pkts_out, prev_net_->pkts_out));
+    }
+    prev_net_ = netdev;
+  }
+  prev_sample_us_ = now_us;
+
+  // Boot time from uptime; cpu_num/identity from sysconf/uname.
+  if (const auto uptime = read_file("uptime")) {
+    const auto fields = split_ws(*uptime);
+    if (!fields.empty()) {
+      const double up = parse_double(fields[0]).value_or(0);
+      add_gauge("boottime",
+                static_cast<double>(clock_.now_seconds()) - up);
+    }
+  }
+  const long cpus = sysconf(_SC_NPROCESSORS_ONLN);
+  if (cpus > 0) add_gauge("cpu_num", static_cast<double>(cpus));
+
+  utsname uts{};
+  if (uname(&uts) == 0) {
+    add_string("os_name", uts.sysname);
+    add_string("os_release", uts.release);
+    add_string("machine_type", uts.machine);
+  }
+
+  return metrics;
+}
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,52 @@
+// Linux /proc metric collection — what a real gmond samples on a live host.
+//
+// The quickstart example monitors the machine it runs on: this sampler
+// reads /proc/loadavg, /proc/meminfo, /proc/stat, /proc/net/dev and
+// /proc/uptime plus uname(2), and renders them as catalogue metrics.  CPU
+// percentages and network rates need two observations; the first sample
+// reports only instantaneous gauges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmon {
+
+class ProcSampler {
+ public:
+  /// `root` overrides the /proc mount (tests point it at a fixture tree).
+  explicit ProcSampler(Clock& clock, std::string root = "/proc");
+
+  /// True when the proc tree is readable on this system.
+  bool available() const;
+
+  /// Collect current metrics.  Rate metrics (cpu_*, bytes_*, pkts_*)
+  /// appear from the second call onwards.
+  std::vector<Metric> sample();
+
+ private:
+  struct CpuTimes {
+    std::uint64_t user = 0, nice = 0, system = 0, idle = 0, iowait = 0;
+    std::uint64_t total() const { return user + nice + system + idle + iowait; }
+  };
+  struct NetTotals {
+    std::uint64_t bytes_in = 0, bytes_out = 0, pkts_in = 0, pkts_out = 0;
+  };
+
+  std::optional<std::string> read_file(const std::string& name) const;
+  std::optional<CpuTimes> read_cpu() const;
+  std::optional<NetTotals> read_net() const;
+
+  Clock& clock_;
+  std::string root_;
+  std::optional<CpuTimes> prev_cpu_;
+  std::optional<NetTotals> prev_net_;
+  TimeUs prev_sample_us_ = 0;
+};
+
+}  // namespace ganglia::gmon

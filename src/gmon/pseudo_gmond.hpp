@@ -1,0 +1,79 @@
+// Pseudo-gmond: the paper's controlled cluster emulator.
+//
+// "All experiments employ gmon emulators called pseudo-gmond to generate
+// controlled Ganglia XML datasets for the monitoring tree.  These agents
+// behave identically to a cluster's gmon daemons, except their metric
+// values are chosen randomly.  Their XML output conforms to the Ganglia
+// DTD, and therefore requires the same processing effort by the gmeta
+// system under study." (paper §3)
+//
+// The emulator holds a full typed Cluster of `host_count` hosts with the
+// complete 33-metric catalogue; each report refreshes volatile values with
+// a deterministic RNG and stamps current times, then serialises.  The
+// serialisation and the downstream parse are therefore byte-for-byte
+// representative of a real cluster of that size.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "gmon/metrics.hpp"
+#include "net/transport.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmon {
+
+struct PseudoGmondConfig {
+  std::string cluster_name = "pseudo";
+  std::size_t host_count = 100;
+  std::uint64_t seed = 42;
+  std::string host_prefix = "compute-0-";
+  std::string owner = "pseudo-gmond";
+  /// Redraw volatile metric values on every report (matches live clusters);
+  /// disable for byte-identical reports across polls.
+  bool fresh_values_per_query = true;
+};
+
+class PseudoGmond {
+ public:
+  PseudoGmond(PseudoGmondConfig config, Clock& clock);
+
+  /// Full cluster report, as the gmond TCP port would serve it.
+  std::string report_xml();
+
+  /// The same data in typed form (REPORTED/TN stamped against now).
+  Cluster snapshot();
+
+  /// Transport service: ignores the request, serves the full report.
+  net::ServiceFn service();
+
+  /// Mark the first `n` hosts as down (silent past 4*TMAX); they stay in
+  /// the report so summaries count them in HOSTS DOWN.
+  void set_down_hosts(std::size_t n);
+
+  /// Grow or shrink the emulated cluster (hosts keep deterministic values).
+  void resize(std::size_t host_count);
+
+  std::size_t host_count() const noexcept { return hosts_.size(); }
+  std::uint64_t reports_served() const noexcept { return reports_served_; }
+
+ private:
+  struct SimHost {
+    std::string name;
+    std::string ip;
+    std::vector<double> values;  ///< one per catalogue metric
+    bool down = false;
+  };
+
+  SimHost make_host(std::size_t index);
+  void fill_cluster(Cluster& out, std::int64_t now);
+
+  PseudoGmondConfig config_;
+  Clock& clock_;
+  Rng rng_;
+  std::vector<SimHost> hosts_;
+  std::uint64_t reports_served_ = 0;
+};
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,151 @@
+#include "gmon/udp_channel.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace ganglia::gmon {
+
+namespace {
+
+Result<sockaddr_in> parse_udp_address(std::string_view address) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Err(Errc::invalid_argument,
+               "UDP address must be ip:port, got '" + std::string(address) + "'");
+  }
+  auto port = parse_u64(address.substr(colon + 1));
+  if (!port || *port > 65535) {
+    return Err(Errc::invalid_argument, "bad UDP port in '" +
+                                           std::string(address) + "'");
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<std::uint16_t>(*port));
+  const std::string host(address.substr(0, colon));
+  if (inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    return Err(Errc::invalid_argument, "bad IPv4 address '" + host + "'");
+  }
+  return sa;
+}
+
+std::string to_string(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof buf);
+  return std::string(buf) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<UdpMeshChannel>> UdpMeshChannel::open(Config config) {
+  auto bind_addr = parse_udp_address(config.bind);
+  if (!bind_addr.ok()) return bind_addr.error();
+
+  auto channel = std::unique_ptr<UdpMeshChannel>(
+      new UdpMeshChannel(std::move(config)));
+  channel->fd_ = net::Fd(::socket(AF_INET, SOCK_DGRAM | SOCK_CLOEXEC, 0));
+  if (!channel->fd_.valid()) {
+    return Err(Errc::io_error, std::string("socket: ") + std::strerror(errno));
+  }
+  if (::bind(channel->fd_.get(), reinterpret_cast<sockaddr*>(&*bind_addr),
+             sizeof *bind_addr) != 0) {
+    return Err(Errc::io_error, "bind " + channel->config_.bind + ": " +
+                                   std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  getsockname(channel->fd_.get(), reinterpret_cast<sockaddr*>(&bound), &len);
+  channel->address_ = to_string(bound);
+
+  for (const std::string& peer : channel->config_.peers) {
+    channel->add_peer(peer);
+  }
+  return channel;
+}
+
+UdpMeshChannel::~UdpMeshChannel() { close(); }
+
+void UdpMeshChannel::add_peer(const std::string& address) {
+  std::lock_guard lock(mutex_);
+  for (const std::string& existing : resolved_peers_) {
+    if (existing == address) return;
+  }
+  resolved_peers_.push_back(address);
+}
+
+Status UdpMeshChannel::publish(std::string_view datagram) {
+  std::vector<std::string> peers;
+  {
+    std::lock_guard lock(mutex_);
+    peers = resolved_peers_;
+  }
+  if (config_.loopback_self) peers.push_back(address_);
+
+  Status first_error;
+  for (const std::string& peer : peers) {
+    auto sa = parse_udp_address(peer);
+    if (!sa.ok()) {
+      if (first_error.ok()) first_error = sa.error();
+      continue;
+    }
+    const ssize_t n =
+        ::sendto(fd_.get(), datagram.data(), datagram.size(), 0,
+                 reinterpret_cast<sockaddr*>(&*sa), sizeof *sa);
+    std::lock_guard lock(mutex_);
+    if (n == static_cast<ssize_t>(datagram.size())) {
+      ++stats_.datagrams_sent;
+      stats_.bytes_sent += datagram.size();
+    } else if (first_error.ok()) {
+      first_error = Err(Errc::io_error,
+                        "sendto " + peer + ": " + std::strerror(errno));
+    }
+  }
+  return first_error;
+}
+
+Status UdpMeshChannel::start_receiver(Handler handler) {
+  if (running_.exchange(true)) {
+    return Err(Errc::invalid_argument, "receiver already running");
+  }
+  receiver_ = std::thread([this, handler = std::move(handler)] {
+    char buf[65536];
+    while (running_.load()) {
+      pollfd pfd{fd_.get(), POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 100);  // wake to notice close()
+      if (rc <= 0) continue;
+      const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        return;  // socket closed
+      }
+      {
+        std::lock_guard lock(mutex_);
+        ++stats_.datagrams_received;
+        stats_.bytes_received += static_cast<std::uint64_t>(n);
+      }
+      handler(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+  });
+  return {};
+}
+
+void UdpMeshChannel::close() {
+  if (running_.exchange(false)) {
+    if (receiver_.joinable()) receiver_.join();
+  }
+  fd_.reset();
+}
+
+UdpMeshChannel::Stats UdpMeshChannel::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ganglia::gmon

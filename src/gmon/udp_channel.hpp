@@ -1,0 +1,80 @@
+// Real UDP metric exchange.
+//
+// Gmon's local-area backbone is UDP multicast; real gmond equally supports
+// *unicast send channels* for networks where multicast is unavailable
+// (clouds, containers).  This is that mode: every agent binds a UDP socket
+// and fans each datagram out to its peer list — same soft-state semantics,
+// same wire format, routable everywhere.  A receiver thread delivers
+// inbound datagrams to a callback.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/tcp.hpp"  // Fd
+
+namespace ganglia::gmon {
+
+class UdpMeshChannel {
+ public:
+  struct Config {
+    std::string bind = "127.0.0.1:0";   ///< local address (port 0 = ephemeral)
+    std::vector<std::string> peers;     ///< unicast fan-out targets
+    bool loopback_self = true;          ///< deliver own datagrams locally
+  };
+
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;   ///< per-peer sends
+    std::uint64_t datagrams_received = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint64_t decode_drops = 0;     ///< short reads / bad peers
+  };
+
+  /// Bind the socket.  The channel is not receiving until
+  /// start_receiver() is called.
+  static Result<std::unique_ptr<UdpMeshChannel>> open(Config config);
+
+  ~UdpMeshChannel();
+  UdpMeshChannel(const UdpMeshChannel&) = delete;
+  UdpMeshChannel& operator=(const UdpMeshChannel&) = delete;
+
+  /// Actual bound "ip:port".
+  const std::string& address() const noexcept { return address_; }
+
+  /// Extend the mesh (soft state tolerates peers learned late).
+  void add_peer(const std::string& address);
+
+  /// Send one datagram to every peer (and to ourselves if configured).
+  Status publish(std::string_view datagram);
+
+  /// Start delivering inbound datagrams to `handler` on a receiver thread.
+  using Handler = std::function<void(std::string_view datagram)>;
+  Status start_receiver(Handler handler);
+
+  /// Stop the receiver thread and close the socket.
+  void close();
+
+  Stats stats() const;
+
+ private:
+  explicit UdpMeshChannel(Config config) : config_(std::move(config)) {}
+
+  Config config_;
+  net::Fd fd_;
+  std::string address_;
+  mutable std::mutex mutex_;  // guards peers_ and stats_
+  std::vector<std::string> resolved_peers_;
+  Stats stats_;
+  std::atomic<bool> running_{false};
+  std::thread receiver_;
+};
+
+}  // namespace ganglia::gmon

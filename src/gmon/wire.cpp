@@ -1,0 +1,125 @@
+#include "gmon/wire.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace ganglia::gmon {
+
+namespace {
+
+constexpr std::uint8_t kHeartbeatKind = 1;
+constexpr std::uint8_t kMetricKind = 2;
+
+template <class T>
+void put(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <class T>
+  bool get(T& v) {
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool get_string(std::string& s) {
+    std::uint16_t len = 0;
+    if (!get(len) || pos_ + len > data_.size()) return false;
+    s.assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode(const HeartbeatMessage& msg) {
+  std::string out;
+  put<std::uint8_t>(out, kHeartbeatKind);
+  put_string(out, msg.host_name);
+  put_string(out, msg.host_ip);
+  put<std::int64_t>(out, msg.gmond_started);
+  return out;
+}
+
+std::string encode(const MetricMessage& msg) {
+  std::string out;
+  put<std::uint8_t>(out, kMetricKind);
+  put_string(out, msg.host_name);
+  put_string(out, msg.host_ip);
+  const Metric& m = msg.metric;
+  put_string(out, m.name);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.type));
+  put_string(out, m.value);
+  put_string(out, m.units);
+  put<std::uint32_t>(out, m.tmax);
+  put<std::uint32_t>(out, m.dmax);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(m.slope));
+  put_string(out, m.source);
+  return out;
+}
+
+Result<WireMessage> decode(std::string_view datagram) {
+  Reader r(datagram);
+  std::uint8_t kind = 0;
+  if (!r.get(kind)) return Err(Errc::parse_error, "empty datagram");
+
+  if (kind == kHeartbeatKind) {
+    HeartbeatMessage msg;
+    if (!r.get_string(msg.host_name) || !r.get_string(msg.host_ip) ||
+        !r.get(msg.gmond_started) || !r.done()) {
+      return Err(Errc::parse_error, "truncated heartbeat datagram");
+    }
+    return WireMessage{std::move(msg)};
+  }
+
+  if (kind == kMetricKind) {
+    MetricMessage msg;
+    Metric& m = msg.metric;
+    std::uint8_t type = 0;
+    std::uint8_t slope = 0;
+    if (!r.get_string(msg.host_name) || !r.get_string(msg.host_ip) ||
+        !r.get_string(m.name) || !r.get(type) || !r.get_string(m.value) ||
+        !r.get_string(m.units) || !r.get(m.tmax) || !r.get(m.dmax) ||
+        !r.get(slope) || !r.get_string(m.source) || !r.done()) {
+      return Err(Errc::parse_error, "truncated metric datagram");
+    }
+    if (type > static_cast<std::uint8_t>(MetricType::timestamp) ||
+        slope > static_cast<std::uint8_t>(Slope::unspecified)) {
+      return Err(Errc::parse_error, "bad enum in metric datagram");
+    }
+    m.type = static_cast<MetricType>(type);
+    m.slope = static_cast<Slope>(slope);
+    if (m.is_numeric()) {
+      auto num = parse_double(m.value);
+      if (!num) return Err(Errc::parse_error, "non-numeric VAL in datagram");
+      m.numeric = *num;
+    }
+    return WireMessage{std::move(msg)};
+  }
+
+  return Err(Errc::parse_error,
+             "unknown datagram kind " + std::to_string(kind));
+}
+
+}  // namespace ganglia::gmon

@@ -1,0 +1,44 @@
+// Gmon multicast wire format.
+//
+// Gmond agents announce themselves with heartbeats and publish each metric
+// on its own soft-state timer; neighbours fold the datagrams into their
+// redundant copy of cluster state.  Real gmond encodes with XDR; we use an
+// equivalent compact little-endian binary format (kind tag + length-prefixed
+// strings).  Datagram sizes are what the bandwidth accounting experiment
+// measures, so the encoding is kept tight like the original's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmon {
+
+/// Periodic liveness announcement (also carries identity so new listeners
+/// can bootstrap a host entry without a priori knowledge).
+struct HeartbeatMessage {
+  std::string host_name;
+  std::string host_ip;
+  std::int64_t gmond_started = 0;
+};
+
+/// One metric value from one host.
+struct MetricMessage {
+  std::string host_name;
+  std::string host_ip;
+  Metric metric;  ///< tn is implicitly 0 at send time
+};
+
+using WireMessage = std::variant<HeartbeatMessage, MetricMessage>;
+
+std::string encode(const HeartbeatMessage& msg);
+std::string encode(const MetricMessage& msg);
+
+/// Decode a datagram.  Fails on truncation or unknown kind (a well-formed
+/// monitor ignores undecodable datagrams rather than crashing).
+Result<WireMessage> decode(std::string_view datagram);
+
+}  // namespace ganglia::gmon

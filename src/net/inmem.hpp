@@ -1,0 +1,94 @@
+// In-memory transport fabric: deterministic networking for tests/benches.
+//
+// Two modes per address:
+//
+//  * Service mode (register_service): connects return a synchronous
+//    request/response stream.  The service callback runs inside the
+//    client's first read(), so a whole monitoring tree — pseudo-gmonds and
+//    six gmetads — can be driven single-threaded and deterministically.
+//    This mirrors the paper's dump/interactive protocol, where a server's
+//    entire response is a function of the (possibly empty) query line.
+//
+//  * Listener mode (Transport::listen): connects create a pair of blocking
+//    duplex pipes, for threaded end-to-end tests without real sockets.
+//
+// Failure injection models the paper's remote-failure taxonomy: refused
+// connections (stop failure), connect timeouts (partition), and mid-stream
+// truncation (intermittent failure).  Per-address byte counters support the
+// bandwidth accounting experiments.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace ganglia::net {
+
+/// What should happen to connections dialed to an address.
+struct FailurePolicy {
+  enum class Kind {
+    none,      ///< behave normally
+    refuse,    ///< Errc::refused at connect time (process stopped)
+    timeout,   ///< Errc::timeout at connect time (partition / black hole)
+    truncate,  ///< serve `truncate_after` bytes then Errc::closed
+  };
+  Kind kind = Kind::none;
+  std::size_t truncate_after = 0;
+  /// Apply to this many connects, then auto-clear; -1 = until cleared.
+  int remaining = -1;
+};
+
+/// Traffic counters per address.
+struct AddressStats {
+  std::uint64_t connects = 0;
+  std::uint64_t failed_connects = 0;
+  std::uint64_t bytes_served = 0;    ///< server->client payload bytes
+  std::uint64_t bytes_received = 0;  ///< client->server payload bytes
+};
+
+class InMemTransport final : public Transport {
+ public:
+  InMemTransport() = default;
+
+  // -- Transport ----------------------------------------------------------
+  Result<std::unique_ptr<Listener>> listen(std::string_view address) override;
+  Result<std::unique_ptr<Stream>> connect(std::string_view address,
+                                          TimeUs timeout) override;
+
+  // -- Service mode -------------------------------------------------------
+  /// Register a synchronous service.  Replaces any existing registration.
+  void register_service(std::string address, ServiceFn service);
+  void unregister_service(const std::string& address);
+  bool has_service(const std::string& address) const;
+
+  // -- Failure injection --------------------------------------------------
+  void set_failure(const std::string& address, FailurePolicy policy);
+  void clear_failure(const std::string& address);
+
+  // -- Accounting ---------------------------------------------------------
+  AddressStats stats(const std::string& address) const;
+  void reset_stats();
+
+ private:
+  struct ListenerState;
+  class InMemListener;
+  class ServiceStream;
+  class PipeStream;
+
+  /// Consume one application of the failure policy for an address.
+  /// Returns the policy in effect for this connect (Kind::none if clear).
+  FailurePolicy apply_failure(const std::string& address);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, ServiceFn> services_;
+  std::unordered_map<std::string, FailurePolicy> failures_;
+  std::unordered_map<std::string, AddressStats> stats_;
+  std::unordered_map<std::string, std::shared_ptr<ListenerState>> listeners_;
+  std::uint16_t next_ephemeral_ = 40000;
+};
+
+}  // namespace ganglia::net

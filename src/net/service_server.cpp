@@ -1,0 +1,57 @@
+#include "net/service_server.hpp"
+
+#include "common/log.hpp"
+
+namespace ganglia::net {
+
+Status ServiceServer::start(Transport& transport,
+                            const std::string& address, ServiceFn service,
+                            Protocol protocol) {
+  if (running_.exchange(true)) {
+    return Err(Errc::invalid_argument, "server already running");
+  }
+  auto listener = transport.listen(address);
+  if (!listener.ok()) {
+    running_ = false;
+    return listener.error();
+  }
+  listener_ = std::move(*listener);
+
+  thread_ = std::jthread([this, service = std::move(service), protocol] {
+    while (running_.load()) {
+      auto stream = listener_->accept();
+      if (!stream.ok()) return;  // closed
+      std::string request;
+      if (protocol == Protocol::interactive) {
+        auto line = read_line(**stream);
+        if (!line.ok()) {
+          (*stream)->close();
+          continue;
+        }
+        request = std::move(*line);
+      }
+      auto response = service(request);
+      if (response.ok()) {
+        (void)(*stream)->write_all(*response);
+      } else {
+        (void)(*stream)->write_all("<!-- ERROR: " +
+                                   response.error().to_string() + " -->\n");
+      }
+      (*stream)->close();
+    }
+  });
+  GLOG(debug, "server") << "serving on " << listener_->address();
+  return {};
+}
+
+void ServiceServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->close();
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    thread_.join();
+  }
+  listener_.reset();
+}
+
+}  // namespace ganglia::net

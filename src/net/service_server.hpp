@@ -1,0 +1,48 @@
+// Generic stream server: expose any ServiceFn on a transport listener.
+//
+// Gmetad has its own dedicated endpoints; this helper is for everything
+// else that speaks the same one-shot protocol — putting a gmond agent or a
+// pseudo-gmond emulator on a real TCP port so a daemon-mode gmetad can poll
+// it, exactly like the paper's testbed wiring.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "net/transport.hpp"
+
+namespace ganglia::net {
+
+class ServiceServer {
+ public:
+  enum class Protocol {
+    dump,         ///< serve service("") and close (gmond XML port style)
+    interactive,  ///< read one line, serve service(line), close
+  };
+
+  ServiceServer() = default;
+  ~ServiceServer() { stop(); }
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Bind `address` on `transport` and serve until stop().
+  Status start(Transport& transport, const std::string& address,
+               ServiceFn service, Protocol protocol = Protocol::dump);
+
+  void stop();
+  bool running() const noexcept { return running_.load(); }
+
+  /// Actual bound address.
+  std::string address() const {
+    return listener_ ? listener_->address() : std::string();
+  }
+
+ private:
+  std::atomic<bool> running_{false};
+  std::unique_ptr<Listener> listener_;
+  std::jthread thread_;
+};
+
+}  // namespace ganglia::net

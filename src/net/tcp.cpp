@@ -1,0 +1,271 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "common/strings.hpp"
+
+namespace ganglia::net {
+
+void Fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+std::string errno_string(std::string_view what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+Result<HostPort> split_address(std::string_view address) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Err(Errc::invalid_argument,
+               "address must be host:port, got '" + std::string(address) + "'");
+  }
+  auto port = parse_u64(address.substr(colon + 1));
+  if (!port || *port > 65535) {
+    return Err(Errc::invalid_argument,
+               "bad port in '" + std::string(address) + "'");
+  }
+  HostPort hp;
+  hp.host = std::string(address.substr(0, colon));
+  hp.port = static_cast<std::uint16_t>(*port);
+  return hp;
+}
+
+Result<sockaddr_in> resolve(const HostPort& hp) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(hp.port);
+  if (hp.host.empty() || hp.host == "*") {
+    sa.sin_addr.s_addr = htonl(INADDR_ANY);
+    return sa;
+  }
+  if (inet_pton(AF_INET, hp.host.c_str(), &sa.sin_addr) == 1) return sa;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const int rc = getaddrinfo(hp.host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    return Err(Errc::io_error,
+               "cannot resolve '" + hp.host + "': " + gai_strerror(rc));
+  }
+  sa.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  freeaddrinfo(res);
+  return sa;
+}
+
+std::string address_of(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof buf);
+  return std::string(buf) + ":" + std::to_string(ntohs(sa.sin_port));
+}
+
+void set_io_timeout(int fd, TimeUs timeout) {
+  timeval tv{};
+  tv.tv_sec = timeout / kMicrosPerSecond;
+  tv.tv_usec = static_cast<suseconds_t>(timeout % kMicrosPerSecond);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+class TcpStream final : public Stream {
+ public:
+  explicit TcpStream(Fd fd) : fd_(std::move(fd)) {
+    sockaddr_in peer{};
+    socklen_t len = sizeof peer;
+    if (getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&peer), &len) == 0) {
+      peer_ = address_of(peer);
+    }
+  }
+
+  Result<std::size_t> read(char* buf, std::size_t len) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_.get(), buf, len, 0);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Err(Errc::timeout, "read timed out");
+      }
+      if (errno == ECONNRESET) return Err(Errc::closed, "connection reset");
+      return Err(Errc::io_error, errno_string("recv"));
+    }
+  }
+
+  Status write_all(std::string_view data) override {
+    while (!data.empty()) {
+      const ssize_t n = ::send(fd_.get(), data.data(), data.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Err(Errc::timeout, "write timed out");
+        }
+        if (errno == EPIPE || errno == ECONNRESET) {
+          return Err(Errc::closed, "peer closed during write");
+        }
+        return Err(Errc::io_error, errno_string("send"));
+      }
+      data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return {};
+  }
+
+  void close() override { fd_.reset(); }
+
+  std::string peer_address() const override { return peer_; }
+
+ private:
+  Fd fd_;
+  std::string peer_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(Fd fd, Fd wake_rd, Fd wake_wr, std::string address)
+      : fd_(std::move(fd)),
+        wake_rd_(std::move(wake_rd)),
+        wake_wr_(std::move(wake_wr)),
+        address_(std::move(address)) {}
+
+  ~TcpListener() override { close(); }
+
+  Result<std::unique_ptr<Stream>> accept() override {
+    for (;;) {
+      {
+        std::lock_guard lock(mutex_);
+        if (closed_) return Err(Errc::closed, "listener closed");
+      }
+      pollfd fds[2] = {{fd_.get(), POLLIN, 0}, {wake_rd_.get(), POLLIN, 0}};
+      const int rc = ::poll(fds, 2, -1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Err(Errc::io_error, errno_string("poll"));
+      }
+      if (fds[1].revents != 0) return Err(Errc::closed, "listener closed");
+      if ((fds[0].revents & POLLIN) == 0) continue;
+      Fd client(::accept(fd_.get(), nullptr, nullptr));
+      if (!client.valid()) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return Err(Errc::io_error, errno_string("accept"));
+      }
+      // A server never waits forever on a misbehaving client.
+      set_io_timeout(client.get(), 30 * kMicrosPerSecond);
+      return std::unique_ptr<Stream>(std::make_unique<TcpStream>(std::move(client)));
+    }
+  }
+
+  void close() override {
+    std::lock_guard lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+    const char byte = 'x';
+    [[maybe_unused]] ssize_t n = ::write(wake_wr_.get(), &byte, 1);
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  Fd fd_;
+  Fd wake_rd_;
+  Fd wake_wr_;
+  std::string address_;
+  std::mutex mutex_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> TcpTransport::listen(std::string_view address) {
+  auto hp = split_address(address);
+  if (!hp.ok()) return hp.error();
+  auto sa = resolve(*hp);
+  if (!sa.ok()) return sa.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Err(Errc::io_error, errno_string("socket"));
+  const int one = 1;
+  setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&*sa), sizeof *sa) != 0) {
+    return Err(Errc::io_error, errno_string("bind " + std::string(address)));
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return Err(Errc::io_error, errno_string("listen"));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_CLOEXEC) != 0) {
+    return Err(Errc::io_error, errno_string("pipe2"));
+  }
+  return std::unique_ptr<Listener>(std::make_unique<TcpListener>(
+      std::move(fd), Fd(pipe_fds[0]), Fd(pipe_fds[1]), address_of(bound)));
+}
+
+Result<std::unique_ptr<Stream>> TcpTransport::connect(std::string_view address,
+                                                      TimeUs timeout) {
+  auto hp = split_address(address);
+  if (!hp.ok()) return hp.error();
+  auto sa = resolve(*hp);
+  if (!sa.ok()) return sa.error();
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return Err(Errc::io_error, errno_string("socket"));
+
+  int rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&*sa), sizeof *sa);
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (errno == ECONNREFUSED) {
+      return Err(Errc::refused, "connection refused: " + std::string(address));
+    }
+    return Err(Errc::io_error, errno_string("connect " + std::string(address)));
+  }
+  if (rc != 0) {
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(timeout / 1000);
+    rc = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 1);
+    if (rc == 0) {
+      return Err(Errc::timeout, "connect to " + std::string(address) + " timed out");
+    }
+    if (rc < 0) return Err(Errc::io_error, errno_string("poll"));
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len);
+    if (err != 0) {
+      errno = err;
+      if (err == ECONNREFUSED) {
+        return Err(Errc::refused, "connection refused: " + std::string(address));
+      }
+      return Err(Errc::io_error, errno_string("connect " + std::string(address)));
+    }
+  }
+  // Back to blocking with per-op timeouts.
+  const int flags = fcntl(fd.get(), F_GETFL);
+  fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+  set_io_timeout(fd.get(), timeout);
+  const int one = 1;
+  setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return std::unique_ptr<Stream>(std::make_unique<TcpStream>(std::move(fd)));
+}
+
+}  // namespace ganglia::net

@@ -1,0 +1,50 @@
+// Real TCP transport (POSIX sockets, IPv4).
+//
+// This is the production path: gmetad daemons in the examples listen and
+// poll each other over loopback exactly as the paper's deployment does over
+// the wide area.  Sockets are RAII-owned; listener close() is cross-thread
+// safe via a wake pipe so server threads shut down promptly.
+#pragma once
+
+#include "net/transport.hpp"
+
+namespace ganglia::net {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+  int release() noexcept {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  Result<std::unique_ptr<Listener>> listen(std::string_view address) override;
+  Result<std::unique_ptr<Stream>> connect(std::string_view address,
+                                          TimeUs timeout) override;
+};
+
+}  // namespace ganglia::net

@@ -1,0 +1,42 @@
+#include "net/transport.hpp"
+
+namespace ganglia::net {
+
+Result<std::string> read_to_eof(Stream& stream, std::size_t max_bytes) {
+  std::string out;
+  char buf[16384];
+  for (;;) {
+    Result<std::size_t> n = stream.read(buf, sizeof buf);
+    if (!n.ok()) return n.error();
+    if (*n == 0) return out;
+    if (out.size() + *n > max_bytes) {
+      return Err(Errc::io_error, "response exceeds " +
+                                     std::to_string(max_bytes) + " bytes");
+    }
+    out.append(buf, *n);
+  }
+}
+
+Result<std::string> read_line(Stream& stream, std::size_t max_bytes) {
+  std::string out;
+  char c = 0;
+  for (;;) {
+    Result<std::size_t> n = stream.read(&c, 1);
+    if (!n.ok()) return n.error();
+    if (*n == 0) {
+      if (out.empty()) return Err(Errc::closed, "EOF before any line data");
+      return out;  // unterminated final line
+    }
+    if (c == '\n') {
+      if (!out.empty() && out.back() == '\r') out.pop_back();
+      return out;
+    }
+    if (out.size() >= max_bytes) {
+      return Err(Errc::io_error, "line exceeds " + std::to_string(max_bytes) +
+                                     " bytes");
+    }
+    out += c;
+  }
+}
+
+}  // namespace ganglia::net

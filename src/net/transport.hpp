@@ -1,0 +1,87 @@
+// Transport abstraction: XML-over-stream connections between monitors.
+//
+// Ganglia's wide-area protocol is deliberately simple: a client connects, a
+// server either dumps a whole XML report and closes (the "dump" port, 8651
+// in real gmetad) or reads one query line and answers with a subtree (the
+// "interactive" port, 8652).  Everything above the byte stream is expressed
+// against these interfaces so the same gmetad code runs over real TCP
+// (src/net/tcp.*) and over the deterministic in-memory fabric used by tests
+// and benches (src/net/inmem.*), which also provides failure injection —
+// stop failures, intermittent mid-stream closes, and timeouts.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace ganglia::net {
+
+/// Bidirectional byte stream (one accepted or dialed connection).
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  /// Read up to `len` bytes.  Returns 0 on orderly EOF.
+  virtual Result<std::size_t> read(char* buf, std::size_t len) = 0;
+
+  /// Write the entire buffer.
+  virtual Status write_all(std::string_view data) = 0;
+
+  /// Close both directions; further reads fail or return EOF.
+  virtual void close() = 0;
+
+  /// Peer address ("host:port"), used for trust checks.
+  virtual std::string peer_address() const = 0;
+};
+
+/// Drain a stream to EOF (bounded).  This is the client side of the dump
+/// protocol.  Fails with Errc::closed if the peer vanished before EOF could
+/// be distinguished, or io_error/timeout per the underlying transport.
+Result<std::string> read_to_eof(Stream& stream, std::size_t max_bytes = 64u << 20);
+
+/// Read a single '\n'-terminated line (without the terminator, bounded).
+Result<std::string> read_line(Stream& stream, std::size_t max_bytes = 64 << 10);
+
+/// Listening endpoint.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Block until a connection arrives.  Fails with Errc::closed after
+  /// close() is called from another thread.
+  virtual Result<std::unique_ptr<Stream>> accept() = 0;
+
+  /// Unblock pending and future accepts.
+  virtual void close() = 0;
+
+  /// Actual bound address (resolves ephemeral ports).
+  virtual std::string address() const = 0;
+};
+
+/// Factory for listeners and outbound connections.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Bind and listen on `address` ("host:port"; port 0 picks a free port on
+  /// TCP, a unique synthetic port in-memory).
+  virtual Result<std::unique_ptr<Listener>> listen(std::string_view address) = 0;
+
+  /// Dial `address`.  `timeout` bounds connection establishment and each
+  /// subsequent read/write on the returned stream.
+  virtual Result<std::unique_ptr<Stream>> connect(std::string_view address,
+                                                  TimeUs timeout) = 0;
+};
+
+/// A synchronous request handler: receives whatever the client wrote before
+/// its first read ("" for dump-style connections), returns the full
+/// response.  Used by the in-memory transport's service registration and by
+/// the generic serve loop helper below.
+using ServiceFn = std::function<Result<std::string>(std::string_view request)>;
+
+}  // namespace ganglia::net

@@ -1,0 +1,26 @@
+// Static HTML renderers for the three views.
+//
+// The paper's frontend renders PHP pages; these helpers produce the same
+// pages as standalone HTML so the examples can drop browsable snapshots of
+// the monitoring tree on disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "presenter/viewer.hpp"
+#include "rrd/graph.hpp"
+
+namespace ganglia::presenter {
+
+std::string render_meta_html(const MetaView& view);
+std::string render_cluster_html(const ClusterView& view);
+
+/// Host page; when `histories` are supplied (metric name + fetched series),
+/// each renders as an inline SVG graph above the metric table — the
+/// rrdtool-graph panel of the real frontend.
+std::string render_host_html(
+    const HostView& view,
+    const std::vector<std::pair<std::string, rrd::Series>>& histories = {});
+
+}  // namespace ganglia::presenter

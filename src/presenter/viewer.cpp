@@ -1,0 +1,194 @@
+#include "presenter/viewer.hpp"
+
+#include "common/strings.hpp"
+#include "xml/dom.hpp"
+
+namespace ganglia::presenter {
+
+namespace {
+
+std::size_t count_hosts(const Report& report) {
+  std::size_t n = 0;
+  for (const Cluster& c : report.clusters) n += c.hosts.size();
+  for (const Grid& g : report.grids) n += g.host_count();
+  return n;
+}
+
+/// Depth-first search for a cluster by name across the whole report.
+const Cluster* find_cluster(const Report& report, std::string_view name) {
+  for (const Cluster& c : report.clusters) {
+    if (c.name == name) return &c;
+  }
+  struct Finder {
+    std::string_view name;
+    const Cluster* find(const Grid& grid) const {
+      for (const Cluster& c : grid.clusters) {
+        if (c.name == name) return &c;
+      }
+      for (const Grid& g : grid.grids) {
+        if (const Cluster* hit = find(g)) return hit;
+      }
+      return nullptr;
+    }
+  } finder{name};
+  for (const Grid& g : report.grids) {
+    if (const Cluster* hit = finder.find(g)) return hit;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Result<Report> Viewer::load(const std::string* query_line) {
+  const auto start = std::chrono::steady_clock::now();
+  timing_ = ViewTiming{};
+
+  // -- download (the paper's "socket connection" half of the bracket) -----
+  Result<std::string> body = [&]() -> Result<std::string> {
+    if (query_line == nullptr) {
+      auto stream = transport_.connect(dump_address_, io_timeout_);
+      if (!stream.ok()) return stream.error();
+      return net::read_to_eof(**stream);
+    }
+    auto stream = transport_.connect(interactive_address_, io_timeout_);
+    if (!stream.ok()) return stream.error();
+    if (Status s = (*stream)->write_all(*query_line + "\n"); !s.ok()) {
+      return s.error();
+    }
+    return net::read_to_eof(**stream);
+  }();
+  if (!body.ok()) return body.error();
+  timing_.xml_bytes = body->size();
+
+  // -- parse ----------------------------------------------------------------
+  auto report = parse_report(*body);
+  const auto end = std::chrono::steady_clock::now();
+  timing_.total_seconds =
+      std::chrono::duration<double>(end - start).count();
+  if (!report.ok()) return report.error();
+  timing_.hosts_parsed = count_hosts(*report);
+  return report;
+}
+
+Result<rrd::Series> Viewer::history(std::string_view path, std::int64_t start,
+                                    std::int64_t end) {
+  auto stream = transport_.connect(interactive_address_, io_timeout_);
+  if (!stream.ok()) return stream.error();
+  const std::string line = "HISTORY " + std::string(path) + " " +
+                           std::to_string(start) + " " + std::to_string(end) +
+                           "\n";
+  if (Status s = (*stream)->write_all(line); !s.ok()) return s.error();
+  auto body = net::read_to_eof(**stream);
+  if (!body.ok()) return body.error();
+
+  auto dom = xml::parse_dom(*body);
+  if (!dom.ok()) return dom.error();
+  const xml::DomNode& root = **dom;
+  if (root.name != "SERIES") {
+    return Err(Errc::parse_error, "expected <SERIES>, got <" + root.name + ">");
+  }
+  rrd::Series series;
+  series.start = parse_i64(root.attr("START")).value_or(0);
+  series.step = parse_i64(root.attr("STEP")).value_or(0);
+  series.end = parse_i64(root.attr("END")).value_or(0);
+  if (series.step <= 0) {
+    return Err(Errc::parse_error, "SERIES missing a positive STEP");
+  }
+  for (std::string_view token : split_ws(root.text)) {
+    if (token == "U") {
+      series.values.push_back(rrd::unknown());
+    } else if (auto v = parse_double(token)) {
+      series.values.push_back(*v);
+    } else {
+      return Err(Errc::parse_error,
+                 "bad sample '" + std::string(token) + "' in SERIES");
+    }
+  }
+  return series;
+}
+
+Result<MetaView> Viewer::meta_view() {
+  Result<Report> report = [&] {
+    if (strategy_ == Strategy::one_level) return load(nullptr);
+    const std::string q = "/?filter=summary";
+    return load(&q);
+  }();
+  if (!report.ok()) return report.error();
+
+  MetaView view;
+  const Grid* root =
+      report->grids.empty() ? nullptr : &report->grids.front();
+  if (root != nullptr) view.grid_name = root->name;
+
+  const auto add_cluster = [&](const Cluster& c) {
+    MetaRow row;
+    row.name = c.name;
+    row.is_grid = false;
+    // The 1-level frontend computes this reduction itself from the raw
+    // host data; the N-level frontend reads it straight off the wire.
+    row.summary = c.summarize();
+    view.total.merge(row.summary);
+    view.sources.push_back(std::move(row));
+  };
+  const auto add_grid = [&](const Grid& g) {
+    MetaRow row;
+    row.name = g.name;
+    row.is_grid = true;
+    row.summary = g.summarize();
+    view.total.merge(row.summary);
+    view.sources.push_back(std::move(row));
+  };
+
+  if (root != nullptr) {
+    for (const Cluster& c : root->clusters) add_cluster(c);
+    for (const Grid& g : root->grids) add_grid(g);
+  } else {
+    for (const Cluster& c : report->clusters) add_cluster(c);
+  }
+  return view;
+}
+
+Result<ClusterView> Viewer::cluster_view(std::string_view cluster) {
+  Result<Report> report = [&] {
+    if (strategy_ == Strategy::one_level) return load(nullptr);
+    const std::string q = "/" + std::string(cluster);
+    return load(&q);
+  }();
+  if (!report.ok()) return report.error();
+
+  const Cluster* hit = find_cluster(*report, cluster);
+  if (hit == nullptr) {
+    return Err(Errc::not_found,
+               "cluster '" + std::string(cluster) + "' not in report");
+  }
+  ClusterView view;
+  view.cluster = *hit;
+  return view;
+}
+
+Result<HostView> Viewer::host_view(std::string_view cluster,
+                                   std::string_view host) {
+  Result<Report> report = [&] {
+    if (strategy_ == Strategy::one_level) return load(nullptr);
+    const std::string q = "/" + std::string(cluster) + "/" + std::string(host);
+    return load(&q);
+  }();
+  if (!report.ok()) return report.error();
+
+  const Cluster* hit = find_cluster(*report, cluster);
+  if (hit == nullptr) {
+    return Err(Errc::not_found,
+               "cluster '" + std::string(cluster) + "' not in report");
+  }
+  const auto it = hit->hosts.find(std::string(host));
+  if (it == hit->hosts.end()) {
+    return Err(Errc::not_found, "host '" + std::string(host) + "' not in '" +
+                                    std::string(cluster) + "'");
+  }
+  HostView view;
+  view.cluster_name = hit->name;
+  view.host = it->second;
+  return view;
+}
+
+}  // namespace ganglia::presenter

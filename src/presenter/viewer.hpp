@@ -1,0 +1,101 @@
+// Viewer: the web-frontend emulator.
+//
+// The paper's third experiment measures "the time needed by the viewer to
+// download and parse the XML from a gmeta agent" for its three central
+// views (meta / cluster / host).  This class reproduces both viewing
+// strategies:
+//
+//  * Strategy::one_level — the old frontend: download the *entire* tree
+//    from the dump port, SAX-parse all of it, extract the part on display,
+//    and compute its own summaries for the meta view ("the viewer must
+//    parse and discard much of the data it receives").
+//
+//  * Strategy::n_level — the new frontend: issue one subtree query to the
+//    interactive port per page (`/?filter=summary`, `/cluster`,
+//    `/cluster/host`) and parse only what is shown.
+//
+// Timings bracket connect→download→parse exactly like the paper's
+// gettimeofday() instrumentation.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "net/transport.hpp"
+#include "rrd/rrd.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::presenter {
+
+enum class Strategy { one_level, n_level };
+
+/// What the last page load cost.
+struct ViewTiming {
+  double total_seconds = 0;      ///< download + parse (the paper's number)
+  std::size_t xml_bytes = 0;     ///< document size transferred
+  std::size_t hosts_parsed = 0;  ///< HOST elements the parser had to touch
+};
+
+/// One row of the meta page: a monitored source in summary form.
+struct MetaRow {
+  std::string name;
+  bool is_grid = false;
+  SummaryInfo summary;
+};
+
+struct MetaView {
+  std::string grid_name;
+  std::vector<MetaRow> sources;
+  SummaryInfo total;
+};
+
+struct ClusterView {
+  Cluster cluster;  ///< full resolution
+};
+
+struct HostView {
+  std::string cluster_name;
+  Host host;
+};
+
+class Viewer {
+ public:
+  Viewer(net::Transport& transport, std::string dump_address,
+         std::string interactive_address, Strategy strategy,
+         TimeUs io_timeout = 10 * kMicrosPerSecond)
+      : transport_(transport),
+        dump_address_(std::move(dump_address)),
+        interactive_address_(std::move(interactive_address)),
+        strategy_(strategy),
+        io_timeout_(io_timeout) {}
+
+  Result<MetaView> meta_view();
+  Result<ClusterView> cluster_view(std::string_view cluster);
+  Result<HostView> host_view(std::string_view cluster, std::string_view host);
+
+  /// Archived history for a metric, fetched over the interactive port's
+  /// HISTORY command ("/source/cluster/host/metric" or "/scope/metric").
+  /// Available regardless of strategy (the 1-level PHP frontend read RRD
+  /// files directly; this is the network equivalent).
+  Result<rrd::Series> history(std::string_view path, std::int64_t start,
+                              std::int64_t end);
+
+  const ViewTiming& last_timing() const noexcept { return timing_; }
+  Strategy strategy() const noexcept { return strategy_; }
+
+ private:
+  /// Download (dump or query) + parse, with the paper's timing bracket.
+  Result<Report> load(const std::string* query_line);
+
+  net::Transport& transport_;
+  std::string dump_address_;
+  std::string interactive_address_;
+  Strategy strategy_;
+  TimeUs io_timeout_;
+  ViewTiming timing_;
+};
+
+}  // namespace ganglia::presenter

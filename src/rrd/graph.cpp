@@ -1,0 +1,223 @@
+#include "rrd/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace ganglia::rrd {
+
+namespace {
+
+struct Bucket {
+  double value = 0;
+  bool known = false;
+};
+
+/// Resample the series into `width` buckets, averaging known samples.
+std::vector<Bucket> resample(const Series& series, std::size_t width) {
+  std::vector<Bucket> buckets(width);
+  if (series.values.empty() || width == 0) return buckets;
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t lo = b * series.values.size() / width;
+    std::size_t hi = (b + 1) * series.values.size() / width;
+    hi = std::max(hi, lo + 1);
+    double sum = 0;
+    std::size_t known = 0;
+    for (std::size_t i = lo; i < hi && i < series.values.size(); ++i) {
+      if (!is_unknown(series.values[i])) {
+        sum += series.values[i];
+        ++known;
+      }
+    }
+    if (known > 0) {
+      buckets[b].value = sum / static_cast<double>(known);
+      buckets[b].known = true;
+    }
+  }
+  return buckets;
+}
+
+struct Range {
+  double lo = 0;
+  double hi = 1;
+};
+
+Range value_range(const std::vector<Bucket>& buckets, bool include_zero) {
+  double lo = include_zero ? 0.0 : 1e300;
+  double hi = include_zero ? 0.0 : -1e300;
+  bool any = false;
+  for (const Bucket& b : buckets) {
+    if (!b.known) continue;
+    lo = std::min(lo, b.value);
+    hi = std::max(hi, b.value);
+    any = true;
+  }
+  if (!any) return {0, 1};
+  if (hi - lo < 1e-12) hi = lo + 1;  // flat series: give it some height
+  return {lo, hi};
+}
+
+}  // namespace
+
+std::string render_ascii(const Series& series, const AsciiGraphOptions& options) {
+  const std::size_t width = std::max<std::size_t>(options.width, 1);
+  const std::size_t height = std::max<std::size_t>(options.height, 1);
+  const auto buckets = resample(series, width);
+  const Range range = value_range(buckets, /*include_zero=*/true);
+
+  // Row 0 is the top.
+  std::vector<std::string> rows(height, std::string(width, ' '));
+  for (std::size_t c = 0; c < width; ++c) {
+    if (!buckets[c].known) {
+      for (std::size_t r = 0; r < height; ++r) rows[r][c] = 'U';
+      continue;
+    }
+    const double norm = (buckets[c].value - range.lo) / (range.hi - range.lo);
+    const std::size_t bar =
+        std::min(height, static_cast<std::size_t>(
+                             std::lround(norm * static_cast<double>(height))));
+    for (std::size_t r = 0; r < height; ++r) {
+      rows[r][c] = (height - r) <= bar ? '#' : '.';
+    }
+  }
+
+  std::string out;
+  const std::string hi_label = format_double(range.hi);
+  const std::string lo_label = format_double(range.lo);
+  const std::size_t label_width =
+      options.show_axis ? std::max(hi_label.size(), lo_label.size()) + 1 : 0;
+  for (std::size_t r = 0; r < height; ++r) {
+    if (options.show_axis) {
+      std::string label;
+      if (r == 0) label = hi_label;
+      if (r == height - 1) label = lo_label;
+      label.resize(label_width - 1, ' ');
+      out += label;
+      out += '|';
+    }
+    out += rows[r];
+    out += '\n';
+  }
+  if (options.show_axis) {
+    out += std::string(label_width, ' ');
+    out += strprintf("t=%lld .. %lld (step %llds)\n",
+                     static_cast<long long>(series.start),
+                     static_cast<long long>(series.end),
+                     static_cast<long long>(series.step));
+  }
+  return out;
+}
+
+std::string render_svg(const Series& series, const SvgGraphOptions& options) {
+  const int width = std::max(options.width, 40);
+  const int height = std::max(options.height, 30);
+  const int pad_top = options.title.empty() ? 8 : 22;
+  const int pad_bottom = 16;
+  const int pad_left = 8;
+  const int pad_right = 56;  // room for value labels
+  const double plot_w = width - pad_left - pad_right;
+  const double plot_h = height - pad_top - pad_bottom;
+
+  const std::size_t n = series.values.size();
+  std::string out = strprintf(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" "
+      "viewBox=\"0 0 %d %d\" font-family=\"sans-serif\" font-size=\"10\">",
+      width, height, width, height);
+  out += strprintf(
+      "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"white\" "
+      "stroke=\"#ccc\"/>",
+      width, height);
+  if (!options.title.empty()) {
+    out += "<text x=\"8\" y=\"14\" font-weight=\"bold\">";
+    out += options.title;
+    out += "</text>";
+  }
+  if (n == 0) {
+    out += "<text x=\"8\" y=\"40\">no data</text></svg>";
+    return out;
+  }
+
+  // Value scaling.
+  double lo = options.baseline_at_zero ? 0.0 : 1e300;
+  double hi = options.baseline_at_zero ? 0.0 : -1e300;
+  double last_known = std::numeric_limits<double>::quiet_NaN();
+  bool any_known = false;
+  for (double v : series.values) {
+    if (is_unknown(v)) continue;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    last_known = v;
+    any_known = true;
+  }
+  if (!any_known) {
+    lo = 0;
+    hi = 1;
+  }
+  if (hi - lo < 1e-12) hi = lo + 1;
+
+  const auto x_at = [&](std::size_t i) {
+    return pad_left + plot_w * static_cast<double>(i) /
+                          static_cast<double>(std::max<std::size_t>(n - 1, 1));
+  };
+  const auto y_at = [&](double v) {
+    return pad_top + plot_h * (1.0 - (v - lo) / (hi - lo));
+  };
+
+  // Unknown bands first (under the line).
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t i = 0; i <= n; ++i) {
+    const bool unknown_here = i < n && is_unknown(series.values[i]);
+    if (unknown_here && !in_run) {
+      run_start = i;
+      in_run = true;
+    } else if (!unknown_here && in_run) {
+      const double x0 = x_at(run_start > 0 ? run_start - 1 : 0);
+      const double x1 = x_at(i < n ? i : n - 1);
+      out += strprintf(
+          "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%.1f\" "
+          "fill=\"%s\"/>",
+          x0, pad_top, std::max(x1 - x0, 2.0), plot_h,
+          options.unknown_fill.c_str());
+      in_run = false;
+    }
+  }
+
+  // The series polyline, split at unknown gaps.
+  std::string points;
+  const auto flush_line = [&] {
+    if (points.empty()) return;
+    out += "<polyline fill=\"none\" stroke=\"" + options.stroke +
+           "\" stroke-width=\"1.5\" points=\"" + points + "\"/>";
+    points.clear();
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (is_unknown(series.values[i])) {
+      flush_line();
+      continue;
+    }
+    points += strprintf("%.1f,%.1f ", x_at(i), y_at(series.values[i]));
+  }
+  flush_line();
+
+  // Labels: max, min, last value.
+  out += strprintf("<text x=\"%d\" y=\"%d\" fill=\"#555\">max %s</text>",
+                   width - pad_right + 4, pad_top + 8,
+                   format_double(hi).c_str());
+  out += strprintf("<text x=\"%d\" y=\"%d\" fill=\"#555\">min %s</text>",
+                   width - pad_right + 4, height - pad_bottom,
+                   format_double(lo).c_str());
+  if (any_known) {
+    out += strprintf("<text x=\"%d\" y=\"%d\" fill=\"#111\">now %s</text>",
+                     width - pad_right + 4, (pad_top + height - pad_bottom) / 2,
+                     format_double(last_known).c_str());
+  }
+  out += strprintf(
+      "<text x=\"%d\" y=\"%d\" fill=\"#888\">step %llds</text>", pad_left,
+      height - 4, static_cast<long long>(series.step));
+  out += "</svg>";
+  return out;
+}
+
+}  // namespace ganglia::rrd

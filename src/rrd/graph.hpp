@@ -1,0 +1,40 @@
+// Series rendering: the graphing half of the RRD substrate.
+//
+// Ganglia's web pages are built around rrdtool graphs; this module renders
+// a fetched Series as a standalone SVG (for the HTML presenter) or as an
+// ASCII chart (for terminals, examples, and tests).  Unknown rows — the
+// forensic downtime records — render as explicit gaps, never interpolated
+// away: the hole in the graph *is* the time-of-death evidence.
+#pragma once
+
+#include <string>
+
+#include "rrd/rrd.hpp"
+
+namespace ganglia::rrd {
+
+struct AsciiGraphOptions {
+  std::size_t width = 60;   ///< columns of plot area
+  std::size_t height = 8;   ///< rows of plot area
+  bool show_axis = true;    ///< min/max labels on the left
+};
+
+/// Render as text: '#'-bars scaled into [min,max], '·' for empty space,
+/// 'U' columns where every sample in the bucket is unknown.
+std::string render_ascii(const Series& series,
+                         const AsciiGraphOptions& options = {});
+
+struct SvgGraphOptions {
+  int width = 480;
+  int height = 140;
+  std::string title;
+  std::string stroke = "#2a6f97";  ///< series line colour
+  std::string unknown_fill = "#e8e8e8";
+  bool baseline_at_zero = true;    ///< include 0 in the y-range
+};
+
+/// Render as a self-contained <svg> element: a polyline over the known
+/// samples, grey bands over unknown ranges, min/max/last labels.
+std::string render_svg(const Series& series, const SvgGraphOptions& options = {});
+
+}  // namespace ganglia::rrd

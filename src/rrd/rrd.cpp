@@ -1,0 +1,291 @@
+#include "rrd/rrd.hpp"
+
+#include <algorithm>
+
+namespace ganglia::rrd {
+
+std::string_view cf_name(ConsolidationFn cf) noexcept {
+  switch (cf) {
+    case ConsolidationFn::average: return "AVERAGE";
+    case ConsolidationFn::min: return "MIN";
+    case ConsolidationFn::max: return "MAX";
+    case ConsolidationFn::last: return "LAST";
+  }
+  return "AVERAGE";
+}
+
+RrdDef RrdDef::ganglia_default(std::string ds_name, std::int64_t heartbeat_s) {
+  RrdDef def;
+  def.step_s = 15;
+  DsDef ds;
+  ds.name = std::move(ds_name);
+  ds.heartbeat_s = heartbeat_s;
+  def.ds.push_back(std::move(ds));
+  // Real gmetad's archive ladder: 61 minutes at 15 s resolution, then a day
+  // hourly-ish, a week, a month, and a year at ~daily rows.  Sizes are kept
+  // verbatim from ganglia 2.5 (244/244/244/244/374 rows).
+  def.rras = {
+      {ConsolidationFn::average, 0.5, 1, 244},
+      {ConsolidationFn::average, 0.5, 24, 244},
+      {ConsolidationFn::average, 0.5, 168, 244},
+      {ConsolidationFn::average, 0.5, 672, 244},
+      {ConsolidationFn::average, 0.5, 5760, 374},
+  };
+  return def;
+}
+
+namespace {
+std::int64_t align_down(std::int64_t t, std::int64_t step) {
+  return (t / step) * step - (t % step < 0 ? step : 0);
+}
+}  // namespace
+
+Result<RoundRobinDb> RoundRobinDb::create(RrdDef def, std::int64_t created_at) {
+  if (def.step_s <= 0) return Err(Errc::invalid_argument, "step must be > 0");
+  if (def.ds.empty()) return Err(Errc::invalid_argument, "need >= 1 data source");
+  if (def.rras.empty()) return Err(Errc::invalid_argument, "need >= 1 archive");
+  for (const DsDef& ds : def.ds) {
+    if (ds.heartbeat_s <= 0) {
+      return Err(Errc::invalid_argument, "heartbeat must be > 0");
+    }
+  }
+  for (const RraDef& rra : def.rras) {
+    if (rra.rows == 0 || rra.pdp_per_row == 0) {
+      return Err(Errc::invalid_argument, "archive needs rows and pdp_per_row");
+    }
+    if (rra.xff < 0.0 || rra.xff >= 1.0) {
+      return Err(Errc::invalid_argument, "xff must be in [0, 1)");
+    }
+  }
+
+  RoundRobinDb db;
+  db.def_ = std::move(def);
+  db.pdp_.resize(db.def_.ds.size());
+  db.last_pdp_.assign(db.def_.ds.size(),
+                      std::numeric_limits<double>::quiet_NaN());
+  db.rras_.reserve(db.def_.rras.size());
+  for (const RraDef& rra_def : db.def_.rras) {
+    Rra rra;
+    rra.def = rra_def;
+    rra.ring.assign(static_cast<std::size_t>(rra_def.rows) * db.def_.ds.size(),
+                    std::numeric_limits<double>::quiet_NaN());
+    rra.cdp.resize(db.def_.ds.size());
+    db.rras_.push_back(std::move(rra));
+  }
+  db.last_update_ = created_at;
+  db.pdp_start_ = align_down(created_at, db.def_.step_s);
+  for (Rra& rra : db.rras_) {
+    const std::int64_t span =
+        db.def_.step_s * static_cast<std::int64_t>(rra.def.pdp_per_row);
+    rra.last_row_time = align_down(created_at, span);
+  }
+  return db;
+}
+
+Status RoundRobinDb::update(std::int64_t t, std::span<const double> values) {
+  if (values.size() != def_.ds.size()) {
+    return Err(Errc::invalid_argument,
+               "expected " + std::to_string(def_.ds.size()) + " values, got " +
+                   std::to_string(values.size()));
+  }
+  if (t <= last_update_) {
+    return Err(Errc::invalid_argument,
+               "update time " + std::to_string(t) +
+                   " not after last update " + std::to_string(last_update_));
+  }
+  ++update_count_;
+
+  const std::int64_t interval = t - last_update_;
+  const std::size_t n = def_.ds.size();
+
+  // Per-DS effective rate/value over (last_update_, t] and knownness.
+  std::vector<double> rate(n, 0.0);
+  std::vector<std::uint8_t> known(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const DsDef& ds = def_.ds[i];
+    double v = values[i];
+    bool k = !is_unknown(v) && interval <= ds.heartbeat_s;
+    if (ds.type == DsType::counter) {
+      const double prev = pdp_[i].last_raw;
+      if (!is_unknown(values[i])) pdp_[i].last_raw = values[i];
+      if (k && !is_unknown(prev) && v >= prev) {
+        v = (v - prev) / static_cast<double>(interval);
+      } else {
+        k = false;  // first sample, reset, or wrap: unknown interval
+      }
+    }
+    if (k) {
+      if (!is_unknown(ds.min_value) && v < ds.min_value) k = false;
+      if (!is_unknown(ds.max_value) && v > ds.max_value) k = false;
+    }
+    rate[i] = v;
+    known[i] = k ? 1 : 0;
+  }
+
+  advance_to(t, rate, known);
+  last_update_ = t;
+  return {};
+}
+
+void RoundRobinDb::advance_to(std::int64_t t, std::span<const double> rates,
+                              std::span<const std::uint8_t> known) {
+  const std::int64_t step = def_.step_s;
+  std::int64_t covered_from = last_update_;
+  const std::size_t n = def_.ds.size();
+  std::vector<double> pdp_values(n);
+
+  // Complete every PDP period that ends at or before t.
+  while (pdp_start_ + step <= t) {
+    const std::int64_t pdp_end = pdp_start_ + step;
+    const std::int64_t seg = pdp_end - std::max(covered_from, pdp_start_);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (known[i] && seg > 0) {
+        pdp_[i].weighted_sum += rates[i] * static_cast<double>(seg);
+        pdp_[i].known_s += seg;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      // PDP unknown when less than half the step was known (rrdtool rule).
+      if (pdp_[i].known_s * 2 >= step) {
+        pdp_values[i] = pdp_[i].weighted_sum / static_cast<double>(pdp_[i].known_s);
+      } else {
+        pdp_values[i] = unknown();
+      }
+      pdp_[i].weighted_sum = 0;
+      pdp_[i].known_s = 0;
+      last_pdp_[i] = pdp_values[i];
+    }
+    commit_pdp(pdp_end, pdp_values);
+    covered_from = pdp_end;
+    pdp_start_ = pdp_end;
+  }
+
+  // Partial segment into the still-open PDP period.
+  const std::int64_t seg = t - std::max(covered_from, pdp_start_);
+  if (seg > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (known[i]) {
+        pdp_[i].weighted_sum += rates[i] * static_cast<double>(seg);
+        pdp_[i].known_s += seg;
+      }
+    }
+  }
+}
+
+void RoundRobinDb::commit_pdp(std::int64_t pdp_end,
+                              std::span<const double> pdp_values) {
+  const std::size_t n = def_.ds.size();
+  for (Rra& rra : rras_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      CdpScratch& cdp = rra.cdp[i];
+      const double v = pdp_values[i];
+      if (is_unknown(v)) {
+        ++cdp.unknown_count;
+      } else if (is_unknown(cdp.agg)) {
+        cdp.agg = v;
+      } else {
+        switch (rra.def.cf) {
+          case ConsolidationFn::average: cdp.agg += v; break;
+          case ConsolidationFn::min: cdp.agg = std::min(cdp.agg, v); break;
+          case ConsolidationFn::max: cdp.agg = std::max(cdp.agg, v); break;
+          case ConsolidationFn::last: cdp.agg = v; break;
+        }
+      }
+    }
+    if (++rra.pdp_count < rra.def.pdp_per_row) continue;
+
+    // Commit a row.
+    for (std::size_t i = 0; i < n; ++i) {
+      CdpScratch& cdp = rra.cdp[i];
+      const std::uint32_t known_count = rra.def.pdp_per_row - cdp.unknown_count;
+      double row = unknown();
+      const double unknown_fraction =
+          static_cast<double>(cdp.unknown_count) /
+          static_cast<double>(rra.def.pdp_per_row);
+      if (known_count > 0 && unknown_fraction <= rra.def.xff) {
+        row = rra.def.cf == ConsolidationFn::average
+                  ? cdp.agg / static_cast<double>(known_count)
+                  : cdp.agg;
+      }
+      rra.ring[static_cast<std::size_t>(rra.cur_row) * n + i] = row;
+      cdp = CdpScratch{};
+    }
+    rra.pdp_count = 0;
+    rra.cur_row = (rra.cur_row + 1) % rra.def.rows;
+    rra.last_row_time = pdp_end;
+  }
+}
+
+Result<Series> RoundRobinDb::fetch(ConsolidationFn cf, std::int64_t start,
+                                   std::int64_t end,
+                                   std::size_t ds_index) const {
+  if (ds_index >= def_.ds.size()) {
+    return Err(Errc::invalid_argument, "no such data source");
+  }
+  if (end <= start) return Err(Errc::invalid_argument, "end must be > start");
+
+  // Finest archive with matching CF that still covers `start`; fall back to
+  // the coarsest matching archive when none reaches that far back.
+  const Rra* best = nullptr;
+  const Rra* coarsest = nullptr;
+  for (const Rra& rra : rras_) {
+    if (rra.def.cf != cf) continue;
+    const std::int64_t span =
+        def_.step_s * static_cast<std::int64_t>(rra.def.pdp_per_row);
+    const std::int64_t oldest =
+        rra.last_row_time - span * static_cast<std::int64_t>(rra.def.rows);
+    if (coarsest == nullptr ||
+        rra.def.pdp_per_row > coarsest->def.pdp_per_row) {
+      coarsest = &rra;
+    }
+    if (oldest <= start &&
+        (best == nullptr || rra.def.pdp_per_row < best->def.pdp_per_row)) {
+      best = &rra;
+    }
+  }
+  if (best == nullptr) best = coarsest;
+  if (best == nullptr) {
+    return Err(Errc::not_found,
+               std::string("no archive with CF ") + std::string(cf_name(cf)));
+  }
+
+  const std::int64_t span =
+      def_.step_s * static_cast<std::int64_t>(best->def.pdp_per_row);
+  const std::int64_t first_end = align_down(start, span) + span;
+  std::int64_t last_end = align_down(end - 1, span) + span;
+
+  Series series;
+  series.cf = cf;
+  series.step = span;
+  series.start = first_end - span;
+  series.end = last_end;
+  const std::int64_t oldest =
+      best->last_row_time - span * static_cast<std::int64_t>(best->def.rows);
+  const std::size_t n = def_.ds.size();
+  for (std::int64_t row_end = first_end; row_end <= last_end; row_end += span) {
+    double v = unknown();
+    if (row_end > oldest && row_end <= best->last_row_time) {
+      const std::int64_t rows_back = (best->last_row_time - row_end) / span;
+      const std::int64_t rows_total = static_cast<std::int64_t>(best->def.rows);
+      std::int64_t idx =
+          (static_cast<std::int64_t>(best->cur_row) - 1 - rows_back) % rows_total;
+      if (idx < 0) idx += rows_total;
+      v = best->ring[static_cast<std::size_t>(idx) * n + ds_index];
+    }
+    series.values.push_back(v);
+  }
+  return series;
+}
+
+double RoundRobinDb::last_value(std::size_t ds_index) const {
+  if (ds_index >= last_pdp_.size()) return unknown();
+  return last_pdp_[ds_index];
+}
+
+std::size_t RoundRobinDb::storage_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const Rra& rra : rras_) bytes += rra.ring.size() * sizeof(double);
+  return bytes;
+}
+
+}  // namespace ganglia::rrd

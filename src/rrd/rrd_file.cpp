@@ -1,0 +1,195 @@
+#include "rrd/rrd_file.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace ganglia::rrd {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'R', 'R', 'D', '0', '0', '0', '1'};
+
+// -- little-endian primitive encoding ------------------------------------
+
+template <class T>
+void put(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  template <class T>
+  bool get(T& v) {
+    if (pos_ + sizeof(T) > data_.size()) return false;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool get_string(std::string& s, std::size_t max = 1 << 20) {
+    std::uint32_t len = 0;
+    if (!get(len) || len > max || pos_ + len > data_.size()) return false;
+    s.assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RrdCodec::serialize(const RoundRobinDb& db) {
+  std::string out;
+  out.append(kMagic, sizeof kMagic);
+  const RrdDef& def = db.def_;
+  put<std::int64_t>(out, def.step_s);
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(def.ds.size()));
+  for (const DsDef& ds : def.ds) {
+    put_string(out, ds.name);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(ds.type));
+    put<std::int64_t>(out, ds.heartbeat_s);
+    put<double>(out, ds.min_value);
+    put<double>(out, ds.max_value);
+  }
+
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(def.rras.size()));
+  for (const RraDef& rra : def.rras) {
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(rra.cf));
+    put<double>(out, rra.xff);
+    put<std::uint32_t>(out, rra.pdp_per_row);
+    put<std::uint32_t>(out, rra.rows);
+  }
+
+  put<std::int64_t>(out, db.last_update_);
+  put<std::int64_t>(out, db.pdp_start_);
+  put<std::uint64_t>(out, db.update_count_);
+
+  for (const auto& scratch : db.pdp_) {
+    put<double>(out, scratch.weighted_sum);
+    put<std::int64_t>(out, scratch.known_s);
+    put<double>(out, scratch.last_raw);
+  }
+  for (double v : db.last_pdp_) put<double>(out, v);
+
+  for (const auto& rra : db.rras_) {
+    put<std::uint32_t>(out, rra.cur_row);
+    put<std::uint32_t>(out, rra.pdp_count);
+    put<std::int64_t>(out, rra.last_row_time);
+    for (const auto& cdp : rra.cdp) {
+      put<double>(out, cdp.agg);
+      put<std::uint32_t>(out, cdp.unknown_count);
+    }
+    for (double v : rra.ring) put<double>(out, v);
+  }
+  return out;
+}
+
+Result<RoundRobinDb> RrdCodec::deserialize(std::string_view bytes) {
+  const auto fail = [] {
+    return Err(Errc::parse_error, "corrupt or truncated RRD image");
+  };
+  if (bytes.size() < sizeof kMagic ||
+      std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0) {
+    return Err(Errc::parse_error, "bad RRD magic");
+  }
+  Reader r(bytes.substr(sizeof kMagic));
+
+  RrdDef def;
+  if (!r.get(def.step_s)) return fail();
+
+  std::uint32_t ds_count = 0;
+  if (!r.get(ds_count) || ds_count == 0 || ds_count > 1024) return fail();
+  def.ds.resize(ds_count);
+  for (DsDef& ds : def.ds) {
+    std::uint8_t type = 0;
+    if (!r.get_string(ds.name) || !r.get(type) || !r.get(ds.heartbeat_s) ||
+        !r.get(ds.min_value) || !r.get(ds.max_value)) {
+      return fail();
+    }
+    if (type > static_cast<std::uint8_t>(DsType::counter)) return fail();
+    ds.type = static_cast<DsType>(type);
+  }
+
+  std::uint32_t rra_count = 0;
+  if (!r.get(rra_count) || rra_count == 0 || rra_count > 1024) return fail();
+  def.rras.resize(rra_count);
+  for (RraDef& rra : def.rras) {
+    std::uint8_t cf = 0;
+    if (!r.get(cf) || !r.get(rra.xff) || !r.get(rra.pdp_per_row) ||
+        !r.get(rra.rows)) {
+      return fail();
+    }
+    if (cf > static_cast<std::uint8_t>(ConsolidationFn::last)) return fail();
+    rra.cf = static_cast<ConsolidationFn>(cf);
+  }
+
+  auto created = RoundRobinDb::create(def, 0);
+  if (!created.ok()) return created.error();
+  RoundRobinDb db = std::move(*created);
+
+  if (!r.get(db.last_update_) || !r.get(db.pdp_start_) ||
+      !r.get(db.update_count_)) {
+    return fail();
+  }
+  for (auto& scratch : db.pdp_) {
+    if (!r.get(scratch.weighted_sum) || !r.get(scratch.known_s) ||
+        !r.get(scratch.last_raw)) {
+      return fail();
+    }
+  }
+  for (double& v : db.last_pdp_) {
+    if (!r.get(v)) return fail();
+  }
+  for (auto& rra : db.rras_) {
+    if (!r.get(rra.cur_row) || !r.get(rra.pdp_count) ||
+        !r.get(rra.last_row_time)) {
+      return fail();
+    }
+    if (rra.cur_row >= rra.def.rows || rra.pdp_count >= rra.def.pdp_per_row) {
+      return fail();
+    }
+    for (auto& cdp : rra.cdp) {
+      if (!r.get(cdp.agg) || !r.get(cdp.unknown_count)) return fail();
+    }
+    for (double& v : rra.ring) {
+      if (!r.get(v)) return fail();
+    }
+  }
+  if (!r.done()) return fail();
+  return db;
+}
+
+Status RrdCodec::save_file(const RoundRobinDb& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Err(Errc::io_error, "cannot open " + path + " for write");
+  const std::string bytes = serialize(db);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Err(Errc::io_error, "short write to " + path);
+  return {};
+}
+
+Result<RoundRobinDb> RrdCodec::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Err(Errc::io_error, "cannot open " + path);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+}  // namespace ganglia::rrd

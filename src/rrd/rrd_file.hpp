@@ -1,0 +1,31 @@
+// Binary persistence for RoundRobinDb.
+//
+// The paper's experiments put gmetad's RRD files on a tmpfs RAM disk to
+// remove disk I/O; our archiver defaults to pure in-memory databases, and
+// this codec provides the file-backed option (and snapshot/restore for
+// daemon restarts).  Format: little-endian, fixed magic + version, the full
+// definition, then every archive ring verbatim — load gives back an
+// identical database including in-progress PDP state.
+#pragma once
+
+#include <string>
+
+#include "common/result.hpp"
+#include "rrd/rrd.hpp"
+
+namespace ganglia::rrd {
+
+class RrdCodec {
+ public:
+  /// Serialise the complete database state.
+  static std::string serialize(const RoundRobinDb& db);
+
+  /// Reconstruct a database from serialize() output.
+  static Result<RoundRobinDb> deserialize(std::string_view bytes);
+
+  /// File convenience wrappers.
+  static Status save_file(const RoundRobinDb& db, const std::string& path);
+  static Result<RoundRobinDb> load_file(const std::string& path);
+};
+
+}  // namespace ganglia::rrd

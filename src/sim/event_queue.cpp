@@ -1,0 +1,35 @@
+#include "sim/event_queue.hpp"
+
+namespace ganglia::sim {
+
+void EventQueue::schedule_at(TimeUs at_us, Action action) {
+  const TimeUs now = clock_.now_us();
+  heap_.push(Event{at_us < now ? now : at_us, next_seq_++, std::move(action)});
+}
+
+std::size_t EventQueue::run_until(TimeUs until_us) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().at <= until_us) {
+    // Copy out before pop: the action may schedule more events.
+    Event ev{heap_.top().at, heap_.top().seq,
+             std::move(const_cast<Event&>(heap_.top()).action)};
+    heap_.pop();
+    clock_.set_us(ev.at);
+    ev.action();
+    ++executed;
+  }
+  if (clock_.now_us() < until_us) clock_.set_us(until_us);
+  return executed;
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  Event ev{heap_.top().at, heap_.top().seq,
+           std::move(const_cast<Event&>(heap_.top()).action)};
+  heap_.pop();
+  clock_.set_us(ev.at);
+  ev.action();
+  return true;
+}
+
+}  // namespace ganglia::sim

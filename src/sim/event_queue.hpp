@@ -1,0 +1,61 @@
+// Discrete-event scheduler driving simulated gmon clusters.
+//
+// Each gmond agent schedules its own metric-collection and multicast send
+// events; the queue executes them in timestamp order, advancing the shared
+// SimClock.  Ties break by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_clock.hpp"
+
+namespace ganglia::sim {
+
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock& clock) : clock_(clock) {}
+
+  using Action = std::function<void()>;
+
+  /// Schedule `action` to run at absolute simulated time `at_us`.
+  /// Events in the past run at the current time.
+  void schedule_at(TimeUs at_us, Action action);
+
+  /// Schedule relative to now.
+  void schedule_after(TimeUs delay_us, Action action) {
+    schedule_at(clock_.now_us() + delay_us, std::move(action));
+  }
+
+  /// Run events until the queue is empty or the clock passes `until_us`.
+  /// Returns the number of events executed.  Events scheduled during the
+  /// run participate.
+  std::size_t run_until(TimeUs until_us);
+
+  /// Run exactly one event if any is pending; returns false when empty.
+  bool step();
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  SimClock& clock() { return clock_; }
+
+ private:
+  struct Event {
+    TimeUs at;
+    std::uint64_t seq;  // FIFO among equal timestamps
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  SimClock& clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ganglia::sim

@@ -1,0 +1,36 @@
+#include "sim/failure_schedule.hpp"
+
+#include <algorithm>
+
+namespace ganglia::sim {
+
+void FailureSchedule::add_outage(TimeUs from_us, TimeUs to_us,
+                                 const std::string& address,
+                                 net::FailurePolicy::Kind kind) {
+  net::FailurePolicy down;
+  down.kind = kind;
+  add(from_us, address, down);
+  add(to_us, address, net::FailurePolicy{});  // recover
+}
+
+std::size_t FailureSchedule::apply_due(TimeUs now,
+                                       net::InMemTransport& transport) {
+  if (!sorted_) {
+    std::stable_sort(events_.begin() + static_cast<std::ptrdiff_t>(applied_),
+                     events_.end(),
+                     [](const FailureEvent& a, const FailureEvent& b) {
+                       return a.at_us < b.at_us;
+                     });
+    sorted_ = true;
+  }
+  std::size_t fired = 0;
+  while (applied_ < events_.size() && events_[applied_].at_us <= now) {
+    const FailureEvent& ev = events_[applied_];
+    transport.set_failure(ev.address, ev.policy);
+    ++applied_;
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace ganglia::sim

@@ -1,0 +1,47 @@
+// Scripted failure timelines.
+//
+// A reproduction of a fault-tolerance claim needs scripted faults: this
+// schedule applies InMemTransport failure policies at simulated times, so a
+// test can declare "the meteor head node stops at t+30s and recovers at
+// t+120s" and then assert that gmetad failed over and that the RRDs carry
+// unknown records during the outage.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/inmem.hpp"
+
+namespace ganglia::sim {
+
+struct FailureEvent {
+  TimeUs at_us = 0;
+  std::string address;
+  net::FailurePolicy policy;  ///< Kind::none means "recover"
+};
+
+class FailureSchedule {
+ public:
+  void add(TimeUs at_us, std::string address, net::FailurePolicy policy) {
+    events_.push_back({at_us, std::move(address), policy});
+    sorted_ = false;
+  }
+
+  /// Convenience: stop a node during [from_us, to_us).
+  void add_outage(TimeUs from_us, TimeUs to_us, const std::string& address,
+                  net::FailurePolicy::Kind kind = net::FailurePolicy::Kind::refuse);
+
+  /// Apply every not-yet-applied event with at_us <= now to the transport.
+  /// Returns how many fired.
+  std::size_t apply_due(TimeUs now, net::InMemTransport& transport);
+
+  std::size_t pending() const { return events_.size() - applied_; }
+
+ private:
+  std::vector<FailureEvent> events_;
+  std::size_t applied_ = 0;
+  bool sorted_ = true;
+};
+
+}  // namespace ganglia::sim

@@ -1,0 +1,49 @@
+#include "sim/multicast.hpp"
+
+#include <algorithm>
+
+namespace ganglia::sim {
+
+int MulticastBus::join(Handler handler) {
+  const int id = next_id_++;
+  members_.emplace(id, Member{std::move(handler), false});
+  return id;
+}
+
+void MulticastBus::leave(int member_id) { members_.erase(member_id); }
+
+void MulticastBus::set_isolated(int member_id, bool isolated) {
+  if (auto it = members_.find(member_id); it != members_.end()) {
+    it->second.isolated = isolated;
+  }
+}
+
+void MulticastBus::publish(int sender_id, std::string_view payload) {
+  auto sender = members_.find(sender_id);
+  if (sender == members_.end() || sender->second.isolated) return;
+
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += payload.size();
+
+  // Deliver in member-id order for determinism.  Collect ids first: a
+  // handler may join/leave members.
+  std::vector<int> ids;
+  ids.reserve(members_.size());
+  for (const auto& [id, member] : members_) {
+    if (!member.isolated) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (int id : ids) {
+    if (loss_rate_ > 0.0 && rng_.next_bool(loss_rate_)) {
+      ++stats_.datagrams_dropped;
+      continue;
+    }
+    auto it = members_.find(id);
+    if (it == members_.end() || it->second.isolated) continue;
+    ++stats_.datagrams_delivered;
+    stats_.bytes_delivered += payload.size();
+    it->second.handler(sender_id, payload);
+  }
+}
+
+}  // namespace ganglia::sim

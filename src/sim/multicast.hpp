@@ -1,0 +1,70 @@
+// Simulated intra-cluster multicast channel.
+//
+// Gmon agents exchange metrics over a UDP multicast backbone; every agent
+// hears its neighbours and so holds redundant global state (paper §1).
+// This bus models that channel: publish delivers the datagram to every
+// joined member (loopback included, as real gmond hears itself), with
+// optional independent per-receiver loss and per-member isolation
+// (partition).  Byte counters support the "<56 Kbps on a 128-node cluster"
+// bandwidth check.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ganglia::sim {
+
+class MulticastBus {
+ public:
+  /// Handler invoked for each delivered datagram.
+  using Handler = std::function<void(int sender_id, std::string_view payload)>;
+
+  explicit MulticastBus(std::uint64_t loss_seed = 0x9e3779b9u)
+      : rng_(loss_seed) {}
+
+  /// Join the channel; returns this member's id.
+  int join(Handler handler);
+
+  /// Leave permanently (a departed node).
+  void leave(int member_id);
+
+  /// Isolate or rejoin a member: an isolated member neither receives nor
+  /// delivers (models a node dropping off the network).
+  void set_isolated(int member_id, bool isolated);
+
+  /// Fraction of deliveries independently dropped (UDP is lossy).
+  void set_loss_rate(double p) { loss_rate_ = p; }
+
+  /// Send a datagram to the group.
+  void publish(int sender_id, std::string_view payload);
+
+  struct Stats {
+    std::uint64_t datagrams_sent = 0;
+    std::uint64_t datagrams_delivered = 0;
+    std::uint64_t datagrams_dropped = 0;
+    std::uint64_t bytes_sent = 0;        ///< payload bytes put on the wire
+    std::uint64_t bytes_delivered = 0;   ///< sum over receivers
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  std::size_t member_count() const { return members_.size(); }
+
+ private:
+  struct Member {
+    Handler handler;
+    bool isolated = false;
+  };
+  std::unordered_map<int, Member> members_;
+  int next_id_ = 0;
+  double loss_rate_ = 0.0;
+  Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace ganglia::sim

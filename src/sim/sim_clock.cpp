@@ -1,0 +1,4 @@
+#include "sim/sim_clock.hpp"
+
+// Header-only today; this translation unit pins the vtable.
+namespace ganglia::sim {}

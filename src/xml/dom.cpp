@@ -1,0 +1,88 @@
+#include "xml/dom.hpp"
+
+#include "xml/sax.hpp"
+
+namespace ganglia::xml {
+
+std::string_view DomNode::attr(std::string_view attr_name,
+                               std::string_view fallback) const noexcept {
+  for (const auto& [k, v] : attributes) {
+    if (k == attr_name) return v;
+  }
+  return fallback;
+}
+
+const DomNode* DomNode::child(std::string_view child_name) const noexcept {
+  for (const auto& c : children) {
+    if (c->name == child_name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const DomNode*> DomNode::children_named(
+    std::string_view child_name) const {
+  std::vector<const DomNode*> out;
+  for (const auto& c : children) {
+    if (c->name == child_name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const DomNode* DomNode::find_named(
+    std::string_view element, std::string_view name_attr_value) const noexcept {
+  if (name == element && attr("NAME") == name_attr_value) return this;
+  for (const auto& c : children) {
+    if (const DomNode* hit = c->find_named(element, name_attr_value)) return hit;
+  }
+  return nullptr;
+}
+
+std::size_t DomNode::subtree_size() const noexcept {
+  std::size_t n = 1;
+  for (const auto& c : children) n += c->subtree_size();
+  return n;
+}
+
+namespace {
+
+class DomBuilder final : public SaxHandler {
+ public:
+  void on_start_element(std::string_view name, const AttrList& attrs) override {
+    auto node = std::make_unique<DomNode>();
+    node->name = std::string(name);
+    node->attributes.reserve(attrs.size());
+    for (const Attr& a : attrs) {
+      node->attributes.emplace_back(std::string(a.name), std::string(a.value));
+    }
+    DomNode* raw = node.get();
+    if (stack_.empty()) {
+      root_ = std::move(node);
+    } else {
+      stack_.back()->children.push_back(std::move(node));
+    }
+    stack_.push_back(raw);
+  }
+
+  void on_end_element(std::string_view) override { stack_.pop_back(); }
+
+  void on_text(std::string_view text) override {
+    if (!stack_.empty()) stack_.back()->text += text;
+  }
+
+  std::unique_ptr<DomNode> take_root() { return std::move(root_); }
+
+ private:
+  std::unique_ptr<DomNode> root_;
+  std::vector<DomNode*> stack_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DomNode>> parse_dom(std::string_view doc) {
+  DomBuilder builder;
+  SaxParser parser;
+  if (Status s = parser.parse(doc, builder); !s.ok()) return s.error();
+  return builder.take_root();
+}
+
+}  // namespace ganglia::xml

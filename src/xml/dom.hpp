@@ -1,0 +1,46 @@
+// Minimal DOM built on the SAX parser.
+//
+// The paper's store "approximates a DOM design"; this module is the real
+// thing for code that wants a navigable tree — the presenter, tests, and
+// ad-hoc tooling.  The gmetad store itself uses its own hash-table layout
+// (src/gmetad/store.hpp) as the paper describes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ganglia::xml {
+
+struct DomNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::unique_ptr<DomNode>> children;
+  std::string text;  ///< concatenated character data
+
+  /// Attribute value or fallback.
+  std::string_view attr(std::string_view attr_name,
+                        std::string_view fallback = {}) const noexcept;
+
+  /// First child element with the given name (nullptr when absent).
+  const DomNode* child(std::string_view child_name) const noexcept;
+
+  /// All children with the given name.
+  std::vector<const DomNode*> children_named(std::string_view child_name) const;
+
+  /// First descendant matching `name` with ATTR NAME==value (depth-first),
+  /// e.g. find_named("HOST", "compute-0-0").  nullptr when absent.
+  const DomNode* find_named(std::string_view element,
+                            std::string_view name_attr_value) const noexcept;
+
+  /// Total element count of this subtree (including this node).
+  std::size_t subtree_size() const noexcept;
+};
+
+/// Parse a document into a DOM tree.
+Result<std::unique_ptr<DomNode>> parse_dom(std::string_view doc);
+
+}  // namespace ganglia::xml

@@ -1,0 +1,201 @@
+#include "xml/dtd.hpp"
+
+#include <algorithm>
+#include <array>
+#include <span>
+
+#include "xml/sax.hpp"
+
+namespace ganglia::xml {
+
+namespace {
+
+struct ElementRule {
+  std::string_view name;
+  std::span<const std::string_view> children;   ///< allowed child elements
+  std::span<const std::string_view> required;   ///< required attributes
+  std::span<const std::string_view> optional;   ///< optional attributes
+};
+
+constexpr std::string_view kRootChildren[] = {"GRID", "CLUSTER"};
+constexpr std::string_view kRootRequired[] = {"VERSION", "SOURCE"};
+
+constexpr std::string_view kGridChildren[] = {"GRID", "CLUSTER", "HOSTS",
+                                              "METRICS"};
+constexpr std::string_view kGridRequired[] = {"NAME"};
+constexpr std::string_view kGridOptional[] = {"AUTHORITY", "LOCALTIME"};
+
+constexpr std::string_view kClusterChildren[] = {"HOST", "HOSTS", "METRICS"};
+constexpr std::string_view kClusterRequired[] = {"NAME"};
+constexpr std::string_view kClusterOptional[] = {"LOCALTIME", "OWNER",
+                                                 "LATLONG", "URL"};
+
+constexpr std::string_view kHostChildren[] = {"METRIC"};
+constexpr std::string_view kHostRequired[] = {"NAME", "IP", "REPORTED"};
+constexpr std::string_view kHostOptional[] = {"TN", "TMAX", "DMAX", "LOCATION",
+                                              "GMOND_STARTED"};
+
+constexpr std::string_view kMetricRequired[] = {"NAME", "VAL", "TYPE"};
+constexpr std::string_view kMetricOptional[] = {"UNITS", "TN",    "TMAX",
+                                                "DMAX",  "SLOPE", "SOURCE"};
+
+constexpr std::string_view kHostsRequired[] = {"UP", "DOWN"};
+
+constexpr std::string_view kMetricsRequired[] = {"NAME", "SUM", "NUM"};
+constexpr std::string_view kMetricsOptional[] = {"TYPE", "UNITS"};
+
+const std::array<ElementRule, 7> kRules = {{
+    {"GANGLIA_XML", kRootChildren, kRootRequired, {}},
+    {"GRID", kGridChildren, kGridRequired, kGridOptional},
+    {"CLUSTER", kClusterChildren, kClusterRequired, kClusterOptional},
+    {"HOST", kHostChildren, kHostRequired, kHostOptional},
+    {"METRIC", {}, kMetricRequired, kMetricOptional},
+    {"HOSTS", {}, kHostsRequired, {}},
+    {"METRICS", {}, kMetricsRequired, kMetricsOptional},
+}};
+
+const ElementRule* find_rule(std::string_view name) {
+  for (const ElementRule& rule : kRules) {
+    if (rule.name == name) return &rule;
+  }
+  return nullptr;
+}
+
+bool contains(std::span<const std::string_view> haystack,
+              std::string_view needle) {
+  return std::find(haystack.begin(), haystack.end(), needle) != haystack.end();
+}
+
+class DtdHandler final : public SaxHandler {
+ public:
+  explicit DtdHandler(bool strict) : strict_(strict) {}
+
+  void on_start_element(std::string_view name, const AttrList& attrs) override {
+    if (!error_.empty()) return;
+    const ElementRule* rule = find_rule(name);
+    if (rule == nullptr) {
+      error_ = "element <" + std::string(name) + "> is not in the DTD";
+      return;
+    }
+    if (stack_.empty()) {
+      if (name != "GANGLIA_XML") {
+        error_ = "root element must be GANGLIA_XML, got <" +
+                 std::string(name) + ">";
+        return;
+      }
+    } else {
+      const ElementRule* parent = stack_.back();
+      if (!contains(parent->children, name)) {
+        error_ = "<" + std::string(name) + "> not allowed inside <" +
+                 std::string(parent->name) + ">";
+        return;
+      }
+    }
+    for (std::string_view required : rule->required) {
+      if (!attrs.has(required)) {
+        error_ = "<" + std::string(name) + "> missing required attribute " +
+                 std::string(required);
+        return;
+      }
+    }
+    if (strict_) {
+      for (const Attr& attr : attrs) {
+        if (!contains(rule->required, attr.name) &&
+            !contains(rule->optional, attr.name)) {
+          error_ = "<" + std::string(name) + "> has undeclared attribute " +
+                   std::string(attr.name);
+          return;
+        }
+      }
+    }
+    stack_.push_back(rule);
+  }
+
+  void on_end_element(std::string_view) override {
+    if (error_.empty() && !stack_.empty()) stack_.pop_back();
+  }
+
+  void on_text(std::string_view) override {
+    if (!error_.empty()) return;
+    // The dialect has no mixed content (SERIES documents are separate).
+    if (!stack_.empty()) {
+      error_ = "<" + std::string(stack_.back()->name) +
+               "> must not contain character data";
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool strict_;
+  std::vector<const ElementRule*> stack_;
+  std::string error_;
+};
+
+}  // namespace
+
+Status validate_ganglia_dtd(std::string_view document, bool strict) {
+  DtdHandler handler(strict);
+  SaxParser parser;
+  if (Status s = parser.parse(document, handler); !s.ok()) return s;
+  if (!handler.error().empty()) {
+    return Err(Errc::parse_error, handler.error());
+  }
+  return {};
+}
+
+std::string_view ganglia_dtd_text() {
+  return R"(<!-- Ganglia XML dialect, with the GRID extension of
+     "Wide Area Cluster Monitoring with Ganglia" (CLUSTER 2003), section 2.2 -->
+<!ELEMENT GANGLIA_XML (GRID | CLUSTER)*>
+<!ATTLIST GANGLIA_XML VERSION CDATA #REQUIRED
+                      SOURCE  CDATA #REQUIRED>
+
+<!ELEMENT GRID (GRID | CLUSTER | HOSTS | METRICS)*>
+<!ATTLIST GRID NAME      CDATA #REQUIRED
+               AUTHORITY CDATA #IMPLIED
+               LOCALTIME CDATA #IMPLIED>
+
+<!ELEMENT CLUSTER (HOST | HOSTS | METRICS)*>
+<!ATTLIST CLUSTER NAME      CDATA #REQUIRED
+                  LOCALTIME CDATA #IMPLIED
+                  OWNER     CDATA #IMPLIED
+                  LATLONG   CDATA #IMPLIED
+                  URL       CDATA #IMPLIED>
+
+<!ELEMENT HOST (METRIC)*>
+<!ATTLIST HOST NAME          CDATA #REQUIRED
+               IP            CDATA #REQUIRED
+               REPORTED      CDATA #REQUIRED
+               TN            CDATA #IMPLIED
+               TMAX          CDATA #IMPLIED
+               DMAX          CDATA #IMPLIED
+               LOCATION      CDATA #IMPLIED
+               GMOND_STARTED CDATA #IMPLIED>
+
+<!ELEMENT METRIC EMPTY>
+<!ATTLIST METRIC NAME   CDATA #REQUIRED
+                 VAL    CDATA #REQUIRED
+                 TYPE   CDATA #REQUIRED
+                 UNITS  CDATA #IMPLIED
+                 TN     CDATA #IMPLIED
+                 TMAX   CDATA #IMPLIED
+                 DMAX   CDATA #IMPLIED
+                 SLOPE  CDATA #IMPLIED
+                 SOURCE CDATA #IMPLIED>
+
+<!-- summary form: additive reductions over a known host set -->
+<!ELEMENT HOSTS EMPTY>
+<!ATTLIST HOSTS UP   CDATA #REQUIRED
+                DOWN CDATA #REQUIRED>
+
+<!ELEMENT METRICS EMPTY>
+<!ATTLIST METRICS NAME  CDATA #REQUIRED
+                  SUM   CDATA #REQUIRED
+                  NUM   CDATA #REQUIRED
+                  TYPE  CDATA #IMPLIED
+                  UNITS CDATA #IMPLIED>
+)";
+}
+
+}  // namespace ganglia::xml

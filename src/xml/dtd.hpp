@@ -1,0 +1,38 @@
+// Ganglia DTD validation.
+//
+// "Their XML output conforms to the Ganglia DTD, and therefore requires the
+// same processing effort by the gmeta system under study" (paper §3).  This
+// module encodes that DTD — element nesting and attribute lists, including
+// the GRID extension of §2.2 — and validates documents against it, so tests
+// can hold every emitter in the system to the wire contract.
+//
+//   GANGLIA_XML (GRID | CLUSTER)*         VERSION SOURCE
+//   GRID        (GRID | CLUSTER | HOSTS | METRICS)*
+//                                         NAME AUTHORITY? LOCALTIME?
+//   CLUSTER     (HOST | HOSTS | METRICS)* NAME LOCALTIME? OWNER? LATLONG? URL?
+//   HOST        (METRIC)*                 NAME IP REPORTED TN? TMAX? DMAX?
+//                                         LOCATION? GMOND_STARTED?
+//   METRIC      EMPTY                     NAME VAL TYPE UNITS? TN? TMAX?
+//                                         DMAX? SLOPE? SOURCE?
+//   HOSTS       EMPTY                     UP DOWN
+//   METRICS     EMPTY                     NAME SUM NUM TYPE? UNITS?
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ganglia::xml {
+
+/// Validate a whole document against the Ganglia DTD.  On failure the
+/// message names the offending element/attribute.  Strict mode also rejects
+/// unknown attributes (by default they are tolerated, matching the
+/// forward-compatible parser).
+Status validate_ganglia_dtd(std::string_view document, bool strict = true);
+
+/// The DTD source itself (shippable as ganglia.dtd).
+std::string_view ganglia_dtd_text();
+
+}  // namespace ganglia::xml

@@ -1,0 +1,112 @@
+#include "xml/escape.hpp"
+
+#include <cstdint>
+
+#include "common/strings.hpp"
+
+namespace ganglia::xml {
+
+void escape_append(std::string& out, std::string_view raw) {
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  escape_append(out, raw);
+  return out;
+}
+
+namespace {
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+}  // namespace
+
+Status unescape_append(std::string& out, std::string_view raw) {
+  std::size_t i = 0;
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c != '&') {
+      out += c;
+      ++i;
+      continue;
+    }
+    const std::size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return Err(Errc::parse_error, "unterminated entity reference");
+    }
+    const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity.front() == '#') {
+      std::string_view digits = entity.substr(1);
+      std::uint32_t cp = 0;
+      bool ok = !digits.empty();
+      if (!digits.empty() && (digits.front() == 'x' || digits.front() == 'X')) {
+        digits = digits.substr(1);
+        ok = !digits.empty();
+        for (char d : digits) {
+          std::uint32_t v;
+          if (d >= '0' && d <= '9') v = static_cast<std::uint32_t>(d - '0');
+          else if (d >= 'a' && d <= 'f') v = static_cast<std::uint32_t>(d - 'a' + 10);
+          else if (d >= 'A' && d <= 'F') v = static_cast<std::uint32_t>(d - 'A' + 10);
+          else { ok = false; break; }
+          cp = cp * 16 + v;
+          if (cp > 0x10FFFF) { ok = false; break; }
+        }
+      } else {
+        for (char d : digits) {
+          if (d < '0' || d > '9') { ok = false; break; }
+          cp = cp * 10 + static_cast<std::uint32_t>(d - '0');
+          if (cp > 0x10FFFF) { ok = false; break; }
+        }
+      }
+      if (!ok) {
+        return Err(Errc::parse_error,
+                   "bad numeric character reference: &" + std::string(entity) + ";");
+      }
+      append_utf8(out, cp);
+    } else {
+      return Err(Errc::parse_error,
+                 "unknown entity: &" + std::string(entity) + ";");
+    }
+    i = semi + 1;
+  }
+  return {};
+}
+
+}  // namespace ganglia::xml

@@ -1,0 +1,27 @@
+// XML text/attribute escaping for the Ganglia dialect.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+
+namespace ganglia::xml {
+
+/// Escape the five predefined entities (&, <, >, ", ').  Appends to out.
+void escape_append(std::string& out, std::string_view raw);
+
+/// Convenience form returning a fresh string.
+std::string escape(std::string_view raw);
+
+/// Decode entity references (&amp; &lt; &gt; &quot; &apos; and numeric
+/// &#NN; / &#xNN; for code points <= 0x10FFFF, emitted as UTF-8).
+/// Appends to out; fails on malformed or unknown references.
+Status unescape_append(std::string& out, std::string_view raw);
+
+/// True if the text contains no '&' (and so needs no decoding pass).
+inline bool needs_unescape(std::string_view raw) noexcept {
+  return raw.find('&') != std::string_view::npos;
+}
+
+}  // namespace ganglia::xml

@@ -1,0 +1,452 @@
+#include "xml/ganglia.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+#include "xml/sax.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia {
+
+// ---------------------------------------------------------------- metrics
+
+std::string_view metric_type_name(MetricType t) noexcept {
+  switch (t) {
+    case MetricType::string_t: return "string";
+    case MetricType::int8: return "int8";
+    case MetricType::uint8: return "uint8";
+    case MetricType::int16: return "int16";
+    case MetricType::uint16: return "uint16";
+    case MetricType::int32: return "int32";
+    case MetricType::uint32: return "uint32";
+    case MetricType::float_t: return "float";
+    case MetricType::double_t: return "double";
+    case MetricType::timestamp: return "timestamp";
+  }
+  return "string";
+}
+
+std::optional<MetricType> metric_type_from_name(std::string_view s) noexcept {
+  if (s == "string") return MetricType::string_t;
+  if (s == "int8") return MetricType::int8;
+  if (s == "uint8") return MetricType::uint8;
+  if (s == "int16") return MetricType::int16;
+  if (s == "uint16") return MetricType::uint16;
+  if (s == "int32" || s == "int") return MetricType::int32;
+  if (s == "uint32" || s == "uint") return MetricType::uint32;
+  if (s == "float") return MetricType::float_t;
+  if (s == "double") return MetricType::double_t;
+  if (s == "timestamp") return MetricType::timestamp;
+  return std::nullopt;
+}
+
+std::string_view slope_name(Slope s) noexcept {
+  switch (s) {
+    case Slope::zero: return "zero";
+    case Slope::positive: return "positive";
+    case Slope::negative: return "negative";
+    case Slope::both: return "both";
+    case Slope::unspecified: return "unspecified";
+  }
+  return "both";
+}
+
+std::optional<Slope> slope_from_name(std::string_view s) noexcept {
+  if (s == "zero") return Slope::zero;
+  if (s == "positive") return Slope::positive;
+  if (s == "negative") return Slope::negative;
+  if (s == "both") return Slope::both;
+  if (s == "unspecified") return Slope::unspecified;
+  return std::nullopt;
+}
+
+void Metric::set_double(double v) {
+  type = MetricType::double_t;
+  numeric = v;
+  value = format_double(v);
+}
+
+void Metric::set_int(std::int64_t v, MetricType t) {
+  type = t;
+  numeric = static_cast<double>(v);
+  value = std::to_string(v);
+}
+
+void Metric::set_uint(std::uint64_t v, MetricType t) {
+  type = t;
+  numeric = static_cast<double>(v);
+  value = std::to_string(v);
+}
+
+void Metric::set_string(std::string v) {
+  type = MetricType::string_t;
+  numeric = 0.0;
+  value = std::move(v);
+}
+
+// ------------------------------------------------------------------ hosts
+
+const Metric* Host::find_metric(std::string_view metric_name) const noexcept {
+  for (const Metric& m : metrics) {
+    if (m.name == metric_name) return &m;
+  }
+  return nullptr;
+}
+
+Metric* Host::find_metric(std::string_view metric_name) noexcept {
+  for (Metric& m : metrics) {
+    if (m.name == metric_name) return &m;
+  }
+  return nullptr;
+}
+
+// -------------------------------------------------------------- summaries
+
+void SummaryInfo::add_host(const Host& host) {
+  if (host.is_up()) {
+    ++hosts_up;
+  } else {
+    ++hosts_down;
+    return;  // down hosts contribute no metric values
+  }
+  for (const Metric& m : host.metrics) {
+    if (!m.is_numeric()) continue;
+    MetricSummary& s = metrics[m.name];
+    if (s.num == 0) {
+      s.type = m.type;
+      s.units = m.units;
+    }
+    s.sum += m.numeric;
+    ++s.num;
+  }
+}
+
+void SummaryInfo::merge(const SummaryInfo& other) {
+  hosts_up += other.hosts_up;
+  hosts_down += other.hosts_down;
+  for (const auto& [name, os] : other.metrics) {
+    MetricSummary& s = metrics[name];
+    if (s.num == 0) {
+      s.type = os.type;
+      s.units = os.units;
+    }
+    s.sum += os.sum;
+    s.num += os.num;
+  }
+}
+
+// --------------------------------------------------------- clusters/grids
+
+SummaryInfo Cluster::summarize() const {
+  if (summary) return *summary;
+  SummaryInfo out;
+  for (const auto& [host_name, host] : hosts) {
+    (void)host_name;
+    out.add_host(host);
+  }
+  return out;
+}
+
+SummaryInfo Grid::summarize() const {
+  if (summary) return *summary;
+  SummaryInfo out;
+  for (const Cluster& c : clusters) out.merge(c.summarize());
+  for (const Grid& g : grids) out.merge(g.summarize());
+  return out;
+}
+
+std::size_t Grid::cluster_count() const noexcept {
+  std::size_t n = clusters.size();
+  for (const Grid& g : grids) n += g.cluster_count();
+  return n;
+}
+
+std::size_t Grid::host_count() const noexcept {
+  std::size_t n = 0;
+  for (const Cluster& c : clusters) n += c.hosts.size();
+  for (const Grid& g : grids) n += g.host_count();
+  return n;
+}
+
+// ---------------------------------------------------------------- writing
+
+void write_metric(xml::XmlWriter& w, const Metric& metric) {
+  w.open("METRIC");
+  w.attr("NAME", metric.name);
+  w.attr("VAL", metric.value);
+  w.attr("TYPE", metric_type_name(metric.type));
+  w.attr("UNITS", metric.units);
+  w.attr("TN", static_cast<std::uint64_t>(metric.tn));
+  w.attr("TMAX", static_cast<std::uint64_t>(metric.tmax));
+  w.attr("DMAX", static_cast<std::uint64_t>(metric.dmax));
+  w.attr("SLOPE", slope_name(metric.slope));
+  w.attr("SOURCE", metric.source);
+  w.close();
+}
+
+void write_host(xml::XmlWriter& w, const Host& host) {
+  w.open("HOST");
+  w.attr("NAME", host.name);
+  w.attr("IP", host.ip);
+  w.attr("REPORTED", host.reported);
+  w.attr("TN", static_cast<std::uint64_t>(host.tn));
+  w.attr("TMAX", static_cast<std::uint64_t>(host.tmax));
+  w.attr("DMAX", static_cast<std::uint64_t>(host.dmax));
+  if (!host.location.empty()) w.attr("LOCATION", host.location);
+  w.attr("GMOND_STARTED", host.gmond_started);
+  for (const Metric& m : host.metrics) write_metric(w, m);
+  w.close();
+}
+
+void write_summary_info(xml::XmlWriter& w, const SummaryInfo& summary) {
+  w.open("HOSTS");
+  w.attr("UP", static_cast<std::uint64_t>(summary.hosts_up));
+  w.attr("DOWN", static_cast<std::uint64_t>(summary.hosts_down));
+  w.close();
+  for (const auto& [name, ms] : summary.metrics) {
+    w.open("METRICS");
+    w.attr("NAME", name);
+    w.attr("SUM", ms.sum);
+    w.attr("NUM", ms.num);
+    w.attr("TYPE", metric_type_name(ms.type));
+    if (!ms.units.empty()) w.attr("UNITS", ms.units);
+    w.close();
+  }
+}
+
+namespace {
+void write_cluster_attrs(xml::XmlWriter& w, const Cluster& cluster) {
+  w.attr("NAME", cluster.name);
+  w.attr("LOCALTIME", cluster.localtime);
+  if (!cluster.owner.empty()) w.attr("OWNER", cluster.owner);
+  if (!cluster.latlong.empty()) w.attr("LATLONG", cluster.latlong);
+  if (!cluster.url.empty()) w.attr("URL", cluster.url);
+}
+}  // namespace
+
+void write_cluster(xml::XmlWriter& w, const Cluster& cluster) {
+  w.open("CLUSTER");
+  write_cluster_attrs(w, cluster);
+  if (cluster.summary) {
+    write_summary_info(w, *cluster.summary);
+  } else {
+    for (const auto& [name, host] : cluster.hosts) {
+      (void)name;
+      write_host(w, host);
+    }
+  }
+  w.close();
+}
+
+void write_cluster_summary(xml::XmlWriter& w, const Cluster& cluster) {
+  w.open("CLUSTER");
+  write_cluster_attrs(w, cluster);
+  write_summary_info(w, cluster.summarize());
+  w.close();
+}
+
+void write_grid(xml::XmlWriter& w, const Grid& grid) {
+  w.open("GRID");
+  w.attr("NAME", grid.name);
+  w.attr("AUTHORITY", grid.authority);
+  w.attr("LOCALTIME", grid.localtime);
+  if (grid.summary) {
+    write_summary_info(w, *grid.summary);
+  } else {
+    for (const Cluster& c : grid.clusters) write_cluster(w, c);
+    for (const Grid& g : grid.grids) write_grid(w, g);
+  }
+  w.close();
+}
+
+std::string write_report(const Report& report, const WriteOptions& opts) {
+  std::string out;
+  xml::XmlWriter w(out, opts.pretty);
+  if (opts.with_declaration) w.declaration();
+  if (opts.with_doctype) w.doctype("GANGLIA_XML", "ganglia.dtd");
+  w.open("GANGLIA_XML");
+  w.attr("VERSION", report.version);
+  w.attr("SOURCE", report.source);
+  for (const Cluster& c : report.clusters) write_cluster(w, c);
+  for (const Grid& g : report.grids) write_grid(w, g);
+  w.close();
+  return out;
+}
+
+// ---------------------------------------------------------------- parsing
+
+namespace {
+
+std::uint32_t attr_u32(const xml::AttrList& attrs, std::string_view name,
+                       std::uint32_t fallback = 0) {
+  auto v = parse_u64(attrs.get(name));
+  return v ? static_cast<std::uint32_t>(*v) : fallback;
+}
+
+std::int64_t attr_i64(const xml::AttrList& attrs, std::string_view name,
+                      std::int64_t fallback = 0) {
+  auto v = parse_i64(attrs.get(name));
+  return v.value_or(fallback);
+}
+
+/// Builds a Report from SAX events.  GRID elements nest; CLUSTER elements
+/// appear under GANGLIA_XML (gmond reports) or under GRID (gmetad reports).
+class ReportBuilder final : public xml::SaxHandler {
+ public:
+  void on_start_element(std::string_view name,
+                        const xml::AttrList& attrs) override {
+    if (!error_.empty()) return;
+    if (name == "GANGLIA_XML") {
+      if (depth_ != 0) return set_error("GANGLIA_XML must be the root element");
+      report_.version = std::string(attrs.get("VERSION"));
+      report_.source = std::string(attrs.get("SOURCE"));
+      in_report_ = true;
+    } else if (name == "GRID") {
+      if (!in_report_ || cluster_ != nullptr)
+        return set_error("GRID in invalid position");
+      Grid grid;
+      grid.name = std::string(attrs.get("NAME"));
+      grid.authority = std::string(attrs.get("AUTHORITY"));
+      grid.localtime = attr_i64(attrs, "LOCALTIME");
+      if (grid.name.empty()) return set_error("GRID missing NAME");
+      auto& siblings =
+          grid_stack_.empty() ? report_.grids : grid_stack_.back()->grids;
+      siblings.push_back(std::move(grid));
+      grid_stack_.push_back(&siblings.back());
+    } else if (name == "CLUSTER") {
+      if (!in_report_ || cluster_ != nullptr)
+        return set_error("CLUSTER in invalid position");
+      Cluster cluster;
+      cluster.name = std::string(attrs.get("NAME"));
+      cluster.owner = std::string(attrs.get("OWNER"));
+      cluster.latlong = std::string(attrs.get("LATLONG"));
+      cluster.url = std::string(attrs.get("URL"));
+      cluster.localtime = attr_i64(attrs, "LOCALTIME");
+      if (cluster.name.empty()) return set_error("CLUSTER missing NAME");
+      auto& siblings = grid_stack_.empty() ? report_.clusters
+                                           : grid_stack_.back()->clusters;
+      siblings.push_back(std::move(cluster));
+      cluster_ = &siblings.back();
+    } else if (name == "HOST") {
+      if (cluster_ == nullptr) return set_error("HOST outside CLUSTER");
+      Host host;
+      host.name = std::string(attrs.get("NAME"));
+      if (host.name.empty()) return set_error("HOST missing NAME");
+      host.ip = std::string(attrs.get("IP"));
+      host.reported = attr_i64(attrs, "REPORTED");
+      host.tn = attr_u32(attrs, "TN");
+      host.tmax = attr_u32(attrs, "TMAX", 20);
+      host.dmax = attr_u32(attrs, "DMAX");
+      host.location = std::string(attrs.get("LOCATION"));
+      host.gmond_started = attr_i64(attrs, "GMOND_STARTED");
+      std::string key = host.name;
+      auto [it, inserted] =
+          cluster_->hosts.insert_or_assign(std::move(key), std::move(host));
+      (void)inserted;  // duplicate HOST: last report wins
+      host_ = &it->second;
+    } else if (name == "METRIC") {
+      if (host_ == nullptr) return set_error("METRIC outside HOST");
+      Metric m;
+      m.name = std::string(attrs.get("NAME"));
+      if (m.name.empty()) return set_error("METRIC missing NAME");
+      m.value = std::string(attrs.get("VAL"));
+      m.type = metric_type_from_name(attrs.get("TYPE", "string"))
+                   .value_or(MetricType::string_t);
+      if (m.is_numeric()) {
+        auto num = parse_double(m.value);
+        if (!num)
+          return set_error("non-numeric VAL '" + m.value +
+                           "' for numeric metric " + m.name);
+        m.numeric = *num;
+      }
+      m.units = std::string(attrs.get("UNITS"));
+      m.tn = attr_u32(attrs, "TN");
+      m.tmax = attr_u32(attrs, "TMAX", 60);
+      m.dmax = attr_u32(attrs, "DMAX");
+      m.slope = slope_from_name(attrs.get("SLOPE", "both")).value_or(Slope::both);
+      m.source = std::string(attrs.get("SOURCE"));
+      host_->metrics.push_back(std::move(m));
+    } else if (name == "HOSTS") {
+      SummaryInfo* summary = current_summary();
+      if (summary == nullptr) return set_error("HOSTS outside GRID/CLUSTER");
+      summary->hosts_up = attr_u32(attrs, "UP");
+      summary->hosts_down = attr_u32(attrs, "DOWN");
+    } else if (name == "METRICS") {
+      SummaryInfo* summary = current_summary();
+      if (summary == nullptr) return set_error("METRICS outside GRID/CLUSTER");
+      const std::string metric_name(attrs.get("NAME"));
+      if (metric_name.empty()) return set_error("METRICS missing NAME");
+      auto sum = parse_double(attrs.get("SUM"));
+      auto num = parse_u64(attrs.get("NUM"));
+      if (!sum || !num)
+        return set_error("METRICS " + metric_name + " has malformed SUM/NUM");
+      MetricSummary ms;
+      ms.sum = *sum;
+      ms.num = *num;
+      ms.type = metric_type_from_name(attrs.get("TYPE", "double"))
+                    .value_or(MetricType::double_t);
+      ms.units = std::string(attrs.get("UNITS"));
+      summary->metrics[metric_name] = std::move(ms);
+    }
+    // Unknown elements are ignored for forward compatibility.
+    ++depth_;
+  }
+
+  void on_end_element(std::string_view name) override {
+    if (!error_.empty()) return;
+    --depth_;
+    if (name == "GRID" && !grid_stack_.empty()) {
+      grid_stack_.pop_back();
+    } else if (name == "CLUSTER") {
+      cluster_ = nullptr;
+    } else if (name == "HOST") {
+      host_ = nullptr;
+    }
+  }
+
+  Result<Report> take(Status parse_status) {
+    if (!parse_status.ok()) return parse_status.error();
+    if (!error_.empty()) return Err(Errc::parse_error, error_);
+    if (!in_report_) return Err(Errc::parse_error, "missing GANGLIA_XML root");
+    return std::move(report_);
+  }
+
+ private:
+  void set_error(std::string msg) {
+    if (error_.empty()) error_ = std::move(msg);
+  }
+
+  /// The summary container for HOSTS/METRICS at the current position:
+  /// a CLUSTER's (cluster-summary form) or the innermost GRID's.
+  SummaryInfo* current_summary() {
+    if (cluster_ != nullptr) {
+      if (!cluster_->summary) cluster_->summary.emplace();
+      return &*cluster_->summary;
+    }
+    if (!grid_stack_.empty()) {
+      Grid* g = grid_stack_.back();
+      if (!g->summary) g->summary.emplace();
+      return &*g->summary;
+    }
+    return nullptr;
+  }
+
+  Report report_;
+  std::vector<Grid*> grid_stack_;
+  Cluster* cluster_ = nullptr;
+  Host* host_ = nullptr;
+  bool in_report_ = false;
+  int depth_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+Result<Report> parse_report(std::string_view doc) {
+  ReportBuilder builder;
+  xml::SaxParser parser;
+  Status status = parser.parse(doc, builder);
+  return builder.take(status);
+}
+
+}  // namespace ganglia

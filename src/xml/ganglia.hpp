@@ -1,0 +1,227 @@
+// The Ganglia XML dialect: typed model, writer, and parser.
+//
+// This mirrors the on-wire language of paper figure 3:
+//
+//   <GANGLIA_XML VERSION=".." SOURCE="..">
+//     <GRID NAME="SDSC" AUTHORITY="my URL" LOCALTIME="..">
+//       <CLUSTER NAME="Meteor" LOCALTIME="..">
+//         <HOST NAME="compute-0-0" IP=".." REPORTED=".." TN=".." TMAX="..">
+//           <METRIC NAME="cpu_num" VAL="2" TYPE="int32" UNITS="CPUs"
+//                   TN="12" TMAX="60" DMAX="0" SLOPE="zero" SOURCE="gmond"/>
+//         </HOST>
+//       </CLUSTER>
+//       <GRID NAME="ATTIC" AUTHORITY="..">      <-- nested grid in summary
+//         <HOSTS UP="10" DOWN="1"/>                 form: additive reductions
+//         <METRICS NAME="cpu_num" SUM="20" NUM="10" TYPE="int32"/>
+//       </GRID>
+//     </GRID>
+//   </GANGLIA_XML>
+//
+// A GRID is "a collection of clusters and other grids".  A grid (or cluster)
+// may appear either at full detail or in *summary form*; a summary looks
+// exactly like the data for a single host where each value is an additive
+// reduction over a known set of nodes (SUM and NUM give sum and mean).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ganglia {
+
+// ---------------------------------------------------------------- metrics
+
+/// Metric value types from the Ganglia DTD.
+enum class MetricType {
+  string_t,
+  int8,
+  uint8,
+  int16,
+  uint16,
+  int32,
+  uint32,
+  float_t,
+  double_t,
+  timestamp,
+};
+
+std::string_view metric_type_name(MetricType t) noexcept;
+std::optional<MetricType> metric_type_from_name(std::string_view s) noexcept;
+
+/// Numeric types can be summarised; strings are visible only at full
+/// resolution (paper §2.2).
+constexpr bool metric_type_is_numeric(MetricType t) noexcept {
+  return t != MetricType::string_t;
+}
+
+/// How a metric's value evolves; gmond uses this for archive hints.
+enum class Slope { zero, positive, negative, both, unspecified };
+
+std::string_view slope_name(Slope s) noexcept;
+std::optional<Slope> slope_from_name(std::string_view s) noexcept;
+
+/// One monitored metric on one host.
+struct Metric {
+  std::string name;
+  MetricType type = MetricType::float_t;
+  std::string value;        ///< exact VAL text as transmitted
+  double numeric = 0.0;     ///< parsed value when the type is numeric
+  std::string units;
+  std::uint32_t tn = 0;     ///< seconds since the value was last updated
+  std::uint32_t tmax = 60;  ///< max expected seconds between updates
+  std::uint32_t dmax = 0;   ///< seconds after which a silent metric expires
+  Slope slope = Slope::both;
+  std::string source = "gmond";
+
+  bool is_numeric() const noexcept { return metric_type_is_numeric(type); }
+
+  /// Set value + numeric + type coherently.
+  void set_double(double v);
+  void set_float(double v) { set_double(v); type = MetricType::float_t; }
+  void set_int(std::int64_t v, MetricType t = MetricType::int32);
+  void set_uint(std::uint64_t v, MetricType t = MetricType::uint32);
+  void set_string(std::string v);
+};
+
+// ------------------------------------------------------------------ hosts
+
+struct Host {
+  std::string name;
+  std::string ip;
+  std::int64_t reported = 0;       ///< unix time of last heartbeat
+  std::uint32_t tn = 0;            ///< seconds since last heard from
+  std::uint32_t tmax = 20;
+  std::uint32_t dmax = 0;
+  std::string location;            ///< "rack,rank,plane"
+  std::int64_t gmond_started = 0;
+  std::vector<Metric> metrics;     ///< insertion order preserved
+
+  const Metric* find_metric(std::string_view metric_name) const noexcept;
+  Metric* find_metric(std::string_view metric_name) noexcept;
+
+  /// Ganglia's liveness rule: a host is up while TN <= 4*TMAX.
+  bool is_up() const noexcept { return tn <= 4 * tmax; }
+};
+
+// -------------------------------------------------------------- summaries
+
+/// Additive reduction of one numeric metric over a known host set.
+struct MetricSummary {
+  double sum = 0.0;
+  std::uint64_t num = 0;
+  MetricType type = MetricType::double_t;
+  std::string units;
+
+  double mean() const noexcept {
+    return num == 0 ? 0.0 : sum / static_cast<double>(num);
+  }
+};
+
+/// Summary of a cluster or grid: HOSTS UP/DOWN plus per-metric reductions.
+struct SummaryInfo {
+  std::uint32_t hosts_up = 0;
+  std::uint32_t hosts_down = 0;
+  std::map<std::string, MetricSummary> metrics;  // ordered => stable XML
+
+  /// Fold one host's numeric metrics into the reduction.
+  void add_host(const Host& host);
+
+  /// Fold another summary in (grid summaries merge child summaries).
+  void merge(const SummaryInfo& other);
+
+  bool empty() const noexcept {
+    return hosts_up == 0 && hosts_down == 0 && metrics.empty();
+  }
+};
+
+// --------------------------------------------------------- clusters/grids
+
+struct Cluster {
+  std::string name;
+  std::string owner;
+  std::string latlong;
+  std::string url;
+  std::int64_t localtime = 0;
+  std::map<std::string, Host> hosts;  // by name, ordered => stable XML
+
+  /// Present when this cluster was reported in summary form (the
+  /// cluster-summary query filter of paper §2.3.2); hosts is then empty.
+  std::optional<SummaryInfo> summary;
+
+  bool is_summary_form() const noexcept { return summary.has_value(); }
+
+  /// Additive summary of this cluster: the stored summary when in summary
+  /// form, otherwise computed over hosts.
+  SummaryInfo summarize() const;
+};
+
+/// A grid node.  Exactly one of two shapes:
+///  * full detail: `clusters` and `grids` children populated;
+///  * summary form: `summary` present, children empty (how an N-level
+///    gmetad reports grids it is not the authority for).
+struct Grid {
+  std::string name;
+  std::string authority;   ///< URL hosting the higher-resolution view
+  std::int64_t localtime = 0;
+  std::vector<Cluster> clusters;
+  std::vector<Grid> grids;
+  std::optional<SummaryInfo> summary;
+
+  bool is_summary_form() const noexcept { return summary.has_value(); }
+
+  /// Recursive additive summary over the whole subtree (uses the stored
+  /// summary for summary-form children).
+  SummaryInfo summarize() const;
+
+  /// Counts over the full-detail portion of the subtree.
+  std::size_t cluster_count() const noexcept;
+  std::size_t host_count() const noexcept;
+};
+
+/// A complete report: the content of one <GANGLIA_XML> document.
+/// Gmond emits a single cluster; gmetad emits a single grid.
+struct Report {
+  std::string version = "2.5.4";
+  std::string source = "gmetad";
+  std::vector<Cluster> clusters;
+  std::vector<Grid> grids;
+};
+
+// ---------------------------------------------------------------- writing
+
+struct WriteOptions {
+  bool pretty = false;
+  bool with_declaration = true;
+  bool with_doctype = false;
+};
+
+/// Serialise a full report.
+std::string write_report(const Report& report, const WriteOptions& opts = {});
+
+namespace xml {
+class XmlWriter;
+}
+
+/// Append a single element subtree (used by the query engine to dump
+/// exactly the requested subtree).
+void write_grid(xml::XmlWriter& w, const Grid& grid);
+void write_cluster(xml::XmlWriter& w, const Cluster& cluster);
+void write_cluster_summary(xml::XmlWriter& w, const Cluster& cluster);
+void write_host(xml::XmlWriter& w, const Host& host);
+void write_metric(xml::XmlWriter& w, const Metric& metric);
+void write_summary_info(xml::XmlWriter& w, const SummaryInfo& summary);
+
+// ---------------------------------------------------------------- parsing
+
+/// Parse a <GANGLIA_XML> document into the typed model.  Unknown elements
+/// and attributes are ignored (forward compatibility); structural errors
+/// (bad nesting, missing NAME, malformed numbers in summary attributes)
+/// fail with Errc::parse_error.
+Result<Report> parse_report(std::string_view doc);
+
+}  // namespace ganglia

@@ -1,0 +1,226 @@
+#include "xml/sax.hpp"
+
+#include <cctype>
+
+#include "xml/escape.hpp"
+
+namespace ganglia::xml {
+
+namespace {
+
+bool is_name_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+bool is_name_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+bool is_ws(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+bool all_ws(std::string_view s) noexcept {
+  for (char c : s) {
+    if (!is_ws(c)) return false;
+  }
+  return true;
+}
+
+void skip_ws(std::string_view doc, std::size_t& i) noexcept {
+  while (i < doc.size() && is_ws(doc[i])) ++i;
+}
+
+}  // namespace
+
+Status SaxParser::fail(std::string_view doc, std::size_t pos, std::string msg) const {
+  std::size_t line = 1;
+  std::size_t col = 1;
+  for (std::size_t i = 0; i < pos && i < doc.size(); ++i) {
+    if (doc[i] == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+  }
+  return Err(Errc::parse_error, msg + " at line " + std::to_string(line) +
+                                    ", column " + std::to_string(col));
+}
+
+Status SaxParser::parse(std::string_view doc, SaxHandler& handler) {
+  std::size_t i = 0;
+  std::vector<std::string_view> open_stack;
+  bool seen_root = false;
+
+  auto flush_text = [&](std::size_t start, std::size_t end) -> Status {
+    std::string_view raw = doc.substr(start, end - start);
+    if (raw.empty() || all_ws(raw)) return {};
+    if (open_stack.empty()) {
+      return fail(doc, start, "character data outside the root element");
+    }
+    if (needs_unescape(raw)) {
+      text_scratch_.clear();
+      if (Status s = unescape_append(text_scratch_, raw); !s.ok()) {
+        return fail(doc, start, s.error().message);
+      }
+      handler.on_text(text_scratch_);
+    } else {
+      handler.on_text(raw);
+    }
+    return {};
+  };
+
+  while (i < doc.size()) {
+    const std::size_t text_start = i;
+    while (i < doc.size() && doc[i] != '<') ++i;
+    if (Status s = flush_text(text_start, i); !s.ok()) return s;
+    if (i >= doc.size()) break;
+
+    const std::size_t tag_pos = i;
+    ++i;  // consume '<'
+    if (i >= doc.size()) return fail(doc, tag_pos, "unterminated markup");
+
+    // Comments, CDATA, DOCTYPE.
+    if (doc[i] == '!') {
+      if (doc.compare(i, 3, "!--") == 0) {
+        const std::size_t end = doc.find("-->", i + 3);
+        if (end == std::string_view::npos)
+          return fail(doc, tag_pos, "unterminated comment");
+        i = end + 3;
+        continue;
+      }
+      if (doc.compare(i, 8, "![CDATA[") == 0) {
+        const std::size_t start = i + 8;
+        const std::size_t end = doc.find("]]>", start);
+        if (end == std::string_view::npos)
+          return fail(doc, tag_pos, "unterminated CDATA section");
+        if (open_stack.empty())
+          return fail(doc, tag_pos, "CDATA outside root element");
+        std::string_view cdata = doc.substr(start, end - start);
+        if (!cdata.empty()) handler.on_text(cdata);
+        i = end + 3;
+        continue;
+      }
+      // DOCTYPE or other declaration: skip to matching '>' (no internal
+      // subset support: '[' ... ']' is skipped bracket-aware).
+      int bracket_depth = 0;
+      while (i < doc.size()) {
+        if (doc[i] == '[') ++bracket_depth;
+        else if (doc[i] == ']') --bracket_depth;
+        else if (doc[i] == '>' && bracket_depth == 0) break;
+        ++i;
+      }
+      if (i >= doc.size()) return fail(doc, tag_pos, "unterminated declaration");
+      ++i;
+      continue;
+    }
+
+    // XML declaration / processing instruction: skip.
+    if (doc[i] == '?') {
+      const std::size_t end = doc.find("?>", i + 1);
+      if (end == std::string_view::npos)
+        return fail(doc, tag_pos, "unterminated processing instruction");
+      i = end + 2;
+      continue;
+    }
+
+    // End tag.
+    if (doc[i] == '/') {
+      ++i;
+      const std::size_t name_start = i;
+      if (i >= doc.size() || !is_name_start(doc[i]))
+        return fail(doc, tag_pos, "malformed end tag");
+      while (i < doc.size() && is_name_char(doc[i])) ++i;
+      const std::string_view name = doc.substr(name_start, i - name_start);
+      skip_ws(doc, i);
+      if (i >= doc.size() || doc[i] != '>')
+        return fail(doc, tag_pos, "expected '>' in end tag");
+      ++i;
+      if (open_stack.empty())
+        return fail(doc, tag_pos, "end tag </" + std::string(name) +
+                                      "> without open element");
+      if (open_stack.back() != name)
+        return fail(doc, tag_pos,
+                    "mismatched end tag </" + std::string(name) +
+                        ">, expected </" + std::string(open_stack.back()) + ">");
+      open_stack.pop_back();
+      handler.on_end_element(name);
+      continue;
+    }
+
+    // Start tag.
+    if (!is_name_start(doc[i]))
+      return fail(doc, tag_pos, "invalid character after '<'");
+    if (open_stack.empty() && seen_root)
+      return fail(doc, tag_pos, "multiple root elements");
+    const std::size_t name_start = i;
+    while (i < doc.size() && is_name_char(doc[i])) ++i;
+    const std::string_view name = doc.substr(name_start, i - name_start);
+
+    attrs_.clear();
+    bool self_closing = false;
+    for (;;) {
+      skip_ws(doc, i);
+      if (i >= doc.size()) return fail(doc, tag_pos, "unterminated start tag");
+      if (doc[i] == '>') {
+        ++i;
+        break;
+      }
+      if (doc[i] == '/') {
+        if (i + 1 >= doc.size() || doc[i + 1] != '>')
+          return fail(doc, i, "expected '/>'");
+        i += 2;
+        self_closing = true;
+        break;
+      }
+      // Attribute.
+      if (!is_name_start(doc[i])) return fail(doc, i, "expected attribute name");
+      const std::size_t attr_start = i;
+      while (i < doc.size() && is_name_char(doc[i])) ++i;
+      const std::string_view attr_name = doc.substr(attr_start, i - attr_start);
+      skip_ws(doc, i);
+      if (i >= doc.size() || doc[i] != '=')
+        return fail(doc, i, "expected '=' after attribute name");
+      ++i;
+      skip_ws(doc, i);
+      if (i >= doc.size() || (doc[i] != '"' && doc[i] != '\''))
+        return fail(doc, i, "expected quoted attribute value");
+      const char quote = doc[i];
+      ++i;
+      const std::size_t value_start = i;
+      while (i < doc.size() && doc[i] != quote && doc[i] != '<') ++i;
+      if (i >= doc.size() || doc[i] != quote)
+        return fail(doc, value_start, "unterminated attribute value");
+      std::string_view raw_value = doc.substr(value_start, i - value_start);
+      ++i;  // consume closing quote
+      std::string_view value = raw_value;
+      if (needs_unescape(raw_value)) {
+        std::string decoded;
+        if (Status s = unescape_append(decoded, raw_value); !s.ok()) {
+          return fail(doc, value_start, s.error().message);
+        }
+        attrs_.scratch_.push_back(std::move(decoded));
+        value = attrs_.scratch_.back();
+      }
+      attrs_.attrs_.push_back(Attr{attr_name, value});
+    }
+
+    seen_root = true;
+    handler.on_start_element(name, attrs_);
+    if (self_closing) {
+      handler.on_end_element(name);
+    } else {
+      open_stack.push_back(name);
+    }
+  }
+
+  if (!open_stack.empty()) {
+    return fail(doc, doc.size(),
+                "unexpected end of document; <" + std::string(open_stack.back()) +
+                    "> not closed");
+  }
+  if (!seen_root) return fail(doc, doc.size(), "no root element");
+  return {};
+}
+
+}  // namespace ganglia::xml

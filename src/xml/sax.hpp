@@ -1,0 +1,99 @@
+// SAX-style XML parser.
+//
+// This parser is in the measured path of the paper's Table 1 experiment (the
+// web frontend's download+parse time) and of every gmetad poll round, so it
+// is written as a single zero-copy pass: callbacks receive string_views into
+// the input buffer except where entity decoding forces a copy.  The whole
+// document is required in memory, which matches the paper's observation that
+// reports are "<1MB in all cases".
+//
+// Supported: declarations, DOCTYPE (skipped), comments, CDATA, the five
+// predefined entities plus numeric character references, self-closing tags,
+// and attribute values in single or double quotes.  Not supported (not used
+// by the Ganglia dialect): processing instructions targeted at applications,
+// namespaces, internal DTD subsets with entity definitions.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace ganglia::xml {
+
+/// One attribute.  `value` points either into the document (common case) or
+/// into parser-owned scratch storage when decoding was required; it is valid
+/// only for the duration of the on_start_element callback.
+struct Attr {
+  std::string_view name;
+  std::string_view value;
+};
+
+/// Attribute list passed to on_start_element.
+class AttrList {
+ public:
+  std::size_t size() const noexcept { return attrs_.size(); }
+  const Attr& operator[](std::size_t i) const { return attrs_[i]; }
+  auto begin() const noexcept { return attrs_.begin(); }
+  auto end() const noexcept { return attrs_.end(); }
+
+  /// Value of the named attribute, or `fallback` when absent.
+  std::string_view get(std::string_view name,
+                       std::string_view fallback = {}) const noexcept {
+    for (const Attr& a : attrs_) {
+      if (a.name == name) return a.value;
+    }
+    return fallback;
+  }
+
+  bool has(std::string_view name) const noexcept {
+    for (const Attr& a : attrs_) {
+      if (a.name == name) return true;
+    }
+    return false;
+  }
+
+ private:
+  friend class SaxParser;
+  void clear() {
+    attrs_.clear();
+    scratch_.clear();
+  }
+  std::vector<Attr> attrs_;
+  // Deque: decoded values must stay pointer-stable while more are added,
+  // because earlier Attr::value views point into them.
+  std::deque<std::string> scratch_;
+};
+
+/// Callback interface.  Views are valid only during the call.
+class SaxHandler {
+ public:
+  virtual ~SaxHandler() = default;
+  virtual void on_start_element(std::string_view name, const AttrList& attrs) {
+    (void)name;
+    (void)attrs;
+  }
+  virtual void on_end_element(std::string_view name) { (void)name; }
+  /// Character data (entity-decoded).  Whitespace-only runs are suppressed.
+  virtual void on_text(std::string_view text) { (void)text; }
+};
+
+/// Parser.  Stateless between documents; reuse one instance to amortise the
+/// attribute-list allocation across many parses (gmetad does).
+class SaxParser {
+ public:
+  /// Parse a complete document, invoking handler callbacks.  On failure the
+  /// error message includes 1-based line/column.
+  Status parse(std::string_view doc, SaxHandler& handler);
+
+ private:
+  Status fail(std::string_view doc, std::size_t pos, std::string msg) const;
+
+  AttrList attrs_;
+  std::string text_scratch_;
+};
+
+}  // namespace ganglia::xml

@@ -1,0 +1,91 @@
+#include "xml/writer.hpp"
+
+#include <cassert>
+
+#include "common/strings.hpp"
+#include "xml/escape.hpp"
+
+namespace ganglia::xml {
+
+void XmlWriter::declaration() {
+  out_ += "<?xml version=\"1.0\" encoding=\"ISO-8859-1\" standalone=\"yes\"?>";
+  if (pretty_) out_ += '\n';
+}
+
+void XmlWriter::doctype(std::string_view root, std::string_view dtd) {
+  out_ += "<!DOCTYPE ";
+  out_ += root;
+  out_ += " SYSTEM \"";
+  out_ += dtd;
+  out_ += "\">";
+  if (pretty_) out_ += '\n';
+}
+
+void XmlWriter::indent() {
+  if (!pretty_) return;
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void XmlWriter::seal_start_tag() {
+  if (tag_open_) {
+    out_ += '>';
+    tag_open_ = false;
+  }
+}
+
+void XmlWriter::open(std::string_view name) {
+  seal_start_tag();
+  if (!stack_.empty() || !out_.empty()) indent();
+  out_ += '<';
+  out_ += name;
+  stack_.emplace_back(name);
+  tag_open_ = true;
+  has_child_ = false;
+}
+
+void XmlWriter::attr(std::string_view name, std::string_view value) {
+  assert(tag_open_ && "attr() only valid immediately after open()");
+  out_ += ' ';
+  out_ += name;
+  out_ += "=\"";
+  escape_append(out_, value);
+  out_ += '"';
+}
+
+void XmlWriter::attr(std::string_view name, std::int64_t value) {
+  attr(name, std::string_view(std::to_string(value)));
+}
+
+void XmlWriter::attr(std::string_view name, std::uint64_t value) {
+  attr(name, std::string_view(std::to_string(value)));
+}
+
+void XmlWriter::attr(std::string_view name, double value) {
+  attr(name, std::string_view(format_double(value)));
+}
+
+void XmlWriter::close() {
+  assert(!stack_.empty() && "close() without open()");
+  const std::string name = std::move(stack_.back());
+  stack_.pop_back();
+  if (tag_open_) {
+    out_ += "/>";
+    tag_open_ = false;
+  } else {
+    if (has_child_) indent();
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+  has_child_ = true;  // the parent now has at least one child
+}
+
+void XmlWriter::text(std::string_view content) {
+  assert(!stack_.empty() && "text() outside any element");
+  seal_start_tag();
+  escape_append(out_, content);
+  has_child_ = false;  // keep </name> adjacent to text in pretty mode
+}
+
+}  // namespace ganglia::xml

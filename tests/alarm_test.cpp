@@ -1,0 +1,336 @@
+// Unit tests for the alarm engine: comparisons, debounce (hold), hysteresis
+// clearing, pattern selection, host-down liveness alarms, and sinks.
+
+#include <gtest/gtest.h>
+
+#include "alarm/alarm.hpp"
+
+#include "gmon/pseudo_gmond.hpp"
+#include "net/inmem.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace ganglia::alarm {
+namespace {
+
+using gmetad::SourceSnapshot;
+using gmetad::Store;
+
+/// Store with one cluster of named (host -> load_one) values.
+void publish_loads(Store& store,
+                   const std::vector<std::pair<std::string, double>>& loads,
+                   std::int64_t t) {
+  Report report;
+  Cluster c;
+  c.name = "alpha";
+  for (const auto& [name, value] : loads) {
+    Host h;
+    h.name = name;
+    h.tn = 1;
+    Metric m;
+    m.name = "load_one";
+    m.set_double(value);
+    h.metrics.push_back(std::move(m));
+    c.hosts.emplace(name, std::move(h));
+  }
+  report.clusters.push_back(std::move(c));
+  store.publish(std::make_shared<SourceSnapshot>("alpha", std::move(report), t));
+}
+
+AlarmRule load_rule(double threshold, std::int64_t hold = 0) {
+  AlarmRule rule;
+  rule.name = "high-load";
+  rule.metric = "load_one";
+  rule.comparison = Comparison::gt;
+  rule.threshold = threshold;
+  rule.hold_s = hold;
+  return rule;
+}
+
+TEST(Compare, AllComparators) {
+  EXPECT_TRUE(compare(2, Comparison::gt, 1));
+  EXPECT_FALSE(compare(1, Comparison::gt, 1));
+  EXPECT_TRUE(compare(1, Comparison::ge, 1));
+  EXPECT_TRUE(compare(0, Comparison::lt, 1));
+  EXPECT_TRUE(compare(1, Comparison::le, 1));
+  EXPECT_TRUE(compare(1, Comparison::eq, 1));
+  EXPECT_TRUE(compare(2, Comparison::ne, 1));
+  EXPECT_STREQ(comparison_name(Comparison::ge).data(), ">=");
+}
+
+TEST(Alarm, RaisesWhenThresholdCrossed) {
+  Store store;
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(4.0)).ok());
+
+  publish_loads(store, {{"h0", 1.0}, {"h1", 5.0}}, 100);
+  const auto events = engine.evaluate(store, 100);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AlarmEvent::Kind::raised);
+  EXPECT_EQ(events[0].subject, "alpha/alpha/h1");
+  EXPECT_DOUBLE_EQ(events[0].value, 5.0);
+  EXPECT_EQ(engine.active().size(), 1u);
+}
+
+TEST(Alarm, NoDuplicateRaiseWhileStillBreaching) {
+  Store store;
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(4.0)).ok());
+  publish_loads(store, {{"h0", 5.0}}, 100);
+  EXPECT_EQ(engine.evaluate(store, 100).size(), 1u);
+  EXPECT_TRUE(engine.evaluate(store, 115).empty());
+  EXPECT_TRUE(engine.evaluate(store, 130).empty());
+}
+
+TEST(Alarm, HoldDebouncesTransients) {
+  Store store;
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(4.0, /*hold=*/30)).ok());
+
+  publish_loads(store, {{"h0", 5.0}}, 100);
+  EXPECT_TRUE(engine.evaluate(store, 100).empty()) << "not held yet";
+  EXPECT_TRUE(engine.evaluate(store, 115).empty());
+  const auto events = engine.evaluate(store, 130);
+  ASSERT_EQ(events.size(), 1u) << "held for 30 s: fire";
+
+  // A transient that clears before the hold never raises.
+  publish_loads(store, {{"h1", 9.0}}, 140);
+  EXPECT_TRUE(engine.evaluate(store, 140).empty());
+  publish_loads(store, {{"h1", 1.0}}, 150);
+  EXPECT_TRUE(engine.evaluate(store, 150).empty());
+  publish_loads(store, {{"h1", 9.0}}, 160);
+  EXPECT_TRUE(engine.evaluate(store, 160).empty()) << "hold restarted";
+}
+
+TEST(Alarm, ClearsWithHysteresis) {
+  Store store;
+  AlarmEngine engine;
+  AlarmRule rule = load_rule(4.0);
+  rule.clear_threshold = 3.0;  // must drop below 3 to clear
+  ASSERT_TRUE(engine.add_rule(rule).ok());
+
+  publish_loads(store, {{"h0", 5.0}}, 100);
+  ASSERT_EQ(engine.evaluate(store, 100).size(), 1u);
+
+  publish_loads(store, {{"h0", 3.5}}, 115);  // below raise, above clear
+  EXPECT_TRUE(engine.evaluate(store, 115).empty()) << "hysteresis holds";
+  EXPECT_EQ(engine.active().size(), 1u);
+
+  publish_loads(store, {{"h0", 2.0}}, 130);
+  const auto events = engine.evaluate(store, 130);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AlarmEvent::Kind::cleared);
+  EXPECT_TRUE(engine.active().empty());
+}
+
+TEST(Alarm, ReRaisesAfterClear) {
+  Store store;
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(4.0)).ok());
+  publish_loads(store, {{"h0", 5.0}}, 100);
+  ASSERT_EQ(engine.evaluate(store, 100).size(), 1u);
+  publish_loads(store, {{"h0", 1.0}}, 110);
+  ASSERT_EQ(engine.evaluate(store, 110).size(), 1u);  // cleared
+  publish_loads(store, {{"h0", 6.0}}, 120);
+  const auto events = engine.evaluate(store, 120);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, AlarmEvent::Kind::raised);
+}
+
+TEST(Alarm, PatternsSelectSubjects) {
+  Store store;
+  AlarmEngine engine;
+  AlarmRule rule = load_rule(0.5);
+  rule.host_pattern = "web-.*";
+  ASSERT_TRUE(engine.add_rule(rule).ok());
+
+  publish_loads(store, {{"web-1", 2.0}, {"db-1", 2.0}}, 100);
+  const auto events = engine.evaluate(store, 100);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].subject, "alpha/alpha/web-1");
+}
+
+TEST(Alarm, ClusterPatternFiltersWholeClusters) {
+  Store store;
+  AlarmEngine engine;
+  AlarmRule rule = load_rule(0.5);
+  rule.cluster_pattern = "beta";
+  ASSERT_TRUE(engine.add_rule(rule).ok());
+  publish_loads(store, {{"h0", 2.0}}, 100);  // cluster "alpha"
+  EXPECT_TRUE(engine.evaluate(store, 100).empty());
+}
+
+TEST(Alarm, HostDownPseudoMetric) {
+  Store store;
+  AlarmEngine engine;
+  AlarmRule rule;
+  rule.name = "dead-host";
+  rule.metric = "__host_down__";
+  rule.comparison = Comparison::ge;
+  rule.threshold = 1.0;
+  ASSERT_TRUE(engine.add_rule(rule).ok());
+
+  Report report;
+  Cluster c;
+  c.name = "alpha";
+  Host up;
+  up.name = "alive";
+  up.tn = 1;
+  Host down;
+  down.name = "dead";
+  down.tn = 500;
+  c.hosts.emplace("alive", std::move(up));
+  c.hosts.emplace("dead", std::move(down));
+  report.clusters.push_back(std::move(c));
+  store.publish(std::make_shared<SourceSnapshot>("alpha", std::move(report), 100));
+
+  const auto events = engine.evaluate(store, 100);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].subject, "alpha/alpha/dead");
+}
+
+TEST(Alarm, SinksReceiveEveryEvent) {
+  Store store;
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(4.0)).ok());
+  std::vector<std::string> log;
+  engine.add_sink([&](const AlarmEvent& e) { log.push_back(e.to_string()); });
+  engine.add_sink([&](const AlarmEvent& e) { log.push_back(e.rule); });
+
+  publish_loads(store, {{"h0", 9.0}}, 100);
+  engine.evaluate(store, 100);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_NE(log[0].find("RAISED"), std::string::npos);
+  EXPECT_EQ(log[1], "high-load");
+}
+
+TEST(Alarm, RuleValidation) {
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(1.0)).ok());
+  EXPECT_FALSE(engine.add_rule(load_rule(2.0)).ok()) << "duplicate name";
+  AlarmRule bad = load_rule(1.0);
+  bad.name = "bad-re";
+  bad.host_pattern = "[unclosed";
+  EXPECT_FALSE(engine.add_rule(bad).ok());
+  EXPECT_EQ(engine.rule_count(), 1u);
+}
+
+TEST(Alarm, MultipleRulesIndependentStates) {
+  Store store;
+  AlarmEngine engine;
+  ASSERT_TRUE(engine.add_rule(load_rule(4.0)).ok());
+  AlarmRule low;
+  low.name = "idle";
+  low.metric = "load_one";
+  low.comparison = Comparison::lt;
+  low.threshold = 0.1;
+  ASSERT_TRUE(engine.add_rule(low).ok());
+
+  publish_loads(store, {{"busy", 9.0}, {"lazy", 0.01}}, 100);
+  const auto events = engine.evaluate(store, 100);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_EQ(engine.active().size(), 2u);
+}
+
+// ---------------------------------------------------- config integration
+
+TEST(AlarmConfig, ParsesAlarmDirectives) {
+  auto config = gmetad::parse_config(
+      "alarm \"high-load\" load_one > 8 hold 30 clear 4\n"
+      "alarm \"down\" __host_down__ >= 1 hosts \"web-.*\" clusters "
+      "\"prod.*\"\n");
+  ASSERT_TRUE(config.ok()) << config.error().to_string();
+  ASSERT_EQ(config->alarms.size(), 2u);
+  EXPECT_EQ(config->alarms[0].name, "high-load");
+  EXPECT_EQ(config->alarms[0].comparison, ">");
+  EXPECT_DOUBLE_EQ(config->alarms[0].threshold, 8);
+  EXPECT_EQ(config->alarms[0].hold_s, 30);
+  EXPECT_DOUBLE_EQ(config->alarms[0].clear_threshold.value(), 4);
+  EXPECT_EQ(config->alarms[1].host_pattern, "web-.*");
+  EXPECT_EQ(config->alarms[1].cluster_pattern, "prod.*");
+}
+
+TEST(AlarmConfig, RejectsMalformedDirectives) {
+  EXPECT_FALSE(gmetad::parse_config("alarm \"x\" load_one\n").ok());
+  EXPECT_FALSE(gmetad::parse_config("alarm \"x\" load_one ~ 3\n").ok());
+  EXPECT_FALSE(gmetad::parse_config("alarm \"x\" load_one > NaNope\n").ok());
+  EXPECT_FALSE(
+      gmetad::parse_config("alarm \"x\" load_one > 1 hold\n").ok());
+  EXPECT_FALSE(
+      gmetad::parse_config("alarm \"x\" load_one > 1 frobnicate 3\n").ok());
+}
+
+TEST(AlarmConfig, RuleFromConfigTranslatesComparisons) {
+  gmetad::GmetadConfig::AlarmRuleConfig config;
+  config.name = "r";
+  config.metric = "m";
+  config.threshold = 2;
+  for (const auto& [text, op] :
+       std::vector<std::pair<std::string, Comparison>>{
+           {">", Comparison::gt}, {">=", Comparison::ge},
+           {"<", Comparison::lt}, {"<=", Comparison::le},
+           {"==", Comparison::eq}, {"!=", Comparison::ne}}) {
+    config.comparison = text;
+    auto rule = rule_from_config(config);
+    ASSERT_TRUE(rule.ok()) << text;
+    EXPECT_EQ(rule->comparison, op);
+  }
+  config.comparison = "~";
+  EXPECT_FALSE(rule_from_config(config).ok());
+}
+
+TEST(AlarmConfig, AttachedEngineFiresDuringPolls) {
+  sim::SimClock clock;
+  net::InMemTransport transport;
+  gmon::PseudoGmondConfig cluster_config;
+  cluster_config.cluster_name = "prod";
+  cluster_config.host_count = 5;
+  gmon::PseudoGmond emulator(cluster_config, clock);
+  emulator.set_down_hosts(1);
+  transport.register_service("prod:8649", emulator.service());
+
+  auto config = gmetad::parse_config(
+      "gridname \"alarmed\"\n"
+      "archive off\n"
+      "data_source \"prod\" prod:8649\n"
+      "alarm \"dead\" __host_down__ >= 1\n");
+  ASSERT_TRUE(config.ok());
+  gmetad::Gmetad monitor(std::move(*config), transport, clock);
+
+  AlarmEngine engine;
+  std::vector<AlarmEvent> fired;
+  engine.add_sink([&](const AlarmEvent& e) { fired.push_back(e); });
+  ASSERT_TRUE(attach_alarms(monitor, engine).ok());
+
+  monitor.poll_once();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].rule, "dead");
+  EXPECT_EQ(fired[0].kind, AlarmEvent::Kind::raised);
+  EXPECT_EQ(engine.active().size(), 1u);
+
+  // Host recovers: alarm clears on a later round.
+  emulator.set_down_hosts(0);
+  clock.advance_seconds(15);
+  monitor.poll_once();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].kind, AlarmEvent::Kind::cleared);
+}
+
+TEST(AlarmConfig, AttachRejectsBadRules) {
+  sim::SimClock clock;
+  net::InMemTransport transport;
+  gmetad::GmetadConfig config;
+  config.grid_name = "g";
+  config.archive_enabled = false;
+  gmetad::GmetadConfig::AlarmRuleConfig bad;
+  bad.name = "bad";
+  bad.metric = "m";
+  bad.comparison = ">";
+  bad.host_pattern = "[unclosed";
+  config.alarms.push_back(bad);
+  gmetad::Gmetad monitor(config, transport, clock);
+  AlarmEngine engine;
+  EXPECT_FALSE(attach_alarms(monitor, engine).ok());
+}
+
+}  // namespace
+}  // namespace ganglia::alarm

@@ -1,0 +1,249 @@
+// Daemon-mode integration tests: gmetad with live threads over real TCP on
+// loopback, trust enforcement, and the soft-state JOIN protocol end-to-end.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gmetad/gmetad.hpp"
+#include "net/service_server.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "net/inmem.hpp"
+#include "net/tcp.hpp"
+#include "presenter/viewer.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace ganglia {
+namespace {
+
+using gmetad::DataSourceConfig;
+using gmetad::Gmetad;
+using gmetad::GmetadConfig;
+using net::ServiceServer;
+
+/// Spin until `predicate` holds or ~deadline_ms elapses.
+template <class Predicate>
+bool eventually(Predicate predicate, int deadline_ms = 5000) {
+  for (int waited = 0; waited < deadline_ms; waited += 50) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return predicate();
+}
+
+TEST(Daemon, TcpEndToEndPollDumpAndQuery) {
+  WallClock clock;
+  net::TcpTransport transport;
+
+  gmon::PseudoGmondConfig cluster_config;
+  cluster_config.cluster_name = "meteor";
+  cluster_config.host_count = 6;
+  gmon::PseudoGmond emulator(cluster_config, clock);
+  ServiceServer gmond_port;
+  ASSERT_TRUE(gmond_port.start(transport, "127.0.0.1:0", emulator.service()).ok());
+
+  GmetadConfig config;
+  config.grid_name = "tcp-grid";
+  config.xml_bind = "127.0.0.1:0";
+  config.interactive_bind = "127.0.0.1:0";
+  config.archive_enabled = false;
+  DataSourceConfig source;
+  source.name = "meteor";
+  source.addresses = {gmond_port.address()};
+  source.poll_interval_s = 1;
+  config.sources.push_back(source);
+
+  Gmetad monitor(config, transport, clock);
+  ASSERT_TRUE(monitor.start().ok());
+  ASSERT_TRUE(monitor.running());
+
+  // The poller thread lands data on its own.
+  ASSERT_TRUE(eventually([&] {
+    auto snapshot = monitor.store().get("meteor");
+    return snapshot != nullptr && snapshot->reachable();
+  }));
+
+  // Dump port over real TCP.
+  auto stream = transport.connect(monitor.xml_address(), 2 * kMicrosPerSecond);
+  ASSERT_TRUE(stream.ok());
+  auto dump = net::read_to_eof(**stream);
+  ASSERT_TRUE(dump.ok());
+  auto report = parse_report(*dump);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report->grids.front().host_count(), 6u);
+
+  // Interactive port: one query line, XML response, close.
+  auto q = transport.connect(monitor.interactive_address(),
+                             2 * kMicrosPerSecond);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE((*q)->write_all("/meteor/compute-0-2.local\n").ok());
+  auto response = net::read_to_eof(**q);
+  ASSERT_TRUE(response.ok());
+  auto host_report = parse_report(*response);
+  ASSERT_TRUE(host_report.ok());
+  EXPECT_EQ(host_report->grids.front().host_count(), 1u);
+
+  // The viewer works against the live daemon too.
+  presenter::Viewer viewer(transport, monitor.xml_address(),
+                           monitor.interactive_address(),
+                           presenter::Strategy::n_level);
+  auto meta = viewer.meta_view();
+  ASSERT_TRUE(meta.ok()) << meta.error().to_string();
+  EXPECT_EQ(meta->total.hosts_up + meta->total.hosts_down, 6u);
+
+  monitor.stop();
+  EXPECT_FALSE(monitor.running());
+  gmond_port.stop();
+}
+
+TEST(Daemon, UntrustedPeersAreRejected) {
+  WallClock clock;
+  net::TcpTransport transport;
+
+  GmetadConfig config;
+  config.grid_name = "fortress";
+  config.xml_bind = "127.0.0.1:0";
+  config.interactive_bind = "127.0.0.1:0";
+  config.archive_enabled = false;
+  // A child must explicitly trust its parent; 10.9.9.9 is not us.
+  config.trusted_hosts = {"10.9.9.9"};
+
+  Gmetad monitor(config, transport, clock);
+  ASSERT_TRUE(monitor.start().ok());
+
+  auto stream = transport.connect(monitor.xml_address(), 2 * kMicrosPerSecond);
+  ASSERT_TRUE(stream.ok());
+  auto dump = net::read_to_eof(**stream);
+  // Connection is accepted then immediately closed without a report.
+  ASSERT_TRUE(dump.ok() || dump.code() == Errc::closed);
+  if (dump.ok()) {
+    EXPECT_TRUE(dump->empty());
+  }
+  monitor.stop();
+}
+
+TEST(Daemon, TrustedLoopbackIsServed) {
+  WallClock clock;
+  net::TcpTransport transport;
+
+  GmetadConfig config;
+  config.grid_name = "open";
+  config.xml_bind = "127.0.0.1:0";
+  config.interactive_bind = "127.0.0.1:0";
+  config.archive_enabled = false;
+  config.trusted_hosts = {"127.0.0.1"};
+
+  Gmetad monitor(config, transport, clock);
+  ASSERT_TRUE(monitor.start().ok());
+  auto stream = transport.connect(monitor.xml_address(), 2 * kMicrosPerSecond);
+  ASSERT_TRUE(stream.ok());
+  auto dump = net::read_to_eof(**stream);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump->find("GANGLIA_XML"), std::string::npos);
+  monitor.stop();
+}
+
+// ------------------------------------------------------------------- join
+
+TEST(Join, ChildJoinsParentDynamically) {
+  sim::SimClock clock;
+  net::InMemTransport transport;
+
+  // Child gmetad with one cluster.
+  gmon::PseudoGmondConfig cluster_config;
+  cluster_config.cluster_name = "attic-alpha";
+  cluster_config.host_count = 4;
+  gmon::PseudoGmond emulator(cluster_config, clock);
+  transport.register_service("attic-alpha:8649", emulator.service());
+
+  GmetadConfig child_config;
+  child_config.grid_name = "attic";
+  child_config.authority = "gmetad://attic:8651/";
+  child_config.xml_bind = "attic:8651";
+  child_config.join_key = "sekrit";
+  child_config.archive_enabled = false;
+  DataSourceConfig ds;
+  ds.name = "attic-alpha";
+  ds.addresses = {"attic-alpha:8649"};
+  child_config.sources.push_back(ds);
+  Gmetad child(child_config, transport, clock);
+  child.poll_once();
+  transport.register_service("attic:8651", child.dump_service());
+
+  // Parent with NO configured children.
+  GmetadConfig parent_config;
+  parent_config.grid_name = "sdsc";
+  parent_config.join_key = "sekrit";
+  parent_config.join_expiry_s = 60;
+  parent_config.archive_enabled = false;
+  Gmetad parent(parent_config, transport, clock);
+  transport.register_service("sdsc:8652", parent.interactive_service());
+
+  EXPECT_TRUE(parent.sources().empty());
+
+  // Child announces itself; parent should adopt it as a data source.
+  ASSERT_TRUE(child.send_join("sdsc:8652").ok());
+  ASSERT_EQ(parent.sources().size(), 1u);
+  EXPECT_EQ(parent.sources()[0]->name(), "attic");
+  EXPECT_EQ(parent.joins().size(), 1u);
+
+  parent.poll_once();
+  auto snapshot = parent.store().get("attic");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_TRUE(snapshot->is_grid());
+  EXPECT_EQ(snapshot->summary().hosts_up, 4u);
+
+  // Keep joining: the child stays.
+  clock.advance_seconds(30);
+  ASSERT_TRUE(child.send_join("sdsc:8652").ok());
+  clock.advance_seconds(30);
+  parent.poll_once();
+  EXPECT_EQ(parent.sources().size(), 1u);
+
+  // Joins cease: after expiry the child is pruned from tree and store.
+  clock.advance_seconds(120);
+  parent.poll_once();
+  EXPECT_TRUE(parent.sources().empty());
+  EXPECT_EQ(parent.store().get("attic"), nullptr);
+}
+
+TEST(Join, WrongKeyRejectedByParent) {
+  sim::SimClock clock;
+  net::InMemTransport transport;
+
+  GmetadConfig parent_config;
+  parent_config.grid_name = "sdsc";
+  parent_config.join_key = "correct";
+  parent_config.archive_enabled = false;
+  Gmetad parent(parent_config, transport, clock);
+  transport.register_service("sdsc:8652", parent.interactive_service());
+
+  GmetadConfig child_config;
+  child_config.grid_name = "evil";
+  child_config.join_key = "WRONG";
+  child_config.xml_bind = "evil:8651";
+  child_config.archive_enabled = false;
+  Gmetad child(child_config, transport, clock);
+
+  EXPECT_FALSE(child.send_join("sdsc:8652").ok());
+  EXPECT_TRUE(parent.sources().empty());
+  EXPECT_EQ(parent.joins().size(), 0u);
+}
+
+TEST(Join, DisabledWithoutKey) {
+  sim::SimClock clock;
+  net::InMemTransport transport;
+  GmetadConfig config;
+  config.grid_name = "nokey";
+  config.archive_enabled = false;
+  Gmetad monitor(config, transport, clock);
+  EXPECT_FALSE(monitor.send_join("anywhere:1").ok());
+
+  // Parent side refuses JOIN lines when no key is configured.
+  auto response = monitor.handle_interactive("JOIN a b:1 c 0123");
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.code(), Errc::refused);
+}
+
+}  // namespace
+}  // namespace ganglia

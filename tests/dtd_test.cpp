@@ -1,0 +1,148 @@
+// DTD conformance: every emitter in the system produces documents that
+// validate against the Ganglia DTD — the paper's own conformance claim for
+// pseudo-gmond, and our contract for gmond, gmetad dumps, and query
+// responses.
+
+#include <gtest/gtest.h>
+
+#include "gmetad/testbed.hpp"
+#include "gmon/gmond.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "sim/event_queue.hpp"
+#include "xml/dtd.hpp"
+
+namespace ganglia {
+namespace {
+
+using gmetad::Mode;
+using gmetad::Testbed;
+using gmetad::fig2_spec;
+using xml::validate_ganglia_dtd;
+
+TEST(Dtd, AcceptsMinimalDocuments) {
+  EXPECT_TRUE(validate_ganglia_dtd(
+                  "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\"/>")
+                  .ok());
+  EXPECT_TRUE(validate_ganglia_dtd(
+                  "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                  "<CLUSTER NAME=\"c\"><HOST NAME=\"h\" IP=\"1.2.3.4\" "
+                  "REPORTED=\"9\"><METRIC NAME=\"m\" VAL=\"1\" "
+                  "TYPE=\"int32\"/></HOST></CLUSTER></GANGLIA_XML>")
+                  .ok());
+}
+
+struct DtdViolation {
+  const char* name;
+  const char* doc;
+};
+
+class DtdRejects : public ::testing::TestWithParam<DtdViolation> {};
+
+TEST_P(DtdRejects, Violation) {
+  const Status s = validate_ganglia_dtd(GetParam().doc);
+  EXPECT_FALSE(s.ok()) << GetParam().doc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Violations, DtdRejects,
+    ::testing::Values(
+        DtdViolation{"wrong_root", "<GRID NAME=\"g\"/>"},
+        DtdViolation{"root_missing_version", "<GANGLIA_XML SOURCE=\"t\"/>"},
+        DtdViolation{"unknown_element",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\"><BOGUS/>"
+                     "</GANGLIA_XML>"},
+        DtdViolation{"host_at_top_level",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                     "<HOST NAME=\"h\" IP=\"i\" REPORTED=\"1\"/></GANGLIA_XML>"},
+        DtdViolation{"metric_outside_host",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                     "<CLUSTER NAME=\"c\"><METRIC NAME=\"m\" VAL=\"1\" "
+                     "TYPE=\"int32\"/></CLUSTER></GANGLIA_XML>"},
+        DtdViolation{"metric_missing_type",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                     "<CLUSTER NAME=\"c\"><HOST NAME=\"h\" IP=\"i\" "
+                     "REPORTED=\"1\"><METRIC NAME=\"m\" VAL=\"1\"/></HOST>"
+                     "</CLUSTER></GANGLIA_XML>"},
+        DtdViolation{"hosts_missing_down",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                     "<GRID NAME=\"g\"><HOSTS UP=\"3\"/></GRID></GANGLIA_XML>"},
+        DtdViolation{"undeclared_attribute",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                     "<CLUSTER NAME=\"c\" COLOR=\"red\"/></GANGLIA_XML>"},
+        DtdViolation{"character_data",
+                     "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+                     "<CLUSTER NAME=\"c\">words</CLUSTER></GANGLIA_XML>"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(Dtd, NonStrictToleratesUnknownAttributes) {
+  const char* doc =
+      "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">"
+      "<CLUSTER NAME=\"c\" FUTURE_ATTR=\"x\"/></GANGLIA_XML>";
+  EXPECT_FALSE(validate_ganglia_dtd(doc, /*strict=*/true).ok());
+  EXPECT_TRUE(validate_ganglia_dtd(doc, /*strict=*/false).ok());
+}
+
+TEST(Dtd, DtdTextShipsTheGridExtension) {
+  const auto text = xml::ganglia_dtd_text();
+  EXPECT_NE(text.find("<!ELEMENT GRID"), std::string_view::npos);
+  EXPECT_NE(text.find("<!ELEMENT METRICS"), std::string_view::npos);
+  EXPECT_NE(text.find("AUTHORITY"), std::string_view::npos);
+}
+
+// ------------------------------------------------- conformance of emitters
+
+TEST(DtdConformance, PseudoGmondReports) {
+  sim::SimClock clock;
+  gmon::PseudoGmondConfig config;
+  config.host_count = 20;
+  gmon::PseudoGmond emulator(config, clock);
+  emulator.set_down_hosts(3);
+  const Status s = validate_ganglia_dtd(emulator.report_xml());
+  EXPECT_TRUE(s.ok()) << s.to_string();
+}
+
+TEST(DtdConformance, GmondAgentReports) {
+  sim::SimClock clock;
+  sim::EventQueue events(clock);
+  sim::MulticastBus bus;
+  gmon::GmondConfig config;
+  config.cluster_name = "alpha";
+  gmon::GmondAgent a(config, "n0", "10.0.0.1", bus, events);
+  gmon::GmondAgent b(config, "n1", "10.0.0.2", bus, events);
+  a.start();
+  b.start();
+  events.run_until(clock.now_us() + seconds_to_us(120));
+  const Status s = validate_ganglia_dtd(a.report_xml());
+  EXPECT_TRUE(s.ok()) << s.to_string();
+}
+
+TEST(DtdConformance, GmetadDumpsBothModesAndEveryLevel) {
+  for (Mode mode : {Mode::n_level, Mode::one_level}) {
+    Testbed bed(fig2_spec(6, mode));
+    bed.run_rounds(3);
+    for (const std::string& node : bed.poll_order()) {
+      const Status s = validate_ganglia_dtd(bed.node(node).dump_xml());
+      EXPECT_TRUE(s.ok()) << node << " ("
+                          << (mode == Mode::n_level ? "n" : "1")
+                          << "-level): " << s.to_string();
+    }
+  }
+}
+
+TEST(DtdConformance, QueryResponses) {
+  Testbed bed(fig2_spec(5, Mode::n_level));
+  bed.run_rounds(3);
+  auto& sdsc = bed.node("sdsc");
+  for (const char* query :
+       {"/", "/?filter=summary", "/meteor", "/meteor?filter=summary",
+        "/meteor/compute-0-0.local", "/meteor/compute-0-0.local/load_one",
+        "/attic", "/~.*?filter=summary"}) {
+    auto response = sdsc.query(query);
+    ASSERT_TRUE(response.ok()) << query;
+    const Status s = validate_ganglia_dtd(*response);
+    EXPECT_TRUE(s.ok()) << query << ": " << s.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ganglia

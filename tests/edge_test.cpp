@@ -1,0 +1,176 @@
+// Miscellaneous edge-semantics tests across modules: empty containers,
+// trailing slashes, rebinding, zero-host clusters, and other boundaries
+// that production deployments hit eventually.
+
+#include <gtest/gtest.h>
+
+#include "gmetad/data_source.hpp"
+#include "gmetad/query.hpp"
+#include "gmetad/store.hpp"
+#include "net/inmem.hpp"
+#include "xml/dtd.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia {
+namespace {
+
+TEST(Edge, EmptyClusterRoundTripsAndSummarises) {
+  Report report;
+  Cluster empty;
+  empty.name = "ghost-town";
+  report.clusters.push_back(empty);
+  auto parsed = parse_report(write_report(report));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->clusters.front().hosts.empty());
+  const SummaryInfo s = parsed->clusters.front().summarize();
+  EXPECT_EQ(s.hosts_up, 0u);
+  EXPECT_TRUE(s.metrics.empty());
+}
+
+TEST(Edge, EmptyGridSummaryFormRoundTrips) {
+  Report report;
+  Grid g;
+  g.name = "void";
+  g.authority = "gmetad://void:1/";
+  g.summary.emplace();  // zero hosts, zero metrics
+  report.grids.push_back(std::move(g));
+  const std::string xml_text = write_report(report);
+  EXPECT_TRUE(xml::validate_ganglia_dtd(xml_text).ok());
+  auto parsed = parse_report(xml_text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->grids.front().is_summary_form());
+  EXPECT_EQ(parsed->grids.front().summary->hosts_up, 0u);
+}
+
+TEST(Edge, HostWithNoMetricsIsLegal) {
+  Report report;
+  Cluster c;
+  c.name = "c";
+  Host h;
+  h.name = "bare";
+  h.ip = "1.1.1.1";
+  h.tn = 1;
+  c.hosts.emplace("bare", std::move(h));
+  report.clusters.push_back(std::move(c));
+  auto parsed = parse_report(write_report(report));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->clusters.front().hosts.at("bare").metrics.empty());
+  SummaryInfo s;
+  s.add_host(parsed->clusters.front().hosts.at("bare"));
+  EXPECT_EQ(s.hosts_up, 1u);
+}
+
+TEST(Edge, MetricNamesWithExoticCharactersSurvive) {
+  Report report;
+  Cluster c;
+  c.name = "c";
+  Host h;
+  h.name = "h";
+  h.tn = 1;
+  Metric m;
+  m.name = "user<metric> \"quoted\" & spaced";
+  m.set_double(1.0);
+  m.units = "weird/units<>&";
+  h.metrics.push_back(std::move(m));
+  c.hosts.emplace("h", std::move(h));
+  report.clusters.push_back(std::move(c));
+
+  auto parsed = parse_report(write_report(report));
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const Metric* back = parsed->clusters.front().hosts.at("h").find_metric(
+      "user<metric> \"quoted\" & spaced");
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->units, "weird/units<>&");
+}
+
+TEST(Edge, QueryTrailingSlashEquivalence) {
+  auto a = gmetad::parse_query("/meteor/host-1");
+  auto b = gmetad::parse_query("/meteor/host-1/");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->segments.size(), b->segments.size());
+  for (std::size_t i = 0; i < a->segments.size(); ++i) {
+    EXPECT_EQ(a->segments[i].text, b->segments[i].text);
+  }
+}
+
+TEST(Edge, DataSourceWithNoAddressesExhaustsImmediately) {
+  net::InMemTransport transport;
+  gmetad::DataSource source({"lonely", {}, 15});
+  auto body = source.fetch(transport, kMicrosPerSecond, 100);
+  ASSERT_FALSE(body.ok());
+  EXPECT_EQ(body.code(), Errc::exhausted);
+}
+
+TEST(Edge, InMemListenerPortReusableAfterClose) {
+  net::InMemTransport transport;
+  {
+    auto listener = transport.listen("re:7000");
+    ASSERT_TRUE(listener.ok());
+    (*listener)->close();
+  }
+  auto again = transport.listen("re:7000");
+  EXPECT_TRUE(again.ok()) << "closed listeners must release their address";
+}
+
+TEST(Edge, SnapshotOfEmptyReport) {
+  gmetad::SourceSnapshot snapshot("nothing", Report{}, 5);
+  EXPECT_EQ(snapshot.host_count(), 0u);
+  EXPECT_FALSE(snapshot.is_grid());
+  EXPECT_TRUE(snapshot.summary().empty());
+  EXPECT_EQ(snapshot.find_cluster("x"), nullptr);
+}
+
+TEST(Edge, SummaryOfDownOnlyClusterKeepsCounts) {
+  Cluster c;
+  c.name = "graveyard";
+  for (int i = 0; i < 3; ++i) {
+    Host h;
+    h.name = "dead-" + std::to_string(i);
+    h.tn = 10'000;
+    Metric m;
+    m.name = "load_one";
+    m.set_double(5);
+    h.metrics.push_back(std::move(m));
+    c.hosts.emplace(h.name, std::move(h));
+  }
+  const SummaryInfo s = c.summarize();
+  EXPECT_EQ(s.hosts_down, 3u);
+  EXPECT_EQ(s.hosts_up, 0u);
+  EXPECT_TRUE(s.metrics.empty()) << "down hosts contribute no values";
+}
+
+TEST(Edge, VeryLongNamesRoundTrip) {
+  const std::string long_name(4000, 'n');
+  Report report;
+  Cluster c;
+  c.name = long_name;
+  report.clusters.push_back(std::move(c));
+  auto parsed = parse_report(write_report(report));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->clusters.front().name, long_name);
+}
+
+TEST(Edge, NumericEdgeValuesSurviveTheWireFormat) {
+  for (double v : {0.0, -0.0, 1e-300, 1e300, -1.5e-5,
+                   123456789.123456789, 2.2250738585072014e-308}) {
+    Report report;
+    Cluster c;
+    c.name = "c";
+    Host h;
+    h.name = "h";
+    h.tn = 1;
+    Metric m;
+    m.name = "x";
+    m.set_double(v);
+    h.metrics.push_back(std::move(m));
+    c.hosts.emplace("h", std::move(h));
+    report.clusters.push_back(std::move(c));
+    auto parsed = parse_report(write_report(report));
+    ASSERT_TRUE(parsed.ok()) << v;
+    EXPECT_EQ(parsed->clusters.front().hosts.at("h").metrics[0].numeric, v);
+  }
+}
+
+}  // namespace
+}  // namespace ganglia

@@ -1,0 +1,162 @@
+// Robustness ("never crash") property tests: random and mutated inputs
+// thrown at every parser in the system — the SAX parser, the report
+// builder, the wire codec, the config parser, the query grammar, and the
+// RRD codec.  A wide-area monitor ingests bytes from remote machines it
+// does not control; parsers must fail cleanly, never crash or hang.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gmetad/config.hpp"
+#include "gmetad/query.hpp"
+#include "gmon/wire.hpp"
+#include "rrd/rrd_file.hpp"
+#include "xml/sax.hpp"
+
+namespace ganglia {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  std::string out;
+  const std::size_t len = rng.next_below(static_cast<std::uint32_t>(max_len));
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += static_cast<char>(rng.next_below(256));
+  }
+  return out;
+}
+
+/// Bytes biased towards XML-ish structure so parsing gets past the first
+/// character more often.
+std::string random_xmlish(Rng& rng, std::size_t max_len) {
+  static constexpr std::string_view alphabet =
+      "<>/=\"'&;ab GRID NAME METRIC HOSTS #x01?!-[]";
+  std::string out;
+  const std::size_t len = rng.next_below(static_cast<std::uint32_t>(max_len));
+  for (std::size_t i = 0; i < len; ++i) {
+    out += alphabet[rng.next_below(static_cast<std::uint32_t>(alphabet.size()))];
+  }
+  return out;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {
+ protected:
+  Rng rng_{static_cast<std::uint64_t>(GetParam()) * 2654435761u + 1};
+};
+
+TEST_P(FuzzSeeds, SaxParserNeverCrashes) {
+  xml::SaxParser parser;
+  struct Null : xml::SaxHandler {
+  } handler;
+  for (int i = 0; i < 200; ++i) {
+    (void)parser.parse(random_bytes(rng_, 300), handler);
+    (void)parser.parse(random_xmlish(rng_, 300), handler);
+  }
+}
+
+TEST_P(FuzzSeeds, ReportParserNeverCrashes) {
+  for (int i = 0; i < 100; ++i) {
+    (void)parse_report(random_xmlish(rng_, 400));
+    // Valid XML wrapper with fuzzed inside.
+    (void)parse_report("<GANGLIA_XML VERSION=\"1\" SOURCE=\"x\">" +
+                       random_xmlish(rng_, 200) + "</GANGLIA_XML>");
+  }
+}
+
+TEST_P(FuzzSeeds, MutatedValidReportsFailCleanly) {
+  // Take a valid document and flip/delete bytes; the parser must either
+  // succeed or return parse_error — never crash.
+  Report report;
+  Cluster c;
+  c.name = "m";
+  Host h;
+  h.name = "h";
+  Metric metric;
+  metric.name = "x";
+  metric.set_double(1.5);
+  h.metrics.push_back(metric);
+  c.hosts.emplace("h", std::move(h));
+  report.clusters.push_back(std::move(c));
+  const std::string valid = write_report(report);
+
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = valid;
+    const auto pos = rng_.next_below(static_cast<std::uint32_t>(mutated.size()));
+    switch (rng_.next_below(3)) {
+      case 0: mutated[pos] = static_cast<char>(rng_.next_below(256)); break;
+      case 1: mutated.erase(pos, 1 + rng_.next_below(5)); break;
+      case 2: mutated.insert(pos, 1, static_cast<char>(rng_.next_below(256))); break;
+    }
+    (void)parse_report(mutated);
+  }
+}
+
+TEST_P(FuzzSeeds, WireDecoderNeverCrashes) {
+  for (int i = 0; i < 300; ++i) {
+    (void)gmon::decode(random_bytes(rng_, 200));
+  }
+  // Mutated valid datagrams.
+  gmon::MetricMessage msg;
+  msg.host_name = "n";
+  msg.host_ip = "1.2.3.4";
+  msg.metric.name = "load_one";
+  msg.metric.set_double(1.0);
+  const std::string valid = gmon::encode(msg);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = valid;
+    mutated[rng_.next_below(static_cast<std::uint32_t>(mutated.size()))] =
+        static_cast<char>(rng_.next_below(256));
+    (void)gmon::decode(mutated);
+  }
+}
+
+TEST_P(FuzzSeeds, ConfigParserNeverCrashes) {
+  static constexpr std::string_view alphabet =
+      "abcdefgh \"\n#:0123456789 data_source gridname mode xml_port";
+  for (int i = 0; i < 200; ++i) {
+    std::string text;
+    const std::size_t len = rng_.next_below(200);
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[rng_.next_below(static_cast<std::uint32_t>(alphabet.size()))];
+    }
+    (void)gmetad::parse_config(text);
+  }
+}
+
+TEST_P(FuzzSeeds, QueryParserNeverCrashes) {
+  static constexpr std::string_view alphabet = "/?~=abc.*[]()|\\{}+-";
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    const std::size_t len = rng_.next_below(60);
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[rng_.next_below(static_cast<std::uint32_t>(alphabet.size()))];
+    }
+    (void)gmetad::parse_query(text);
+  }
+}
+
+TEST_P(FuzzSeeds, RrdCodecNeverCrashes) {
+  for (int i = 0; i < 100; ++i) {
+    (void)rrd::RrdCodec::deserialize(random_bytes(rng_, 500));
+  }
+  // Mutated valid images must be rejected or parse to a valid db.
+  auto db = rrd::RoundRobinDb::create(rrd::RrdDef::ganglia_default(), 0);
+  ASSERT_TRUE(db.ok());
+  (void)db->update(15, 1.0);
+  const std::string image = rrd::RrdCodec::serialize(*db);
+  for (int i = 0; i < 100; ++i) {
+    std::string mutated = image;
+    mutated[rng_.next_below(static_cast<std::uint32_t>(mutated.size()))] =
+        static_cast<char>(rng_.next_below(256));
+    auto restored = rrd::RrdCodec::deserialize(mutated);
+    if (restored.ok()) {
+      // If accepted, the database must still behave (no poisoned state).
+      (void)restored->fetch(rrd::ConsolidationFn::average, 0, 1000);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ganglia

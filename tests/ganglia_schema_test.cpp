@@ -1,0 +1,415 @@
+// Unit tests for the Ganglia XML dialect (xml/ganglia.*): the typed model,
+// serialisation, parsing, additive summaries, and fig-3 conformance.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "xml/ganglia.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia {
+namespace {
+
+Metric make_metric(std::string name, double value, std::string units = "") {
+  Metric m;
+  m.name = std::move(name);
+  m.set_double(value);
+  m.units = std::move(units);
+  return m;
+}
+
+Host make_host(std::string name, std::initializer_list<Metric> metrics,
+               std::uint32_t tn = 5) {
+  Host h;
+  h.name = std::move(name);
+  h.ip = "10.0.0.1";
+  h.reported = 1'062'000'000;
+  h.tn = tn;
+  h.tmax = 20;
+  h.metrics = metrics;
+  return h;
+}
+
+// ----------------------------------------------------------------- enums
+
+TEST(Schema, MetricTypeNamesRoundTrip) {
+  for (MetricType t :
+       {MetricType::string_t, MetricType::int8, MetricType::uint8,
+        MetricType::int16, MetricType::uint16, MetricType::int32,
+        MetricType::uint32, MetricType::float_t, MetricType::double_t,
+        MetricType::timestamp}) {
+    EXPECT_EQ(metric_type_from_name(metric_type_name(t)), t);
+  }
+  EXPECT_FALSE(metric_type_from_name("bogus").has_value());
+}
+
+TEST(Schema, SlopeNamesRoundTrip) {
+  for (Slope s : {Slope::zero, Slope::positive, Slope::negative, Slope::both,
+                  Slope::unspecified}) {
+    EXPECT_EQ(slope_from_name(slope_name(s)), s);
+  }
+}
+
+TEST(Schema, OnlyStringIsNonNumeric) {
+  EXPECT_FALSE(metric_type_is_numeric(MetricType::string_t));
+  EXPECT_TRUE(metric_type_is_numeric(MetricType::float_t));
+  EXPECT_TRUE(metric_type_is_numeric(MetricType::timestamp));
+}
+
+// ----------------------------------------------------------------- values
+
+TEST(Schema, SettersKeepValueAndNumericCoherent) {
+  Metric m;
+  m.set_double(3.5);
+  EXPECT_EQ(m.value, "3.5");
+  EXPECT_DOUBLE_EQ(m.numeric, 3.5);
+  m.set_int(-7, MetricType::int16);
+  EXPECT_EQ(m.value, "-7");
+  EXPECT_EQ(m.type, MetricType::int16);
+  m.set_uint(9, MetricType::uint8);
+  EXPECT_EQ(m.value, "9");
+  m.set_string("Linux");
+  EXPECT_FALSE(m.is_numeric());
+}
+
+TEST(Schema, HostLivenessFollowsTnTmaxRule) {
+  Host h = make_host("h", {}, /*tn=*/79);
+  h.tmax = 20;
+  EXPECT_TRUE(h.is_up());  // 79 <= 80
+  h.tn = 81;
+  EXPECT_FALSE(h.is_up());
+}
+
+TEST(Schema, FindMetricByName) {
+  Host h = make_host("h", {make_metric("a", 1), make_metric("b", 2)});
+  ASSERT_NE(h.find_metric("b"), nullptr);
+  EXPECT_DOUBLE_EQ(h.find_metric("b")->numeric, 2);
+  EXPECT_EQ(h.find_metric("c"), nullptr);
+}
+
+// -------------------------------------------------------------- summaries
+
+TEST(Summary, AdditiveReductionRecordsSumAndSetSize) {
+  SummaryInfo s;
+  s.add_host(make_host("h0", {make_metric("load_one", 0.5)}));
+  s.add_host(make_host("h1", {make_metric("load_one", 1.5)}));
+  EXPECT_EQ(s.hosts_up, 2u);
+  const MetricSummary& load = s.metrics.at("load_one");
+  EXPECT_DOUBLE_EQ(load.sum, 2.0);
+  EXPECT_EQ(load.num, 2u);
+  EXPECT_DOUBLE_EQ(load.mean(), 1.0);
+}
+
+TEST(Summary, DownHostsCountedButContributeNoValues) {
+  SummaryInfo s;
+  s.add_host(make_host("up", {make_metric("x", 10)}));
+  s.add_host(make_host("down", {make_metric("x", 99)}, /*tn=*/500));
+  EXPECT_EQ(s.hosts_up, 1u);
+  EXPECT_EQ(s.hosts_down, 1u);
+  EXPECT_DOUBLE_EQ(s.metrics.at("x").sum, 10.0);
+  EXPECT_EQ(s.metrics.at("x").num, 1u);
+}
+
+TEST(Summary, StringMetricsAreExcluded) {
+  Metric os;
+  os.name = "os_name";
+  os.set_string("Linux");
+  SummaryInfo s;
+  s.add_host(make_host("h", {os, make_metric("x", 1)}));
+  EXPECT_EQ(s.metrics.count("os_name"), 0u);
+  EXPECT_EQ(s.metrics.count("x"), 1u);
+}
+
+TEST(Summary, MergeIsAssociativeAcrossTreeShapes) {
+  // Build 3 clusters; reduce (a+b)+c and a+(b+c); both must agree.
+  auto cluster_summary = [](int base) {
+    SummaryInfo s;
+    for (int i = 0; i < 4; ++i) {
+      s.add_host(make_host("h" + std::to_string(i),
+                           {make_metric("m", base + i)}));
+    }
+    return s;
+  };
+  SummaryInfo ab = cluster_summary(0);
+  ab.merge(cluster_summary(10));
+  SummaryInfo ab_c = ab;
+  ab_c.merge(cluster_summary(100));
+
+  SummaryInfo bc = cluster_summary(10);
+  bc.merge(cluster_summary(100));
+  SummaryInfo a_bc = cluster_summary(0);
+  a_bc.merge(bc);
+
+  EXPECT_EQ(ab_c.hosts_up, a_bc.hosts_up);
+  EXPECT_DOUBLE_EQ(ab_c.metrics.at("m").sum, a_bc.metrics.at("m").sum);
+  EXPECT_EQ(ab_c.metrics.at("m").num, a_bc.metrics.at("m").num);
+}
+
+TEST(Summary, GridSummarizeFoldsNestedGridsAndStoredSummaries) {
+  Grid inner;
+  inner.name = "inner";
+  inner.summary.emplace();
+  inner.summary->hosts_up = 10;
+  inner.summary->metrics["cpu_num"] = {20.0, 10, MetricType::uint16, "CPUs"};
+
+  Cluster c;
+  c.name = "local";
+  c.hosts.emplace("h", make_host("h", {make_metric("cpu_num", 2)}));
+
+  Grid outer;
+  outer.name = "outer";
+  outer.clusters.push_back(c);
+  outer.grids.push_back(inner);
+
+  const SummaryInfo total = outer.summarize();
+  EXPECT_EQ(total.hosts_up, 11u);
+  EXPECT_DOUBLE_EQ(total.metrics.at("cpu_num").sum, 22.0);
+  EXPECT_EQ(total.metrics.at("cpu_num").num, 11u);
+}
+
+// ------------------------------------------------------- write/parse cycle
+
+Report build_sample_report() {
+  Report report;
+  report.source = "gmetad";
+  Grid grid;
+  grid.name = "SDSC";
+  grid.authority = "gmetad://sdsc:8651/";
+  grid.localtime = 1'062'000'123;
+
+  Cluster meteor;
+  meteor.name = "Meteor";
+  meteor.owner = "SDSC";
+  meteor.localtime = 1'062'000'120;
+  Metric cpu;
+  cpu.name = "cpu_num";
+  cpu.set_uint(2, MetricType::uint16);
+  cpu.units = "CPUs";
+  cpu.slope = Slope::zero;
+  Metric load = make_metric("load_one", 0.89);
+  Metric os;
+  os.name = "os_name";
+  os.set_string("Linux <&> 2.4");
+  meteor.hosts.emplace("compute-0-0",
+                       make_host("compute-0-0", {cpu, load, os}));
+  meteor.hosts.emplace("compute-0-1", make_host("compute-0-1", {cpu, load}));
+  grid.clusters.push_back(std::move(meteor));
+
+  Grid attic;  // nested summary-form grid, as in paper fig 3
+  attic.name = "ATTIC";
+  attic.authority = "gmetad://attic:8651/";
+  attic.summary.emplace();
+  attic.summary->hosts_up = 10;
+  attic.summary->hosts_down = 1;
+  attic.summary->metrics["cpu_num"] = {20.0, 10, MetricType::uint16, "CPUs"};
+  attic.summary->metrics["load_one"] = {17.56, 10, MetricType::float_t, ""};
+  grid.grids.push_back(std::move(attic));
+
+  report.grids.push_back(std::move(grid));
+  return report;
+}
+
+TEST(ReportRoundTrip, PreservesStructureAndValues) {
+  const Report original = build_sample_report();
+  const std::string xml_text = write_report(original);
+  auto parsed = parse_report(xml_text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+
+  ASSERT_EQ(parsed->grids.size(), 1u);
+  const Grid& grid = parsed->grids.front();
+  EXPECT_EQ(grid.name, "SDSC");
+  EXPECT_EQ(grid.authority, "gmetad://sdsc:8651/");
+  ASSERT_EQ(grid.clusters.size(), 1u);
+
+  const Cluster& meteor = grid.clusters.front();
+  EXPECT_EQ(meteor.hosts.size(), 2u);
+  const Host& h0 = meteor.hosts.at("compute-0-0");
+  ASSERT_EQ(h0.metrics.size(), 3u);
+  EXPECT_EQ(h0.find_metric("cpu_num")->type, MetricType::uint16);
+  EXPECT_DOUBLE_EQ(h0.find_metric("load_one")->numeric, 0.89);
+  EXPECT_EQ(h0.find_metric("os_name")->value, "Linux <&> 2.4");
+
+  ASSERT_EQ(grid.grids.size(), 1u);
+  const Grid& attic = grid.grids.front();
+  ASSERT_TRUE(attic.is_summary_form());
+  EXPECT_EQ(attic.summary->hosts_up, 10u);
+  EXPECT_EQ(attic.summary->hosts_down, 1u);
+  EXPECT_DOUBLE_EQ(attic.summary->metrics.at("load_one").sum, 17.56);
+  EXPECT_EQ(attic.summary->metrics.at("cpu_num").num, 10u);
+}
+
+TEST(ReportRoundTrip, SecondRoundTripIsByteStable) {
+  const Report original = build_sample_report();
+  const std::string once = write_report(original);
+  auto parsed = parse_report(once);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(write_report(*parsed), once);
+}
+
+TEST(ReportRoundTrip, ClusterSummaryForm) {
+  Cluster c;
+  c.name = "big";
+  for (int i = 0; i < 5; ++i) {
+    c.hosts.emplace("h" + std::to_string(i),
+                    make_host("h" + std::to_string(i),
+                              {make_metric("load_one", i)}));
+  }
+  std::string out;
+  xml::XmlWriter w(out);
+  write_cluster_summary(w, c);
+  // Parse it back inside a report wrapper.
+  auto parsed = parse_report("<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">" + out +
+                             "</GANGLIA_XML>");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const Cluster& back = parsed->clusters.front();
+  ASSERT_TRUE(back.is_summary_form());
+  EXPECT_EQ(back.summary->hosts_up, 5u);
+  EXPECT_DOUBLE_EQ(back.summary->metrics.at("load_one").sum, 0 + 1 + 2 + 3 + 4);
+  // summarize() on a summary-form cluster returns the stored reduction.
+  EXPECT_EQ(back.summarize().hosts_up, 5u);
+}
+
+TEST(ReportParse, AcceptsPaperFigure3Document) {
+  // Transcribed from the paper's figure 3 (quotes normalised).
+  const char* doc = R"(<GRID NAME="SDSC" AUTHORITY="my URL">
+ <CLUSTER NAME="Meteor">
+  <HOST NAME="compute-0-0">
+   <METRIC NAME="cpu_num" VAL="2" TYPE="int"/>
+   <METRIC NAME="load_one" VAL=".89" TYPE="float"/>
+  </HOST>
+  <HOST NAME="compute-0-1">
+   <METRIC NAME="cpu_num" VAL="2" TYPE="int"/>
+   <METRIC NAME="load_one" VAL=".89" TYPE="float"/>
+  </HOST>
+ </CLUSTER>
+ <GRID NAME="ATTIC" AUTHORITY="my URL">
+   <HOSTS UP="10" DOWN="1"/>
+   <METRICS NAME="cpu_num" SUM="20" NUM="10" />
+   <METRICS NAME="load_one" SUM="17.56" NUM="10" />
+ </GRID>
+</GRID>)";
+  auto parsed = parse_report("<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmetad\">" +
+                             std::string(doc) + "</GANGLIA_XML>");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const Grid& sdsc = parsed->grids.front();
+  EXPECT_EQ(sdsc.clusters.front().hosts.size(), 2u);
+  EXPECT_DOUBLE_EQ(sdsc.clusters.front()
+                       .hosts.at("compute-0-0")
+                       .find_metric("load_one")
+                       ->numeric,
+                   0.89);
+  const Grid& attic = sdsc.grids.front();
+  EXPECT_TRUE(attic.is_summary_form());
+  EXPECT_DOUBLE_EQ(attic.summary->metrics.at("load_one").sum, 17.56);
+}
+
+TEST(ReportParse, GmondStyleReportHasClusterAtTopLevel) {
+  auto parsed = parse_report(
+      "<GANGLIA_XML VERSION=\"2.5.4\" SOURCE=\"gmond\">"
+      "<CLUSTER NAME=\"alpha\" LOCALTIME=\"7\">"
+      "<HOST NAME=\"n0\" IP=\"1.2.3.4\" REPORTED=\"5\" TN=\"2\" TMAX=\"20\"/>"
+      "</CLUSTER></GANGLIA_XML>");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->grids.empty());
+  ASSERT_EQ(parsed->clusters.size(), 1u);
+  EXPECT_EQ(parsed->clusters.front().hosts.at("n0").ip, "1.2.3.4");
+}
+
+struct BadReportCase {
+  const char* name;
+  const char* body;
+};
+
+class ReportRejects : public ::testing::TestWithParam<BadReportCase> {};
+
+TEST_P(ReportRejects, StructurallyInvalid) {
+  const std::string doc = "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\">" +
+                          std::string(GetParam().body) + "</GANGLIA_XML>";
+  EXPECT_FALSE(parse_report(doc).ok()) << GetParam().body;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, ReportRejects,
+    ::testing::Values(
+        BadReportCase{"grid_missing_name", "<GRID AUTHORITY=\"u\"/>"},
+        BadReportCase{"cluster_missing_name", "<CLUSTER/>"},
+        BadReportCase{"host_outside_cluster", "<HOST NAME=\"h\"/>"},
+        BadReportCase{"metric_outside_host",
+                      "<CLUSTER NAME=\"c\"><METRIC NAME=\"m\" VAL=\"1\" "
+                      "TYPE=\"int32\"/></CLUSTER>"},
+        BadReportCase{"host_missing_name",
+                      "<CLUSTER NAME=\"c\"><HOST/></CLUSTER>"},
+        BadReportCase{"non_numeric_val",
+                      "<CLUSTER NAME=\"c\"><HOST NAME=\"h\">"
+                      "<METRIC NAME=\"m\" VAL=\"abc\" TYPE=\"float\"/>"
+                      "</HOST></CLUSTER>"},
+        BadReportCase{"metrics_bad_sum",
+                      "<GRID NAME=\"g\"><METRICS NAME=\"m\" SUM=\"x\" "
+                      "NUM=\"1\"/></GRID>"},
+        BadReportCase{"cluster_inside_cluster",
+                      "<CLUSTER NAME=\"a\"><CLUSTER NAME=\"b\"/></CLUSTER>"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+TEST(ReportParse, RejectsNonGangliaRoot) {
+  EXPECT_FALSE(parse_report("<NOT_GANGLIA/>").ok());
+}
+
+TEST(ReportParse, IgnoresUnknownElementsAndAttributes) {
+  auto parsed = parse_report(
+      "<GANGLIA_XML VERSION=\"1\" SOURCE=\"t\" FUTURE=\"yes\">"
+      "<EXTENSION><WHATEVER/></EXTENSION>"
+      "<CLUSTER NAME=\"c\" NEWATTR=\"1\"><HOST NAME=\"h\"><NOTE/></HOST>"
+      "</CLUSTER></GANGLIA_XML>");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->clusters.front().hosts.size(), 1u);
+}
+
+// Property: write->parse->summarize equals direct summarize, for random
+// reports (the wire format never corrupts the additive reduction).
+class SummaryRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SummaryRoundTripProperty, WireFormatPreservesReductions) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Report report;
+  Grid grid;
+  grid.name = "g";
+  grid.authority = "gmetad://g:1/";
+  const int clusters = 1 + static_cast<int>(rng.next_below(4));
+  for (int c = 0; c < clusters; ++c) {
+    Cluster cluster;
+    cluster.name = "c" + std::to_string(c);
+    const int hosts = 1 + static_cast<int>(rng.next_below(10));
+    for (int h = 0; h < hosts; ++h) {
+      Host host = make_host("h" + std::to_string(h), {},
+                            rng.next_bool(0.2) ? 500u : 1u);
+      const int metrics = 1 + static_cast<int>(rng.next_below(6));
+      for (int m = 0; m < metrics; ++m) {
+        host.metrics.push_back(make_metric("m" + std::to_string(m),
+                                           rng.next_range(-100, 100)));
+      }
+      cluster.hosts.emplace(host.name, std::move(host));
+    }
+    grid.clusters.push_back(std::move(cluster));
+  }
+  report.grids.push_back(std::move(grid));
+
+  const SummaryInfo direct = report.grids.front().summarize();
+  auto parsed = parse_report(write_report(report));
+  ASSERT_TRUE(parsed.ok());
+  const SummaryInfo via_wire = parsed->grids.front().summarize();
+
+  EXPECT_EQ(direct.hosts_up, via_wire.hosts_up);
+  EXPECT_EQ(direct.hosts_down, via_wire.hosts_down);
+  ASSERT_EQ(direct.metrics.size(), via_wire.metrics.size());
+  for (const auto& [name, ms] : direct.metrics) {
+    const auto& other = via_wire.metrics.at(name);
+    EXPECT_EQ(ms.num, other.num) << name;
+    EXPECT_DOUBLE_EQ(ms.sum, other.sum) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SummaryRoundTripProperty,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace ganglia

@@ -1,0 +1,104 @@
+// Tests for the gmond.conf parser and a config-driven daemon end to end.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gmon/gmond_config.hpp"
+#include "net/tcp.hpp"
+
+namespace ganglia::gmon {
+namespace {
+
+TEST(GmondConfig, ParsesFullExample) {
+  auto config = parse_gmond_config(R"(
+# a node of the meteor cluster
+cluster_name "meteor"
+owner "SDSC"
+latlong "N32.87 W117.22"
+url "http://meteor.example/"
+host_name "compute-0-0"
+host_ip 10.0.0.7
+udp_bind 127.0.0.1:0
+udp_peer 10.0.0.1:8649
+udp_peer 10.0.0.2:8649
+tcp_bind 127.0.0.1:0
+heartbeat_interval 25
+host_dmax 3600
+use_proc off
+timer_scale 0.5
+)");
+  ASSERT_TRUE(config.ok()) << config.error().to_string();
+  EXPECT_EQ(config->base.cluster_name, "meteor");
+  EXPECT_EQ(config->base.owner, "SDSC");
+  EXPECT_EQ(config->base.latlong, "N32.87 W117.22");
+  EXPECT_EQ(config->host_name, "compute-0-0");
+  EXPECT_EQ(config->host_ip, "10.0.0.7");
+  EXPECT_EQ(config->channel.bind, "127.0.0.1:0");
+  ASSERT_EQ(config->channel.peers.size(), 2u);
+  EXPECT_EQ(config->base.heartbeat_interval_s, 25u);
+  EXPECT_EQ(config->base.host_dmax, 3600u);
+  EXPECT_FALSE(config->use_proc);
+  EXPECT_DOUBLE_EQ(config->timer_scale, 0.5);
+}
+
+TEST(GmondConfig, DefaultsIncludeMachineHostname) {
+  auto config = parse_gmond_config("");
+  ASSERT_TRUE(config.ok());
+  EXPECT_FALSE(config->host_name.empty());
+  EXPECT_EQ(config->host_ip, "127.0.0.1");
+  EXPECT_TRUE(config->channel.peers.empty());
+}
+
+TEST(GmondConfig, RejectsBadDirectives) {
+  EXPECT_FALSE(parse_gmond_config("frobnicate yes\n").ok());
+  EXPECT_FALSE(parse_gmond_config("udp_bind noport\n").ok());
+  EXPECT_FALSE(parse_gmond_config("udp_peer noport\n").ok());
+  EXPECT_FALSE(parse_gmond_config("heartbeat_interval 0\n").ok());
+  EXPECT_FALSE(parse_gmond_config("use_proc maybe\n").ok());
+  EXPECT_FALSE(parse_gmond_config("timer_scale -1\n").ok());
+  EXPECT_FALSE(parse_gmond_config("cluster_name \"unterminated\n").ok());
+  EXPECT_FALSE(parse_gmond_config("cluster_name a b\n").ok());
+}
+
+TEST(GmondConfig, ErrorsNameTheLine) {
+  auto config = parse_gmond_config("cluster_name \"ok\"\nnope\n");
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(GmondConfig, ConfiguredDaemonRuns) {
+  auto config = parse_gmond_config(
+      "cluster_name \"cfg-cluster\"\n"
+      "host_name \"cfg-node\"\n"
+      "udp_bind 127.0.0.1:0\n"
+      "tcp_bind 127.0.0.1:0\n"
+      "timer_scale 0.02\n"
+      "use_proc off\n");
+  ASSERT_TRUE(config.ok());
+
+  WallClock clock;
+  net::TcpTransport tcp;
+  GmondDaemon daemon(std::move(*config));
+  ASSERT_TRUE(daemon.start(tcp, clock).ok());
+
+  // It hears itself and serves a parseable report naming the config values.
+  bool converged = false;
+  for (int i = 0; i < 100 && !converged; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    converged = daemon.state().host_count() == 1;
+  }
+  ASSERT_TRUE(converged);
+  auto stream = tcp.connect(daemon.tcp_address(), 2 * kMicrosPerSecond);
+  ASSERT_TRUE(stream.ok());
+  auto body = net::read_to_eof(**stream);
+  ASSERT_TRUE(body.ok());
+  auto report = parse_report(*body);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->clusters.front().name, "cfg-cluster");
+  EXPECT_EQ(report->clusters.front().hosts.count("cfg-node"), 1u);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace ganglia::gmon

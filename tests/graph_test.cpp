@@ -1,0 +1,116 @@
+// Tests for the RRD series renderers (ASCII and SVG).
+
+#include <gtest/gtest.h>
+
+#include "rrd/graph.hpp"
+
+namespace ganglia::rrd {
+namespace {
+
+Series make_series(std::vector<double> values, std::int64_t step = 15) {
+  Series s;
+  s.start = 1000;
+  s.step = step;
+  s.end = s.start + step * static_cast<std::int64_t>(values.size());
+  s.values = std::move(values);
+  return s;
+}
+
+TEST(AsciiGraph, RendersExpectedGeometry) {
+  const Series s = make_series({0, 1, 2, 3, 4, 5, 6, 7});
+  AsciiGraphOptions options;
+  options.width = 8;
+  options.height = 4;
+  const std::string out = render_ascii(s, options);
+
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= out.size(); ++i) {
+      if (i == out.size() || out[i] == '\n') {
+        v.push_back(out.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    return v;
+  }();
+  // 4 plot rows + axis footer.
+  ASSERT_GE(lines.size(), 5u);
+  // Rising ramp: last column full of '#', first column nearly empty.
+  EXPECT_EQ(lines[0].back(), '#');
+  EXPECT_NE(lines[3][lines[3].find('|') + 1], '#');
+}
+
+TEST(AsciiGraph, UnknownColumnsMarked) {
+  const Series s = make_series({1, unknown(), unknown(), 1});
+  AsciiGraphOptions options;
+  options.width = 4;
+  options.height = 3;
+  options.show_axis = false;
+  const std::string out = render_ascii(s, options);
+  EXPECT_NE(out.find('U'), std::string::npos);
+}
+
+TEST(AsciiGraph, FlatSeriesDoesNotDivideByZero) {
+  const Series s = make_series({5, 5, 5, 5});
+  const std::string out = render_ascii(s);
+  EXPECT_FALSE(out.empty());
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiGraph, EmptySeries) {
+  const Series s = make_series({});
+  const std::string out = render_ascii(s);
+  EXPECT_FALSE(out.empty());  // renders an empty frame, no crash
+}
+
+TEST(SvgGraph, ContainsPolylineAndLabels) {
+  const Series s = make_series({1, 2, 3, 2, 1});
+  SvgGraphOptions options;
+  options.title = "load_one — meteor";
+  const std::string svg = render_svg(s, options);
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+  EXPECT_NE(svg.find("load_one"), std::string::npos);
+  EXPECT_NE(svg.find("max 3"), std::string::npos);
+  EXPECT_NE(svg.find("min 0"), std::string::npos);  // baseline at zero
+  EXPECT_NE(svg.find("now 1"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgGraph, UnknownRangesBecomeBandsAndSplitTheLine) {
+  const Series s = make_series({1, 1, unknown(), unknown(), 2, 2});
+  const std::string svg = render_svg(s);
+  // One grey band...
+  EXPECT_NE(svg.find("<rect x="), std::string::npos);
+  // ...and two polylines (the gap splits the series).
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+}
+
+TEST(SvgGraph, AllUnknownSeriesStillRenders) {
+  const Series s = make_series({unknown(), unknown(), unknown()});
+  const std::string svg = render_svg(s);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(svg.find("<polyline"), std::string::npos);
+}
+
+TEST(SvgGraph, EmptySeriesSaysNoData) {
+  const std::string svg = render_svg(make_series({}));
+  EXPECT_NE(svg.find("no data"), std::string::npos);
+}
+
+TEST(SvgGraph, BaselineOptionTracksDataMinimum) {
+  const Series s = make_series({100, 110, 105});
+  SvgGraphOptions options;
+  options.baseline_at_zero = false;
+  const std::string svg = render_svg(s, options);
+  EXPECT_NE(svg.find("min 100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ganglia::rrd

@@ -1,0 +1,112 @@
+// Tests for the HISTORY protocol: gmetad serving archived RRD series over
+// the interactive port, the viewer parsing them, and SVG host pages.
+
+#include <gtest/gtest.h>
+
+#include "gmetad/testbed.hpp"
+#include "presenter/html.hpp"
+#include "presenter/viewer.hpp"
+
+namespace ganglia {
+namespace {
+
+using gmetad::Mode;
+using gmetad::Testbed;
+using gmetad::fig2_spec;
+
+class HistoryTest : public ::testing::Test {
+ protected:
+  HistoryTest() : bed_(fig2_spec(4, Mode::n_level)) {
+    start_ = bed_.clock().now_seconds();
+    bed_.run_rounds(12);  // 180 simulated seconds of archives
+    end_ = bed_.clock().now_seconds();
+  }
+
+  Testbed bed_;
+  std::int64_t start_ = 0;
+  std::int64_t end_ = 0;
+};
+
+TEST_F(HistoryTest, HostMetricHistoryOverInteractivePort) {
+  auto response = bed_.node("sdsc").handle_interactive(
+      "HISTORY /meteor/meteor/compute-0-0.local/load_one " +
+      std::to_string(start_) + " " + std::to_string(end_));
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_NE(response->find("<SERIES"), std::string::npos);
+  EXPECT_NE(response->find("NAME=\"load_one\""), std::string::npos);
+  EXPECT_NE(response->find("CF=\"AVERAGE\""), std::string::npos);
+}
+
+TEST_F(HistoryTest, SummaryHistoryForSourceScope) {
+  auto response = bed_.node("sdsc").history("/meteor/load_one", start_, end_);
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_NE(response->find("<SERIES"), std::string::npos);
+}
+
+TEST_F(HistoryTest, ViewerFetchesAndParsesSeries) {
+  presenter::Viewer viewer(bed_.transport(), Testbed::dump_address("sdsc"),
+                           Testbed::interactive_address("sdsc"),
+                           presenter::Strategy::n_level);
+  auto series = viewer.history("/meteor/meteor/compute-0-0.local/load_one",
+                               start_, end_);
+  ASSERT_TRUE(series.ok()) << series.error().to_string();
+  EXPECT_EQ(series->step, 15);
+  EXPECT_FALSE(series->values.empty());
+  std::size_t known = 0;
+  for (double v : series->values) {
+    if (!rrd::is_unknown(v)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 8.0);  // load_one simulation range
+      ++known;
+    }
+  }
+  EXPECT_GT(known, 5u);
+}
+
+TEST_F(HistoryTest, SummarySeriesTracksClusterSum) {
+  presenter::Viewer viewer(bed_.transport(), Testbed::dump_address("sdsc"),
+                           Testbed::interactive_address("sdsc"),
+                           presenter::Strategy::n_level);
+  auto series = viewer.history("/nashi/cpu_num", start_, end_);
+  ASSERT_TRUE(series.ok()) << series.error().to_string();
+  // cpu_num is constant per host (1..4, 4 hosts): the summary SUM lies in
+  // [4, 16] and is constant over known rows.
+  double first_known = rrd::unknown();
+  for (double v : series->values) {
+    if (rrd::is_unknown(v)) continue;
+    if (rrd::is_unknown(first_known)) first_known = v;
+    EXPECT_DOUBLE_EQ(v, first_known);
+    EXPECT_GE(v, 4.0);
+    EXPECT_LE(v, 16.0);
+  }
+  EXPECT_FALSE(rrd::is_unknown(first_known));
+}
+
+TEST_F(HistoryTest, BadRequestsFailCleanly) {
+  auto& sdsc = bed_.node("sdsc");
+  EXPECT_FALSE(sdsc.handle_interactive("HISTORY /too/few").ok());
+  EXPECT_FALSE(sdsc.handle_interactive("HISTORY /a/b/c/d x y").ok());
+  EXPECT_FALSE(sdsc.history("/meteor", start_, end_).ok());
+  EXPECT_EQ(sdsc.history("/ghost/ghost/h/load_one", start_, end_).code(),
+            Errc::not_found);
+}
+
+TEST_F(HistoryTest, HostPageEmbedsSvgGraphs) {
+  presenter::Viewer viewer(bed_.transport(), Testbed::dump_address("sdsc"),
+                           Testbed::interactive_address("sdsc"),
+                           presenter::Strategy::n_level);
+  auto host = viewer.host_view("meteor", "compute-0-0.local");
+  ASSERT_TRUE(host.ok());
+  auto series = viewer.history("/meteor/meteor/compute-0-0.local/load_one",
+                               start_, end_);
+  ASSERT_TRUE(series.ok());
+
+  const std::string html = presenter::render_host_html(
+      *host, {{"load_one", *series}});
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("load_one — compute-0-0.local"), std::string::npos);
+  EXPECT_NE(html.find("<polyline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ganglia

@@ -1,0 +1,280 @@
+// End-to-end integration: the figure-2 tree on the in-memory fabric.
+//
+// These tests drive the full stack — pseudo-gmond emulators, six gmetads,
+// polling, summarisation, archiving, the query engine, and the viewer —
+// and check the paper's *semantic* claims: summaries are exact additive
+// reductions, the N-level root never sees per-host data from remote grids,
+// failover masks node stops, downtime leaves unknown archive records, and
+// the three web views agree across viewing strategies.
+
+#include <gtest/gtest.h>
+
+#include "gmetad/testbed.hpp"
+#include "presenter/viewer.hpp"
+
+namespace ganglia {
+namespace {
+
+using gmetad::Mode;
+using gmetad::Testbed;
+using gmetad::fig2_spec;
+
+TEST(Integration, NLevelTreePropagatesSummariesToRoot) {
+  Testbed bed(fig2_spec(/*hosts_per_cluster=*/10, Mode::n_level));
+  // Data needs one round per tree level to reach the root.
+  bed.run_rounds(3);
+
+  auto dump = bed.node("root").dump_xml();
+  auto report = parse_report(dump);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+
+  // Root's own grid wraps everything.
+  ASSERT_EQ(report->grids.size(), 1u);
+  const Grid& root = report->grids.front();
+  EXPECT_EQ(root.name, "root");
+
+  // Local clusters at full detail: root-alpha, root-beta.
+  ASSERT_EQ(root.clusters.size(), 2u);
+  for (const Cluster& c : root.clusters) {
+    EXPECT_EQ(c.hosts.size(), 10u) << c.name;
+  }
+
+  // Child grids in summary form only — no per-host data crosses up.
+  ASSERT_EQ(root.grids.size(), 2u);
+  for (const Grid& child : root.grids) {
+    EXPECT_TRUE(child.is_summary_form()) << child.name;
+    EXPECT_TRUE(child.clusters.empty()) << child.name;
+    EXPECT_FALSE(child.authority.empty()) << child.name;
+  }
+
+  // The whole-tree reduction counts all 12 clusters x 10 hosts.
+  const SummaryInfo total = root.summarize();
+  EXPECT_EQ(total.hosts_up + total.hosts_down, 120u);
+  // cpu_num is 1..4 per host; the sum must be consistent with NUM.
+  const auto cpu = total.metrics.find("cpu_num");
+  ASSERT_NE(cpu, total.metrics.end());
+  EXPECT_EQ(cpu->second.num, static_cast<std::uint64_t>(total.hosts_up));
+  EXPECT_GE(cpu->second.sum, 1.0 * static_cast<double>(total.hosts_up));
+  EXPECT_LE(cpu->second.sum, 4.0 * static_cast<double>(total.hosts_up));
+}
+
+TEST(Integration, OneLevelTreeForwardsFullDetailToRoot) {
+  Testbed bed(fig2_spec(/*hosts_per_cluster=*/5, Mode::one_level));
+  bed.run_rounds(3);
+
+  auto report = parse_report(bed.node("root").dump_xml());
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const Grid& root = report->grids.front();
+
+  // The union of children's data: every host of all 12 clusters is
+  // visible at the root at full resolution.
+  EXPECT_EQ(root.host_count(), 12u * 5u);
+  EXPECT_EQ(root.cluster_count(), 12u);
+
+  // Child grids are present at full detail, not summary form.
+  for (const Grid& child : root.grids) {
+    EXPECT_FALSE(child.is_summary_form()) << child.name;
+  }
+}
+
+TEST(Integration, SummariesAreExactAdditiveReductions) {
+  Testbed n_level(fig2_spec(8, Mode::n_level));
+  Testbed one_level(fig2_spec(8, Mode::one_level));
+  n_level.run_rounds(3);
+  one_level.run_rounds(3);
+
+  // The same seed drives both testbeds, so the reductions the N-level tree
+  // computed hop-by-hop must equal what the 1-level root can compute from
+  // raw data.  Values are redrawn per poll, so compare structure: host
+  // counts and the NUM of every metric (SUMs differ because values differ
+  // between the two runs' polls).
+  const SummaryInfo a =
+      parse_report(n_level.node("root").dump_xml())->grids.front().summarize();
+  const SummaryInfo b = parse_report(one_level.node("root").dump_xml())
+                            ->grids.front()
+                            .summarize();
+  EXPECT_EQ(a.hosts_up, b.hosts_up);
+  EXPECT_EQ(a.hosts_down, b.hosts_down);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [name, ms] : a.metrics) {
+    const auto it = b.metrics.find(name);
+    ASSERT_NE(it, b.metrics.end()) << name;
+    EXPECT_EQ(ms.num, it->second.num) << name;
+  }
+}
+
+TEST(Integration, QueryEngineServesSubtreesFromSdsc) {
+  Testbed bed(fig2_spec(10, Mode::n_level));
+  bed.run_rounds(3);
+  auto& sdsc = bed.node("sdsc");
+
+  // Cluster query: full resolution meteor.
+  auto cluster_xml = sdsc.query("/meteor");
+  ASSERT_TRUE(cluster_xml.ok()) << cluster_xml.error().to_string();
+  auto cluster_report = parse_report(*cluster_xml);
+  ASSERT_TRUE(cluster_report.ok());
+  const Cluster* meteor =
+      cluster_report->grids.front().clusters.empty()
+          ? nullptr
+          : &cluster_report->grids.front().clusters.front();
+  ASSERT_NE(meteor, nullptr);
+  EXPECT_EQ(meteor->name, "meteor");
+  EXPECT_EQ(meteor->hosts.size(), 10u);
+
+  // Host query: only that host's data (paper fig 4).
+  auto host_xml = sdsc.query("/meteor/compute-0-0.local");
+  ASSERT_TRUE(host_xml.ok()) << host_xml.error().to_string();
+  auto host_report = parse_report(*host_xml);
+  ASSERT_TRUE(host_report.ok());
+  EXPECT_EQ(host_report->grids.front().host_count(), 1u);
+  EXPECT_LT(host_xml->size(), cluster_xml->size());
+
+  // Metric query narrows further.
+  auto metric_xml = sdsc.query("/meteor/compute-0-0.local/load_one");
+  ASSERT_TRUE(metric_xml.ok()) << metric_xml.error().to_string();
+  EXPECT_NE(metric_xml->find("\"load_one\""), std::string::npos);
+  EXPECT_LT(metric_xml->size(), host_xml->size());
+
+  // Summary filter.
+  auto summary_xml = sdsc.query("/meteor?filter=summary");
+  ASSERT_TRUE(summary_xml.ok());
+  auto summary_report = parse_report(*summary_xml);
+  ASSERT_TRUE(summary_report.ok());
+  const Cluster& summarized =
+      summary_report->grids.front().clusters.front();
+  EXPECT_TRUE(summarized.is_summary_form());
+  EXPECT_EQ(summarized.summary->hosts_up, 10u);
+
+  // Below a summary grid: redirected to the authority.
+  auto deep = sdsc.query("/attic/attic-alpha/compute-0-0.local");
+  ASSERT_FALSE(deep.ok());
+  EXPECT_NE(deep.error().message.find("attic"), std::string::npos);
+}
+
+TEST(Integration, FailoverMasksNodeStopFailures) {
+  // A cluster source with two redundant gmon addresses; the first dies.
+  Testbed bed(fig2_spec(6, Mode::n_level));
+  bed.run_rounds(2);
+
+  // Stop the meteor service entirely: sdsc keeps serving stale data and
+  // marks the source unreachable.
+  net::FailurePolicy down;
+  down.kind = net::FailurePolicy::Kind::refuse;
+  bed.transport().set_failure(Testbed::gmond_address("meteor"), down);
+  bed.run_rounds(2);
+
+  const auto sources = bed.node("sdsc").sources();
+  const auto* meteor_source = *std::find_if(
+      sources.begin(), sources.end(),
+      [](const auto* ds) { return ds->name() == "meteor"; });
+  EXPECT_FALSE(meteor_source->reachable());
+  EXPECT_GE(meteor_source->consecutive_failures(), 2u);
+
+  // Stale data still served (previous snapshot retained).
+  auto snapshot = bed.node("sdsc").store().get("meteor");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_FALSE(snapshot->reachable());
+  EXPECT_EQ(snapshot->host_count(), 6u);
+
+  // Recovery: the monitor retries every round and reattaches.
+  bed.transport().clear_failure(Testbed::gmond_address("meteor"));
+  bed.run_rounds(1);
+  EXPECT_TRUE(bed.node("sdsc").store().get("meteor")->reachable());
+}
+
+TEST(Integration, DowntimeLeavesUnknownArchiveRecords) {
+  Testbed bed(fig2_spec(4, Mode::n_level));
+  bed.run_rounds(4);  // archives warm up
+
+  const std::int64_t outage_start = bed.clock().now_seconds();
+  net::FailurePolicy down;
+  down.kind = net::FailurePolicy::Kind::timeout;
+  bed.transport().set_failure(Testbed::gmond_address("nashi"), down);
+  bed.run_rounds(20);  // 300 s outage >> 120 s RRD heartbeat
+  const std::int64_t outage_end = bed.clock().now_seconds();
+  bed.transport().clear_failure(Testbed::gmond_address("nashi"));
+  bed.run_rounds(4);
+
+  auto series = bed.node("sdsc").archiver().fetch_summary_metric(
+      "nashi", "load_one", outage_start + 60, outage_end - 60);
+  ASSERT_TRUE(series.ok()) << series.error().to_string();
+  std::size_t unknown_rows = 0;
+  for (double v : series->values) {
+    if (rrd::is_unknown(v)) ++unknown_rows;
+  }
+  // The bulk of the outage window must be unknown ("zero records").
+  EXPECT_GT(unknown_rows, series->values.size() / 2);
+
+  // After recovery the newest data is known again.
+  auto recent = bed.node("sdsc").archiver().fetch_summary_metric(
+      "nashi", "load_one", outage_end + 30, bed.clock().now_seconds());
+  ASSERT_TRUE(recent.ok());
+  ASSERT_FALSE(recent->values.empty());
+  EXPECT_FALSE(rrd::is_unknown(recent->values.back()));
+}
+
+TEST(Integration, ViewerStrategiesAgreeOnContent) {
+  Testbed bed(fig2_spec(10, Mode::n_level));
+  bed.run_rounds(3);
+
+  presenter::Viewer old_viewer(bed.transport(),
+                               Testbed::dump_address("sdsc"),
+                               Testbed::interactive_address("sdsc"),
+                               presenter::Strategy::one_level);
+  presenter::Viewer new_viewer(bed.transport(),
+                               Testbed::dump_address("sdsc"),
+                               Testbed::interactive_address("sdsc"),
+                               presenter::Strategy::n_level);
+
+  auto old_meta = old_viewer.meta_view();
+  auto new_meta = new_viewer.meta_view();
+  ASSERT_TRUE(old_meta.ok()) << old_meta.error().to_string();
+  ASSERT_TRUE(new_meta.ok()) << new_meta.error().to_string();
+
+  // Same sources, same host counts (values differ: each fetch redraws).
+  ASSERT_EQ(old_meta->sources.size(), new_meta->sources.size());
+  EXPECT_EQ(old_meta->total.hosts_up, new_meta->total.hosts_up);
+  EXPECT_EQ(old_meta->total.hosts_down, new_meta->total.hosts_down);
+
+  // The N-level meta view moves far fewer bytes.
+  auto old_bytes = old_viewer.last_timing().xml_bytes;
+  auto new_bytes = new_viewer.last_timing().xml_bytes;
+  EXPECT_LT(new_bytes * 5, old_bytes);
+
+  // Host view equivalence.
+  auto old_host = old_viewer.host_view("meteor", "compute-0-3.local");
+  auto new_host = new_viewer.host_view("meteor", "compute-0-3.local");
+  ASSERT_TRUE(old_host.ok()) << old_host.error().to_string();
+  ASSERT_TRUE(new_host.ok()) << new_host.error().to_string();
+  EXPECT_EQ(old_host->host.name, new_host->host.name);
+  EXPECT_EQ(old_host->host.metrics.size(), new_host->host.metrics.size());
+  // sdsc's N-level dump holds its 2 local clusters at full detail (attic
+  // arrives pre-summarised), so the old strategy parses 20 hosts to show 1.
+  EXPECT_EQ(old_viewer.last_timing().hosts_parsed, 20u);
+  EXPECT_EQ(new_viewer.last_timing().hosts_parsed, 1u);
+}
+
+TEST(Integration, CpuLoadConcentratesAtRootOnlyInOneLevelMode) {
+  // A miniature of figure 5: with identical workloads, the 1-level root
+  // must do much more work than the N-level root.
+  Testbed one(fig2_spec(30, Mode::one_level));
+  Testbed n(fig2_spec(30, Mode::n_level));
+  one.run_rounds(2);  // warm up
+  n.run_rounds(2);
+  one.begin_window();
+  n.begin_window();
+  one.run_rounds(6);
+  n.run_rounds(6);
+
+  const double one_root = one.cpu_seconds("root");
+  const double n_root = n.cpu_seconds("root");
+  EXPECT_GT(one_root, n_root * 2)
+      << "1-level root should bear the brunt of the data";
+
+  // And leaves pay a (modest) summarisation penalty in N-level mode.
+  const double n_leaf = n.cpu_seconds("physics");
+  EXPECT_GT(n_leaf, 0.0);
+}
+
+}  // namespace
+}  // namespace ganglia

@@ -1,0 +1,172 @@
+// Tests for archiver persistence: flush/load round trips, restart
+// continuity through a Gmetad daemon cycle, and failure handling.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "gmetad/archiver.hpp"
+#include "gmetad/gmetad.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "net/inmem.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace ganglia::gmetad {
+namespace {
+
+std::string fresh_dir(const char* tag) {
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   (std::string("ganglia_persist_") + tag);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+Cluster tiny_cluster(double load) {
+  Cluster c;
+  c.name = "c";
+  Host h;
+  h.name = "h0";
+  h.tn = 1;
+  Metric m;
+  m.name = "load_one";
+  m.set_double(load);
+  h.metrics.push_back(std::move(m));
+  c.hosts.emplace("h0", std::move(h));
+  return c;
+}
+
+TEST(Persistence, FlushAndLoadRoundTrip) {
+  const std::string dir = fresh_dir("roundtrip");
+  ArchiverOptions options{15, 120, dir};
+
+  {
+    Archiver archiver(options);
+    for (int round = 0; round < 20; ++round) {
+      archiver.record_cluster("src", tiny_cluster(2.5), 1000 + round * 15);
+    }
+    ASSERT_TRUE(archiver.flush_to_disk().ok());
+  }
+
+  Archiver restored(options);
+  ASSERT_TRUE(restored.load_from_disk().ok());
+  EXPECT_EQ(restored.database_count(), 1u);
+  auto series =
+      restored.fetch_host_metric("src", "c", "h0", "load_one", 1100, 1300);
+  ASSERT_TRUE(series.ok()) << series.error().to_string();
+  bool known = false;
+  for (double v : series->values) {
+    if (!rrd::is_unknown(v)) {
+      EXPECT_DOUBLE_EQ(v, 2.5);
+      known = true;
+    }
+  }
+  EXPECT_TRUE(known);
+
+  // Restored databases continue accepting updates where they left off.
+  restored.record_cluster("src", tiny_cluster(3.5), 1000 + 20 * 15);
+  EXPECT_EQ(restored.rrd_updates(), 1u);
+}
+
+TEST(Persistence, KeysWithSlashesAndSpacesSurvive) {
+  const std::string dir = fresh_dir("keys");
+  ArchiverOptions options{15, 120, dir};
+  Archiver archiver(options);
+  SummaryInfo summary;
+  summary.hosts_up = 1;
+  summary.metrics["weird metric/name"] = {1.0, 1, MetricType::float_t, ""};
+  archiver.record_summary("grid with spaces/cluster", summary, 1000);
+  ASSERT_TRUE(archiver.flush_to_disk().ok());
+
+  Archiver restored(options);
+  ASSERT_TRUE(restored.load_from_disk().ok());
+  EXPECT_EQ(restored.database_count(), 1u);
+  EXPECT_TRUE(restored
+                  .fetch_summary_metric("grid with spaces/cluster",
+                                        "weird metric/name", 900, 1200)
+                  .ok());
+}
+
+TEST(Persistence, ColdStartIsNotAnError) {
+  Archiver archiver({15, 120, fresh_dir("cold")});
+  EXPECT_TRUE(archiver.load_from_disk().ok());
+  EXPECT_EQ(archiver.database_count(), 0u);
+}
+
+TEST(Persistence, UnconfiguredDirIsRejected) {
+  Archiver archiver({15, 120, ""});
+  EXPECT_EQ(archiver.flush_to_disk().code(), Errc::invalid_argument);
+  EXPECT_EQ(archiver.load_from_disk().code(), Errc::invalid_argument);
+}
+
+TEST(Persistence, CorruptImageReportsTheArchive) {
+  const std::string dir = fresh_dir("corrupt");
+  ArchiverOptions options{15, 120, dir};
+  {
+    Archiver archiver(options);
+    archiver.record_cluster("src", tiny_cluster(1.0), 1000);
+    ASSERT_TRUE(archiver.flush_to_disk().ok());
+  }
+  // Truncate the image behind the manifest's back.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() == ".grrd") {
+      std::ofstream(entry.path(), std::ios::trunc) << "junk";
+    }
+  }
+  Archiver restored(options);
+  auto status = restored.load_from_disk();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.error().message.find("load_one"), std::string::npos);
+}
+
+TEST(Persistence, GmetadRestartKeepsHistory) {
+  const std::string dir = fresh_dir("daemon");
+  sim::SimClock clock;
+  net::InMemTransport transport;
+
+  gmon::PseudoGmondConfig cluster_config;
+  cluster_config.cluster_name = "meteor";
+  cluster_config.host_count = 3;
+  gmon::PseudoGmond emulator(cluster_config, clock);
+  transport.register_service("meteor:8649", emulator.service());
+
+  GmetadConfig config;
+  config.grid_name = "persisted";
+  config.xml_bind = "gp:8651";
+  config.interactive_bind = "gp:8652";
+  config.archive_dir = dir;
+  DataSourceConfig ds;
+  ds.name = "meteor";
+  ds.addresses = {"meteor:8649"};
+  config.sources.push_back(ds);
+
+  std::int64_t history_start = 0;
+  {
+    Gmetad first(config, transport, clock);
+    history_start = clock.now_seconds();
+    for (int round = 0; round < 10; ++round) {
+      clock.advance_seconds(15);
+      first.poll_once();
+    }
+    ASSERT_TRUE(first.start().ok());  // start/stop drives load/flush
+    first.stop();
+  }
+
+  // A brand-new instance (fresh process, same config) sees the history.
+  net::InMemTransport transport2;
+  transport2.register_service("meteor:8649", emulator.service());
+  Gmetad second(config, transport2, clock);
+  ASSERT_TRUE(second.start().ok());
+  auto series = second.archiver().fetch_summary_metric(
+      "meteor", "load_one", history_start, clock.now_seconds());
+  ASSERT_TRUE(series.ok()) << series.error().to_string();
+  std::size_t known = 0;
+  for (double v : series->values) {
+    if (!rrd::is_unknown(v)) ++known;
+  }
+  EXPECT_GT(known, 3u) << "pre-restart history visible after restart";
+  second.stop();
+}
+
+}  // namespace
+}  // namespace ganglia::gmetad

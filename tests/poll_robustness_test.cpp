@@ -1,0 +1,158 @@
+// Poll-path robustness: sources that serve garbage, empty bodies, slow
+// trickles, or flap between good and bad — the monitor must degrade to
+// "unreachable with stale data", never corrupt its store or crash.
+
+#include <gtest/gtest.h>
+
+#include "gmetad/gmetad.hpp"
+#include "gmon/pseudo_gmond.hpp"
+#include "net/inmem.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace ganglia::gmetad {
+namespace {
+
+struct Rig {
+  sim::SimClock clock;
+  net::InMemTransport transport;
+  std::unique_ptr<Gmetad> monitor;
+
+  explicit Rig(const std::string& address) {
+    GmetadConfig config;
+    config.grid_name = "robust";
+    config.archive_enabled = false;
+    DataSourceConfig ds;
+    ds.name = "victim";
+    ds.addresses = {address};
+    config.sources.push_back(ds);
+    monitor = std::make_unique<Gmetad>(config, transport, clock);
+  }
+
+  struct PollResultsSummary {
+    bool ok;
+    std::string error;
+  };
+
+  PollResultsSummary poll() {
+    clock.advance_seconds(15);
+    const auto results = monitor->poll_once();
+    return {results.front().ok, results.front().error};
+  }
+};
+
+TEST(PollRobustness, GarbageXmlMarksSourceUnreachable) {
+  Rig rig("victim:1");
+  rig.transport.register_service("victim:1", [](std::string_view) {
+    return Result<std::string>("this is not XML at all <<<>>>");
+  });
+  const auto result = rig.poll();
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("parse_error"), std::string::npos);
+  auto snapshot = rig.monitor->store().get("victim");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_FALSE(snapshot->reachable());
+}
+
+TEST(PollRobustness, WellFormedButWrongDialectRejected) {
+  Rig rig("victim:1");
+  rig.transport.register_service("victim:1", [](std::string_view) {
+    return Result<std::string>("<HTML><BODY>not ganglia</BODY></HTML>");
+  });
+  EXPECT_FALSE(rig.poll().ok);
+}
+
+TEST(PollRobustness, EmptyBodyRejected) {
+  Rig rig("victim:1");
+  rig.transport.register_service("victim:1", [](std::string_view) {
+    return Result<std::string>("");
+  });
+  EXPECT_FALSE(rig.poll().ok);
+}
+
+TEST(PollRobustness, FlappingSourceKeepsLatestGoodData) {
+  Rig rig("victim:1");
+  sim::SimClock& clock = rig.clock;
+  gmon::PseudoGmondConfig config;
+  config.cluster_name = "victim";
+  config.host_count = 3;
+  gmon::PseudoGmond emulator(config, clock);
+
+  bool healthy = true;
+  rig.transport.register_service(
+      "victim:1", [&](std::string_view) -> Result<std::string> {
+        if (healthy) return emulator.report_xml();
+        return Result<std::string>("<BROKEN");
+      });
+
+  EXPECT_TRUE(rig.poll().ok);
+  EXPECT_EQ(rig.monitor->store().get("victim")->host_count(), 3u);
+
+  healthy = false;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(rig.poll().ok);
+    auto snapshot = rig.monitor->store().get("victim");
+    EXPECT_FALSE(snapshot->reachable());
+    EXPECT_EQ(snapshot->host_count(), 3u) << "stale data retained";
+  }
+
+  healthy = true;
+  EXPECT_TRUE(rig.poll().ok);
+  EXPECT_TRUE(rig.monitor->store().get("victim")->reachable());
+}
+
+TEST(PollRobustness, TruncatedXmlStreamRejected) {
+  Rig rig("victim:1");
+  sim::SimClock& clock = rig.clock;
+  gmon::PseudoGmondConfig config;
+  config.cluster_name = "victim";
+  config.host_count = 10;
+  gmon::PseudoGmond emulator(config, clock);
+  rig.transport.register_service("victim:1",
+                                 [&](std::string_view) -> Result<std::string> {
+                                   std::string xml_text = emulator.report_xml();
+                                   xml_text.resize(xml_text.size() / 2);
+                                   return xml_text;
+                                 });
+  const auto result = rig.poll();
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(PollRobustness, EnormousResponseBounded) {
+  Rig rig("victim:1");
+  // 128 MB of 'x' would blow past read_to_eof's 64 MB cap.
+  rig.transport.register_service("victim:1", [](std::string_view) {
+    return Result<std::string>(std::string(128u << 20, 'x'));
+  });
+  const auto result = rig.poll();
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("exceeds"), std::string::npos);
+}
+
+TEST(PollRobustness, QueriesKeepWorkingWhileSourceIsBroken) {
+  Rig rig("victim:1");
+  sim::SimClock& clock = rig.clock;
+  gmon::PseudoGmondConfig config;
+  config.cluster_name = "victim";
+  config.host_count = 4;
+  gmon::PseudoGmond emulator(config, clock);
+  bool healthy = true;
+  rig.transport.register_service(
+      "victim:1", [&](std::string_view) -> Result<std::string> {
+        if (healthy) return emulator.report_xml();
+        return Err(Errc::internal, "wedged");
+      });
+  ASSERT_TRUE(rig.poll().ok);
+  healthy = false;
+  ASSERT_FALSE(rig.poll().ok);
+
+  // The paper's freshness-for-latency trade: queries serve the previous
+  // fully-parsed data.
+  auto response = rig.monitor->query("/victim");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  auto parsed = parse_report(*response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->grids.front().host_count(), 4u);
+}
+
+}  // namespace
+}  // namespace ganglia::gmetad

@@ -1,0 +1,244 @@
+// Unit tests for the presenter: viewer strategies against a scripted
+// gmetad service, timing bookkeeping, and HTML rendering.
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+#include "net/inmem.hpp"
+#include "presenter/html.hpp"
+#include "presenter/viewer.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia::presenter {
+namespace {
+
+/// A miniature scripted gmetad: one grid "sdsc" with a 3-host cluster
+/// "meteor" and a summary grid "attic".  The interactive port understands
+/// the three query shapes the viewer issues.
+class ScriptedGmetad {
+ public:
+  explicit ScriptedGmetad(net::InMemTransport& transport) {
+    transport.register_service("g:8651", [this](std::string_view) {
+      return Result<std::string>(dump());
+    });
+    transport.register_service("g:8652", [this](std::string_view request) {
+      return interactive(request);
+    });
+  }
+
+  static Report model() {
+    Report report;
+    Grid grid;
+    grid.name = "sdsc";
+    grid.authority = "gmetad://g:8651/";
+    Cluster meteor;
+    meteor.name = "meteor";
+    meteor.localtime = 100;
+    for (int i = 0; i < 3; ++i) {
+      Host h;
+      h.name = "n" + std::to_string(i);
+      h.ip = "10.0.0." + std::to_string(i);
+      h.tn = 1;
+      Metric m;
+      m.name = "load_one";
+      m.set_double(1.0 * (i + 1));
+      h.metrics.push_back(std::move(m));
+      meteor.hosts.emplace(h.name, std::move(h));
+    }
+    grid.clusters.push_back(std::move(meteor));
+    Grid attic;
+    attic.name = "attic";
+    attic.authority = "gmetad://attic:8651/";
+    attic.summary.emplace();
+    attic.summary->hosts_up = 7;
+    attic.summary->metrics["load_one"] = {14.0, 7, MetricType::float_t, ""};
+    grid.grids.push_back(std::move(attic));
+    report.grids.push_back(std::move(grid));
+    return report;
+  }
+
+  std::string dump() const { return write_report(model()); }
+
+  Result<std::string> interactive(std::string_view request) const {
+    const Report full = model();
+    const Grid& grid = full.grids.front();
+    Report out;
+    Grid self;
+    self.name = grid.name;
+    self.authority = grid.authority;
+
+    const std::string line(request);
+    if (line.rfind("/?filter=summary", 0) == 0) {
+      Cluster summary_cluster;
+      summary_cluster.name = "meteor";
+      summary_cluster.summary = grid.clusters.front().summarize();
+      // Per-source summary rows; the viewer folds them into its total.
+      // (write_grid treats a set `summary` as summary-*form*, dropping
+      // children, so the self grid must not set one here.)
+      self.clusters.push_back(std::move(summary_cluster));
+      self.grids.push_back(grid.grids.front());
+    } else if (line.rfind("/meteor/", 0) == 0) {
+      const std::string host_name =
+          std::string(trim(std::string_view(line).substr(8)));
+      Cluster one;
+      one.name = "meteor";
+      const auto it = grid.clusters.front().hosts.find(host_name);
+      if (it == grid.clusters.front().hosts.end()) {
+        return Err(Errc::not_found, "no host " + host_name);
+      }
+      one.hosts.emplace(it->first, it->second);
+      self.clusters.push_back(std::move(one));
+    } else if (line.rfind("/meteor", 0) == 0) {
+      self.clusters.push_back(grid.clusters.front());
+    } else {
+      return Err(Errc::not_found, "no subtree " + line);
+    }
+    out.grids.push_back(std::move(self));
+    return write_report(out);
+  }
+};
+
+class ViewerTest : public ::testing::Test {
+ protected:
+  ViewerTest() : scripted_(transport_) {}
+
+  Viewer make(Strategy strategy) {
+    return Viewer(transport_, "g:8651", "g:8652", strategy);
+  }
+
+  net::InMemTransport transport_;
+  ScriptedGmetad scripted_;
+};
+
+TEST_F(ViewerTest, MetaViewOneLevelComputesOwnSummaries) {
+  Viewer viewer = make(Strategy::one_level);
+  auto view = viewer.meta_view();
+  ASSERT_TRUE(view.ok()) << view.error().to_string();
+  EXPECT_EQ(view->grid_name, "sdsc");
+  ASSERT_EQ(view->sources.size(), 2u);
+  EXPECT_EQ(view->sources[0].name, "meteor");
+  EXPECT_FALSE(view->sources[0].is_grid);
+  EXPECT_DOUBLE_EQ(view->sources[0].summary.metrics.at("load_one").sum, 6.0);
+  EXPECT_TRUE(view->sources[1].is_grid);
+  EXPECT_EQ(view->total.hosts_up, 10u);
+  // The old strategy downloaded and parsed every host.
+  EXPECT_EQ(viewer.last_timing().hosts_parsed, 3u);
+}
+
+TEST_F(ViewerTest, MetaViewNLevelReadsSummariesOffTheWire) {
+  Viewer viewer = make(Strategy::n_level);
+  auto view = viewer.meta_view();
+  ASSERT_TRUE(view.ok()) << view.error().to_string();
+  EXPECT_EQ(view->total.hosts_up, 10u);
+  EXPECT_DOUBLE_EQ(view->total.metrics.at("load_one").sum, 20.0);
+  EXPECT_EQ(viewer.last_timing().hosts_parsed, 0u)
+      << "summary rows carry no HOST elements";
+}
+
+TEST_F(ViewerTest, ClusterViewBothStrategies) {
+  for (Strategy strategy : {Strategy::one_level, Strategy::n_level}) {
+    Viewer viewer = make(strategy);
+    auto view = viewer.cluster_view("meteor");
+    ASSERT_TRUE(view.ok()) << view.error().to_string();
+    EXPECT_EQ(view->cluster.hosts.size(), 3u);
+    EXPECT_DOUBLE_EQ(
+        view->cluster.hosts.at("n2").find_metric("load_one")->numeric, 3.0);
+  }
+}
+
+TEST_F(ViewerTest, HostViewBothStrategies) {
+  for (Strategy strategy : {Strategy::one_level, Strategy::n_level}) {
+    Viewer viewer = make(strategy);
+    auto view = viewer.host_view("meteor", "n1");
+    ASSERT_TRUE(view.ok()) << view.error().to_string();
+    EXPECT_EQ(view->cluster_name, "meteor");
+    EXPECT_EQ(view->host.name, "n1");
+    ASSERT_EQ(view->host.metrics.size(), 1u);
+  }
+}
+
+TEST_F(ViewerTest, NLevelMovesFewerBytesForNarrowViews) {
+  Viewer old_viewer = make(Strategy::one_level);
+  Viewer new_viewer = make(Strategy::n_level);
+  ASSERT_TRUE(old_viewer.host_view("meteor", "n0").ok());
+  ASSERT_TRUE(new_viewer.host_view("meteor", "n0").ok());
+  EXPECT_LT(new_viewer.last_timing().xml_bytes,
+            old_viewer.last_timing().xml_bytes);
+  EXPECT_GT(new_viewer.last_timing().total_seconds, 0.0);
+}
+
+TEST_F(ViewerTest, MissingTargetsReported) {
+  Viewer viewer = make(Strategy::n_level);
+  EXPECT_EQ(viewer.cluster_view("nashi").code(), Errc::not_found);
+  EXPECT_EQ(viewer.host_view("meteor", "ghost").code(), Errc::not_found);
+  Viewer old_viewer = make(Strategy::one_level);
+  EXPECT_EQ(old_viewer.host_view("meteor", "ghost").code(), Errc::not_found);
+}
+
+TEST_F(ViewerTest, ConnectFailureSurfaces) {
+  Viewer viewer(transport_, "dead:1", "dead:2", Strategy::one_level);
+  EXPECT_EQ(viewer.meta_view().code(), Errc::refused);
+}
+
+// -------------------------------------------------------------------- html
+
+TEST(Html, MetaPageListsSourcesAndTotals) {
+  MetaView view;
+  view.grid_name = "sdsc";
+  MetaRow row;
+  row.name = "meteor";
+  row.summary.hosts_up = 3;
+  row.summary.metrics["cpu_num"] = {6.0, 3, MetricType::uint16, "CPUs"};
+  row.summary.metrics["load_one"] = {1.5, 3, MetricType::float_t, ""};
+  view.sources.push_back(row);
+  view.total = row.summary;
+
+  const std::string html = render_meta_html(view);
+  EXPECT_NE(html.find("meteor"), std::string::npos);
+  EXPECT_NE(html.find("<td class=\"up\">3</td>"), std::string::npos);
+  EXPECT_NE(html.find("0.50"), std::string::npos);  // mean load
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+}
+
+TEST(Html, ClusterPageMarksDownHosts) {
+  ClusterView view;
+  view.cluster.name = "meteor";
+  Host up;
+  up.name = "good";
+  up.tn = 1;
+  Host down;
+  down.name = "bad <host>";
+  down.tn = 999;
+  view.cluster.hosts.emplace("good", std::move(up));
+  view.cluster.hosts.emplace("bad <host>", std::move(down));
+
+  const std::string html = render_cluster_html(view);
+  EXPECT_NE(html.find("class=\"down\">down"), std::string::npos);
+  EXPECT_NE(html.find("class=\"up\">up"), std::string::npos);
+  EXPECT_NE(html.find("bad &lt;host&gt;"), std::string::npos)
+      << "names must be escaped";
+  EXPECT_EQ(html.find("bad <host>"), std::string::npos);
+}
+
+TEST(Html, HostPageListsAllMetrics) {
+  HostView view;
+  view.cluster_name = "meteor";
+  view.host.name = "n0";
+  view.host.tn = 3;
+  Metric m;
+  m.name = "load_one";
+  m.set_double(0.5);
+  view.host.metrics.push_back(m);
+  Metric s;
+  s.name = "os_name";
+  s.set_string("Linux & more");
+  view.host.metrics.push_back(s);
+
+  const std::string html = render_host_html(view);
+  EXPECT_NE(html.find("load_one"), std::string::npos);
+  EXPECT_NE(html.find("Linux &amp; more"), std::string::npos);
+  EXPECT_NE(html.find("Host n0 (meteor)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ganglia::presenter

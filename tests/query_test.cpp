@@ -1,0 +1,337 @@
+// Unit tests for the gmetad query engine (path grammar, resolution,
+// summary filter, regex extension, authority redirects) and the soft-state
+// join protocol.
+
+#include <gtest/gtest.h>
+
+#include "gmetad/join.hpp"
+#include "gmetad/query.hpp"
+
+namespace ganglia::gmetad {
+namespace {
+
+// ----------------------------------------------------------------- grammar
+
+TEST(QueryGrammar, ParsesRootAndPaths) {
+  auto root = parse_query("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->segments.empty());
+  EXPECT_FALSE(root->summary);
+
+  auto host = parse_query("/meteor/compute-0-0/");
+  ASSERT_TRUE(host.ok());
+  ASSERT_EQ(host->segments.size(), 2u);
+  EXPECT_EQ(host->segments[0].text, "meteor");
+  EXPECT_EQ(host->segments[1].text, "compute-0-0");
+}
+
+TEST(QueryGrammar, ParsesSummaryFilter) {
+  auto meta = parse_query("/?filter=summary");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_TRUE(meta->summary);
+  EXPECT_TRUE(meta->segments.empty());
+
+  auto cluster = parse_query("/meteor?filter=summary");
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_TRUE(cluster->summary);
+  EXPECT_EQ(cluster->segments.size(), 1u);
+}
+
+TEST(QueryGrammar, ParsesRegexSegments) {
+  auto q = parse_query("/~met.*/~compute-0-[0-4]");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->segments[0].is_regex);
+  EXPECT_TRUE(q->segments[0].matches("meteor"));
+  EXPECT_FALSE(q->segments[0].matches("nashi"));
+  EXPECT_TRUE(q->segments[1].matches("compute-0-3"));
+  EXPECT_FALSE(q->segments[1].matches("compute-0-7"));
+}
+
+TEST(QueryGrammar, RejectsBadQueries) {
+  EXPECT_FALSE(parse_query("").ok());
+  EXPECT_FALSE(parse_query("meteor").ok());       // missing leading slash
+  EXPECT_FALSE(parse_query("/x?filter=bogus").ok());
+  EXPECT_FALSE(parse_query("/~[unclosed").ok());  // bad regex
+}
+
+TEST(QueryGrammar, LiteralSegmentsMatchExactly) {
+  auto q = parse_query("/meteor");
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(q->segments[0].matches("meteor"));
+  EXPECT_FALSE(q->segments[0].matches("meteor2"));
+  EXPECT_FALSE(q->segments[0].matches("METEOR"));
+}
+
+// -------------------------------------------------------------- resolution
+
+/// Store with one gmond cluster source and one summary-form grid source —
+/// exactly what an N-level gmetad holds.
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  QueryEngineTest() : engine_(store_) {
+    Report meteor;
+    Cluster c;
+    c.name = "meteor";
+    c.localtime = 500;
+    for (int i = 0; i < 4; ++i) {
+      Host h;
+      h.name = "compute-0-" + std::to_string(i);
+      h.ip = "10.0.0." + std::to_string(i);
+      h.tn = 2;
+      Metric load;
+      load.name = "load_one";
+      load.set_double(0.25 * (i + 1));
+      h.metrics.push_back(load);
+      Metric cpus;
+      cpus.name = "cpu_num";
+      cpus.set_uint(2, MetricType::uint16);
+      h.metrics.push_back(cpus);
+      c.hosts.emplace(h.name, std::move(h));
+    }
+    meteor.clusters.push_back(std::move(c));
+    store_.publish(std::make_shared<SourceSnapshot>("meteor",
+                                                    std::move(meteor), 500));
+
+    Report attic;
+    Grid g;
+    g.name = "attic";
+    g.authority = "gmetad://attic:8651/";
+    g.summary.emplace();
+    g.summary->hosts_up = 10;
+    g.summary->metrics["load_one"] = {17.5, 10, MetricType::float_t, ""};
+    attic.grids.push_back(std::move(g));
+    store_.publish(std::make_shared<SourceSnapshot>("attic",
+                                                    std::move(attic), 500));
+
+    ctx_.grid_name = "sdsc";
+    ctx_.authority = "gmetad://sdsc:8651/";
+    ctx_.now = 510;
+  }
+
+  Result<Report> run(std::string_view query) {
+    auto xml_text = engine_.execute(query, ctx_);
+    if (!xml_text.ok()) return xml_text.error();
+    return parse_report(*xml_text);
+  }
+
+  Store store_;
+  QueryEngine engine_;
+  QueryContext ctx_;
+};
+
+TEST_F(QueryEngineTest, RootDumpContainsEverything) {
+  auto report = run("/");
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  const Grid& self = report->grids.front();
+  EXPECT_EQ(self.name, "sdsc");
+  EXPECT_EQ(self.authority, "gmetad://sdsc:8651/");
+  ASSERT_EQ(self.clusters.size(), 1u);
+  EXPECT_EQ(self.clusters.front().hosts.size(), 4u);
+  ASSERT_EQ(self.grids.size(), 1u);
+  EXPECT_TRUE(self.grids.front().is_summary_form());
+}
+
+TEST_F(QueryEngineTest, MetaViewSummarisesEverySource) {
+  auto report = run("/?filter=summary");
+  ASSERT_TRUE(report.ok());
+  const Grid& self = report->grids.front();
+  // meteor appears as a cluster summary, attic as a grid summary, and the
+  // self grid carries the grand total.
+  ASSERT_EQ(self.clusters.size(), 1u);
+  EXPECT_TRUE(self.clusters.front().is_summary_form());
+  EXPECT_EQ(self.clusters.front().summary->hosts_up, 4u);
+  ASSERT_TRUE(self.summary.has_value());
+  EXPECT_EQ(self.summary->hosts_up, 14u);
+  EXPECT_DOUBLE_EQ(self.summary->metrics.at("load_one").sum,
+                   17.5 + 0.25 * (1 + 2 + 3 + 4));
+}
+
+TEST_F(QueryEngineTest, ClusterQueryFullResolution) {
+  auto report = run("/meteor");
+  ASSERT_TRUE(report.ok());
+  const Grid& self = report->grids.front();
+  ASSERT_EQ(self.clusters.size(), 1u);
+  EXPECT_EQ(self.clusters.front().hosts.size(), 4u);
+  EXPECT_TRUE(self.grids.empty()) << "only the requested subtree";
+}
+
+TEST_F(QueryEngineTest, ClusterSummaryFilter) {
+  auto report = run("/meteor?filter=summary");
+  ASSERT_TRUE(report.ok());
+  const Cluster& c = report->grids.front().clusters.front();
+  ASSERT_TRUE(c.is_summary_form());
+  EXPECT_EQ(c.summary->hosts_up, 4u);
+  EXPECT_EQ(c.summary->metrics.at("cpu_num").num, 4u);
+}
+
+TEST_F(QueryEngineTest, HostQueryReturnsOneHostWrapped) {
+  auto report = run("/meteor/compute-0-2");
+  ASSERT_TRUE(report.ok());
+  const Cluster& c = report->grids.front().clusters.front();
+  EXPECT_EQ(c.name, "meteor") << "wrapper keeps cluster attributes";
+  ASSERT_EQ(c.hosts.size(), 1u);
+  EXPECT_DOUBLE_EQ(
+      c.hosts.at("compute-0-2").find_metric("load_one")->numeric, 0.75);
+}
+
+TEST_F(QueryEngineTest, MetricQueryReturnsSingleMetric) {
+  auto report = run("/meteor/compute-0-1/load_one");
+  ASSERT_TRUE(report.ok());
+  const Host& h =
+      report->grids.front().clusters.front().hosts.at("compute-0-1");
+  ASSERT_EQ(h.metrics.size(), 1u);
+  EXPECT_EQ(h.metrics[0].name, "load_one");
+}
+
+TEST_F(QueryEngineTest, GridSummaryQuery) {
+  auto report = run("/attic");
+  ASSERT_TRUE(report.ok());
+  const Grid& attic = report->grids.front().grids.front();
+  ASSERT_TRUE(attic.is_summary_form());
+  EXPECT_EQ(attic.summary->hosts_up, 10u);
+  EXPECT_EQ(attic.authority, "gmetad://attic:8651/");
+}
+
+TEST_F(QueryEngineTest, DescendingBelowSummaryGridRedirectsToAuthority) {
+  auto result = engine_.execute("/attic/some-cluster/host", ctx_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), Errc::not_found);
+  EXPECT_NE(result.error().message.find("gmetad://attic:8651/"),
+            std::string::npos)
+      << "the error must carry the authority pointer";
+}
+
+TEST_F(QueryEngineTest, RegexMatchesMultipleHosts) {
+  auto report = run("/meteor/~compute-0-[12]");
+  ASSERT_TRUE(report.ok());
+  std::size_t hosts = 0;
+  for (const Cluster& c : report->grids.front().clusters) {
+    hosts += c.hosts.size();
+  }
+  EXPECT_EQ(hosts, 2u);
+}
+
+TEST_F(QueryEngineTest, RegexAcrossSources) {
+  auto report = run("/~.*?filter=summary");
+  ASSERT_TRUE(report.ok());
+  const Grid& self = report->grids.front();
+  EXPECT_EQ(self.clusters.size() + self.grids.size(), 2u);
+}
+
+TEST_F(QueryEngineTest, MissingPathsFail) {
+  EXPECT_EQ(run("/nothere").code(), Errc::not_found);
+  EXPECT_EQ(run("/meteor/ghost-host").code(), Errc::not_found);
+  EXPECT_EQ(run("/meteor/compute-0-0/no_metric").code(), Errc::not_found);
+  EXPECT_EQ(run("/meteor/compute-0-0/load_one/too-deep").code(),
+            Errc::not_found);
+}
+
+TEST_F(QueryEngineTest, DumpEqualsRootQuery) {
+  auto via_query = engine_.execute("/", ctx_);
+  ASSERT_TRUE(via_query.ok());
+  EXPECT_EQ(engine_.dump(ctx_), *via_query);
+}
+
+TEST_F(QueryEngineTest, OneLevelModeForwardsChildGridsFullDetail) {
+  // Add a full-detail grid source (as a 1-level child would send).
+  Report child;
+  Grid g;
+  g.name = "verbose-child";
+  g.authority = "gmetad://child:1/";
+  Cluster inner;
+  inner.name = "inner";
+  Host h;
+  h.name = "deep-host";
+  h.tn = 1;
+  inner.hosts.emplace(h.name, std::move(h));
+  g.clusters.push_back(std::move(inner));
+  child.grids.push_back(std::move(g));
+  store_.publish(std::make_shared<SourceSnapshot>("verbose-child",
+                                                  std::move(child), 500));
+
+  ctx_.mode = Mode::one_level;
+  auto one = run("/");
+  ASSERT_TRUE(one.ok());
+  const Grid* child_grid = nullptr;
+  for (const Grid& grid : one->grids.front().grids) {
+    if (grid.name == "verbose-child") child_grid = &grid;
+  }
+  ASSERT_NE(child_grid, nullptr);
+  EXPECT_FALSE(child_grid->is_summary_form());
+  EXPECT_EQ(child_grid->host_count(), 1u);
+
+  // The same store dumped in N-level mode summarises that child.
+  ctx_.mode = Mode::n_level;
+  auto n = run("/");
+  ASSERT_TRUE(n.ok());
+  for (const Grid& grid : n->grids.front().grids) {
+    if (grid.name == "verbose-child") {
+      EXPECT_TRUE(grid.is_summary_form());
+    }
+  }
+  // And a deep query into it still works in 1-level (data is present).
+  auto deep = run("/verbose-child/inner/deep-host");
+  ASSERT_TRUE(deep.ok()) << deep.error().to_string();
+}
+
+// -------------------------------------------------------------------- join
+
+TEST(Join, MacIsDeterministicAndKeyDependent) {
+  const std::string mac1 = join_mac("key", "message");
+  EXPECT_EQ(mac1, join_mac("key", "message"));
+  EXPECT_NE(mac1, join_mac("other", "message"));
+  EXPECT_NE(mac1, join_mac("key", "message2"));
+  EXPECT_EQ(mac1.size(), 32u);
+}
+
+TEST(Join, FormatParseRoundTrip) {
+  JoinRequest request{"attic", "attic.gmeta:8651", "gmetad://attic:8651/"};
+  const std::string line = format_join_line(request, "sekrit");
+  auto parsed = parse_join_line(line, "sekrit");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed->name, "attic");
+  EXPECT_EQ(parsed->address, "attic.gmeta:8651");
+  EXPECT_EQ(parsed->authority, "gmetad://attic:8651/");
+}
+
+TEST(Join, RejectsWrongKeyTamperingAndDisabled) {
+  JoinRequest request{"attic", "a:1", "gmetad://a:1/"};
+  const std::string line = format_join_line(request, "sekrit");
+  EXPECT_EQ(parse_join_line(line, "WRONG").code(), Errc::refused);
+  EXPECT_EQ(parse_join_line(line, "").code(), Errc::refused);
+
+  std::string tampered = line;
+  tampered.replace(tampered.find("attic"), 5, "evil1");
+  EXPECT_EQ(parse_join_line(tampered, "sekrit").code(), Errc::refused);
+
+  EXPECT_EQ(parse_join_line("JOIN too few", "sekrit").code(),
+            Errc::parse_error);
+  EXPECT_EQ(parse_join_line("NOPE a b c d", "sekrit").code(),
+            Errc::parse_error);
+  EXPECT_EQ(
+      parse_join_line("JOIN n noport auth 0123", "sekrit").code(),
+      Errc::parse_error);
+}
+
+TEST(Join, RegistryRefreshAndPrune) {
+  JoinRegistry registry(/*expiry_s=*/60);
+  JoinRequest a{"a", "a:1", "gmetad://a:1/"};
+  JoinRequest b{"b", "b:1", "gmetad://b:1/"};
+
+  EXPECT_TRUE(registry.refresh(a, 100)) << "first join is new";
+  EXPECT_FALSE(registry.refresh(a, 120)) << "refresh is not new";
+  EXPECT_TRUE(registry.refresh(b, 130));
+  EXPECT_EQ(registry.size(), 2u);
+
+  // At t=190, a's last join (120) is 70s old: pruned.  b (130) survives.
+  const auto expired = registry.prune(190);
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].request.name, "a");
+  EXPECT_EQ(registry.size(), 1u);
+
+  // A pruned child can rejoin.
+  EXPECT_TRUE(registry.refresh(a, 200));
+}
+
+}  // namespace
+}  // namespace ganglia::gmetad

@@ -1,0 +1,221 @@
+// Unit tests for src/sim: simulated clock, discrete-event queue, the
+// multicast bus, and scripted failure schedules.
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/failure_schedule.hpp"
+#include "sim/multicast.hpp"
+#include "sim/sim_clock.hpp"
+
+namespace ganglia::sim {
+namespace {
+
+// ---------------------------------------------------------------- simclock
+
+TEST(SimClock, StartsAtEpochAndAdvancesOnDemand) {
+  SimClock clock(1'000'000);
+  EXPECT_EQ(clock.now_us(), 1'000'000);
+  clock.advance_us(500);
+  EXPECT_EQ(clock.now_us(), 1'000'500);
+  clock.advance_seconds(2.0);
+  EXPECT_EQ(clock.now_us(), 3'000'500);
+}
+
+TEST(SimClock, SleepAdvancesInsteadOfBlocking) {
+  SimClock clock(0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  clock.sleep_us(3'600'000'000);  // "one hour"
+  const auto wall_elapsed = std::chrono::steady_clock::now() - wall_start;
+  EXPECT_EQ(clock.now_us(), 3'600'000'000);
+  EXPECT_LT(std::chrono::duration<double>(wall_elapsed).count(), 0.5);
+}
+
+TEST(SimClock, NegativeAdvanceIgnored) {
+  SimClock clock(100);
+  clock.advance_us(-50);
+  EXPECT_EQ(clock.now_us(), 100);
+}
+
+// ------------------------------------------------------------- event queue
+
+TEST(EventQueue, RunsEventsInTimestampOrder) {
+  SimClock clock(0);
+  EventQueue queue(clock);
+  std::vector<int> order;
+  queue.schedule_at(300, [&] { order.push_back(3); });
+  queue.schedule_at(100, [&] { order.push_back(1); });
+  queue.schedule_at(200, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.run_until(1000), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now_us(), 1000);  // clock lands on the window end
+}
+
+TEST(EventQueue, TiesBreakInInsertionOrder) {
+  SimClock clock(0);
+  EventQueue queue(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  queue.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents) {
+  SimClock clock(0);
+  EventQueue queue(clock);
+  int fired = 0;
+  // Self-rescheduling timer, like a gmond heartbeat.
+  std::function<void()> tick = [&] {
+    ++fired;
+    if (fired < 10) queue.schedule_after(10, tick);
+  };
+  queue.schedule_after(10, tick);
+  queue.run_until(1000);
+  EXPECT_EQ(fired, 10);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  SimClock clock(0);
+  EventQueue queue(clock);
+  int fired = 0;
+  queue.schedule_at(100, [&] { ++fired; });
+  queue.schedule_at(200, [&] { ++fired; });
+  EXPECT_EQ(queue.run_until(150), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(queue.pending(), 1u);
+}
+
+TEST(EventQueue, PastEventsRunAtCurrentTime) {
+  SimClock clock(500);
+  EventQueue queue(clock);
+  TimeUs seen = 0;
+  queue.schedule_at(100, [&] { seen = clock.now_us(); });  // already past
+  queue.step();
+  EXPECT_EQ(seen, 500);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne) {
+  SimClock clock(0);
+  EventQueue queue(clock);
+  int fired = 0;
+  queue.schedule_at(1, [&] { ++fired; });
+  queue.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(queue.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(queue.step());
+  EXPECT_FALSE(queue.step());
+}
+
+// --------------------------------------------------------------- multicast
+
+TEST(Multicast, DeliversToAllMembersIncludingSender) {
+  MulticastBus bus;
+  std::vector<std::string> heard_by_a, heard_by_b;
+  const int a = bus.join([&](int, std::string_view p) {
+    heard_by_a.emplace_back(p);
+  });
+  bus.join([&](int, std::string_view p) { heard_by_b.emplace_back(p); });
+
+  bus.publish(a, "hello");
+  EXPECT_EQ(heard_by_a, (std::vector<std::string>{"hello"}));
+  EXPECT_EQ(heard_by_b, (std::vector<std::string>{"hello"}));
+  EXPECT_EQ(bus.stats().datagrams_sent, 1u);
+  EXPECT_EQ(bus.stats().datagrams_delivered, 2u);
+  EXPECT_EQ(bus.stats().bytes_sent, 5u);
+}
+
+TEST(Multicast, DepartedMembersStopReceiving) {
+  MulticastBus bus;
+  int count = 0;
+  const int a = bus.join([&](int, std::string_view) { ++count; });
+  const int b = bus.join([&](int, std::string_view) { ++count; });
+  bus.publish(a, "x");
+  EXPECT_EQ(count, 2);
+  bus.leave(b);
+  bus.publish(a, "y");
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(bus.member_count(), 1u);
+}
+
+TEST(Multicast, IsolatedMembersNeitherSendNorReceive) {
+  MulticastBus bus;
+  int a_heard = 0, b_heard = 0;
+  const int a = bus.join([&](int, std::string_view) { ++a_heard; });
+  const int b = bus.join([&](int, std::string_view) { ++b_heard; });
+
+  bus.set_isolated(b, true);
+  bus.publish(a, "x");
+  EXPECT_EQ(a_heard, 1);
+  EXPECT_EQ(b_heard, 0);
+  bus.publish(b, "y");  // isolated sender: dropped entirely
+  EXPECT_EQ(a_heard, 1);
+
+  bus.set_isolated(b, false);
+  bus.publish(b, "z");
+  EXPECT_EQ(a_heard, 2);
+  EXPECT_EQ(b_heard, 1);
+}
+
+TEST(Multicast, LossRateDropsApproximatelyThatFraction) {
+  MulticastBus bus(/*loss_seed=*/7);
+  int received = 0;
+  const int a = bus.join([&](int, std::string_view) { ++received; });
+  bus.set_loss_rate(0.3);
+  for (int i = 0; i < 2000; ++i) bus.publish(a, "m");
+  // ~1400 expected; allow generous slack.
+  EXPECT_GT(received, 1200);
+  EXPECT_LT(received, 1600);
+  EXPECT_EQ(bus.stats().datagrams_dropped,
+            2000u - static_cast<unsigned>(received));
+}
+
+TEST(Multicast, SenderMustBeMember) {
+  MulticastBus bus;
+  int heard = 0;
+  bus.join([&](int, std::string_view) { ++heard; });
+  bus.publish(/*sender_id=*/999, "ghost");
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(bus.stats().datagrams_sent, 0u);
+}
+
+// -------------------------------------------------------- failure schedule
+
+TEST(FailureSchedule, AppliesEventsInTimeOrder) {
+  net::InMemTransport transport;
+  transport.register_service("s:1",
+                             [](std::string_view) { return Result<std::string>("ok"); });
+  FailureSchedule schedule;
+  schedule.add_outage(/*from=*/100, /*to=*/200, "s:1");
+
+  EXPECT_EQ(schedule.apply_due(50, transport), 0u);
+  EXPECT_TRUE(transport.connect("s:1", 1000).ok());
+
+  EXPECT_EQ(schedule.apply_due(150, transport), 1u);
+  EXPECT_FALSE(transport.connect("s:1", 1000).ok());
+
+  EXPECT_EQ(schedule.apply_due(250, transport), 1u);
+  EXPECT_TRUE(transport.connect("s:1", 1000).ok());
+  EXPECT_EQ(schedule.pending(), 0u);
+}
+
+TEST(FailureSchedule, OutOfOrderAddsAreSorted) {
+  net::InMemTransport transport;
+  transport.register_service("s:1",
+                             [](std::string_view) { return Result<std::string>("ok"); });
+  FailureSchedule schedule;
+  net::FailurePolicy refuse;
+  refuse.kind = net::FailurePolicy::Kind::refuse;
+  schedule.add(300, "s:1", net::FailurePolicy{});  // recover
+  schedule.add(100, "s:1", refuse);                // fail first
+
+  schedule.apply_due(150, transport);
+  EXPECT_FALSE(transport.connect("s:1", 1000).ok());
+  schedule.apply_due(350, transport);
+  EXPECT_TRUE(transport.connect("s:1", 1000).ok());
+}
+
+}  // namespace
+}  // namespace ganglia::sim

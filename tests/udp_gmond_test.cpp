@@ -1,0 +1,187 @@
+// Tests for the real-UDP path: the unicast mesh channel and the threaded
+// GmondDaemon, end to end on loopback sockets.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gmetad/gmetad.hpp"
+#include "gmon/gmond_daemon.hpp"
+#include "gmon/udp_channel.hpp"
+#include "net/tcp.hpp"
+
+namespace ganglia::gmon {
+namespace {
+
+template <class Predicate>
+bool eventually(Predicate predicate, int deadline_ms = 8000) {
+  for (int waited = 0; waited < deadline_ms; waited += 50) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return predicate();
+}
+
+// ------------------------------------------------------------ UDP channel
+
+TEST(UdpChannel, OpensOnEphemeralPort) {
+  auto channel = UdpMeshChannel::open({});
+  ASSERT_TRUE(channel.ok()) << channel.error().to_string();
+  EXPECT_EQ((*channel)->address().rfind("127.0.0.1:", 0), 0u);
+  EXPECT_NE((*channel)->address(), "127.0.0.1:0");
+}
+
+TEST(UdpChannel, RejectsBadAddresses) {
+  UdpMeshChannel::Config config;
+  config.bind = "notanip:1";
+  EXPECT_FALSE(UdpMeshChannel::open(config).ok());
+  config.bind = "127.0.0.1";
+  EXPECT_FALSE(UdpMeshChannel::open(config).ok());
+}
+
+TEST(UdpChannel, LoopbackSelfDelivery) {
+  auto channel = UdpMeshChannel::open({});
+  ASSERT_TRUE(channel.ok());
+  std::atomic<int> received{0};
+  std::string last;
+  std::mutex m;
+  ASSERT_TRUE((*channel)
+                  ->start_receiver([&](std::string_view d) {
+                    std::lock_guard lock(m);
+                    last = std::string(d);
+                    ++received;
+                  })
+                  .ok());
+  ASSERT_TRUE((*channel)->publish("hello-udp").ok());
+  ASSERT_TRUE(eventually([&] { return received.load() >= 1; }));
+  std::lock_guard lock(m);
+  EXPECT_EQ(last, "hello-udp");
+}
+
+TEST(UdpChannel, MeshFanOutReachesAllPeers) {
+  UdpMeshChannel::Config config;
+  config.loopback_self = false;
+  auto a = UdpMeshChannel::open(config);
+  auto b = UdpMeshChannel::open(config);
+  auto c = UdpMeshChannel::open(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  (*a)->add_peer((*b)->address());
+  (*a)->add_peer((*c)->address());
+
+  std::atomic<int> b_got{0}, c_got{0};
+  ASSERT_TRUE((*b)->start_receiver([&](std::string_view) { ++b_got; }).ok());
+  ASSERT_TRUE((*c)->start_receiver([&](std::string_view) { ++c_got; }).ok());
+  ASSERT_TRUE((*a)->publish("fanout").ok());
+
+  EXPECT_TRUE(eventually([&] { return b_got.load() == 1 && c_got.load() == 1; }));
+  EXPECT_EQ((*a)->stats().datagrams_sent, 2u);
+}
+
+TEST(UdpChannel, DuplicatePeersIgnored) {
+  auto channel = UdpMeshChannel::open({});
+  ASSERT_TRUE(channel.ok());
+  (*channel)->add_peer("127.0.0.1:9");
+  (*channel)->add_peer("127.0.0.1:9");
+  // publish to discard-port peer + self loopback: 2 sends, not 3.
+  ASSERT_TRUE((*channel)->publish("x").ok());
+  EXPECT_EQ((*channel)->stats().datagrams_sent, 2u);
+}
+
+// ----------------------------------------------------------- gmond daemon
+
+TEST(GmondDaemon, MeshOfThreeConvergesAndServesTcp) {
+  WallClock clock;
+  net::TcpTransport tcp;
+
+  GmondDaemonConfig base;
+  base.base.cluster_name = "udp-cluster";
+  base.timer_scale = 0.02;  // compress soft-state timers ~50x
+  std::vector<std::unique_ptr<GmondDaemon>> daemons;
+  for (int i = 0; i < 3; ++i) {
+    GmondDaemonConfig config = base;
+    config.host_name = "udp-node-" + std::to_string(i);
+    config.host_ip = "127.0.0.1";
+    config.seed = 100u + static_cast<unsigned>(i);
+    daemons.push_back(std::make_unique<GmondDaemon>(std::move(config)));
+    ASSERT_TRUE(daemons.back()->start(tcp, clock).ok());
+  }
+  // Wire the mesh (full graph).
+  for (auto& from : daemons) {
+    for (auto& to : daemons) {
+      if (from != to) from->add_peer(to->udp_address());
+    }
+  }
+
+  // Redundant global knowledge over real UDP.
+  ASSERT_TRUE(eventually([&] {
+    for (auto& d : daemons) {
+      if (d->state().host_count() != 3) return false;
+    }
+    return true;
+  })) << "soft state should converge across the mesh";
+
+  // Any node serves the full report over real TCP.
+  auto stream = tcp.connect(daemons[2]->tcp_address(), 2 * kMicrosPerSecond);
+  ASSERT_TRUE(stream.ok());
+  auto body = net::read_to_eof(**stream);
+  ASSERT_TRUE(body.ok());
+  auto report = parse_report(*body);
+  ASSERT_TRUE(report.ok()) << report.error().to_string();
+  EXPECT_EQ(report->clusters.front().name, "udp-cluster");
+  EXPECT_EQ(report->clusters.front().hosts.size(), 3u);
+
+  for (auto& d : daemons) d->stop();
+}
+
+TEST(GmondDaemon, GmetadPollsARealUdpCluster) {
+  WallClock clock;
+  net::TcpTransport tcp;
+
+  GmondDaemonConfig config;
+  config.base.cluster_name = "real-deal";
+  config.host_name = "solo";
+  config.timer_scale = 0.02;
+  GmondDaemon daemon(std::move(config));
+  ASSERT_TRUE(daemon.start(tcp, clock).ok());
+
+  ASSERT_TRUE(eventually([&] { return daemon.state().host_count() == 1; }));
+
+  gmetad::GmetadConfig gmetad_config;
+  gmetad_config.grid_name = "over-udp";
+  gmetad_config.archive_enabled = false;
+  gmetad::DataSourceConfig ds;
+  ds.name = "real-deal";
+  ds.addresses = {daemon.tcp_address()};
+  gmetad_config.sources.push_back(ds);
+  gmetad::Gmetad monitor(gmetad_config, tcp, clock);
+
+  ASSERT_TRUE(eventually([&] {
+    monitor.poll_once();
+    auto snapshot = monitor.store().get("real-deal");
+    if (snapshot == nullptr || !snapshot->reachable()) return false;
+    const Cluster* cluster = snapshot->find_cluster("real-deal");
+    return cluster != nullptr && !cluster->hosts.empty() &&
+           cluster->hosts.begin()->second.metrics.size() >=
+               standard_metrics().size() - 1;
+  })) << "gmetad should see the UDP-fed cluster with a full metric set";
+
+  daemon.stop();
+}
+
+TEST(GmondDaemon, StopIsIdempotentAndPrompt) {
+  WallClock clock;
+  net::TcpTransport tcp;
+  GmondDaemonConfig config;
+  config.host_name = "fleeting";
+  GmondDaemon daemon(std::move(config));
+  ASSERT_TRUE(daemon.start(tcp, clock).ok());
+  EXPECT_TRUE(daemon.running());
+  daemon.stop();
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+}
+
+}  // namespace
+}  // namespace ganglia::gmon

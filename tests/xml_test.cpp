@@ -1,0 +1,270 @@
+// Unit tests for src/xml: escaping, writer, SAX parser, DOM.
+
+#include <gtest/gtest.h>
+
+#include "xml/dom.hpp"
+#include "xml/escape.hpp"
+#include "xml/sax.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia::xml {
+namespace {
+
+// ---------------------------------------------------------------- escaping
+
+TEST(Escape, EscapesAllFivePredefinedEntities) {
+  EXPECT_EQ(escape("a&b<c>d\"e'f"), "a&amp;b&lt;c&gt;d&quot;e&apos;f");
+  EXPECT_EQ(escape("plain"), "plain");
+  EXPECT_EQ(escape(""), "");
+}
+
+TEST(Escape, UnescapeInvertsEscape) {
+  const std::string nasty = "x<>&\"'y && <<>> \"\"''";
+  std::string decoded;
+  ASSERT_TRUE(unescape_append(decoded, escape(nasty)).ok());
+  EXPECT_EQ(decoded, nasty);
+}
+
+TEST(Escape, NumericCharacterReferences) {
+  std::string out;
+  ASSERT_TRUE(unescape_append(out, "&#65;&#x42;&#x63;").ok());
+  EXPECT_EQ(out, "ABc");
+}
+
+TEST(Escape, NumericReferencesEncodeUtf8) {
+  std::string out;
+  ASSERT_TRUE(unescape_append(out, "&#233;&#x4e2d;&#x1F600;").ok());
+  EXPECT_EQ(out, "\xC3\xA9\xE4\xB8\xAD\xF0\x9F\x98\x80");
+}
+
+TEST(Escape, RejectsMalformedEntities) {
+  std::string out;
+  EXPECT_FALSE(unescape_append(out, "&nosemicolon").ok());
+  EXPECT_FALSE(unescape_append(out, "&bogus;").ok());
+  EXPECT_FALSE(unescape_append(out, "&#;").ok());
+  EXPECT_FALSE(unescape_append(out, "&#x;").ok());
+  EXPECT_FALSE(unescape_append(out, "&#xZZ;").ok());
+  EXPECT_FALSE(unescape_append(out, "&#99999999;").ok());  // > 0x10FFFF
+}
+
+// ------------------------------------------------------------------ writer
+
+TEST(Writer, SelfClosesEmptyElements) {
+  std::string out;
+  XmlWriter w(out);
+  w.open("METRIC");
+  w.attr("NAME", "load_one");
+  w.attr("VAL", ".89");
+  w.close();
+  EXPECT_EQ(out, "<METRIC NAME=\"load_one\" VAL=\".89\"/>");
+}
+
+TEST(Writer, NestsAndClosesInOrder) {
+  std::string out;
+  XmlWriter w(out);
+  w.open("A");
+  w.open("B");
+  w.close();
+  w.open("C");
+  w.attr("X", std::int64_t{-3});
+  w.close();
+  w.close();
+  EXPECT_EQ(out, "<A><B/><C X=\"-3\"/></A>");
+}
+
+TEST(Writer, EscapesAttributeValuesAndText) {
+  std::string out;
+  XmlWriter w(out);
+  w.open("E");
+  w.attr("A", "a\"b<c>&");
+  w.text("x<y&z");
+  w.close();
+  EXPECT_EQ(out, "<E A=\"a&quot;b&lt;c&gt;&amp;\">x&lt;y&amp;z</E>");
+}
+
+TEST(Writer, NumericAttributeOverloads) {
+  std::string out;
+  XmlWriter w(out);
+  w.open("E");
+  w.attr("I", std::int64_t{-42});
+  w.attr("U", std::uint64_t{42});
+  w.attr("D", 2.5);
+  w.close();
+  EXPECT_EQ(out, "<E I=\"-42\" U=\"42\" D=\"2.5\"/>");
+}
+
+TEST(Writer, DeclarationAndDoctype) {
+  std::string out;
+  XmlWriter w(out);
+  w.declaration();
+  w.doctype("GANGLIA_XML", "ganglia.dtd");
+  w.open("GANGLIA_XML");
+  w.close();
+  EXPECT_EQ(out,
+            "<?xml version=\"1.0\" encoding=\"ISO-8859-1\" standalone=\"yes\"?>"
+            "<!DOCTYPE GANGLIA_XML SYSTEM \"ganglia.dtd\"><GANGLIA_XML/>");
+}
+
+TEST(Writer, PrettyModeIndents) {
+  std::string out;
+  XmlWriter w(out, /*pretty=*/true);
+  w.open("A");
+  w.open("B");
+  w.close();
+  w.close();
+  EXPECT_EQ(out, "<A>\n  <B/>\n</A>");
+}
+
+// --------------------------------------------------------------------- sax
+
+/// Collects SAX events into a flat trace for assertions.
+class TraceHandler : public SaxHandler {
+ public:
+  void on_start_element(std::string_view name, const AttrList& attrs) override {
+    trace += "<" + std::string(name);
+    for (const Attr& a : attrs) {
+      trace += " " + std::string(a.name) + "=" + std::string(a.value);
+    }
+    trace += ">";
+  }
+  void on_end_element(std::string_view name) override {
+    trace += "</" + std::string(name) + ">";
+  }
+  void on_text(std::string_view text) override {
+    trace += "[" + std::string(text) + "]";
+  }
+  std::string trace;
+};
+
+std::string sax_trace(std::string_view doc) {
+  TraceHandler handler;
+  SaxParser parser;
+  Status s = parser.parse(doc, handler);
+  return s.ok() ? handler.trace : "ERROR:" + s.error().message;
+}
+
+TEST(Sax, ParsesElementsAttributesText) {
+  EXPECT_EQ(sax_trace("<a x=\"1\" y='2'>hi<b/></a>"),
+            "<a x=1 y=2>[hi]<b></b></a>");
+}
+
+TEST(Sax, DecodesEntitiesInTextAndAttributes) {
+  EXPECT_EQ(sax_trace("<a v=\"x&amp;y\">&lt;z&gt;</a>"), "<a v=x&y>[<z>]</a>");
+}
+
+TEST(Sax, SkipsDeclarationCommentsDoctype) {
+  EXPECT_EQ(sax_trace("<?xml version=\"1.0\"?>"
+                      "<!DOCTYPE GANGLIA_XML SYSTEM \"g.dtd\">"
+                      "<!-- note --><a><!-- inner --></a>"),
+            "<a></a>");
+}
+
+TEST(Sax, CdataPassesThroughVerbatim) {
+  EXPECT_EQ(sax_trace("<a><![CDATA[<not&parsed>]]></a>"), "<a>[<not&parsed>]</a>");
+}
+
+TEST(Sax, SuppressesWhitespaceOnlyText) {
+  EXPECT_EQ(sax_trace("<a>\n  <b/>\n</a>"), "<a><b></b></a>");
+}
+
+TEST(Sax, ManyAttributesSurviveScratchGrowth) {
+  // Decoded attribute values must stay valid as more are decoded
+  // (regression: pointer-stable scratch storage).
+  std::string doc = "<e";
+  for (int i = 0; i < 40; ++i) {
+    doc += " a" + std::to_string(i) + "=\"v&amp;" + std::to_string(i) + "\"";
+  }
+  doc += "/>";
+
+  struct Check : SaxHandler {
+    void on_start_element(std::string_view, const AttrList& attrs) override {
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        EXPECT_EQ(attrs[i].value, "v&" + std::to_string(i));
+      }
+      count = attrs.size();
+    }
+    std::size_t count = 0;
+  } handler;
+  SaxParser parser;
+  ASSERT_TRUE(parser.parse(doc, handler).ok());
+  EXPECT_EQ(handler.count, 40u);
+}
+
+TEST(Sax, ErrorsCarryLineAndColumn) {
+  TraceHandler handler;
+  SaxParser parser;
+  const Status s = parser.parse("<a>\n  <b>\n</a>", handler);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.error().message.find("line 3"), std::string::npos)
+      << s.error().message;
+}
+
+struct BadDocCase {
+  const char* name;
+  const char* doc;
+};
+
+class SaxRejects : public ::testing::TestWithParam<BadDocCase> {};
+
+TEST_P(SaxRejects, MalformedDocument) {
+  TraceHandler handler;
+  SaxParser parser;
+  EXPECT_FALSE(parser.parse(GetParam().doc, handler).ok()) << GetParam().doc;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, SaxRejects,
+    ::testing::Values(
+        BadDocCase{"empty", ""},
+        BadDocCase{"text_only", "no markup"},
+        BadDocCase{"unclosed_root", "<a>"},
+        BadDocCase{"mismatched", "<a></b>"},
+        BadDocCase{"stray_end", "</a>"},
+        BadDocCase{"two_roots", "<a/><b/>"},
+        BadDocCase{"unterminated_tag", "<a"},
+        BadDocCase{"unterminated_attr", "<a x=\"1/>"},
+        BadDocCase{"unquoted_attr", "<a x=1/>"},
+        BadDocCase{"missing_eq", "<a x\"1\"/>"},
+        BadDocCase{"unterminated_comment", "<!-- <a/>"},
+        BadDocCase{"unterminated_cdata", "<a><![CDATA[x</a>"},
+        BadDocCase{"bad_entity", "<a>&nope;</a>"},
+        BadDocCase{"lt_in_attr", "<a x=\"<\"/>"},
+        BadDocCase{"bad_name", "<1a/>"},
+        BadDocCase{"content_after_root", "<a/>junk"}),
+    [](const auto& param_info) { return param_info.param.name; });
+
+// --------------------------------------------------------------------- dom
+
+TEST(Dom, BuildsNavigableTree) {
+  auto root = parse_dom(
+      "<GRID NAME=\"SDSC\"><CLUSTER NAME=\"meteor\">"
+      "<HOST NAME=\"h0\"/><HOST NAME=\"h1\"/></CLUSTER></GRID>");
+  ASSERT_TRUE(root.ok()) << root.error().to_string();
+  const DomNode& grid = **root;
+  EXPECT_EQ(grid.name, "GRID");
+  EXPECT_EQ(grid.attr("NAME"), "SDSC");
+  EXPECT_EQ(grid.attr("MISSING", "dflt"), "dflt");
+
+  const DomNode* cluster = grid.child("CLUSTER");
+  ASSERT_NE(cluster, nullptr);
+  EXPECT_EQ(cluster->children_named("HOST").size(), 2u);
+  EXPECT_EQ(grid.subtree_size(), 4u);
+
+  const DomNode* h1 = grid.find_named("HOST", "h1");
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h1->attr("NAME"), "h1");
+  EXPECT_EQ(grid.find_named("HOST", "h9"), nullptr);
+}
+
+TEST(Dom, CollectsText) {
+  auto root = parse_dom("<a>one<b/>two</a>");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ((*root)->text, "onetwo");
+}
+
+TEST(Dom, PropagatesParseErrors) {
+  EXPECT_FALSE(parse_dom("<a><b></a>").ok());
+}
+
+}  // namespace
+}  // namespace ganglia::xml
