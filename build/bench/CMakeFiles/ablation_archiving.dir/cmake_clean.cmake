@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_archiving.dir/ablation_archiving.cpp.o"
+  "CMakeFiles/ablation_archiving.dir/ablation_archiving.cpp.o.d"
+  "ablation_archiving"
+  "ablation_archiving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_archiving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/gmon_bandwidth.cpp" "bench/CMakeFiles/gmon_bandwidth.dir/gmon_bandwidth.cpp.o" "gcc" "bench/CMakeFiles/gmon_bandwidth.dir/gmon_bandwidth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gmetad/CMakeFiles/ganglia_gmetad.dir/DependInfo.cmake"
+  "/root/repo/build/src/presenter/CMakeFiles/ganglia_presenter.dir/DependInfo.cmake"
+  "/root/repo/build/src/alarm/CMakeFiles/ganglia_alarm.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrd/CMakeFiles/ganglia_rrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/ganglia_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ganglia_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ganglia_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ganglia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmon_bandwidth.dir/gmon_bandwidth.cpp.o"
+  "CMakeFiles/gmon_bandwidth.dir/gmon_bandwidth.cpp.o.d"
+  "gmon_bandwidth"
+  "gmon_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmon_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

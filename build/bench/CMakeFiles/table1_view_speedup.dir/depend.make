@@ -1,0 +1,2 @@
+# Empty dependencies file for table1_view_speedup.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alarm_watch.dir/alarm_watch.cpp.o"
+  "CMakeFiles/alarm_watch.dir/alarm_watch.cpp.o.d"
+  "alarm_watch"
+  "alarm_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alarm_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmetad_daemon.dir/gmetad_daemon.cpp.o"
+  "CMakeFiles/gmetad_daemon.dir/gmetad_daemon.cpp.o.d"
+  "gmetad_daemon"
+  "gmetad_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmetad_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmond_node.dir/gmond_node.cpp.o"
+  "CMakeFiles/gmond_node.dir/gmond_node.cpp.o.d"
+  "gmond_node"
+  "gmond_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmond_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gquery.dir/gquery.cpp.o"
+  "CMakeFiles/gquery.dir/gquery.cpp.o.d"
+  "gquery"
+  "gquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_tree.dir/grid_tree.cpp.o"
+  "CMakeFiles/grid_tree.dir/grid_tree.cpp.o.d"
+  "grid_tree"
+  "grid_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

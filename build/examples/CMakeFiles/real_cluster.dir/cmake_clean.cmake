@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_cluster.dir/real_cluster.cpp.o"
+  "CMakeFiles/real_cluster.dir/real_cluster.cpp.o.d"
+  "real_cluster"
+  "real_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

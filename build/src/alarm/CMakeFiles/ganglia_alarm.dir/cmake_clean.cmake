@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_alarm.dir/alarm.cpp.o"
+  "CMakeFiles/ganglia_alarm.dir/alarm.cpp.o.d"
+  "libganglia_alarm.a"
+  "libganglia_alarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

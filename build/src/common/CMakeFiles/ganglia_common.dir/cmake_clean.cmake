@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_common.dir/cpu_timer.cpp.o"
+  "CMakeFiles/ganglia_common.dir/cpu_timer.cpp.o.d"
+  "CMakeFiles/ganglia_common.dir/log.cpp.o"
+  "CMakeFiles/ganglia_common.dir/log.cpp.o.d"
+  "CMakeFiles/ganglia_common.dir/strings.cpp.o"
+  "CMakeFiles/ganglia_common.dir/strings.cpp.o.d"
+  "CMakeFiles/ganglia_common.dir/uri.cpp.o"
+  "CMakeFiles/ganglia_common.dir/uri.cpp.o.d"
+  "libganglia_common.a"
+  "libganglia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

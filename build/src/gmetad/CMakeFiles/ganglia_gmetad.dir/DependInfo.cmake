@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmetad/archiver.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/archiver.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/archiver.cpp.o.d"
+  "/root/repo/src/gmetad/config.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/config.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/config.cpp.o.d"
+  "/root/repo/src/gmetad/data_source.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/data_source.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/data_source.cpp.o.d"
+  "/root/repo/src/gmetad/gmetad.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/gmetad.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/gmetad.cpp.o.d"
+  "/root/repo/src/gmetad/join.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/join.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/join.cpp.o.d"
+  "/root/repo/src/gmetad/query.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/query.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/query.cpp.o.d"
+  "/root/repo/src/gmetad/store.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/store.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/store.cpp.o.d"
+  "/root/repo/src/gmetad/testbed.cpp" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/testbed.cpp.o" "gcc" "src/gmetad/CMakeFiles/ganglia_gmetad.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ganglia_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ganglia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrd/CMakeFiles/ganglia_rrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/gmon/CMakeFiles/ganglia_gmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ganglia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_gmetad.dir/archiver.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/archiver.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/config.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/config.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/data_source.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/data_source.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/gmetad.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/gmetad.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/join.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/join.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/query.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/query.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/store.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/store.cpp.o.d"
+  "CMakeFiles/ganglia_gmetad.dir/testbed.cpp.o"
+  "CMakeFiles/ganglia_gmetad.dir/testbed.cpp.o.d"
+  "libganglia_gmetad.a"
+  "libganglia_gmetad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_gmetad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libganglia_gmetad.a"
+)

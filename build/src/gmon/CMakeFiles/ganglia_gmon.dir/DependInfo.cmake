@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gmon/cluster_state.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/cluster_state.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/cluster_state.cpp.o.d"
+  "/root/repo/src/gmon/gmond.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/gmond.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/gmond.cpp.o.d"
+  "/root/repo/src/gmon/gmond_config.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/gmond_config.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/gmond_config.cpp.o.d"
+  "/root/repo/src/gmon/gmond_daemon.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/gmond_daemon.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/gmond_daemon.cpp.o.d"
+  "/root/repo/src/gmon/metrics.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/metrics.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/metrics.cpp.o.d"
+  "/root/repo/src/gmon/proc_sampler.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/proc_sampler.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/proc_sampler.cpp.o.d"
+  "/root/repo/src/gmon/pseudo_gmond.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/pseudo_gmond.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/pseudo_gmond.cpp.o.d"
+  "/root/repo/src/gmon/udp_channel.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/udp_channel.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/udp_channel.cpp.o.d"
+  "/root/repo/src/gmon/wire.cpp" "src/gmon/CMakeFiles/ganglia_gmon.dir/wire.cpp.o" "gcc" "src/gmon/CMakeFiles/ganglia_gmon.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ganglia_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ganglia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ganglia_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_gmon.dir/cluster_state.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/cluster_state.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/gmond.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/gmond.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/gmond_config.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/gmond_config.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/gmond_daemon.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/gmond_daemon.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/metrics.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/metrics.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/proc_sampler.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/proc_sampler.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/pseudo_gmond.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/pseudo_gmond.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/udp_channel.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/udp_channel.cpp.o.d"
+  "CMakeFiles/ganglia_gmon.dir/wire.cpp.o"
+  "CMakeFiles/ganglia_gmon.dir/wire.cpp.o.d"
+  "libganglia_gmon.a"
+  "libganglia_gmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_gmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/inmem.cpp" "src/net/CMakeFiles/ganglia_net.dir/inmem.cpp.o" "gcc" "src/net/CMakeFiles/ganglia_net.dir/inmem.cpp.o.d"
+  "/root/repo/src/net/service_server.cpp" "src/net/CMakeFiles/ganglia_net.dir/service_server.cpp.o" "gcc" "src/net/CMakeFiles/ganglia_net.dir/service_server.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/ganglia_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/ganglia_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/ganglia_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/ganglia_net.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

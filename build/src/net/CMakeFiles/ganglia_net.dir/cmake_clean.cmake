@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_net.dir/inmem.cpp.o"
+  "CMakeFiles/ganglia_net.dir/inmem.cpp.o.d"
+  "CMakeFiles/ganglia_net.dir/service_server.cpp.o"
+  "CMakeFiles/ganglia_net.dir/service_server.cpp.o.d"
+  "CMakeFiles/ganglia_net.dir/tcp.cpp.o"
+  "CMakeFiles/ganglia_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/ganglia_net.dir/transport.cpp.o"
+  "CMakeFiles/ganglia_net.dir/transport.cpp.o.d"
+  "libganglia_net.a"
+  "libganglia_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/presenter/html.cpp" "src/presenter/CMakeFiles/ganglia_presenter.dir/html.cpp.o" "gcc" "src/presenter/CMakeFiles/ganglia_presenter.dir/html.cpp.o.d"
+  "/root/repo/src/presenter/viewer.cpp" "src/presenter/CMakeFiles/ganglia_presenter.dir/viewer.cpp.o" "gcc" "src/presenter/CMakeFiles/ganglia_presenter.dir/viewer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/ganglia_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ganglia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrd/CMakeFiles/ganglia_rrd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

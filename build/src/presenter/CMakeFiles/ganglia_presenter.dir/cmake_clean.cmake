@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_presenter.dir/html.cpp.o"
+  "CMakeFiles/ganglia_presenter.dir/html.cpp.o.d"
+  "CMakeFiles/ganglia_presenter.dir/viewer.cpp.o"
+  "CMakeFiles/ganglia_presenter.dir/viewer.cpp.o.d"
+  "libganglia_presenter.a"
+  "libganglia_presenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_presenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

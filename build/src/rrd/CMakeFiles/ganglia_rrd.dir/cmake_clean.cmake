@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_rrd.dir/graph.cpp.o"
+  "CMakeFiles/ganglia_rrd.dir/graph.cpp.o.d"
+  "CMakeFiles/ganglia_rrd.dir/rrd.cpp.o"
+  "CMakeFiles/ganglia_rrd.dir/rrd.cpp.o.d"
+  "CMakeFiles/ganglia_rrd.dir/rrd_file.cpp.o"
+  "CMakeFiles/ganglia_rrd.dir/rrd_file.cpp.o.d"
+  "libganglia_rrd.a"
+  "libganglia_rrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_rrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

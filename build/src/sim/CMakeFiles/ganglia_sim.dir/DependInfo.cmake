@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/ganglia_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ganglia_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/failure_schedule.cpp" "src/sim/CMakeFiles/ganglia_sim.dir/failure_schedule.cpp.o" "gcc" "src/sim/CMakeFiles/ganglia_sim.dir/failure_schedule.cpp.o.d"
+  "/root/repo/src/sim/multicast.cpp" "src/sim/CMakeFiles/ganglia_sim.dir/multicast.cpp.o" "gcc" "src/sim/CMakeFiles/ganglia_sim.dir/multicast.cpp.o.d"
+  "/root/repo/src/sim/sim_clock.cpp" "src/sim/CMakeFiles/ganglia_sim.dir/sim_clock.cpp.o" "gcc" "src/sim/CMakeFiles/ganglia_sim.dir/sim_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ganglia_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

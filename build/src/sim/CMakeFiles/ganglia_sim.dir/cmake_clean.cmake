@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/ganglia_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/ganglia_sim.dir/failure_schedule.cpp.o"
+  "CMakeFiles/ganglia_sim.dir/failure_schedule.cpp.o.d"
+  "CMakeFiles/ganglia_sim.dir/multicast.cpp.o"
+  "CMakeFiles/ganglia_sim.dir/multicast.cpp.o.d"
+  "CMakeFiles/ganglia_sim.dir/sim_clock.cpp.o"
+  "CMakeFiles/ganglia_sim.dir/sim_clock.cpp.o.d"
+  "libganglia_sim.a"
+  "libganglia_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

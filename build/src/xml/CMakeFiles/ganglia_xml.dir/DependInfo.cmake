@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dom.cpp" "src/xml/CMakeFiles/ganglia_xml.dir/dom.cpp.o" "gcc" "src/xml/CMakeFiles/ganglia_xml.dir/dom.cpp.o.d"
+  "/root/repo/src/xml/dtd.cpp" "src/xml/CMakeFiles/ganglia_xml.dir/dtd.cpp.o" "gcc" "src/xml/CMakeFiles/ganglia_xml.dir/dtd.cpp.o.d"
+  "/root/repo/src/xml/escape.cpp" "src/xml/CMakeFiles/ganglia_xml.dir/escape.cpp.o" "gcc" "src/xml/CMakeFiles/ganglia_xml.dir/escape.cpp.o.d"
+  "/root/repo/src/xml/ganglia.cpp" "src/xml/CMakeFiles/ganglia_xml.dir/ganglia.cpp.o" "gcc" "src/xml/CMakeFiles/ganglia_xml.dir/ganglia.cpp.o.d"
+  "/root/repo/src/xml/sax.cpp" "src/xml/CMakeFiles/ganglia_xml.dir/sax.cpp.o" "gcc" "src/xml/CMakeFiles/ganglia_xml.dir/sax.cpp.o.d"
+  "/root/repo/src/xml/writer.cpp" "src/xml/CMakeFiles/ganglia_xml.dir/writer.cpp.o" "gcc" "src/xml/CMakeFiles/ganglia_xml.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ganglia_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_xml.dir/dom.cpp.o"
+  "CMakeFiles/ganglia_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/ganglia_xml.dir/dtd.cpp.o"
+  "CMakeFiles/ganglia_xml.dir/dtd.cpp.o.d"
+  "CMakeFiles/ganglia_xml.dir/escape.cpp.o"
+  "CMakeFiles/ganglia_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/ganglia_xml.dir/ganglia.cpp.o"
+  "CMakeFiles/ganglia_xml.dir/ganglia.cpp.o.d"
+  "CMakeFiles/ganglia_xml.dir/sax.cpp.o"
+  "CMakeFiles/ganglia_xml.dir/sax.cpp.o.d"
+  "CMakeFiles/ganglia_xml.dir/writer.cpp.o"
+  "CMakeFiles/ganglia_xml.dir/writer.cpp.o.d"
+  "libganglia_xml.a"
+  "libganglia_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

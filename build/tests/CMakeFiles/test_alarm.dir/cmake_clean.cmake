@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alarm.dir/alarm_test.cpp.o"
+  "CMakeFiles/test_alarm.dir/alarm_test.cpp.o.d"
+  "test_alarm"
+  "test_alarm.pdb"
+  "test_alarm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ganglia_schema.dir/ganglia_schema_test.cpp.o"
+  "CMakeFiles/test_ganglia_schema.dir/ganglia_schema_test.cpp.o.d"
+  "test_ganglia_schema"
+  "test_ganglia_schema.pdb"
+  "test_ganglia_schema[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ganglia_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmetad.dir/gmetad_test.cpp.o"
+  "CMakeFiles/test_gmetad.dir/gmetad_test.cpp.o.d"
+  "test_gmetad"
+  "test_gmetad.pdb"
+  "test_gmetad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmetad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmon.dir/gmon_test.cpp.o"
+  "CMakeFiles/test_gmon.dir/gmon_test.cpp.o.d"
+  "test_gmon"
+  "test_gmon.pdb"
+  "test_gmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

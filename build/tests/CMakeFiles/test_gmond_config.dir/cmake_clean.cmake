@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gmond_config.dir/gmond_config_test.cpp.o"
+  "CMakeFiles/test_gmond_config.dir/gmond_config_test.cpp.o.d"
+  "test_gmond_config"
+  "test_gmond_config.pdb"
+  "test_gmond_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gmond_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_presenter.dir/presenter_test.cpp.o"
+  "CMakeFiles/test_presenter.dir/presenter_test.cpp.o.d"
+  "test_presenter"
+  "test_presenter.pdb"
+  "test_presenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_presenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

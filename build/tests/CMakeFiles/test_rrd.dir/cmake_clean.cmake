@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrd.dir/rrd_test.cpp.o"
+  "CMakeFiles/test_rrd.dir/rrd_test.cpp.o.d"
+  "test_rrd"
+  "test_rrd.pdb"
+  "test_rrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_server.dir/service_server_test.cpp.o"
+  "CMakeFiles/test_service_server.dir/service_server_test.cpp.o.d"
+  "test_service_server"
+  "test_service_server.pdb"
+  "test_service_server[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

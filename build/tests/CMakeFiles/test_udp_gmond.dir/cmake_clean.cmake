@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_udp_gmond.dir/udp_gmond_test.cpp.o"
+  "CMakeFiles/test_udp_gmond.dir/udp_gmond_test.cpp.o.d"
+  "test_udp_gmond"
+  "test_udp_gmond.pdb"
+  "test_udp_gmond[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_udp_gmond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_xml[1]_include.cmake")
+include("/root/repo/build/tests/test_ganglia_schema[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_rrd[1]_include.cmake")
+include("/root/repo/build/tests/test_gmon[1]_include.cmake")
+include("/root/repo/build/tests/test_gmetad[1]_include.cmake")
+include("/root/repo/build/tests/test_query[1]_include.cmake")
+include("/root/repo/build/tests/test_alarm[1]_include.cmake")
+include("/root/repo/build/tests/test_presenter[1]_include.cmake")
+include("/root/repo/build/tests/test_daemon[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_testbed[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_persistence[1]_include.cmake")
+include("/root/repo/build/tests/test_udp_gmond[1]_include.cmake")
+include("/root/repo/build/tests/test_history[1]_include.cmake")
+include("/root/repo/build/tests/test_scalability[1]_include.cmake")
+include("/root/repo/build/tests/test_dtd[1]_include.cmake")
+include("/root/repo/build/tests/test_poll_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_service_server[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_gmond_config[1]_include.cmake")
