@@ -1,0 +1,191 @@
+// HTTP gateway throughput: cold renders vs response-cache hits.
+//
+// Serves a 2-cluster testbed through the gateway over the in-memory
+// transport and measures requests/second per endpoint in two modes:
+//
+//   cold    the response cache is cleared before every request, so each hit
+//           pays the full query + parse + render pipeline;
+//   cached  steady state between snapshot swaps — every request after the
+//           first is a cache hit validated by the store epoch.
+//
+// The gap is the point of the cache: between two swaps a rendered view is a
+// pure function of the store, so a dashboard hammering refresh should cost
+// one render per swap, not one per request.  Expected: cached >= 5x cold on
+// the render-heavy endpoints.
+//
+// Writes machine-readable results to BENCH_http_gateway.json.
+//
+// Usage: http_gateway [iterations] [hosts_per_cluster]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gmetad/testbed.hpp"
+#include "http/gateway.hpp"
+#include "http/json.hpp"
+#include "http_test_util.hpp"
+
+using namespace ganglia;
+
+namespace {
+
+struct EndpointResult {
+  std::string target;
+  double cold_rps = 0;
+  double cached_rps = 0;
+  double speedup() const { return cold_rps > 0 ? cached_rps / cold_rps : 0; }
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Drive `iterations` keep-alive GETs of `target` through one connection,
+/// returning requests/second.  `clear_cache` empties the response cache
+/// before every request (the cold mode).
+double run_mode(net::Transport& transport, const std::string& address,
+                http::ResponseCache& cache, const std::string& target,
+                std::size_t iterations, bool clear_cache) {
+  auto stream = transport.connect(address, 10 * kMicrosPerSecond);
+  if (!stream.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 stream.error().to_string().c_str());
+    std::abort();
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+
+  // Untimed warmup primes code paths and, in cached mode, the cache entry.
+  for (int i = 0; i < 3; ++i) {
+    if (clear_cache) cache.clear();
+    (void)(*stream)->write_all(request);
+    auto response = http::testutil::read_response(**stream);
+    if (!response.ok() || response->status != 200) {
+      std::fprintf(stderr, "warmup %s failed\n", target.c_str());
+      std::abort();
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if (clear_cache) cache.clear();
+    if (!(*stream)->write_all(request).ok()) std::abort();
+    auto response = http::testutil::read_response(**stream);
+    if (!response.ok() || response->status != 200) std::abort();
+  }
+  const double elapsed = seconds_since(start);
+  (*stream)->close();
+  return static_cast<double>(iterations) / elapsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t iterations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
+  const std::size_t hosts =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 200;
+
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = hosts;
+  spec.mode = gmetad::Mode::n_level;
+  gmetad::Testbed bed(std::move(spec));
+  bed.run_rounds(3);
+
+  http::ServerOptions server_options;
+  server_options.max_requests_per_connection = 1u << 20;
+  http::GatewayServer server(bed.node("root"), bed.clock(), {},
+                             server_options);
+  if (auto s = server.start(bed.transport(), "gw.http:80"); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  // Render-heavy endpoints, one per pipeline shape.  (/ui/meta is omitted:
+  // its render is a ~30-row summary walk that is already cheaper than one
+  // pipe round-trip, so cold and cached are both wire-bound.)
+  const std::vector<std::string> targets = {
+      "/api/v1/",
+      "/api/v1/meteor",
+      "/ui/cluster/meteor",
+      "/ui/host/meteor/compute-0-0.local",
+  };
+
+  std::printf("HTTP gateway over in-mem transport: 2 clusters x %zu hosts, "
+              "%zu requests per mode\n\n",
+              hosts, iterations);
+  std::printf("%-36s %12s %12s %10s\n", "endpoint", "cold req/s",
+              "cached req/s", "speedup");
+
+  std::vector<EndpointResult> results;
+  for (const std::string& target : targets) {
+    EndpointResult result;
+    result.target = target;
+    result.cold_rps =
+        run_mode(bed.transport(), "gw.http:80", server.gateway().cache(),
+                 target, iterations, /*clear_cache=*/true);
+    result.cached_rps =
+        run_mode(bed.transport(), "gw.http:80", server.gateway().cache(),
+                 target, iterations, /*clear_cache=*/false);
+    std::printf("%-36s %12.0f %12.0f %9.1fx\n", target.c_str(),
+                result.cold_rps, result.cached_rps, result.speedup());
+    results.push_back(std::move(result));
+  }
+  server.stop();
+
+  double best_speedup = 0;
+  for (const EndpointResult& r : results) {
+    if (r.speedup() > best_speedup) best_speedup = r.speedup();
+  }
+  std::printf("\nbest cached/cold speedup: %.1fx\n", best_speedup);
+
+  std::string json;
+  http::JsonWriter w(json);
+  w.begin_object();
+  w.key("bench");
+  w.value("http_gateway");
+  w.key("transport");
+  w.value("inmem");
+  w.key("clusters");
+  w.value(std::uint64_t{2});
+  w.key("hosts_per_cluster");
+  w.value(static_cast<std::uint64_t>(hosts));
+  w.key("iterations");
+  w.value(static_cast<std::uint64_t>(iterations));
+  w.key("endpoints");
+  w.begin_array();
+  for (const EndpointResult& r : results) {
+    w.begin_object();
+    w.key("target");
+    w.value(r.target);
+    w.key("cold_rps");
+    w.value(r.cold_rps);
+    w.key("cached_rps");
+    w.value(r.cached_rps);
+    w.key("speedup");
+    w.value(r.speedup());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("best_speedup");
+  w.value(best_speedup);
+  w.end_object();
+  json += '\n';
+
+  const char* out_path = "BENCH_http_gateway.json";
+  if (FILE* out = std::fopen(out_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -16,6 +16,7 @@
 #include "alarm/alarm.hpp"
 #include "common/log.hpp"
 #include "gmetad/gmetad.hpp"
+#include "http/gateway.hpp"
 #include "net/tcp.hpp"
 
 using namespace ganglia;
@@ -36,6 +37,8 @@ alarm "high-load" load_one > 8 hold 30 clear 4
 alarm "host-down" __host_down__ >= 1
 xml_port 8651
 interactive_port 8652
+http_port 8653                     # HTTP gateway: /ui, /api/v1, /xml
+http_cache_ttl 15
 archive on
 archive_step 15
 # join_key "shared-secret"        # enable the soft-state JOIN protocol
@@ -96,6 +99,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "start failed: %s\n", s.to_string().c_str());
     return 1;
   }
+
+  // The HTTP gateway (web front door) when the config asks for one.
+  http::GatewayOptions gateway_options;
+  gateway_options.cache_ttl_s = monitor.config().http_cache_ttl_s;
+  http::ServerOptions server_options;
+  server_options.max_connections =
+      static_cast<std::size_t>(monitor.config().http_max_connections);
+  http::GatewayServer gateway(monitor, clock, gateway_options,
+                              server_options);
+  if (!monitor.config().http_bind.empty()) {
+    if (auto s = gateway.start(transport, monitor.config().http_bind);
+        !s.ok()) {
+      std::fprintf(stderr, "http gateway start failed: %s\n",
+                   s.to_string().c_str());
+      monitor.stop();
+      return 1;
+    }
+    std::printf("http gateway on http://%s/ (try /ui/meta, /api/v1/)\n",
+                gateway.address().c_str());
+  }
+
   std::printf("gmetad '%s' up: dump %s, queries %s (Ctrl-C to stop)\n",
               monitor.config().grid_name.c_str(),
               monitor.xml_address().c_str(),
@@ -107,6 +131,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(200));
   }
   std::printf("shutting down\n");
+  gateway.stop();
   monitor.stop();
   return 0;
 }

@@ -128,6 +128,23 @@ Result<GmetadConfig> parse_config(std::string_view text) {
         return bad_line(line_no, "interactive_bind needs host:port");
       }
       config.interactive_bind = tokens[1];
+    } else if (key == "http_port") {
+      auto port = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!port || *port > 65535) return bad_line(line_no, "bad http_port");
+      config.http_bind = "127.0.0.1:" + std::to_string(*port);
+    } else if (key == "http_bind") {
+      if (tokens.size() != 2) {
+        return bad_line(line_no, "http_bind needs host:port");
+      }
+      config.http_bind = tokens[1];
+    } else if (key == "http_cache_ttl") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t < 0) return bad_line(line_no, "bad http_cache_ttl");
+      config.http_cache_ttl_s = *t;
+    } else if (key == "http_max_connections") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad http_max_connections");
+      config.http_max_connections = *t;
     } else if (key == "connect_timeout") {
       auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
       if (!t || *t <= 0) return bad_line(line_no, "bad connect_timeout");

@@ -46,6 +46,13 @@ struct GmetadConfig {
   /// Directory for persistent RRD images (empty = in-memory only, the
   /// paper's tmpfs-style configuration).  Loaded on start, flushed on stop.
   std::string archive_dir;
+  /// HTTP gateway bind ("host:port"; empty = gateway disabled).  The
+  /// gateway itself lives in src/http and layers on top of gmetad; these
+  /// knobs only carry the operator's wishes to whoever wires it up.
+  std::string http_bind;
+  /// Response-cache TTL floor in seconds (0 = epoch-only invalidation).
+  std::int64_t http_cache_ttl_s = 15;
+  std::int64_t http_max_connections = 64;
   /// Shared secret for the soft-state join protocol (empty = joins refused).
   std::string join_key;
   /// A dynamically joined child is pruned after this silence (seconds).
@@ -77,6 +84,9 @@ struct GmetadConfig {
 ///   trusted_hosts 10.0.0.1 parent.example
 ///   xml_port 8651                        # or xml_bind host:port
 ///   interactive_port 8652
+///   http_port 8653                       # or http_bind host:port; HTTP gateway
+///   http_cache_ttl 15                    # gateway response-cache TTL floor (s)
+///   http_max_connections 64
 ///   connect_timeout 10
 ///   archive off                          # or: archive on
 ///   archive_step 15

@@ -94,6 +94,7 @@ const Grid* SourceSnapshot::find_grid(std::string_view grid_name) const {
 void Store::publish(std::shared_ptr<const SourceSnapshot> snapshot) {
   std::unique_lock lock(mutex_);
   snapshots_[snapshot->name()] = std::move(snapshot);
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 std::shared_ptr<const SourceSnapshot> Store::get(std::string_view source) const {
@@ -116,7 +117,10 @@ std::vector<std::shared_ptr<const SourceSnapshot>> Store::all() const {
 void Store::remove(std::string_view source) {
   std::unique_lock lock(mutex_);
   const auto it = snapshots_.find(source);
-  if (it != snapshots_.end()) snapshots_.erase(it);
+  if (it != snapshots_.end()) {
+    snapshots_.erase(it);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 std::size_t Store::size() const {

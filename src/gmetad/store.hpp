@@ -15,6 +15,8 @@
 // the parser and vice versa.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -127,7 +129,17 @@ class Store {
 
   std::size_t size() const;
 
+  /// Snapshot generation: bumped on every publish/remove.  Anything derived
+  /// from store contents (rendered pages, serialized subtrees) is a pure
+  /// function of the store between two bumps, so layered caches validate
+  /// entries by comparing the epoch they were computed at — no per-source
+  /// bookkeeping, one atomic read on the hit path.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
  private:
+  std::atomic<std::uint64_t> epoch_{0};
   mutable std::shared_mutex mutex_;
   std::map<std::string, std::shared_ptr<const SourceSnapshot>, std::less<>>
       snapshots_;

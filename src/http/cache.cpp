@@ -1,0 +1,102 @@
+#include "http/cache.hpp"
+
+#include "common/strings.hpp"
+
+namespace ganglia::http {
+
+std::string make_etag(std::string_view body, std::uint64_t epoch) {
+  // FNV-1a over the body, epoch folded in so identical bytes rendered from
+  // different snapshots never share a validator.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : body) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return strprintf("\"%016llx-%llu\"", static_cast<unsigned long long>(h),
+                   static_cast<unsigned long long>(epoch));
+}
+
+bool etag_matches(std::string_view if_none_match, std::string_view etag) {
+  for (std::string_view candidate : split(if_none_match, ',')) {
+    candidate = trim(candidate);
+    if (candidate == "*") return true;
+    // If-None-Match uses weak comparison: a W/ prefix is ignored.
+    if (starts_with(candidate, "W/")) candidate.remove_prefix(2);
+    if (candidate == etag) return true;
+  }
+  return false;
+}
+
+bool ResponseCache::fresh(const Entry& entry, std::uint64_t epoch,
+                          TimeUs now) const {
+  if (entry.epoch != epoch) return false;
+  if (ttl_s_ <= 0) return true;
+  return now - entry.rendered_at < ttl_s_ * kMicrosPerSecond;
+}
+
+std::shared_ptr<const ResponseCache::Entry> ResponseCache::lookup(
+    const std::string& key, std::uint64_t epoch, TimeUs now) {
+  std::lock_guard lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (!fresh(*it->second, epoch, now)) {
+    entries_.erase(it);
+    ++stats_.expirations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+std::shared_ptr<const ResponseCache::Entry> ResponseCache::insert(
+    const std::string& key, std::uint64_t epoch, TimeUs now, std::string body,
+    std::string content_type) {
+  auto entry = std::make_shared<Entry>();
+  entry->etag = make_etag(body, epoch);
+  entry->body = std::move(body);
+  entry->content_type = std::move(content_type);
+  entry->epoch = epoch;
+  entry->rendered_at = now;
+
+  std::lock_guard lock(mutex_);
+  if (entries_.size() >= max_entries_ && !entries_.contains(key)) {
+    // Capacity: first shed entries stale for the current epoch (free wins),
+    // then fall back to dropping everything — the next snapshot swap would
+    // have voided the lot anyway.
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (!fresh(*it->second, epoch, now)) {
+        it = entries_.erase(it);
+        ++stats_.evictions;
+      } else {
+        ++it;
+      }
+    }
+    if (entries_.size() >= max_entries_) {
+      stats_.evictions += entries_.size();
+      entries_.clear();
+    }
+  }
+  entries_[key] = entry;
+  return entry;
+}
+
+void ResponseCache::clear() {
+  std::lock_guard lock(mutex_);
+  entries_.clear();
+}
+
+std::size_t ResponseCache::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+CacheStats ResponseCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ganglia::http

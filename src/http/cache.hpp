@@ -1,0 +1,81 @@
+// Response cache keyed by normalized request target.
+//
+// The store already trades freshness for latency (snapshot swaps on the
+// summarisation time scale), so between two swaps every rendered view is a
+// pure function of the store — re-rendering it per request is wasted work.
+// Entries are validated by the store's epoch (bumped on every snapshot
+// publish) plus a TTL floor for the few time-dependent bits a page carries
+// (TN ages, "last heard" labels).  Each entry owns a strong ETag derived
+// from body bytes + epoch, so a client revalidating with If-None-Match gets
+// 304 until the next snapshot swap — and a pre-swap ETag can never match
+// again, even if the re-rendered bytes happen to be identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/clock.hpp"
+
+namespace ganglia::http {
+
+/// Strong ETag for a body rendered at a given store epoch (quoted form).
+std::string make_etag(std::string_view body, std::uint64_t epoch);
+
+/// True when an If-None-Match header value (a comma-separated list, possibly
+/// "*", possibly with W/ prefixes) matches `etag`.
+bool etag_matches(std::string_view if_none_match, std::string_view etag);
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t expirations = 0;  ///< entries dropped for epoch/TTL staleness
+  std::uint64_t evictions = 0;    ///< entries dropped for capacity
+};
+
+class ResponseCache {
+ public:
+  struct Entry {
+    std::string body;
+    std::string content_type;
+    std::string etag;
+    std::uint64_t epoch = 0;
+    TimeUs rendered_at = 0;
+  };
+
+  /// ttl_s <= 0 disables the TTL floor (epoch-only invalidation).
+  explicit ResponseCache(std::int64_t ttl_s = 15,
+                         std::size_t max_entries = 512)
+      : ttl_s_(ttl_s), max_entries_(max_entries) {}
+
+  /// A valid entry for `key` at the given store epoch, or nullptr.  Stale
+  /// entries (old epoch or past TTL) are dropped on the way.
+  std::shared_ptr<const Entry> lookup(const std::string& key,
+                                      std::uint64_t epoch, TimeUs now);
+
+  /// Insert a freshly rendered body; computes and returns the entry (with
+  /// its ETag) for immediate serving.
+  std::shared_ptr<const Entry> insert(const std::string& key,
+                                      std::uint64_t epoch, TimeUs now,
+                                      std::string body,
+                                      std::string content_type);
+
+  void clear();
+  std::size_t size() const;
+  CacheStats stats() const;
+  std::int64_t ttl_s() const noexcept { return ttl_s_; }
+
+ private:
+  bool fresh(const Entry& entry, std::uint64_t epoch, TimeUs now) const;
+
+  std::int64_t ttl_s_;
+  std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const Entry>> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace ganglia::http

@@ -1,0 +1,382 @@
+#include "http/gateway.hpp"
+
+#include "common/cpu_timer.hpp"
+#include "common/strings.hpp"
+#include "http/json.hpp"
+#include "presenter/html.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::http {
+
+namespace {
+
+/// Collapse duplicate slashes and strip the trailing one: "/ui//meta/" and
+/// "/ui/meta" must hit the same cache entry.
+std::string normalize_path(std::string_view decoded) {
+  std::string out;
+  for (std::string_view segment : split(decoded, '/', /*skip_empty=*/true)) {
+    out += '/';
+    out += segment;
+  }
+  return out.empty() ? "/" : out;
+}
+
+/// Map "/xml/<rest>" (or "/api/v1/<rest>") onto a query-engine line.
+Result<std::string> query_line(std::string_view rest, std::string_view query) {
+  std::string line(rest.empty() ? std::string_view("/") : rest);
+  if (!query.empty()) {
+    if (query != "filter=summary") {
+      return Err(Errc::invalid_argument,
+                 "unknown query option '" + std::string(query) + "'");
+    }
+    line += "?filter=summary";
+  }
+  return line;
+}
+
+// --------------------------------------------------------- JSON rendering
+
+void write_summary_json(JsonWriter& w, const SummaryInfo& summary) {
+  w.begin_object();
+  w.key("hosts_up");
+  w.value(static_cast<std::uint64_t>(summary.hosts_up));
+  w.key("hosts_down");
+  w.value(static_cast<std::uint64_t>(summary.hosts_down));
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& [name, m] : summary.metrics) {
+    w.key(name);
+    w.begin_object();
+    w.key("sum");
+    w.value(m.sum);
+    w.key("num");
+    w.value(static_cast<std::uint64_t>(m.num));
+    w.key("mean");
+    w.value(m.mean());
+    if (!m.units.empty()) {
+      w.key("units");
+      w.value(m.units);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_host_json(JsonWriter& w, const Host& host) {
+  w.begin_object();
+  w.key("name");
+  w.value(host.name);
+  w.key("ip");
+  w.value(host.ip);
+  w.key("up");
+  w.value(host.is_up());
+  w.key("reported");
+  w.value(static_cast<std::int64_t>(host.reported));
+  w.key("tn");
+  w.value(static_cast<std::uint64_t>(host.tn));
+  w.key("metrics");
+  w.begin_array();
+  for (const Metric& metric : host.metrics) {
+    w.begin_object();
+    w.key("name");
+    w.value(metric.name);
+    w.key("value");
+    w.value(metric.value);
+    if (metric.is_numeric()) {
+      w.key("numeric");
+      w.value(metric.numeric);
+    }
+    w.key("type");
+    w.value(metric_type_name(metric.type));
+    if (!metric.units.empty()) {
+      w.key("units");
+      w.value(metric.units);
+    }
+    w.key("tn");
+    w.value(static_cast<std::uint64_t>(metric.tn));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_cluster_json(JsonWriter& w, const Cluster& cluster) {
+  w.begin_object();
+  w.key("name");
+  w.value(cluster.name);
+  w.key("localtime");
+  w.value(static_cast<std::int64_t>(cluster.localtime));
+  if (!cluster.owner.empty()) {
+    w.key("owner");
+    w.value(cluster.owner);
+  }
+  if (cluster.is_summary_form()) {
+    w.key("summary");
+    write_summary_json(w, *cluster.summary);
+  } else {
+    w.key("hosts");
+    w.begin_array();
+    for (const auto& [name, host] : cluster.hosts) {
+      (void)name;
+      write_host_json(w, host);
+    }
+    w.end_array();
+  }
+  w.end_object();
+}
+
+void write_grid_json(JsonWriter& w, const Grid& grid) {
+  w.begin_object();
+  w.key("name");
+  w.value(grid.name);
+  if (!grid.authority.empty()) {
+    w.key("authority");
+    w.value(grid.authority);
+  }
+  w.key("localtime");
+  w.value(static_cast<std::int64_t>(grid.localtime));
+  if (grid.is_summary_form()) {
+    w.key("summary");
+    write_summary_json(w, *grid.summary);
+  } else {
+    w.key("clusters");
+    w.begin_array();
+    for (const Cluster& cluster : grid.clusters) {
+      write_cluster_json(w, cluster);
+    }
+    w.end_array();
+    w.key("grids");
+    w.begin_array();
+    for (const Grid& child : grid.grids) write_grid_json(w, child);
+    w.end_array();
+  }
+  w.end_object();
+}
+
+std::string report_to_json(const Report& report) {
+  std::string out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("version");
+  w.value(report.version);
+  w.key("source");
+  w.value(report.source);
+  w.key("clusters");
+  w.begin_array();
+  for (const Cluster& cluster : report.clusters) {
+    write_cluster_json(w, cluster);
+  }
+  w.end_array();
+  w.key("grids");
+  w.begin_array();
+  for (const Grid& grid : report.grids) write_grid_json(w, grid);
+  w.end_array();
+  w.end_object();
+  out += '\n';
+  return out;
+}
+
+constexpr std::string_view kHtmlType = "text/html; charset=utf-8";
+constexpr std::string_view kXmlType = "text/xml; charset=utf-8";
+constexpr std::string_view kJsonType = "application/json";
+
+}  // namespace
+
+Gateway::Gateway(gmetad::Gmetad& monitor, Clock& clock, GatewayOptions options)
+    : monitor_(monitor),
+      clock_(clock),
+      options_(std::move(options)),
+      cache_(options_.cache_ttl_s, options_.cache_entries) {}
+
+Response Gateway::error_to_response(const Error& error) {
+  int status = 500;
+  switch (error.code) {
+    case Errc::invalid_argument:
+    case Errc::parse_error:
+      status = 400;
+      break;
+    case Errc::not_found:
+      status = 404;
+      break;
+    default:
+      status = 500;
+  }
+  return Response::make(status, error.to_string() + "\n");
+}
+
+Response Gateway::handle(const Request& request) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    Response response =
+        Response::make(405, "only GET and HEAD are supported\n");
+    response.set_header("Allow", "GET, HEAD");
+    return response;
+  }
+
+  std::string_view raw_path = request.target;
+  std::string_view raw_query;
+  if (const auto qmark = raw_path.find('?');
+      qmark != std::string_view::npos) {
+    raw_query = raw_path.substr(qmark + 1);
+    raw_path = raw_path.substr(0, qmark);
+  }
+  const auto decoded_path = percent_decode(raw_path);
+  const auto decoded_query = percent_decode(raw_query);
+  if (!decoded_path || !decoded_query) {
+    return Response::make(400, "malformed percent-escape in target\n");
+  }
+  const std::string path = normalize_path(*decoded_path);
+  std::string key = path;
+  if (!decoded_query->empty()) key += '?' + *decoded_query;
+
+  const std::uint64_t epoch = monitor_.store().epoch();
+  const TimeUs now = clock_.now_us();
+  auto entry = cache_.lookup(key, epoch, now);
+  const bool hit = entry != nullptr;
+  if (entry == nullptr) {
+    auto content = render(path, *decoded_query);
+    if (!content.ok()) return error_to_response(content.error());
+    entry = cache_.insert(key, epoch, now, std::move(content->body),
+                          std::move(content->content_type));
+  }
+
+  Response response;
+  const std::string_view if_none_match = request.header("If-None-Match");
+  if (!if_none_match.empty() && etag_matches(if_none_match, entry->etag)) {
+    response.status = 304;
+  } else {
+    response.status = 200;
+    response.body = entry->body;
+    response.set_header("Content-Type", entry->content_type);
+  }
+  response.set_header("ETag", entry->etag);
+  // Clients must revalidate: freshness is decided by the store epoch here,
+  // not by client-side heuristics.
+  response.set_header("Cache-Control", "no-cache");
+  response.set_header("X-Cache", hit ? "hit" : "miss");
+  return response;
+}
+
+Result<Gateway::Content> Gateway::render(std::string_view path,
+                                         std::string_view query) {
+  if (path == "/") return render_index();
+  if (path == "/xml" || starts_with(path, "/xml/")) {
+    return render_xml(path.substr(4), query);
+  }
+  if (path == "/api/v1" || starts_with(path, "/api/v1/")) {
+    return render_api(path.substr(7), query);
+  }
+  if (path == "/ui" || starts_with(path, "/ui/")) {
+    return render_ui(path);
+  }
+  return Err(Errc::not_found, "no route for '" + std::string(path) + "'");
+}
+
+Result<Gateway::Content> Gateway::render_xml(std::string_view rest,
+                                             std::string_view query) {
+  auto line = query_line(rest, query);
+  if (!line.ok()) return line.error();
+  auto xml = monitor_.query(*line);  // charged to the node's CPU meter
+  if (!xml.ok()) return xml.error();
+  return Content{std::move(*xml), std::string(kXmlType)};
+}
+
+Result<Gateway::Content> Gateway::render_api(std::string_view rest,
+                                             std::string_view query) {
+  auto line = query_line(rest, query);
+  if (!line.ok()) return line.error();
+  auto xml = monitor_.query(*line);
+  if (!xml.ok()) return xml.error();
+  // Re-parse the engine's document into the typed model and re-render as
+  // JSON.  This keeps one authoritative query implementation; the parse is
+  // paid once per snapshot swap thanks to the response cache.
+  ScopedCpuMeter meter(monitor_.cpu_meter());
+  auto report = parse_report(*xml);
+  if (!report.ok()) {
+    return Err(Errc::internal,
+               "query result failed to re-parse: " + report.error().message);
+  }
+  return Content{report_to_json(*report), std::string(kJsonType)};
+}
+
+Result<Gateway::Content> Gateway::render_ui(std::string_view path) {
+  ScopedCpuMeter meter(monitor_.cpu_meter());
+  const auto segments = split(path, '/', /*skip_empty=*/true);  // "ui", ...
+  const gmetad::Store& store = monitor_.store();
+
+  if (segments.size() == 2 && segments[1] == "meta") {
+    presenter::MetaView view;
+    view.grid_name = monitor_.config().grid_name;
+    for (const auto& snapshot : store.all()) {
+      presenter::MetaRow row;
+      row.name = snapshot->name();
+      row.is_grid = snapshot->is_grid();
+      row.summary = snapshot->summary();
+      view.total.merge(row.summary);
+      view.sources.push_back(std::move(row));
+    }
+    return Content{presenter::render_meta_html(view), std::string(kHtmlType)};
+  }
+
+  if (segments.size() == 3 && segments[1] == "cluster") {
+    for (const auto& snapshot : store.all()) {
+      if (const Cluster* cluster = snapshot->find_cluster(segments[2])) {
+        presenter::ClusterView view{*cluster};
+        return Content{presenter::render_cluster_html(view),
+                       std::string(kHtmlType)};
+      }
+    }
+    return Err(Errc::not_found,
+               "no cluster '" + std::string(segments[2]) + "'");
+  }
+
+  if (segments.size() == 4 && segments[1] == "host") {
+    const std::string_view cluster_name = segments[2];
+    const std::string_view host_name = segments[3];
+    for (const auto& snapshot : store.all()) {
+      const Cluster* cluster = snapshot->find_cluster(cluster_name);
+      if (cluster == nullptr) continue;
+      const auto it = cluster->hosts.find(std::string(host_name));
+      if (it == cluster->hosts.end()) break;
+      presenter::HostView view{std::string(cluster_name), it->second};
+      // Inline SVG graphs for whichever of the standard metrics have
+      // archived history — the rrdtool panel of the real frontend.
+      std::vector<std::pair<std::string, rrd::Series>> histories;
+      const std::int64_t now_s = clock_.now_us() / kMicrosPerSecond;
+      for (const std::string& metric : options_.graph_metrics) {
+        auto series = monitor_.archiver().fetch_host_metric(
+            snapshot->name(), std::string(cluster_name),
+            std::string(host_name), metric, now_s - options_.history_window_s,
+            now_s);
+        if (series.ok()) histories.emplace_back(metric, std::move(*series));
+      }
+      return Content{presenter::render_host_html(view, histories),
+                     std::string(kHtmlType)};
+    }
+    return Err(Errc::not_found, "no host '" + std::string(host_name) +
+                                    "' in cluster '" +
+                                    std::string(cluster_name) + "'");
+  }
+
+  return Err(Errc::not_found, "no view at '" + std::string(path) + "'");
+}
+
+Gateway::Content Gateway::render_index() const {
+  std::string body =
+      "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
+      "<title>ganglia gateway</title></head><body>"
+      "<h1>Grid " +
+      monitor_.config().grid_name +
+      "</h1><ul>"
+      "<li><a href=\"/ui/meta\">/ui/meta</a> — meta view</li>"
+      "<li>/ui/cluster/&lt;cluster&gt; — cluster view</li>"
+      "<li>/ui/host/&lt;cluster&gt;/&lt;host&gt; — host page with RRD "
+      "graphs</li>"
+      "<li><a href=\"/xml/\">/xml/&lt;path&gt;</a> — query-engine XML "
+      "(?filter=summary)</li>"
+      "<li><a href=\"/api/v1/\">/api/v1/&lt;path&gt;</a> — JSON API</li>"
+      "</ul></body></html>\n";
+  return Content{std::move(body), std::string(kHtmlType)};
+}
+
+}  // namespace ganglia::http

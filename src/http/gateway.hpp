@@ -1,0 +1,103 @@
+// Gmetad HTTP gateway: the web front door.
+//
+// Routes (GET/HEAD only; anything else is 405):
+//
+//   /                         endpoint index (HTML)
+//   /xml/<path>[?filter=summary]      raw query-engine XML — the existing
+//                                     interactive-port language over HTTP
+//   /api/v1/<path>[?filter=summary]   same query rendered as JSON
+//   /ui/meta                  meta view (per-source summary table)
+//   /ui/cluster/<cluster>     cluster view (per-host table)
+//   /ui/host/<cluster>/<host> host page with inline SVG RRD graphs
+//
+// Every 200 passes through a ResponseCache validated by the store's
+// snapshot epoch plus a TTL floor, with strong ETags: a dashboard hammering
+// F5 costs one render per snapshot swap, and If-None-Match revalidation
+// costs no body bytes at all (304).  The gateway layers *on top of* Gmetad
+// exactly like src/alarm does — gmetad knows nothing about HTTP.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gmetad/gmetad.hpp"
+#include "http/cache.hpp"
+#include "http/http.hpp"
+#include "http/server.hpp"
+
+namespace ganglia::http {
+
+struct GatewayOptions {
+  std::int64_t cache_ttl_s = 15;     ///< TTL floor; <=0 = epoch-only
+  std::size_t cache_entries = 512;
+  /// Host pages graph these metrics (when archived) over history_window_s.
+  std::vector<std::string> graph_metrics = {"load_one", "cpu_user",
+                                            "mem_free"};
+  std::int64_t history_window_s = 3600;
+};
+
+class Gateway {
+ public:
+  Gateway(gmetad::Gmetad& monitor, Clock& clock, GatewayOptions options = {});
+
+  /// Route one request (also usable without any server in front).
+  Response handle(const Request& request);
+
+  /// Adapter for HttpServer::start.
+  Handler handler() {
+    return [this](const Request& request) { return handle(request); };
+  }
+
+  ResponseCache& cache() noexcept { return cache_; }
+
+ private:
+  struct Content {
+    std::string body;
+    std::string content_type;
+  };
+
+  /// Render a target from the store (cache miss path).  Non-200 outcomes
+  /// are returned as ready responses and never cached.
+  Result<Content> render(std::string_view path, std::string_view query);
+
+  Result<Content> render_xml(std::string_view path, std::string_view query);
+  Result<Content> render_api(std::string_view path, std::string_view query);
+  Result<Content> render_ui(std::string_view path);
+  Content render_index() const;
+
+  /// Map gateway/query errors onto HTTP statuses (400/404/500).
+  static Response error_to_response(const Error& error);
+
+  gmetad::Gmetad& monitor_;
+  Clock& clock_;
+  GatewayOptions options_;
+  ResponseCache cache_;
+};
+
+/// Convenience bundle: a Gateway plus the HttpServer serving it, the thing
+/// a daemon wires from its `http_bind` config knob.
+class GatewayServer {
+ public:
+  GatewayServer(gmetad::Gmetad& monitor, Clock& clock,
+                GatewayOptions gateway_options = {},
+                ServerOptions server_options = {})
+      : gateway_(monitor, clock, std::move(gateway_options)),
+        server_options_(server_options) {}
+
+  Status start(net::Transport& transport, const std::string& address) {
+    return server_.start(transport, address, gateway_.handler(),
+                         server_options_);
+  }
+  void stop() { server_.stop(); }
+
+  std::string address() const { return server_.address(); }
+  Gateway& gateway() noexcept { return gateway_; }
+  HttpServer& server() noexcept { return server_; }
+
+ private:
+  Gateway gateway_;
+  ServerOptions server_options_;
+  HttpServer server_;
+};
+
+}  // namespace ganglia::http

@@ -1,0 +1,294 @@
+#include "http/http.hpp"
+
+#include "common/strings.hpp"
+
+namespace ganglia::http {
+
+namespace {
+
+bool is_token_char(char c) noexcept {
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_token(std::string_view s) noexcept {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!is_token_char(c)) return false;
+  }
+  return true;
+}
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+const std::string* find_in(const std::vector<Header>& headers,
+                           std::string_view name) noexcept {
+  for (const Header& h : headers) {
+    if (iequals(h.name, name)) return &h.value;
+  }
+  return nullptr;
+}
+
+/// True when `list` (a comma-separated connection-option list) contains
+/// `token`, case-insensitively.
+bool list_contains(std::string_view list, std::string_view token) noexcept {
+  for (std::string_view item : split(list, ',')) {
+    if (iequals(trim(item), token)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::string* Request::find_header(std::string_view name) const noexcept {
+  return find_in(headers, name);
+}
+
+std::string_view Request::header(std::string_view name,
+                                 std::string_view fallback) const noexcept {
+  const std::string* v = find_header(name);
+  return v != nullptr ? std::string_view(*v) : fallback;
+}
+
+bool Request::keep_alive() const noexcept {
+  const std::string_view connection = header("Connection");
+  if (version_major == 1 && version_minor >= 1) {
+    return !list_contains(connection, "close");
+  }
+  return list_contains(connection, "keep-alive");
+}
+
+void Response::set_header(std::string_view name, std::string_view value) {
+  for (Header& h : headers) {
+    if (iequals(h.name, name)) {
+      h.value = std::string(value);
+      return;
+    }
+  }
+  headers.push_back({std::string(name), std::string(value)});
+}
+
+const std::string* Response::find_header(std::string_view name) const noexcept {
+  return find_in(headers, name);
+}
+
+Response Response::make(int status, std::string body,
+                        std::string_view content_type) {
+  Response r;
+  r.status = status;
+  r.body = std::move(body);
+  if (!content_type.empty()) r.set_header("Content-Type", content_type);
+  return r;
+}
+
+std::string_view reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const Response& response, bool head,
+                               bool keep_alive) {
+  std::string out;
+  out.reserve(128 + (head ? 0 : response.body.size()));
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += reason_phrase(response.status);
+  out += "\r\n";
+  for (const Header& h : response.headers) {
+    out += h.name;
+    out += ": ";
+    out += h.value;
+    out += "\r\n";
+  }
+  // A 304 carries validator headers but, by definition, no payload; still
+  // advertise a zero length so keep-alive framing stays unambiguous.
+  const std::size_t length = response.status == 304 ? 0 : response.body.size();
+  out += "Content-Length: ";
+  out += std::to_string(length);
+  out += "\r\nConnection: ";
+  out += keep_alive ? "keep-alive" : "close";
+  out += "\r\n\r\n";
+  if (!head && response.status != 304) out += response.body;
+  return out;
+}
+
+std::optional<std::string> percent_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) return std::nullopt;
+    const int hi = hex_value(s[i + 1]);
+    const int lo = hex_value(s[i + 2]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ parser
+
+void RequestParser::feed(std::string_view bytes) {
+  // Drop already-consumed prefix before growing, keeping the buffer bounded
+  // by one in-flight request plus whatever the client pipelined behind it.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > 4096) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+RequestParser::Poll RequestParser::fail(std::string reason) {
+  poisoned_ = true;
+  error_ = std::move(reason);
+  return Poll::bad;
+}
+
+std::optional<std::string_view> RequestParser::take_line(
+    std::size_t hard_limit, const char* what, Poll& verdict) {
+  const std::string_view rest =
+      std::string_view(buffer_).substr(consumed_);
+  const std::size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    if (rest.size() > hard_limit) {
+      verdict = fail(std::string(what) + " exceeds " +
+                     std::to_string(hard_limit) + " bytes");
+    } else {
+      verdict = Poll::need_more;
+    }
+    return std::nullopt;
+  }
+  if (nl > hard_limit) {
+    verdict = fail(std::string(what) + " exceeds " +
+                   std::to_string(hard_limit) + " bytes");
+    return std::nullopt;
+  }
+  std::string_view line = rest.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  consumed_ += nl + 1;
+  return line;
+}
+
+RequestParser::Poll RequestParser::poll(Request& out) {
+  if (poisoned_) return Poll::bad;
+  Poll verdict = Poll::need_more;
+
+  if (stage_ == Stage::request_line) {
+    // Tolerate leading empty line(s) between pipelined requests (RFC 9112
+    // permits clients to send CRLF after a request body).
+    for (;;) {
+      const auto line = take_line(limits_.max_request_line, "request line",
+                                  verdict);
+      if (!line) return verdict;
+      if (line->empty()) continue;
+      const auto parts = split_ws(*line);
+      if (parts.size() != 3) {
+        return fail("malformed request line");
+      }
+      if (!is_token(parts[0])) return fail("malformed method token");
+      if (parts[1].empty() || (parts[1][0] != '/' && parts[1] != "*")) {
+        return fail("request target must be origin-form");
+      }
+      pending_ = Request{};
+      pending_.method = std::string(parts[0]);
+      pending_.target = std::string(parts[1]);
+      if (parts[2] == "HTTP/1.1") {
+        pending_.version_minor = 1;
+      } else if (parts[2] == "HTTP/1.0") {
+        pending_.version_minor = 0;
+      } else {
+        return fail("unsupported protocol version '" + std::string(parts[2]) +
+                    "'");
+      }
+      stage_ = Stage::headers;
+      header_bytes_ = 0;
+      break;
+    }
+  }
+
+  if (stage_ == Stage::headers) {
+    for (;;) {
+      const auto line =
+          take_line(limits_.max_header_bytes, "header line", verdict);
+      if (!line) return verdict;
+      if (line->empty()) {
+        // End of headers: work out body framing.
+        if (pending_.find_header("Transfer-Encoding") != nullptr) {
+          return fail("Transfer-Encoding is not supported");
+        }
+        body_needed_ = 0;
+        if (const std::string* cl = pending_.find_header("Content-Length")) {
+          const auto n = parse_u64(*cl);
+          if (!n) return fail("malformed Content-Length");
+          if (*n > limits_.max_body_bytes) {
+            return fail("body exceeds " +
+                        std::to_string(limits_.max_body_bytes) + " bytes");
+          }
+          body_needed_ = static_cast<std::size_t>(*n);
+        }
+        stage_ = Stage::body;
+        break;
+      }
+      header_bytes_ += line->size();
+      if (header_bytes_ > limits_.max_header_bytes) {
+        return fail("headers exceed " +
+                    std::to_string(limits_.max_header_bytes) + " bytes");
+      }
+      if (line->front() == ' ' || line->front() == '\t') {
+        return fail("obsolete header folding is not supported");
+      }
+      const std::size_t colon = line->find(':');
+      if (colon == std::string_view::npos) return fail("header missing ':'");
+      const std::string_view name = line->substr(0, colon);
+      if (!is_token(name)) return fail("malformed header name");
+      if (pending_.headers.size() >= limits_.max_headers) {
+        return fail("more than " + std::to_string(limits_.max_headers) +
+                    " headers");
+      }
+      pending_.headers.push_back(
+          {std::string(name), std::string(trim(line->substr(colon + 1)))});
+    }
+  }
+
+  // Stage::body
+  const std::string_view rest = std::string_view(buffer_).substr(consumed_);
+  if (rest.size() < body_needed_) return Poll::need_more;
+  pending_.body = std::string(rest.substr(0, body_needed_));
+  consumed_ += body_needed_;
+  out = std::move(pending_);
+  pending_ = Request{};
+  stage_ = Stage::request_line;
+  return Poll::ready;
+}
+
+}  // namespace ganglia::http

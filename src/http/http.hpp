@@ -1,0 +1,125 @@
+// HTTP/1.1 message types and an incremental request parser.
+//
+// The raw-socket dump/interactive endpoints serve one response per
+// connection; a portal-style front door cannot afford that — every page hit
+// would pay a fresh TCP handshake, and the paper's Table 1 already shows
+// connection+download dominating view latency.  This module implements the
+// minimal HTTP/1.1 subset a monitoring gateway needs: origin-form GET/HEAD
+// requests, persistent connections with pipelined sequential requests,
+// Content-Length framing, and strict 400-on-malformed parsing.  The parser
+// is incremental (feed() arbitrary byte chunks, poll() complete requests)
+// so it works unchanged over real TCP segments and the in-memory fabric's
+// arbitrary read splits.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ganglia::http {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+struct Request {
+  std::string method;        ///< as received (token, case-sensitive)
+  std::string target;        ///< origin-form target, e.g. "/ui/meta?x=1"
+  int version_major = 1;
+  int version_minor = 1;
+  std::vector<Header> headers;
+  std::string body;
+
+  /// Case-insensitive header lookup; nullptr when absent.
+  const std::string* find_header(std::string_view name) const noexcept;
+
+  /// Header value or fallback.
+  std::string_view header(std::string_view name,
+                          std::string_view fallback = "") const noexcept;
+
+  /// Connection persistence per RFC 9112 defaults: HTTP/1.1 persists unless
+  /// "Connection: close"; HTTP/1.0 persists only with "keep-alive".
+  bool keep_alive() const noexcept;
+};
+
+struct Response {
+  int status = 200;
+  std::vector<Header> headers;
+  std::string body;
+
+  /// Set (replacing any existing) header.
+  void set_header(std::string_view name, std::string_view value);
+  const std::string* find_header(std::string_view name) const noexcept;
+
+  static Response make(int status, std::string body,
+                       std::string_view content_type = "text/plain");
+};
+
+/// Standard reason phrase ("OK", "Not Found", ...; "Unknown" otherwise).
+std::string_view reason_phrase(int status) noexcept;
+
+/// Serialise a response with Content-Length framing.  `head` omits the body
+/// (HEAD semantics: identical headers, no payload); `keep_alive` selects the
+/// Connection header.
+std::string serialize_response(const Response& response, bool head,
+                               bool keep_alive);
+
+/// Decode %XX escapes ("+" is left alone: these are paths, not forms).
+/// Returns nullopt on truncated or non-hex escapes.
+std::optional<std::string> percent_decode(std::string_view s);
+
+/// Parser hard limits; exceeding any of them poisons the connection (400).
+struct ParserLimits {
+  std::size_t max_request_line = 8u << 10;
+  std::size_t max_header_bytes = 32u << 10;  ///< all header lines together
+  std::size_t max_headers = 100;
+  std::size_t max_body_bytes = 1u << 20;
+};
+
+/// Incremental HTTP/1.x request parser.
+///
+///   RequestParser parser;
+///   parser.feed(bytes_from_stream);         // any split, any number of times
+///   while (parser.poll(request) == Poll::ready) handle(request);
+///
+/// After Poll::bad the connection is unrecoverable (framing is lost);
+/// error() explains why.  Pipelined requests are handled naturally: bytes
+/// beyond one complete request stay buffered for the next poll().
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  enum class Poll { need_more, ready, bad };
+
+  void feed(std::string_view bytes);
+  Poll poll(Request& out);
+
+  const std::string& error() const noexcept { return error_; }
+  /// Bytes received but not yet parsed (pipelined data awaiting poll()).
+  std::size_t buffered_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  enum class Stage { request_line, headers, body };
+
+  Poll fail(std::string reason);
+  /// Extract one '\n'-terminated line (CR stripped); nullopt = need more.
+  std::optional<std::string_view> take_line(std::size_t hard_limit,
+                                            const char* what, Poll& verdict);
+
+  ParserLimits limits_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< bytes of buffer_ already parsed
+  Stage stage_ = Stage::request_line;
+  Request pending_;
+  std::size_t header_bytes_ = 0;
+  std::size_t body_needed_ = 0;
+  std::string error_;
+  bool poisoned_ = false;
+};
+
+}  // namespace ganglia::http

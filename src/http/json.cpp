@@ -1,0 +1,108 @@
+#include "http/json.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace ganglia::http {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strprintf("\\u%04x", static_cast<unsigned>(c) & 0xff);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void JsonWriter::separator() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value directly follows "key":
+  }
+  if (first_.empty()) return;  // top-level value
+  if (first_.back()) {
+    first_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+void JsonWriter::begin_object() {
+  separator();
+  out_ += '{';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  first_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  separator();
+  out_ += '[';
+  first_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  first_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view name) {
+  separator();
+  out_ += '"';
+  append_json_escaped(out_, name);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  separator();
+  out_ += '"';
+  append_json_escaped(out_, s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double v) {
+  separator();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+  } else {
+    out_ += format_double(v);
+  }
+}
+
+void JsonWriter::value(std::int64_t v) {
+  separator();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  separator();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  separator();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  separator();
+  out_ += "null";
+}
+
+}  // namespace ganglia::http

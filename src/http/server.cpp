@@ -1,0 +1,164 @@
+#include "http/server.hpp"
+
+#include <exception>
+
+#include "common/log.hpp"
+
+namespace ganglia::http {
+
+namespace {
+
+Response error_response(int status, std::string detail) {
+  std::string body(reason_phrase(status));
+  if (!detail.empty()) {
+    body += ": ";
+    body += detail;
+  }
+  body += '\n';
+  return Response::make(status, std::move(body));
+}
+
+}  // namespace
+
+Status HttpServer::start(net::Transport& transport, const std::string& address,
+                         Handler handler, ServerOptions options) {
+  if (running_.exchange(true)) {
+    return Err(Errc::invalid_argument, "server already running");
+  }
+  auto listener = transport.listen(address);
+  if (!listener.ok()) {
+    running_ = false;
+    return listener.error();
+  }
+  listener_ = std::move(*listener);
+  handler_ = std::move(handler);
+  options_ = options;
+
+  accept_thread_ = std::jthread([this] {
+    while (running_.load()) {
+      auto stream = listener_->accept();
+      if (!stream.ok()) return;  // listener closed
+      if (active_.load() >= options_.max_connections) {
+        // Over cap: fail fast so the client can retry elsewhere instead of
+        // queueing behind a saturated gateway.
+        Response busy = error_response(503, "connection limit reached");
+        busy.set_header("Retry-After", "1");
+        (void)(*stream)->write_all(
+            serialize_response(busy, /*head=*/false, /*keep_alive=*/false));
+        (*stream)->close();
+        std::lock_guard lock(mutex_);
+        ++stats_.rejected_over_cap;
+        continue;
+      }
+      std::uint64_t id;
+      {
+        std::lock_guard lock(mutex_);
+        id = next_id_++;
+        connections_.emplace(id, stream->get());
+        ++stats_.connections;
+      }
+      active_.fetch_add(1);
+      // Detached worker: lifetime is tracked through active_/connections_,
+      // and stop() both closes the stream (waking any blocked read) and
+      // waits for active_ to drain before returning.
+      std::thread(&HttpServer::serve_connection, this, id,
+                  std::move(*stream))
+          .detach();
+    }
+  });
+  GLOG(info, "http") << "serving on " << listener_->address();
+  return {};
+}
+
+void HttpServer::serve_connection(std::uint64_t id,
+                                  std::unique_ptr<net::Stream> stream) {
+  RequestParser parser(options_.limits);
+  std::string chunk(options_.read_chunk, '\0');
+  std::size_t served = 0;
+
+  while (running_.load()) {
+    Request request;
+    const RequestParser::Poll state = parser.poll(request);
+    if (state == RequestParser::Poll::bad) {
+      // Framing is lost; tell the client why and drop the connection.
+      (void)stream->write_all(serialize_response(
+          error_response(400, parser.error()), /*head=*/false,
+          /*keep_alive=*/false));
+      std::lock_guard lock(mutex_);
+      ++stats_.bad_requests;
+      break;
+    }
+    if (state == RequestParser::Poll::need_more) {
+      auto n = stream->read(chunk.data(), chunk.size());
+      // EOF, timeout, or peer failure all end the connection; an idle
+      // keep-alive client that stops talking is reaped by the transport's
+      // read timeout rather than holding a thread forever.
+      if (!n.ok() || *n == 0) break;
+      parser.feed(std::string_view(chunk.data(), *n));
+      continue;
+    }
+
+    ++served;
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.requests;
+    }
+    const bool head = request.method == "HEAD";
+    Response response;
+    if (request.version_minor >= 1 && request.find_header("Host") == nullptr) {
+      // RFC 9112 §3.2: a 1.1 request without Host is invalid.
+      response = error_response(400, "missing Host header");
+    } else {
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response = error_response(500, e.what());
+      } catch (...) {
+        response = error_response(500, "");
+      }
+    }
+    const bool keep_alive = request.keep_alive() && response.status != 400 &&
+                            served < options_.max_requests_per_connection;
+    if (!stream->write_all(serialize_response(response, head, keep_alive))
+             .ok()) {
+      break;
+    }
+    if (!keep_alive) break;
+  }
+
+  {
+    // Deregister under the lock *before* destroying the stream: stop()
+    // walks connections_ under the same lock, so every pointer it sees is
+    // still alive.
+    std::lock_guard lock(mutex_);
+    connections_.erase(id);
+    active_.fetch_sub(1);
+  }
+  stream->close();
+  stream.reset();
+  idle_cv_.notify_all();
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->close();
+  {
+    // Wake every connection thread blocked in read(); the stream object
+    // itself stays alive (owned by its thread) until that thread exits.
+    std::lock_guard lock(mutex_);
+    for (auto& [id, stream] : connections_) stream->close();
+  }
+  {
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock, [this] { return active_.load() == 0; });
+  }
+  accept_thread_ = std::jthread();  // join
+  listener_.reset();
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ganglia::http

@@ -1,0 +1,88 @@
+// HTTP/1.1 server over the net::Transport abstraction.
+//
+// One accept thread plus one thread per live connection, bounded by a
+// connection cap — a monitoring gateway's job is many cheap cache hits, not
+// unbounded concurrency, and over-cap clients get an immediate 503 rather
+// than a queue.  Connections are persistent: the server answers pipelined
+// requests sequentially in arrival order until the client sends
+// "Connection: close", the per-connection request budget runs out, or a
+// read times out (per-read timeouts are enforced by the transport: accepted
+// TCP sockets carry SO_RCVTIMEO, in-memory pipes time out on the dialer's
+// timeout).  Running on Transport means the same server binds a real TCP
+// port in production and the deterministic in-memory fabric in tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "http/http.hpp"
+#include "net/transport.hpp"
+
+namespace ganglia::http {
+
+/// Request handler; runs on the connection's thread.  Must not throw —
+/// escaped exceptions are converted to a 500 and the connection closed.
+using Handler = std::function<Response(const Request&)>;
+
+struct ServerOptions {
+  std::size_t max_connections = 64;
+  /// Keep-alive budget: after this many requests the connection closes
+  /// (Connection: close on the final response), bounding per-client state.
+  std::size_t max_requests_per_connection = 1000;
+  ParserLimits limits;
+  std::size_t read_chunk = 16u << 10;
+};
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind `address` on `transport` and serve until stop().
+  Status start(net::Transport& transport, const std::string& address,
+               Handler handler, ServerOptions options = {});
+
+  /// Close the listener and every live connection, then join all threads.
+  void stop();
+
+  bool running() const noexcept { return running_.load(); }
+  std::string address() const {
+    return listener_ ? listener_->address() : std::string();
+  }
+  std::size_t active_connections() const noexcept { return active_.load(); }
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t rejected_over_cap = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void serve_connection(std::uint64_t id, std::unique_ptr<net::Stream> stream);
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> active_{0};
+  Handler handler_;
+  ServerOptions options_;
+  std::unique_ptr<net::Listener> listener_;
+  std::jthread accept_thread_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::uint64_t, net::Stream*> connections_;
+  std::uint64_t next_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ganglia::http

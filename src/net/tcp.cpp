@@ -130,7 +130,14 @@ class TcpStream final : public Stream {
     return {};
   }
 
-  void close() override { fd_.reset(); }
+  void close() override {
+    // Shut down both directions but keep the descriptor alive until the
+    // stream is destroyed: close() may be called from another thread (the
+    // HTTP server's stop() uses it to wake a handler blocked in recv), and
+    // releasing the fd concurrently would race with that blocked read —
+    // worst case the kernel reuses the number for a fresh accept.
+    if (fd_.valid()) ::shutdown(fd_.get(), SHUT_RDWR);
+  }
 
   std::string peer_address() const override { return peer_; }
 

@@ -1,0 +1,430 @@
+// Tests for the HTTP subsystem: incremental request parser (including
+// adversarial inputs), JSON writer, ETag/cache helpers, and the keep-alive
+// server over both the in-memory fabric and real TCP.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "http/cache.hpp"
+#include "http/http.hpp"
+#include "http/json.hpp"
+#include "http/server.hpp"
+#include "http_test_util.hpp"
+#include "net/inmem.hpp"
+#include "net/tcp.hpp"
+
+namespace ganglia::http {
+namespace {
+
+using testutil::fetch;
+using testutil::read_response;
+
+constexpr TimeUs kTimeout = 5 * kMicrosPerSecond;
+
+// ---------------------------------------------------------------- parser
+
+TEST(RequestParser, SimpleGet) {
+  RequestParser parser;
+  parser.feed("GET /ui/meta HTTP/1.1\r\nHost: example\r\nAccept: */*\r\n\r\n");
+  Request request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Poll::ready);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.target, "/ui/meta");
+  EXPECT_EQ(request.version_major, 1);
+  EXPECT_EQ(request.version_minor, 1);
+  EXPECT_EQ(request.header("host"), "example");
+  EXPECT_EQ(request.header("ACCEPT"), "*/*");
+  EXPECT_TRUE(request.body.empty());
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::need_more);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParser, ByteByByteSplitReads) {
+  // The adversarial segmentation case: every read boundary lands mid-token,
+  // mid-header, mid-CRLF.
+  const std::string wire =
+      "GET /xml/meteor?filter=summary HTTP/1.1\r\n"
+      "Host: gw.example:8653\r\n"
+      "User-Agent: splitter/1.0\r\n"
+      "\r\n";
+  RequestParser parser;
+  Request request;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    parser.feed(std::string_view(&wire[i], 1));
+    const auto verdict = parser.poll(request);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(verdict, RequestParser::Poll::need_more) << "at byte " << i;
+    } else {
+      ASSERT_EQ(verdict, RequestParser::Poll::ready);
+    }
+  }
+  EXPECT_EQ(request.target, "/xml/meteor?filter=summary");
+  EXPECT_EQ(request.header("host"), "gw.example:8653");
+}
+
+TEST(RequestParser, PipelinedRequestsStayBuffered) {
+  RequestParser parser;
+  parser.feed(
+      "GET /a HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /b HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /c HTTP/1.1\r\nHost: h\r\n\r\n");
+  Request request;
+  for (const char* target : {"/a", "/b", "/c"}) {
+    ASSERT_EQ(parser.poll(request), RequestParser::Poll::ready);
+    EXPECT_EQ(request.target, target);
+  }
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::need_more);
+}
+
+TEST(RequestParser, ContentLengthBody) {
+  RequestParser parser;
+  parser.feed("POST /submit HTTP/1.1\r\nHost: h\r\nContent-Length: 5\r\n\r\nhel");
+  Request request;
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::need_more);
+  parser.feed("lo");
+  ASSERT_EQ(parser.poll(request), RequestParser::Poll::ready);
+  EXPECT_EQ(request.body, "hello");
+}
+
+TEST(RequestParser, LoneLfTolerated) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\nHost: h\n\n");
+  Request request;
+  ASSERT_EQ(parser.poll(request), RequestParser::Poll::ready);
+  EXPECT_EQ(request.target, "/");
+}
+
+TEST(RequestParser, OversizedRequestLineRejected) {
+  ParserLimits limits;
+  limits.max_request_line = 64;
+  RequestParser parser(limits);
+  parser.feed("GET /" + std::string(200, 'a'));  // no newline yet — still bad
+  Request request;
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::bad);
+  EXPECT_FALSE(parser.error().empty());
+  // Poisoned parsers stay bad no matter what arrives next.
+  parser.feed(" HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::bad);
+}
+
+TEST(RequestParser, TooManyHeadersRejected) {
+  ParserLimits limits;
+  limits.max_headers = 4;
+  RequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) {
+    wire += "X-Pad-" + std::to_string(i) + ": v\r\n";
+  }
+  wire += "\r\n";
+  parser.feed(wire);
+  Request request;
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::bad);
+}
+
+TEST(RequestParser, MalformedInputsRejected) {
+  const char* cases[] = {
+      "GARBAGE\r\n\r\n",                                   // no target/version
+      "GET / HTTP/2.0\r\n\r\n",                            // unsupported version
+      "GET / FTP/1.1\r\n\r\n",                             // not HTTP at all
+      "GET / HTTP/1.1\r\nNo colon here\r\n\r\n",           // colonless header
+      "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",             // space in field name
+      "GET / HTTP/1.1\r\nA: b\r\n folded\r\n\r\n",         // obs-fold
+      "GET / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",  // unsupported
+      "GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",    // bad length
+  };
+  for (const char* wire : cases) {
+    RequestParser parser;
+    parser.feed(wire);
+    Request request;
+    EXPECT_EQ(parser.poll(request), RequestParser::Poll::bad) << wire;
+  }
+}
+
+TEST(RequestParser, BodyOverLimitRejected) {
+  ParserLimits limits;
+  limits.max_body_bytes = 8;
+  RequestParser parser(limits);
+  parser.feed("POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 9\r\n\r\n");
+  Request request;
+  EXPECT_EQ(parser.poll(request), RequestParser::Poll::bad);
+}
+
+TEST(RequestKeepAlive, FollowsHttpDefaults) {
+  Request request;
+  request.version_major = 1;
+  request.version_minor = 1;
+  EXPECT_TRUE(request.keep_alive());
+  request.headers.push_back({"Connection", "close"});
+  EXPECT_FALSE(request.keep_alive());
+
+  Request old;
+  old.version_major = 1;
+  old.version_minor = 0;
+  EXPECT_FALSE(old.keep_alive());
+  old.headers.push_back({"Connection", "keep-alive"});
+  EXPECT_TRUE(old.keep_alive());
+}
+
+TEST(SerializeResponse, FramesWithContentLength) {
+  Response response = Response::make(200, "hello", "text/plain");
+  const std::string wire =
+      serialize_response(response, /*head=*/false, /*keep_alive=*/true);
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\nhello"));
+
+  const std::string head_wire =
+      serialize_response(response, /*head=*/true, /*keep_alive=*/false);
+  EXPECT_NE(head_wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(head_wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_TRUE(head_wire.ends_with("\r\n\r\n")) << "HEAD must omit the body";
+}
+
+TEST(PercentDecode, DecodesAndRejects) {
+  EXPECT_EQ(percent_decode("/ui/host/a%20b/c"), "/ui/host/a b/c");
+  EXPECT_EQ(percent_decode("plain"), "plain");
+  EXPECT_EQ(percent_decode("%2Fetc"), "/etc");
+  EXPECT_EQ(percent_decode("a+b"), "a+b");  // paths, not form encoding
+  EXPECT_FALSE(percent_decode("%").has_value());
+  EXPECT_FALSE(percent_decode("%2").has_value());
+  EXPECT_FALSE(percent_decode("%zz").has_value());
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(JsonWriter, EscapesAndNestsCorrectly) {
+  std::string out;
+  JsonWriter json(out);
+  json.begin_object();
+  json.key("name");
+  json.value("quote\" slash\\ tab\t nl\n ctrl\x01");
+  json.key("nums");
+  json.begin_array();
+  json.value(std::int64_t{-3});
+  json.value(2.5);
+  json.value(true);
+  json.null();
+  json.end_array();
+  json.key("nan");
+  json.value(std::nan(""));
+  json.end_object();
+  EXPECT_EQ(out,
+            "{\"name\":\"quote\\\" slash\\\\ tab\\t nl\\n ctrl\\u0001\","
+            "\"nums\":[-3,2.5,true,null],\"nan\":null}");
+}
+
+// ----------------------------------------------------------------- cache
+
+TEST(ETag, MatchesListsAndWeakForms) {
+  const std::string etag = make_etag("body", 7);
+  EXPECT_TRUE(etag.starts_with('"') && etag.ends_with('"'));
+  EXPECT_NE(etag, make_etag("body", 8)) << "epoch must be part of the tag";
+  EXPECT_NE(etag, make_etag("other", 7));
+
+  EXPECT_TRUE(etag_matches(etag, etag));
+  EXPECT_TRUE(etag_matches("\"zzz\", " + etag, etag));
+  EXPECT_TRUE(etag_matches("W/" + etag, etag));
+  EXPECT_TRUE(etag_matches("*", etag));
+  EXPECT_FALSE(etag_matches("\"zzz\"", etag));
+  EXPECT_FALSE(etag_matches("", etag));
+}
+
+TEST(ResponseCache, EpochAndTtlInvalidation) {
+  ResponseCache cache(/*ttl_s=*/10, /*max_entries=*/4);
+  const TimeUs t0 = 1'000'000;
+  EXPECT_EQ(cache.lookup("/k", 1, t0), nullptr);
+  auto entry = cache.insert("/k", 1, t0, "body", "text/plain");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->etag, make_etag("body", 1));
+
+  // Hit while the epoch matches and the TTL floor has not passed.
+  EXPECT_NE(cache.lookup("/k", 1, t0 + 5 * kMicrosPerSecond), nullptr);
+  // Epoch bump invalidates regardless of age.
+  EXPECT_EQ(cache.lookup("/k", 2, t0 + 1), nullptr);
+
+  cache.insert("/k", 2, t0, "body2", "text/plain");
+  // TTL floor invalidates even within the same epoch.
+  EXPECT_EQ(cache.lookup("/k", 2, t0 + 11 * kMicrosPerSecond), nullptr);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_GE(stats.expirations, 2u);
+}
+
+TEST(ResponseCache, CapacityBounded) {
+  ResponseCache cache(/*ttl_s=*/0, /*max_entries=*/2);
+  cache.insert("/a", 1, 0, "a", "t");
+  cache.insert("/b", 1, 0, "b", "t");
+  cache.insert("/c", 1, 0, "c", "t");
+  EXPECT_LE(cache.size(), 2u);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+// ---------------------------------------------------------------- server
+
+Handler echo_handler() {
+  return [](const Request& request) {
+    return Response::make(200, "echo:" + request.target, "text/plain");
+  };
+}
+
+TEST(HttpServer, KeepAliveServesSequentialRequests) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler()).ok());
+
+  auto stream = transport.connect("gw:80", kTimeout);
+  ASSERT_TRUE(stream.ok());
+  for (const char* target : {"/first", "/second", "/third"}) {
+    ASSERT_TRUE((*stream)
+                    ->write_all("GET " + std::string(target) +
+                                " HTTP/1.1\r\nHost: h\r\n\r\n")
+                    .ok());
+    auto response = read_response(**stream);
+    ASSERT_TRUE(response.ok()) << response.error().to_string();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, "echo:" + std::string(target));
+    EXPECT_EQ(response->header("Connection"), "keep-alive");
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().requests, 3u);
+  EXPECT_EQ(server.stats().connections, 1u);
+}
+
+TEST(HttpServer, PipelinedRequestsAnsweredInOrder) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler()).ok());
+
+  auto stream = transport.connect("gw:80", kTimeout);
+  ASSERT_TRUE(stream.ok());
+  // Both requests in one write; the second closes the connection so the
+  // whole exchange can be drained to EOF.
+  ASSERT_TRUE((*stream)
+                  ->write_all(
+                      "GET /one HTTP/1.1\r\nHost: h\r\n\r\n"
+                      "GET /two HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+                  .ok());
+  auto all = net::read_to_eof(**stream);
+  ASSERT_TRUE(all.ok()) << all.error().to_string();
+  const std::size_t first = all->find("echo:/one");
+  const std::size_t second = all->find("echo:/two");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second) << "pipelined responses must keep request order";
+  server.stop();
+}
+
+TEST(HttpServer, ConnectionCloseHonored) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler()).ok());
+  auto response = fetch(transport, "gw:80", "/x");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->header("Connection"), "close");
+  server.stop();
+}
+
+TEST(HttpServer, MissingHostRejected) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler()).ok());
+  auto stream = transport.connect("gw:80", kTimeout);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->write_all("GET / HTTP/1.1\r\n\r\n").ok());
+  auto response = read_response(**stream);
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 400);
+  server.stop();
+}
+
+TEST(HttpServer, GarbageGets400AndClose) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler()).ok());
+  auto stream = transport.connect("gw:80", kTimeout);
+  ASSERT_TRUE(stream.ok());
+  ASSERT_TRUE((*stream)->write_all("NOT AN HTTP REQUEST AT ALL\r\n\r\n").ok());
+  auto response = read_response(**stream);
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 400);
+  EXPECT_EQ(response->header("Connection"), "close");
+  server.stop();
+  EXPECT_EQ(server.stats().bad_requests, 1u);
+}
+
+TEST(HttpServer, HandlerExceptionBecomes500) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server
+                  .start(transport, "gw:80",
+                         [](const Request&) -> Response {
+                           throw std::runtime_error("boom");
+                         })
+                  .ok());
+  auto response = fetch(transport, "gw:80", "/");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 500);
+  server.stop();
+}
+
+TEST(HttpServer, OverCapConnectionsGet503) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ServerOptions options;
+  options.max_connections = 1;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler(), options).ok());
+
+  // Occupy the only slot with an idle keep-alive connection, then prove the
+  // slot is actually held by completing a request on it.
+  auto holder = transport.connect("gw:80", kTimeout);
+  ASSERT_TRUE(holder.ok());
+  ASSERT_TRUE(
+      (*holder)->write_all("GET /hold HTTP/1.1\r\nHost: h\r\n\r\n").ok());
+  auto held = read_response(**holder);
+  ASSERT_TRUE(held.ok()) << held.error().to_string();
+  ASSERT_EQ(held->status, 200);
+
+  auto rejected = fetch(transport, "gw:80", "/late");
+  ASSERT_TRUE(rejected.ok()) << rejected.error().to_string();
+  EXPECT_EQ(rejected->status, 503);
+  EXPECT_FALSE(rejected->header("Retry-After").empty());
+  server.stop();
+  EXPECT_EQ(server.stats().rejected_over_cap, 1u);
+}
+
+TEST(HttpServer, WorksOverRealTcp) {
+  net::TcpTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "127.0.0.1:0", echo_handler()).ok());
+  ASSERT_NE(server.address().find(':'), std::string::npos);
+
+  auto stream = transport.connect(server.address(), kTimeout);
+  ASSERT_TRUE(stream.ok());
+  for (int i = 0; i < 2; ++i) {  // keep-alive over a real socket too
+    ASSERT_TRUE(
+        (*stream)->write_all("GET /tcp HTTP/1.1\r\nHost: h\r\n\r\n").ok());
+    auto response = read_response(**stream);
+    ASSERT_TRUE(response.ok()) << response.error().to_string();
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, "echo:/tcp");
+  }
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(HttpServer, DoubleStartRejected) {
+  net::InMemTransport transport;
+  HttpServer server;
+  ASSERT_TRUE(server.start(transport, "gw:80", echo_handler()).ok());
+  EXPECT_FALSE(server.start(transport, "gw:81", echo_handler()).ok());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ganglia::http

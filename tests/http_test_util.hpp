@@ -1,0 +1,121 @@
+// Shared minimal HTTP client for the http/gateway tests and bench: writes a
+// request over a net::Stream and reads one Content-Length-framed response.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/strings.hpp"
+#include "net/transport.hpp"
+
+namespace ganglia::http::testutil {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* find_header(std::string_view name) const {
+    for (const auto& [key, value] : headers) {
+      if (iequals(key, name)) return &value;
+    }
+    return nullptr;
+  }
+  std::string header(std::string_view name) const {
+    const std::string* value = find_header(name);
+    return value ? *value : std::string();
+  }
+};
+
+/// Read exactly one response.  `head` skips the body even when the headers
+/// advertise a Content-Length (HEAD semantics).
+inline Result<ClientResponse> read_response(net::Stream& stream,
+                                            bool head = false) {
+  std::string buffer;
+  std::size_t header_end;
+  while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+    char chunk[4096];
+    auto n = stream.read(chunk, sizeof chunk);
+    if (!n.ok()) return n.error();
+    if (*n == 0) return Err(Errc::closed, "eof before headers complete");
+    buffer.append(chunk, *n);
+    if (buffer.size() > (1u << 20)) {
+      return Err(Errc::invalid_argument, "response headers never ended");
+    }
+  }
+
+  ClientResponse response;
+  const std::string_view head_block =
+      std::string_view(buffer).substr(0, header_end);
+  const auto lines = split(head_block, '\n');
+  if (lines.empty()) return Err(Errc::parse_error, "empty status line");
+
+  std::string_view status_line = trim(lines[0]);
+  const auto words = split_ws(status_line);
+  if (words.size() < 2 || !starts_with(words[0], "HTTP/")) {
+    return Err(Errc::parse_error,
+               "bad status line: " + std::string(status_line));
+  }
+  const auto code = parse_u64(words[1]);
+  if (!code || *code < 100 || *code > 599) {
+    return Err(Errc::parse_error, "bad status code");
+  }
+  response.status = static_cast<int>(*code);
+
+  std::size_t content_length = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = trim(lines[i]);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return Err(Errc::parse_error, "bad header line");
+    }
+    std::string name(trim(line.substr(0, colon)));
+    std::string value(trim(line.substr(colon + 1)));
+    if (iequals(name, "Content-Length")) {
+      const auto length = parse_u64(value);
+      if (!length) return Err(Errc::parse_error, "bad Content-Length");
+      content_length = static_cast<std::size_t>(*length);
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  response.body = buffer.substr(header_end + 4);
+  if (head || response.status == 304) {
+    // No payload follows; any buffered bytes belong to the next response.
+    if (!response.body.empty()) {
+      return Err(Errc::parse_error, "unexpected body after HEAD/304");
+    }
+    return response;
+  }
+  while (response.body.size() < content_length) {
+    char chunk[4096];
+    auto n = stream.read(chunk, sizeof chunk);
+    if (!n.ok()) return n.error();
+    if (*n == 0) return Err(Errc::closed, "eof mid-body");
+    response.body.append(chunk, *n);
+  }
+  if (response.body.size() > content_length) {
+    return Err(Errc::parse_error, "body overran Content-Length");
+  }
+  return response;
+}
+
+/// One-shot GET helper: dial, send, read one response.
+inline Result<ClientResponse> fetch(net::Transport& transport,
+                                    const std::string& address,
+                                    const std::string& target,
+                                    std::string extra_headers = "",
+                                    TimeUs timeout = 5 * kMicrosPerSecond) {
+  auto stream = transport.connect(address, timeout);
+  if (!stream.ok()) return stream.error();
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: test\r\n" + extra_headers +
+                              "Connection: close\r\n\r\n";
+  if (auto s = (*stream)->write_all(request); !s.ok()) return s.error();
+  return read_response(**stream);
+}
+
+}  // namespace ganglia::http::testutil
