@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -145,11 +146,21 @@ int main(int argc, char** argv) {
   }
   std::printf("\nbest cached/cold speedup: %.1fx\n", best_speedup);
 
+  char date[32];
+  const std::time_t wall_now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&wall_now, &tm_utc);
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+
   std::string json;
   http::JsonWriter w(json);
   w.begin_object();
-  w.key("bench");
+  w.key("name");
   w.value("http_gateway");
+  w.key("date");
+  w.value(date);
+  w.key("config");
+  w.begin_object();
   w.key("transport");
   w.value("inmem");
   w.key("clusters");
@@ -158,6 +169,9 @@ int main(int argc, char** argv) {
   w.value(static_cast<std::uint64_t>(hosts));
   w.key("iterations");
   w.value(static_cast<std::uint64_t>(iterations));
+  w.end_object();
+  w.key("metrics");
+  w.begin_object();
   w.key("endpoints");
   w.begin_array();
   for (const EndpointResult& r : results) {
@@ -175,6 +189,7 @@ int main(int argc, char** argv) {
   w.end_array();
   w.key("best_speedup");
   w.value(best_speedup);
+  w.end_object();
   w.end_object();
   json += '\n';
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Run every bench and drop BENCH_<name>.json at the repo root, all with the
+# same schema: {"name", "date", "config", "metrics"}.
+#
+#   usage: bench/run_all.sh <build-bench-dir>   (normally via `make bench_all`)
+#
+# Benches that already emit schema-conforming JSON (poll_scalability) are run
+# as-is.  Table-printing benches are captured and wrapped: their stdout goes
+# into metrics.lines and their argv into config.args.  micro_bench goes
+# through google-benchmark's JSON output, folded into metrics.benchmarks.
+set -eu
+
+BENCH_DIR=${1:?usage: run_all.sh <build-bench-dir>}
+cd "$(dirname "$0")/.."
+
+# wrap <name> <json-kind> <binary> [args...]
+#   json-kind 'wrap'  : capture stdout into metrics.lines
+#   json-kind 'gbench': google-benchmark JSON -> metrics.benchmarks
+wrap() {
+    name=$1 kind=$2 bin=$3
+    shift 3
+    echo "== $name"
+    out=$(mktemp)
+    if [ "$kind" = gbench ]; then
+        "$BENCH_DIR/$bin" --benchmark_format=json "$@" > "$out"
+    else
+        "$BENCH_DIR/$bin" "$@" | tee "$out"
+    fi
+    NAME=$name KIND=$kind OUT=$out python3 - "$@" <<'EOF'
+import json, os, sys, datetime
+name, kind, out = os.environ["NAME"], os.environ["KIND"], os.environ["OUT"]
+date = datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+doc = {"name": name, "date": date, "config": {"args": sys.argv[1:]}}
+with open(out) as f:
+    text = f.read()
+if kind == "gbench":
+    raw = json.loads(text)
+    doc["config"]["context"] = raw.get("context", {})
+    doc["metrics"] = {"benchmarks": raw.get("benchmarks", [])}
+else:
+    doc["metrics"] = {"lines": text.rstrip("\n").split("\n")}
+with open(f"BENCH_{name}.json", "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+print(f"wrote BENCH_{name}.json")
+EOF
+    rm -f "$out"
+}
+
+# Modest sizes so the full sweep stays in the minutes range; pass bigger
+# numbers directly to the binaries for paper-scale runs.
+wrap fig5_tree_scalability  wrap fig5_tree_scalability 10 50
+wrap fig6_cluster_size_sweep wrap fig6_cluster_size_sweep 4 200
+wrap table1_view_speedup    wrap table1_view_speedup 5 100
+wrap gmon_bandwidth         wrap gmon_bandwidth 128 3600
+wrap ablation_locking       wrap ablation_locking 200
+wrap ablation_archiving     wrap ablation_archiving 50 10
+wrap micro_bench            gbench micro_bench --benchmark_min_time=0.2
+
+echo "== http_gateway"
+"$BENCH_DIR/http_gateway" 100 100
+echo "== poll_scalability"
+"$BENCH_DIR/poll_scalability"
+
+echo "all BENCH_*.json written to $(pwd)"

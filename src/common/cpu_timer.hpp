@@ -5,8 +5,14 @@
 // gmetad charges the CPU seconds its processing consumed to its own meter,
 // and the bench normalises by the simulated wall window.  This keeps the
 // measurement valid when six gmetads share one process (and one core).
+//
+// The meter is shared-state under the concurrent poll pipeline: several
+// worker threads charge the same gmetad's meter while a query thread reads
+// it, so the accumulator is atomic (relaxed — it is a counter, not a
+// synchronisation point).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 namespace ganglia {
@@ -17,43 +23,59 @@ std::int64_t thread_cpu_ns();
 /// CPU nanoseconds consumed by the whole process so far.
 std::int64_t process_cpu_ns();
 
-/// Simple accumulating CPU meter with start/stop semantics, used where the
-/// metered region spans multiple scopes.
+/// Accumulating CPU meter.  add_ns()/total_ns() are thread-safe; the
+/// start()/stop() convenience pair is for single-threaded metered regions.
 class CpuMeter {
  public:
-  /// Raw accumulator, for ScopedCpuMeter.
-  std::int64_t& raw_ns() { return total_ns_; }
   void start() { start_ = thread_cpu_ns(); running_ = true; }
   void stop() {
-    if (running_) total_ns_ += thread_cpu_ns() - start_;
+    if (running_) add_ns(thread_cpu_ns() - start_);
     running_ = false;
   }
-  void add_ns(std::int64_t ns) { total_ns_ += ns; }
-  void reset() { total_ns_ = 0; running_ = false; }
+  void add_ns(std::int64_t ns) {
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+  void reset() {
+    total_ns_.store(0, std::memory_order_relaxed);
+    running_ = false;
+  }
 
-  std::int64_t total_ns() const { return total_ns_; }
-  double total_seconds() const { return static_cast<double>(total_ns_) * 1e-9; }
+  std::int64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  double total_seconds() const {
+    return static_cast<double>(total_ns()) * 1e-9;
+  }
 
  private:
-  std::int64_t total_ns_ = 0;
+  std::atomic<std::int64_t> total_ns_{0};
   std::int64_t start_ = 0;
   bool running_ = false;
 };
 
 /// Scoped meter: accumulates the calling thread's CPU time between
-/// construction and destruction into a counter.
+/// construction and destruction into a CpuMeter (thread-safe) or a plain
+/// accumulator (single-threaded callers).
 class ScopedCpuMeter {
  public:
   explicit ScopedCpuMeter(std::int64_t& accumulator_ns)
-      : accumulator_(accumulator_ns), start_(thread_cpu_ns()) {}
+      : plain_(&accumulator_ns), start_(thread_cpu_ns()) {}
   explicit ScopedCpuMeter(CpuMeter& meter)
-      : ScopedCpuMeter(meter.raw_ns()) {}
-  ~ScopedCpuMeter() { accumulator_ += thread_cpu_ns() - start_; }
+      : meter_(&meter), start_(thread_cpu_ns()) {}
+  ~ScopedCpuMeter() {
+    const std::int64_t delta = thread_cpu_ns() - start_;
+    if (meter_ != nullptr) {
+      meter_->add_ns(delta);
+    } else {
+      *plain_ += delta;
+    }
+  }
   ScopedCpuMeter(const ScopedCpuMeter&) = delete;
   ScopedCpuMeter& operator=(const ScopedCpuMeter&) = delete;
 
  private:
-  std::int64_t& accumulator_;
+  CpuMeter* meter_ = nullptr;
+  std::int64_t* plain_ = nullptr;
   std::int64_t start_;
 };
 

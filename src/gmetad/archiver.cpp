@@ -2,6 +2,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
 
 #include "common/strings.hpp"
 #include "rrd/rrd_file.hpp"
@@ -18,10 +19,18 @@ std::string summary_key(const std::string& scope, const std::string& metric) {
 }
 }  // namespace
 
-rrd::RoundRobinDb* Archiver::open(const std::string& key,
+Archiver::Shard& Archiver::shard_for(const std::string& key) {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+const Archiver::Shard& Archiver::shard_for(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key) % kShards];
+}
+
+rrd::RoundRobinDb* Archiver::open(Shard& shard, const std::string& key,
                                   std::size_t ds_count, std::int64_t now) {
-  const auto it = databases_.find(key);
-  if (it != databases_.end()) return it->second.get();
+  const auto it = shard.databases.find(key);
+  if (it != shard.databases.end()) return it->second.get();
 
   rrd::RrdDef def = rrd::RrdDef::ganglia_default("sum", options_.heartbeat_s);
   def.step_s = options_.step_s;
@@ -34,7 +43,7 @@ rrd::RoundRobinDb* Archiver::open(const std::string& key,
   if (!db.ok()) return nullptr;  // invalid options; callers treat as no-op
   auto owned = std::make_unique<rrd::RoundRobinDb>(std::move(*db));
   rrd::RoundRobinDb* raw = owned.get();
-  databases_.emplace(key, std::move(owned));
+  shard.databases.emplace(key, std::move(owned));
   return raw;
 }
 
@@ -43,11 +52,14 @@ void Archiver::record_host_metric(const std::string& source,
                                   const Host& host, const Metric& metric,
                                   std::int64_t now) {
   if (!metric.is_numeric()) return;
-  std::lock_guard lock(mutex_);
-  rrd::RoundRobinDb* db = open(host_key(source, cluster, host.name, metric.name),
-                               1, now);
+  const std::string key = host_key(source, cluster, host.name, metric.name);
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  rrd::RoundRobinDb* db = open(shard, key, 1, now);
   if (db == nullptr) return;
-  if (db->update(now, metric.numeric).ok()) ++updates_;
+  if (db->update(now, metric.numeric).ok()) {
+    updates_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void Archiver::record_cluster(const std::string& source,
@@ -63,12 +75,16 @@ void Archiver::record_cluster(const std::string& source,
 
 void Archiver::record_summary(const std::string& scope,
                               const SummaryInfo& summary, std::int64_t now) {
-  std::lock_guard lock(mutex_);
   for (const auto& [metric_name, ms] : summary.metrics) {
-    rrd::RoundRobinDb* db = open(summary_key(scope, metric_name), 2, now);
+    const std::string key = summary_key(scope, metric_name);
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    rrd::RoundRobinDb* db = open(shard, key, 2, now);
     if (db == nullptr) continue;
     const double values[2] = {ms.sum, static_cast<double>(ms.num)};
-    if (db->update(now, std::span<const double>(values, 2)).ok()) ++updates_;
+    if (db->update(now, std::span<const double>(values, 2)).ok()) {
+      updates_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -76,9 +92,11 @@ Result<rrd::Series> Archiver::fetch_host_metric(
     const std::string& source, const std::string& cluster,
     const std::string& host, const std::string& metric, std::int64_t start,
     std::int64_t end) const {
-  std::lock_guard lock(mutex_);
-  const auto it = databases_.find(host_key(source, cluster, host, metric));
-  if (it == databases_.end()) {
+  const std::string key = host_key(source, cluster, host, metric);
+  const Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.databases.find(key);
+  if (it == shard.databases.end()) {
     return Err(Errc::not_found, "no archive for " + host + "/" + metric);
   }
   return it->second->fetch(rrd::ConsolidationFn::average, start, end);
@@ -89,9 +107,11 @@ Result<rrd::Series> Archiver::fetch_summary_metric(const std::string& scope,
                                                    std::int64_t start,
                                                    std::int64_t end,
                                                    std::size_t ds_index) const {
-  std::lock_guard lock(mutex_);
-  const auto it = databases_.find(summary_key(scope, metric));
-  if (it == databases_.end()) {
+  const std::string key = summary_key(scope, metric);
+  const Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.databases.find(key);
+  if (it == shard.databases.end()) {
     return Err(Errc::not_found, "no summary archive for " + scope + "/" + metric);
   }
   return it->second->fetch(rrd::ConsolidationFn::average, start, end, ds_index);
@@ -121,16 +141,25 @@ Status Archiver::flush_to_disk() const {
   if (options_.persist_dir.empty()) {
     return Err(Errc::invalid_argument, "no persist_dir configured");
   }
-  std::lock_guard lock(mutex_);
   std::error_code ec;
   std::filesystem::create_directories(options_.persist_dir, ec);
   if (ec) {
     return Err(Errc::io_error,
                "cannot create " + options_.persist_dir + ": " + ec.message());
   }
-  // Manifest: one "encoded-filename<TAB>raw-key" line per archive.
+  // Manifest: one "encoded-filename<TAB>raw-key" line per archive.  Keys
+  // are collected across shards and written in sorted order so the
+  // manifest is deterministic regardless of sharding.
+  std::map<std::string, const rrd::RoundRobinDb*> ordered;
+  std::array<std::unique_lock<std::mutex>, kShards> locks;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    locks[i] = std::unique_lock(shards_[i].mutex);
+    for (const auto& [key, db] : shards_[i].databases) {
+      ordered.emplace(key, db.get());
+    }
+  }
   std::string manifest;
-  for (const auto& [key, db] : databases_) {
+  for (const auto& [key, db] : ordered) {
     const std::string file = encode_key(key) + ".grrd";
     if (Status s = rrd::RrdCodec::save_file(
             *db, options_.persist_dir + "/" + file);
@@ -151,7 +180,6 @@ Status Archiver::load_from_disk() {
   }
   std::ifstream manifest(options_.persist_dir + "/manifest.tsv");
   if (!manifest) return {};  // cold start
-  std::lock_guard lock(mutex_);
   std::string line;
   while (std::getline(manifest, line)) {
     const auto tab = line.find('\t');
@@ -163,22 +191,30 @@ Status Archiver::load_from_disk() {
       return Err(db.error().code,
                  "archive '" + key + "': " + db.error().message);
     }
-    databases_[key] = std::make_unique<rrd::RoundRobinDb>(std::move(*db));
+    Shard& shard = shard_for(key);
+    std::lock_guard lock(shard.mutex);
+    shard.databases[key] = std::make_unique<rrd::RoundRobinDb>(std::move(*db));
   }
   return {};
 }
 
 std::size_t Archiver::database_count() const {
-  std::lock_guard lock(mutex_);
-  return databases_.size();
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    n += shard.databases.size();
+  }
+  return n;
 }
 
 std::size_t Archiver::storage_bytes() const {
-  std::lock_guard lock(mutex_);
   std::size_t bytes = 0;
-  for (const auto& [key, db] : databases_) {
-    (void)key;
-    bytes += db->storage_bytes();
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, db] : shard.databases) {
+      (void)key;
+      bytes += db->storage_bytes();
+    }
   }
   return bytes;
 }

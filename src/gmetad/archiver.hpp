@@ -11,8 +11,17 @@
 // RRD heartbeat lapses, and the archive records *unknown* rows for the
 // outage — the "zero record during the downtime, aiding time-of-death
 // forensic analysis" of paper §2.1.
+//
+// Concurrency: the poll pool archives several sources at once.  Databases
+// are partitioned into hash shards, each with its own mutex, so workers
+// writing different archives proceed in parallel and only true key
+// collisions contend.  A single RoundRobinDb is never updated concurrently:
+// each archive key belongs to exactly one source, and the scheduler runs at
+// most one poll per source at a time.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,19 +88,31 @@ class Archiver {
   Status load_from_disk();
 
   // -- load accounting (the quantity the paper's figures track) ------------
-  std::uint64_t rrd_updates() const noexcept { return updates_; }
+  std::uint64_t rrd_updates() const noexcept {
+    return updates_.load(std::memory_order_relaxed);
+  }
   std::size_t database_count() const;
   std::size_t storage_bytes() const;
-  void reset_counters() { updates_ = 0; }
+  void reset_counters() { updates_.store(0, std::memory_order_relaxed); }
 
  private:
-  rrd::RoundRobinDb* open(const std::string& key, std::size_t ds_count,
-                          std::int64_t now);
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<rrd::RoundRobinDb>> databases;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  /// Find-or-create under the shard mutex (caller must hold it).
+  rrd::RoundRobinDb* open(Shard& shard, const std::string& key,
+                          std::size_t ds_count, std::int64_t now);
 
   ArchiverOptions options_;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<rrd::RoundRobinDb>> databases_;
-  std::uint64_t updates_ = 0;
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> updates_{0};
 };
 
 }  // namespace ganglia::gmetad

@@ -41,6 +41,10 @@ struct GmetadConfig {
   std::string xml_bind = "127.0.0.1:8651";
   std::string interactive_bind = "127.0.0.1:8652";
   std::int64_t connect_timeout_s = 10;
+  /// Poll pipeline width: how many sources are fetched/parsed/archived
+  /// concurrently.  0 = auto (min(#sources, hardware threads)); 1 =
+  /// sequential (the pre-pipeline behaviour).
+  std::size_t poll_threads = 0;
   bool archive_enabled = true;
   std::int64_t archive_step_s = 15;
   /// Directory for persistent RRD images (empty = in-memory only, the
@@ -88,6 +92,7 @@ struct GmetadConfig {
 ///   http_cache_ttl 15                    # gateway response-cache TTL floor (s)
 ///   http_max_connections 64
 ///   connect_timeout 10
+///   poll_threads 4                       # 0 = auto, 1 = sequential
 ///   archive off                          # or: archive on
 ///   archive_step 15
 ///   archive_dir "/var/lib/gmetad/rrds"   # persist archives across restarts

@@ -8,8 +8,9 @@ Result<std::string> DataSource::fetch(net::Transport& transport,
                                       TimeUs timeout, std::int64_t now_s) {
   Error last = Err(Errc::exhausted, "no addresses configured");
   const std::size_t n = config_.addresses.size();
+  const std::size_t preferred = preferred_.load(std::memory_order_relaxed);
   for (std::size_t attempt = 0; attempt < n; ++attempt) {
-    const std::size_t index = (preferred_ + attempt) % n;
+    const std::size_t index = (preferred + attempt) % n;
     const std::string& address = config_.addresses[index];
 
     auto stream = transport.connect(address, timeout);
@@ -26,21 +27,27 @@ Result<std::string> DataSource::fetch(net::Transport& transport,
                             << address << " failed: " << last.to_string();
       continue;
     }
-    if (index != preferred_) {
-      ++failovers_;
+    if (index != preferred) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
       GLOG(info, "gmetad") << "source " << config_.name << ": failed over to "
                            << address;
-      preferred_ = index;
+      preferred_.store(index, std::memory_order_relaxed);
     }
-    reachable_ = true;
-    consecutive_failures_ = 0;
-    last_success_s_ = now_s;
-    last_error_.clear();
+    reachable_.store(true, std::memory_order_relaxed);
+    consecutive_failures_.store(0, std::memory_order_relaxed);
+    last_success_s_.store(now_s, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(last_error_mutex_);
+      last_error_.clear();
+    }
     return body;
   }
-  reachable_ = false;
-  ++consecutive_failures_;
-  last_error_ = last.to_string();
+  reachable_.store(false, std::memory_order_relaxed);
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(last_error_mutex_);
+    last_error_ = last.to_string();
+  }
   return Err(Errc::exhausted,
              "all " + std::to_string(n) + " addresses of source '" +
                  config_.name + "' failed; last: " + last.to_string());

@@ -11,9 +11,17 @@
 // to preferred; total failure leaves the source marked unreachable and the
 // next poll round retries from the top — failures never cause permanent
 // fissures in the tree.
+//
+// Concurrency: the poll pool runs at most one fetch() per source at a time
+// (the scheduler never dispatches a source that is still in flight), but
+// the health accessors are read from other threads — daemon status pages,
+// tests, examples — while a fetch is running, so the scalar health fields
+// are atomics and the last-error string sits behind its own mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,7 +37,8 @@ class DataSource {
 
   /// Download one full report, failing over across candidate addresses.
   /// On success records which address served.  On exhaustion returns
-  /// Errc::exhausted carrying the last error detail.
+  /// Errc::exhausted carrying the last error detail.  Not reentrant: one
+  /// fetch per source at a time (the poll scheduler guarantees this).
   Result<std::string> fetch(net::Transport& transport, TimeUs timeout,
                             std::int64_t now_s);
 
@@ -39,26 +48,36 @@ class DataSource {
     return config_.poll_interval_s;
   }
 
-  // -- health introspection ------------------------------------------------
-  bool reachable() const noexcept { return reachable_; }
-  std::size_t preferred_index() const noexcept { return preferred_; }
+  // -- health introspection (safe to call while a fetch is in flight) ------
+  bool reachable() const noexcept { return reachable_.load(std::memory_order_relaxed); }
+  std::size_t preferred_index() const noexcept {
+    return preferred_.load(std::memory_order_relaxed);
+  }
   const std::string& preferred_address() const {
-    return config_.addresses[preferred_];
+    return config_.addresses[preferred_index()];
   }
   std::uint32_t consecutive_failures() const noexcept {
-    return consecutive_failures_;
+    return consecutive_failures_.load(std::memory_order_relaxed);
   }
-  std::int64_t last_success_s() const noexcept { return last_success_s_; }
-  std::uint64_t failovers() const noexcept { return failovers_; }
-  const std::string& last_error() const noexcept { return last_error_; }
+  std::int64_t last_success_s() const noexcept {
+    return last_success_s_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failovers() const noexcept {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  std::string last_error() const {
+    std::lock_guard lock(last_error_mutex_);
+    return last_error_;
+  }
 
  private:
   DataSourceConfig config_;
-  std::size_t preferred_ = 0;
-  bool reachable_ = true;  ///< optimistic until the first poll says otherwise
-  std::uint32_t consecutive_failures_ = 0;
-  std::uint64_t failovers_ = 0;
-  std::int64_t last_success_s_ = 0;
+  std::atomic<std::size_t> preferred_{0};
+  std::atomic<bool> reachable_{true};  ///< optimistic until the first poll
+  std::atomic<std::uint32_t> consecutive_failures_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::int64_t> last_success_s_{0};
+  mutable std::mutex last_error_mutex_;
   std::string last_error_;
 };
 

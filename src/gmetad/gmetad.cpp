@@ -1,10 +1,22 @@
 #include "gmetad/gmetad.hpp"
 
+#include <algorithm>
+#include <latch>
+
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "xml/writer.hpp"
 
 namespace ganglia::gmetad {
+
+namespace {
+std::size_t resolve_poll_threads(const GmetadConfig& config) {
+  if (config.poll_threads != 0) return config.poll_threads;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return std::min(std::max<std::size_t>(config.sources.size(), 1), hw);
+}
+}  // namespace
 
 Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
     : config_(std::move(config)),
@@ -16,7 +28,10 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
       engine_(store_),
       joins_(config_.join_expiry_s) {
   for (const DataSourceConfig& ds : config_.sources) {
-    sources_.push_back(std::make_unique<DataSource>(ds));
+    sources_.push_back(std::make_shared<DataSource>(ds));
+  }
+  if (const std::size_t width = resolve_poll_threads(config_); width > 1) {
+    pool_ = std::make_unique<PollPool>(width);
   }
 }
 
@@ -34,92 +49,121 @@ QueryContext Gmetad::context() {
 // ----------------------------------------------------------------- polling
 
 std::vector<Gmetad::PollResult> Gmetad::poll_once() {
-  ScopedCpuMeter meter(cpu_meter_);
   const std::int64_t now = clock_.now_seconds();
-  std::vector<PollResult> results;
+  prune_expired_children(now);
 
-  // Prune dynamic children whose joins lapsed.
+  const auto to_poll = snapshot_sources();
+  std::vector<PollResult> results(to_poll.size());
+  if (pool_ && to_poll.size() > 1) {
+    // Fan the round out; each worker writes its own slot (disjoint
+    // indices), so results need no lock and stay in source order.
+    std::latch done(static_cast<std::ptrdiff_t>(to_poll.size()));
+    for (std::size_t i = 0; i < to_poll.size(); ++i) {
+      pool_->submit([this, &results, &done, source = to_poll[i], now, i] {
+        results[i] = poll_source(*source, now);
+        done.count_down();
+      });
+    }
+    done.wait();
+  } else {
+    for (std::size_t i = 0; i < to_poll.size(); ++i) {
+      results[i] = poll_source(*to_poll[i], now);
+    }
+  }
+
+  finish_round(now);
+  return results;
+}
+
+Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
+  PollResult result;
+  result.source = source.name();
+  // The fetch is wait, not work: metering starts once bytes are in hand.
+  // (Over the in-memory fabric the child produces its dump inside our
+  // read() and charges its *own* meter for it.)
+  auto body = source.fetch(transport_,
+                           config_.connect_timeout_s * kMicrosPerSecond, now);
+  ScopedCpuMeter meter(cpu_meter_);
+  if (!body.ok()) {
+    result.error = body.error().to_string();
+    // Keep serving the previous data, marked unreachable; RRD heartbeats
+    // lapse on their own, writing the forensic unknown records.
+    store_.publish(SourceSnapshot::unreachable_from(
+        store_.get(source.name()), source.name(), now));
+    return result;
+  }
+  result.bytes = body->size();
+  bytes_polled_.fetch_add(body->size(), std::memory_order_relaxed);
+
+  auto report = parse_report(*body);
+  if (!report.ok()) {
+    result.error = report.error().to_string();
+    store_.publish(SourceSnapshot::unreachable_from(
+        store_.get(source.name()), source.name(), now));
+    return result;
+  }
+
+  // "Gmeta only keeps numerical summaries of data from clusters it is
+  // not an authority on": in N-level mode remote grids are reduced to
+  // summary form before they ever enter the store, shrinking state and
+  // archive load alike.  (The 1-level design keeps everything — that is
+  // precisely its scalability defect.)
+  if (config_.mode == Mode::n_level) {
+    for (Grid& grid : report->grids) {
+      if (!grid.is_summary_form()) {
+        grid.summary = grid.summarize();
+        grid.clusters.clear();
+        grid.grids.clear();
+      }
+    }
+  }
+
+  // The 1-level design performs no summarisation during polling (the
+  // frontend computed its own); N-level summarises eagerly here, on the
+  // summarisation time scale.
+  auto snapshot = std::make_shared<SourceSnapshot>(
+      source.name(), std::move(*report), now,
+      /*eager_summary=*/config_.mode == Mode::n_level);
+  if (config_.archive_enabled) archive_snapshot(*snapshot);
+  // One atomic swap: queries never see a half-parsed source.
+  store_.publish(std::move(snapshot));
+  result.ok = true;
+  return result;
+}
+
+void Gmetad::prune_expired_children(std::int64_t now) {
   for (const JoinRegistry::Child& expired : joins_.prune(now)) {
     GLOG(info, "gmetad") << config_.grid_name << ": pruning silent child '"
                          << expired.request.name << "'";
-    std::lock_guard lock(sources_mutex_);
-    std::erase_if(sources_, [&](const std::unique_ptr<DataSource>& ds) {
-      return ds->name() == expired.request.name;
-    });
+    {
+      std::lock_guard lock(sources_mutex_);
+      std::erase_if(sources_, [&](const std::shared_ptr<DataSource>& ds) {
+        return ds->name() == expired.request.name;
+      });
+    }
+    {
+      std::lock_guard lock(schedule_mutex_);
+      schedule_.erase(expired.request.name);
+    }
     store_.remove(expired.request.name);
   }
+}
 
-  std::vector<DataSource*> to_poll;
-  {
-    std::lock_guard lock(sources_mutex_);
-    to_poll.reserve(sources_.size());
-    for (const auto& ds : sources_) to_poll.push_back(ds.get());
-  }
-
-  for (DataSource* source : to_poll) {
-    PollResult result;
-    result.source = source->name();
-    auto body = source->fetch(transport_,
-                              config_.connect_timeout_s * kMicrosPerSecond, now);
-    if (!body.ok()) {
-      result.error = body.error().to_string();
-      // Keep serving the previous data, marked unreachable; RRD heartbeats
-      // lapse on their own, writing the forensic unknown records.
-      store_.publish(SourceSnapshot::unreachable_from(
-          store_.get(source->name()), source->name(), now));
-      results.push_back(std::move(result));
-      continue;
-    }
-    result.bytes = body->size();
-    bytes_polled_ += body->size();
-
-    auto report = parse_report(*body);
-    if (!report.ok()) {
-      result.error = report.error().to_string();
-      store_.publish(SourceSnapshot::unreachable_from(
-          store_.get(source->name()), source->name(), now));
-      results.push_back(std::move(result));
-      continue;
-    }
-
-    // "Gmeta only keeps numerical summaries of data from clusters it is
-    // not an authority on": in N-level mode remote grids are reduced to
-    // summary form before they ever enter the store, shrinking state and
-    // archive load alike.  (The 1-level design keeps everything — that is
-    // precisely its scalability defect.)
-    if (config_.mode == Mode::n_level) {
-      for (Grid& grid : report->grids) {
-        if (!grid.is_summary_form()) {
-          grid.summary = grid.summarize();
-          grid.clusters.clear();
-          grid.grids.clear();
-        }
-      }
-    }
-
-    // The 1-level design performs no summarisation during polling (the
-    // frontend computed its own); N-level summarises eagerly here, on the
-    // summarisation time scale.
-    auto snapshot = std::make_shared<SourceSnapshot>(
-        source->name(), std::move(*report), now,
-        /*eager_summary=*/config_.mode == Mode::n_level);
-    if (config_.archive_enabled) archive_snapshot(*snapshot);
-    // One atomic swap: queries never see a half-parsed source.
-    store_.publish(std::move(snapshot));
-    result.ok = true;
-    results.push_back(std::move(result));
-  }
-
+void Gmetad::finish_round(std::int64_t now) {
   // Root-of-this-node summary archive (the grid's own history).  Part of
   // the N-level design's summarisation work; 2.5.1 had no equivalent.
   if (config_.archive_enabled && config_.mode == Mode::n_level) {
+    ScopedCpuMeter meter(cpu_meter_);
     SummaryInfo total;
     for (const auto& snapshot : store_.all()) total.merge(snapshot->summary());
     archiver_.record_summary(config_.grid_name, total, now);
   }
-
   if (post_poll_hook_) post_poll_hook_(now);
-  return results;
+}
+
+std::vector<std::shared_ptr<DataSource>> Gmetad::snapshot_sources() const {
+  std::lock_guard lock(sources_mutex_);
+  return sources_;
 }
 
 void Gmetad::archive_snapshot(const SourceSnapshot& snapshot) {
@@ -185,7 +229,7 @@ Result<std::string> Gmetad::handle_join_line(std::string_view line) {
     ds.name = request->name;
     ds.addresses = {request->address};
     std::lock_guard lock(sources_mutex_);
-    sources_.push_back(std::make_unique<DataSource>(std::move(ds)));
+    sources_.push_back(std::make_shared<DataSource>(std::move(ds)));
   }
   return std::string("OK\n");
 }
@@ -382,27 +426,63 @@ Status Gmetad::start() {
   threads_.emplace_back(accept_loop, xml_listener_.get(), false);
   threads_.emplace_back(accept_loop, interactive_listener_.get(), true);
 
-  // Poller thread: fixed cadence from the minimum source interval.
+  // Poller thread: 100 ms due-time ticks.  Each source carries its own
+  // next-due timestamp, so mixed poll_interval_s settings are honoured
+  // individually instead of everything polling at the global minimum.
   threads_.emplace_back([this](std::stop_token token) {
-    std::int64_t interval_s = 15;
-    {
-      std::lock_guard lock(sources_mutex_);
-      for (const auto& ds : sources_) {
-        interval_s = std::min(interval_s, ds->poll_interval_s());
-      }
-    }
     while (!token.stop_requested() && running_.load()) {
-      poll_once();
-      for (std::int64_t waited = 0;
-           waited < interval_s * 10 && running_.load(); ++waited) {
-        clock_.sleep_us(kMicrosPerSecond / 10);
-      }
+      tick_scheduler();
+      clock_.sleep_us(kMicrosPerSecond / 10);
     }
   });
   GLOG(info, "gmetad") << config_.grid_name << ": serving dump on "
                        << xml_address() << ", queries on "
                        << interactive_address();
   return {};
+}
+
+void Gmetad::tick_scheduler() {
+  const std::int64_t now = clock_.now_seconds();
+  prune_expired_children(now);
+
+  const auto sources = snapshot_sources();
+  std::vector<std::shared_ptr<DataSource>> due;
+  {
+    std::lock_guard lock(schedule_mutex_);
+    for (const auto& source : sources) {
+      SourceSchedule& entry = schedule_[source->name()];
+      if (entry.in_flight || now < entry.next_due_s) continue;
+      entry.in_flight = true;
+      due.push_back(source);
+    }
+  }
+
+  for (const auto& source : due) {
+    auto task = [this, source] {
+      const std::int64_t start_s = clock_.now_seconds();
+      poll_source(*source, start_s);
+      {
+        std::lock_guard lock(schedule_mutex_);
+        // find(), not operator[]: a prune may have erased this entry
+        // while the poll was in flight, and it must stay erased.
+        if (const auto it = schedule_.find(source->name());
+            it != schedule_.end()) {
+          it->second.in_flight = false;
+          it->second.next_due_s = start_s + source->poll_interval_s();
+        }
+      }
+      summary_dirty_.store(true, std::memory_order_relaxed);
+    };
+    if (pool_) {
+      pool_->submit(std::move(task));
+    } else {
+      task();
+    }
+  }
+
+  // Fold completed polls into the root summary (and fire the alarm hook)
+  // at most once per tick, rather than once per source.
+  if (summary_dirty_.exchange(false)) finish_round(now);
 }
 
 void Gmetad::stop() {

@@ -13,13 +13,28 @@
 //  * as a daemon — start()/stop() spin poller and server threads over any
 //    transport (the examples run real TCP on loopback).
 //
-// Every unit of processing (polling, parsing, summarising, archiving, and
-// serving queries — including dump requests made *by a parent*) is charged
-// to this node's CpuMeter, reproducing the per-gmeta %CPU measurements of
-// the paper's figures 5 and 6.
+// Polling is a concurrent pipeline: a fixed PollPool (poll_threads wide)
+// overlaps the blocking wide-area fetches, so a round's wall clock tracks
+// the slowest source instead of the sum of all RTTs.  poll_once() fans a
+// whole round out and waits on a latch; the daemon runs a due-time
+// scheduler that dispatches each source when its own poll_interval_s
+// elapses (never two in-flight polls of the same source).  Shared state is
+// safe under that concurrency: the store publishes by atomic swap, the
+// archiver is hash-sharded, the join registry locks internally, and the
+// per-source health fields are atomics.
+//
+// Every unit of processing (parsing, summarising, archiving, and serving
+// queries — including dump requests made *by a parent*) is charged to this
+// node's CpuMeter, reproducing the per-gmeta %CPU measurements of the
+// paper's figures 5 and 6.  Fetch wait time is not charged: it is network
+// latency, and over the in-memory fabric the child being polled charges
+// its own meter for producing the dump.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -30,6 +45,7 @@
 #include "gmetad/config.hpp"
 #include "gmetad/data_source.hpp"
 #include "gmetad/join.hpp"
+#include "gmetad/poll_pool.hpp"
 #include "gmetad/query.hpp"
 #include "gmetad/store.hpp"
 #include "net/transport.hpp"
@@ -53,9 +69,15 @@ class Gmetad {
     std::string error;
   };
 
-  /// Poll every data source once (fetch, parse, summarise, archive).
-  /// Dynamic children that stopped joining are pruned first.
+  /// Poll every data source once (fetch, parse, summarise, archive),
+  /// overlapping sources across the poll pool.  Blocks until the whole
+  /// round has completed; results are in source order regardless of which
+  /// worker finished first.  Dynamic children that stopped joining are
+  /// pruned first.
   std::vector<PollResult> poll_once();
+
+  /// Width of the poll pipeline (resolved from config.poll_threads).
+  std::size_t poll_threads() const noexcept { return pool_ ? pool_->size() : 1; }
 
   // -- reporting / queries --------------------------------------------------
 
@@ -112,7 +134,9 @@ class Gmetad {
   std::vector<const DataSource*> sources() const;
 
   /// Total bytes downloaded from sources since construction.
-  std::uint64_t bytes_polled() const noexcept { return bytes_polled_; }
+  std::uint64_t bytes_polled() const noexcept {
+    return bytes_polled_.load(std::memory_order_relaxed);
+  }
 
   /// Hook invoked at the end of every poll round with the round's
   /// timestamp — the attachment point for the alarm engine (src/alarm
@@ -129,6 +153,17 @@ class Gmetad {
   bool peer_trusted(const std::string& peer) const;
   Result<std::string> handle_join_line(std::string_view line);
 
+  /// One source's fetch→parse→summarise→archive→publish chain.  Runs on a
+  /// pool worker; never called twice concurrently for the same source.
+  PollResult poll_source(DataSource& source, std::int64_t now);
+  /// Drop dynamic children whose joins lapsed (sources, schedule, store).
+  void prune_expired_children(std::int64_t now);
+  /// Round epilogue: root summary archive + post-poll hook.
+  void finish_round(std::int64_t now);
+  /// Daemon due-time scheduler: dispatch every due, not-in-flight source.
+  void tick_scheduler();
+  std::vector<std::shared_ptr<DataSource>> snapshot_sources() const;
+
   GmetadConfig config_;
   net::Transport& transport_;
   Clock& clock_;
@@ -137,17 +172,33 @@ class Gmetad {
   QueryEngine engine_;
   JoinRegistry joins_;
   CpuMeter cpu_meter_;
-  std::uint64_t bytes_polled_ = 0;
+  std::atomic<std::uint64_t> bytes_polled_{0};
   std::function<void(std::int64_t)> post_poll_hook_;
 
   mutable std::mutex sources_mutex_;
-  std::vector<std::unique_ptr<DataSource>> sources_;
+  /// Workers hold shared_ptr copies, so a concurrent prune can drop a
+  /// source from this vector without yanking it out from under a poll.
+  std::vector<std::shared_ptr<DataSource>> sources_;
+
+  /// Daemon due-time schedule, one entry per live source.
+  struct SourceSchedule {
+    std::int64_t next_due_s = 0;  ///< 0 = due immediately
+    bool in_flight = false;
+  };
+  std::mutex schedule_mutex_;
+  std::map<std::string, SourceSchedule> schedule_;
+  /// Set by every completed poll; the next tick folds the root summary.
+  std::atomic<bool> summary_dirty_{false};
 
   // Daemon mode.
   std::atomic<bool> running_{false};
   std::unique_ptr<net::Listener> xml_listener_;
   std::unique_ptr<net::Listener> interactive_listener_;
   std::vector<std::jthread> threads_;
+
+  /// Declared last: destroyed first, joining any in-flight poll tasks
+  /// before the members they reference go away.
+  std::unique_ptr<PollPool> pool_;
 };
 
 }  // namespace ganglia::gmetad

@@ -60,6 +60,7 @@ Result<JoinRequest> parse_join_line(std::string_view line,
 }
 
 bool JoinRegistry::refresh(const JoinRequest& request, std::int64_t now) {
+  std::lock_guard lock(mutex_);
   auto [it, inserted] = children_.try_emplace(request.name);
   it->second.request = request;
   it->second.last_join_s = now;
@@ -67,6 +68,7 @@ bool JoinRegistry::refresh(const JoinRequest& request, std::int64_t now) {
 }
 
 std::vector<JoinRegistry::Child> JoinRegistry::prune(std::int64_t now) {
+  std::lock_guard lock(mutex_);
   std::vector<Child> expired;
   for (auto it = children_.begin(); it != children_.end();) {
     if (now - it->second.last_join_s > expiry_s_) {
@@ -80,6 +82,7 @@ std::vector<JoinRegistry::Child> JoinRegistry::prune(std::int64_t now) {
 }
 
 std::vector<JoinRegistry::Child> JoinRegistry::children() const {
+  std::lock_guard lock(mutex_);
   std::vector<Child> out;
   out.reserve(children_.size());
   for (const auto& [name, child] : children_) {

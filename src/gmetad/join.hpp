@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,7 +49,9 @@ std::string format_join_line(const JoinRequest& request, std::string_view key);
 /// the key is empty (joins disabled).
 Result<JoinRequest> parse_join_line(std::string_view line, std::string_view key);
 
-/// Parent-side registry of dynamically joined children.
+/// Parent-side registry of dynamically joined children.  Internally
+/// synchronised: refresh() arrives on server threads while prune() runs on
+/// the poll scheduler, so every member takes the registry mutex.
 class JoinRegistry {
  public:
   explicit JoinRegistry(std::int64_t expiry_s) : expiry_s_(expiry_s) {}
@@ -67,10 +70,14 @@ class JoinRegistry {
   std::vector<Child> prune(std::int64_t now);
 
   std::vector<Child> children() const;
-  std::size_t size() const noexcept { return children_.size(); }
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return children_.size();
+  }
 
  private:
   std::int64_t expiry_s_;
+  mutable std::mutex mutex_;
   std::map<std::string, Child> children_;
 };
 

@@ -1,0 +1,52 @@
+// Fixed worker pool for the concurrent poll pipeline.
+//
+// Wide-area polling is latency-bound: a round's wall-clock cost is the sum
+// of every source's RTT when fetches run back-to-back, but only the *max*
+// RTT when they overlap.  The pool holds N long-lived workers fed from a
+// single queue; the poll scheduler submits one task per due source and the
+// workers overlap the blocking fetches (and the parse/summarise/archive
+// work that follows each one).
+//
+// The pool is deliberately minimal: no futures, no task results — callers
+// coordinate completion themselves (poll_once uses a std::latch; the
+// daemon's due-time scheduler uses per-source in-flight flags).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ganglia::gmetad {
+
+class PollPool {
+ public:
+  /// Spawns `threads` workers immediately (at least 1).
+  explicit PollPool(std::size_t threads);
+
+  /// Drains nothing: pending tasks are abandoned, running tasks are
+  /// joined.  Callers that need completion must wait before destruction.
+  ~PollPool();
+
+  PollPool(const PollPool&) = delete;
+  PollPool& operator=(const PollPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for the next free worker.  Safe from any thread.
+  void submit(std::function<void()> task);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ganglia::gmetad

@@ -1,8 +1,11 @@
 #include "xml/ganglia.hpp"
 
+#include <charconv>
 #include <cmath>
+#include <optional>
 
 #include "common/strings.hpp"
+#include "xml/intern.hpp"
 #include "xml/sax.hpp"
 #include "xml/writer.hpp"
 
@@ -277,81 +280,87 @@ std::string write_report(const Report& report, const WriteOptions& opts) {
 
 namespace {
 
-std::uint32_t attr_u32(const xml::AttrList& attrs, std::string_view name,
-                       std::uint32_t fallback = 0) {
-  auto v = parse_u64(attrs.get(name));
-  return v ? static_cast<std::uint32_t>(*v) : fallback;
+// -- fast attribute numerics ------------------------------------------------
+//
+// Attribute values arrive as exact string_views into the document, so the
+// common case parses with a single std::from_chars call and no trimming
+// pass.  Anything from_chars cannot fully consume (stray whitespace, an
+// out-of-range digit string) retries through the tolerant trimming parser,
+// preserving the old fallback semantics bit-for-bit.
+
+std::uint32_t fast_u32(std::string_view s, std::uint32_t fallback) noexcept {
+  std::uint32_t v = 0;
+  const char* last = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(s.data(), last, v);
+  if (ec == std::errc() && p == last) return v;
+  const auto parsed = parse_u64(s);
+  return parsed ? static_cast<std::uint32_t>(*parsed) : fallback;
 }
 
-std::int64_t attr_i64(const xml::AttrList& attrs, std::string_view name,
-                      std::int64_t fallback = 0) {
-  auto v = parse_i64(attrs.get(name));
-  return v.value_or(fallback);
+std::int64_t fast_i64(std::string_view s, std::int64_t fallback) noexcept {
+  std::int64_t v = 0;
+  const char* last = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(s.data(), last, v);
+  if (ec == std::errc() && p == last) return v;
+  return parse_i64(s).value_or(fallback);
 }
 
 /// Builds a Report from SAX events.  GRID elements nest; CLUSTER elements
 /// appear under GANGLIA_XML (gmond reports) or under GRID (gmetad reports).
+///
+/// Attribute handling is a single pass per element: one loop over the
+/// AttrList dispatching on the attribute's first character, instead of one
+/// O(n) AttrList::get scan per wanted attribute (a METRIC wants nine of
+/// them).  Repeated strings — metric names, units, sources — go through a
+/// StringInterner so each distinct value is materialised once.
 class ReportBuilder final : public xml::SaxHandler {
  public:
   void on_start_element(std::string_view name,
                         const xml::AttrList& attrs) override {
     if (!error_.empty()) return;
-    if (name == "GANGLIA_XML") {
-      if (depth_ != 0) return set_error("GANGLIA_XML must be the root element");
-      report_.version = std::string(attrs.get("VERSION"));
-      report_.source = std::string(attrs.get("SOURCE"));
-      in_report_ = true;
-    } else if (name == "GRID") {
-      if (!in_report_ || cluster_ != nullptr)
-        return set_error("GRID in invalid position");
-      Grid grid;
-      grid.name = std::string(attrs.get("NAME"));
-      grid.authority = std::string(attrs.get("AUTHORITY"));
-      grid.localtime = attr_i64(attrs, "LOCALTIME");
-      if (grid.name.empty()) return set_error("GRID missing NAME");
-      auto& siblings =
-          grid_stack_.empty() ? report_.grids : grid_stack_.back()->grids;
-      siblings.push_back(std::move(grid));
-      grid_stack_.push_back(&siblings.back());
-    } else if (name == "CLUSTER") {
-      if (!in_report_ || cluster_ != nullptr)
-        return set_error("CLUSTER in invalid position");
-      Cluster cluster;
-      cluster.name = std::string(attrs.get("NAME"));
-      cluster.owner = std::string(attrs.get("OWNER"));
-      cluster.latlong = std::string(attrs.get("LATLONG"));
-      cluster.url = std::string(attrs.get("URL"));
-      cluster.localtime = attr_i64(attrs, "LOCALTIME");
-      if (cluster.name.empty()) return set_error("CLUSTER missing NAME");
-      auto& siblings = grid_stack_.empty() ? report_.clusters
-                                           : grid_stack_.back()->clusters;
-      siblings.push_back(std::move(cluster));
-      cluster_ = &siblings.back();
-    } else if (name == "HOST") {
-      if (cluster_ == nullptr) return set_error("HOST outside CLUSTER");
-      Host host;
-      host.name = std::string(attrs.get("NAME"));
-      if (host.name.empty()) return set_error("HOST missing NAME");
-      host.ip = std::string(attrs.get("IP"));
-      host.reported = attr_i64(attrs, "REPORTED");
-      host.tn = attr_u32(attrs, "TN");
-      host.tmax = attr_u32(attrs, "TMAX", 20);
-      host.dmax = attr_u32(attrs, "DMAX");
-      host.location = std::string(attrs.get("LOCATION"));
-      host.gmond_started = attr_i64(attrs, "GMOND_STARTED");
-      std::string key = host.name;
-      auto [it, inserted] =
-          cluster_->hosts.insert_or_assign(std::move(key), std::move(host));
-      (void)inserted;  // duplicate HOST: last report wins
-      host_ = &it->second;
-    } else if (name == "METRIC") {
+    // Hot path first: a 128-host report is ~30 METRICs per HOST.
+    if (name == "METRIC") {
       if (host_ == nullptr) return set_error("METRIC outside HOST");
       Metric m;
-      m.name = std::string(attrs.get("NAME"));
+      std::string_view type_name = "string";
+      std::string_view slope = "both";
+      m.tmax = 60;
+      for (const xml::Attr& a : attrs) {
+        switch (a.name[0]) {
+          case 'N':
+            if (a.name == "NAME") m.name = interner_.intern(a.value);
+            break;
+          case 'V':
+            if (a.name == "VAL") m.value.assign(a.value);
+            break;
+          case 'T':
+            if (a.name.size() == 2 && a.name[1] == 'N') {
+              m.tn = fast_u32(a.value, 0);
+            } else if (a.name == "TYPE") {
+              type_name = a.value;
+            } else if (a.name == "TMAX") {
+              m.tmax = fast_u32(a.value, 60);
+            }
+            break;
+          case 'U':
+            if (a.name == "UNITS") m.units = interner_.intern(a.value);
+            break;
+          case 'D':
+            if (a.name == "DMAX") m.dmax = fast_u32(a.value, 0);
+            break;
+          case 'S':
+            if (a.name == "SLOPE") {
+              slope = a.value;
+            } else if (a.name == "SOURCE") {
+              m.source = interner_.intern(a.value);
+            }
+            break;
+          default:
+            break;
+        }
+      }
       if (m.name.empty()) return set_error("METRIC missing NAME");
-      m.value = std::string(attrs.get("VAL"));
-      m.type = metric_type_from_name(attrs.get("TYPE", "string"))
-                   .value_or(MetricType::string_t);
+      m.type = metric_type_from_name(type_name).value_or(MetricType::string_t);
       if (m.is_numeric()) {
         auto num = parse_double(m.value);
         if (!num)
@@ -359,34 +368,152 @@ class ReportBuilder final : public xml::SaxHandler {
                            "' for numeric metric " + m.name);
         m.numeric = *num;
       }
-      m.units = std::string(attrs.get("UNITS"));
-      m.tn = attr_u32(attrs, "TN");
-      m.tmax = attr_u32(attrs, "TMAX", 60);
-      m.dmax = attr_u32(attrs, "DMAX");
-      m.slope = slope_from_name(attrs.get("SLOPE", "both")).value_or(Slope::both);
-      m.source = std::string(attrs.get("SOURCE"));
+      m.slope = slope_from_name(slope).value_or(Slope::both);
       host_->metrics.push_back(std::move(m));
-    } else if (name == "HOSTS") {
-      SummaryInfo* summary = current_summary();
-      if (summary == nullptr) return set_error("HOSTS outside GRID/CLUSTER");
-      summary->hosts_up = attr_u32(attrs, "UP");
-      summary->hosts_down = attr_u32(attrs, "DOWN");
+    } else if (name == "HOST") {
+      if (cluster_ == nullptr) return set_error("HOST outside CLUSTER");
+      Host host;
+      host.tmax = 20;
+      for (const xml::Attr& a : attrs) {
+        switch (a.name[0]) {
+          case 'N':
+            if (a.name == "NAME") host.name.assign(a.value);
+            break;
+          case 'I':
+            if (a.name == "IP") host.ip.assign(a.value);
+            break;
+          case 'R':
+            if (a.name == "REPORTED") host.reported = fast_i64(a.value, 0);
+            break;
+          case 'T':
+            if (a.name.size() == 2 && a.name[1] == 'N') {
+              host.tn = fast_u32(a.value, 0);
+            } else if (a.name == "TMAX") {
+              host.tmax = fast_u32(a.value, 20);
+            }
+            break;
+          case 'D':
+            if (a.name == "DMAX") host.dmax = fast_u32(a.value, 0);
+            break;
+          case 'L':
+            if (a.name == "LOCATION") host.location.assign(a.value);
+            break;
+          case 'G':
+            if (a.name == "GMOND_STARTED")
+              host.gmond_started = fast_i64(a.value, 0);
+            break;
+          default:
+            break;
+        }
+      }
+      if (host.name.empty()) return set_error("HOST missing NAME");
+      std::string key = host.name;
+      auto [it, inserted] =
+          cluster_->hosts.insert_or_assign(std::move(key), std::move(host));
+      (void)inserted;  // duplicate HOST: last report wins
+      host_ = &it->second;
     } else if (name == "METRICS") {
       SummaryInfo* summary = current_summary();
       if (summary == nullptr) return set_error("METRICS outside GRID/CLUSTER");
-      const std::string metric_name(attrs.get("NAME"));
-      if (metric_name.empty()) return set_error("METRICS missing NAME");
-      auto sum = parse_double(attrs.get("SUM"));
-      auto num = parse_u64(attrs.get("NUM"));
-      if (!sum || !num)
-        return set_error("METRICS " + metric_name + " has malformed SUM/NUM");
+      std::string_view metric_name;
+      std::string_view type_name = "double";
+      std::optional<double> sum;
+      std::optional<std::uint64_t> num;
       MetricSummary ms;
+      for (const xml::Attr& a : attrs) {
+        switch (a.name[0]) {
+          case 'N':
+            if (a.name == "NAME") {
+              metric_name = a.value;
+            } else if (a.name == "NUM") {
+              num = parse_u64(a.value);
+            }
+            break;
+          case 'S':
+            if (a.name == "SUM") sum = parse_double(a.value);
+            break;
+          case 'T':
+            if (a.name == "TYPE") type_name = a.value;
+            break;
+          case 'U':
+            if (a.name == "UNITS") ms.units = interner_.intern(a.value);
+            break;
+          default:
+            break;
+        }
+      }
+      if (metric_name.empty()) return set_error("METRICS missing NAME");
+      if (!sum || !num)
+        return set_error("METRICS " + std::string(metric_name) +
+                         " has malformed SUM/NUM");
       ms.sum = *sum;
       ms.num = *num;
-      ms.type = metric_type_from_name(attrs.get("TYPE", "double"))
-                    .value_or(MetricType::double_t);
-      ms.units = std::string(attrs.get("UNITS"));
-      summary->metrics[metric_name] = std::move(ms);
+      ms.type = metric_type_from_name(type_name).value_or(MetricType::double_t);
+      summary->metrics[interner_.intern(metric_name)] = std::move(ms);
+    } else if (name == "HOSTS") {
+      SummaryInfo* summary = current_summary();
+      if (summary == nullptr) return set_error("HOSTS outside GRID/CLUSTER");
+      for (const xml::Attr& a : attrs) {
+        if (a.name == "UP") {
+          summary->hosts_up = fast_u32(a.value, 0);
+        } else if (a.name == "DOWN") {
+          summary->hosts_down = fast_u32(a.value, 0);
+        }
+      }
+    } else if (name == "CLUSTER") {
+      if (!in_report_ || cluster_ != nullptr)
+        return set_error("CLUSTER in invalid position");
+      Cluster cluster;
+      for (const xml::Attr& a : attrs) {
+        switch (a.name[0]) {
+          case 'N':
+            if (a.name == "NAME") cluster.name.assign(a.value);
+            break;
+          case 'O':
+            if (a.name == "OWNER") cluster.owner.assign(a.value);
+            break;
+          case 'L':
+            if (a.name == "LATLONG") {
+              cluster.latlong.assign(a.value);
+            } else if (a.name == "LOCALTIME") {
+              cluster.localtime = fast_i64(a.value, 0);
+            }
+            break;
+          case 'U':
+            if (a.name == "URL") cluster.url.assign(a.value);
+            break;
+          default:
+            break;
+        }
+      }
+      if (cluster.name.empty()) return set_error("CLUSTER missing NAME");
+      auto& siblings = grid_stack_.empty() ? report_.clusters
+                                           : grid_stack_.back()->clusters;
+      siblings.push_back(std::move(cluster));
+      cluster_ = &siblings.back();
+    } else if (name == "GRID") {
+      if (!in_report_ || cluster_ != nullptr)
+        return set_error("GRID in invalid position");
+      Grid grid;
+      for (const xml::Attr& a : attrs) {
+        if (a.name == "NAME") {
+          grid.name.assign(a.value);
+        } else if (a.name == "AUTHORITY") {
+          grid.authority.assign(a.value);
+        } else if (a.name == "LOCALTIME") {
+          grid.localtime = fast_i64(a.value, 0);
+        }
+      }
+      if (grid.name.empty()) return set_error("GRID missing NAME");
+      auto& siblings =
+          grid_stack_.empty() ? report_.grids : grid_stack_.back()->grids;
+      siblings.push_back(std::move(grid));
+      grid_stack_.push_back(&siblings.back());
+    } else if (name == "GANGLIA_XML") {
+      if (depth_ != 0) return set_error("GANGLIA_XML must be the root element");
+      report_.version = std::string(attrs.get("VERSION"));
+      report_.source = std::string(attrs.get("SOURCE"));
+      in_report_ = true;
     }
     // Unknown elements are ignored for forward compatibility.
     ++depth_;
@@ -432,6 +559,7 @@ class ReportBuilder final : public xml::SaxHandler {
   }
 
   Report report_;
+  xml::StringInterner interner_;
   std::vector<Grid*> grid_stack_;
   Cluster* cluster_ = nullptr;
   Host* host_ = nullptr;

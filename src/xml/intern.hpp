@@ -1,0 +1,44 @@
+// String-interning arena for the Ganglia report reader.
+//
+// A cluster report repeats the same handful of strings thousands of times:
+// every host carries the same metric names, TYPE/UNITS/SOURCE values, and
+// slope words.  The interner keeps one canonical std::string per distinct
+// value; repeated occurrences cost a single hash probe (heterogeneous
+// string_view lookup, no temporary allocation) and copies made from the
+// canonical string never re-derive it from the document buffer.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace ganglia::xml {
+
+class StringInterner {
+ public:
+  /// Canonical copy of `s`; stable for the interner's lifetime.
+  const std::string& intern(std::string_view s) {
+    const auto it = set_.find(s);
+    if (it != set_.end()) return *it;
+    return *set_.emplace(s).first;
+  }
+
+  std::size_t size() const noexcept { return set_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_set<std::string, Hash, Eq> set_;
+};
+
+}  // namespace ganglia::xml

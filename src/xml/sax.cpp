@@ -1,6 +1,7 @@
 #include "xml/sax.hpp"
 
-#include <cctype>
+#include <algorithm>
+#include <array>
 
 #include "xml/escape.hpp"
 
@@ -8,16 +9,38 @@ namespace ganglia::xml {
 
 namespace {
 
-bool is_name_start(char c) noexcept {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+// Table-driven character classes: one 256-entry flag table replaces the
+// per-character isalpha/isalnum calls in the scanning loops (which are the
+// parser's hottest instructions).  ASCII-only by construction — the Ganglia
+// dialect's names are ASCII, and std::isalpha in the "C" locale agreed.
+enum : unsigned char {
+  kWs = 1,
+  kNameStart = 2,
+  kNameChar = 4,
+};
+
+constexpr std::array<unsigned char, 256> make_char_table() {
+  std::array<unsigned char, 256> table{};
+  for (int c = 0; c < 256; ++c) {
+    unsigned char flags = 0;
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') flags |= kWs;
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_' || c == ':') flags |= kNameStart | kNameChar;
+    if (digit || c == '-' || c == '.') flags |= kNameChar;
+    table[static_cast<std::size_t>(c)] = flags;
+  }
+  return table;
 }
-bool is_name_char(char c) noexcept {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
-         c == '-' || c == '.';
+
+constexpr std::array<unsigned char, 256> kCharTable = make_char_table();
+
+inline unsigned char char_class(char c) noexcept {
+  return kCharTable[static_cast<unsigned char>(c)];
 }
-bool is_ws(char c) noexcept {
-  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
-}
+inline bool is_name_start(char c) noexcept { return char_class(c) & kNameStart; }
+inline bool is_name_char(char c) noexcept { return char_class(c) & kNameChar; }
+inline bool is_ws(char c) noexcept { return char_class(c) & kWs; }
 
 bool all_ws(std::string_view s) noexcept {
   for (char c : s) {
@@ -32,17 +55,33 @@ void skip_ws(std::string_view doc, std::size_t& i) noexcept {
 
 }  // namespace
 
-Status SaxParser::fail(std::string_view doc, std::size_t pos, std::string msg) const {
-  std::size_t line = 1;
-  std::size_t col = 1;
-  for (std::size_t i = 0; i < pos && i < doc.size(); ++i) {
-    if (doc[i] == '\n') {
-      ++line;
-      col = 1;
-    } else {
-      ++col;
-    }
+Status SaxParser::fail(std::string_view doc, std::size_t pos,
+                       std::string msg) const {
+  // Lazy, memoised line/column: resume the newline count from the last
+  // computed position (reset per parse) instead of rescanning the whole
+  // document on every failure.  The newline scan itself is memchr-backed.
+  pos = std::min(pos, doc.size());
+  if (pos < memo_pos_) {
+    memo_pos_ = 0;
+    memo_line_ = 1;
+    memo_col_ = 1;
   }
+  std::size_t i = memo_pos_;
+  std::size_t line = memo_line_;
+  std::size_t col = memo_col_;
+  for (;;) {
+    const std::size_t nl = doc.find('\n', i);
+    if (nl == std::string_view::npos || nl >= pos) {
+      col += pos - i;
+      break;
+    }
+    ++line;
+    col = 1;
+    i = nl + 1;
+  }
+  memo_pos_ = pos;
+  memo_line_ = line;
+  memo_col_ = col;
   return Err(Errc::parse_error, msg + " at line " + std::to_string(line) +
                                     ", column " + std::to_string(col));
 }
@@ -51,6 +90,9 @@ Status SaxParser::parse(std::string_view doc, SaxHandler& handler) {
   std::size_t i = 0;
   std::vector<std::string_view> open_stack;
   bool seen_root = false;
+  memo_pos_ = 0;
+  memo_line_ = 1;
+  memo_col_ = 1;
 
   auto flush_text = [&](std::size_t start, std::size_t end) -> Status {
     std::string_view raw = doc.substr(start, end - start);
@@ -71,8 +113,9 @@ Status SaxParser::parse(std::string_view doc, SaxHandler& handler) {
   };
 
   while (i < doc.size()) {
+    // memchr-backed skip to the next markup boundary.
     const std::size_t text_start = i;
-    while (i < doc.size() && doc[i] != '<') ++i;
+    i = std::min(doc.find('<', i), doc.size());
     if (Status s = flush_text(text_start, i); !s.ok()) return s;
     if (i >= doc.size()) break;
 
@@ -187,12 +230,16 @@ Status SaxParser::parse(std::string_view doc, SaxHandler& handler) {
         return fail(doc, i, "expected quoted attribute value");
       const char quote = doc[i];
       ++i;
+      // memchr for the closing quote, then reject any '<' before it (the
+      // same malformed input the old per-character scan stopped on).
       const std::size_t value_start = i;
-      while (i < doc.size() && doc[i] != quote && doc[i] != '<') ++i;
-      if (i >= doc.size() || doc[i] != quote)
+      const std::size_t quote_pos = doc.find(quote, value_start);
+      std::string_view raw_value =
+          doc.substr(value_start, std::min(quote_pos, doc.size()) - value_start);
+      if (quote_pos == std::string_view::npos ||
+          raw_value.find('<') != std::string_view::npos)
         return fail(doc, value_start, "unterminated attribute value");
-      std::string_view raw_value = doc.substr(value_start, i - value_start);
-      ++i;  // consume closing quote
+      i = quote_pos + 1;  // consume closing quote
       std::string_view value = raw_value;
       if (needs_unescape(raw_value)) {
         std::string decoded;

@@ -94,6 +94,12 @@ class SaxParser {
 
   AttrList attrs_;
   std::string text_scratch_;
+  // Memoised line/column scan for fail(): successive failures resume the
+  // newline count from the last reported position instead of rescanning
+  // the document from the top.  Reset at the start of every parse().
+  mutable std::size_t memo_pos_ = 0;
+  mutable std::size_t memo_line_ = 1;
+  mutable std::size_t memo_col_ = 1;
 };
 
 }  // namespace ganglia::xml
