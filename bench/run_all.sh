@@ -61,5 +61,7 @@ echo "== http_gateway"
 "$BENCH_DIR/http_gateway" 100 100
 echo "== poll_scalability"
 "$BENCH_DIR/poll_scalability"
+echo "== query_render"
+"$BENCH_DIR/query_render" 50 10 50
 
 echo "all BENCH_*.json written to $(pwd)"

@@ -5,6 +5,7 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "gmetad/render/fragments.hpp"
 #include "xml/writer.hpp"
 
 namespace ganglia::gmetad {
@@ -88,8 +89,10 @@ Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
     result.error = body.error().to_string();
     // Keep serving the previous data, marked unreachable; RRD heartbeats
     // lapse on their own, writing the forensic unknown records.
-    store_.publish(SourceSnapshot::unreachable_from(
-        store_.get(source.name()), source.name(), now));
+    auto stale = SourceSnapshot::unreachable_from(store_.get(source.name()),
+                                                 source.name(), now);
+    render::prime_fragments(*stale, config_.mode);
+    store_.publish(std::move(stale));
     return result;
   }
   result.bytes = body->size();
@@ -98,8 +101,10 @@ Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
   auto report = parse_report(*body);
   if (!report.ok()) {
     result.error = report.error().to_string();
-    store_.publish(SourceSnapshot::unreachable_from(
-        store_.get(source.name()), source.name(), now));
+    auto stale = SourceSnapshot::unreachable_from(store_.get(source.name()),
+                                                 source.name(), now);
+    render::prime_fragments(*stale, config_.mode);
+    store_.publish(std::move(stale));
     return result;
   }
 
@@ -125,6 +130,11 @@ Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
       source.name(), std::move(*report), now,
       /*eager_summary=*/config_.mode == Mode::n_level);
   if (config_.archive_enabled) archive_snapshot(*snapshot);
+  // Materialise the publish-time render fragments here, on the poll worker,
+  // so the query path never pays for a full-tree serialisation (it splices
+  // these bytes instead) — charged to this node's meter like any other
+  // summarisation work.
+  render::prime_fragments(*snapshot, config_.mode);
   // One atomic swap: queries never see a half-parsed source.
   store_.publish(std::move(snapshot));
   result.ok = true;
@@ -216,6 +226,21 @@ std::string Gmetad::dump_xml() {
 Result<std::string> Gmetad::query(std::string_view line) {
   ScopedCpuMeter meter(cpu_meter_);
   return engine_.execute(line, context());
+}
+
+Result<RenderedQuery> Gmetad::query_rendered(std::string_view line,
+                                             render::Format format) {
+  ScopedCpuMeter meter(cpu_meter_);
+  return engine_.execute_rendered(line, context(), format);
+}
+
+render::Deps Gmetad::render_meta(render::Backend& backend) {
+  ScopedCpuMeter meter(cpu_meter_);
+  ParsedQuery meta;
+  meta.summary = true;
+  std::size_t matches = 0;
+  std::string redirect;
+  return engine_.render_with(meta, context(), backend, matches, redirect);
 }
 
 Result<std::string> Gmetad::handle_join_line(std::string_view line) {

@@ -98,6 +98,15 @@ class Gmetad {
   /// Path query only (no JOIN handling).
   Result<std::string> query(std::string_view line);
 
+  /// Path query rendered in the requested format, reporting the store
+  /// versions it read (the HTTP gateway's cache key material).
+  Result<RenderedQuery> query_rendered(std::string_view line,
+                                       render::Format format);
+
+  /// Drive the meta view ("/?filter=summary") through any render backend —
+  /// the presenter's HTML route.  Returns the dependency set.
+  render::Deps render_meta(render::Backend& backend);
+
   /// Service adapters for in-memory transports.  Work done inside them is
   /// charged to *this* node's CPU meter even when a parent's poll thread
   /// runs them.

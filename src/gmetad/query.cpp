@@ -1,7 +1,10 @@
 #include "gmetad/query.hpp"
 
 #include "common/strings.hpp"
-#include "xml/writer.hpp"
+#include "gmetad/render/fragments.hpp"
+#include "gmetad/render/json_backend.hpp"
+#include "gmetad/render/traversal.hpp"
+#include "gmetad/render/xml_backend.hpp"
 
 namespace ganglia::gmetad {
 
@@ -12,6 +15,10 @@ bool QuerySegment::matches(std::string_view name) const {
 
 Result<ParsedQuery> parse_query(std::string_view line) {
   line = trim(line);
+  if (line.size() > kMaxQueryBytes) {
+    return Err(Errc::invalid_argument,
+               "query exceeds " + std::to_string(kMaxQueryBytes) + " bytes");
+  }
   if (line.empty() || line.front() != '/') {
     return Err(Errc::invalid_argument,
                "query must start with '/', got '" + std::string(line) + "'");
@@ -31,10 +38,22 @@ Result<ParsedQuery> parse_query(std::string_view line) {
   }
 
   for (std::string_view raw : split(line, '/', /*skip_empty=*/true)) {
+    if (query.segments.size() >= kMaxQuerySegments) {
+      return Err(Errc::invalid_argument,
+                 "query exceeds " + std::to_string(kMaxQuerySegments) +
+                     " segments");
+    }
     QuerySegment segment;
     if (!raw.empty() && raw.front() == '~') {
       segment.is_regex = true;
       segment.text = std::string(raw.substr(1));
+      if (segment.text.size() > kMaxRegexBytes) {
+        // The cap bounds both std::regex construction (NFA size grows with
+        // the pattern) and ECMAScript backtracking at match time.
+        return Err(Errc::invalid_argument,
+                   "regex exceeds " + std::to_string(kMaxRegexBytes) +
+                       " bytes");
+      }
       try {
         segment.pattern = std::regex(segment.text,
                                      std::regex::ECMAScript | std::regex::optimize);
@@ -52,28 +71,10 @@ Result<ParsedQuery> parse_query(std::string_view line) {
 
 namespace {
 
-/// Write one host wrapped in its cluster's attributes.
-void write_cluster_wrapper_open(xml::XmlWriter& w, const Cluster& cluster) {
-  w.open("CLUSTER");
-  w.attr("NAME", cluster.name);
-  w.attr("LOCALTIME", cluster.localtime);
-  if (!cluster.owner.empty()) w.attr("OWNER", cluster.owner);
-}
-
-void write_host_wrapper_open(xml::XmlWriter& w, const Host& host) {
-  w.open("HOST");
-  w.attr("NAME", host.name);
-  w.attr("IP", host.ip);
-  w.attr("REPORTED", host.reported);
-  w.attr("TN", static_cast<std::uint64_t>(host.tn));
-  w.attr("TMAX", static_cast<std::uint64_t>(host.tmax));
-  w.attr("DMAX", static_cast<std::uint64_t>(host.dmax));
-}
-
+/// Shared state of one query resolution across the document's two passes.
 struct ResolveState {
   const ParsedQuery& query;
-  xml::XmlWriter& writer;
-  Mode mode;
+  render::Backend& backend;
   const SourceSnapshot* snapshot = nullptr;  ///< source being resolved
   std::size_t matches = 0;
   std::string redirect;  ///< authority URL hit below a summary grid
@@ -83,9 +84,7 @@ void resolve_host(ResolveState& state, const Cluster& cluster,
                   const Host& host, std::size_t seg) {
   const auto& segments = state.query.segments;
   if (seg == segments.size()) {
-    write_cluster_wrapper_open(state.writer, cluster);
-    write_host(state.writer, host);
-    state.writer.close();
+    render::walk_host_in_cluster(cluster, host, state.backend);
     ++state.matches;
     return;
   }
@@ -94,11 +93,11 @@ void resolve_host(ResolveState& state, const Cluster& cluster,
   if (seg + 1 != segments.size()) return;
   for (const Metric& metric : host.metrics) {
     if (!segments[seg].matches(metric.name)) continue;
-    write_cluster_wrapper_open(state.writer, cluster);
-    write_host_wrapper_open(state.writer, host);
-    write_metric(state.writer, metric);
-    state.writer.close();
-    state.writer.close();
+    state.backend.begin_cluster(cluster);
+    state.backend.begin_host(host);
+    state.backend.metric(host, metric);
+    state.backend.end_host(host);
+    state.backend.end_cluster(cluster);
     ++state.matches;
   }
 }
@@ -110,12 +109,10 @@ void resolve_cluster(ResolveState& state, const Cluster& cluster,
     if (state.query.summary) {
       // Serve the reduction precomputed on the summarisation time scale:
       // O(m), independent of cluster size.
-      write_cluster_wrapper_open(state.writer, cluster);
-      write_summary_info(state.writer,
-                         state.snapshot->cluster_summary(cluster));
-      state.writer.close();
+      render::walk_cluster_summary(
+          cluster, state.snapshot->cluster_summary(cluster), state.backend);
     } else {
-      write_cluster(state.writer, cluster);
+      render::walk_cluster(cluster, state.backend);
     }
     ++state.matches;
     return;
@@ -134,14 +131,9 @@ void resolve_grid(ResolveState& state, const Grid& grid, std::size_t seg) {
   const auto& segments = state.query.segments;
   if (seg == segments.size()) {
     if (state.query.summary || grid.is_summary_form()) {
-      state.writer.open("GRID");
-      state.writer.attr("NAME", grid.name);
-      state.writer.attr("AUTHORITY", grid.authority);
-      state.writer.attr("LOCALTIME", grid.localtime);
-      write_summary_info(state.writer, grid.summarize());
-      state.writer.close();
+      render::walk_grid_summary(grid, grid.summarize(), state.backend);
     } else {
-      write_grid(state.writer, grid);
+      render::walk_grid(grid, state.backend);
     }
     ++state.matches;
     return;
@@ -152,10 +144,7 @@ void resolve_grid(ResolveState& state, const Grid& grid, std::size_t seg) {
     if (state.redirect.empty()) state.redirect = grid.authority;
     return;
   }
-  state.writer.open("GRID");
-  state.writer.attr("NAME", grid.name);
-  state.writer.attr("AUTHORITY", grid.authority);
-  state.writer.attr("LOCALTIME", grid.localtime);
+  state.backend.begin_grid(grid);
   for (const Cluster& cluster : grid.clusters) {
     if (segments[seg].matches(cluster.name)) {
       resolve_cluster(state, cluster, seg + 1);
@@ -166,107 +155,166 @@ void resolve_grid(ResolveState& state, const Grid& grid, std::size_t seg) {
       resolve_grid(state, child, seg + 1);
     }
   }
-  state.writer.close();
+  state.backend.end_grid(grid);
 }
 
-/// Write a full source per mode (the no-further-segments case).
-void write_source_full(xml::XmlWriter& w, const SourceSnapshot& snapshot,
-                       Mode mode, bool summary_only) {
-  for (const Cluster& cluster : snapshot.clusters()) {
-    if (summary_only) {
-      write_cluster_wrapper_open(w, cluster);
-      write_summary_info(w, snapshot.cluster_summary(cluster));
-      w.close();
-    } else {
-      write_cluster(w, cluster);
-    }
-  }
-  for (const Grid& grid : snapshot.grids()) {
-    if (mode == Mode::n_level || summary_only || grid.is_summary_form()) {
-      w.open("GRID");
-      w.attr("NAME", grid.name);
-      w.attr("AUTHORITY", grid.authority);
-      w.attr("LOCALTIME", grid.localtime);
-      write_summary_info(w, grid.summarize());
-      w.close();
-    } else {
-      write_grid(w, grid);  // 1-level: forward the union, full detail
-    }
-  }
+render::SourceInfo source_info(const SourceSnapshot& snapshot) {
+  return render::SourceInfo{snapshot.name(), snapshot.is_grid(),
+                            snapshot.reachable()};
 }
 
 }  // namespace
 
-std::string QueryEngine::render(const ParsedQuery& query,
-                                const QueryContext& ctx, std::size_t& matches,
-                                std::string& redirect) const {
-  std::string out;
-  xml::XmlWriter w(out);
-  w.declaration();
-  w.open("GANGLIA_XML");
-  w.attr("VERSION", ctx.version);
-  w.attr("SOURCE", "gmetad");
-  w.open("GRID");
-  w.attr("NAME", ctx.grid_name);
-  w.attr("AUTHORITY", ctx.authority);
-  w.attr("LOCALTIME", ctx.now);
+render::Deps QueryEngine::render_document(const ParsedQuery& query,
+                                          const QueryContext& ctx,
+                                          render::Backend& backend,
+                                          const render::Format* splice_format,
+                                          std::size_t& matches,
+                                          std::string& redirect) const {
+  // The dependency set mirrors what the walk below reads: a literal first
+  // segment touches exactly one source; everything else (whole tree, meta
+  // view, regex) reads all sources *and* depends on the set's membership.
+  render::Deps deps;
+  std::uint64_t structure_version = 0;
+  auto sources = store_.all_versioned(&structure_version);
+  const bool whole_set =
+      query.segments.empty() || query.segments.front().is_regex;
+  if (whole_set) {
+    deps.structure = true;
+    deps.structure_version = structure_version;
+    deps.sources.reserve(sources.size());
+    for (const auto& vs : sources) {
+      deps.sources.push_back({vs.snapshot->name(), vs.version});
+    }
+  } else {
+    for (const auto& vs : sources) {
+      if (vs.snapshot->name() == query.segments.front().text) {
+        deps.sources.push_back({vs.snapshot->name(), vs.version});
+      }
+    }
+  }
 
-  const auto snapshots = store_.all();
+  render::DocumentInfo info;
+  info.version = ctx.version;
+  info.source = "gmetad";
+  info.grid_name = ctx.grid_name;
+  info.authority = ctx.authority;
+  info.localtime = ctx.now;
+  backend.begin_document(info);
 
+  // Two passes — clusters, then grids — so formats with per-kind child
+  // arrays (JSON) compose without buffering; XML ignores the boundary.
   if (query.segments.empty()) {
     if (query.summary) {
       // Meta view: per-source summary rows followed by the grand total —
       // O(sources * m) bytes instead of O(C*H*m).
       SummaryInfo total;
-      for (const auto& snapshot : snapshots) {
-        write_source_full(w, *snapshot, ctx.mode, /*summary_only=*/true);
-        total.merge(snapshot->summary());
+      for (const auto& vs : sources) {
+        backend.begin_source(source_info(*vs.snapshot));
+        render::walk_source_clusters(*vs.snapshot, /*summary_only=*/true,
+                                     backend);
+        total.merge(vs.snapshot->summary());
+        backend.end_source();
       }
-      write_summary_info(w, total);
-      matches = 1;
+      for (const auto& vs : sources) {
+        backend.begin_source(source_info(*vs.snapshot));
+        render::walk_source_grids(*vs.snapshot, ctx.mode,
+                                  /*summary_only=*/true, backend);
+        backend.end_source();
+      }
+      backend.total(total);
     } else {
-      for (const auto& snapshot : snapshots) {
-        write_source_full(w, *snapshot, ctx.mode, false);
+      // Whole tree: splice publish-time fragments when the backend has a
+      // serialized form, walk otherwise.
+      for (const auto& vs : sources) {
+        backend.begin_source(source_info(*vs.snapshot));
+        if (splice_format != nullptr) {
+          backend.splice_clusters(
+              render::cluster_fragment(*vs.snapshot, *splice_format));
+        } else {
+          render::walk_source_clusters(*vs.snapshot, /*summary_only=*/false,
+                                       backend);
+        }
+        backend.end_source();
       }
-      matches = 1;
+      for (const auto& vs : sources) {
+        backend.begin_source(source_info(*vs.snapshot));
+        if (splice_format != nullptr) {
+          backend.splice_grids(
+              render::grid_fragment(*vs.snapshot, *splice_format, ctx.mode));
+        } else {
+          render::walk_source_grids(*vs.snapshot, ctx.mode,
+                                    /*summary_only=*/false, backend);
+        }
+        backend.end_source();
+      }
     }
-    w.close();
-    w.close();
-    return out;
+    matches = 1;
+  } else {
+    ResolveState state{query, backend, nullptr, 0, {}};
+    for (const auto& vs : sources) {
+      if (!query.segments.front().matches(vs.snapshot->name())) continue;
+      state.snapshot = vs.snapshot.get();
+      backend.begin_source(source_info(*vs.snapshot));
+      // The source's own node: single cluster for gmond sources, the
+      // child's top grid for gmetad sources.
+      for (const Cluster& cluster : vs.snapshot->clusters()) {
+        resolve_cluster(state, cluster, 1);
+      }
+      backend.end_source();
+    }
+    for (const auto& vs : sources) {
+      if (!query.segments.front().matches(vs.snapshot->name())) continue;
+      state.snapshot = vs.snapshot.get();
+      backend.begin_source(source_info(*vs.snapshot));
+      for (const Grid& grid : vs.snapshot->grids()) {
+        resolve_grid(state, grid, 1);
+      }
+      backend.end_source();
+    }
+    matches = state.matches;
+    redirect = state.redirect;
   }
 
-  ResolveState state{query, w, ctx.mode, nullptr, 0, {}};
-  for (const auto& snapshot : snapshots) {
-    if (!query.segments[0].matches(snapshot->name())) continue;
-    state.snapshot = snapshot.get();
-    // The source's own node: single cluster for gmond sources, the child's
-    // top grid for gmetad sources.
-    for (const Cluster& cluster : snapshot->clusters()) {
-      resolve_cluster(state, cluster, 1);
-    }
-    for (const Grid& grid : snapshot->grids()) {
-      resolve_grid(state, grid, 1);
-    }
-  }
-  matches = state.matches;
-  redirect = state.redirect;
-  w.close();
-  w.close();
-  return out;
+  backend.end_document();
+  return deps;
 }
 
-Result<std::string> QueryEngine::execute(std::string_view line,
-                                         const QueryContext& ctx) const {
+render::Deps QueryEngine::render_with(const ParsedQuery& query,
+                                      const QueryContext& ctx,
+                                      render::Backend& backend,
+                                      std::size_t& matches,
+                                      std::string& redirect) const {
+  return render_document(query, ctx, backend, nullptr, matches, redirect);
+}
+
+Result<RenderedQuery> QueryEngine::execute_rendered(
+    std::string_view line, const QueryContext& ctx,
+    render::Format format) const {
   auto parsed = parse_query(line);
   if (!parsed.ok()) return parsed.error();
-  std::size_t matches = 0;
-  std::string redirect;
-  std::string out = render(*parsed, ctx, matches, redirect);
-  if (matches == 0) {
-    if (!redirect.empty()) {
+
+  RenderedQuery out;
+  // Fragments exist only for the whole-tree full-detail walk; narrower
+  // queries re-walk their (small) matched subtree.
+  const bool splice = use_fragments_ && parsed->segments.empty() &&
+                      !parsed->summary;
+  const render::Format* splice_format = splice ? &format : nullptr;
+  if (format == render::Format::xml) {
+    render::XmlBackend backend(out.body);
+    out.deps = render_document(*parsed, ctx, backend, splice_format,
+                               out.matches, out.redirect);
+  } else {
+    render::JsonBackend backend(out.body);
+    out.deps = render_document(*parsed, ctx, backend, splice_format,
+                               out.matches, out.redirect);
+  }
+
+  if (out.matches == 0) {
+    if (!out.redirect.empty()) {
       return Err(Errc::not_found,
                  "subtree is summarised here; full resolution at authority " +
-                     redirect);
+                     out.redirect);
     }
     return Err(Errc::not_found,
                "no subtree matches '" + std::string(trim(line)) + "'");
@@ -274,11 +322,23 @@ Result<std::string> QueryEngine::execute(std::string_view line,
   return out;
 }
 
+Result<std::string> QueryEngine::execute(std::string_view line,
+                                         const QueryContext& ctx) const {
+  auto rendered = execute_rendered(line, ctx, render::Format::xml);
+  if (!rendered.ok()) return rendered.error();
+  return std::move(rendered->body);
+}
+
 std::string QueryEngine::dump(const QueryContext& ctx) const {
   ParsedQuery all;  // "/"
+  std::string out;
+  render::XmlBackend backend(out);
+  const render::Format xml = render::Format::xml;
   std::size_t matches = 0;
   std::string redirect;
-  return render(all, ctx, matches, redirect);
+  render_document(all, ctx, backend, use_fragments_ ? &xml : nullptr, matches,
+                  redirect);
+  return out;
 }
 
 }  // namespace ganglia::gmetad

@@ -1,0 +1,38 @@
+#include "gmetad/render/deps.hpp"
+
+#include "gmetad/store.hpp"
+
+namespace ganglia::gmetad::render {
+
+bool Deps::current(const Store& store) const {
+  if (structure && store.structure_version() != structure_version) {
+    return false;
+  }
+  for (const SourceDep& dep : sources) {
+    if (store.source_version(dep.name) != dep.version) return false;
+  }
+  return true;
+}
+
+std::uint64_t Deps::fingerprint() const noexcept {
+  // FNV-1a over the version tuple; names are included so two dependency
+  // sets with coincidentally equal version lists still differ.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&mix_byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<unsigned char>(v >> (i * 8)));
+  };
+  mix_byte(structure ? 1 : 0);
+  if (structure) mix_u64(structure_version);
+  for (const SourceDep& dep : sources) {
+    for (char c : dep.name) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0);  // name terminator: {"ab",1},{"c"} != {"a",1},{"bc"}
+    mix_u64(dep.version);
+  }
+  return h;
+}
+
+}  // namespace ganglia::gmetad::render

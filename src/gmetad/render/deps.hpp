@@ -1,0 +1,46 @@
+// Dependency sets for rendered responses.
+//
+// The store used to expose one global epoch, bumped on every publish, and
+// every cached response validated against it — so a publish for source A
+// evicted cached pages for sources B..Z even though their bytes could not
+// have changed.  A Deps records exactly what a rendered body was computed
+// from: the per-source versions it read, and (for responses whose shape
+// depends on which sources exist at all — whole-tree dumps, regex queries,
+// the meta view) the store's structure version.  A response is still valid
+// iff every recorded version is still current.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ganglia::gmetad {
+class Store;
+}
+
+namespace ganglia::gmetad::render {
+
+struct SourceDep {
+  std::string name;
+  std::uint64_t version = 0;  ///< Store::source_version at render time
+};
+
+struct Deps {
+  std::vector<SourceDep> sources;
+  /// True when the response depends on the source *set* (membership/order),
+  /// not just the listed sources' contents.
+  bool structure = false;
+  std::uint64_t structure_version = 0;
+
+  /// Still valid against the store?  A listed source that was removed (or
+  /// republished under a new version) invalidates; sources the response
+  /// never read do not.
+  bool current(const Store& store) const;
+
+  /// Stable hash of the dependency versions, folded into ETags so a
+  /// validator from an older snapshot can never match again even when the
+  /// re-rendered bytes are identical.
+  std::uint64_t fingerprint() const noexcept;
+};
+
+}  // namespace ganglia::gmetad::render

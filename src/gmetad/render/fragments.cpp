@@ -1,0 +1,82 @@
+#include "gmetad/render/fragments.hpp"
+
+#include "gmetad/render/json_backend.hpp"
+#include "gmetad/render/traversal.hpp"
+#include "gmetad/render/xml_backend.hpp"
+
+namespace ganglia::gmetad::render {
+
+namespace {
+
+// Slot layout inside SourceSnapshot's fragment array.  Cluster sections are
+// mode-independent (clusters always render at full detail on this path);
+// grid sections are built per mode.
+enum Slot : std::size_t {
+  kXmlClusters = 0,
+  kJsonClusters = 1,
+  kXmlGridsOneLevel = 2,
+  kXmlGridsNLevel = 3,
+  kJsonGridsOneLevel = 4,
+  kJsonGridsNLevel = 5,
+};
+static_assert(kJsonGridsNLevel < SourceSnapshot::kFragmentSlots);
+
+std::size_t grid_slot(Format format, Mode mode) {
+  if (format == Format::xml) {
+    return mode == Mode::one_level ? kXmlGridsOneLevel : kXmlGridsNLevel;
+  }
+  return mode == Mode::one_level ? kJsonGridsOneLevel : kJsonGridsNLevel;
+}
+
+std::string build_clusters(const SourceSnapshot& snapshot, Format format) {
+  std::string out;
+  if (format == Format::xml) {
+    XmlBackend backend(out);
+    walk_source_clusters(snapshot, /*summary_only=*/false, backend);
+  } else {
+    JsonBackend backend(out, /*fragment=*/true);
+    walk_source_clusters(snapshot, /*summary_only=*/false, backend);
+    backend.finish_fragment();
+  }
+  return out;
+}
+
+std::string build_grids(const SourceSnapshot& snapshot, Format format,
+                        Mode mode) {
+  std::string out;
+  if (format == Format::xml) {
+    XmlBackend backend(out);
+    walk_source_grids(snapshot, mode, /*summary_only=*/false, backend);
+  } else {
+    JsonBackend backend(out, /*fragment=*/true);
+    walk_source_grids(snapshot, mode, /*summary_only=*/false, backend);
+    backend.finish_fragment();
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& cluster_fragment(const SourceSnapshot& snapshot,
+                                    Format format) {
+  const std::size_t slot =
+      format == Format::xml ? kXmlClusters : kJsonClusters;
+  return snapshot.fragment(
+      slot, [&snapshot, format] { return build_clusters(snapshot, format); });
+}
+
+const std::string& grid_fragment(const SourceSnapshot& snapshot, Format format,
+                                 Mode mode) {
+  return snapshot.fragment(grid_slot(format, mode), [&snapshot, format, mode] {
+    return build_grids(snapshot, format, mode);
+  });
+}
+
+void prime_fragments(const SourceSnapshot& snapshot, Mode mode) {
+  cluster_fragment(snapshot, Format::xml);
+  cluster_fragment(snapshot, Format::json);
+  grid_fragment(snapshot, Format::xml, mode);
+  grid_fragment(snapshot, Format::json, mode);
+}
+
+}  // namespace ganglia::gmetad::render

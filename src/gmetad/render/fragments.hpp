@@ -1,0 +1,40 @@
+// Publish-time serialized snapshot fragments.
+//
+// The paper's freshness-for-latency trade says a query serves the latest
+// fully-parsed snapshot; this module extends the trade to *serialization*:
+// each immutable SourceSnapshot materialises its serialized subtree bytes
+// once — ideally in the poll pool right after publish (prime_fragments),
+// lazily on the first query otherwise — and full-tree responses are then
+// composed by splicing pre-escaped fragment bytes instead of re-walking
+// and re-escaping every host on every request.
+//
+// Fragments come in two sections per format, matching the document walk's
+// two passes: the source's cluster items and its grid items.  Grid items
+// depend on the node's mode (N-level reports child grids as summaries),
+// so the grid section keys on (format, mode).  Builders run through the
+// same traversal and backends as the walk path, which is what makes splice
+// output byte-identical to walk output.
+#pragma once
+
+#include <string>
+
+#include "gmetad/config.hpp"
+#include "gmetad/render/backend.hpp"
+#include "gmetad/store.hpp"
+
+namespace ganglia::gmetad::render {
+
+/// Cached cluster-section bytes for a source (built on first use).
+const std::string& cluster_fragment(const SourceSnapshot& snapshot,
+                                    Format format);
+
+/// Cached grid-section bytes for a source under the given mode.
+const std::string& grid_fragment(const SourceSnapshot& snapshot, Format format,
+                                 Mode mode);
+
+/// Build every fragment the serving path can need (both formats, the given
+/// mode) so queries never pay the serialization cost.  Called from the poll
+/// pool right after a snapshot is published; idempotent and thread-safe.
+void prime_fragments(const SourceSnapshot& snapshot, Mode mode);
+
+}  // namespace ganglia::gmetad::render

@@ -1,0 +1,248 @@
+#include "gmetad/render/json_backend.hpp"
+
+#include <cassert>
+
+namespace ganglia::gmetad::render {
+
+JsonBackend::JsonBackend(std::string& out, bool fragment)
+    : out_(out), w_(out), fragment_(fragment) {
+  if (fragment_) w_.begin_array();
+}
+
+void JsonBackend::finish_fragment() {
+  assert(fragment_ && "finish_fragment() on a document backend");
+  assert(!out_.empty() && out_.front() == '[');
+  out_.erase(0, 1);  // items stay comma-joined, ready for raw() splicing
+}
+
+void JsonBackend::begin_document(const DocumentInfo& info) {
+  w_.begin_object();
+  w_.key("version");
+  w_.value(info.version);
+  w_.key("source");
+  w_.value(info.source);
+  w_.key("clusters");  // the document's own level holds only the self grid
+  w_.begin_array();
+  w_.end_array();
+  w_.key("grids");
+  w_.begin_array();
+  w_.begin_object();
+  w_.key("name");
+  w_.value(info.grid_name);
+  if (!info.authority.empty()) {
+    w_.key("authority");
+    w_.value(info.authority);
+  }
+  w_.key("localtime");
+  w_.value(static_cast<std::int64_t>(info.localtime));
+  grids_.push_back(Phase::attrs);
+}
+
+void JsonBackend::end_document() {
+  pop_grid_frame();  // the self grid
+  w_.end_array();    // "grids"
+  w_.end_object();   // report
+  out_ += '\n';
+}
+
+void JsonBackend::ensure_clusters() {
+  assert(!grids_.empty());
+  if (grids_.back() == Phase::attrs) {
+    w_.key("clusters");
+    w_.begin_array();
+    grids_.back() = Phase::clusters;
+  }
+}
+
+void JsonBackend::ensure_grids() {
+  assert(!grids_.empty());
+  if (grids_.back() == Phase::attrs) {
+    w_.key("clusters");
+    w_.begin_array();
+    w_.end_array();
+    w_.key("grids");
+    w_.begin_array();
+    grids_.back() = Phase::grids;
+  } else if (grids_.back() == Phase::clusters) {
+    w_.end_array();
+    w_.key("grids");
+    w_.begin_array();
+    grids_.back() = Phase::grids;
+  }
+}
+
+void JsonBackend::close_phases() {
+  assert(!grids_.empty());
+  const Phase phase = grids_.back();
+  if (phase == Phase::closed) return;
+  if (phase == Phase::attrs) {
+    w_.key("clusters");
+    w_.begin_array();
+    w_.end_array();
+  } else if (phase == Phase::clusters) {
+    w_.end_array();
+  }
+  if (phase != Phase::grids) {
+    w_.key("grids");
+    w_.begin_array();
+  }
+  w_.end_array();
+  grids_.back() = Phase::closed;
+}
+
+void JsonBackend::pop_grid_frame() {
+  close_phases();
+  w_.end_object();
+  grids_.pop_back();
+}
+
+void JsonBackend::begin_cluster(const Cluster& cluster) {
+  if (!grids_.empty()) ensure_clusters();
+  w_.begin_object();
+  w_.key("name");
+  w_.value(cluster.name);
+  w_.key("localtime");
+  w_.value(static_cast<std::int64_t>(cluster.localtime));
+  if (!cluster.owner.empty()) {
+    w_.key("owner");
+    w_.value(cluster.owner);
+  }
+  in_cluster_ = true;
+  cluster_hosts_open_ = false;
+  cluster_summary_done_ = false;
+}
+
+void JsonBackend::end_cluster(const Cluster&) {
+  if (cluster_hosts_open_) {
+    w_.end_array();
+  } else if (!cluster_summary_done_) {
+    w_.key("hosts");  // a full-detail cluster always carries the array
+    w_.begin_array();
+    w_.end_array();
+  }
+  w_.end_object();
+  in_cluster_ = false;
+  cluster_hosts_open_ = false;
+  cluster_summary_done_ = false;
+}
+
+void JsonBackend::begin_grid(const Grid& grid) {
+  if (!grids_.empty()) ensure_grids();
+  w_.begin_object();
+  w_.key("name");
+  w_.value(grid.name);
+  if (!grid.authority.empty()) {
+    w_.key("authority");
+    w_.value(grid.authority);
+  }
+  w_.key("localtime");
+  w_.value(static_cast<std::int64_t>(grid.localtime));
+  grids_.push_back(Phase::attrs);
+}
+
+void JsonBackend::end_grid(const Grid&) { pop_grid_frame(); }
+
+void JsonBackend::begin_host(const Host& host) {
+  if (in_cluster_ && !cluster_hosts_open_) {
+    w_.key("hosts");
+    w_.begin_array();
+    cluster_hosts_open_ = true;
+  }
+  w_.begin_object();
+  w_.key("name");
+  w_.value(host.name);
+  w_.key("ip");
+  w_.value(host.ip);
+  w_.key("up");
+  w_.value(host.is_up());
+  w_.key("reported");
+  w_.value(static_cast<std::int64_t>(host.reported));
+  w_.key("tn");
+  w_.value(static_cast<std::uint64_t>(host.tn));
+  w_.key("metrics");
+  w_.begin_array();
+  in_host_ = true;
+}
+
+void JsonBackend::end_host(const Host&) {
+  w_.end_array();   // "metrics"
+  w_.end_object();  // host
+  in_host_ = false;
+}
+
+void JsonBackend::metric(const Host&, const Metric& metric) {
+  w_.begin_object();
+  w_.key("name");
+  w_.value(metric.name);
+  w_.key("value");
+  w_.value(metric.value);
+  if (metric.is_numeric()) {
+    w_.key("numeric");
+    w_.value(metric.numeric);
+  }
+  w_.key("type");
+  w_.value(metric_type_name(metric.type));
+  if (!metric.units.empty()) {
+    w_.key("units");
+    w_.value(metric.units);
+  }
+  w_.key("tn");
+  w_.value(static_cast<std::uint64_t>(metric.tn));
+  w_.end_object();
+}
+
+void JsonBackend::write_summary_object(const SummaryInfo& summary) {
+  w_.begin_object();
+  w_.key("hosts_up");
+  w_.value(static_cast<std::uint64_t>(summary.hosts_up));
+  w_.key("hosts_down");
+  w_.value(static_cast<std::uint64_t>(summary.hosts_down));
+  w_.key("metrics");
+  w_.begin_object();
+  for (const auto& [name, m] : summary.metrics) {
+    w_.key(name);
+    w_.begin_object();
+    w_.key("sum");
+    w_.value(m.sum);
+    w_.key("num");
+    w_.value(static_cast<std::uint64_t>(m.num));
+    w_.key("mean");
+    w_.value(m.mean());
+    if (!m.units.empty()) {
+      w_.key("units");
+      w_.value(m.units);
+    }
+    w_.end_object();
+  }
+  w_.end_object();
+  w_.end_object();
+}
+
+void JsonBackend::summary(const SummaryInfo& summary) {
+  w_.key("summary");
+  write_summary_object(summary);
+  if (in_cluster_) {
+    cluster_summary_done_ = true;
+  } else {
+    assert(!grids_.empty() && grids_.back() == Phase::attrs);
+    grids_.back() = Phase::closed;
+  }
+}
+
+void JsonBackend::total(const SummaryInfo& total) {
+  close_phases();  // both child arrays emitted before the grand total
+  w_.key("total");
+  write_summary_object(total);
+}
+
+void JsonBackend::splice_clusters(std::string_view bytes) {
+  ensure_clusters();
+  w_.raw(bytes);
+}
+
+void JsonBackend::splice_grids(std::string_view bytes) {
+  ensure_grids();
+  w_.raw(bytes);
+}
+
+}  // namespace ganglia::gmetad::render

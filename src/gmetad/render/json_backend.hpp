@@ -1,0 +1,75 @@
+// JSON backend: renders traversal events as the /api/v1 document.
+//
+// JSON is the format that forced the traversal's two-pass shape: a grid
+// object holds all its clusters in one array and all its child grids in
+// another, so cluster items must arrive before grid items at every level.
+// The backend tracks a small phase machine per open grid-like container
+// (attrs written → clusters array open → grids array open → closed) and
+// emits the array punctuation exactly once, whether items arrive as walk
+// events or as spliced fragment bytes.
+//
+// Document shape (matching what the gateway historically served, which was
+// the query XML re-parsed and re-rendered):
+//
+//   {"version":V,"source":"gmetad","clusters":[],
+//    "grids":[{"name":G,"authority":A,"localtime":T,
+//              "clusters":[...],"grids":[...],("total":{...})}]}
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gmetad/render/backend.hpp"
+#include "xml/json.hpp"
+
+namespace ganglia::gmetad::render {
+
+class JsonBackend final : public Backend {
+ public:
+  /// Appends to `out`.  With fragment=true there is no document: top-level
+  /// items render as comma-joined array elements (behind an artificial '['
+  /// so the writer's separator logic applies); call finish_fragment() when
+  /// done to strip it, leaving bytes ready for a splice.
+  explicit JsonBackend(std::string& out, bool fragment = false);
+
+  void finish_fragment();
+
+  void begin_document(const DocumentInfo& info) override;
+  void end_document() override;
+
+  void begin_cluster(const Cluster& cluster) override;
+  void end_cluster(const Cluster& cluster) override;
+  void begin_grid(const Grid& grid) override;
+  void end_grid(const Grid& grid) override;
+  void begin_host(const Host& host) override;
+  void end_host(const Host& host) override;
+  void metric(const Host& host, const Metric& metric) override;
+  void summary(const SummaryInfo& summary) override;
+  void total(const SummaryInfo& total) override;
+
+  void splice_clusters(std::string_view bytes) override;
+  void splice_grids(std::string_view bytes) override;
+
+ private:
+  /// Lifecycle of one open grid-like container's child arrays.
+  enum class Phase { attrs, clusters, grids, closed };
+
+  void ensure_clusters();
+  void ensure_grids();
+  /// Drive the top frame to `closed`, emitting any arrays not yet written
+  /// (a non-summary grid always carries both, possibly empty).
+  void close_phases();
+  void pop_grid_frame();
+  void write_summary_object(const SummaryInfo& summary);
+
+  std::string& out_;
+  xml::JsonWriter w_;
+  std::vector<Phase> grids_;  ///< open grid-like containers, document first
+  bool in_cluster_ = false;
+  bool cluster_hosts_open_ = false;
+  bool cluster_summary_done_ = false;
+  bool in_host_ = false;
+  bool fragment_ = false;
+};
+
+}  // namespace ganglia::gmetad::render

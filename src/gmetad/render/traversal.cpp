@@ -1,0 +1,81 @@
+#include "gmetad/render/traversal.hpp"
+
+namespace ganglia::gmetad::render {
+
+void walk_host_subtree(const Host& host, Backend& backend) {
+  backend.begin_host(host);
+  for (const Metric& m : host.metrics) backend.metric(host, m);
+  backend.end_host(host);
+}
+
+void walk_host_in_cluster(const Cluster& cluster, const Host& host,
+                          Backend& backend) {
+  backend.begin_cluster(cluster);
+  walk_host_subtree(host, backend);
+  backend.end_cluster(cluster);
+}
+
+void walk_cluster(const Cluster& cluster, Backend& backend) {
+  backend.begin_cluster(cluster);
+  if (cluster.summary) {
+    backend.summary(*cluster.summary);
+  } else {
+    for (const auto& [name, host] : cluster.hosts) {
+      (void)name;
+      walk_host_subtree(host, backend);
+    }
+  }
+  backend.end_cluster(cluster);
+}
+
+void walk_cluster_summary(const Cluster& cluster, const SummaryInfo& summary,
+                          Backend& backend) {
+  backend.begin_cluster(cluster);
+  backend.summary(summary);
+  backend.end_cluster(cluster);
+}
+
+void walk_grid(const Grid& grid, Backend& backend) {
+  backend.begin_grid(grid);
+  if (grid.summary) {
+    backend.summary(*grid.summary);
+  } else {
+    for (const Cluster& c : grid.clusters) walk_cluster(c, backend);
+    for (const Grid& g : grid.grids) walk_grid(g, backend);
+  }
+  backend.end_grid(grid);
+}
+
+void walk_grid_summary(const Grid& grid, const SummaryInfo& summary,
+                       Backend& backend) {
+  backend.begin_grid(grid);
+  backend.summary(summary);
+  backend.end_grid(grid);
+}
+
+void walk_source_clusters(const SourceSnapshot& snapshot, bool summary_only,
+                          Backend& backend) {
+  for (const Cluster& cluster : snapshot.clusters()) {
+    if (summary_only) {
+      // The reduction precomputed on the summarisation time scale: O(m),
+      // independent of cluster size (paper §2.3.2).
+      walk_cluster_summary(cluster, snapshot.cluster_summary(cluster),
+                           backend);
+    } else {
+      walk_cluster(cluster, backend);
+    }
+  }
+}
+
+void walk_source_grids(const SourceSnapshot& snapshot, Mode mode,
+                       bool summary_only, Backend& backend) {
+  for (const Grid& grid : snapshot.grids()) {
+    if (mode == Mode::n_level || summary_only || grid.is_summary_form()) {
+      walk_grid_summary(grid, grid.summarize(), backend);
+    } else {
+      walk_grid(grid, backend);  // 1-level: forward the union, full detail
+    }
+  }
+}
+
+}  // namespace ganglia::gmetad::render

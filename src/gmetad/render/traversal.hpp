@@ -1,0 +1,52 @@
+// The single tree traversal behind every output format.
+//
+// These walks visit the monitoring tree exactly once and emit structural
+// events into a Backend; the XML query engine, the JSON API, and the HTML
+// presenter all drive the same functions.  The walk decides *what* is
+// visited (full detail vs summary form, mode-dependent grid reduction —
+// the paper's 1-level/N-level split); the backend decides only how each
+// event serialises.
+#pragma once
+
+#include "gmetad/config.hpp"
+#include "gmetad/render/backend.hpp"
+#include "gmetad/store.hpp"
+
+namespace ganglia::gmetad::render {
+
+/// begin_host + one metric event per metric + end_host.
+void walk_host_subtree(const Host& host, Backend& backend);
+
+/// A host wrapped in its cluster's element (path-query host responses).
+void walk_host_in_cluster(const Cluster& cluster, const Host& host,
+                          Backend& backend);
+
+/// Full-detail cluster: hosts at full resolution, or the stored summary
+/// when the cluster arrived in summary form.
+void walk_cluster(const Cluster& cluster, Backend& backend);
+
+/// Cluster in summary form with a caller-supplied reduction (the engine
+/// passes the snapshot's precomputed O(m) summary, never an O(H) recount).
+void walk_cluster_summary(const Cluster& cluster, const SummaryInfo& summary,
+                          Backend& backend);
+
+/// Full-detail grid subtree, recursive (summary-form children collapse to
+/// their stored reduction, as on the wire).
+void walk_grid(const Grid& grid, Backend& backend);
+
+/// Grid in summary form with a caller-supplied reduction.
+void walk_grid_summary(const Grid& grid, const SummaryInfo& summary,
+                       Backend& backend);
+
+/// All cluster items of one source, as the document's clusters pass emits
+/// them.  summary_only renders each as a summary wrapper (the meta view).
+void walk_source_clusters(const SourceSnapshot& snapshot, bool summary_only,
+                          Backend& backend);
+
+/// All grid items of one source.  The node's mode applies the paper's
+/// hierarchy rule: an N-level node reports child grids in summary form
+/// only; a 1-level node forwards full detail when it has it.
+void walk_source_grids(const SourceSnapshot& snapshot, Mode mode,
+                       bool summary_only, Backend& backend);
+
+}  // namespace ganglia::gmetad::render

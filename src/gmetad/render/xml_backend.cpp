@@ -1,0 +1,54 @@
+#include "gmetad/render/xml_backend.hpp"
+
+namespace ganglia::gmetad::render {
+
+void XmlBackend::begin_document(const DocumentInfo& info) {
+  w_.declaration();
+  w_.open("GANGLIA_XML");
+  w_.attr("VERSION", info.version);
+  w_.attr("SOURCE", info.source);
+  w_.open("GRID");
+  w_.attr("NAME", info.grid_name);
+  w_.attr("AUTHORITY", info.authority);
+  w_.attr("LOCALTIME", info.localtime);
+}
+
+void XmlBackend::end_document() {
+  w_.close();  // GRID
+  w_.close();  // GANGLIA_XML
+}
+
+void XmlBackend::begin_cluster(const Cluster& cluster) {
+  w_.open("CLUSTER");
+  write_cluster_attrs(w_, cluster);
+}
+
+void XmlBackend::end_cluster(const Cluster&) { w_.close(); }
+
+void XmlBackend::begin_grid(const Grid& grid) {
+  w_.open("GRID");
+  write_grid_attrs(w_, grid);
+}
+
+void XmlBackend::end_grid(const Grid&) { w_.close(); }
+
+void XmlBackend::begin_host(const Host& host) {
+  w_.open("HOST");
+  write_host_attrs(w_, host);
+}
+
+void XmlBackend::end_host(const Host&) { w_.close(); }
+
+void XmlBackend::metric(const Host&, const Metric& metric) {
+  write_metric(w_, metric);
+}
+
+void XmlBackend::summary(const SummaryInfo& summary) {
+  write_summary_info(w_, summary);
+}
+
+void XmlBackend::total(const SummaryInfo& total) {
+  write_summary_info(w_, total);
+}
+
+}  // namespace ganglia::gmetad::render

@@ -1,0 +1,42 @@
+// XML backend: renders traversal events as the Ganglia XML dialect.
+//
+// Byte-compatible with the old per-format walker in the query engine: the
+// document wrapper reproduces the declaration + GANGLIA_XML + self-GRID
+// shape, and element bodies go through the shared writers in xml/ganglia.
+#pragma once
+
+#include <string>
+
+#include "gmetad/render/backend.hpp"
+#include "xml/writer.hpp"
+
+namespace ganglia::gmetad::render {
+
+class XmlBackend final : public Backend {
+ public:
+  /// Appends to `out`.  Compact output (the wire format); constructing
+  /// without document events yields a bare fragment of element markup
+  /// suitable for XmlWriter::raw splicing.
+  explicit XmlBackend(std::string& out) : w_(out) {}
+
+  void begin_document(const DocumentInfo& info) override;
+  void end_document() override;
+
+  void begin_cluster(const Cluster& cluster) override;
+  void end_cluster(const Cluster& cluster) override;
+  void begin_grid(const Grid& grid) override;
+  void end_grid(const Grid& grid) override;
+  void begin_host(const Host& host) override;
+  void end_host(const Host& host) override;
+  void metric(const Host& host, const Metric& metric) override;
+  void summary(const SummaryInfo& summary) override;
+  void total(const SummaryInfo& total) override;
+
+  void splice_clusters(std::string_view bytes) override { w_.raw(bytes); }
+  void splice_grids(std::string_view bytes) override { w_.raw(bytes); }
+
+ private:
+  xml::XmlWriter w_;
+};
+
+}  // namespace ganglia::gmetad::render

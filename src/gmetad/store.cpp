@@ -1,6 +1,8 @@
 #include "gmetad/store.hpp"
 
+#include <cassert>
 #include <mutex>
+#include <shared_mutex>
 
 namespace ganglia::gmetad {
 
@@ -23,6 +25,10 @@ SourceSnapshot::SourceSnapshot(std::string name, Report report,
 void SourceSnapshot::compute_summary() const {
   // One pass computes and caches every cluster reduction (including those
   // inside full-detail child grids) and folds them into the source total.
+  // Runs under call_once, so no reader observes the map mid-build; the
+  // lock still guards against a concurrent foreign-cluster insert from a
+  // caller whose call_once already completed.
+  std::unique_lock lock(summaries_mutex_);
   const auto add_cluster = [this](const Cluster& c) -> const SummaryInfo& {
     return cluster_summaries_.emplace(&c, c.summarize()).first->second;
   };
@@ -45,13 +51,24 @@ const SummaryInfo& SourceSnapshot::summary() const {
 
 const SummaryInfo& SourceSnapshot::cluster_summary(const Cluster& cluster) const {
   summary();  // ensure the cache is built (all clusters of this snapshot)
-  const auto it = cluster_summaries_.find(&cluster);
-  if (it != cluster_summaries_.end()) return it->second;
-  // A cluster that is not part of this snapshot (defensive; concurrent
-  // callers must not mutate the cache, so compute under a lock).
-  std::lock_guard lock(fallback_mutex_);
-  return fallback_summaries_.emplace(&cluster, cluster.summarize())
+  {
+    std::shared_lock lock(summaries_mutex_);
+    const auto it = cluster_summaries_.find(&cluster);
+    if (it != cluster_summaries_.end()) return it->second;
+  }
+  // A cluster that is not part of this snapshot (defensive): compute once
+  // under the writer lock and cache it alongside the rest.
+  std::unique_lock lock(summaries_mutex_);
+  return cluster_summaries_.try_emplace(&cluster, cluster.summarize())
       .first->second;
+}
+
+const std::string& SourceSnapshot::fragment(
+    std::size_t slot, const std::function<std::string()>& build) const {
+  assert(slot < kFragmentSlots);
+  FragmentSlot& cell = fragments_[slot];
+  std::call_once(cell.once, [&cell, &build] { cell.bytes = build(); });
+  return cell.bytes;
 }
 
 void SourceSnapshot::index_grid(const Grid& grid) {
@@ -93,25 +110,57 @@ const Grid* SourceSnapshot::find_grid(std::string_view grid_name) const {
 
 void Store::publish(std::shared_ptr<const SourceSnapshot> snapshot) {
   std::unique_lock lock(mutex_);
-  snapshots_[snapshot->name()] = std::move(snapshot);
-  epoch_.fetch_add(1, std::memory_order_release);
+  // One counter for all sources: a version pins the exact snapshot, and
+  // comparing recorded versions never needs per-source counters.
+  const std::uint64_t version =
+      version_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Take the key before the move: arguments are indeterminately sequenced,
+  // so snapshot->name() inside the call could read a moved-from pointer.
+  std::string name = snapshot->name();
+  auto [it, inserted] = snapshots_.insert_or_assign(
+      std::move(name), Versioned{std::move(snapshot), version});
+  (void)it;
+  if (inserted) {
+    structure_version_.fetch_add(1, std::memory_order_release);
+  }
 }
 
 std::shared_ptr<const SourceSnapshot> Store::get(std::string_view source) const {
   std::shared_lock lock(mutex_);
   const auto it = snapshots_.find(source);
-  return it == snapshots_.end() ? nullptr : it->second;
+  return it == snapshots_.end() ? nullptr : it->second.snapshot;
 }
 
 std::vector<std::shared_ptr<const SourceSnapshot>> Store::all() const {
   std::shared_lock lock(mutex_);
   std::vector<std::shared_ptr<const SourceSnapshot>> out;
   out.reserve(snapshots_.size());
-  for (const auto& [name, snapshot] : snapshots_) {
+  for (const auto& [name, entry] : snapshots_) {
     (void)name;
-    out.push_back(snapshot);
+    out.push_back(entry.snapshot);
   }
   return out;
+}
+
+std::vector<Store::Versioned> Store::all_versioned(
+    std::uint64_t* structure_version) const {
+  std::shared_lock lock(mutex_);
+  if (structure_version != nullptr) {
+    *structure_version = structure_version_.load(std::memory_order_acquire);
+  }
+  std::vector<Versioned> out;
+  out.reserve(snapshots_.size());
+  for (const auto& [name, entry] : snapshots_) {
+    (void)name;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+std::uint64_t Store::source_version(std::string_view source) const {
+  std::shared_lock lock(mutex_);
+  const auto it = snapshots_.find(source);
+  return it == snapshots_.end() ? 0 : it->second.version;
 }
 
 void Store::remove(std::string_view source) {
@@ -119,7 +168,7 @@ void Store::remove(std::string_view source) {
   const auto it = snapshots_.find(source);
   if (it != snapshots_.end()) {
     snapshots_.erase(it);
-    epoch_.fetch_add(1, std::memory_order_release);
+    structure_version_.fetch_add(1, std::memory_order_release);
   }
 }
 

@@ -15,8 +15,10 @@
 // the parser and vice versa.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,8 +77,19 @@ class SourceSnapshot {
   /// Precomputed summary of one cluster in this snapshot, so the
   /// cluster-summary query filter serves in O(m) instead of O(H) — the
   /// paper computes all reductions on the summarisation time scale, never
-  /// at query time.  `cluster` must belong to this snapshot.
+  /// at query time.  Clusters of this snapshot hit the reduction computed
+  /// by summary(); a foreign cluster (defensive) is computed once and
+  /// cached in the same map.
   const SummaryInfo& cluster_summary(const Cluster& cluster) const;
+
+  /// Serialized subtree bytes, materialised once per slot (publish-time
+  /// render fragments — see gmetad/render/fragments.hpp, which owns the
+  /// slot layout).  `build` runs at most once per slot; concurrent callers
+  /// block until the bytes exist.  Keeping the cache here, keyed by opaque
+  /// slot index, lets the snapshot stay ignorant of render formats.
+  static constexpr std::size_t kFragmentSlots = 6;
+  const std::string& fragment(std::size_t slot,
+                              const std::function<std::string()>& build) const;
 
   /// Authority URL of the child gmetad (empty for gmond sources).
   const std::string& authority() const noexcept { return authority_; }
@@ -99,9 +112,16 @@ class SourceSnapshot {
   Report report_;
   mutable std::once_flag summary_once_;
   mutable SummaryInfo summary_;
+  /// One map for every cluster reduction (snapshot-owned clusters filled by
+  /// compute_summary, foreign ones on demand).  References handed out are
+  /// stable: unordered_map never relocates nodes on insert.
+  mutable std::shared_mutex summaries_mutex_;
   mutable std::unordered_map<const Cluster*, SummaryInfo> cluster_summaries_;
-  mutable std::mutex fallback_mutex_;
-  mutable std::map<const Cluster*, SummaryInfo> fallback_summaries_;
+  struct FragmentSlot {
+    std::once_flag once;
+    std::string bytes;
+  };
+  mutable std::array<FragmentSlot, kFragmentSlots> fragments_;
   std::string authority_;
   std::int64_t fetched_at_ = 0;
   bool is_grid_ = false;
@@ -112,8 +132,24 @@ class SourceSnapshot {
 };
 
 /// Level-1 hash table: data source name -> latest snapshot.
+///
+/// Invalidation is per source, not global: every publish assigns the source
+/// a fresh version from one monotonic counter (versions are unique across
+/// sources, so equality of a recorded version pins both the source and the
+/// exact snapshot), and a separate structure version bumps only when the
+/// source *set* changes (a name added or removed).  Anything rendered from
+/// store contents records the versions it read (render::Deps) and stays
+/// valid until one of *those* changes — publishing source A no longer
+/// invalidates work derived from sources B..Z.  This replaces the old
+/// global epoch() counter, which forced exactly that mass eviction.
 class Store {
  public:
+  /// One source together with the version its snapshot was published at.
+  struct Versioned {
+    std::shared_ptr<const SourceSnapshot> snapshot;
+    std::uint64_t version = 0;
+  };
+
   /// Atomically publish a new snapshot for its source.
   void publish(std::shared_ptr<const SourceSnapshot> snapshot);
 
@@ -124,25 +160,31 @@ class Store {
   /// All snapshots ordered by source name (stable report output).
   std::vector<std::shared_ptr<const SourceSnapshot>> all() const;
 
+  /// All snapshots with their publish versions; when `structure_version`
+  /// is non-null it receives the structure version observed under the same
+  /// lock, so a renderer records a mutually consistent dependency set.
+  std::vector<Versioned> all_versioned(
+      std::uint64_t* structure_version = nullptr) const;
+
+  /// Publish version of one source; 0 when the source is unknown (real
+  /// versions start at 1, so 0 never validates a recorded dependency).
+  std::uint64_t source_version(std::string_view source) const;
+
+  /// Bumped only when a source joins or leaves the set.
+  std::uint64_t structure_version() const noexcept {
+    return structure_version_.load(std::memory_order_acquire);
+  }
+
   /// Remove a source entirely (dynamic children that left the tree).
   void remove(std::string_view source);
 
   std::size_t size() const;
 
-  /// Snapshot generation: bumped on every publish/remove.  Anything derived
-  /// from store contents (rendered pages, serialized subtrees) is a pure
-  /// function of the store between two bumps, so layered caches validate
-  /// entries by comparing the epoch they were computed at — no per-source
-  /// bookkeeping, one atomic read on the hit path.
-  std::uint64_t epoch() const noexcept {
-    return epoch_.load(std::memory_order_acquire);
-  }
-
  private:
-  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> version_counter_{0};
+  std::atomic<std::uint64_t> structure_version_{0};
   mutable std::shared_mutex mutex_;
-  std::map<std::string, std::shared_ptr<const SourceSnapshot>, std::less<>>
-      snapshots_;
+  std::map<std::string, Versioned, std::less<>> snapshots_;
 };
 
 }  // namespace ganglia::gmetad

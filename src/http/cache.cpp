@@ -4,16 +4,16 @@
 
 namespace ganglia::http {
 
-std::string make_etag(std::string_view body, std::uint64_t epoch) {
-  // FNV-1a over the body, epoch folded in so identical bytes rendered from
-  // different snapshots never share a validator.
+std::string make_etag(std::string_view body, std::uint64_t fingerprint) {
+  // FNV-1a over the body, dependency fingerprint folded in so identical
+  // bytes rendered from different snapshots never share a validator.
   std::uint64_t h = 1469598103934665603ull;
   for (char c : body) {
     h ^= static_cast<unsigned char>(c);
     h *= 1099511628211ull;
   }
-  return strprintf("\"%016llx-%llu\"", static_cast<unsigned long long>(h),
-                   static_cast<unsigned long long>(epoch));
+  return strprintf("\"%016llx-%016llx\"", static_cast<unsigned long long>(h),
+                   static_cast<unsigned long long>(fingerprint));
 }
 
 bool etag_matches(std::string_view if_none_match, std::string_view etag) {
@@ -27,22 +27,22 @@ bool etag_matches(std::string_view if_none_match, std::string_view etag) {
   return false;
 }
 
-bool ResponseCache::fresh(const Entry& entry, std::uint64_t epoch,
+bool ResponseCache::fresh(const Entry& entry, const gmetad::Store& store,
                           TimeUs now) const {
-  if (entry.epoch != epoch) return false;
+  if (!entry.deps.current(store)) return false;
   if (ttl_s_ <= 0) return true;
   return now - entry.rendered_at < ttl_s_ * kMicrosPerSecond;
 }
 
 std::shared_ptr<const ResponseCache::Entry> ResponseCache::lookup(
-    const std::string& key, std::uint64_t epoch, TimeUs now) {
+    const std::string& key, const gmetad::Store& store, TimeUs now) {
   std::lock_guard lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  if (!fresh(*it->second, epoch, now)) {
+  if (!fresh(*it->second, store, now)) {
     entries_.erase(it);
     ++stats_.expirations;
     ++stats_.misses;
@@ -53,22 +53,26 @@ std::shared_ptr<const ResponseCache::Entry> ResponseCache::lookup(
 }
 
 std::shared_ptr<const ResponseCache::Entry> ResponseCache::insert(
-    const std::string& key, std::uint64_t epoch, TimeUs now, std::string body,
-    std::string content_type) {
+    const std::string& key, gmetad::render::Deps deps, TimeUs now,
+    std::string body, std::string content_type) {
   auto entry = std::make_shared<Entry>();
-  entry->etag = make_etag(body, epoch);
+  entry->etag = make_etag(body, deps.fingerprint());
   entry->body = std::move(body);
   entry->content_type = std::move(content_type);
-  entry->epoch = epoch;
+  entry->deps = std::move(deps);
   entry->rendered_at = now;
 
   std::lock_guard lock(mutex_);
   if (entries_.size() >= max_entries_ && !entries_.contains(key)) {
-    // Capacity: first shed entries stale for the current epoch (free wins),
-    // then fall back to dropping everything — the next snapshot swap would
-    // have voided the lot anyway.
+    // Capacity: shed TTL-expired entries first (free wins).  Version
+    // staleness can't be judged here — there is no store handle — so the
+    // fallback is still drop-everything, but with per-source invalidation
+    // it fires only on genuine capacity pressure, not on every publish.
     for (auto it = entries_.begin(); it != entries_.end();) {
-      if (!fresh(*it->second, epoch, now)) {
+      const bool expired =
+          ttl_s_ > 0 &&
+          now - it->second->rendered_at >= ttl_s_ * kMicrosPerSecond;
+      if (expired) {
         it = entries_.erase(it);
         ++stats_.evictions;
       } else {

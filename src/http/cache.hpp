@@ -3,12 +3,18 @@
 // The store already trades freshness for latency (snapshot swaps on the
 // summarisation time scale), so between two swaps every rendered view is a
 // pure function of the store — re-rendering it per request is wasted work.
-// Entries are validated by the store's epoch (bumped on every snapshot
-// publish) plus a TTL floor for the few time-dependent bits a page carries
-// (TN ages, "last heard" labels).  Each entry owns a strong ETag derived
-// from body bytes + epoch, so a client revalidating with If-None-Match gets
-// 304 until the next snapshot swap — and a pre-swap ETag can never match
-// again, even if the re-rendered bytes happen to be identical.
+// Each entry records the dependency set its body was rendered from
+// (render::Deps: the publish versions of the sources it read, plus the
+// source-set structure version for whole-tree views), and stays valid
+// until one of *those* versions moves.  Publishing source A therefore
+// leaves cached responses for sources B..Z untouched — the old design
+// validated against a single global store epoch and evicted everything on
+// every publish.  A TTL floor covers the few time-dependent bits a page
+// carries (TN ages, "last heard" labels).  Each entry owns a strong ETag
+// derived from body bytes + the dependency fingerprint, so a client
+// revalidating with If-None-Match gets 304 until one of the entry's own
+// sources republishes — and a pre-publish ETag can never match again,
+// even if the re-rendered bytes happen to be identical.
 #pragma once
 
 #include <cstdint>
@@ -19,11 +25,14 @@
 #include <unordered_map>
 
 #include "common/clock.hpp"
+#include "gmetad/render/deps.hpp"
+#include "gmetad/store.hpp"
 
 namespace ganglia::http {
 
-/// Strong ETag for a body rendered at a given store epoch (quoted form).
-std::string make_etag(std::string_view body, std::uint64_t epoch);
+/// Strong ETag for a body rendered from a given dependency fingerprint
+/// (quoted form).
+std::string make_etag(std::string_view body, std::uint64_t fingerprint);
 
 /// True when an If-None-Match header value (a comma-separated list, possibly
 /// "*", possibly with W/ prefixes) matches `etag`.
@@ -32,7 +41,7 @@ bool etag_matches(std::string_view if_none_match, std::string_view etag);
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
-  std::uint64_t expirations = 0;  ///< entries dropped for epoch/TTL staleness
+  std::uint64_t expirations = 0;  ///< entries dropped for version/TTL staleness
   std::uint64_t evictions = 0;    ///< entries dropped for capacity
 };
 
@@ -42,24 +51,26 @@ class ResponseCache {
     std::string body;
     std::string content_type;
     std::string etag;
-    std::uint64_t epoch = 0;
+    gmetad::render::Deps deps;  ///< store versions the body was rendered from
     TimeUs rendered_at = 0;
   };
 
-  /// ttl_s <= 0 disables the TTL floor (epoch-only invalidation).
+  /// ttl_s <= 0 disables the TTL floor (version-only invalidation).
   explicit ResponseCache(std::int64_t ttl_s = 15,
                          std::size_t max_entries = 512)
       : ttl_s_(ttl_s), max_entries_(max_entries) {}
 
-  /// A valid entry for `key` at the given store epoch, or nullptr.  Stale
-  /// entries (old epoch or past TTL) are dropped on the way.
+  /// A valid entry for `key` against the store's current versions, or
+  /// nullptr.  Stale entries (a dependency republished or past TTL) are
+  /// dropped on the way.
   std::shared_ptr<const Entry> lookup(const std::string& key,
-                                      std::uint64_t epoch, TimeUs now);
+                                      const gmetad::Store& store, TimeUs now);
 
-  /// Insert a freshly rendered body; computes and returns the entry (with
-  /// its ETag) for immediate serving.
+  /// Insert a freshly rendered body with the dependency set it was computed
+  /// from; computes and returns the entry (with its ETag) for immediate
+  /// serving.
   std::shared_ptr<const Entry> insert(const std::string& key,
-                                      std::uint64_t epoch, TimeUs now,
+                                      gmetad::render::Deps deps, TimeUs now,
                                       std::string body,
                                       std::string content_type);
 
@@ -69,7 +80,7 @@ class ResponseCache {
   std::int64_t ttl_s() const noexcept { return ttl_s_; }
 
  private:
-  bool fresh(const Entry& entry, std::uint64_t epoch, TimeUs now) const;
+  bool fresh(const Entry& entry, const gmetad::Store& store, TimeUs now) const;
 
   std::int64_t ttl_s_;
   std::size_t max_entries_;

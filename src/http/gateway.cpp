@@ -2,9 +2,8 @@
 
 #include "common/cpu_timer.hpp"
 #include "common/strings.hpp"
-#include "http/json.hpp"
-#include "presenter/html.hpp"
-#include "xml/ganglia.hpp"
+#include "gmetad/render/traversal.hpp"
+#include "presenter/html_backend.hpp"
 
 namespace ganglia::http {
 
@@ -32,149 +31,6 @@ Result<std::string> query_line(std::string_view rest, std::string_view query) {
     line += "?filter=summary";
   }
   return line;
-}
-
-// --------------------------------------------------------- JSON rendering
-
-void write_summary_json(JsonWriter& w, const SummaryInfo& summary) {
-  w.begin_object();
-  w.key("hosts_up");
-  w.value(static_cast<std::uint64_t>(summary.hosts_up));
-  w.key("hosts_down");
-  w.value(static_cast<std::uint64_t>(summary.hosts_down));
-  w.key("metrics");
-  w.begin_object();
-  for (const auto& [name, m] : summary.metrics) {
-    w.key(name);
-    w.begin_object();
-    w.key("sum");
-    w.value(m.sum);
-    w.key("num");
-    w.value(static_cast<std::uint64_t>(m.num));
-    w.key("mean");
-    w.value(m.mean());
-    if (!m.units.empty()) {
-      w.key("units");
-      w.value(m.units);
-    }
-    w.end_object();
-  }
-  w.end_object();
-  w.end_object();
-}
-
-void write_host_json(JsonWriter& w, const Host& host) {
-  w.begin_object();
-  w.key("name");
-  w.value(host.name);
-  w.key("ip");
-  w.value(host.ip);
-  w.key("up");
-  w.value(host.is_up());
-  w.key("reported");
-  w.value(static_cast<std::int64_t>(host.reported));
-  w.key("tn");
-  w.value(static_cast<std::uint64_t>(host.tn));
-  w.key("metrics");
-  w.begin_array();
-  for (const Metric& metric : host.metrics) {
-    w.begin_object();
-    w.key("name");
-    w.value(metric.name);
-    w.key("value");
-    w.value(metric.value);
-    if (metric.is_numeric()) {
-      w.key("numeric");
-      w.value(metric.numeric);
-    }
-    w.key("type");
-    w.value(metric_type_name(metric.type));
-    if (!metric.units.empty()) {
-      w.key("units");
-      w.value(metric.units);
-    }
-    w.key("tn");
-    w.value(static_cast<std::uint64_t>(metric.tn));
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
-}
-
-void write_cluster_json(JsonWriter& w, const Cluster& cluster) {
-  w.begin_object();
-  w.key("name");
-  w.value(cluster.name);
-  w.key("localtime");
-  w.value(static_cast<std::int64_t>(cluster.localtime));
-  if (!cluster.owner.empty()) {
-    w.key("owner");
-    w.value(cluster.owner);
-  }
-  if (cluster.is_summary_form()) {
-    w.key("summary");
-    write_summary_json(w, *cluster.summary);
-  } else {
-    w.key("hosts");
-    w.begin_array();
-    for (const auto& [name, host] : cluster.hosts) {
-      (void)name;
-      write_host_json(w, host);
-    }
-    w.end_array();
-  }
-  w.end_object();
-}
-
-void write_grid_json(JsonWriter& w, const Grid& grid) {
-  w.begin_object();
-  w.key("name");
-  w.value(grid.name);
-  if (!grid.authority.empty()) {
-    w.key("authority");
-    w.value(grid.authority);
-  }
-  w.key("localtime");
-  w.value(static_cast<std::int64_t>(grid.localtime));
-  if (grid.is_summary_form()) {
-    w.key("summary");
-    write_summary_json(w, *grid.summary);
-  } else {
-    w.key("clusters");
-    w.begin_array();
-    for (const Cluster& cluster : grid.clusters) {
-      write_cluster_json(w, cluster);
-    }
-    w.end_array();
-    w.key("grids");
-    w.begin_array();
-    for (const Grid& child : grid.grids) write_grid_json(w, child);
-    w.end_array();
-  }
-  w.end_object();
-}
-
-std::string report_to_json(const Report& report) {
-  std::string out;
-  JsonWriter w(out);
-  w.begin_object();
-  w.key("version");
-  w.value(report.version);
-  w.key("source");
-  w.value(report.source);
-  w.key("clusters");
-  w.begin_array();
-  for (const Cluster& cluster : report.clusters) {
-    write_cluster_json(w, cluster);
-  }
-  w.end_array();
-  w.key("grids");
-  w.begin_array();
-  for (const Grid& grid : report.grids) write_grid_json(w, grid);
-  w.end_array();
-  w.end_object();
-  out += '\n';
-  return out;
 }
 
 constexpr std::string_view kHtmlType = "text/html; charset=utf-8";
@@ -229,14 +85,14 @@ Response Gateway::handle(const Request& request) {
   std::string key = path;
   if (!decoded_query->empty()) key += '?' + *decoded_query;
 
-  const std::uint64_t epoch = monitor_.store().epoch();
   const TimeUs now = clock_.now_us();
-  auto entry = cache_.lookup(key, epoch, now);
+  auto entry = cache_.lookup(key, monitor_.store(), now);
   const bool hit = entry != nullptr;
   if (entry == nullptr) {
     auto content = render(path, *decoded_query);
     if (!content.ok()) return error_to_response(content.error());
-    entry = cache_.insert(key, epoch, now, std::move(content->body),
+    entry = cache_.insert(key, std::move(content->deps), now,
+                          std::move(content->body),
                           std::move(content->content_type));
   }
 
@@ -250,8 +106,8 @@ Response Gateway::handle(const Request& request) {
     response.set_header("Content-Type", entry->content_type);
   }
   response.set_header("ETag", entry->etag);
-  // Clients must revalidate: freshness is decided by the store epoch here,
-  // not by client-side heuristics.
+  // Clients must revalidate: freshness is decided by the store's publish
+  // versions here, not by client-side heuristics.
   response.set_header("Cache-Control", "no-cache");
   response.set_header("X-Cache", hit ? "hit" : "miss");
   return response;
@@ -276,82 +132,94 @@ Result<Gateway::Content> Gateway::render_xml(std::string_view rest,
                                              std::string_view query) {
   auto line = query_line(rest, query);
   if (!line.ok()) return line.error();
-  auto xml = monitor_.query(*line);  // charged to the node's CPU meter
-  if (!xml.ok()) return xml.error();
-  return Content{std::move(*xml), std::string(kXmlType)};
+  // Charged to the node's CPU meter; whole-tree responses splice the
+  // publish-time fragments instead of re-walking the store.
+  auto rendered =
+      monitor_.query_rendered(*line, gmetad::render::Format::xml);
+  if (!rendered.ok()) return rendered.error();
+  return Content{std::move(rendered->body), std::string(kXmlType),
+                 std::move(rendered->deps)};
 }
 
 Result<Gateway::Content> Gateway::render_api(std::string_view rest,
                                              std::string_view query) {
   auto line = query_line(rest, query);
   if (!line.ok()) return line.error();
-  auto xml = monitor_.query(*line);
-  if (!xml.ok()) return xml.error();
-  // Re-parse the engine's document into the typed model and re-render as
-  // JSON.  This keeps one authoritative query implementation; the parse is
-  // paid once per snapshot swap thanks to the response cache.
-  ScopedCpuMeter meter(monitor_.cpu_meter());
-  auto report = parse_report(*xml);
-  if (!report.ok()) {
-    return Err(Errc::internal,
-               "query result failed to re-parse: " + report.error().message);
-  }
-  return Content{report_to_json(*report), std::string(kJsonType)};
+  // Same traversal as /xml, JSON backend — the old design rendered XML,
+  // re-parsed it into the model, and re-rendered as JSON, paying two
+  // serialisations and a parse per cache miss.
+  auto rendered =
+      monitor_.query_rendered(*line, gmetad::render::Format::json);
+  if (!rendered.ok()) return rendered.error();
+  return Content{std::move(rendered->body), std::string(kJsonType),
+                 std::move(rendered->deps)};
 }
 
 Result<Gateway::Content> Gateway::render_ui(std::string_view path) {
-  ScopedCpuMeter meter(monitor_.cpu_meter());
   const auto segments = split(path, '/', /*skip_empty=*/true);  // "ui", ...
   const gmetad::Store& store = monitor_.store();
 
   if (segments.size() == 2 && segments[1] == "meta") {
-    presenter::MetaView view;
-    view.grid_name = monitor_.config().grid_name;
-    for (const auto& snapshot : store.all()) {
-      presenter::MetaRow row;
-      row.name = snapshot->name();
-      row.is_grid = snapshot->is_grid();
-      row.summary = snapshot->summary();
-      view.total.merge(row.summary);
-      view.sources.push_back(std::move(row));
-    }
-    return Content{presenter::render_meta_html(view), std::string(kHtmlType)};
+    // The engine's meta-view walk through the HTML backend; render_meta
+    // meters itself and reports the dependency set (all sources + the
+    // source-set structure).
+    presenter::MetaHtmlBackend backend;
+    gmetad::render::Deps deps = monitor_.render_meta(backend);
+    return Content{backend.take_html(), std::string(kHtmlType),
+                   std::move(deps)};
   }
 
   if (segments.size() == 3 && segments[1] == "cluster") {
-    for (const auto& snapshot : store.all()) {
-      if (const Cluster* cluster = snapshot->find_cluster(segments[2])) {
-        presenter::ClusterView view{*cluster};
-        return Content{presenter::render_cluster_html(view),
-                       std::string(kHtmlType)};
-      }
+    ScopedCpuMeter meter(monitor_.cpu_meter());
+    std::uint64_t structure_version = 0;
+    for (const auto& vs : store.all_versioned(&structure_version)) {
+      const Cluster* cluster = vs.snapshot->find_cluster(segments[2]);
+      if (cluster == nullptr) continue;
+      presenter::ClusterHtmlBackend backend;
+      gmetad::render::walk_cluster(*cluster, backend);
+      // The page depends on the snapshot it was read from; the structure
+      // dep covers a new source taking over the cluster name.
+      gmetad::render::Deps deps;
+      deps.structure = true;
+      deps.structure_version = structure_version;
+      deps.sources.push_back({vs.snapshot->name(), vs.version});
+      return Content{backend.take_html(), std::string(kHtmlType),
+                     std::move(deps)};
     }
     return Err(Errc::not_found,
                "no cluster '" + std::string(segments[2]) + "'");
   }
 
   if (segments.size() == 4 && segments[1] == "host") {
+    ScopedCpuMeter meter(monitor_.cpu_meter());
     const std::string_view cluster_name = segments[2];
     const std::string_view host_name = segments[3];
-    for (const auto& snapshot : store.all()) {
-      const Cluster* cluster = snapshot->find_cluster(cluster_name);
+    std::uint64_t structure_version = 0;
+    for (const auto& vs : store.all_versioned(&structure_version)) {
+      const Cluster* cluster = vs.snapshot->find_cluster(cluster_name);
       if (cluster == nullptr) continue;
       const auto it = cluster->hosts.find(std::string(host_name));
       if (it == cluster->hosts.end()) break;
-      presenter::HostView view{std::string(cluster_name), it->second};
       // Inline SVG graphs for whichever of the standard metrics have
       // archived history — the rrdtool panel of the real frontend.
       std::vector<std::pair<std::string, rrd::Series>> histories;
       const std::int64_t now_s = clock_.now_us() / kMicrosPerSecond;
       for (const std::string& metric : options_.graph_metrics) {
         auto series = monitor_.archiver().fetch_host_metric(
-            snapshot->name(), std::string(cluster_name),
+            vs.snapshot->name(), std::string(cluster_name),
             std::string(host_name), metric, now_s - options_.history_window_s,
             now_s);
         if (series.ok()) histories.emplace_back(metric, std::move(*series));
       }
-      return Content{presenter::render_host_html(view, histories),
-                     std::string(kHtmlType)};
+      presenter::HostHtmlBackend backend(std::string(cluster_name),
+                                         histories);
+      gmetad::render::walk_host_subtree(it->second, backend);
+      gmetad::render::Deps deps;
+      deps.structure = true;
+      deps.structure_version = structure_version;
+      deps.sources.push_back({vs.snapshot->name(), vs.version});
+      return Content{backend.take_html(), std::string(kHtmlType),
+                     std::move(deps)};
     }
     return Err(Errc::not_found, "no host '" + std::string(host_name) +
                                     "' in cluster '" +
@@ -376,7 +244,9 @@ Gateway::Content Gateway::render_index() const {
       "(?filter=summary)</li>"
       "<li><a href=\"/api/v1/\">/api/v1/&lt;path&gt;</a> — JSON API</li>"
       "</ul></body></html>\n";
-  return Content{std::move(body), std::string(kHtmlType)};
+  // No store dependencies: the index is static apart from the grid name,
+  // so the TTL floor alone governs it.
+  return Content{std::move(body), std::string(kHtmlType), {}};
 }
 
 }  // namespace ganglia::http

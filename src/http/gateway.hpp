@@ -10,11 +10,18 @@
 //   /ui/cluster/<cluster>     cluster view (per-host table)
 //   /ui/host/<cluster>/<host> host page with inline SVG RRD graphs
 //
-// Every 200 passes through a ResponseCache validated by the store's
-// snapshot epoch plus a TTL floor, with strong ETags: a dashboard hammering
-// F5 costs one render per snapshot swap, and If-None-Match revalidation
-// costs no body bytes at all (304).  The gateway layers *on top of* Gmetad
-// exactly like src/alarm does — gmetad knows nothing about HTTP.
+// All formats render through the unified pipeline (gmetad/render): one
+// tree traversal in the query engine feeds the XML, JSON, and HTML
+// backends, and whole-tree responses splice the publish-time fragments
+// each snapshot carries instead of re-walking the store.
+//
+// Every 200 passes through a ResponseCache validated by the store versions
+// the body was rendered from (render::Deps) plus a TTL floor, with strong
+// ETags: a dashboard hammering F5 costs one render per publish *of the
+// sources that page reads* — publishing source A leaves cached pages for
+// source B valid — and If-None-Match revalidation costs no body bytes at
+// all (304).  The gateway layers *on top of* Gmetad exactly like
+// src/alarm does — gmetad knows nothing about HTTP.
 #pragma once
 
 #include <string>
@@ -28,7 +35,7 @@
 namespace ganglia::http {
 
 struct GatewayOptions {
-  std::int64_t cache_ttl_s = 15;     ///< TTL floor; <=0 = epoch-only
+  std::int64_t cache_ttl_s = 15;     ///< TTL floor; <=0 = version-only
   std::size_t cache_entries = 512;
   /// Host pages graph these metrics (when archived) over history_window_s.
   std::vector<std::string> graph_metrics = {"load_one", "cpu_user",
@@ -54,6 +61,7 @@ class Gateway {
   struct Content {
     std::string body;
     std::string content_type;
+    gmetad::render::Deps deps;  ///< store versions the body depends on
   };
 
   /// Render a target from the store (cache miss path).  Non-200 outcomes

@@ -1,48 +1,14 @@
-// Minimal streaming JSON writer.
-//
-// The gateway's /api/v1 endpoints render query results as JSON for
-// programmatic dashboards; this is the writing half only (the monitor never
-// parses JSON), with correct string escaping and container bookkeeping so
-// renderers cannot emit malformed documents by forgetting a comma.
+// Compatibility header: JsonWriter moved to src/xml (the serialization
+// layer) so the render pipeline's JSON backend can live in src/gmetad
+// without depending on the HTTP layer.  Existing http-layer users keep
+// their spelling via these aliases.
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "xml/json.hpp"
 
 namespace ganglia::http {
 
-/// Append `s` JSON-escaped (without surrounding quotes).
-void append_json_escaped(std::string& out, std::string_view s);
-
-class JsonWriter {
- public:
-  explicit JsonWriter(std::string& out) : out_(out) {}
-
-  void begin_object();
-  void end_object();
-  void begin_array();
-  void end_array();
-
-  /// Object member key; must be followed by exactly one value/container.
-  void key(std::string_view name);
-
-  void value(std::string_view s);
-  void value(const char* s) { value(std::string_view(s)); }
-  void value(double v);  ///< NaN/Inf serialise as null (JSON has no such numbers)
-  void value(std::int64_t v);
-  void value(std::uint64_t v);
-  void value(bool v);
-  void null();
-
- private:
-  void separator();
-
-  std::string& out_;
-  /// One flag per open container: true until the first element is written.
-  std::vector<bool> first_;
-  bool after_key_ = false;
-};
+using xml::JsonWriter;
+using xml::append_json_escaped;
 
 }  // namespace ganglia::http

@@ -1,102 +1,42 @@
 #include "presenter/html.hpp"
 
-#include "common/strings.hpp"
-#include "xml/escape.hpp"
+#include "gmetad/render/traversal.hpp"
+#include "presenter/html_backend.hpp"
 
 namespace ganglia::presenter {
 
-namespace {
-
-const char* kStyle =
-    "<style>body{font-family:sans-serif;margin:2em}"
-    "table{border-collapse:collapse}td,th{border:1px solid #999;"
-    "padding:4px 10px;text-align:left}th{background:#eee}"
-    "h1{font-size:1.3em}.down{color:#b00}.up{color:#080}</style>";
-
-std::string page(const std::string& title, const std::string& body) {
-  return "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" +
-         xml::escape(title) + "</title>" + kStyle + "</head><body><h1>" +
-         xml::escape(title) + "</h1>" + body + "</body></html>\n";
-}
-
-double summary_mean(const SummaryInfo& s, const std::string& metric) {
-  const auto it = s.metrics.find(metric);
-  return it == s.metrics.end() ? 0.0 : it->second.mean();
-}
-
-double summary_sum(const SummaryInfo& s, const std::string& metric) {
-  const auto it = s.metrics.find(metric);
-  return it == s.metrics.end() ? 0.0 : it->second.sum;
-}
-
-}  // namespace
+// Each renderer drives the unified render pipeline's HTML backends: views
+// fetched over the wire (the Viewer's structs) synthesize the same event
+// stream the gmetad-side document walk produces, so there is exactly one
+// HTML table builder per page regardless of where the data came from.
 
 std::string render_meta_html(const MetaView& view) {
-  std::string body =
-      "<table><tr><th>Source</th><th>Kind</th><th>Hosts up</th>"
-      "<th>Hosts down</th><th>CPUs</th><th>Load (1m, mean)</th></tr>";
+  MetaHtmlBackend backend;
+  gmetad::render::DocumentInfo info;
+  info.grid_name = view.grid_name;
+  backend.begin_document(info);
   for (const MetaRow& row : view.sources) {
-    body += "<tr><td>" + xml::escape(row.name) + "</td><td>" +
-            (row.is_grid ? "grid" : "cluster") + "</td><td class=\"up\">" +
-            std::to_string(row.summary.hosts_up) + "</td><td class=\"down\">" +
-            std::to_string(row.summary.hosts_down) + "</td><td>" +
-            strprintf("%.0f", summary_sum(row.summary, "cpu_num")) +
-            "</td><td>" +
-            strprintf("%.2f", summary_mean(row.summary, "load_one")) +
-            "</td></tr>";
+    backend.begin_source({row.name, row.is_grid, /*reachable=*/true});
+    backend.summary(row.summary);
+    backend.end_source();
   }
-  body += "<tr><th>TOTAL</th><th></th><th>" +
-          std::to_string(view.total.hosts_up) + "</th><th>" +
-          std::to_string(view.total.hosts_down) + "</th><th>" +
-          strprintf("%.0f", summary_sum(view.total, "cpu_num")) + "</th><th>" +
-          strprintf("%.2f", summary_mean(view.total, "load_one")) +
-          "</th></tr></table>";
-  return page("Grid " + view.grid_name + " — meta view", body);
+  backend.total(view.total);
+  backend.end_document();
+  return backend.take_html();
 }
 
 std::string render_cluster_html(const ClusterView& view) {
-  const SummaryInfo summary = view.cluster.summarize();
-  std::string body = "<p>" + std::to_string(summary.hosts_up) + " up, " +
-                     std::to_string(summary.hosts_down) + " down</p>";
-  body +=
-      "<table><tr><th>Host</th><th>IP</th><th>State</th><th>Load 1m</th>"
-      "<th>CPU user %</th><th>Mem free KB</th></tr>";
-  for (const auto& [name, host] : view.cluster.hosts) {
-    const Metric* load = host.find_metric("load_one");
-    const Metric* cpu = host.find_metric("cpu_user");
-    const Metric* mem = host.find_metric("mem_free");
-    body += "<tr><td>" + xml::escape(name) + "</td><td>" +
-            xml::escape(host.ip) + "</td><td class=\"" +
-            (host.is_up() ? "up\">up" : "down\">down") + "</td><td>" +
-            (load != nullptr ? load->value : "-") + "</td><td>" +
-            (cpu != nullptr ? cpu->value : "-") + "</td><td>" +
-            (mem != nullptr ? mem->value : "-") + "</td></tr>";
-  }
-  body += "</table>";
-  return page("Cluster " + view.cluster.name, body);
+  ClusterHtmlBackend backend;
+  gmetad::render::walk_cluster(view.cluster, backend);
+  return backend.take_html();
 }
 
 std::string render_host_html(
     const HostView& view,
     const std::vector<std::pair<std::string, rrd::Series>>& histories) {
-  std::string body = "<p>IP " + xml::escape(view.host.ip) + ", " +
-                     (view.host.is_up() ? "up" : "down") + ", last heard " +
-                     std::to_string(view.host.tn) + "s ago</p>";
-  for (const auto& [metric_name, series] : histories) {
-    rrd::SvgGraphOptions graph;
-    graph.title = metric_name + " — " + view.host.name;
-    body += "<div>" + rrd::render_svg(series, graph) + "</div>";
-  }
-  body += "<table><tr><th>Metric</th><th>Value</th><th>Units</th>"
-          "<th>Type</th><th>TN</th></tr>";
-  for (const Metric& m : view.host.metrics) {
-    body += "<tr><td>" + xml::escape(m.name) + "</td><td>" +
-            xml::escape(m.value) + "</td><td>" + xml::escape(m.units) +
-            "</td><td>" + std::string(metric_type_name(m.type)) + "</td><td>" +
-            std::to_string(m.tn) + "</td></tr>";
-  }
-  body += "</table>";
-  return page("Host " + view.host.name + " (" + view.cluster_name + ")", body);
+  HostHtmlBackend backend(view.cluster_name, histories);
+  gmetad::render::walk_host_subtree(view.host, backend);
+  return backend.take_html();
 }
 
 }  // namespace ganglia::presenter

@@ -1,0 +1,179 @@
+#include "presenter/html_backend.hpp"
+
+#include "common/strings.hpp"
+#include "xml/escape.hpp"
+
+namespace ganglia::presenter {
+
+namespace {
+
+const char* kStyle =
+    "<style>body{font-family:sans-serif;margin:2em}"
+    "table{border-collapse:collapse}td,th{border:1px solid #999;"
+    "padding:4px 10px;text-align:left}th{background:#eee}"
+    "h1{font-size:1.3em}.down{color:#b00}.up{color:#080}</style>";
+
+std::string page(const std::string& title, const std::string& body) {
+  return "<!DOCTYPE html><html><head><meta charset=\"utf-8\"><title>" +
+         xml::escape(title) + "</title>" + kStyle + "</head><body><h1>" +
+         xml::escape(title) + "</h1>" + body + "</body></html>\n";
+}
+
+double summary_mean(const SummaryInfo& s, const std::string& metric) {
+  const auto it = s.metrics.find(metric);
+  return it == s.metrics.end() ? 0.0 : it->second.mean();
+}
+
+double summary_sum(const SummaryInfo& s, const std::string& metric) {
+  const auto it = s.metrics.find(metric);
+  return it == s.metrics.end() ? 0.0 : it->second.sum;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- meta
+
+void MetaHtmlBackend::begin_document(const gmetad::render::DocumentInfo& info) {
+  view_.grid_name = std::string(info.grid_name);
+}
+
+void MetaHtmlBackend::begin_source(const gmetad::render::SourceInfo& info) {
+  for (std::size_t i = 0; i < view_.sources.size(); ++i) {
+    if (view_.sources[i].name == info.name) {
+      current_ = i;
+      return;
+    }
+  }
+  MetaRow row;
+  row.name = std::string(info.name);
+  row.is_grid = info.is_grid;
+  current_ = view_.sources.size();
+  view_.sources.push_back(std::move(row));
+}
+
+void MetaHtmlBackend::end_source() { current_ = static_cast<std::size_t>(-1); }
+
+void MetaHtmlBackend::summary(const SummaryInfo& info) {
+  if (current_ < view_.sources.size()) view_.sources[current_].summary.merge(info);
+}
+
+void MetaHtmlBackend::total(const SummaryInfo& info) { view_.total = info; }
+
+std::string MetaHtmlBackend::take_html() const {
+  std::string body =
+      "<table><tr><th>Source</th><th>Kind</th><th>Hosts up</th>"
+      "<th>Hosts down</th><th>CPUs</th><th>Load (1m, mean)</th></tr>";
+  for (const MetaRow& row : view_.sources) {
+    body += "<tr><td>" + xml::escape(row.name) + "</td><td>" +
+            (row.is_grid ? "grid" : "cluster") + "</td><td class=\"up\">" +
+            std::to_string(row.summary.hosts_up) + "</td><td class=\"down\">" +
+            std::to_string(row.summary.hosts_down) + "</td><td>" +
+            strprintf("%.0f", summary_sum(row.summary, "cpu_num")) +
+            "</td><td>" +
+            strprintf("%.2f", summary_mean(row.summary, "load_one")) +
+            "</td></tr>";
+  }
+  body += "<tr><th>TOTAL</th><th></th><th>" +
+          std::to_string(view_.total.hosts_up) + "</th><th>" +
+          std::to_string(view_.total.hosts_down) + "</th><th>" +
+          strprintf("%.0f", summary_sum(view_.total, "cpu_num")) + "</th><th>" +
+          strprintf("%.2f", summary_mean(view_.total, "load_one")) +
+          "</th></tr></table>";
+  return page("Grid " + view_.grid_name + " — meta view", body);
+}
+
+// ---------------------------------------------------------------- cluster
+
+void ClusterHtmlBackend::begin_cluster(const Cluster& cluster) {
+  if (name_.empty()) name_ = cluster.name;
+}
+
+void ClusterHtmlBackend::begin_host(const Host& host) {
+  Row row;
+  row.name = host.name;
+  row.ip = host.ip;
+  row.up = host.is_up();
+  if (row.up) {
+    ++hosts_up_;
+  } else {
+    ++hosts_down_;
+  }
+  rows_.push_back(std::move(row));
+  have_row_ = true;
+}
+
+void ClusterHtmlBackend::metric(const Host& host, const Metric& metric) {
+  (void)host;
+  if (!have_row_) return;
+  Row& row = rows_.back();
+  // First occurrence wins, matching find_metric() on the old view path.
+  if (metric.name == "load_one" && row.load == "-") {
+    row.load = metric.value;
+  } else if (metric.name == "cpu_user" && row.cpu == "-") {
+    row.cpu = metric.value;
+  } else if (metric.name == "mem_free" && row.mem == "-") {
+    row.mem = metric.value;
+  }
+}
+
+void ClusterHtmlBackend::end_host(const Host& host) {
+  (void)host;
+  have_row_ = false;
+}
+
+void ClusterHtmlBackend::summary(const SummaryInfo& info) {
+  // A summary-form cluster: up/down counts come from the stored reduction
+  // (there are no host events to count).
+  hosts_up_ = info.hosts_up;
+  hosts_down_ = info.hosts_down;
+}
+
+std::string ClusterHtmlBackend::take_html() const {
+  std::string body = "<p>" + std::to_string(hosts_up_) + " up, " +
+                     std::to_string(hosts_down_) + " down</p>";
+  body +=
+      "<table><tr><th>Host</th><th>IP</th><th>State</th><th>Load 1m</th>"
+      "<th>CPU user %</th><th>Mem free KB</th></tr>";
+  for (const Row& row : rows_) {
+    body += "<tr><td>" + xml::escape(row.name) + "</td><td>" +
+            xml::escape(row.ip) + "</td><td class=\"" +
+            (row.up ? "up\">up" : "down\">down") + "</td><td>" + row.load +
+            "</td><td>" + row.cpu + "</td><td>" + row.mem + "</td></tr>";
+  }
+  body += "</table>";
+  return page("Cluster " + name_, body);
+}
+
+// ------------------------------------------------------------------- host
+
+void HostHtmlBackend::begin_host(const Host& host) {
+  host_name_ = host.name;
+  header_ = "<p>IP " + xml::escape(host.ip) + ", " +
+            (host.is_up() ? "up" : "down") + ", last heard " +
+            std::to_string(host.tn) + "s ago</p>";
+}
+
+void HostHtmlBackend::metric(const Host& host, const Metric& m) {
+  (void)host;
+  table_rows_ += "<tr><td>" + xml::escape(m.name) + "</td><td>" +
+                 xml::escape(m.value) + "</td><td>" + xml::escape(m.units) +
+                 "</td><td>" + std::string(metric_type_name(m.type)) +
+                 "</td><td>" + std::to_string(m.tn) + "</td></tr>";
+}
+
+std::string HostHtmlBackend::take_html() const {
+  std::string body = header_;
+  for (const auto& [metric_name, series] : histories_) {
+    rrd::SvgGraphOptions graph;
+    graph.title = metric_name + " — " + host_name_;
+    body += "<div>" + rrd::render_svg(series, graph) + "</div>";
+  }
+  body +=
+      "<table><tr><th>Metric</th><th>Value</th><th>Units</th>"
+      "<th>Type</th><th>TN</th></tr>";
+  body += table_rows_;
+  body += "</table>";
+  return page("Host " + host_name_ + " (" + cluster_name_ + ")", body);
+}
+
+}  // namespace ganglia::presenter

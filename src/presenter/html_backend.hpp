@@ -1,0 +1,94 @@
+// HTML backends for the unified render pipeline.
+//
+// The presenter used to walk the monitoring tree itself to build its three
+// pages; these Backend implementations consume the same event stream as the
+// XML and JSON backends (gmetad/render), so HTML is the third consumer of
+// the single traversal rather than a fourth walker.  Each backend builds
+// the page body incrementally from events and assembles the final document
+// in take_html(); the byte output matches the old view-struct renderers
+// exactly (the presenter tests compare against golden substrings).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gmetad/render/backend.hpp"
+#include "presenter/viewer.hpp"
+#include "rrd/graph.hpp"
+
+namespace ganglia::presenter {
+
+/// Meta view: one summary row per source plus the grand TOTAL row.  The
+/// document walk enters each source twice (clusters pass, grids pass), so
+/// rows are found-or-created by name and summaries merge across both
+/// visits — the merged row equals the source's whole-tree reduction.
+class MetaHtmlBackend : public gmetad::render::Backend {
+ public:
+  void begin_document(const gmetad::render::DocumentInfo& info) override;
+  void begin_source(const gmetad::render::SourceInfo& info) override;
+  void end_source() override;
+  void summary(const SummaryInfo& info) override;
+  void total(const SummaryInfo& info) override;
+
+  /// Assemble the page (valid once the walk has finished).
+  std::string take_html() const;
+
+ private:
+  MetaView view_;
+  std::size_t current_ = static_cast<std::size_t>(-1);  ///< row index
+};
+
+/// Cluster view: the per-host table.  Host state and the three displayed
+/// metrics are captured as their events stream past; a summary event (a
+/// summary-form cluster) fills the up/down header with no rows.
+class ClusterHtmlBackend : public gmetad::render::Backend {
+ public:
+  void begin_cluster(const Cluster& cluster) override;
+  void begin_host(const Host& host) override;
+  void metric(const Host& host, const Metric& metric) override;
+  void end_host(const Host& host) override;
+  void summary(const SummaryInfo& info) override;
+
+  std::string take_html() const;
+
+ private:
+  struct Row {
+    std::string name;
+    std::string ip;
+    bool up = false;
+    std::string load = "-";
+    std::string cpu = "-";
+    std::string mem = "-";
+  };
+  std::string name_;
+  std::size_t hosts_up_ = 0;
+  std::size_t hosts_down_ = 0;
+  std::vector<Row> rows_;
+  bool have_row_ = false;
+};
+
+/// Host view: the metric table, preceded by inline SVG graphs for whichever
+/// metrics have archived history (supplied by the caller — history is the
+/// archiver's business, not the tree walk's).
+class HostHtmlBackend : public gmetad::render::Backend {
+ public:
+  HostHtmlBackend(
+      std::string cluster_name,
+      const std::vector<std::pair<std::string, rrd::Series>>& histories)
+      : cluster_name_(std::move(cluster_name)), histories_(histories) {}
+
+  void begin_host(const Host& host) override;
+  void metric(const Host& host, const Metric& metric) override;
+
+  std::string take_html() const;
+
+ private:
+  std::string cluster_name_;
+  const std::vector<std::pair<std::string, rrd::Series>>& histories_;
+  std::string host_name_;
+  std::string header_;
+  std::string table_rows_;
+};
+
+}  // namespace ganglia::presenter

@@ -187,8 +187,7 @@ void write_metric(xml::XmlWriter& w, const Metric& metric) {
   w.close();
 }
 
-void write_host(xml::XmlWriter& w, const Host& host) {
-  w.open("HOST");
+void write_host_attrs(xml::XmlWriter& w, const Host& host) {
   w.attr("NAME", host.name);
   w.attr("IP", host.ip);
   w.attr("REPORTED", host.reported);
@@ -197,6 +196,11 @@ void write_host(xml::XmlWriter& w, const Host& host) {
   w.attr("DMAX", static_cast<std::uint64_t>(host.dmax));
   if (!host.location.empty()) w.attr("LOCATION", host.location);
   w.attr("GMOND_STARTED", host.gmond_started);
+}
+
+void write_host(xml::XmlWriter& w, const Host& host) {
+  w.open("HOST");
+  write_host_attrs(w, host);
   for (const Metric& m : host.metrics) write_metric(w, m);
   w.close();
 }
@@ -217,7 +221,6 @@ void write_summary_info(xml::XmlWriter& w, const SummaryInfo& summary) {
   }
 }
 
-namespace {
 void write_cluster_attrs(xml::XmlWriter& w, const Cluster& cluster) {
   w.attr("NAME", cluster.name);
   w.attr("LOCALTIME", cluster.localtime);
@@ -225,7 +228,12 @@ void write_cluster_attrs(xml::XmlWriter& w, const Cluster& cluster) {
   if (!cluster.latlong.empty()) w.attr("LATLONG", cluster.latlong);
   if (!cluster.url.empty()) w.attr("URL", cluster.url);
 }
-}  // namespace
+
+void write_grid_attrs(xml::XmlWriter& w, const Grid& grid) {
+  w.attr("NAME", grid.name);
+  w.attr("AUTHORITY", grid.authority);
+  w.attr("LOCALTIME", grid.localtime);
+}
 
 void write_cluster(xml::XmlWriter& w, const Cluster& cluster) {
   w.open("CLUSTER");
@@ -250,9 +258,7 @@ void write_cluster_summary(xml::XmlWriter& w, const Cluster& cluster) {
 
 void write_grid(xml::XmlWriter& w, const Grid& grid) {
   w.open("GRID");
-  w.attr("NAME", grid.name);
-  w.attr("AUTHORITY", grid.authority);
-  w.attr("LOCALTIME", grid.localtime);
+  write_grid_attrs(w, grid);
   if (grid.summary) {
     write_summary_info(w, *grid.summary);
   } else {

@@ -216,6 +216,15 @@ void write_host(xml::XmlWriter& w, const Host& host);
 void write_metric(xml::XmlWriter& w, const Metric& metric);
 void write_summary_info(xml::XmlWriter& w, const SummaryInfo& summary);
 
+/// Attribute-only writers: emit the element's attributes on the most
+/// recently opened element, without opening/closing it or descending into
+/// children.  The render pipeline's XML backend uses these so element
+/// wrappers (open tag here, children from another walk or a spliced
+/// fragment) stay byte-identical with the full writers above.
+void write_cluster_attrs(xml::XmlWriter& w, const Cluster& cluster);
+void write_grid_attrs(xml::XmlWriter& w, const Grid& grid);
+void write_host_attrs(xml::XmlWriter& w, const Host& host);
+
 // ---------------------------------------------------------------- parsing
 
 /// Parse a <GANGLIA_XML> document into the typed model.  Unknown elements

@@ -1,10 +1,10 @@
-#include "http/json.hpp"
+#include "xml/json.hpp"
 
 #include <cmath>
 
 #include "common/strings.hpp"
 
-namespace ganglia::http {
+namespace ganglia::xml {
 
 void append_json_escaped(std::string& out, std::string_view s) {
   for (char c : s) {
@@ -105,4 +105,10 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
-}  // namespace ganglia::http
+void JsonWriter::raw(std::string_view bytes) {
+  if (bytes.empty()) return;
+  separator();
+  out_ += bytes;
+}
+
+}  // namespace ganglia::xml

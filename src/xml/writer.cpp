@@ -81,6 +81,13 @@ void XmlWriter::close() {
   has_child_ = true;  // the parent now has at least one child
 }
 
+void XmlWriter::raw(std::string_view bytes) {
+  if (bytes.empty()) return;
+  seal_start_tag();
+  out_ += bytes;
+  has_child_ = true;
+}
+
 void XmlWriter::text(std::string_view content) {
   assert(!stack_.empty() && "text() outside any element");
   seal_start_tag();

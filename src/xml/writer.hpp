@@ -44,6 +44,14 @@ class XmlWriter {
   /// Escaped character data inside the current element.
   void text(std::string_view content);
 
+  /// Splice pre-serialized, pre-escaped element bytes as children of the
+  /// current element.  The render pipeline uses this to compose full-tree
+  /// responses from publish-time snapshot fragments without re-walking (or
+  /// re-escaping) the subtree.  `bytes` must be well-formed element markup
+  /// produced by a compact (non-pretty) writer; an empty fragment is a
+  /// no-op, so an element with only empty splices still self-closes.
+  void raw(std::string_view bytes);
+
   /// Number of currently open elements.
   std::size_t depth() const noexcept { return stack_.size(); }
 

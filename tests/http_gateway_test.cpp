@@ -1,9 +1,11 @@
 // Tests for the gmetad HTTP gateway: routing (/xml, /api/v1, /ui), the
-// epoch+TTL response cache with ETag revalidation, and end-to-end service
-// over both the in-memory fabric and real TCP.
+// version+TTL response cache with ETag revalidation (per-source
+// invalidation), and end-to-end service over both the in-memory fabric and
+// real TCP.
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "gmetad/testbed.hpp"
@@ -191,6 +193,36 @@ TEST_F(GatewayTest, SnapshotSwapInvalidatesEtag) {
   EXPECT_EQ(after.status, 200) << "a pre-swap ETag must stop matching";
   EXPECT_EQ(header(after, "X-Cache"), "miss");
   EXPECT_NE(header(after, "ETag"), etag);
+}
+
+TEST_F(GatewayTest, PublishingOneSourceKeepsOtherEntriesValid) {
+  const Response meteor = gateway_.handle(get("/xml/meteor"));
+  const Response nashi = gateway_.handle(get("/xml/nashi"));
+  const std::string meteor_etag = header(meteor, "ETag");
+  const std::string nashi_etag = header(nashi, "ETag");
+  ASSERT_EQ(gateway_.handle(get("/xml/meteor", meteor_etag)).status, 304);
+  ASSERT_EQ(gateway_.handle(get("/xml/nashi", nashi_etag)).status, 304);
+
+  // Republish meteor only: a fresh snapshot built from its current data.
+  gmetad::Store& store = bed_.node("root").store();
+  auto current = store.get("meteor");
+  ASSERT_NE(current, nullptr);
+  Report report;
+  report.clusters = current->clusters();
+  report.grids = current->grids();
+  store.publish(std::make_shared<gmetad::SourceSnapshot>(
+      "meteor", std::move(report), current->fetched_at()));
+
+  const Response meteor_after =
+      gateway_.handle(get("/xml/meteor", meteor_etag));
+  EXPECT_EQ(meteor_after.status, 200)
+      << "a pre-publish ETag for the published source must stop matching";
+  EXPECT_EQ(header(meteor_after, "X-Cache"), "miss");
+
+  const Response nashi_after = gateway_.handle(get("/xml/nashi", nashi_etag));
+  EXPECT_EQ(nashi_after.status, 304)
+      << "publishing meteor must leave nashi's cached response valid";
+  EXPECT_EQ(header(nashi_after, "X-Cache"), "hit");
 }
 
 TEST_F(GatewayTest, TtlFloorExpiresWithoutEpochChange) {

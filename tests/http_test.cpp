@@ -222,7 +222,8 @@ TEST(JsonWriter, EscapesAndNestsCorrectly) {
 TEST(ETag, MatchesListsAndWeakForms) {
   const std::string etag = make_etag("body", 7);
   EXPECT_TRUE(etag.starts_with('"') && etag.ends_with('"'));
-  EXPECT_NE(etag, make_etag("body", 8)) << "epoch must be part of the tag";
+  EXPECT_NE(etag, make_etag("body", 8))
+      << "the dependency fingerprint must be part of the tag";
   EXPECT_NE(etag, make_etag("other", 7));
 
   EXPECT_TRUE(etag_matches(etag, etag));
@@ -233,35 +234,91 @@ TEST(ETag, MatchesListsAndWeakForms) {
   EXPECT_FALSE(etag_matches("", etag));
 }
 
-TEST(ResponseCache, EpochAndTtlInvalidation) {
-  ResponseCache cache(/*ttl_s=*/10, /*max_entries=*/4);
+Report tiny_report(const std::string& cluster_name) {
+  Report report;
+  Cluster c;
+  c.name = cluster_name;
+  Host h;
+  h.name = "h0";
+  h.tn = 1;
+  c.hosts.emplace(h.name, std::move(h));
+  report.clusters.push_back(std::move(c));
+  return report;
+}
+
+void publish(gmetad::Store& store, const std::string& name) {
+  store.publish(std::make_shared<gmetad::SourceSnapshot>(
+      name, tiny_report(name), 100));
+}
+
+gmetad::render::Deps source_deps(const gmetad::Store& store,
+                                 const std::string& name) {
+  gmetad::render::Deps deps;
+  deps.sources.push_back({name, store.source_version(name)});
+  return deps;
+}
+
+TEST(ResponseCache, PerSourceInvalidation) {
+  ResponseCache cache(/*ttl_s=*/10, /*max_entries=*/8);
+  gmetad::Store store;
+  publish(store, "alpha");
+  publish(store, "beta");
   const TimeUs t0 = 1'000'000;
-  EXPECT_EQ(cache.lookup("/k", 1, t0), nullptr);
-  auto entry = cache.insert("/k", 1, t0, "body", "text/plain");
+
+  EXPECT_EQ(cache.lookup("/a", store, t0), nullptr);
+  auto entry = cache.insert("/a", source_deps(store, "alpha"), t0, "body-a",
+                            "text/plain");
   ASSERT_NE(entry, nullptr);
-  EXPECT_EQ(entry->etag, make_etag("body", 1));
+  EXPECT_EQ(entry->etag,
+            make_etag("body-a", source_deps(store, "alpha").fingerprint()));
+  cache.insert("/b", source_deps(store, "beta"), t0, "body-b", "text/plain");
 
-  // Hit while the epoch matches and the TTL floor has not passed.
-  EXPECT_NE(cache.lookup("/k", 1, t0 + 5 * kMicrosPerSecond), nullptr);
-  // Epoch bump invalidates regardless of age.
-  EXPECT_EQ(cache.lookup("/k", 2, t0 + 1), nullptr);
+  EXPECT_NE(cache.lookup("/a", store, t0 + 1), nullptr);
+  EXPECT_NE(cache.lookup("/b", store, t0 + 1), nullptr);
 
-  cache.insert("/k", 2, t0, "body2", "text/plain");
-  // TTL floor invalidates even within the same epoch.
-  EXPECT_EQ(cache.lookup("/k", 2, t0 + 11 * kMicrosPerSecond), nullptr);
+  // Republishing alpha invalidates only the entry that depends on alpha.
+  publish(store, "alpha");
+  EXPECT_EQ(cache.lookup("/a", store, t0 + 2), nullptr);
+  EXPECT_NE(cache.lookup("/b", store, t0 + 2), nullptr)
+      << "beta's entry must survive an alpha publish";
 
   const CacheStats stats = cache.stats();
-  EXPECT_EQ(stats.hits, 1u);
-  EXPECT_GE(stats.expirations, 2u);
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_GE(stats.expirations, 1u);
+}
+
+TEST(ResponseCache, StructureDependencyAndTtl) {
+  ResponseCache cache(/*ttl_s=*/10, /*max_entries=*/8);
+  gmetad::Store store;
+  publish(store, "alpha");
+  const TimeUs t0 = 1'000'000;
+
+  // A whole-tree view depends on the source *set* as well as each source.
+  gmetad::render::Deps deps = source_deps(store, "alpha");
+  deps.structure = true;
+  deps.structure_version = store.structure_version();
+  cache.insert("/all", deps, t0, "tree", "text/xml");
+  EXPECT_NE(cache.lookup("/all", store, t0 + 1), nullptr);
+
+  // A new source joining the set invalidates it even though alpha's own
+  // snapshot is untouched.
+  publish(store, "gamma");
+  EXPECT_EQ(cache.lookup("/all", store, t0 + 2), nullptr);
+
+  // TTL floor invalidates even when every recorded version still matches.
+  cache.insert("/ttl", source_deps(store, "alpha"), t0, "x", "text/plain");
+  EXPECT_EQ(cache.lookup("/ttl", store, t0 + 11 * kMicrosPerSecond), nullptr);
 }
 
 TEST(ResponseCache, CapacityBounded) {
   ResponseCache cache(/*ttl_s=*/0, /*max_entries=*/2);
-  cache.insert("/a", 1, 0, "a", "t");
-  cache.insert("/b", 1, 0, "b", "t");
-  cache.insert("/c", 1, 0, "c", "t");
+  gmetad::Store store;
+  cache.insert("/a", {}, 0, "a", "t");
+  cache.insert("/b", {}, 0, "b", "t");
+  cache.insert("/c", {}, 0, "c", "t");
   EXPECT_LE(cache.size(), 2u);
   EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_NE(cache.lookup("/c", store, 0), nullptr);
 }
 
 // ---------------------------------------------------------------- server

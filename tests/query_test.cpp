@@ -54,6 +54,30 @@ TEST(QueryGrammar, RejectsBadQueries) {
   EXPECT_FALSE(parse_query("/~[unclosed").ok());  // bad regex
 }
 
+TEST(QueryGrammar, TrailingAndDuplicateSlashesCollapse) {
+  auto q = parse_query("//meteor///compute-0-0//");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->segments.size(), 2u);
+  EXPECT_EQ(q->segments[0].text, "meteor");
+  EXPECT_EQ(q->segments[1].text, "compute-0-0");
+}
+
+TEST(QueryGrammar, EnforcesHardCaps) {
+  // The query line arrives on the open service port; each cap must reject
+  // adversarial input before any expensive work happens.
+  const std::string too_long = "/" + std::string(kMaxQueryBytes, 'a');
+  EXPECT_EQ(parse_query(too_long).code(), Errc::invalid_argument);
+
+  std::string at_segment_cap;
+  for (std::size_t i = 0; i < kMaxQuerySegments; ++i) at_segment_cap += "/s";
+  EXPECT_TRUE(parse_query(at_segment_cap).ok());
+  EXPECT_EQ(parse_query(at_segment_cap + "/s").code(), Errc::invalid_argument);
+
+  EXPECT_TRUE(parse_query("/~" + std::string(kMaxRegexBytes, 'a')).ok());
+  EXPECT_EQ(parse_query("/~" + std::string(kMaxRegexBytes + 1, 'a')).code(),
+            Errc::invalid_argument);
+}
+
 TEST(QueryGrammar, LiteralSegmentsMatchExactly) {
   auto q = parse_query("/meteor");
   ASSERT_TRUE(q.ok());

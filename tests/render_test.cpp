@@ -1,0 +1,263 @@
+// Tests for the unified render pipeline: publish-time fragment splicing
+// must be byte-identical to the walk it replaces (both formats, both
+// modes), and the store's per-source versioning must behave as the cache
+// invalidation layer assumes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "gmetad/query.hpp"
+#include "gmetad/render/deps.hpp"
+#include "gmetad/render/fragments.hpp"
+#include "gmetad/store.hpp"
+
+namespace ganglia::gmetad {
+namespace {
+
+Report cluster_report(const std::string& name, int hosts) {
+  Report report;
+  Cluster c;
+  c.name = name;
+  c.localtime = 500;
+  for (int i = 0; i < hosts; ++i) {
+    Host h;
+    h.name = "host-" + std::to_string(i);
+    h.ip = "10.1.0." + std::to_string(i);
+    h.tn = 2;
+    Metric load;
+    load.name = "load_one";
+    load.set_double(0.5 * (i + 1));
+    h.metrics.push_back(load);
+    c.hosts.emplace(h.name, std::move(h));
+  }
+  report.clusters.push_back(std::move(c));
+  return report;
+}
+
+/// A store shaped like an N-level gmetad's: a gmond cluster, a summary-form
+/// child grid, and a full-detail child grid (as a 1-level child sends).
+class RenderPipelineTest : public ::testing::Test {
+ protected:
+  RenderPipelineTest() : engine_(store_) {
+    store_.publish(std::make_shared<SourceSnapshot>(
+        "meteor", cluster_report("meteor", 4), 500));
+
+    Report attic;
+    Grid summarised;
+    summarised.name = "attic";
+    summarised.authority = "gmetad://attic:8651/";
+    summarised.localtime = 500;
+    summarised.summary.emplace();
+    summarised.summary->hosts_up = 10;
+    summarised.summary->metrics["load_one"] = {17.5, 10, MetricType::float_t,
+                                               ""};
+    attic.grids.push_back(std::move(summarised));
+    store_.publish(
+        std::make_shared<SourceSnapshot>("attic", std::move(attic), 500));
+
+    Report child;
+    Grid verbose;
+    verbose.name = "verbose-child";
+    verbose.authority = "gmetad://child:1/";
+    verbose.localtime = 500;
+    Report inner = cluster_report("inner", 2);
+    verbose.clusters.push_back(std::move(inner.clusters.front()));
+    child.grids.push_back(std::move(verbose));
+    store_.publish(std::make_shared<SourceSnapshot>("verbose-child",
+                                                    std::move(child), 500));
+
+    ctx_.grid_name = "sdsc";
+    ctx_.authority = "gmetad://sdsc:8651/";
+    ctx_.now = 510;
+  }
+
+  std::string render(std::string_view line, render::Format format,
+                     bool fragments) {
+    engine_.set_use_fragments(fragments);
+    auto rendered = engine_.execute_rendered(line, ctx_, format);
+    EXPECT_TRUE(rendered.ok()) << rendered.error().to_string();
+    return rendered.ok() ? rendered->body : std::string();
+  }
+
+  Store store_;
+  QueryEngine engine_;
+  QueryContext ctx_;
+};
+
+TEST_F(RenderPipelineTest, SpliceMatchesWalkByteForByte) {
+  for (const Mode mode : {Mode::n_level, Mode::one_level}) {
+    ctx_.mode = mode;
+    for (const render::Format format :
+         {render::Format::xml, render::Format::json}) {
+      const std::string walked = render("/", format, /*fragments=*/false);
+      const std::string spliced = render("/", format, /*fragments=*/true);
+      ASSERT_FALSE(walked.empty());
+      EXPECT_EQ(walked, spliced)
+          << "fragment splice must be byte-identical (mode="
+          << (mode == Mode::n_level ? "n_level" : "one_level") << ", format="
+          << (format == render::Format::xml ? "xml" : "json") << ")";
+    }
+  }
+}
+
+TEST_F(RenderPipelineTest, PrimedFragmentsAreServedAsBuilt) {
+  // prime_fragments builds exactly the slots the whole-tree render reads,
+  // so a primed snapshot serves splices without re-serialising.
+  auto snapshot = store_.get("meteor");
+  ASSERT_NE(snapshot, nullptr);
+  render::prime_fragments(*snapshot, Mode::n_level);
+  const std::string& a =
+      render::cluster_fragment(*snapshot, render::Format::xml);
+  const std::string& b =
+      render::cluster_fragment(*snapshot, render::Format::xml);
+  EXPECT_EQ(&a, &b) << "fragment bytes are materialised once";
+  EXPECT_NE(a.find("host-0"), std::string::npos);
+}
+
+TEST_F(RenderPipelineTest, JsonDocumentShapeSurvivesSplicing) {
+  ctx_.mode = Mode::n_level;
+  const std::string spliced = render("/", render::Format::json, true);
+  EXPECT_EQ(spliced.front(), '{');
+  EXPECT_EQ(spliced.back(), '\n');
+  EXPECT_NE(spliced.find("\"clusters\":["), std::string::npos);
+  EXPECT_NE(spliced.find("\"grids\":["), std::string::npos);
+  EXPECT_NE(spliced.find("\"meteor\""), std::string::npos);
+  EXPECT_NE(spliced.find("\"attic\""), std::string::npos);
+}
+
+// -------------------------------------------------------- store versioning
+
+TEST(StoreVersions, PublishAssignsUniqueMonotonicVersions) {
+  Store store;
+  std::set<std::uint64_t> seen;
+  for (const char* name : {"a", "b", "c"}) {
+    store.publish(
+        std::make_shared<SourceSnapshot>(name, cluster_report(name, 1), 1));
+    const std::uint64_t v = store.source_version(name);
+    EXPECT_GT(v, 0u) << "real versions start at 1";
+    EXPECT_TRUE(seen.insert(v).second) << "versions are unique across sources";
+  }
+  const std::uint64_t before = store.source_version("b");
+  store.publish(
+      std::make_shared<SourceSnapshot>("b", cluster_report("b", 2), 2));
+  EXPECT_GT(store.source_version("b"), before);
+  EXPECT_EQ(store.source_version("missing"), 0u);
+}
+
+TEST(StoreVersions, StructureVersionBumpsOnlyOnMembershipChange) {
+  Store store;
+  const std::uint64_t v0 = store.structure_version();
+  store.publish(
+      std::make_shared<SourceSnapshot>("a", cluster_report("a", 1), 1));
+  const std::uint64_t v1 = store.structure_version();
+  EXPECT_NE(v1, v0) << "a new source changes the set";
+
+  store.publish(
+      std::make_shared<SourceSnapshot>("a", cluster_report("a", 3), 2));
+  EXPECT_EQ(store.structure_version(), v1)
+      << "republishing an existing source must not bump the structure";
+
+  store.remove("a");
+  EXPECT_NE(store.structure_version(), v1) << "removal changes the set";
+  store.remove("a");  // removing a missing source is a no-op
+  const std::uint64_t v2 = store.structure_version();
+  store.remove("a");
+  EXPECT_EQ(store.structure_version(), v2);
+}
+
+TEST(StoreVersions, AllVersionedIsConsistentWithSourceVersion) {
+  Store store;
+  store.publish(
+      std::make_shared<SourceSnapshot>("a", cluster_report("a", 1), 1));
+  store.publish(
+      std::make_shared<SourceSnapshot>("b", cluster_report("b", 1), 1));
+  std::uint64_t structure = 0;
+  const auto all = store.all_versioned(&structure);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(structure, store.structure_version());
+  for (const auto& vs : all) {
+    EXPECT_EQ(vs.version, store.source_version(vs.snapshot->name()));
+  }
+}
+
+// ------------------------------------------------------------------- deps
+
+TEST(RenderDeps, CurrentTracksSourceAndStructureVersions) {
+  Store store;
+  store.publish(
+      std::make_shared<SourceSnapshot>("a", cluster_report("a", 1), 1));
+  store.publish(
+      std::make_shared<SourceSnapshot>("b", cluster_report("b", 1), 1));
+
+  render::Deps a_only;
+  a_only.sources.push_back({"a", store.source_version("a")});
+  render::Deps whole;
+  whole.structure = true;
+  whole.structure_version = store.structure_version();
+  whole.sources.push_back({"a", store.source_version("a")});
+  whole.sources.push_back({"b", store.source_version("b")});
+
+  EXPECT_TRUE(a_only.current(store));
+  EXPECT_TRUE(whole.current(store));
+
+  store.publish(
+      std::make_shared<SourceSnapshot>("b", cluster_report("b", 2), 2));
+  EXPECT_TRUE(a_only.current(store)) << "b's publish must not touch a's deps";
+  EXPECT_FALSE(whole.current(store));
+
+  store.publish(
+      std::make_shared<SourceSnapshot>("a", cluster_report("a", 2), 2));
+  EXPECT_FALSE(a_only.current(store));
+}
+
+TEST(RenderDeps, FingerprintDistinguishesVersionsAndNames) {
+  render::Deps a;
+  a.sources.push_back({"alpha", 3});
+  render::Deps b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+
+  b.sources[0].version = 4;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  render::Deps ab;
+  ab.sources.push_back({"ab", 1});
+  ab.sources.push_back({"c", 2});
+  render::Deps a_bc;
+  a_bc.sources.push_back({"a", 1});
+  a_bc.sources.push_back({"bc", 2});
+  EXPECT_NE(ab.fingerprint(), a_bc.fingerprint())
+      << "name boundaries must be part of the hash";
+
+  render::Deps structural = a;
+  structural.structure = true;
+  structural.structure_version = 0;
+  EXPECT_NE(a.fingerprint(), structural.fingerprint());
+}
+
+TEST_F(RenderPipelineTest, RenderedQueryReportsItsDependencySet) {
+  engine_.set_use_fragments(true);
+  auto whole = engine_.execute_rendered("/", ctx_, render::Format::xml);
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole->deps.structure);
+  EXPECT_EQ(whole->deps.sources.size(), 3u) << "whole tree reads every source";
+
+  auto narrow = engine_.execute_rendered("/meteor", ctx_, render::Format::xml);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_FALSE(narrow->deps.structure);
+  ASSERT_EQ(narrow->deps.sources.size(), 1u)
+      << "a literal first segment depends on one source";
+  EXPECT_EQ(narrow->deps.sources[0].name, "meteor");
+  EXPECT_TRUE(narrow->deps.current(store_));
+
+  store_.publish(std::make_shared<SourceSnapshot>(
+      "attic", cluster_report("attic", 1), 501));
+  EXPECT_TRUE(narrow->deps.current(store_))
+      << "an attic publish leaves meteor's deps current";
+  EXPECT_FALSE(whole->deps.current(store_));
+}
+
+}  // namespace
+}  // namespace ganglia::gmetad
