@@ -63,5 +63,7 @@ echo "== poll_scalability"
 "$BENCH_DIR/poll_scalability"
 echo "== query_render"
 "$BENCH_DIR/query_render" 50 10 50
+echo "== archiver_throughput"
+"$BENCH_DIR/archiver_throughput" 512 30 20 2048
 
 echo "all BENCH_*.json written to $(pwd)"

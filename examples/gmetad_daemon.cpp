@@ -41,6 +41,8 @@ http_port 8653                     # HTTP gateway: /ui, /api/v1, /xml
 http_cache_ttl 15
 archive on
 archive_step 15
+# archive_dir /var/lib/gmetad       # persist RRD images across restarts
+# archive_flush_interval 60        # write-behind cadence; 0 = flush on stop only
 poll_threads 0                     # poll pipeline width; 0 = auto, 1 = sequential
 # join_key "shared-secret"        # enable the soft-state JOIN protocol
 )";

@@ -165,6 +165,10 @@ Result<GmetadConfig> parse_config(std::string_view text) {
     } else if (key == "archive_dir") {
       if (tokens.size() != 2) return bad_line(line_no, "archive_dir needs a path");
       config.archive_dir = tokens[1];
+    } else if (key == "archive_flush_interval") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t < 0) return bad_line(line_no, "bad archive_flush_interval");
+      config.archive_flush_interval_s = *t;
     } else if (key == "join_key") {
       if (tokens.size() != 2) return bad_line(line_no, "join_key needs a value");
       config.join_key = tokens[1];

@@ -50,6 +50,10 @@ struct GmetadConfig {
   /// Directory for persistent RRD images (empty = in-memory only, the
   /// paper's tmpfs-style configuration).  Loaded on start, flushed on stop.
   std::string archive_dir;
+  /// Write-behind flush cadence: a background flusher persists dirty
+  /// archives every this many seconds while the daemon runs (0 = flush
+  /// only on stop).  Ignored when archive_dir is empty.
+  std::int64_t archive_flush_interval_s = 30;
   /// HTTP gateway bind ("host:port"; empty = gateway disabled).  The
   /// gateway itself lives in src/http and layers on top of gmetad; these
   /// knobs only carry the operator's wishes to whoever wires it up.
@@ -96,6 +100,7 @@ struct GmetadConfig {
 ///   archive off                          # or: archive on
 ///   archive_step 15
 ///   archive_dir "/var/lib/gmetad/rrds"   # persist archives across restarts
+///   archive_flush_interval 30            # write-behind cadence (s; 0 = on stop only)
 ///   join_key "sekrit"
 ///   join_expiry 240
 ///   alarm "high-load" load_one > 8 hold 30 clear 4

@@ -25,7 +25,8 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
       clock_(clock),
       archiver_(ArchiverOptions{config_.archive_step_s,
                                 config_.archive_step_s * 8,
-                                config_.archive_dir}),
+                                config_.archive_dir,
+                                config_.archive_flush_interval_s}),
       engine_(store_),
       joins_(config_.join_expiry_s) {
   for (const DataSourceConfig& ds : config_.sources) {
@@ -417,6 +418,8 @@ Status Gmetad::start() {
   if (running_.exchange(true)) return {};
 
   if (!config_.archive_dir.empty()) {
+    // Tolerant restore: cold starts and individually corrupt images are
+    // not errors; only a real I/O failure reaches this warning.
     if (Status s = archiver_.load_from_disk(); !s.ok()) {
       GLOG(warn, "gmetad") << config_.grid_name
                            << ": archive restore failed: " << s.to_string();
@@ -450,6 +453,10 @@ Status Gmetad::start() {
   };
   threads_.emplace_back(accept_loop, xml_listener_.get(), false);
   threads_.emplace_back(accept_loop, interactive_listener_.get(), true);
+
+  // Write-behind persistence: a background flusher persists dirty archives
+  // every archive_flush_interval_s (no-op when unset or interval 0).
+  if (!config_.archive_dir.empty()) (void)archiver_.start_flusher();
 
   // Poller thread: 100 ms due-time ticks.  Each source carries its own
   // next-due timestamp, so mixed poll_interval_s settings are honoured
@@ -512,18 +519,22 @@ void Gmetad::tick_scheduler() {
 
 void Gmetad::stop() {
   if (!running_.exchange(false)) return;
-  if (!config_.archive_dir.empty()) {
-    if (Status s = archiver_.flush_to_disk(); !s.ok()) {
-      GLOG(warn, "gmetad") << config_.grid_name
-                           << ": archive flush failed: " << s.to_string();
-    }
-  }
   if (xml_listener_) xml_listener_->close();
   if (interactive_listener_) interactive_listener_->close();
   for (std::jthread& t : threads_) t.request_stop();
   threads_.clear();  // joins
   xml_listener_.reset();
   interactive_listener_.reset();
+  // Join the write-behind flusher *before* the final flush: the shutdown
+  // flush must not race a periodic one, and a repeated stop() (or a stop()
+  // racing an empty-dir cold start) is a silent no-op, not a warning.
+  archiver_.stop_flusher();
+  if (!config_.archive_dir.empty()) {
+    if (Status s = archiver_.flush_to_disk(); !s.ok()) {
+      GLOG(warn, "gmetad") << config_.grid_name
+                           << ": archive flush failed: " << s.to_string();
+    }
+  }
 }
 
 std::vector<const DataSource*> Gmetad::sources() const {

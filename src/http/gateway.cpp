@@ -2,6 +2,7 @@
 
 #include "common/cpu_timer.hpp"
 #include "common/strings.hpp"
+#include "xml/json.hpp"
 #include "gmetad/render/traversal.hpp"
 #include "presenter/html_backend.hpp"
 
@@ -91,6 +92,15 @@ Response Gateway::handle(const Request& request) {
   if (entry == nullptr) {
     auto content = render(path, *decoded_query);
     if (!content.ok()) return error_to_response(content.error());
+    if (content->no_store) {
+      // Live stats: every request reads the current counters; nothing is
+      // cached on either side.
+      Response response = Response::make(200, std::move(content->body));
+      response.set_header("Content-Type", content->content_type);
+      response.set_header("Cache-Control", "no-store");
+      response.set_header("X-Cache", "bypass");
+      return response;
+    }
     entry = cache_.insert(key, std::move(content->deps), now,
                           std::move(content->body),
                           std::move(content->content_type));
@@ -143,6 +153,13 @@ Result<Gateway::Content> Gateway::render_xml(std::string_view rest,
 
 Result<Gateway::Content> Gateway::render_api(std::string_view rest,
                                              std::string_view query) {
+  if (rest == "/archiver") {
+    if (!query.empty()) {
+      return Err(Errc::invalid_argument,
+                 "archiver stats take no query options");
+    }
+    return render_archiver_stats();
+  }
   auto line = query_line(rest, query);
   if (!line.ok()) return line.error();
   // Same traversal as /xml, JSON backend — the old design rendered XML,
@@ -229,6 +246,40 @@ Result<Gateway::Content> Gateway::render_ui(std::string_view path) {
   return Err(Errc::not_found, "no view at '" + std::string(path) + "'");
 }
 
+Gateway::Content Gateway::render_archiver_stats() {
+  gmetad::Archiver& archiver = monitor_.archiver();
+  std::string body;
+  xml::JsonWriter w(body);
+  w.begin_object();
+  w.key("ARCHIVER");
+  w.begin_object();
+  w.key("DATABASES");
+  w.value(static_cast<std::uint64_t>(archiver.database_count()));
+  w.key("UPDATES");
+  w.value(archiver.rrd_updates());
+  w.key("STORAGE_BYTES");
+  w.value(static_cast<std::uint64_t>(archiver.storage_bytes()));
+  w.key("DIRTY");
+  w.value(static_cast<std::uint64_t>(archiver.dirty_count()));
+  w.key("FLUSHES");
+  w.value(archiver.flush_count());
+  const double since = archiver.seconds_since_last_flush();
+  w.key("SECONDS_SINCE_FLUSH");
+  if (since < 0) {
+    w.null();  // nothing flushed yet (or persistence disabled)
+  } else {
+    w.value(since);
+  }
+  w.key("WRITE_BEHIND");
+  w.value(archiver.flusher_running());
+  w.end_object();
+  w.end_object();
+  body += '\n';
+  Content content{std::move(body), std::string(kJsonType), {}};
+  content.no_store = true;
+  return content;
+}
+
 Gateway::Content Gateway::render_index() const {
   std::string body =
       "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
@@ -243,6 +294,8 @@ Gateway::Content Gateway::render_index() const {
       "<li><a href=\"/xml/\">/xml/&lt;path&gt;</a> — query-engine XML "
       "(?filter=summary)</li>"
       "<li><a href=\"/api/v1/\">/api/v1/&lt;path&gt;</a> — JSON API</li>"
+      "<li><a href=\"/api/v1/archiver\">/api/v1/archiver</a> — archiver "
+      "stats (live, uncached)</li>"
       "</ul></body></html>\n";
   // No store dependencies: the index is static apart from the grid name,
   // so the TTL floor alone governs it.

@@ -6,6 +6,8 @@
 //   /xml/<path>[?filter=summary]      raw query-engine XML — the existing
 //                                     interactive-port language over HTTP
 //   /api/v1/<path>[?filter=summary]   same query rendered as JSON
+//   /api/v1/archiver          archiver stats (ARCHIVER JSON object; never
+//                             cached — Cache-Control: no-store)
 //   /ui/meta                  meta view (per-source summary table)
 //   /ui/cluster/<cluster>     cluster view (per-host table)
 //   /ui/host/<cluster>/<host> host page with inline SVG RRD graphs
@@ -62,6 +64,9 @@ class Gateway {
     std::string body;
     std::string content_type;
     gmetad::render::Deps deps;  ///< store versions the body depends on
+    /// Live stats views bypass the response cache entirely (served with
+    /// Cache-Control: no-store, no ETag).
+    bool no_store = false;
   };
 
   /// Render a target from the store (cache miss path).  Non-200 outcomes
@@ -72,6 +77,7 @@ class Gateway {
   Result<Content> render_api(std::string_view path, std::string_view query);
   Result<Content> render_ui(std::string_view path);
   Content render_index() const;
+  Content render_archiver_stats();
 
   /// Map gateway/query errors onto HTTP statuses (400/404/500).
   static Response error_to_response(const Error& error);

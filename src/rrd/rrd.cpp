@@ -99,8 +99,20 @@ Status RoundRobinDb::update(std::int64_t t, std::span<const double> values) {
   const std::size_t n = def_.ds.size();
 
   // Per-DS effective rate/value over (last_update_, t] and knownness.
-  std::vector<double> rate(n, 0.0);
-  std::vector<std::uint8_t> known(n, 0);
+  // Stack buffers for the common 1–2 ds case (metric, or sum+num): the
+  // update hot path must not touch the heap.  Fully overwritten below.
+  double rate_small[kInlineDs];
+  std::uint8_t known_small[kInlineDs];
+  std::vector<double> rate_big;
+  std::vector<std::uint8_t> known_big;
+  double* rate = rate_small;
+  std::uint8_t* known = known_small;
+  if (n > kInlineDs) {
+    rate_big.resize(n);
+    known_big.resize(n);
+    rate = rate_big.data();
+    known = known_big.data();
+  }
   for (std::size_t i = 0; i < n; ++i) {
     const DsDef& ds = def_.ds[i];
     double v = values[i];
@@ -122,7 +134,8 @@ Status RoundRobinDb::update(std::int64_t t, std::span<const double> values) {
     known[i] = k ? 1 : 0;
   }
 
-  advance_to(t, rate, known);
+  advance_to(t, std::span<const double>(rate, n),
+             std::span<const std::uint8_t>(known, n));
   last_update_ = t;
   return {};
 }
@@ -132,7 +145,13 @@ void RoundRobinDb::advance_to(std::int64_t t, std::span<const double> rates,
   const std::int64_t step = def_.step_s;
   std::int64_t covered_from = last_update_;
   const std::size_t n = def_.ds.size();
-  std::vector<double> pdp_values(n);
+  double pdp_small[kInlineDs];
+  std::vector<double> pdp_big;
+  double* pdp_values = pdp_small;
+  if (n > kInlineDs) {
+    pdp_big.resize(n);
+    pdp_values = pdp_big.data();
+  }
 
   // Complete every PDP period that ends at or before t.
   while (pdp_start_ + step <= t) {
@@ -155,7 +174,7 @@ void RoundRobinDb::advance_to(std::int64_t t, std::span<const double> rates,
       pdp_[i].known_s = 0;
       last_pdp_[i] = pdp_values[i];
     }
-    commit_pdp(pdp_end, pdp_values);
+    commit_pdp(pdp_end, std::span<const double>(pdp_values, n));
     covered_from = pdp_end;
     pdp_start_ = pdp_end;
   }

@@ -143,18 +143,53 @@ class RoundRobinDb {
     double agg = std::numeric_limits<double>::quiet_NaN();
     std::uint32_t unknown_count = 0;
   };
+  /// Per-ds CDP scratch with inline storage: archives carry one or two data
+  /// sources (metric, or sum+num), so commit_pdp stays inside the Rra's own
+  /// cache lines instead of chasing a heap block per archive per update.
+  class CdpArray {
+   public:
+    void resize(std::size_t n) {
+      size_ = n;
+      if (n > kInline) heap_.resize(n);
+    }
+    std::size_t size() const noexcept { return size_; }
+    CdpScratch* data() noexcept {
+      return size_ > kInline ? heap_.data() : inline_.data();
+    }
+    const CdpScratch* data() const noexcept {
+      return size_ > kInline ? heap_.data() : inline_.data();
+    }
+    CdpScratch& operator[](std::size_t i) noexcept { return data()[i]; }
+    const CdpScratch& operator[](std::size_t i) const noexcept {
+      return data()[i];
+    }
+    CdpScratch* begin() noexcept { return data(); }
+    CdpScratch* end() noexcept { return data() + size_; }
+    const CdpScratch* begin() const noexcept { return data(); }
+    const CdpScratch* end() const noexcept { return data() + size_; }
+
+   private:
+    static constexpr std::size_t kInline = 2;
+    std::array<CdpScratch, kInline> inline_{};
+    std::vector<CdpScratch> heap_;
+    std::size_t size_ = 0;
+  };
   struct Rra {
     RraDef def;
     std::vector<double> ring;       ///< rows * ds_count, NaN-initialised
     std::uint32_t cur_row = 0;      ///< next row to write
     std::uint32_t pdp_count = 0;    ///< PDPs folded into the open row
     std::int64_t last_row_time = 0; ///< end time of newest committed row
-    std::vector<CdpScratch> cdp;    ///< one per ds
+    CdpArray cdp;                   ///< one per ds
   };
 
   void advance_to(std::int64_t pdp_end, std::span<const double> rates,
                   std::span<const std::uint8_t> known);
   void commit_pdp(std::int64_t pdp_end, std::span<const double> pdp_values);
+
+  /// Updates use stack scratch up to this many data sources (covers the
+  /// 1-ds metric and 2-ds sum+num archives) and fall back to the heap.
+  static constexpr std::size_t kInlineDs = 4;
 
   RrdDef def_;
   std::vector<Rra> rras_;

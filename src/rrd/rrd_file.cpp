@@ -1,6 +1,7 @@
 #include "rrd/rrd_file.hpp"
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 namespace ganglia::rrd {
@@ -175,13 +176,32 @@ Result<RoundRobinDb> RrdCodec::deserialize(std::string_view bytes) {
   return db;
 }
 
-Status RrdCodec::save_file(const RoundRobinDb& db, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Err(Errc::io_error, "cannot open " + path + " for write");
-  const std::string bytes = serialize(db);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Err(Errc::io_error, "short write to " + path);
+Status write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Err(Errc::io_error, "cannot open " + tmp + " for write");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Err(Errc::io_error, "short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp, remove_ec);
+    return Err(Errc::io_error,
+               "cannot rename " + tmp + " to " + path + ": " + ec.message());
+  }
   return {};
+}
+
+Status RrdCodec::save_file(const RoundRobinDb& db, const std::string& path) {
+  return write_file_atomic(path, serialize(db));
 }
 
 Result<RoundRobinDb> RrdCodec::load_file(const std::string& path) {

@@ -15,6 +15,10 @@
 
 namespace ganglia::rrd {
 
+/// Write `bytes` to `path` via "<path>.tmp" + atomic rename: a crash
+/// mid-write can leave a truncated .tmp behind, never a truncated `path`.
+Status write_file_atomic(const std::string& path, std::string_view bytes);
+
 class RrdCodec {
  public:
   /// Serialise the complete database state.
@@ -23,7 +27,7 @@ class RrdCodec {
   /// Reconstruct a database from serialize() output.
   static Result<RoundRobinDb> deserialize(std::string_view bytes);
 
-  /// File convenience wrappers.
+  /// File convenience wrappers; save_file writes via write_file_atomic.
   static Status save_file(const RoundRobinDb& db, const std::string& path);
   static Result<RoundRobinDb> load_file(const std::string& path);
 };

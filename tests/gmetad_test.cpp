@@ -394,6 +394,43 @@ TEST(Archiver, UnknownMetricLookupFails) {
             Errc::not_found);
 }
 
+TEST(Archiver, BatchedPathMatchesPerMetricBaseline) {
+  // record_cluster (shard-batched, handle-cached) must be observably
+  // identical to feeding every metric through record_host_metric.
+  Archiver batched({15, 120, ""});
+  Archiver baseline({15, 120, ""});
+  for (int round = 0; round < 12; ++round) {
+    const std::int64_t now = 1000 + round * 15;
+    const Cluster c = small_cluster(3, 0.5 + round);
+    batched.record_cluster("src", c, now);
+    for (const auto& [name, host] : c.hosts) {
+      for (const Metric& metric : host.metrics) {
+        baseline.record_host_metric("src", c.name, host, metric, now);
+      }
+    }
+  }
+  EXPECT_EQ(batched.database_count(), baseline.database_count());
+  EXPECT_EQ(batched.rrd_updates(), baseline.rrd_updates());
+  for (int i = 0; i < 3; ++i) {
+    const std::string host = "h" + std::to_string(i);
+    auto a = batched.fetch_host_metric("src", "c", host, "load_one", 1000,
+                                       1200);
+    auto b = baseline.fetch_host_metric("src", "c", host, "load_one", 1000,
+                                        1200);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->start, b->start);
+    EXPECT_EQ(a->step, b->step);
+    ASSERT_EQ(a->values.size(), b->values.size());
+    for (std::size_t j = 0; j < a->values.size(); ++j) {
+      if (rrd::is_unknown(a->values[j])) {
+        EXPECT_TRUE(rrd::is_unknown(b->values[j]));
+      } else {
+        EXPECT_DOUBLE_EQ(a->values[j], b->values[j]);
+      }
+    }
+  }
+}
+
 TEST(Archiver, StorageIsBoundedAndCountersReset) {
   Archiver archiver({15, 120, ""});
   archiver.record_cluster("src", small_cluster(3, 1.0), 1000);

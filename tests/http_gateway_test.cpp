@@ -95,6 +95,24 @@ TEST_F(GatewayTest, ApiRouteRendersJson) {
   EXPECT_NE(host.body.find("\"metrics\""), std::string::npos);
 }
 
+TEST_F(GatewayTest, ArchiverStatsRouteIsLiveAndUncached) {
+  const Response response = gateway_.handle(get("/api/v1/archiver"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(header(response, "Content-Type"), "application/json");
+  EXPECT_NE(response.body.find("\"ARCHIVER\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"DATABASES\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"UPDATES\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"DIRTY\""), std::string::npos);
+  // Stats are a live counter read: served fresh, never via the cache.
+  EXPECT_EQ(header(response, "X-Cache"), "bypass");
+  EXPECT_EQ(header(response, "Cache-Control"), "no-store");
+  const Response again = gateway_.handle(get("/api/v1/archiver"));
+  EXPECT_EQ(header(again, "X-Cache"), "bypass");
+
+  EXPECT_EQ(gateway_.handle(get("/api/v1/archiver?start=0")).status, 400)
+      << "archiver stats take no query options";
+}
+
 TEST_F(GatewayTest, UiMetaView) {
   const Response response = gateway_.handle(get("/ui/meta"));
   EXPECT_EQ(response.status, 200);

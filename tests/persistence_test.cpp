@@ -8,6 +8,7 @@
 
 #include "gmetad/archiver.hpp"
 #include "gmetad/gmetad.hpp"
+#include "rrd/rrd_file.hpp"
 #include "gmon/pseudo_gmond.hpp"
 #include "net/inmem.hpp"
 #include "sim/sim_clock.hpp"
@@ -99,24 +100,160 @@ TEST(Persistence, UnconfiguredDirIsRejected) {
   EXPECT_EQ(archiver.load_from_disk().code(), Errc::invalid_argument);
 }
 
-TEST(Persistence, CorruptImageReportsTheArchive) {
+Cluster two_metric_cluster(double load) {
+  Cluster c = tiny_cluster(load);
+  Metric m;
+  m.name = "cpu_user";
+  m.set_double(7.0);
+  c.hosts.begin()->second.metrics.push_back(std::move(m));
+  return c;
+}
+
+TEST(Persistence, CorruptImageSkipsOnlyThatArchive) {
   const std::string dir = fresh_dir("corrupt");
+  ArchiverOptions options{15, 120, dir};
+  {
+    Archiver archiver(options);
+    archiver.record_cluster("src", two_metric_cluster(1.0), 1000);
+    ASSERT_TRUE(archiver.flush_to_disk().ok());
+  }
+  // Truncate one image behind the manifest's back (a torn write).
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find("load_one") !=
+        std::string::npos) {
+      std::ofstream(entry.path(), std::ios::trunc) << "junk";
+    }
+  }
+  // Restore is tolerant: the torn archive is skipped, the rest load.
+  Archiver restored(options);
+  ASSERT_TRUE(restored.load_from_disk().ok());
+  EXPECT_EQ(restored.database_count(), 1u);
+  EXPECT_TRUE(
+      restored.fetch_host_metric("src", "c", "h0", "cpu_user", 900, 1200)
+          .ok());
+  EXPECT_EQ(
+      restored.fetch_host_metric("src", "c", "h0", "load_one", 900, 1200)
+          .code(),
+      Errc::not_found);
+}
+
+TEST(Persistence, ManifestPathTraversalRejected) {
+  const std::string dir = fresh_dir("traversal");
   ArchiverOptions options{15, 120, dir};
   {
     Archiver archiver(options);
     archiver.record_cluster("src", tiny_cluster(1.0), 1000);
     ASSERT_TRUE(archiver.flush_to_disk().ok());
   }
-  // Truncate the image behind the manifest's back.
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    if (entry.path().extension() == ".grrd") {
-      std::ofstream(entry.path(), std::ios::trunc) << "junk";
-    }
+  // A hostile manifest must not make load_from_disk read outside the
+  // archive directory: plant a decoy image one level up and entries whose
+  // file names encode_key could never have produced.
+  const auto parent = std::filesystem::path(dir).parent_path();
+  {
+    auto db = rrd::RoundRobinDb::create(rrd::RrdDef::ganglia_default(), 999);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(rrd::RrdCodec::save_file(*db, (parent / "x.grrd").string())
+                    .ok());
+    std::ofstream manifest(dir + "/manifest.tsv", std::ios::app);
+    manifest << "../x.grrd\tevil/relative\n";
+    manifest << "/etc/passwd.grrd\tevil/absolute\n";
+    manifest << "a b.grrd\tevil/unescaped-byte\n";
   }
   Archiver restored(options);
-  auto status = restored.load_from_disk();
-  ASSERT_FALSE(status.ok());
-  EXPECT_NE(status.error().message.find("load_one"), std::string::npos);
+  ASSERT_TRUE(restored.load_from_disk().ok());
+  // Only the legitimate archive came back; no hostile key exists.
+  EXPECT_EQ(restored.database_count(), 1u);
+  std::filesystem::remove(parent / "x.grrd");
+}
+
+TEST(Persistence, KillNineLeftoversRestoreEveryIntactArchive) {
+  const std::string dir = fresh_dir("kill9");
+  ArchiverOptions options{15, 120, dir};
+  {
+    Archiver archiver(options);
+    archiver.record_cluster("src", two_metric_cluster(1.0), 1000);
+    SummaryInfo summary;
+    summary.hosts_up = 1;
+    summary.metrics["load_one"] = {4.0, 2, MetricType::float_t, ""};
+    archiver.record_summary("src", summary, 1000);
+    ASSERT_TRUE(archiver.flush_to_disk().ok());
+  }
+  // Simulate kill -9 mid-flush: leftover tmp files (one garbage, one
+  // shadowing a real image) plus one torn final image.
+  std::ofstream(dir + "/half-written.grrd.tmp") << "partial";
+  std::ofstream(dir + "/manifest.tsv.tmp") << "partial";
+  bool truncated = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!truncated && entry.path().filename().string().find("cpu_user") !=
+                          std::string::npos) {
+      std::ofstream(entry.path(), std::ios::trunc) << "torn";
+      truncated = true;
+    }
+  }
+  ASSERT_TRUE(truncated);
+
+  Archiver restored(options);
+  ASSERT_TRUE(restored.load_from_disk().ok());
+  // Both intact archives (host metric + summary) survived, tmps are gone.
+  EXPECT_EQ(restored.database_count(), 2u);
+  EXPECT_TRUE(
+      restored.fetch_host_metric("src", "c", "h0", "load_one", 900, 1200)
+          .ok());
+  EXPECT_TRUE(restored.fetch_summary_metric("src", "load_one", 900, 1200)
+                  .ok());
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+TEST(Persistence, FlushDirtyWritesOnlyDirtyArchives) {
+  const std::string dir = fresh_dir("dirty");
+  ArchiverOptions options{15, 120, dir};
+  Archiver archiver(options);
+  archiver.record_cluster("src", two_metric_cluster(1.0), 1000);
+  EXPECT_EQ(archiver.dirty_count(), 2u);
+
+  // First pass: both archives new and dirty, manifest written.
+  auto stats = archiver.flush_dirty();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->archives_written, 2u);
+  EXPECT_TRUE(stats->manifest_rewritten);
+  EXPECT_EQ(archiver.dirty_count(), 0u);
+
+  // Nothing dirty, key set unchanged: a no-op pass.
+  stats = archiver.flush_dirty();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->archives_written, 0u);
+  EXPECT_FALSE(stats->manifest_rewritten);
+
+  // Touch one archive: only it is rewritten, manifest untouched.
+  archiver.record_host_metric("src", "c", tiny_cluster(2.0).hosts.at("h0"),
+                              tiny_cluster(2.0).hosts.at("h0").metrics[0],
+                              1015);
+  EXPECT_EQ(archiver.dirty_count(), 1u);
+  stats = archiver.flush_dirty();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->archives_written, 1u);
+  EXPECT_FALSE(stats->manifest_rewritten);
+  EXPECT_GE(archiver.flush_count(), 3u);
+  EXPECT_GE(archiver.seconds_since_last_flush(), 0.0);
+}
+
+TEST(Persistence, FlusherStartStopIsIdempotent) {
+  const std::string dir = fresh_dir("flusher");
+  ArchiverOptions options{15, 120, dir, /*flush_interval_s=*/1};
+  Archiver archiver(options);
+  EXPECT_FALSE(archiver.flusher_running());
+  ASSERT_TRUE(archiver.start_flusher().ok());
+  EXPECT_TRUE(archiver.flusher_running());
+  ASSERT_TRUE(archiver.start_flusher().ok());  // second start: no-op
+  archiver.stop_flusher();
+  EXPECT_FALSE(archiver.flusher_running());
+  archiver.stop_flusher();  // double stop: no-op
+  EXPECT_FALSE(archiver.flusher_running());
+  // And the final explicit flush still works after the flusher is gone.
+  archiver.record_cluster("src", tiny_cluster(1.0), 1000);
+  EXPECT_TRUE(archiver.flush_to_disk().ok());
 }
 
 TEST(Persistence, GmetadRestartKeepsHistory) {

@@ -6,8 +6,10 @@
 // race, a prune-vs-poll stress with dynamic children, and the daemon's
 // per-source due-time scheduler.
 
+#include <array>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "common/clock.hpp"
+#include "gmetad/archiver.hpp"
 #include "gmetad/gmetad.hpp"
 #include "gmetad/join.hpp"
 #include "net/inmem.hpp"
@@ -236,6 +239,96 @@ TEST(PollConcurrency, DaemonHonoursPerSourceIntervals) {
   EXPECT_LE(slow.fetches(), 2u);
   EXPECT_GE(slow.fetches(), 1u);
   EXPECT_GT(fast.fetches(), slow.fetches());
+}
+
+Cluster archiver_cluster(const std::string& name, std::size_t hosts,
+                         std::size_t metrics) {
+  Cluster c;
+  c.name = name;
+  c.localtime = 1000;
+  for (std::size_t i = 0; i < hosts; ++i) {
+    Host h;
+    h.name = "node-" + std::to_string(i);
+    h.ip = "10.0.0.1";
+    h.reported = 995;
+    h.tn = 1;
+    for (std::size_t m = 0; m < metrics; ++m) {
+      Metric metric;
+      metric.name = "metric_" + std::to_string(m);
+      metric.set_double(1.5);
+      metric.tn = 1;
+      h.metrics.push_back(std::move(metric));
+    }
+    c.hosts.emplace(h.name, std::move(h));
+  }
+  return c;
+}
+
+TEST(PollConcurrency, ArchiverFlushHoldsNoShardLockDuringFileIo) {
+  // The write-behind contract: a flush serialises a shard's archives under
+  // that one shard's mutex but performs every file write with no shard lock
+  // held.  Updater threads (one source each — the scheduler's
+  // one-poll-per-source invariant) run while a single large full flush is
+  // mid-flight; because the flush's dominant phase is its 2048 file writes,
+  // every updater must complete whole polls *during* the flush.  Were the
+  // shard mutexes held across the file I/O, no poll (each poll needs every
+  // shard) could finish until the flush did.  TSan (CI runs this file under
+  // it) checks the locking discipline itself.
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "ganglia_flush_stall";
+  std::filesystem::remove_all(dir);
+  gmetad::ArchiverOptions options;
+  options.step_s = 15;
+  options.persist_dir = dir.string();
+  gmetad::Archiver archiver(options);
+
+  constexpr std::size_t kSources = 4;
+  std::vector<Cluster> clusters;
+  for (std::size_t s = 0; s < kSources; ++s) {
+    clusters.push_back(
+        archiver_cluster("c" + std::to_string(s), /*hosts=*/32,
+                         /*metrics=*/16));
+  }
+  for (std::size_t s = 0; s < kSources; ++s) {
+    archiver.record_cluster("src" + std::to_string(s), clusters[s], 1000);
+  }
+  ASSERT_EQ(archiver.database_count(), kSources * 32 * 16);
+  ASSERT_TRUE(archiver.flush_to_disk().ok());  // all images exist on disk
+
+  std::atomic<bool> flushing{false};
+  std::atomic<bool> flush_done{false};
+  std::thread flusher([&] {
+    flushing.store(true, std::memory_order_release);
+    const auto s = archiver.flush_to_disk();
+    flush_done.store(true, std::memory_order_release);
+    ASSERT_TRUE(s.ok());
+  });
+
+  std::array<std::size_t, kSources> rounds_during{};
+  std::vector<std::thread> updaters;
+  for (std::size_t s = 0; s < kSources; ++s) {
+    updaters.emplace_back([&, s] {
+      while (!flushing.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      std::int64_t now = 1000;
+      for (std::size_t r = 0; r < 10000; ++r) {
+        if (flush_done.load(std::memory_order_acquire)) break;
+        now += 15;
+        archiver.record_cluster("src" + std::to_string(s), clusters[s], now);
+        // Count only polls that ran wholly inside the flush window.
+        if (!flush_done.load(std::memory_order_acquire)) ++rounds_during[s];
+      }
+    });
+  }
+  for (std::thread& t : updaters) t.join();
+  flusher.join();
+
+  for (std::size_t s = 0; s < kSources; ++s) {
+    EXPECT_GE(rounds_during[s], 1u)
+        << "source " << s << " stalled behind flush file I/O";
+  }
+  EXPECT_GE(archiver.flush_count(), 2u);
 }
 
 }  // namespace

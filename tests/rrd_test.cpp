@@ -359,6 +359,65 @@ TEST(RrdCodec, SerializeDeserializeRoundTripsExactly) {
   EXPECT_EQ(RrdCodec::serialize(*db), RrdCodec::serialize(*restored));
 }
 
+TEST(RrdCodec, CounterDsDefRoundTripsThroughCodec) {
+  // A counter data source carries state the gauge path never touches
+  // (last_raw, the rate conversion, min/max clamping): all of it must
+  // survive serialisation so restored counters keep deriving rates.
+  RrdDef def;
+  def.step_s = 10;
+  DsDef ds;
+  ds.name = "bytes_in";
+  ds.type = DsType::counter;
+  ds.heartbeat_s = 40;
+  ds.min_value = 0.0;
+  ds.max_value = 1e9;
+  def.ds.push_back(std::move(ds));
+  def.rras = {{ConsolidationFn::average, 0.5, 1, 32}};
+  auto db = RoundRobinDb::create(def, 0);
+  ASSERT_TRUE(db.ok());
+  // Counter at a steady 50 units/second.
+  std::int64_t t = 0;
+  double counter = 1000;
+  for (int i = 0; i < 20; ++i) {
+    t += 10;
+    counter += 500;
+    ASSERT_TRUE(db->update(t, counter).ok());
+  }
+
+  auto restored = RrdCodec::deserialize(RrdCodec::serialize(*db));
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  const DsDef& back = restored->definition().ds[0];
+  EXPECT_EQ(back.name, "bytes_in");
+  EXPECT_EQ(back.type, DsType::counter);
+  EXPECT_EQ(back.heartbeat_s, 40);
+  EXPECT_DOUBLE_EQ(back.min_value, 0.0);
+  EXPECT_DOUBLE_EQ(back.max_value, 1e9);
+
+  // The restored counter continues from the saved last_raw: the next
+  // delta must come out as the same 50/s rate, not a bogus first-sample.
+  t += 10;
+  counter += 500;
+  ASSERT_TRUE(restored->update(t, counter).ok());
+  ASSERT_TRUE(db->update(t, counter).ok());
+  auto a = db->fetch(ConsolidationFn::average, t - 100, t);
+  auto b = restored->fetch(ConsolidationFn::average, t - 100, t);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->values.size(), b->values.size());
+  bool saw_rate = false;
+  for (std::size_t i = 0; i < a->values.size(); ++i) {
+    if (is_unknown(a->values[i])) {
+      EXPECT_TRUE(is_unknown(b->values[i]));
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(a->values[i], b->values[i]);
+    EXPECT_DOUBLE_EQ(b->values[i], 50.0);
+    saw_rate = true;
+  }
+  EXPECT_TRUE(saw_rate);
+  EXPECT_EQ(RrdCodec::serialize(*db), RrdCodec::serialize(*restored));
+}
+
 TEST(RrdCodec, RejectsCorruptImages) {
   auto db = RoundRobinDb::create(simple_def(), 0);
   ASSERT_TRUE(db.ok());
