@@ -1,0 +1,183 @@
+// Gossip membership scalability: convergence and bandwidth vs group size.
+//
+// The paper's federation is a static tree of data_source lines; the gossip
+// membership layer replaces that with an epidemic protocol, so its costs
+// must stay sane as the federation grows.  This bench runs the same
+// deterministic harness the tests use (tests/gossip_sim_util.hpp — one
+// SimClock, one in-memory fabric, service-mode exchanges) over increasing
+// group sizes and reports, per size:
+//
+//   * join convergence — rounds until every member knows every member,
+//     starting from nothing but one seed address;
+//   * steady-state bandwidth — gossip payload bytes per member per round
+//     once the group has converged (digests scale with the member table);
+//   * failure detection — rounds from a silent crash until every live
+//     member has convicted the dead one (SUSPECT or worse), i.e. the
+//     completeness latency on top of the configured t_fail.
+//
+// Writes machine-readable results to BENCH_gossip.json.
+//
+// Usage: gossip_convergence [size...]        (default: 64 256 1024)
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "gossip_sim_util.hpp"
+#include "http/json.hpp"
+
+using namespace ganglia;
+
+namespace {
+
+struct SizeResult {
+  std::size_t members = 0;
+  int join_rounds = -1;
+  double join_bytes_per_member_round = 0;
+  double steady_bytes_per_member_round = 0;
+  int detect_rounds = -1;
+};
+
+SizeResult run_size(std::size_t members) {
+  gossip::GossipSimOptions options;
+  options.members = members;
+  options.fanout = 3;  // the shipped gossip_fanout default
+  gossip::GossipSim sim(options);
+
+  SizeResult result;
+  result.members = members;
+
+  // Join convergence: everyone bootstraps knowing only the seed.
+  const auto everyone_knows_everyone = [&] {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (sim.agent(i).alive_count() != sim.size()) return false;
+    }
+    return true;
+  };
+  const int kJoinBound = 10 * static_cast<int>(members);
+  result.join_rounds = sim.run_until(everyone_knows_everyone, kJoinBound);
+  if (result.join_rounds < 0) return result;
+  if (result.join_rounds > 0) {
+    result.join_bytes_per_member_round =
+        static_cast<double>(sim.total_bytes_out()) /
+        (static_cast<double>(result.join_rounds) *
+         static_cast<double>(members));
+  }
+
+  // Steady state: converged table, digests at full size.
+  constexpr int kSteadyRounds = 5;
+  const std::uint64_t before = sim.total_bytes_out();
+  for (int n = 0; n < kSteadyRounds; ++n) sim.run_round();
+  result.steady_bytes_per_member_round =
+      static_cast<double>(sim.total_bytes_out() - before) /
+      (static_cast<double>(kSteadyRounds) * static_cast<double>(members));
+
+  // Silent crash in the middle of the id space; completeness latency is
+  // rounds until every live member holds a SUSPECT-or-worse verdict.
+  const std::size_t victim = members / 2;
+  sim.crash(victim);
+  const auto all_convicted = [&] {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (i == victim) continue;
+      if (!sim.sees_failed(i, victim)) return false;
+    }
+    return true;
+  };
+  result.detect_rounds = sim.run_until(all_convicted, kJoinBound);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> sizes;
+  for (int i = 1; i < argc; ++i) {
+    const long n = std::strtol(argv[i], nullptr, 10);
+    if (n <= 1) {
+      std::fprintf(stderr, "usage: %s [size...]\n", argv[0]);
+      return 2;
+    }
+    sizes.push_back(static_cast<std::size_t>(n));
+  }
+  if (sizes.empty()) sizes = {64, 256, 1024};
+
+  std::printf(
+      "gossip membership: convergence + bandwidth vs group size\n"
+      "(interval 1 s, fanout 3, t_fail 5 s, t_cleanup 5 s)\n\n"
+      "%8s %12s %16s %18s %14s\n",
+      "members", "join (rds)", "join (B/m/rd)", "steady (B/m/rd)",
+      "detect (rds)");
+
+  std::vector<SizeResult> results;
+  for (const std::size_t members : sizes) {
+    const SizeResult r = run_size(members);
+    results.push_back(r);
+    std::printf("%8zu %12d %16.0f %18.0f %14d\n", r.members, r.join_rounds,
+                r.join_bytes_per_member_round, r.steady_bytes_per_member_round,
+                r.detect_rounds);
+    if (r.join_rounds < 0 || r.detect_rounds < 0) {
+      std::fprintf(stderr, "group of %zu failed to converge\n", members);
+      return 1;
+    }
+  }
+
+  char date[32];
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  gmtime_r(&now, &tm_utc);
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+
+  std::string json;
+  http::JsonWriter w(json);
+  w.begin_object();
+  w.key("name");
+  w.value("gossip_convergence");
+  w.key("date");
+  w.value(date);
+  w.key("config");
+  w.begin_object();
+  w.key("interval_s");
+  w.value(std::uint64_t{1});
+  w.key("fanout");
+  w.value(std::uint64_t{3});
+  w.key("t_fail_s");
+  w.value(std::uint64_t{5});
+  w.key("t_cleanup_s");
+  w.value(std::uint64_t{5});
+  w.end_object();
+  w.key("metrics");
+  w.begin_object();
+  w.key("sizes");
+  w.begin_array();
+  for (const SizeResult& r : results) {
+    w.begin_object();
+    w.key("members");
+    w.value(static_cast<std::uint64_t>(r.members));
+    w.key("join_rounds");
+    w.value(static_cast<std::int64_t>(r.join_rounds));
+    w.key("join_bytes_per_member_per_round");
+    w.value(r.join_bytes_per_member_round);
+    w.key("steady_bytes_per_member_per_round");
+    w.value(r.steady_bytes_per_member_round);
+    w.key("detect_rounds");
+    w.value(static_cast<std::int64_t>(r.detect_rounds));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+  json += '\n';
+
+  const char* out_path = "BENCH_gossip.json";
+  if (FILE* out = std::fopen(out_path, "w")) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  return 0;
+}

@@ -61,6 +61,8 @@ echo "== http_gateway"
 "$BENCH_DIR/http_gateway" 100 100
 echo "== poll_scalability"
 "$BENCH_DIR/poll_scalability"
+echo "== gossip_convergence"
+"$BENCH_DIR/gossip_convergence" 64 256 1024
 echo "== query_render"
 "$BENCH_DIR/query_render" 50 10 50
 echo "== archiver_throughput"

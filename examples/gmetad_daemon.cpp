@@ -45,6 +45,16 @@ archive_step 15
 # archive_flush_interval 60        # write-behind cadence; 0 = flush on stop only
 poll_threads 0                     # poll pipeline width; 0 = auto, 1 = sequential
 # join_key "shared-secret"        # enable the soft-state JOIN protocol
+# join_max_children 256            # cap on dynamically joined children
+# gossip_port 8654                 # join the federation's gossip membership
+# gossip_seed peer1:8654 peer2:8654
+# gossip_interval 2                # seconds between gossip rounds
+# gossip_fanout 3                  # peers contacted per round
+# t_fail 20                        # silence before SUSPECT (s)
+# t_cleanup 20                     # SUSPECT -> DEAD grace (s)
+# gossip_aggregate on              # adopt sources for members naming us parent
+# gossip_parent "SDSC"             # advertise our aggregator (child side)
+# standby_for "SDSC"               # promote when that primary is DEAD
 )";
 
 }  // namespace

@@ -217,6 +217,59 @@ Result<GmetadConfig> parse_config(std::string_view text) {
       auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
       if (!t || *t <= 0) return bad_line(line_no, "bad join_expiry");
       config.join_expiry_s = *t;
+    } else if (key == "join_max_children") {
+      auto t = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t == 0) return bad_line(line_no, "bad join_max_children");
+      config.join_max_children = static_cast<std::size_t>(*t);
+    } else if (key == "gossip_port") {
+      auto port = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!port || *port > 65535) return bad_line(line_no, "bad gossip_port");
+      config.gossip_bind = "127.0.0.1:" + std::to_string(*port);
+    } else if (key == "gossip_bind") {
+      if (tokens.size() != 2) {
+        return bad_line(line_no, "gossip_bind needs host:port");
+      }
+      config.gossip_bind = tokens[1];
+    } else if (key == "gossip_seed") {
+      if (tokens.size() < 2) {
+        return bad_line(line_no, "gossip_seed needs at least one address");
+      }
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i].find(':') == std::string::npos) {
+          return bad_line(line_no, "gossip_seed '" + tokens[i] +
+                                       "' must be host:port");
+        }
+        config.gossip_seeds.push_back(tokens[i]);
+      }
+    } else if (key == "gossip_interval") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad gossip_interval");
+      config.gossip_interval_s = *t;
+    } else if (key == "gossip_fanout") {
+      auto t = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t == 0 || *t > 64) return bad_line(line_no, "bad gossip_fanout");
+      config.gossip_fanout = static_cast<std::size_t>(*t);
+    } else if (key == "t_fail") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad t_fail");
+      config.gossip_t_fail_s = *t;
+    } else if (key == "t_cleanup") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad t_cleanup");
+      config.gossip_t_cleanup_s = *t;
+    } else if (key == "gossip_aggregate") {
+      if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+        return bad_line(line_no, "gossip_aggregate must be on or off");
+      }
+      config.gossip_aggregate = tokens[1] == "on";
+    } else if (key == "gossip_parent") {
+      if (tokens.size() != 2) {
+        return bad_line(line_no, "gossip_parent needs an id");
+      }
+      config.gossip_parent = tokens[1];
+    } else if (key == "standby_for") {
+      if (tokens.size() != 2) return bad_line(line_no, "standby_for needs an id");
+      config.standby_for.push_back(tokens[1]);
     } else {
       return bad_line(line_no, "unknown directive '" + key + "'");
     }

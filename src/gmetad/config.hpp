@@ -65,6 +65,27 @@ struct GmetadConfig {
   std::string join_key;
   /// A dynamically joined child is pruned after this silence (seconds).
   std::int64_t join_expiry_s = 240;
+  /// Cap on dynamically joined children (join protocol + gossip topology).
+  std::size_t join_max_children = 256;
+
+  // -- gossip membership (federated gmetads) -------------------------------
+  /// Gossip endpoint ("host:port"; empty = membership gossip disabled).
+  std::string gossip_bind;
+  /// Bootstrap peers' gossip addresses (probed periodically, so a healed
+  /// partition or restarted node always finds its way back).
+  std::vector<std::string> gossip_seeds;
+  std::int64_t gossip_interval_s = 2;   ///< seconds between gossip rounds
+  std::size_t gossip_fanout = 3;        ///< peers contacted per round
+  std::int64_t gossip_t_fail_s = 20;    ///< silence before SUSPECT
+  std::int64_t gossip_t_cleanup_s = 20; ///< SUSPECT→DEAD grace
+  /// Adopt data sources for ALIVE members advertising parent=<our grid>.
+  bool gossip_aggregate = false;
+  /// Primary aggregator id this node advertises as its parent (the child
+  /// configures who may aggregate it — the paper's trust direction).
+  std::string gossip_parent;
+  /// Primary ids this node stands by for: when one is declared DEAD, we
+  /// adopt its children's sources until it recovers.
+  std::vector<std::string> standby_for;
 
   /// Config-declared alarm rules, evaluated after every poll round (the
   /// paper's §4 alarm mechanism, wired into the daemon).
@@ -103,6 +124,16 @@ struct GmetadConfig {
 ///   archive_flush_interval 30            # write-behind cadence (s; 0 = on stop only)
 ///   join_key "sekrit"
 ///   join_expiry 240
+///   join_max_children 256                # cap on dynamic children
+///   gossip_port 8654                     # or gossip_bind host:port; enables gossip
+///   gossip_seed peer1:8654 peer2:8654    # repeatable
+///   gossip_interval 2                    # seconds between rounds
+///   gossip_fanout 3
+///   t_fail 20                            # silence before SUSPECT (s)
+///   t_cleanup 20                         # SUSPECT->DEAD grace (s)
+///   gossip_aggregate on                  # adopt children naming us as parent
+///   gossip_parent "core"                 # advertise our primary aggregator
+///   standby_for "core"                   # repeatable; promote when DEAD
 ///   alarm "high-load" load_one > 8 hold 30 clear 4
 ///   alarm "dead" __host_down__ >= 1 hosts "web-.*" clusters "prod-.*"
 Result<GmetadConfig> parse_config(std::string_view text);

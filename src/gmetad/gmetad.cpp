@@ -28,12 +28,55 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
                                 config_.archive_dir,
                                 config_.archive_flush_interval_s}),
       engine_(store_),
-      joins_(config_.join_expiry_s) {
+      joins_(config_.join_expiry_s, config_.join_max_children) {
   for (const DataSourceConfig& ds : config_.sources) {
     sources_.push_back(std::make_shared<DataSource>(ds));
   }
   if (const std::size_t width = resolve_poll_threads(config_); width > 1) {
     pool_ = std::make_unique<PollPool>(width);
+  }
+
+  if (!config_.gossip_bind.empty()) {
+    gossip::AgentOptions opts;
+    opts.id = config_.grid_name;
+    opts.address = config_.gossip_bind;
+    opts.seeds = config_.gossip_seeds;
+    opts.interval_us = config_.gossip_interval_s * kMicrosPerSecond;
+    opts.fanout = config_.gossip_fanout;
+    opts.t_fail_us = config_.gossip_t_fail_s * kMicrosPerSecond;
+    opts.t_cleanup_us = config_.gossip_t_cleanup_s * kMicrosPerSecond;
+    opts.connect_timeout_us = config_.connect_timeout_s * kMicrosPerSecond;
+    // Independent deterministic stream per member id.
+    std::uint64_t seed = 0xcbf29ce484222325ULL;
+    for (const char c : config_.grid_name) {
+      seed = (seed ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    opts.rng_seed = seed;
+    opts.meta["source"] = config_.grid_name;
+    opts.meta["xml"] = config_.xml_bind;
+    if (!config_.authority.empty()) opts.meta["authority"] = config_.authority;
+    if (!config_.gossip_parent.empty()) {
+      opts.meta["parent"] = config_.gossip_parent;
+    }
+    if (!config_.standby_for.empty()) {
+      failover_ =
+          std::make_unique<gossip::FailoverController>(config_.standby_for);
+      failover_->set_on_promote([this](const std::string& primary) {
+        GLOG(warn, "gmetad") << config_.grid_name << ": primary '" << primary
+                             << "' declared DEAD; standing in for its subtree";
+      });
+      failover_->set_on_demote([this](const std::string& primary) {
+        GLOG(info, "gmetad") << config_.grid_name << ": primary '" << primary
+                             << "' recovered; handing its subtree back";
+      });
+    }
+    gossip_ =
+        std::make_unique<gossip::Agent>(std::move(opts), transport_, clock_);
+    if (failover_) {
+      gossip_->set_event_handler([this](const gossip::MemberEvent& event) {
+        failover_->observe(event);
+      });
+    }
   }
 }
 
@@ -143,20 +186,28 @@ Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
 }
 
 void Gmetad::prune_expired_children(std::int64_t now) {
-  for (const JoinRegistry::Child& expired : joins_.prune(now)) {
-    GLOG(info, "gmetad") << config_.grid_name << ": pruning silent child '"
-                         << expired.request.name << "'";
-    {
-      std::lock_guard lock(sources_mutex_);
+  std::vector<JoinRegistry::Child> expired;
+  {
+    // Prune the registry and drop the matching sources under one lock: a
+    // JOIN arriving between the two would otherwise re-register the child
+    // while we erase its source, leaving a registry entry with no source
+    // until the next expiry.
+    std::lock_guard lock(sources_mutex_);
+    expired = joins_.prune(now);
+    for (const JoinRegistry::Child& child : expired) {
       std::erase_if(sources_, [&](const std::shared_ptr<DataSource>& ds) {
-        return ds->name() == expired.request.name;
+        return ds->name() == child.request.name;
       });
     }
+  }
+  for (const JoinRegistry::Child& child : expired) {
+    GLOG(info, "gmetad") << config_.grid_name << ": pruning silent child '"
+                         << child.request.name << "'";
     {
       std::lock_guard lock(schedule_mutex_);
-      schedule_.erase(expired.request.name);
+      schedule_.erase(child.request.name);
     }
-    store_.remove(expired.request.name);
+    store_.remove(child.request.name);
   }
 }
 
@@ -248,13 +299,17 @@ Result<std::string> Gmetad::handle_join_line(std::string_view line) {
   auto request = parse_join_line(line, config_.join_key);
   if (!request.ok()) return request.error();
   const std::int64_t now = clock_.now_seconds();
-  if (joins_.refresh(*request, now)) {
+  // Registry refresh and source insertion happen under the sources lock so
+  // a concurrent prune cannot interleave between them.
+  std::lock_guard lock(sources_mutex_);
+  auto fresh = joins_.refresh(*request, now);
+  if (!fresh.ok()) return fresh.error();
+  if (*fresh) {
     GLOG(info, "gmetad") << config_.grid_name << ": child '" << request->name
                          << "' joined from " << request->address;
     DataSourceConfig ds;
     ds.name = request->name;
     ds.addresses = {request->address};
-    std::lock_guard lock(sources_mutex_);
     sources_.push_back(std::make_shared<DataSource>(std::move(ds)));
   }
   return std::string("OK\n");
@@ -365,6 +420,95 @@ Status Gmetad::send_join(const std::string& parent_interactive_address) {
   return {};
 }
 
+// ------------------------------------------------------ gossip membership
+
+void Gmetad::gossip_tick() {
+  if (!gossip_) return;
+  gossip_->tick();
+  sync_membership_sources();
+}
+
+void Gmetad::sync_membership_sources() {
+  if (!gossip_) return;
+
+  // Desired child sources: every ALIVE member whose advertised parent is
+  // either us (gossip_aggregate) or a primary we currently cover as a
+  // standby.  The child names its aggregator — trust still points up the
+  // tree, exactly like trusted_hosts.
+  std::map<std::string, std::string> desired;  // source name -> xml address
+  for (const gossip::MemberEntry& member : gossip_->members()) {
+    if (member.id == config_.grid_name) continue;
+    if (member.state != gossip::MemberState::alive) continue;
+    const auto parent = member.meta.find("parent");
+    if (parent == member.meta.end()) continue;
+    const bool mine =
+        config_.gossip_aggregate && parent->second == config_.grid_name;
+    const bool covered = failover_ && failover_->promoted(parent->second);
+    if (!mine && !covered) continue;
+    const auto xml = member.meta.find("xml");
+    if (xml == member.meta.end()) continue;
+    const auto source = member.meta.find("source");
+    const std::string& name =
+        source != member.meta.end() ? source->second : member.id;
+    if (desired.size() < joins_.max_children()) {
+      desired.emplace(name, xml->second);
+    }
+  }
+
+  std::vector<std::string> dropped;
+  std::lock_guard mlock(membership_mutex_);
+  {
+    std::lock_guard lock(sources_mutex_);
+    for (const auto& [name, address] : desired) {
+      const auto it = membership_sources_.find(name);
+      if (it != membership_sources_.end() && it->second == address) continue;
+      if (it == membership_sources_.end()) {
+        // Never shadow a statically configured or join-registered source.
+        const bool taken = std::any_of(
+            sources_.begin(), sources_.end(),
+            [&](const std::shared_ptr<DataSource>& ds) {
+              return ds->name() == name;
+            });
+        if (taken) continue;
+        GLOG(info, "gmetad") << config_.grid_name << ": adopting source '"
+                             << name << "' at " << address
+                             << " from gossip membership";
+      } else {
+        // The member came back on a new address: replace in place.
+        std::erase_if(sources_, [&](const std::shared_ptr<DataSource>& ds) {
+          return ds->name() == name;
+        });
+      }
+      DataSourceConfig ds;
+      ds.name = name;
+      ds.addresses = {address};
+      sources_.push_back(std::make_shared<DataSource>(std::move(ds)));
+      membership_sources_[name] = address;
+    }
+    for (auto it = membership_sources_.begin();
+         it != membership_sources_.end();) {
+      if (desired.count(it->first) != 0) {
+        ++it;
+        continue;
+      }
+      GLOG(info, "gmetad") << config_.grid_name << ": dropping source '"
+                           << it->first << "' (no longer in membership)";
+      std::erase_if(sources_, [&](const std::shared_ptr<DataSource>& ds) {
+        return ds->name() == it->first;
+      });
+      dropped.push_back(it->first);
+      it = membership_sources_.erase(it);
+    }
+  }
+  for (const std::string& name : dropped) {
+    {
+      std::lock_guard lock(schedule_mutex_);
+      schedule_.erase(name);
+    }
+    store_.remove(name);
+  }
+}
+
 // ------------------------------------------------------------- daemon mode
 
 std::string Gmetad::xml_address() const {
@@ -444,6 +588,21 @@ Status Gmetad::start() {
     config_.authority = "gmetad://" + xml_listener_->address() + "/";
   }
 
+  if (gossip_) {
+    // Advertise the *bound* XML address (resolves ephemeral ports) before
+    // the first digest leaves this node.
+    gossip_->set_self_meta("xml", xml_listener_->address());
+    gossip_->set_self_meta("authority", config_.authority);
+    if (Status s = gossip_->start(); !s.ok()) {
+      // Monitoring still works without membership; degrade loudly.
+      GLOG(warn, "gmetad") << config_.grid_name
+                           << ": gossip disabled: " << s.to_string();
+    } else {
+      GLOG(info, "gmetad") << config_.grid_name << ": gossiping on "
+                           << gossip_->address();
+    }
+  }
+
   const auto accept_loop = [this](net::Listener* listener, bool interactive) {
     while (running_.load()) {
       auto stream = listener->accept();
@@ -476,6 +635,13 @@ Status Gmetad::start() {
 void Gmetad::tick_scheduler() {
   const std::int64_t now = clock_.now_seconds();
   prune_expired_children(now);
+
+  // Gossip rides the same due-time scheduler.  A round is a handful of
+  // small exchanges (bounded by connect_timeout), cheap next to a poll.
+  if (gossip_ && now >= next_gossip_due_s_) {
+    next_gossip_due_s_ = now + std::max<std::int64_t>(1, config_.gossip_interval_s);
+    gossip_tick();
+  }
 
   const auto sources = snapshot_sources();
   std::vector<std::shared_ptr<DataSource>> due;
@@ -519,10 +685,14 @@ void Gmetad::tick_scheduler() {
 
 void Gmetad::stop() {
   if (!running_.exchange(false)) return;
+  // Announce the departure while peers still answer: the LEFT tombstone
+  // spares them the t_fail + t_cleanup detection wait.
+  if (gossip_) gossip_->leave();
   if (xml_listener_) xml_listener_->close();
   if (interactive_listener_) interactive_listener_->close();
   for (std::jthread& t : threads_) t.request_stop();
   threads_.clear();  // joins
+  if (gossip_) gossip_->stop();
   xml_listener_.reset();
   interactive_listener_.reset();
   // Join the write-behind flusher *before* the final flush: the shutdown

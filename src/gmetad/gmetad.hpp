@@ -48,6 +48,8 @@
 #include "gmetad/poll_pool.hpp"
 #include "gmetad/query.hpp"
 #include "gmetad/store.hpp"
+#include "gossip/agent.hpp"
+#include "gossip/failover.hpp"
 #include "net/transport.hpp"
 
 namespace ganglia::gmetad {
@@ -118,6 +120,24 @@ class Gmetad {
   /// Send one JOIN message to a parent's interactive address.
   Status send_join(const std::string& parent_interactive_address);
 
+  // -- gossip membership ----------------------------------------------------
+
+  /// Enabled when config.gossip_bind is set: this node participates in the
+  /// federation's gossip membership protocol and (per gossip_aggregate /
+  /// standby_for) derives data sources from it instead of static
+  /// data_source lines.
+  bool gossip_enabled() const noexcept { return gossip_ != nullptr; }
+  gossip::Agent* membership() noexcept { return gossip_.get(); }
+  const gossip::Agent* membership() const noexcept { return gossip_.get(); }
+  const gossip::FailoverController* failover() const noexcept {
+    return failover_.get();
+  }
+
+  /// One gossip round followed by membership→source reconciliation.  The
+  /// daemon scheduler calls this every gossip_interval_s; deterministic
+  /// tests and benches drive it directly.
+  void gossip_tick();
+
   // -- daemon mode ----------------------------------------------------------
 
   /// Start poller + server threads.  Binds the configured addresses on the
@@ -167,6 +187,9 @@ class Gmetad {
   PollResult poll_source(DataSource& source, std::int64_t now);
   /// Drop dynamic children whose joins lapsed (sources, schedule, store).
   void prune_expired_children(std::int64_t now);
+  /// Reconcile membership-derived data sources (own children + any primary
+  /// we currently cover as a standby) against the live member table.
+  void sync_membership_sources();
   /// Round epilogue: root summary archive + post-poll hook.
   void finish_round(std::int64_t now);
   /// Daemon due-time scheduler: dispatch every due, not-in-flight source.
@@ -198,6 +221,15 @@ class Gmetad {
   std::map<std::string, SourceSchedule> schedule_;
   /// Set by every completed poll; the next tick folds the root summary.
   std::atomic<bool> summary_dirty_{false};
+
+  // Gossip membership.  failover_ is declared before gossip_ so the agent
+  // (whose event handler feeds the controller) is destroyed first.
+  std::unique_ptr<gossip::FailoverController> failover_;
+  std::unique_ptr<gossip::Agent> gossip_;
+  std::mutex membership_mutex_;
+  /// Sources we adopted from the member table: name → advertised XML addr.
+  std::map<std::string, std::string> membership_sources_;
+  std::int64_t next_gossip_due_s_ = 0;  ///< scheduler thread only
 
   // Daemon mode.
   std::atomic<bool> running_{false};

@@ -29,6 +29,22 @@ std::string join_mac(std::string_view key, std::string_view message) {
                    static_cast<unsigned long long>(b));
 }
 
+bool mac_equal(std::string_view expected, std::string_view provided) {
+  // Constant-time over the expected MAC's length: OR-accumulate the XOR of
+  // every byte pair so the comparison never exits early on a mismatch.  A
+  // timing-observant client must not learn how long a prefix of its forged
+  // MAC was correct.  Length is public (the format fixes it at 32 hex
+  // chars), so rejecting a wrong-length MAC immediately leaks nothing.
+  if (expected.size() != provided.size()) return false;
+  unsigned char acc = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    acc = static_cast<unsigned char>(
+        acc | (static_cast<unsigned char>(expected[i]) ^
+               static_cast<unsigned char>(provided[i])));
+  }
+  return acc == 0;
+}
+
 std::string format_join_line(const JoinRequest& request, std::string_view key) {
   return "JOIN " + request.canonical() + " " +
          join_mac(key, request.canonical()) + "\n";
@@ -52,19 +68,31 @@ Result<JoinRequest> parse_join_line(std::string_view line,
     return Err(Errc::parse_error, "join address must be host:port");
   }
   const std::string expected = join_mac(key, request.canonical());
-  if (expected != fields[4]) {
+  if (!mac_equal(expected, fields[4])) {
     return Err(Errc::refused, "join MAC verification failed for '" +
                                   request.name + "'");
   }
   return request;
 }
 
-bool JoinRegistry::refresh(const JoinRequest& request, std::int64_t now) {
+Result<bool> JoinRegistry::refresh(const JoinRequest& request,
+                                   std::int64_t now) {
   std::lock_guard lock(mutex_);
-  auto [it, inserted] = children_.try_emplace(request.name);
+  auto it = children_.find(request.name);
+  if (it == children_.end()) {
+    if (children_.size() >= max_children_) {
+      return Err(Errc::refused,
+                 "join registry full (" + std::to_string(max_children_) +
+                     " children); rejecting '" + request.name + "'");
+    }
+    it = children_.emplace(request.name, Child{}).first;
+    it->second.request = request;
+    it->second.last_join_s = now;
+    return true;
+  }
   it->second.request = request;
   it->second.last_join_s = now;
-  return inserted;
+  return false;
 }
 
 std::vector<JoinRegistry::Child> JoinRegistry::prune(std::int64_t now) {
@@ -79,6 +107,11 @@ std::vector<JoinRegistry::Child> JoinRegistry::prune(std::int64_t now) {
     }
   }
   return expired;
+}
+
+bool JoinRegistry::remove(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  return children_.erase(name) != 0;
 }
 
 std::vector<JoinRegistry::Child> JoinRegistry::children() const {

@@ -33,6 +33,9 @@ namespace ganglia::gmetad {
 /// strong — a stand-in for the certificate scheme the paper references).
 std::string join_mac(std::string_view key, std::string_view message);
 
+/// Constant-time MAC comparison (no early exit on mismatching bytes).
+bool mac_equal(std::string_view expected, std::string_view provided);
+
 struct JoinRequest {
   std::string name;       ///< child grid name (data source name)
   std::string address;    ///< child's XML port ("host:port")
@@ -54,7 +57,13 @@ Result<JoinRequest> parse_join_line(std::string_view line, std::string_view key)
 /// the poll scheduler, so every member takes the registry mutex.
 class JoinRegistry {
  public:
-  explicit JoinRegistry(std::int64_t expiry_s) : expiry_s_(expiry_s) {}
+  /// Default cap on dynamic children — bounds the damage a rogue holder of
+  /// the join key can do to the source table.
+  static constexpr std::size_t kDefaultMaxChildren = 256;
+
+  explicit JoinRegistry(std::int64_t expiry_s,
+                        std::size_t max_children = kDefaultMaxChildren)
+      : expiry_s_(expiry_s), max_children_(max_children) {}
 
   struct Child {
     JoinRequest request;
@@ -62,21 +71,28 @@ class JoinRegistry {
   };
 
   /// Record a fresh, authenticated join.  Returns true when the child is
-  /// new (caller should add a data source).
-  bool refresh(const JoinRequest& request, std::int64_t now);
+  /// new (caller should add a data source); Errc::refused when admitting a
+  /// new child would exceed the cap (refreshes of known children always
+  /// succeed).
+  Result<bool> refresh(const JoinRequest& request, std::int64_t now);
 
   /// Children whose joins lapsed; they are removed from the registry and
   /// returned so the caller can drop their data sources.
   std::vector<Child> prune(std::int64_t now);
+
+  /// Drop one child by name (e.g. when its source is retired early).
+  bool remove(const std::string& name);
 
   std::vector<Child> children() const;
   std::size_t size() const {
     std::lock_guard lock(mutex_);
     return children_.size();
   }
+  std::size_t max_children() const noexcept { return max_children_; }
 
  private:
   std::int64_t expiry_s_;
+  std::size_t max_children_;
   mutable std::mutex mutex_;
   std::map<std::string, Child> children_;
 };

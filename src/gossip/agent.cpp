@@ -1,0 +1,265 @@
+#include "gossip/agent.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gossip/message.hpp"
+
+namespace ganglia::gossip {
+
+Agent::Agent(AgentOptions options, net::Transport& transport, Clock& clock)
+    : options_(std::move(options)),
+      transport_(transport),
+      clock_(clock),
+      table_(options_.id, options_.address, clock_.now_us()),
+      rng_(options_.rng_seed) {
+  for (const auto& [key, value] : options_.meta) {
+    table_.set_self_meta(key, std::string(value));
+  }
+}
+
+Agent::~Agent() { stop(); }
+
+std::vector<std::string> Agent::pick_targets() {
+  // Caller holds mutex_.
+  std::vector<std::string> alive = table_.alive_peer_addresses();
+  std::vector<std::string> targets;
+
+  // Partial Fisher–Yates: the first `fanout` slots of a shuffle.
+  const std::size_t k = std::min(options_.fanout, alive.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + rng_.next_below(static_cast<std::uint32_t>(alive.size() - i));
+    std::swap(alive[i], alive[j]);
+    targets.push_back(alive[i]);
+  }
+
+  // Resurrection probe: while any peer stands convicted (or we know no live
+  // peer at all), keep dialling the doubted addresses — if the silence was a
+  // partition, the first answered probe re-merges both sides.  Otherwise
+  // fall back to a periodic seed probe so a pruned table can rediscover the
+  // group.
+  const std::vector<std::string> faulty = table_.faulty_peer_addresses();
+  if (!faulty.empty()) {
+    targets.push_back(
+        faulty[rng_.next_below(static_cast<std::uint32_t>(faulty.size()))]);
+  } else if (!options_.seeds.empty() &&
+             (alive.empty() || stats_.rounds % kSeedProbePeriod == 0)) {
+    const std::string& seed = options_.seeds[rng_.next_below(
+        static_cast<std::uint32_t>(options_.seeds.size()))];
+    if (seed != table_.self().address &&
+        std::find(targets.begin(), targets.end(), seed) == targets.end()) {
+      targets.push_back(seed);
+    }
+  }
+  return targets;
+}
+
+void Agent::tick() {
+  std::vector<MemberEvent> events;
+  std::string digest;
+  std::vector<std::string> targets;
+  {
+    std::lock_guard lock(mutex_);
+    const TimeUs now = clock_.now_us();
+    table_.tick_self(now);
+    table_.advance(now, options_.t_fail_us, options_.t_cleanup_us, events);
+    ++stats_.rounds;
+    targets = pick_targets();
+    if (!targets.empty()) {
+      digest = encode_digest(options_.id, table_.gossipable());
+    }
+  }
+  dispatch(events);
+  for (const std::string& target : targets) {
+    exchange_with(target, digest);
+  }
+}
+
+void Agent::exchange_with(const std::string& peer_address,
+                          const std::string& digest) {
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.sends;
+    stats_.bytes_out += digest.size();
+  }
+  const TimeUs timeout =
+      std::min(options_.connect_timeout_us, options_.interval_us);
+  auto conn = transport_.connect(peer_address, timeout);
+  if (!conn.ok()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.send_failures;
+    return;
+  }
+  net::Stream& stream = **conn;
+  if (!stream.write_all(digest).ok()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.send_failures;
+    return;
+  }
+  auto reply = net::read_to_eof(stream, kMaxDigestBytes);
+  stream.close();
+  if (!reply.ok()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.send_failures;
+    return;
+  }
+  merge_digest_text(*reply);
+}
+
+void Agent::merge_digest_text(std::string_view text) {
+  auto digest = decode_digest(text);
+  if (!digest.ok()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.send_failures;
+    return;
+  }
+  std::vector<MemberEvent> events;
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_in += text.size();
+    ++stats_.digests_received;
+    table_.merge(digest->entries, clock_.now_us(), events);
+  }
+  dispatch(events);
+}
+
+Result<std::string> Agent::handle_digest(std::string_view request) {
+  auto digest = decode_digest(request);
+  if (!digest.ok()) return digest.error();
+  std::vector<MemberEvent> events;
+  std::string reply;
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_in += request.size();
+    ++stats_.digests_received;
+    table_.merge(digest->entries, clock_.now_us(), events);
+    reply = encode_digest(options_.id, table_.gossipable());
+    stats_.bytes_out += reply.size();
+  }
+  dispatch(events);
+  return reply;
+}
+
+net::ServiceFn Agent::service() {
+  return [this](std::string_view request) { return handle_digest(request); };
+}
+
+void Agent::leave() {
+  std::string digest;
+  std::vector<std::string> targets;
+  {
+    std::lock_guard lock(mutex_);
+    table_.leave_self(clock_.now_us());
+    digest = encode_digest(options_.id, table_.gossipable());
+    targets = table_.alive_peer_addresses();
+    // Best effort: tell `fanout` live peers; gossip spreads the tombstone.
+    if (targets.size() > options_.fanout) {
+      for (std::size_t i = 0; i < options_.fanout; ++i) {
+        const std::size_t j =
+            i + rng_.next_below(static_cast<std::uint32_t>(targets.size() - i));
+        std::swap(targets[i], targets[j]);
+      }
+      targets.resize(options_.fanout);
+    }
+  }
+  for (const std::string& target : targets) {
+    exchange_with(target, digest);
+  }
+}
+
+void Agent::dispatch(std::vector<MemberEvent>& events) {
+  if (events.empty()) return;
+  EventHandler handler;
+  {
+    std::lock_guard lock(handler_mutex_);
+    handler = handler_;
+  }
+  if (!handler) return;
+  for (const MemberEvent& event : events) {
+    handler(event);
+  }
+}
+
+std::vector<MemberEntry> Agent::members() const {
+  std::lock_guard lock(mutex_);
+  return table_.snapshot();
+}
+
+std::optional<MemberEntry> Agent::member(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  const MemberEntry* entry = table_.find(id);
+  if (entry == nullptr) return std::nullopt;
+  return *entry;
+}
+
+std::size_t Agent::alive_count() const {
+  std::lock_guard lock(mutex_);
+  return table_.alive_count();
+}
+
+AgentStats Agent::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+void Agent::set_self_meta(const std::string& key, std::string value) {
+  std::lock_guard lock(mutex_);
+  table_.set_self_meta(key, std::move(value));
+}
+
+void Agent::set_event_handler(EventHandler handler) {
+  std::lock_guard lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+Status Agent::start() {
+  if (running_.exchange(true)) return Status{};
+  auto listener = transport_.listen(options_.address);
+  if (!listener.ok()) {
+    running_.store(false);
+    return listener.error();
+  }
+  listener_ = std::move(*listener);
+  threads_.emplace_back([this] {
+    while (running_.load()) {
+      auto conn = listener_->accept();
+      if (!conn.ok()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      serve_connection(**conn);
+    }
+  });
+  return Status{};
+}
+
+void Agent::serve_connection(net::Stream& stream) {
+  // Accumulate lines until the END terminator, then answer with our digest.
+  std::string request;
+  for (;;) {
+    auto line = net::read_line(stream, kMaxDigestLine + 1);
+    if (!line.ok()) return;
+    request += *line;
+    request += '\n';
+    if (*line == "END") break;
+    if (request.size() > kMaxDigestBytes) return;
+  }
+  auto reply = handle_digest(request);
+  if (!reply.ok()) return;
+  (void)stream.write_all(*reply);
+  stream.close();
+}
+
+void Agent::stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->close();
+  threads_.clear();
+  listener_.reset();
+}
+
+std::string Agent::address() const {
+  return listener_ ? listener_->address() : options_.address;
+}
+
+}  // namespace ganglia::gossip

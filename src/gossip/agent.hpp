@@ -1,0 +1,140 @@
+// Gossip protocol driver: one federated gmetad's membership agent.
+//
+// Modelled on the Group-Membership-List exemplar's three-layer stack: the
+// agent is the P2P layer, net::Transport the EmulNet below it, and the
+// gmetad daemon (or a deterministic sim loop) the application above.  Each
+// tick() the agent
+//
+//   1. advances its own heartbeat and runs the failure-detection timers
+//      (t_fail → SUSPECT, +t_cleanup → DEAD, +t_cleanup → dropped);
+//   2. push-pull gossips its table with `fanout` random ALIVE peers: write
+//      digest, read the peer's digest back, merge both ways;
+//   3. sends one *resurrection probe* when it has reason to doubt its view
+//      — to a random SUSPECT/DEAD address whenever any exist (so a healed
+//      partition reconverges: both sides keep dialling the members they
+//      convicted), and to a seed every kSeedProbePeriod rounds otherwise
+//      (so a fully pruned view can rediscover the group).
+//
+// Completeness: every live member independently times out every silent
+// peer, so every join, failure, and leave is eventually detected
+// everywhere — message loss delays dissemination but cannot mask a
+// failure, because detection needs no message at all.  Accuracy: a false
+// suspicion lasts only until any digest carrying heartbeat progress
+// arrives, and SUSPECT verdicts are never gossiped, so one member's slow
+// link convicts nobody else.
+//
+// Driving: call tick() from a deterministic loop (sim tests, benches) or
+// from the gmetad daemon scheduler.  start()/stop() only serve inbound
+// exchanges on a listener; ticking stays with the caller so simulated and
+// real deployments share every line of protocol code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "gossip/member_table.hpp"
+#include "net/transport.hpp"
+
+namespace ganglia::gossip {
+
+struct AgentOptions {
+  std::string id;                  ///< stable member id (grid name)
+  std::string address;             ///< gossip bind/advertise address
+  std::vector<std::string> seeds;  ///< bootstrap + seed-probe addresses
+  TimeUs interval_us = 2 * kMicrosPerSecond;
+  std::size_t fanout = 3;
+  TimeUs t_fail_us = 20 * kMicrosPerSecond;
+  TimeUs t_cleanup_us = 20 * kMicrosPerSecond;
+  TimeUs connect_timeout_us = kMicrosPerSecond;
+  std::uint64_t rng_seed = 0x676f73736970ULL;
+  /// Initial self metadata (source=, xml=, parent=, authority=...).
+  std::map<std::string, std::string> meta;
+};
+
+struct AgentStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t sends = 0;           ///< outbound exchanges attempted
+  std::uint64_t send_failures = 0;   ///< connect/write/read failures
+  std::uint64_t digests_received = 0;
+  std::uint64_t bytes_out = 0;       ///< digest bytes written (both roles)
+  std::uint64_t bytes_in = 0;        ///< digest bytes read (both roles)
+};
+
+class Agent {
+ public:
+  using EventHandler = std::function<void(const MemberEvent&)>;
+
+  Agent(AgentOptions options, net::Transport& transport, Clock& clock);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// One gossip round: heartbeat, timers, fanout exchanges, probe.
+  void tick();
+
+  /// Receiver side of one exchange: merge the request digest, answer with
+  /// ours.  Usable directly as an in-memory service.
+  Result<std::string> handle_digest(std::string_view request);
+  net::ServiceFn service();
+
+  /// Broadcast a LEFT tombstone (best effort) — call before shutdown.
+  void leave();
+
+  // -- views ---------------------------------------------------------------
+  std::vector<MemberEntry> members() const;
+  std::optional<MemberEntry> member(const std::string& id) const;
+  std::size_t alive_count() const;
+  AgentStats stats() const;
+  const AgentOptions& options() const noexcept { return options_; }
+
+  void set_self_meta(const std::string& key, std::string value);
+  /// Transitions are dispatched outside the table lock, on whichever
+  /// thread drove the merge (a tick, or a peer's exchange).
+  void set_event_handler(EventHandler handler);
+
+  // -- daemon mode ---------------------------------------------------------
+  /// Bind the gossip address and serve inbound exchanges until stop().
+  /// (Ticking remains the caller's job.)
+  Status start();
+  void stop();
+  std::string address() const;
+
+  /// Seed-probe cadence when the view is healthy (every Nth round).
+  static constexpr std::uint64_t kSeedProbePeriod = 8;
+
+ private:
+  /// Pick this round's exchange targets (fanout + probe).
+  std::vector<std::string> pick_targets();
+  void exchange_with(const std::string& peer_address,
+                     const std::string& digest);
+  void merge_digest_text(std::string_view text);
+  void dispatch(std::vector<MemberEvent>& events);
+  void serve_connection(net::Stream& stream);
+
+  AgentOptions options_;
+  net::Transport& transport_;
+  Clock& clock_;
+
+  mutable std::mutex mutex_;  ///< guards table_, stats_, rng_
+  MemberTable table_;
+  AgentStats stats_;
+  Rng rng_;
+
+  std::mutex handler_mutex_;
+  EventHandler handler_;
+
+  std::atomic<bool> running_{false};
+  std::unique_ptr<net::Listener> listener_;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace ganglia::gossip

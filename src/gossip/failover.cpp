@@ -1,0 +1,73 @@
+#include "gossip/failover.hpp"
+
+#include <utility>
+
+namespace ganglia::gossip {
+
+FailoverController::FailoverController(std::vector<std::string> primary_ids)
+    : primaries_(primary_ids.begin(), primary_ids.end()) {}
+
+void FailoverController::set_on_promote(Action action) {
+  std::lock_guard lock(mutex_);
+  on_promote_ = std::move(action);
+}
+
+void FailoverController::set_on_demote(Action action) {
+  std::lock_guard lock(mutex_);
+  on_demote_ = std::move(action);
+}
+
+void FailoverController::observe(const MemberEvent& event) {
+  const std::string& id = event.entry.id;
+  Action action;
+  {
+    std::lock_guard lock(mutex_);
+    if (primaries_.find(id) == primaries_.end()) return;
+    switch (event.kind) {
+      case MemberEvent::Kind::died:
+        if (covering_.insert(id).second) {
+          ++promotions_;
+          action = on_promote_;
+        }
+        break;
+      case MemberEvent::Kind::recovered:
+      case MemberEvent::Kind::joined:
+        // A DEAD row that answers a probe recovers; a dropped row that
+        // reappears joins.  Either way the primary is back.
+        if (covering_.erase(id) != 0) {
+          ++demotions_;
+          action = on_demote_;
+        }
+        break;
+      case MemberEvent::Kind::suspected:
+      case MemberEvent::Kind::left:
+      case MemberEvent::Kind::removed:
+        // SUSPECT is not proof; LEFT/removed while promoted changes
+        // nothing (the primary is still gone and we still cover it).
+        break;
+    }
+  }
+  if (action) action(id);
+}
+
+bool FailoverController::promoted(const std::string& primary_id) const {
+  std::lock_guard lock(mutex_);
+  return covering_.find(primary_id) != covering_.end();
+}
+
+bool FailoverController::any_promoted() const {
+  std::lock_guard lock(mutex_);
+  return !covering_.empty();
+}
+
+std::uint64_t FailoverController::promotions() const {
+  std::lock_guard lock(mutex_);
+  return promotions_;
+}
+
+std::uint64_t FailoverController::demotions() const {
+  std::lock_guard lock(mutex_);
+  return demotions_;
+}
+
+}  // namespace ganglia::gossip

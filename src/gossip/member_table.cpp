@@ -1,0 +1,198 @@
+#include "gossip/member_table.hpp"
+
+namespace ganglia::gossip {
+
+MemberTable::MemberTable(std::string self_id, std::string self_address,
+                         TimeUs now)
+    : self_id_(std::move(self_id)) {
+  MemberEntry self;
+  self.id = self_id_;
+  self.address = std::move(self_address);
+  self.heartbeat = 1;
+  self.state = MemberState::alive;
+  self.local_time_us = now;
+  members_.emplace(self_id_, std::move(self));
+}
+
+void MemberTable::tick_self(TimeUs now) {
+  MemberEntry& self = members_.at(self_id_);
+  ++self.heartbeat;
+  self.local_time_us = now;
+}
+
+void MemberTable::set_self_meta(const std::string& key, std::string value) {
+  members_.at(self_id_).meta[key] = std::move(value);
+}
+
+void MemberTable::leave_self(TimeUs now) {
+  MemberEntry& self = members_.at(self_id_);
+  self.state = MemberState::left;
+  ++self.heartbeat;
+  self.local_time_us = now;
+}
+
+void MemberTable::merge(const std::vector<MemberEntry>& remote, TimeUs now,
+                        std::vector<MemberEvent>& events) {
+  for (const MemberEntry& theirs : remote) {
+    if (theirs.id == self_id_) {
+      // Someone remembers a previous life of ours with a version at or
+      // beyond the current one (we restarted, or a stale LEFT tombstone is
+      // circulating).  Reassert ourselves with a fresh incarnation — the
+      // classic refutation rule.
+      MemberEntry& self = members_.at(self_id_);
+      if (self.state == MemberState::alive && !theirs.older_than(self)) {
+        self.incarnation = theirs.incarnation + 1;
+        self.local_time_us = now;
+      }
+      continue;
+    }
+
+    auto it = members_.find(theirs.id);
+    if (it == members_.end()) {
+      if (theirs.state == MemberState::left) continue;  // stale tombstone
+      MemberEntry entry = theirs;
+      entry.local_time_us = now;
+      events.push_back({MemberEvent::Kind::joined, entry});
+      members_.emplace(entry.id, std::move(entry));
+      continue;
+    }
+
+    MemberEntry& ours = it->second;
+    if (theirs.state == MemberState::left) {
+      // A tombstone at an equal-or-newer incarnation overrides liveness:
+      // the member *chose* to go, no failure-detection grace applies.
+      if (theirs.incarnation >= ours.incarnation &&
+          ours.state != MemberState::left) {
+        ours.incarnation = theirs.incarnation;
+        ours.heartbeat = theirs.heartbeat;
+        ours.state = MemberState::left;
+        ours.local_time_us = now;
+        events.push_back({MemberEvent::Kind::left, ours});
+      }
+      continue;
+    }
+    if (ours.state == MemberState::left) {
+      // Rejoin after a leave needs a fresh incarnation; same-incarnation
+      // heartbeats are echoes of the pre-leave life.
+      if (theirs.incarnation <= ours.incarnation) continue;
+      ours = theirs;
+      ours.local_time_us = now;
+      events.push_back({MemberEvent::Kind::joined, ours});
+      continue;
+    }
+    if (!ours.older_than(theirs)) continue;  // nothing fresher
+    const bool was_faulty = ours.state == MemberState::suspect ||
+                            ours.state == MemberState::dead;
+    ours.incarnation = theirs.incarnation;
+    ours.heartbeat = theirs.heartbeat;
+    ours.address = theirs.address;
+    ours.meta = theirs.meta;
+    ours.state = MemberState::alive;
+    ours.local_time_us = now;
+    if (was_faulty) {
+      events.push_back({MemberEvent::Kind::recovered, ours});
+    }
+  }
+}
+
+void MemberTable::advance(TimeUs now, TimeUs t_fail, TimeUs t_cleanup,
+                          std::vector<MemberEvent>& events) {
+  for (auto it = members_.begin(); it != members_.end();) {
+    MemberEntry& entry = it->second;
+    if (entry.id == self_id_) {
+      ++it;
+      continue;
+    }
+    const TimeUs silent = now - entry.local_time_us;
+    bool erase = false;
+    switch (entry.state) {
+      case MemberState::alive:
+        if (silent >= t_fail) {
+          entry.state = MemberState::suspect;
+          events.push_back({MemberEvent::Kind::suspected, entry});
+        }
+        break;
+      case MemberState::suspect:
+        if (silent >= t_fail + t_cleanup) {
+          entry.state = MemberState::dead;
+          events.push_back({MemberEvent::Kind::died, entry});
+        }
+        break;
+      case MemberState::dead:
+        // Post-mortem retention keeps the row visible (members route,
+        // failover) for one more t_cleanup, then drops it for good.
+        if (silent >= t_fail + 2 * t_cleanup) erase = true;
+        break;
+      case MemberState::left:
+        if (silent >= t_cleanup) erase = true;
+        break;
+    }
+    if (erase) {
+      events.push_back({MemberEvent::Kind::removed, entry});
+      it = members_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<MemberEntry> MemberTable::gossipable() const {
+  std::vector<MemberEntry> out;
+  out.reserve(members_.size());
+  for (const auto& [id, entry] : members_) {
+    (void)id;
+    if (entry.state == MemberState::alive ||
+        entry.state == MemberState::left) {
+      out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::vector<MemberEntry> MemberTable::snapshot() const {
+  std::vector<MemberEntry> out;
+  out.reserve(members_.size());
+  for (const auto& [id, entry] : members_) {
+    (void)id;
+    out.push_back(entry);
+  }
+  return out;
+}
+
+const MemberEntry* MemberTable::find(const std::string& id) const {
+  const auto it = members_.find(id);
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> MemberTable::alive_peer_addresses() const {
+  std::vector<std::string> out;
+  for (const auto& [id, entry] : members_) {
+    if (id != self_id_ && entry.state == MemberState::alive) {
+      out.push_back(entry.address);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> MemberTable::faulty_peer_addresses() const {
+  std::vector<std::string> out;
+  for (const auto& [id, entry] : members_) {
+    if (id == self_id_) continue;
+    if (entry.state == MemberState::suspect ||
+        entry.state == MemberState::dead) {
+      out.push_back(entry.address);
+    }
+  }
+  return out;
+}
+
+std::size_t MemberTable::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, entry] : members_) {
+    (void)id;
+    if (entry.state == MemberState::alive) ++n;
+  }
+  return n;
+}
+
+}  // namespace ganglia::gossip

@@ -1,0 +1,102 @@
+// Gossip membership table: the soft state every federated gmetad keeps.
+//
+// Each member holds one row per known peer — (id, address, incarnation,
+// heartbeat, local receipt time, state, metadata) — and three operations
+// maintain it:
+//
+//  * merge(): fold a received digest in.  Fresher liveness evidence (higher
+//    (incarnation, heartbeat)) wins, refreshes the receipt time, and
+//    resurrects SUSPECT/DEAD rows; LEFT tombstones at an equal-or-newer
+//    incarnation override ALIVE, so a deliberate leave is never mistaken
+//    for a failure.
+//
+//  * advance(): apply the local failure-detection timers.  A row whose
+//    heartbeat has not progressed for t_fail is SUSPECT; t_cleanup later it
+//    is DEAD; one more t_cleanup and the row is dropped entirely (a healed
+//    partition re-learns the member as a fresh join via the agent's
+//    resurrection probes).
+//
+//  * tick(): advance our own heartbeat.
+//
+// State transitions are reported as MemberEvents so the failover
+// controller and the dynamic-topology layer react to *edges* (ALIVE→DEAD)
+// rather than polling levels — that is what makes "promote once, demote
+// once" enforceable.
+//
+// The table itself is not synchronised; the owning Agent serialises access.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "gossip/message.hpp"
+
+namespace ganglia::gossip {
+
+struct MemberEvent {
+  enum class Kind {
+    joined,     ///< previously unknown member appeared ALIVE
+    recovered,  ///< SUSPECT/DEAD member proved alive again
+    suspected,  ///< t_fail without heartbeat progress
+    died,       ///< t_cleanup after suspicion
+    left,       ///< voluntary leave disseminated
+    removed,    ///< row dropped after the post-mortem retention window
+  };
+  Kind kind = Kind::joined;
+  MemberEntry entry;  ///< row snapshot *after* the transition
+};
+
+constexpr const char* member_event_name(MemberEvent::Kind k) noexcept {
+  switch (k) {
+    case MemberEvent::Kind::joined: return "joined";
+    case MemberEvent::Kind::recovered: return "recovered";
+    case MemberEvent::Kind::suspected: return "suspected";
+    case MemberEvent::Kind::died: return "died";
+    case MemberEvent::Kind::left: return "left";
+    case MemberEvent::Kind::removed: return "removed";
+  }
+  return "unknown";
+}
+
+class MemberTable {
+ public:
+  MemberTable(std::string self_id, std::string self_address, TimeUs now);
+
+  // -- self ----------------------------------------------------------------
+  const MemberEntry& self() const { return members_.at(self_id_); }
+  const std::string& self_id() const noexcept { return self_id_; }
+  /// Heartbeat progress for this round.
+  void tick_self(TimeUs now);
+  void set_self_meta(const std::string& key, std::string value);
+  /// Mark ourselves LEFT (broadcast by the agent's final digest).
+  void leave_self(TimeUs now);
+
+  // -- gossip --------------------------------------------------------------
+  /// Fold remote entries in; transition events are appended to `events`.
+  void merge(const std::vector<MemberEntry>& remote, TimeUs now,
+             std::vector<MemberEvent>& events);
+
+  /// Run the local failure-detection timers.
+  void advance(TimeUs now, TimeUs t_fail, TimeUs t_cleanup,
+               std::vector<MemberEvent>& events);
+
+  // -- views ---------------------------------------------------------------
+  /// Entries worth gossiping: self, ALIVE peers, LEFT tombstones.
+  std::vector<MemberEntry> gossipable() const;
+  /// Everything, self included (the /api/v1/members payload).
+  std::vector<MemberEntry> snapshot() const;
+  const MemberEntry* find(const std::string& id) const;
+  /// Gossip addresses of ALIVE peers (fanout candidates).
+  std::vector<std::string> alive_peer_addresses() const;
+  /// Gossip addresses of SUSPECT/DEAD peers (resurrection-probe pool).
+  std::vector<std::string> faulty_peer_addresses() const;
+  std::size_t alive_count() const;  ///< self included
+  std::size_t size() const noexcept { return members_.size(); }
+
+ private:
+  std::string self_id_;
+  std::map<std::string, MemberEntry> members_;
+};
+
+}  // namespace ganglia::gossip

@@ -1,0 +1,165 @@
+#include "gossip/message.hpp"
+
+#include <charconv>
+#include <optional>
+
+#include "common/strings.hpp"
+
+namespace ganglia::gossip {
+
+namespace {
+
+bool clean_token(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+bool clean_meta(const std::map<std::string, std::string>& meta) {
+  for (const auto& [key, value] : meta) {
+    if (!clean_token(key) || key.find('=') != std::string::npos ||
+        key.find(';') != std::string::npos) {
+      return false;
+    }
+    if (!value.empty() &&
+        (!clean_token(value) || value.find(';') != std::string::npos)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.append(buf, end);
+}
+
+std::optional<std::uint64_t> fast_u64(std::string_view s) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+std::string encode_digest(std::string_view sender_id,
+                          const std::vector<MemberEntry>& entries) {
+  std::string out;
+  out.reserve(32 + entries.size() * 64);
+  out += "GOSSIP1 ";
+  out += sender_id;
+  out += '\n';
+  for (const MemberEntry& entry : entries) {
+    if (entry.state != MemberState::alive && entry.state != MemberState::left) {
+      continue;  // local verdicts are not gossiped
+    }
+    if (!clean_token(entry.id) || !clean_token(entry.address) ||
+        !clean_meta(entry.meta)) {
+      continue;
+    }
+    out += "M ";
+    out += entry.id;
+    out += ' ';
+    out += entry.address;
+    out += ' ';
+    append_u64(out, entry.incarnation);
+    out += ' ';
+    append_u64(out, entry.heartbeat);
+    out += entry.state == MemberState::left ? " L " : " A ";
+    if (entry.meta.empty()) {
+      out += '-';
+    } else {
+      bool first = true;
+      for (const auto& [key, value] : entry.meta) {
+        if (!first) out += ';';
+        first = false;
+        out += key;
+        out += '=';
+        out += value;
+      }
+    }
+    out += '\n';
+  }
+  out += "END\n";
+  return out;
+}
+
+Result<Digest> decode_digest(std::string_view text) {
+  if (text.size() > kMaxDigestBytes) {
+    return Err(Errc::parse_error, "gossip digest too large");
+  }
+  Digest digest;
+  bool saw_header = false;
+  bool saw_end = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.size() > kMaxDigestLine) {
+      return Err(Errc::parse_error, "gossip digest line too long");
+    }
+    if (line.empty()) continue;
+    if (!saw_header) {
+      const auto fields = split_ws(line);
+      if (fields.size() != 2 || fields[0] != "GOSSIP1") {
+        return Err(Errc::parse_error, "expected 'GOSSIP1 <sender-id>'");
+      }
+      digest.sender_id = std::string(fields[1]);
+      saw_header = true;
+      continue;
+    }
+    if (line == "END") {
+      saw_end = true;
+      break;
+    }
+    const auto fields = split_ws(line);
+    if (fields.size() != 7 || fields[0] != "M") {
+      return Err(Errc::parse_error,
+                 "expected 'M <id> <address> <inc> <hb> <state> <meta>'");
+    }
+    if (digest.entries.size() >= kMaxDigestEntries) {
+      return Err(Errc::parse_error, "gossip digest entry cap exceeded");
+    }
+    MemberEntry entry;
+    entry.id = std::string(fields[1]);
+    entry.address = std::string(fields[2]);
+    const auto incarnation = fast_u64(fields[3]);
+    const auto heartbeat = fast_u64(fields[4]);
+    if (!incarnation || !heartbeat) {
+      return Err(Errc::parse_error, "bad gossip version numbers");
+    }
+    entry.incarnation = *incarnation;
+    entry.heartbeat = *heartbeat;
+    if (fields[5] == "A") {
+      entry.state = MemberState::alive;
+    } else if (fields[5] == "L") {
+      entry.state = MemberState::left;
+    } else {
+      return Err(Errc::parse_error, "gossip state must be A or L");
+    }
+    if (fields[6] != "-") {
+      for (std::string_view pair : split(fields[6], ';', /*skip_empty=*/true)) {
+        const auto eq = pair.find('=');
+        if (eq == std::string_view::npos || eq == 0) {
+          return Err(Errc::parse_error, "bad gossip meta pair");
+        }
+        entry.meta.emplace(std::string(pair.substr(0, eq)),
+                           std::string(pair.substr(eq + 1)));
+      }
+    }
+    digest.entries.push_back(std::move(entry));
+  }
+  if (!saw_header || !saw_end) {
+    return Err(Errc::parse_error, "truncated gossip digest");
+  }
+  return digest;
+}
+
+}  // namespace ganglia::gossip

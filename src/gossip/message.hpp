@@ -1,0 +1,89 @@
+// Gossip wire format: the membership digest exchanged between gmetads.
+//
+// One push-pull round is a single stream connection: the initiator writes
+// its digest, the receiver merges it and answers with its own digest, and
+// the connection closes.  The digest is line-oriented (like the rest of the
+// federation protocols — JOIN lines, XML dumps — it favours debuggability
+// over density):
+//
+//   GOSSIP1 <sender-id>\n
+//   M <id> <address> <incarnation> <heartbeat> <state> <meta>\n
+//   ...
+//   END\n
+//
+// <state> is A (alive) or L (left): SUSPECT/DEAD verdicts are *local*
+// judgements and are never gossiped — forwarding them would let one slow
+// link convict a live member everywhere (the Group-Membership-List
+// exemplar's rule).  <meta> is `key=value` pairs joined with ';', or `-`
+// when empty; metadata carries the federation payload (source name, XML
+// address, parent aggregator, authority URL).
+//
+// decode_digest enforces caps (entry count, line length, field sizes) so a
+// hostile peer cannot balloon a member table or wedge the parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace ganglia::gossip {
+
+enum class MemberState { alive, suspect, dead, left };
+
+constexpr const char* member_state_name(MemberState s) noexcept {
+  switch (s) {
+    case MemberState::alive: return "ALIVE";
+    case MemberState::suspect: return "SUSPECT";
+    case MemberState::dead: return "DEAD";
+    case MemberState::left: return "LEFT";
+  }
+  return "UNKNOWN";
+}
+
+/// One row of the membership table.  `(incarnation, heartbeat)` orders
+/// versions: heartbeats progress within a lifetime, the incarnation bumps
+/// across restarts (so a rebooted member's fresh heartbeat still wins).
+struct MemberEntry {
+  std::string id;       ///< stable member id (the gmetad's grid name)
+  std::string address;  ///< gossip endpoint ("host:port")
+  std::uint64_t incarnation = 0;
+  std::uint64_t heartbeat = 0;
+  MemberState state = MemberState::alive;
+  /// Local receipt time of the last heartbeat progress — never gossiped;
+  /// every member times out its peers on its own clock.
+  TimeUs local_time_us = 0;
+  /// Advertised metadata (source=, xml=, parent=, authority=...).
+  std::map<std::string, std::string> meta;
+
+  /// Version order: does `other` carry fresher liveness evidence?
+  bool older_than(const MemberEntry& other) const noexcept {
+    return incarnation < other.incarnation ||
+           (incarnation == other.incarnation && heartbeat < other.heartbeat);
+  }
+};
+
+/// Decoded digest: who sent it and the entries it carries.
+struct Digest {
+  std::string sender_id;
+  std::vector<MemberEntry> entries;
+};
+
+/// Hard caps a digest must respect (decode rejects violations).
+inline constexpr std::size_t kMaxDigestEntries = 4096;
+inline constexpr std::size_t kMaxDigestLine = 2048;
+inline constexpr std::size_t kMaxDigestBytes = 4u << 20;
+
+/// Serialize a digest.  Entries whose fields contain whitespace, ';', or
+/// '=' in meta keys are skipped (they could not round-trip).
+std::string encode_digest(std::string_view sender_id,
+                          const std::vector<MemberEntry>& entries);
+
+/// Parse + validate a digest (entries' local_time_us is left 0; the merge
+/// stamps receipt time).
+Result<Digest> decode_digest(std::string_view text);
+
+}  // namespace ganglia::gossip

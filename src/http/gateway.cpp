@@ -160,6 +160,13 @@ Result<Gateway::Content> Gateway::render_api(std::string_view rest,
     }
     return render_archiver_stats();
   }
+  if (rest == "/members") {
+    if (!query.empty()) {
+      return Err(Errc::invalid_argument,
+                 "membership view takes no query options");
+    }
+    return render_members();
+  }
   auto line = query_line(rest, query);
   if (!line.ok()) return line.error();
   // Same traversal as /xml, JSON backend — the old design rendered XML,
@@ -280,6 +287,49 @@ Gateway::Content Gateway::render_archiver_stats() {
   return content;
 }
 
+Result<Gateway::Content> Gateway::render_members() {
+  const gossip::Agent* agent = monitor_.membership();
+  if (agent == nullptr) {
+    return Err(Errc::not_found, "membership gossip is not enabled");
+  }
+  std::string body;
+  xml::JsonWriter w(body);
+  w.begin_object();
+  w.key("MEMBERS");
+  w.begin_array();
+  for (const gossip::MemberEntry& member : agent->members()) {
+    w.begin_object();
+    w.key("ID");
+    w.value(member.id);
+    w.key("ADDRESS");
+    w.value(member.address);
+    w.key("STATE");
+    w.value(gossip::member_state_name(member.state));
+    w.key("INCARNATION");
+    w.value(member.incarnation);
+    w.key("HEARTBEAT");
+    w.value(member.heartbeat);
+    w.key("SELF");
+    w.value(member.id == agent->options().id);
+    w.key("META");
+    w.begin_object();
+    for (const auto& [key, value] : member.meta) {
+      w.key(key);
+      w.value(value);
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  body += '\n';
+  // Liveness must be observed live: a cached SUSPECT row would defeat the
+  // point of looking.
+  Content content{std::move(body), std::string(kJsonType), {}};
+  content.no_store = true;
+  return content;
+}
+
 Gateway::Content Gateway::render_index() const {
   std::string body =
       "<!DOCTYPE html><html><head><meta charset=\"utf-8\">"
@@ -296,6 +346,8 @@ Gateway::Content Gateway::render_index() const {
       "<li><a href=\"/api/v1/\">/api/v1/&lt;path&gt;</a> — JSON API</li>"
       "<li><a href=\"/api/v1/archiver\">/api/v1/archiver</a> — archiver "
       "stats (live, uncached)</li>"
+      "<li><a href=\"/api/v1/members\">/api/v1/members</a> — gossip "
+      "membership table (live, uncached)</li>"
       "</ul></body></html>\n";
   // No store dependencies: the index is static apart from the grid name,
   // so the TTL floor alone governs it.

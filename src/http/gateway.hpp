@@ -8,6 +8,10 @@
 //   /api/v1/<path>[?filter=summary]   same query rendered as JSON
 //   /api/v1/archiver          archiver stats (ARCHIVER JSON object; never
 //                             cached — Cache-Control: no-store)
+//   /api/v1/members           gossip membership table (MEMBERS JSON array:
+//                             id, address, state, incarnation, heartbeat,
+//                             metadata; never cached); 404 when membership
+//                             gossip is not enabled
 //   /ui/meta                  meta view (per-source summary table)
 //   /ui/cluster/<cluster>     cluster view (per-host table)
 //   /ui/host/<cluster>/<host> host page with inline SVG RRD graphs
@@ -78,6 +82,7 @@ class Gateway {
   Result<Content> render_ui(std::string_view path);
   Content render_index() const;
   Content render_archiver_stats();
+  Result<Content> render_members();
 
   /// Map gateway/query errors onto HTTP statuses (400/404/500).
   static Response error_to_response(const Error& error);

@@ -205,6 +205,11 @@ FailurePolicy InMemTransport::apply_failure(const std::string& address) {
 
 Result<std::unique_ptr<Stream>> InMemTransport::connect(
     std::string_view address, TimeUs timeout) {
+  return connect_as({}, address, timeout);
+}
+
+Result<std::unique_ptr<Stream>> InMemTransport::connect_as(
+    std::string_view local_address, std::string_view address, TimeUs timeout) {
   std::string addr(address);
   ServiceFn service;
   std::shared_ptr<ListenerState> listener;
@@ -212,6 +217,20 @@ Result<std::unique_ptr<Stream>> InMemTransport::connect(
   {
     std::lock_guard lock(mutex_);
     ++stats_[addr].connects;
+    // Partition check first: a partitioned pair cannot even exchange the
+    // SYN, so no per-address policy below applies.
+    const auto group_of = [this](std::string_view a) {
+      const auto it = groups_.find(std::string(a));
+      return it == groups_.end() ? 0 : it->second;
+    };
+    if (group_of(local_address) != group_of(addr)) {
+      ++stats_[addr].failed_connects;
+      return Err(Errc::timeout, "connect to " + addr + " timed out (partition)");
+    }
+    if (loss_rate_ > 0.0 && loss_rng_.next_bool(loss_rate_)) {
+      ++stats_[addr].failed_connects;
+      return Err(Errc::timeout, "connect to " + addr + " timed out (loss)");
+    }
     const FailurePolicy policy = apply_failure(addr);
     switch (policy.kind) {
       case FailurePolicy::Kind::none:
@@ -289,6 +308,27 @@ void InMemTransport::set_failure(const std::string& address,
 void InMemTransport::clear_failure(const std::string& address) {
   std::lock_guard lock(mutex_);
   failures_.erase(address);
+}
+
+void InMemTransport::set_group(const std::string& address, int group) {
+  std::lock_guard lock(mutex_);
+  if (group == 0) {
+    groups_.erase(address);
+  } else {
+    groups_[address] = group;
+  }
+}
+
+int InMemTransport::group(const std::string& address) const {
+  std::lock_guard lock(mutex_);
+  const auto it = groups_.find(address);
+  return it == groups_.end() ? 0 : it->second;
+}
+
+void InMemTransport::set_loss(double rate, std::uint64_t seed) {
+  std::lock_guard lock(mutex_);
+  loss_rate_ = rate;
+  loss_rng_ = Rng(seed);
 }
 
 AddressStats InMemTransport::stats(const std::string& address) const {

@@ -13,6 +13,16 @@ void FailureSchedule::add_outage(TimeUs from_us, TimeUs to_us,
   add(to_us, address, net::FailurePolicy{});  // recover
 }
 
+void FailureSchedule::add_partition(TimeUs from_us, TimeUs to_us,
+                                    const std::vector<std::string>& addresses) {
+  const int group = next_partition_group_++;
+  for (const std::string& address : addresses) {
+    events_.push_back({from_us, address, net::FailurePolicy{}, true, group});
+    events_.push_back({to_us, address, net::FailurePolicy{}, true, 0});
+  }
+  sorted_ = false;
+}
+
 std::size_t FailureSchedule::apply_due(TimeUs now,
                                        net::InMemTransport& transport) {
   if (!sorted_) {
@@ -26,7 +36,11 @@ std::size_t FailureSchedule::apply_due(TimeUs now,
   std::size_t fired = 0;
   while (applied_ < events_.size() && events_[applied_].at_us <= now) {
     const FailureEvent& ev = events_[applied_];
-    transport.set_failure(ev.address, ev.policy);
+    if (ev.is_group_change) {
+      transport.set_group(ev.address, ev.group);
+    } else {
+      transport.set_failure(ev.address, ev.policy);
+    }
     ++applied_;
     ++fired;
   }

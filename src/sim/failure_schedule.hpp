@@ -19,18 +19,29 @@ struct FailureEvent {
   TimeUs at_us = 0;
   std::string address;
   net::FailurePolicy policy;  ///< Kind::none means "recover"
+  /// Partition-group events reassign the address's group instead of
+  /// setting a policy (group 0 = rejoin the default group).
+  bool is_group_change = false;
+  int group = 0;
 };
 
 class FailureSchedule {
  public:
   void add(TimeUs at_us, std::string address, net::FailurePolicy policy) {
-    events_.push_back({at_us, std::move(address), policy});
+    events_.push_back({at_us, std::move(address), policy, false, 0});
     sorted_ = false;
   }
 
   /// Convenience: stop a node during [from_us, to_us).
   void add_outage(TimeUs from_us, TimeUs to_us, const std::string& address,
                   net::FailurePolicy::Kind kind = net::FailurePolicy::Kind::refuse);
+
+  /// Group partition: isolate `addresses` from everything outside the set
+  /// during [from_us, to_us).  Members of the set still reach each other —
+  /// one call instead of N² pairwise policy events.  Each call uses a
+  /// fresh group id, so disjoint concurrent partitions stay disjoint.
+  void add_partition(TimeUs from_us, TimeUs to_us,
+                     const std::vector<std::string>& addresses);
 
   /// Apply every not-yet-applied event with at_us <= now to the transport.
   /// Returns how many fired.
@@ -41,6 +52,7 @@ class FailureSchedule {
  private:
   std::vector<FailureEvent> events_;
   std::size_t applied_ = 0;
+  int next_partition_group_ = 1;
   bool sorted_ = true;
 };
 

@@ -1,0 +1,397 @@
+// Gossip membership: codec, merge semantics, and deterministic group
+// simulations (convergence, failure detection under loss, leaves,
+// partitions, churn) over the in-memory fabric.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gossip/member_table.hpp"
+#include "gossip/message.hpp"
+#include "gossip_sim_util.hpp"
+#include "sim/failure_schedule.hpp"
+
+namespace ganglia::gossip {
+namespace {
+
+// ------------------------------------------------------------------- codec
+
+TEST(GossipCodec, RoundTrips) {
+  std::vector<MemberEntry> entries;
+  MemberEntry a;
+  a.id = "core";
+  a.address = "core:8654";
+  a.incarnation = 3;
+  a.heartbeat = 17;
+  a.meta = {{"source", "core"}, {"xml", "core:8651"}, {"parent", "root"}};
+  entries.push_back(a);
+  MemberEntry gone;
+  gone.id = "old";
+  gone.address = "old:8654";
+  gone.heartbeat = 9;
+  gone.state = MemberState::left;
+  entries.push_back(gone);
+
+  const std::string wire = encode_digest("core", entries);
+  auto decoded = decode_digest(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().to_string();
+  EXPECT_EQ(decoded->sender_id, "core");
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[0].id, "core");
+  EXPECT_EQ(decoded->entries[0].incarnation, 3u);
+  EXPECT_EQ(decoded->entries[0].heartbeat, 17u);
+  EXPECT_EQ(decoded->entries[0].state, MemberState::alive);
+  EXPECT_EQ(decoded->entries[0].meta, a.meta);
+  EXPECT_EQ(decoded->entries[1].state, MemberState::left);
+  EXPECT_TRUE(decoded->entries[1].meta.empty());
+}
+
+TEST(GossipCodec, LocalVerdictsAreNeverEncoded) {
+  MemberEntry suspect;
+  suspect.id = "s";
+  suspect.address = "s:1";
+  suspect.state = MemberState::suspect;
+  MemberEntry dead = suspect;
+  dead.id = "d";
+  dead.state = MemberState::dead;
+  const std::string wire = encode_digest("me", {suspect, dead});
+  auto decoded = decode_digest(wire);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->entries.empty())
+      << "SUSPECT/DEAD are local judgements; forwarding them would let one "
+         "slow link convict a member everywhere";
+}
+
+TEST(GossipCodec, RejectsMalformedDigests) {
+  EXPECT_FALSE(decode_digest("").ok());
+  EXPECT_FALSE(decode_digest("GOSSIP1 me\n").ok()) << "missing END";
+  EXPECT_FALSE(decode_digest("M a a:1 0 1 A -\nEND\n").ok()) << "no header";
+  EXPECT_FALSE(decode_digest("GOSSIP1 me\nM a a:1 0 1 X -\nEND\n").ok())
+      << "state must be A or L";
+  EXPECT_FALSE(decode_digest("GOSSIP1 me\nM a a:1 zero 1 A -\nEND\n").ok());
+  EXPECT_FALSE(decode_digest("GOSSIP1 me\nM a a:1 0 1 A =v\nEND\n").ok())
+      << "meta pair needs a key";
+  EXPECT_FALSE(decode_digest("GOSSIP1 me\nM a a:1 0 1 A\nEND\n").ok())
+      << "short row";
+  const std::string long_line(kMaxDigestLine + 1, 'x');
+  EXPECT_FALSE(decode_digest("GOSSIP1 me\n" + long_line + "\nEND\n").ok());
+}
+
+// ------------------------------------------------------------ merge rules
+
+std::vector<MemberEvent> merge_one(MemberTable& table, MemberEntry entry,
+                                   TimeUs now) {
+  std::vector<MemberEvent> events;
+  table.merge({std::move(entry)}, now, events);
+  return events;
+}
+
+MemberEntry peer(const std::string& id, std::uint64_t inc, std::uint64_t hb,
+                 MemberState state = MemberState::alive) {
+  MemberEntry entry;
+  entry.id = id;
+  entry.address = id + ":8654";
+  entry.incarnation = inc;
+  entry.heartbeat = hb;
+  entry.state = state;
+  return entry;
+}
+
+TEST(MemberTable, FreshnessOrderAndEvents) {
+  MemberTable table("me", "me:8654", 0);
+  auto events = merge_one(table, peer("b", 0, 5), 10);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MemberEvent::Kind::joined);
+
+  // Stale heartbeat: ignored, receipt time NOT refreshed.
+  events = merge_one(table, peer("b", 0, 3), 20);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(table.find("b")->local_time_us, 10);
+
+  // Progress refreshes; higher incarnation beats higher heartbeat.
+  events = merge_one(table, peer("b", 0, 6), 30);
+  EXPECT_EQ(table.find("b")->local_time_us, 30);
+  events = merge_one(table, peer("b", 1, 1), 40);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(table.find("b")->incarnation, 1u);
+  EXPECT_EQ(table.find("b")->heartbeat, 1u);
+}
+
+TEST(MemberTable, SuspectRecoversOnHeartbeatProgress) {
+  MemberTable table("me", "me:8654", 0);
+  merge_one(table, peer("b", 0, 5), 0);
+  std::vector<MemberEvent> events;
+  table.advance(6 * kMicrosPerSecond, 5 * kMicrosPerSecond,
+                5 * kMicrosPerSecond, events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MemberEvent::Kind::suspected);
+
+  events = merge_one(table, peer("b", 0, 6), 7 * kMicrosPerSecond);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MemberEvent::Kind::recovered);
+  EXPECT_EQ(table.find("b")->state, MemberState::alive);
+}
+
+TEST(MemberTable, AdvanceWalksTheStateMachine) {
+  const TimeUs kSec = kMicrosPerSecond;
+  MemberTable table("me", "me:8654", 0);
+  merge_one(table, peer("b", 0, 5), 0);
+  std::vector<MemberEvent> events;
+
+  table.advance(4 * kSec, 5 * kSec, 5 * kSec, events);
+  EXPECT_EQ(table.find("b")->state, MemberState::alive);
+  table.advance(5 * kSec, 5 * kSec, 5 * kSec, events);
+  EXPECT_EQ(table.find("b")->state, MemberState::suspect);
+  table.advance(10 * kSec, 5 * kSec, 5 * kSec, events);
+  EXPECT_EQ(table.find("b")->state, MemberState::dead);
+  // Post-mortem retention: one more t_cleanup, then dropped.
+  table.advance(14 * kSec, 5 * kSec, 5 * kSec, events);
+  EXPECT_NE(table.find("b"), nullptr);
+  table.advance(15 * kSec, 5 * kSec, 5 * kSec, events);
+  EXPECT_EQ(table.find("b"), nullptr);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, MemberEvent::Kind::suspected);
+  EXPECT_EQ(events[1].kind, MemberEvent::Kind::died);
+  EXPECT_EQ(events[2].kind, MemberEvent::Kind::removed);
+}
+
+TEST(MemberTable, LeftTombstoneOverridesAliveAndExpires) {
+  const TimeUs kSec = kMicrosPerSecond;
+  MemberTable table("me", "me:8654", 0);
+  merge_one(table, peer("b", 2, 50), 0);
+
+  // Equal incarnation suffices: leaving is a choice, not a failure.
+  auto events = merge_one(table, peer("b", 2, 51, MemberState::left), kSec);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MemberEvent::Kind::left);
+
+  // Echoes of the pre-leave life must not resurrect the row.
+  events = merge_one(table, peer("b", 2, 60), 2 * kSec);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(table.find("b")->state, MemberState::left);
+
+  // A true rejoin carries a fresh incarnation.
+  events = merge_one(table, peer("b", 3, 1), 3 * kSec);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, MemberEvent::Kind::joined);
+  EXPECT_EQ(table.find("b")->state, MemberState::alive);
+
+  // And tombstones eventually expire.
+  merge_one(table, peer("b", 3, 2, MemberState::left), 4 * kSec);
+  std::vector<MemberEvent> expiry;
+  table.advance(9 * kSec + 1, 5 * kSec, 5 * kSec, expiry);
+  EXPECT_EQ(table.find("b"), nullptr);
+}
+
+TEST(MemberTable, RefutesStaleNewsOfItself) {
+  MemberTable table("me", "me:8654", 0);
+  table.tick_self(1);  // heartbeat 2
+
+  // A peer remembers our previous life at a version >= ours: bump past it.
+  auto events = merge_one(table, peer("me", 4, 100), 2);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(table.self().incarnation, 5u);
+  EXPECT_EQ(table.self().state, MemberState::alive);
+
+  // Older news about ourselves is simply ignored.
+  merge_one(table, peer("me", 1, 1), 3);
+  EXPECT_EQ(table.self().incarnation, 5u);
+}
+
+// ------------------------------------------------------- group simulations
+
+TEST(GossipSim, JoinConvergenceIsBounded) {
+  GossipSimOptions options;
+  options.members = 12;
+  GossipSim sim(options);
+
+  const int rounds = sim.run_until([&] { return sim.converged(); }, 20);
+  ASSERT_GE(rounds, 0) << "group never converged";
+  EXPECT_LE(rounds, 15) << "push-pull over 12 members should converge in "
+                           "O(log N) rounds, took " << rounds;
+  // Everyone knows everyone, nobody invented members.
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    EXPECT_EQ(sim.agent(i).members().size(), sim.size());
+  }
+}
+
+TEST(GossipSim, CompletenessHoldsUnderMessageLoss) {
+  GossipSimOptions options;
+  options.members = 10;
+  options.fanout = 3;
+  GossipSim sim(options);
+  sim.fabric.set_loss(0.10, /*seed=*/7);
+
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 40), 0)
+      << "10% per-exchange loss must only delay convergence";
+
+  sim.crash(3);
+  sim.crash(7);
+
+  // Completeness: failure detection is timer-driven — loss cannot mask a
+  // silent member.  Every live member convicts both within t_fail +
+  // t_cleanup (10 rounds) plus dissemination slack.
+  const auto both_detected = [&] {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (!sim.is_alive(i)) continue;
+      if (!sim.sees_failed(i, 3) || !sim.sees_failed(i, 7)) return false;
+    }
+    return true;
+  };
+  const int rounds = sim.run_until(both_detected, 30);
+  ASSERT_GE(rounds, 0);
+  EXPECT_LE(rounds, 14);
+
+  // Accuracy degrades gracefully: transient suspicions are allowed, but
+  // the steady state must re-converge on the true membership.
+  EXPECT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0);
+}
+
+TEST(GossipSim, AccuracyRecoversUnderHeavyLoss) {
+  GossipSimOptions options;
+  options.members = 8;
+  options.fanout = 3;
+  options.t_fail_us = 8 * kMicrosPerSecond;
+  GossipSim sim(options);
+
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0);
+  sim.fabric.set_loss(0.30, /*seed=*/11);
+  for (int i = 0; i < 30; ++i) sim.run_round();
+  sim.fabric.set_loss(0.0);
+
+  // Whatever false suspicions 30% loss produced, heartbeat progress clears
+  // them: no live member may stay convicted once the network settles.
+  EXPECT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0)
+      << "false suspicions must be refuted by later heartbeats";
+}
+
+TEST(GossipSim, LeaveDisseminatesTombstoneNotFailure) {
+  GossipSimOptions options;
+  options.members = 6;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+
+  // Watch gm0's transitions for the leaver.
+  std::vector<MemberEvent::Kind> seen;
+  sim.agent(0).set_event_handler([&](const MemberEvent& event) {
+    if (event.entry.id == GossipSim::name_of(2)) seen.push_back(event.kind);
+  });
+
+  sim.leave(2);
+  const auto all_saw_leave = [&] {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (sim.is_alive(i) && !sim.sees_failed(i, 2)) return false;
+    }
+    return true;
+  };
+  const int rounds = sim.run_until(all_saw_leave, 20);
+  ASSERT_GE(rounds, 0);
+
+  // The departure travelled as a tombstone: gm0 saw `left`, never the
+  // failure-detection path.
+  EXPECT_NE(std::find(seen.begin(), seen.end(), MemberEvent::Kind::left),
+            seen.end());
+  EXPECT_EQ(std::find(seen.begin(), seen.end(), MemberEvent::Kind::died),
+            seen.end());
+
+  // Tombstones expire: the row is gone after t_cleanup (+ slack).
+  sim.run_until([&] { return !sim.agent(0).member(GossipSim::name_of(2)); },
+                20);
+  EXPECT_FALSE(sim.agent(0).member(GossipSim::name_of(2)).has_value());
+}
+
+TEST(GossipSim, PartitionConvictsThenHeals) {
+  GossipSimOptions options;
+  options.members = 8;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+
+  // Isolate {gm0, gm1, gm2} for 12 simulated seconds: long enough for both
+  // sides to declare the other DEAD (t_fail + t_cleanup = 10 s), short
+  // enough that the rows are still in the post-mortem window when the
+  // partition heals — the resurrection probes then re-merge the halves.
+  const std::vector<std::string> minority = {GossipSim::address_of(0),
+                                             GossipSim::address_of(1),
+                                             GossipSim::address_of(2)};
+  const TimeUs now = sim.clock.now_us();
+  sim::FailureSchedule schedule;
+  schedule.add_partition(now + kMicrosPerSecond, now + 13 * kMicrosPerSecond,
+                         minority);
+  const auto step = [&] {
+    schedule.apply_due(sim.clock.now_us(), sim.fabric);
+    sim.run_round();
+  };
+
+  // During the partition each side must convict the other (completeness is
+  // per-side: silence is silence, whatever its cause).
+  for (int i = 0; i < 12; ++i) step();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 3; j < sim.size(); ++j) {
+      EXPECT_TRUE(sim.sees_failed(i, j)) << i << " should convict " << j;
+      EXPECT_TRUE(sim.sees_failed(j, i)) << j << " should convict " << i;
+    }
+  }
+  // ...while each side stays converged on itself.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(sim.sees_alive(i, j));
+      }
+    }
+  }
+
+  // Heal.  Both sides hold SUSPECT/DEAD rows for each other, so every
+  // round each member probes a convicted address — the first answered
+  // probe re-merges the views.
+  int rounds = 0;
+  while (!sim.converged() && rounds < 25) {
+    step();
+    ++rounds;
+  }
+  EXPECT_TRUE(sim.converged())
+      << "healed partition failed to re-converge after " << rounds
+      << " rounds";
+}
+
+TEST(GossipSim, ChurnCrashRestartLeave) {
+  GossipSimOptions options;
+  options.members = 8;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+
+  sim.crash(1);
+  sim.leave(3);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0)
+      << "crash + leave not detected everywhere";
+
+  // The crashed member restarts as a fresh process.  By now its old rows
+  // are convicted (and eventually dropped) everywhere, so it re-enters as
+  // a plain join once the post-mortem retention lapses.
+  sim.restart(1);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0)
+      << "restarted member never re-admitted";
+  EXPECT_EQ(sim.live_count(), sim.size() - 1);
+}
+
+TEST(GossipSim, FastRestartRefutesItsOldLife) {
+  GossipSimOptions options;
+  options.members = 6;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+
+  // Restart *before* anyone convicts the old life (t_fail is 5 rounds):
+  // peers still gossip the old row with its high heartbeat, so the fresh
+  // process hears a version at-or-beyond its own and must refute it by
+  // bumping its incarnation — otherwise its new heartbeats would look
+  // stale forever.
+  sim.crash(2);
+  sim.run_round();
+  sim.restart(2);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+  EXPECT_GT(sim.agent(2).member(GossipSim::name_of(2))->incarnation, 0u)
+      << "refutation must have bumped the incarnation";
+}
+
+}  // namespace
+}  // namespace ganglia::gossip

@@ -11,7 +11,9 @@
 #include "gmetad/testbed.hpp"
 #include "http/gateway.hpp"
 #include "http_test_util.hpp"
+#include "net/inmem.hpp"
 #include "net/tcp.hpp"
+#include "sim/sim_clock.hpp"
 
 namespace ganglia::http {
 namespace {
@@ -324,6 +326,52 @@ TEST_F(GatewayTest, RevalidationOverTheWire) {
   ASSERT_TRUE(after_swap.ok()) << after_swap.error().to_string();
   EXPECT_EQ(after_swap->status, 200);
   server.stop();
+}
+
+// ------------------------------------------------- gossip membership route
+
+TEST_F(GatewayTest, MembersRouteIs404WithoutGossip) {
+  const Response response = gateway_.handle(get("/api/v1/members"));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("not enabled"), std::string::npos);
+}
+
+TEST(MembersRoute, ServesLiveMemberTableUncached) {
+  sim::SimClock clock;
+  net::InMemTransport fabric;
+  auto config = gmetad::parse_config(R"(
+    gridname "solo"
+    authority "http://solo/"
+    archive off
+    gossip_bind solo:8654
+    gossip_interval 1
+  )");
+  ASSERT_TRUE(config.ok());
+  gmetad::Gmetad monitor(*config, fabric, clock);
+  fabric.register_service("solo:8654", monitor.membership()->service());
+  clock.advance_us(kMicrosPerSecond);
+  monitor.gossip_tick();
+
+  Gateway gateway(monitor, clock);
+  Request request;
+  request.method = "GET";
+  request.target = "/api/v1/members";
+  request.headers.push_back({"Host", "gw"});
+  const Response response = gateway.handle(request);
+  ASSERT_EQ(response.status, 200);
+  const std::string* cache_control = response.find_header("Cache-Control");
+  ASSERT_NE(cache_control, nullptr);
+  EXPECT_EQ(*cache_control, "no-store");
+  EXPECT_EQ(response.find_header("ETag"), nullptr)
+      << "live views carry no validator";
+  EXPECT_NE(response.body.find("\"MEMBERS\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"solo\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"ALIVE\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"SELF\""), std::string::npos);
+
+  request.target = "/api/v1/members?filter=summary";
+  EXPECT_EQ(gateway.handle(request).status, 400)
+      << "membership view takes no query options";
 }
 
 TEST_F(GatewayTest, ServesOverRealTcp) {

@@ -342,9 +342,9 @@ TEST(Join, RegistryRefreshAndPrune) {
   JoinRequest a{"a", "a:1", "gmetad://a:1/"};
   JoinRequest b{"b", "b:1", "gmetad://b:1/"};
 
-  EXPECT_TRUE(registry.refresh(a, 100)) << "first join is new";
-  EXPECT_FALSE(registry.refresh(a, 120)) << "refresh is not new";
-  EXPECT_TRUE(registry.refresh(b, 130));
+  EXPECT_TRUE(*registry.refresh(a, 100)) << "first join is new";
+  EXPECT_FALSE(*registry.refresh(a, 120)) << "refresh is not new";
+  EXPECT_TRUE(*registry.refresh(b, 130));
   EXPECT_EQ(registry.size(), 2u);
 
   // At t=190, a's last join (120) is 70s old: pruned.  b (130) survives.
@@ -354,7 +354,39 @@ TEST(Join, RegistryRefreshAndPrune) {
   EXPECT_EQ(registry.size(), 1u);
 
   // A pruned child can rejoin.
-  EXPECT_TRUE(registry.refresh(a, 200));
+  EXPECT_TRUE(*registry.refresh(a, 200));
+}
+
+TEST(Join, RegistryCapRefusesNewChildren) {
+  JoinRegistry registry(/*expiry_s=*/60, /*max_children=*/2);
+  JoinRequest a{"a", "a:1", "gmetad://a:1/"};
+  JoinRequest b{"b", "b:1", "gmetad://b:1/"};
+  JoinRequest c{"c", "c:1", "gmetad://c:1/"};
+
+  EXPECT_TRUE(*registry.refresh(a, 100));
+  EXPECT_TRUE(*registry.refresh(b, 100));
+  EXPECT_EQ(registry.refresh(c, 100).code(), Errc::refused)
+      << "a rogue child must not grow the source table past the cap";
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Known children still refresh at the cap.
+  EXPECT_FALSE(*registry.refresh(a, 150));
+
+  // Space freed by a prune (or an explicit remove) can be re-used.
+  EXPECT_TRUE(registry.remove("b"));
+  EXPECT_TRUE(*registry.refresh(c, 160));
+}
+
+TEST(Join, MacEqualComparesWholeString) {
+  const std::string mac = join_mac("key", "message");
+  EXPECT_TRUE(mac_equal(mac, mac));
+  std::string off_first = mac, off_last = mac;
+  off_first[0] ^= 1;
+  off_last[mac.size() - 1] ^= 1;
+  EXPECT_FALSE(mac_equal(mac, off_first));
+  EXPECT_FALSE(mac_equal(mac, off_last));
+  EXPECT_FALSE(mac_equal(mac, mac.substr(0, mac.size() - 1)));
+  EXPECT_FALSE(mac_equal(mac, ""));
 }
 
 }  // namespace
