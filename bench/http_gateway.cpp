@@ -13,19 +13,31 @@
 // one render per swap, not one per request.  Expected: cached >= 5x cold on
 // the render-heavy endpoints.
 //
-// Writes machine-readable results to BENCH_http_gateway.json.
+// A second phase measures the reactor's C10K story: a keep-alive connection
+// sweep (default 1k -> 10k -> 50k) where every connection in the fleet stays
+// open while batched write-then-read rounds drive cached-hit requests
+// through it.  Reports sustained connections, req/s, and p50/p99 latency.
 //
-// Usage: http_gateway [iterations] [hosts_per_cluster]
+// Writes machine-readable results to BENCH_http_gateway.json and
+// BENCH_http_c10k.json.
+//
+// Usage: http_gateway [iterations] [hosts_per_cluster] [sweep_csv] [rounds]
+//   sweep_csv   comma-separated connection counts (default 1000,10000,50000)
+//   rounds      full-fleet request rounds per sweep point (default 2)
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gmetad/testbed.hpp"
 #include "http/gateway.hpp"
+#include "net/transport.hpp"
 #include "http/json.hpp"
 #include "http_test_util.hpp"
 
@@ -84,6 +96,101 @@ double run_mode(net::Transport& transport, const std::string& address,
   return static_cast<double>(iterations) / elapsed;
 }
 
+struct SweepResult {
+  std::size_t connections = 0;
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// One sweep point: every stream in `conns` is an open keep-alive
+/// connection.  Throughput shards the fleet across a few client threads
+/// (real C10K load is many independent clients, and a lone reader thread
+/// becomes the bottleneck past ~1k connections); each thread runs batched
+/// write-then-read rounds over its shard, so only a bounded slice of the
+/// fleet has requests in flight at once and client memory stays flat.
+/// Latency is one sequential round-trip each on a ~200-connection sample,
+/// measured with the full fleet still connected.
+SweepResult run_sweep_point(std::vector<std::unique_ptr<net::Stream>>& conns,
+                            const std::string& request, std::size_t rounds) {
+  constexpr std::size_t kBatch = 1024;
+  SweepResult result;
+  result.connections = conns.size();
+
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t n_threads = std::min(
+      {std::size_t{4}, std::size_t{hw}, 1 + conns.size() / 256});
+  const std::size_t shard = (conns.size() + n_threads - 1) / n_threads;
+  const auto drive = [&](std::size_t n_rounds) {
+    std::vector<std::thread> clients;
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      const std::size_t lo = t * shard;
+      const std::size_t hi = std::min(lo + shard, conns.size());
+      if (lo >= hi) break;
+      clients.emplace_back([&, lo, hi] {
+        for (std::size_t round = 0; round < n_rounds; ++round) {
+          for (std::size_t base = lo; base < hi; base += kBatch) {
+            const std::size_t batch_end = std::min(base + kBatch, hi);
+            for (std::size_t i = base; i < batch_end; ++i) {
+              if (!conns[i]->write_all(request).ok()) std::abort();
+            }
+            for (std::size_t i = base; i < batch_end; ++i) {
+              auto response = http::testutil::read_response(*conns[i]);
+              if (!response.ok() || response->status != 200) {
+                std::fprintf(
+                    stderr, "sweep read failed: %s\n",
+                    response.ok() ? "bad status"
+                                  : response.error().to_string().c_str());
+                std::abort();
+              }
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+  };
+
+  // Untimed warmup round: the first request on a fresh connection pays
+  // one-time costs (wheel filing, parser/outbox allocation, page faults).
+  drive(1);
+  const auto start = std::chrono::steady_clock::now();
+  drive(rounds);
+  result.rps =
+      static_cast<double>(conns.size() * rounds) / seconds_since(start);
+
+  std::vector<double> lat_us;
+  const std::size_t stride = std::max<std::size_t>(1, conns.size() / 200);
+  for (std::size_t i = 0; i < conns.size(); i += stride) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!conns[i]->write_all(request).ok()) std::abort();
+    auto response = http::testutil::read_response(*conns[i]);
+    if (!response.ok() || response->status != 200) std::abort();
+    lat_us.push_back(seconds_since(t0) * 1e6);
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  if (!lat_us.empty()) {
+    result.p50_us = lat_us[lat_us.size() / 2];
+    result.p99_us = lat_us[std::min(lat_us.size() - 1,
+                                    lat_us.size() * 99 / 100)];
+  }
+  return result;
+}
+
+std::vector<std::size_t> parse_sweep(const char* arg) {
+  std::vector<std::size_t> sizes;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* tail = nullptr;
+    const unsigned long v = std::strtoul(p, &tail, 10);
+    if (tail == p) break;
+    if (v > 0) sizes.push_back(static_cast<std::size_t>(v));
+    p = (*tail == ',') ? tail + 1 : tail;
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -91,6 +198,11 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
   const std::size_t hosts =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 200;
+  const std::vector<std::size_t> sweep =
+      argc > 3 ? parse_sweep(argv[3])
+               : std::vector<std::size_t>{1000, 10000, 50000};
+  const std::size_t sweep_rounds =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 2;
 
   gmetad::TestbedSpec spec;
   spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
@@ -99,8 +211,15 @@ int main(int argc, char** argv) {
   gmetad::Testbed bed(std::move(spec));
   bed.run_rounds(3);
 
+  std::size_t max_sweep = 0;
+  for (const std::size_t n : sweep) max_sweep = std::max(max_sweep, n);
+
   http::ServerOptions server_options;
   server_options.max_requests_per_connection = 1u << 20;
+  // The sweep holds its whole fleet open, so the cap must clear the largest
+  // point, and opening 50k connections must not race the idle reaper.
+  server_options.max_connections = std::max<std::size_t>(10000, max_sweep + 64);
+  server_options.idle_timeout_us = 600 * kMicrosPerSecond;
   http::GatewayServer server(bed.node("root"), bed.clock(), {},
                              server_options);
   if (auto s = server.start(bed.transport(), "gw.http:80"); !s.ok()) {
@@ -138,6 +257,44 @@ int main(int argc, char** argv) {
                 result.cold_rps, result.cached_rps, result.speedup());
     results.push_back(std::move(result));
   }
+
+  // -- phase 2: keep-alive connection sweep (the C10K claim) ---------------
+  // A small cached body keeps the probe connection-bound rather than
+  // bandwidth-bound: the question is how the reactor scales with open
+  // connections, not how fast memcpy moves a 100KB grid summary.
+  const std::string sweep_target = "/ui/cluster/meteor";
+  const std::string sweep_request =
+      "GET " + sweep_target + " HTTP/1.1\r\nHost: bench\r\n\r\n";
+  double baseline_rps = 0;
+  for (const EndpointResult& r : results) {
+    if (r.target == sweep_target) baseline_rps = r.cached_rps;
+  }
+
+  std::printf("\nC10K keep-alive sweep: cached %s, %zu full-fleet rounds "
+              "per point\n",
+              sweep_target.c_str(), sweep_rounds);
+  std::printf("%12s %12s %12s %12s\n", "connections", "req/s", "p50 (us)",
+              "p99 (us)");
+  std::vector<std::unique_ptr<net::Stream>> conns;
+  std::vector<SweepResult> sweep_results;
+  for (const std::size_t target_conns : sweep) {
+    while (conns.size() < target_conns) {
+      auto stream =
+          bed.transport().connect("gw.http:80", 30 * kMicrosPerSecond);
+      if (!stream.ok()) {
+        std::fprintf(stderr, "sweep connect %zu failed: %s\n", conns.size(),
+                     stream.error().to_string().c_str());
+        std::abort();
+      }
+      conns.push_back(std::move(*stream));
+    }
+    SweepResult r = run_sweep_point(conns, sweep_request, sweep_rounds);
+    std::printf("%12zu %12.0f %12.0f %12.0f\n", r.connections, r.rps,
+                r.p50_us, r.p99_us);
+    sweep_results.push_back(r);
+  }
+  for (auto& conn : conns) conn->close();
+  conns.clear();
   server.stop();
 
   double best_speedup = 0;
@@ -200,6 +357,68 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", out_path);
   } else {
     std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+
+  std::size_t max_sustained = 0;
+  for (const SweepResult& r : sweep_results) {
+    max_sustained = std::max(max_sustained, r.connections);
+  }
+
+  std::string c10k_json;
+  http::JsonWriter cw(c10k_json);
+  cw.begin_object();
+  cw.key("name");
+  cw.value("http_c10k");
+  cw.key("date");
+  cw.value(date);
+  cw.key("config");
+  cw.begin_object();
+  cw.key("transport");
+  cw.value("inmem");
+  cw.key("clusters");
+  cw.value(std::uint64_t{2});
+  cw.key("hosts_per_cluster");
+  cw.value(static_cast<std::uint64_t>(hosts));
+  cw.key("target");
+  cw.value(sweep_target);
+  cw.key("rounds");
+  cw.value(static_cast<std::uint64_t>(sweep_rounds));
+  cw.key("batch");
+  cw.value(std::uint64_t{1024});
+  cw.end_object();
+  cw.key("metrics");
+  cw.begin_object();
+  cw.key("baseline_single_conn_cached_rps");
+  cw.value(baseline_rps);
+  cw.key("sweep");
+  cw.begin_array();
+  for (const SweepResult& r : sweep_results) {
+    cw.begin_object();
+    cw.key("connections");
+    cw.value(static_cast<std::uint64_t>(r.connections));
+    cw.key("rps");
+    cw.value(r.rps);
+    cw.key("p50_us");
+    cw.value(r.p50_us);
+    cw.key("p99_us");
+    cw.value(r.p99_us);
+    cw.end_object();
+  }
+  cw.end_array();
+  cw.key("max_connections_sustained");
+  cw.value(static_cast<std::uint64_t>(max_sustained));
+  cw.end_object();
+  cw.end_object();
+  c10k_json += '\n';
+
+  const char* c10k_path = "BENCH_http_c10k.json";
+  if (FILE* out = std::fopen(c10k_path, "w")) {
+    std::fwrite(c10k_json.data(), 1, c10k_json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", c10k_path);
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", c10k_path);
     return 1;
   }
   return 0;

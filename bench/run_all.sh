@@ -58,7 +58,7 @@ wrap ablation_archiving     wrap ablation_archiving 50 10
 wrap micro_bench            gbench micro_bench --benchmark_min_time=0.2
 
 echo "== http_gateway"
-"$BENCH_DIR/http_gateway" 100 100
+"$BENCH_DIR/http_gateway" 100 100 1000,10000,50000 2
 echo "== poll_scalability"
 "$BENCH_DIR/poll_scalability"
 echo "== gossip_convergence"

@@ -39,6 +39,9 @@ xml_port 8651
 interactive_port 8652
 http_port 8653                     # HTTP gateway: /ui, /api/v1, /xml
 http_cache_ttl 15
+# http_max_connections 10000       # concurrent-connection cap (503 above)
+# http_event_threads 0             # handler worker threads; 0 = auto
+# http_idle_timeout 30             # idle/slow-loris deadline (s)
 archive on
 archive_step 15
 # archive_dir /var/lib/gmetad       # persist RRD images across restarts
@@ -119,6 +122,9 @@ int main(int argc, char** argv) {
   http::ServerOptions server_options;
   server_options.max_connections =
       static_cast<std::size_t>(monitor.config().http_max_connections);
+  server_options.event_threads = monitor.config().http_event_threads;
+  server_options.idle_timeout_us =
+      monitor.config().http_idle_timeout_s * kMicrosPerSecond;
   http::GatewayServer gateway(monitor, clock, gateway_options,
                               server_options);
   if (!monitor.config().http_bind.empty()) {

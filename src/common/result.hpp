@@ -26,6 +26,7 @@ enum class Errc {
   closed,         ///< peer closed mid-stream (intermittent failure)
   unsupported,
   exhausted,      ///< all failover candidates failed
+  would_block,    ///< non-blocking op has no data/space right now
   internal,
 };
 
@@ -42,6 +43,7 @@ constexpr const char* errc_name(Errc c) noexcept {
     case Errc::closed: return "closed";
     case Errc::unsupported: return "unsupported";
     case Errc::exhausted: return "exhausted";
+    case Errc::would_block: return "would_block";
     case Errc::internal: return "internal";
   }
   return "unknown";

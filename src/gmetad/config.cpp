@@ -145,6 +145,14 @@ Result<GmetadConfig> parse_config(std::string_view text) {
       auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
       if (!t || *t <= 0) return bad_line(line_no, "bad http_max_connections");
       config.http_max_connections = *t;
+    } else if (key == "http_event_threads") {
+      auto t = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t > 256) return bad_line(line_no, "bad http_event_threads");
+      config.http_event_threads = static_cast<std::size_t>(*t);
+    } else if (key == "http_idle_timeout") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad http_idle_timeout");
+      config.http_idle_timeout_s = *t;
     } else if (key == "poll_threads") {
       auto t = parse_u64(tokens.size() > 1 ? tokens[1] : "");
       if (!t || *t > 256) return bad_line(line_no, "bad poll_threads");

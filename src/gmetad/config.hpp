@@ -60,7 +60,14 @@ struct GmetadConfig {
   std::string http_bind;
   /// Response-cache TTL floor in seconds (0 = epoch-only invalidation).
   std::int64_t http_cache_ttl_s = 15;
-  std::int64_t http_max_connections = 64;
+  /// Concurrent-connection cap.  The event-driven server carries idle
+  /// keep-alive connections in a few KB each, so the default is C10K.
+  std::int64_t http_max_connections = 10000;
+  /// Handler worker threads for the HTTP reactor (0 = auto).
+  std::size_t http_event_threads = 0;
+  /// Idle/slow-loris deadline: a connection with no read/write progress
+  /// for this long is closed.
+  std::int64_t http_idle_timeout_s = 30;
   /// Shared secret for the soft-state join protocol (empty = joins refused).
   std::string join_key;
   /// A dynamically joined child is pruned after this silence (seconds).
@@ -115,7 +122,9 @@ struct GmetadConfig {
 ///   interactive_port 8652
 ///   http_port 8653                       # or http_bind host:port; HTTP gateway
 ///   http_cache_ttl 15                    # gateway response-cache TTL floor (s)
-///   http_max_connections 64
+///   http_max_connections 10000
+///   http_event_threads 0                 # handler workers (0 = auto)
+///   http_idle_timeout 30                 # idle/slow-loris deadline (s)
 ///   connect_timeout 10
 ///   poll_threads 4                       # 0 = auto, 1 = sequential
 ///   archive off                          # or: archive on

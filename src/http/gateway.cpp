@@ -62,7 +62,7 @@ Response Gateway::error_to_response(const Error& error) {
   return Response::make(status, error.to_string() + "\n");
 }
 
-Response Gateway::handle(const Request& request) {
+Response Gateway::route(const Request& request) {
   if (request.method != "GET" && request.method != "HEAD") {
     Response response =
         Response::make(405, "only GET and HEAD are supported\n");
@@ -112,7 +112,11 @@ Response Gateway::handle(const Request& request) {
     response.status = 304;
   } else {
     response.status = 200;
-    response.body = entry->body;
+    // Zero-copy: alias the cache entry's body so the server writev's the
+    // cached bytes directly — the entry stays alive as long as any
+    // in-flight response references it.
+    response.shared_body =
+        std::shared_ptr<const std::string>(entry, &entry->body);
     response.set_header("Content-Type", entry->content_type);
   }
   response.set_header("ETag", entry->etag);
@@ -166,6 +170,13 @@ Result<Gateway::Content> Gateway::render_api(std::string_view rest,
                  "membership view takes no query options");
     }
     return render_members();
+  }
+  if (rest == "/server") {
+    if (!query.empty()) {
+      return Err(Errc::invalid_argument,
+                 "server stats take no query options");
+    }
+    return render_server_stats();
   }
   auto line = query_line(rest, query);
   if (!line.ok()) return line.error();
@@ -287,6 +298,40 @@ Gateway::Content Gateway::render_archiver_stats() {
   return content;
 }
 
+Result<Gateway::Content> Gateway::render_server_stats() {
+  if (server_ == nullptr) {
+    return Err(Errc::not_found, "no http server attached");
+  }
+  const HttpServer::Stats stats = server_->stats();
+  std::string body;
+  xml::JsonWriter w(body);
+  w.begin_object();
+  w.key("SERVER");
+  w.begin_object();
+  w.key("ACTIVE_CONNECTIONS");
+  w.value(static_cast<std::uint64_t>(server_->active_connections()));
+  w.key("CONNECTIONS");
+  w.value(stats.connections);
+  w.key("REQUESTS");
+  w.value(stats.requests);
+  w.key("BAD_REQUESTS");
+  w.value(stats.bad_requests);
+  w.key("REJECTED_OVER_CAP");
+  w.value(stats.rejected_over_cap);
+  w.key("TIMEOUTS");
+  w.value(stats.timeouts);
+  w.key("BACKPRESSURE");
+  w.value(stats.backpressure);
+  w.end_object();
+  w.end_object();
+  body += '\n';
+  // Counters move on every request; caching one snapshot would serve
+  // stale operational truth.
+  Content content{std::move(body), std::string(kJsonType), {}};
+  content.no_store = true;
+  return content;
+}
+
 Result<Gateway::Content> Gateway::render_members() {
   const gossip::Agent* agent = monitor_.membership();
   if (agent == nullptr) {
@@ -348,6 +393,8 @@ Gateway::Content Gateway::render_index() const {
       "stats (live, uncached)</li>"
       "<li><a href=\"/api/v1/members\">/api/v1/members</a> — gossip "
       "membership table (live, uncached)</li>"
+      "<li><a href=\"/api/v1/server\">/api/v1/server</a> — http server "
+      "counters (live, uncached)</li>"
       "</ul></body></html>\n";
   // No store dependencies: the index is static apart from the grid name,
   // so the TTL floor alone governs it.

@@ -53,15 +53,33 @@ class Gateway {
  public:
   Gateway(gmetad::Gmetad& monitor, Clock& clock, GatewayOptions options = {});
 
-  /// Route one request (also usable without any server in front).
-  Response handle(const Request& request);
+  /// Route one request.  Cached hits come back zero-copy: the payload is
+  /// an aliasing shared_body into the cache entry, which the server
+  /// writev's without ever copying the bytes.
+  Response route(const Request& request);
 
-  /// Adapter for HttpServer::start.
+  /// Route one request and materialize the payload into `body` — the
+  /// convenience entry point for direct callers that inspect responses
+  /// without a server in front.
+  Response handle(const Request& request) {
+    Response response = route(request);
+    if (response.shared_body) {
+      response.body = *response.shared_body;
+      response.shared_body.reset();
+    }
+    return response;
+  }
+
+  /// Adapter for HttpServer::start (zero-copy path).
   Handler handler() {
-    return [this](const Request& request) { return handle(request); };
+    return [this](const Request& request) { return route(request); };
   }
 
   ResponseCache& cache() noexcept { return cache_; }
+
+  /// Attach the HttpServer whose counters /api/v1/server reports.  The
+  /// server must outlive the gateway (GatewayServer wires this up).
+  void set_server(const HttpServer* server) noexcept { server_ = server; }
 
  private:
   struct Content {
@@ -83,6 +101,7 @@ class Gateway {
   Content render_index() const;
   Content render_archiver_stats();
   Result<Content> render_members();
+  Result<Content> render_server_stats();
 
   /// Map gateway/query errors onto HTTP statuses (400/404/500).
   static Response error_to_response(const Error& error);
@@ -91,6 +110,7 @@ class Gateway {
   Clock& clock_;
   GatewayOptions options_;
   ResponseCache cache_;
+  const HttpServer* server_ = nullptr;  ///< /api/v1/server source, optional
 };
 
 /// Convenience bundle: a Gateway plus the HttpServer serving it, the thing
@@ -101,7 +121,9 @@ class GatewayServer {
                 GatewayOptions gateway_options = {},
                 ServerOptions server_options = {})
       : gateway_(monitor, clock, std::move(gateway_options)),
-        server_options_(server_options) {}
+        server_options_(server_options) {
+    gateway_.set_server(&server_);
+  }
 
   Status start(net::Transport& transport, const std::string& address) {
     return server_.start(transport, address, gateway_.handler(),

@@ -108,10 +108,10 @@ std::string_view reason_phrase(int status) noexcept {
   }
 }
 
-std::string serialize_response(const Response& response, bool head,
-                               bool keep_alive) {
+std::string serialize_head(const Response& response, bool head,
+                           bool keep_alive) {
   std::string out;
-  out.reserve(128 + (head ? 0 : response.body.size()));
+  out.reserve(128);
   out += "HTTP/1.1 ";
   out += std::to_string(response.status);
   out += ' ';
@@ -125,13 +125,23 @@ std::string serialize_response(const Response& response, bool head,
   }
   // A 304 carries validator headers but, by definition, no payload; still
   // advertise a zero length so keep-alive framing stays unambiguous.
-  const std::size_t length = response.status == 304 ? 0 : response.body.size();
+  const std::size_t length =
+      response.status == 304 ? 0 : response.payload().size();
   out += "Content-Length: ";
   out += std::to_string(length);
   out += "\r\nConnection: ";
   out += keep_alive ? "keep-alive" : "close";
   out += "\r\n\r\n";
-  if (!head && response.status != 304) out += response.body;
+  // `head` is accepted for signature symmetry with serialize_response; the
+  // header bytes are identical for GET and HEAD.
+  (void)head;
+  return out;
+}
+
+std::string serialize_response(const Response& response, bool head,
+                               bool keep_alive) {
+  std::string out = serialize_head(response, head, keep_alive);
+  if (!head && response.status != 304) out += response.payload();
   return out;
 }
 
@@ -271,8 +281,8 @@ RequestParser::Poll RequestParser::poll(Request& out) {
       if (colon == std::string_view::npos) return fail("header missing ':'");
       const std::string_view name = line->substr(0, colon);
       if (!is_token(name)) return fail("malformed header name");
-      if (pending_.headers.size() >= limits_.max_headers) {
-        return fail("more than " + std::to_string(limits_.max_headers) +
+      if (pending_.headers.size() >= limits_.max_header_count) {
+        return fail("more than " + std::to_string(limits_.max_header_count) +
                     " headers");
       }
       pending_.headers.push_back(

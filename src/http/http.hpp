@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -49,6 +50,17 @@ struct Response {
   int status = 200;
   std::vector<Header> headers;
   std::string body;
+  /// Zero-copy payload: when set, served *instead of* `body`.  A handler
+  /// answering from a cache sets this to an aliasing pointer into the
+  /// cached entry, and the reactor writev's those bytes straight from the
+  /// cache — no per-request copy of a possibly multi-megabyte body.
+  std::shared_ptr<const std::string> shared_body;
+
+  /// The bytes this response carries (shared_body when set, else body).
+  std::string_view payload() const noexcept {
+    return shared_body ? std::string_view(*shared_body)
+                       : std::string_view(body);
+  }
 
   /// Set (replacing any existing) header.
   void set_header(std::string_view name, std::string_view value);
@@ -67,6 +79,13 @@ std::string_view reason_phrase(int status) noexcept;
 std::string serialize_response(const Response& response, bool head,
                                bool keep_alive);
 
+/// Serialise only the status line + headers + blank line (everything up to
+/// the payload), with the same bytes serialize_response would emit.  The
+/// reactor writev's [head][payload] so cached bodies are never copied into
+/// a contiguous response string.
+std::string serialize_head(const Response& response, bool head,
+                           bool keep_alive);
+
 /// Decode %XX escapes ("+" is left alone: these are paths, not forms).
 /// Returns nullopt on truncated or non-hex escapes.
 std::optional<std::string> percent_decode(std::string_view s);
@@ -75,7 +94,7 @@ std::optional<std::string> percent_decode(std::string_view s);
 struct ParserLimits {
   std::size_t max_request_line = 8u << 10;
   std::size_t max_header_bytes = 32u << 10;  ///< all header lines together
-  std::size_t max_headers = 100;
+  std::size_t max_header_count = 100;        ///< individual header fields
   std::size_t max_body_bytes = 1u << 20;
 };
 

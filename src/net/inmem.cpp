@@ -16,7 +16,19 @@ struct PipeBuf {
   std::condition_variable cv;
   std::string data;
   bool closed = false;
+  /// Readiness shim for event-driven consumers: fired (outside the lock)
+  /// whenever bytes land or the pipe closes.  The callback owns whatever
+  /// state it needs, so a stale invocation after unregistration is benign.
+  std::function<void()> notify;
 };
+
+/// Copy the callback under the lock, invoke it after release — the
+/// callback takes the poller's own mutex and must not nest under ours.
+void notify_outside_lock(PipeBuf& buf, std::unique_lock<std::mutex>& lock) {
+  std::function<void()> fn = buf.notify;
+  lock.unlock();
+  if (fn) fn();
+}
 }  // namespace
 
 class InMemTransport::PipeStream final : public Stream {
@@ -42,22 +54,41 @@ class InMemTransport::PipeStream final : public Stream {
   }
 
   Status write_all(std::string_view data) override {
-    std::lock_guard lock(out_->mutex);
+    std::unique_lock lock(out_->mutex);
     if (out_->closed) return Err(Errc::closed, "peer closed");
     out_->data.append(data);
     out_->cv.notify_all();
+    notify_outside_lock(*out_, lock);
     return {};
   }
 
   void close() override {
     for (auto& buf : {in_, out_}) {
-      std::lock_guard lock(buf->mutex);
+      std::unique_lock lock(buf->mutex);
       buf->closed = true;
       buf->cv.notify_all();
+      notify_outside_lock(*buf, lock);
     }
   }
 
   std::string peer_address() const override { return peer_; }
+
+  Result<std::size_t> read_some(char* buf, std::size_t len) override {
+    std::lock_guard lock(in_->mutex);
+    if (in_->data.empty()) {
+      if (in_->closed) return std::size_t{0};  // EOF
+      return Err(Errc::would_block, "no bytes available");
+    }
+    const std::size_t n = std::min(len, in_->data.size());
+    std::memcpy(buf, in_->data.data(), n);
+    in_->data.erase(0, n);
+    return n;
+  }
+
+  void set_ready_notify(std::function<void()> fn) override {
+    std::lock_guard lock(in_->mutex);
+    in_->notify = std::move(fn);
+  }
 
  private:
   std::shared_ptr<PipeBuf> in_;
@@ -143,6 +174,7 @@ struct InMemTransport::ListenerState {
   std::deque<std::unique_ptr<Stream>> pending;
   bool closed = false;
   std::string address;
+  std::function<void()> notify;  ///< readiness shim (see PipeBuf::notify)
 };
 
 class InMemTransport::InMemListener final : public Listener {
@@ -163,12 +195,33 @@ class InMemTransport::InMemListener final : public Listener {
   }
 
   void close() override {
-    std::lock_guard lock(state_->mutex);
-    state_->closed = true;
-    state_->cv.notify_all();
+    std::function<void()> fn;
+    {
+      std::lock_guard lock(state_->mutex);
+      state_->closed = true;
+      state_->cv.notify_all();
+      fn = state_->notify;
+    }
+    if (fn) fn();
   }
 
   std::string address() const override { return state_->address; }
+
+  Result<std::unique_ptr<Stream>> accept_nonblocking() override {
+    std::lock_guard lock(state_->mutex);
+    if (!state_->pending.empty()) {
+      auto stream = std::move(state_->pending.front());
+      state_->pending.pop_front();
+      return stream;
+    }
+    if (state_->closed) return Err(Errc::closed, "listener closed");
+    return Err(Errc::would_block, "no connection pending");
+  }
+
+  void set_ready_notify(std::function<void()> fn) override {
+    std::lock_guard lock(state_->mutex);
+    state_->notify = std::move(fn);
+  }
 
  private:
   std::shared_ptr<ListenerState> state_;
@@ -268,12 +321,17 @@ Result<std::unique_ptr<Stream>> InMemTransport::connect_as(
   auto client_side = std::make_unique<PipeStream>(
       server_to_client, client_to_server, addr, timeout);
   {
-    std::lock_guard lock(listener->mutex);
-    if (listener->closed) {
-      return Err(Errc::refused, "connection refused: " + addr);
+    std::function<void()> fn;
+    {
+      std::lock_guard lock(listener->mutex);
+      if (listener->closed) {
+        return Err(Errc::refused, "connection refused: " + addr);
+      }
+      listener->pending.push_back(std::move(server_side));
+      listener->cv.notify_all();
+      fn = listener->notify;
     }
-    listener->pending.push_back(std::move(server_side));
-    listener->cv.notify_all();
+    if (fn) fn();
   }
   return std::unique_ptr<Stream>(std::move(client_side));
 }

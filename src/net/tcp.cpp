@@ -105,10 +105,48 @@ class TcpStream final : public Stream {
       if (n >= 0) return static_cast<std::size_t>(n);
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Same errno, two meanings: a blocking socket hit SO_RCVTIMEO, a
+        // non-blocking one simply has nothing buffered yet.
+        if (nonblocking_) return Err(Errc::would_block, "no bytes available");
         return Err(Errc::timeout, "read timed out");
       }
       if (errno == ECONNRESET) return Err(Errc::closed, "connection reset");
       return Err(Errc::io_error, errno_string("recv"));
+    }
+  }
+
+  int native_fd() const noexcept override { return fd_.get(); }
+
+  void set_nonblocking(bool enabled) override {
+    const int flags = fcntl(fd_.get(), F_GETFL);
+    if (flags < 0) return;
+    fcntl(fd_.get(), F_SETFL,
+          enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+    nonblocking_ = enabled;
+  }
+
+  Result<std::size_t> write_some(const ConstBuf* bufs,
+                                 std::size_t count) override {
+    iovec iov[16];
+    const std::size_t niov = std::min(count, std::size_t{16});
+    for (std::size_t i = 0; i < niov; ++i) {
+      // sendmsg never writes through msg_iov; the const_cast is the POSIX
+      // interface's problem, not ours.
+      iov[i].iov_base = const_cast<char*>(bufs[i].data);
+      iov[i].iov_len = bufs[i].size;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = niov;
+    for (;;) {
+      const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+      if (n >= 0) return static_cast<std::size_t>(n);
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return std::size_t{0};
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Err(Errc::closed, "peer closed during write");
+      }
+      return Err(Errc::io_error, errno_string("sendmsg"));
     }
   }
 
@@ -144,7 +182,15 @@ class TcpStream final : public Stream {
  private:
   Fd fd_;
   std::string peer_;
+  bool nonblocking_ = false;
 };
+
+/// Accepted gateway sockets answer with many small cached responses per
+/// connection; Nagle would delay each one behind the previous ACK.
+void set_nodelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
 
 class TcpListener final : public Listener {
  public:
@@ -177,7 +223,41 @@ class TcpListener final : public Listener {
       }
       // A server never waits forever on a misbehaving client.
       set_io_timeout(client.get(), 30 * kMicrosPerSecond);
+      set_nodelay(client.get());
       return std::unique_ptr<Stream>(std::make_unique<TcpStream>(std::move(client)));
+    }
+  }
+
+  int native_fd() const noexcept override { return fd_.get(); }
+
+  void set_nonblocking(bool enabled) override {
+    const int flags = fcntl(fd_.get(), F_GETFL);
+    if (flags < 0) return;
+    fcntl(fd_.get(), F_SETFL,
+          enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+  }
+
+  Result<std::unique_ptr<Stream>> accept_nonblocking() override {
+    for (;;) {
+      {
+        std::lock_guard lock(mutex_);
+        if (closed_) return Err(Errc::closed, "listener closed");
+      }
+      // Accepted sockets start non-blocking: the reactor owns their
+      // timeouts, so no SO_RCVTIMEO here.
+      Fd client(::accept4(fd_.get(), nullptr, nullptr,
+                          SOCK_NONBLOCK | SOCK_CLOEXEC));
+      if (!client.valid()) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Err(Errc::would_block, "no connection pending");
+        }
+        return Err(Errc::io_error, errno_string("accept4"));
+      }
+      set_nodelay(client.get());
+      auto stream = std::make_unique<TcpStream>(std::move(client));
+      stream->set_nonblocking(true);
+      return std::unique_ptr<Stream>(std::move(stream));
     }
   }
 
@@ -215,7 +295,9 @@ Result<std::unique_ptr<Listener>> TcpTransport::listen(std::string_view address)
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&*sa), sizeof *sa) != 0) {
     return Err(Errc::io_error, errno_string("bind " + std::string(address)));
   }
-  if (::listen(fd.get(), 64) != 0) {
+  // SOMAXCONN, not a token backlog: the reactor accepts in bursts, and a
+  // C10K reconnect storm would overflow a 64-entry queue into dropped SYNs.
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
     return Err(Errc::io_error, errno_string("listen"));
   }
   sockaddr_in bound{};

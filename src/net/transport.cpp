@@ -2,6 +2,20 @@
 
 namespace ganglia::net {
 
+Result<std::size_t> Stream::write_some(const ConstBuf* bufs,
+                                       std::size_t count) {
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (bufs[i].size == 0) continue;
+    if (Status s = write_all(std::string_view(bufs[i].data, bufs[i].size));
+        !s.ok()) {
+      return s.error();
+    }
+    written += bufs[i].size;
+  }
+  return written;
+}
+
 Result<std::string> read_to_eof(Stream& stream, std::size_t max_bytes) {
   std::string out;
   char buf[16384];

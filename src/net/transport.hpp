@@ -21,6 +21,12 @@
 
 namespace ganglia::net {
 
+/// One source buffer of a gather-write (see Stream::write_some).
+struct ConstBuf {
+  const char* data = nullptr;
+  std::size_t size = 0;
+};
+
 /// Bidirectional byte stream (one accepted or dialed connection).
 class Stream {
  public:
@@ -37,6 +43,41 @@ class Stream {
 
   /// Peer address ("host:port"), used for trust checks.
   virtual std::string peer_address() const = 0;
+
+  // -- readiness / non-blocking I/O (event-driven servers) -----------------
+  //
+  // An event loop drives a stream through exactly one of two channels: the
+  // OS descriptor (native_fd() >= 0, registered with an epoll-style
+  // poller), or the readiness callback (fd-less in-memory streams, which
+  // fire set_ready_notify whenever bytes arrive or the peer closes).  The
+  // non-blocking read/write entry points are shared by both.
+
+  /// OS descriptor backing the stream, or -1 (in-memory streams).
+  virtual int native_fd() const noexcept { return -1; }
+
+  /// Switch the descriptor between blocking mode (per-op timeouts) and
+  /// non-blocking mode.  No-op for streams without a descriptor.
+  virtual void set_nonblocking(bool enabled) { (void)enabled; }
+
+  /// Register `fn` to fire whenever the stream may have become readable
+  /// (bytes arrived or the peer closed); nullptr unregisters.  Only used
+  /// for streams without a native fd.  `fn` may be invoked from any thread
+  /// and must not call back into the stream.
+  virtual void set_ready_notify(std::function<void()> fn) { (void)fn; }
+
+  /// Non-blocking read: Errc::would_block instead of blocking when no
+  /// bytes are buffered.  The default falls back to the blocking read(),
+  /// which is only correct for callers that know data is pending.
+  virtual Result<std::size_t> read_some(char* buf, std::size_t len) {
+    return read(buf, len);
+  }
+
+  /// Gather-write whatever the transport accepts without blocking; returns
+  /// bytes taken (0 when the transport is full — wait for writability).
+  /// The default drains every buffer through write_all, which is correct
+  /// for transports whose writes never block.
+  virtual Result<std::size_t> write_some(const ConstBuf* bufs,
+                                         std::size_t count);
 };
 
 /// Drain a stream to EOF (bounded).  This is the client side of the dump
@@ -61,6 +102,24 @@ class Listener {
 
   /// Actual bound address (resolves ephemeral ports).
   virtual std::string address() const = 0;
+
+  // -- readiness / non-blocking accept (event-driven servers) --------------
+
+  /// OS descriptor backing the listener, or -1 (in-memory listeners).
+  virtual int native_fd() const noexcept { return -1; }
+
+  /// Switch the descriptor to non-blocking mode.  No-op without one.
+  virtual void set_nonblocking(bool enabled) { (void)enabled; }
+
+  /// Register `fn` to fire whenever a connection may be waiting; nullptr
+  /// unregisters.  Only used for listeners without a native fd.
+  virtual void set_ready_notify(std::function<void()> fn) { (void)fn; }
+
+  /// Non-blocking accept: Errc::would_block when nothing is queued,
+  /// Errc::closed after close().
+  virtual Result<std::unique_ptr<Stream>> accept_nonblocking() {
+    return Err(Errc::unsupported, "accept_nonblocking not implemented");
+  }
 };
 
 /// Factory for listeners and outbound connections.

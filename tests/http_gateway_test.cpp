@@ -374,6 +374,47 @@ TEST(MembersRoute, ServesLiveMemberTableUncached) {
       << "membership view takes no query options";
 }
 
+// ------------------------------------------------- server counters route
+
+TEST_F(GatewayTest, ServerRouteIs404WithoutServer) {
+  const Response response = gateway_.handle(get("/api/v1/server"));
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("no http server"), std::string::npos);
+}
+
+TEST_F(GatewayTest, ServerRouteReportsLiveCountersUncached) {
+  GatewayServer server(bed_.node("root"), bed_.clock());
+  ASSERT_TRUE(server.start(bed_.transport(), "gw.http:80").ok());
+
+  ASSERT_TRUE(fetch(bed_.transport(), "gw.http:80", "/ui/meta").ok());
+  auto response = fetch(bed_.transport(), "gw.http:80", "/api/v1/server");
+  ASSERT_TRUE(response.ok()) << response.error().to_string();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->header("Content-Type"), "application/json");
+  EXPECT_EQ(response->header("Cache-Control"), "no-store");
+  EXPECT_TRUE(response->header("ETag").empty())
+      << "live counters carry no validator";
+  EXPECT_NE(response->body.find("\"SERVER\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"CONNECTIONS\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"REQUESTS\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"BAD_REQUESTS\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"REJECTED_OVER_CAP\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"TIMEOUTS\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"BACKPRESSURE\""), std::string::npos);
+
+  // Each fetch moves the counters, so consecutive snapshots must differ —
+  // the observable proof nothing got cached along the way.
+  auto again = fetch(bed_.transport(), "gw.http:80", "/api/v1/server");
+  ASSERT_TRUE(again.ok()) << again.error().to_string();
+  EXPECT_NE(again->body, response->body);
+
+  auto bad =
+      fetch(bed_.transport(), "gw.http:80", "/api/v1/server?filter=summary");
+  ASSERT_TRUE(bad.ok()) << bad.error().to_string();
+  EXPECT_EQ(bad->status, 400) << "server stats take no query options";
+  server.stop();
+}
+
 TEST_F(GatewayTest, ServesOverRealTcp) {
   GatewayServer server(bed_.node("root"), bed_.clock());
   net::TcpTransport tcp;
