@@ -67,5 +67,7 @@ echo "== query_render"
 "$BENCH_DIR/query_render" 50 10 50
 echo "== archiver_throughput"
 "$BENCH_DIR/archiver_throughput" 512 30 20 2048
+echo "== federation_delta"
+"$BENCH_DIR/federation_delta" 50 8 128
 
 echo "all BENCH_*.json written to $(pwd)"

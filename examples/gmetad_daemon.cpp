@@ -58,6 +58,14 @@ poll_threads 0                     # poll pipeline width; 0 = auto, 1 = sequenti
 # gossip_aggregate on              # adopt sources for members naming us parent
 # gossip_parent "SDSC"             # advertise our aggregator (child side)
 # standby_for "SDSC"               # promote when that primary is DEAD
+# federation_port 8655             # serve binary delta polls (parents fetch
+#                                  #   changed rows instead of full XML dumps;
+#                                  #   add fed=host:8655 to a data_source line
+#                                  #   to poll a child incrementally)
+# federation_heartbeat 30          # keep-alive ping cadence for idle sessions
+# federation_max_frame 4194304     # wire frame cap (bytes)
+# federation_resync_backoff 60     # seconds before re-dialing a dead delta port
+# federation off                   # disable the delta client (XML dumps only)
 )";
 
 }  // namespace

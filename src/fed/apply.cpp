@@ -1,0 +1,453 @@
+#include "fed/apply.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "common/strings.hpp"
+#include "fed/codec.hpp"
+#include "net/framing.hpp"
+
+namespace ganglia::fed {
+
+namespace {
+
+std::uint32_t sat_add_u32(std::uint32_t a, std::uint32_t b) {
+  const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+  return s > std::numeric_limits<std::uint32_t>::max()
+             ? std::numeric_limits<std::uint32_t>::max()
+             : static_cast<std::uint32_t>(s);
+}
+
+bool valid_type(std::uint8_t t) {
+  return t <= static_cast<std::uint8_t>(MetricType::timestamp);
+}
+bool valid_slope(std::uint8_t s) {
+  return s <= static_cast<std::uint8_t>(Slope::unspecified);
+}
+
+/// Cursor into the report being mutated.  Grids and clusters are held as
+/// indices (vectors reallocate on append); hosts live in a std::map whose
+/// nodes are stable, so a plain pointer is safe.
+class Applier {
+ public:
+  Applier(Report& doc, std::vector<std::string>& names)
+      : doc_(doc), names_(names) {}
+
+  Status apply(std::string_view rows, std::size_t* applied) {
+    net::WireReader r(rows);
+    std::size_t count = 0;
+    while (!r.done()) {
+      std::uint8_t tag = 0;
+      if (!r.get_u8(tag)) break;
+      if (!apply_row(tag, r)) {
+        return Err(Errc::parse_error, "malformed delta row");
+      }
+      ++count;
+    }
+    if (r.failed()) return Err(Errc::parse_error, "truncated delta row");
+    if (applied != nullptr) *applied = count;
+    return Status::success();
+  }
+
+ private:
+  Grid* cur_grid() {
+    Grid* g = nullptr;
+    std::vector<Grid>* level = &doc_.grids;
+    for (std::size_t idx : grid_path_) {
+      if (idx >= level->size()) return nullptr;  // unreachable if rows valid
+      g = &(*level)[idx];
+      level = &g->grids;
+    }
+    return g;
+  }
+  std::vector<Cluster>& clusters() {
+    Grid* g = cur_grid();
+    return g != nullptr ? g->clusters : doc_.clusters;
+  }
+  std::vector<Grid>& grids() {
+    Grid* g = cur_grid();
+    return g != nullptr ? g->grids : doc_.grids;
+  }
+  Cluster* cur_cluster() {
+    if (cluster_idx_ < 0) return nullptr;
+    auto& cs = clusters();
+    const auto idx = static_cast<std::size_t>(cluster_idx_);
+    return idx < cs.size() ? &cs[idx] : nullptr;
+  }
+  /// Summary rows bind to the selected cluster, else the current grid.
+  SummaryInfo* summary_target() {
+    if (Cluster* c = cur_cluster()) {
+      if (!c->summary) c->summary.emplace();
+      return &*c->summary;
+    }
+    if (Grid* g = cur_grid()) {
+      if (!g->summary) g->summary.emplace();
+      return &*g->summary;
+    }
+    return nullptr;
+  }
+  void deselect_cluster() {
+    cluster_idx_ = -1;
+    host_ = nullptr;
+  }
+
+  bool name_for(std::uint64_t id, const std::string** out) const {
+    if (id >= names_.size()) return false;
+    *out = &names_[static_cast<std::size_t>(id)];
+    return true;
+  }
+
+  /// Mirror the XML parser: numeric metrics re-derive `numeric` from the
+  /// VAL text (rejecting unparsable values), strings keep numeric = 0.
+  static bool rederive_numeric(Metric& m) {
+    if (!m.is_numeric()) {
+      m.numeric = 0.0;
+      return true;
+    }
+    auto num = parse_double(m.value);
+    if (!num) return false;
+    m.numeric = *num;
+    return true;
+  }
+
+  bool apply_row(std::uint8_t tag, net::WireReader& r) {
+    switch (tag) {
+      case kRowDefineName: {
+        std::uint64_t id = 0;
+        std::string_view name;
+        if (!r.get_varint(id) || !r.get_string(name, kMaxStringBytes)) {
+          return false;
+        }
+        if (id != names_.size() || names_.size() >= kMaxNameIds) return false;
+        names_.emplace_back(name);
+        return true;
+      }
+      case kRowReportAttrs: {
+        std::string_view version;
+        std::string_view source;
+        if (!r.get_string(version, kMaxStringBytes) ||
+            !r.get_string(source, kMaxStringBytes)) {
+          return false;
+        }
+        doc_.version.assign(version);
+        doc_.source.assign(source);
+        return true;
+      }
+      case kRowGridPush: {
+        std::string_view name;
+        if (!r.get_string(name, kMaxStringBytes)) return false;
+        auto& gs = grids();
+        std::size_t idx = gs.size();
+        for (std::size_t i = 0; i < gs.size(); ++i) {
+          if (gs[i].name == name) {
+            idx = i;
+            break;
+          }
+        }
+        if (idx == gs.size()) {
+          Grid g;
+          g.name.assign(name);
+          gs.push_back(std::move(g));
+        }
+        grid_path_.push_back(idx);
+        deselect_cluster();
+        return true;
+      }
+      case kRowGridPop:
+        if (grid_path_.empty()) return false;
+        grid_path_.pop_back();
+        deselect_cluster();
+        return true;
+      case kRowGridAttrs: {
+        std::string_view authority;
+        std::uint64_t localtime = 0;
+        if (!r.get_string(authority, kMaxStringBytes) ||
+            !r.get_varint(localtime)) {
+          return false;
+        }
+        Grid* g = cur_grid();
+        if (g == nullptr) return false;
+        g->authority.assign(authority);
+        g->localtime = static_cast<std::int64_t>(localtime);
+        return true;
+      }
+      case kRowGridRemove: {
+        std::string_view name;
+        if (!r.get_string(name, kMaxStringBytes)) return false;
+        auto& gs = grids();
+        auto it = std::find_if(gs.begin(), gs.end(),
+                               [&](const Grid& g) { return g.name == name; });
+        if (it == gs.end()) return false;
+        gs.erase(it);
+        return true;
+      }
+      case kRowCluster: {
+        std::string_view name;
+        if (!r.get_string(name, kMaxStringBytes)) return false;
+        auto& cs = clusters();
+        std::size_t idx = cs.size();
+        for (std::size_t i = 0; i < cs.size(); ++i) {
+          if (cs[i].name == name) {
+            idx = i;
+            break;
+          }
+        }
+        if (idx == cs.size()) {
+          Cluster c;
+          c.name.assign(name);
+          cs.push_back(std::move(c));
+        }
+        cluster_idx_ = static_cast<std::ptrdiff_t>(idx);
+        host_ = nullptr;
+        return true;
+      }
+      case kRowClusterAttrs: {
+        std::uint64_t localtime = 0;
+        std::string_view owner;
+        std::string_view latlong;
+        std::string_view url;
+        if (!r.get_varint(localtime) || !r.get_string(owner, kMaxStringBytes) ||
+            !r.get_string(latlong, kMaxStringBytes) ||
+            !r.get_string(url, kMaxStringBytes)) {
+          return false;
+        }
+        Cluster* c = cur_cluster();
+        if (c == nullptr) return false;
+        c->localtime = static_cast<std::int64_t>(localtime);
+        c->owner.assign(owner);
+        c->latlong.assign(latlong);
+        c->url.assign(url);
+        return true;
+      }
+      case kRowClusterRemove: {
+        std::string_view name;
+        if (!r.get_string(name, kMaxStringBytes)) return false;
+        auto& cs = clusters();
+        auto it = std::find_if(cs.begin(), cs.end(),
+                               [&](const Cluster& c) { return c.name == name; });
+        if (it == cs.end()) return false;
+        const auto idx = static_cast<std::ptrdiff_t>(it - cs.begin());
+        if (idx == cluster_idx_) deselect_cluster();
+        if (idx < cluster_idx_) --cluster_idx_;
+        cs.erase(it);
+        return true;
+      }
+      case kRowAdvance: {
+        std::uint64_t dt = 0;
+        if (!r.get_varint(dt) ||
+            dt > std::numeric_limits<std::uint32_t>::max()) {
+          return false;
+        }
+        Cluster* c = cur_cluster();
+        if (c == nullptr || c->summary.has_value()) return false;
+        const auto d = static_cast<std::uint32_t>(dt);
+        for (auto& [name, h] : c->hosts) {
+          h.tn = sat_add_u32(h.tn, d);
+          for (Metric& m : h.metrics) m.tn = sat_add_u32(m.tn, d);
+        }
+        return true;
+      }
+      case kRowHost: {
+        std::string_view name;
+        if (!r.get_string(name, kMaxStringBytes)) return false;
+        Cluster* c = cur_cluster();
+        if (c == nullptr) return false;
+        auto [it, inserted] = c->hosts.try_emplace(std::string(name));
+        if (inserted) it->second.name.assign(name);
+        host_ = &it->second;
+        return true;
+      }
+      case kRowHostAttrs: {
+        std::string_view ip;
+        std::string_view location;
+        std::uint64_t reported = 0;
+        std::uint64_t tn = 0;
+        std::uint64_t tmax = 0;
+        std::uint64_t dmax = 0;
+        std::uint64_t started = 0;
+        if (!r.get_string(ip, kMaxStringBytes) || !r.get_varint(reported) ||
+            !r.get_varint(tn) || !r.get_varint(tmax) || !r.get_varint(dmax) ||
+            !r.get_string(location, kMaxStringBytes) || !r.get_varint(started)) {
+          return false;
+        }
+        if (host_ == nullptr) return false;
+        if (tn > std::numeric_limits<std::uint32_t>::max() ||
+            tmax > std::numeric_limits<std::uint32_t>::max() ||
+            dmax > std::numeric_limits<std::uint32_t>::max()) {
+          return false;
+        }
+        host_->ip.assign(ip);
+        host_->reported = static_cast<std::int64_t>(reported);
+        host_->tn = static_cast<std::uint32_t>(tn);
+        host_->tmax = static_cast<std::uint32_t>(tmax);
+        host_->dmax = static_cast<std::uint32_t>(dmax);
+        host_->location.assign(location);
+        host_->gmond_started = static_cast<std::int64_t>(started);
+        return true;
+      }
+      case kRowHostRemove: {
+        std::string_view name;
+        if (!r.get_string(name, kMaxStringBytes)) return false;
+        Cluster* c = cur_cluster();
+        if (c == nullptr) return false;
+        if (host_ != nullptr && host_->name == name) host_ = nullptr;
+        return c->hosts.erase(std::string(name)) != 0;
+      }
+      case kRowMetric: {
+        std::uint64_t id = 0;
+        std::uint8_t type = 0;
+        std::uint8_t slope = 0;
+        std::string_view value;
+        std::string_view units;
+        std::string_view source;
+        std::uint64_t tn = 0;
+        std::uint64_t tmax = 0;
+        std::uint64_t dmax = 0;
+        if (!r.get_varint(id) || !r.get_u8(type) ||
+            !r.get_string(value, kMaxStringBytes) ||
+            !r.get_string(units, kMaxStringBytes) || !r.get_varint(tn) ||
+            !r.get_varint(tmax) || !r.get_varint(dmax) || !r.get_u8(slope) ||
+            !r.get_string(source, kMaxStringBytes)) {
+          return false;
+        }
+        const std::string* name = nullptr;
+        if (!name_for(id, &name) || host_ == nullptr || !valid_type(type) ||
+            !valid_slope(slope) ||
+            tn > std::numeric_limits<std::uint32_t>::max() ||
+            tmax > std::numeric_limits<std::uint32_t>::max() ||
+            dmax > std::numeric_limits<std::uint32_t>::max()) {
+          return false;
+        }
+        Metric* m = host_->find_metric(*name);
+        if (m == nullptr) {
+          host_->metrics.emplace_back();
+          m = &host_->metrics.back();
+          m->name = *name;
+        }
+        m->type = static_cast<MetricType>(type);
+        m->value.assign(value);
+        m->units.assign(units);
+        m->tn = static_cast<std::uint32_t>(tn);
+        m->tmax = static_cast<std::uint32_t>(tmax);
+        m->dmax = static_cast<std::uint32_t>(dmax);
+        m->slope = static_cast<Slope>(slope);
+        m->source.assign(source);
+        return rederive_numeric(*m);
+      }
+      case kRowMetricValue: {
+        std::uint64_t id = 0;
+        std::string_view value;
+        std::uint64_t tn = 0;
+        if (!r.get_varint(id) || !r.get_string(value, kMaxStringBytes) ||
+            !r.get_varint(tn)) {
+          return false;
+        }
+        const std::string* name = nullptr;
+        if (!name_for(id, &name) || host_ == nullptr ||
+            tn > std::numeric_limits<std::uint32_t>::max()) {
+          return false;
+        }
+        Metric* m = host_->find_metric(*name);
+        if (m == nullptr) return false;
+        m->value.assign(value);
+        m->tn = static_cast<std::uint32_t>(tn);
+        return rederive_numeric(*m);
+      }
+      case kRowMetricTn: {
+        std::uint64_t id = 0;
+        std::uint64_t tn = 0;
+        if (!r.get_varint(id) || !r.get_varint(tn)) return false;
+        const std::string* name = nullptr;
+        if (!name_for(id, &name) || host_ == nullptr ||
+            tn > std::numeric_limits<std::uint32_t>::max()) {
+          return false;
+        }
+        Metric* m = host_->find_metric(*name);
+        if (m == nullptr) return false;
+        m->tn = static_cast<std::uint32_t>(tn);
+        return true;
+      }
+      case kRowMetricRemove: {
+        std::uint64_t id = 0;
+        if (!r.get_varint(id)) return false;
+        const std::string* name = nullptr;
+        if (!name_for(id, &name) || host_ == nullptr) return false;
+        auto& ms = host_->metrics;
+        auto it = std::find_if(ms.begin(), ms.end(), [&](const Metric& m) {
+          return m.name == *name;
+        });
+        if (it == ms.end()) return false;
+        ms.erase(it);
+        return true;
+      }
+      case kRowSummaryHosts: {
+        std::uint64_t up = 0;
+        std::uint64_t down = 0;
+        if (!r.get_varint(up) || !r.get_varint(down) ||
+            up > std::numeric_limits<std::uint32_t>::max() ||
+            down > std::numeric_limits<std::uint32_t>::max()) {
+          return false;
+        }
+        SummaryInfo* s = summary_target();
+        if (s == nullptr) return false;
+        s->hosts_up = static_cast<std::uint32_t>(up);
+        s->hosts_down = static_cast<std::uint32_t>(down);
+        return true;
+      }
+      case kRowSummaryMetric: {
+        std::uint64_t id = 0;
+        double sum = 0.0;
+        std::uint64_t num = 0;
+        std::uint8_t type = 0;
+        std::string_view units;
+        if (!r.get_varint(id) || !r.get_f64(sum) || !r.get_varint(num) ||
+            !r.get_u8(type) || !r.get_string(units, kMaxStringBytes)) {
+          return false;
+        }
+        const std::string* name = nullptr;
+        if (!name_for(id, &name) || !valid_type(type)) return false;
+        SummaryInfo* s = summary_target();
+        if (s == nullptr) return false;
+        MetricSummary& ms = s->metrics[*name];
+        ms.sum = sum;
+        ms.num = num;
+        ms.type = static_cast<MetricType>(type);
+        ms.units.assign(units);
+        return true;
+      }
+      case kRowSummaryMetricRemove: {
+        std::uint64_t id = 0;
+        if (!r.get_varint(id)) return false;
+        const std::string* name = nullptr;
+        if (!name_for(id, &name)) return false;
+        SummaryInfo* s = summary_target();
+        if (s == nullptr) return false;
+        return s->metrics.erase(*name) != 0;
+      }
+      case kRowSummaryClear: {
+        SummaryInfo* s = summary_target();
+        if (s == nullptr) return false;
+        *s = SummaryInfo{};
+        return true;
+      }
+      default:
+        return false;
+    }
+  }
+
+  Report& doc_;
+  std::vector<std::string>& names_;
+  std::vector<std::size_t> grid_path_;
+  std::ptrdiff_t cluster_idx_ = -1;
+  Host* host_ = nullptr;
+};
+
+}  // namespace
+
+Status apply_rows(Report& doc, std::string_view rows,
+                  std::vector<std::string>& names, std::size_t* applied) {
+  return Applier(doc, names).apply(rows, applied);
+}
+
+}  // namespace ganglia::fed

@@ -1,0 +1,29 @@
+// Row-stream application: mutate a typed Report in place according to a
+// packed row stream produced by fed::diff_report.
+//
+// The applier is strict: any malformed row, unknown tag, out-of-range
+// dictionary id, removal of a missing child, or cap violation fails with
+// Errc::parse_error and leaves the report in an unspecified state.  The
+// session layer treats every failure the same way — drop the base and
+// resync from full XML — so strictness costs one extra fetch and buys
+// corruption detection.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::fed {
+
+/// Apply `rows` (concatenated packed rows, no framing) to `doc`.  `names`
+/// is the client half of the per-session dictionary; kRowDefineName rows
+/// append to it.  On success `*applied` (when non-null) is the number of
+/// rows consumed, for cross-checking against the kFrameEnd row count.
+Status apply_rows(Report& doc, std::string_view rows,
+                  std::vector<std::string>& names, std::size_t* applied);
+
+}  // namespace ganglia::fed

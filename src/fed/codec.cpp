@@ -1,0 +1,42 @@
+#include "fed/codec.hpp"
+
+namespace ganglia::fed {
+
+std::string encode_poll(const PollRequest& req) {
+  std::string payload;
+  net::put_varint(payload, kMagic);
+  net::put_varint(payload, req.codec_version);
+  net::put_string(payload, req.session_id);
+  net::put_varint(payload, req.last_version);
+  net::put_varint(payload, req.max_frame);
+  std::string out;
+  net::put_frame(out, req.op == kOpPing ? kFramePing : kFramePoll, payload);
+  return out;
+}
+
+Result<PollRequest> decode_request(std::uint8_t frame_type,
+                                   std::string_view payload) {
+  if (frame_type != kFramePoll && frame_type != kFramePing) {
+    return Err(Errc::parse_error, "unexpected request frame type");
+  }
+  net::WireReader r(payload);
+  std::uint64_t magic = 0;
+  std::uint64_t codec = 0;
+  std::string_view sid;
+  PollRequest req;
+  req.op = frame_type == kFramePing ? kOpPing : kOpPoll;
+  if (!r.get_varint(magic) || !r.get_varint(codec) ||
+      !r.get_string(sid, kMaxSessionIdBytes) || !r.get_varint(req.last_version) ||
+      !r.get_varint(req.max_frame) || !r.done()) {
+    return Err(Errc::parse_error, "malformed poll request");
+  }
+  if (magic != kMagic) return Err(Errc::parse_error, "bad magic");
+  if (codec != kCodecVersion) {
+    return Err(Errc::unsupported, "codec version mismatch");
+  }
+  req.codec_version = static_cast<std::uint32_t>(codec);
+  req.session_id.assign(sid);
+  return req;
+}
+
+}  // namespace ganglia::fed

@@ -1,0 +1,40 @@
+// Report differ: turns two consecutive typed reports into a packed row
+// stream (codec.hpp row tags) that transforms the old report into the new
+// one when applied by fed::apply_rows.
+//
+// The differ is conservative: whenever an edit sequence under the
+// select-or-append row semantics could not reproduce the new report
+// byte-exactly (retained children reordered, summary/detail form flips,
+// duplicate names, dictionary overflow), it bails out and the publisher
+// falls back to a full-XML resync.  Correctness therefore never depends
+// on the differ finding a delta — only bandwidth does.
+//
+// Metric values are compared as VAL strings, never as parsed doubles: the
+// client re-derives `numeric` from the string exactly like the XML parser,
+// so a string-equal metric is model-equal on every consumer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "fed/codec.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::fed {
+
+/// Per-session metric-name dictionary.  Ids are assigned densely in
+/// emission order; kRowDefineName rows teach the peer new entries.  The
+/// publisher snapshots the dictionary per serve and commits it only when
+/// the delta is actually sent.
+struct NameDict {
+  std::map<std::string, std::uint32_t, std::less<>> ids;
+};
+
+/// Diff `oldr` -> `newr` into `out` (appending; callers normally pass it
+/// empty).  Returns false when no faithful delta exists; `out` and `dict`
+/// are then in an unspecified state and must be discarded.
+bool diff_report(const Report& oldr, const Report& newr, NameDict& dict,
+                 RowBuffer& out);
+
+}  // namespace ganglia::fed

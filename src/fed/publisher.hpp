@@ -1,0 +1,106 @@
+// Server half of the delta federation protocol.
+//
+// A Publisher answers framed poll requests against whatever document the
+// DocProvider returns, remembering per-session the exact report each peer
+// last acknowledged so the next poll can be answered with a row delta
+// against it.  Sessions are soft state: they are keyed by the client's
+// opaque session id (not the connection — one-shot request/response
+// transports work fine), LRU-evicted past max_sessions, and an evicted or
+// unknown session simply gets a full-XML resync.  Every response is a
+// complete byte string, so the same code serves the in-memory fabric's
+// one-exchange service streams and a persistent TCP accept loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "fed/codec.hpp"
+#include "fed/diff.hpp"
+#include "net/transport.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::fed {
+
+/// One published document: an immutable report plus its version.  Equal
+/// versions MUST mean byte-identical reports.
+struct Doc {
+  std::shared_ptr<const Report> report;
+  std::uint64_t version = 0;
+};
+
+using DocProvider = std::function<Doc()>;
+
+struct PublisherOptions {
+  std::size_t max_sessions = 64;
+  std::size_t max_frame = kMaxFrameBytes;
+};
+
+/// Point-in-time counters for the stats route.
+struct PublisherStats {
+  std::uint64_t polls = 0;
+  std::uint64_t deltas = 0;      ///< responses answered with a row delta
+  std::uint64_t fulls = 0;       ///< responses answered with full XML
+  std::uint64_t pings = 0;
+  std::uint64_t errors = 0;      ///< malformed/unsupported requests
+  std::uint64_t evictions = 0;   ///< sessions dropped by the LRU cap
+  std::uint64_t bytes_out = 0;
+  std::size_t sessions = 0;      ///< live session count
+};
+
+class Publisher {
+ public:
+  Publisher(DocProvider provider, PublisherOptions opts = {});
+
+  /// Answer one request (a single framed kFramePoll/kFramePing).  Always
+  /// returns a complete framed response; garbage in means a kFrameError
+  /// frame out, never a crash.
+  std::string serve(std::string_view request);
+
+  /// Adapter for in-memory transport service registration.
+  net::ServiceFn service();
+
+  PublisherStats stats() const;
+
+ private:
+  struct Session {
+    std::mutex mutex;
+    std::uint64_t version = 0;
+    std::shared_ptr<const Report> base;
+    NameDict dict;
+    std::uint64_t last_used = 0;
+  };
+
+  std::shared_ptr<Session> session_for(const std::string& id);
+  std::shared_ptr<const std::string> xml_for(const Doc& doc);
+  void respond_full(std::string& out, const Doc& doc, std::size_t max_payload,
+                    Session* sess);
+  static void respond_error(std::string& out, std::string_view message);
+
+  DocProvider provider_;
+  PublisherOptions opts_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  std::uint64_t use_tick_ = 0;
+
+  std::mutex xml_mutex_;
+  std::uint64_t xml_version_ = 0;
+  std::shared_ptr<const std::string> xml_cache_;
+
+  std::atomic<std::uint64_t> polls_{0};
+  std::atomic<std::uint64_t> deltas_{0};
+  std::atomic<std::uint64_t> fulls_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> last_full_size_{0};
+};
+
+}  // namespace ganglia::fed

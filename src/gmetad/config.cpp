@@ -91,6 +91,15 @@ Result<GmetadConfig> parse_config(std::string_view text) {
         first_addr = 3;
       }
       for (std::size_t i = first_addr; i < tokens.size(); ++i) {
+        if (tokens[i].rfind("fed=", 0) == 0) {
+          const std::string fed = tokens[i].substr(4);
+          if (fed.find(':') == std::string::npos) {
+            return bad_line(line_no, "fed= address '" + fed +
+                                         "' must be host:port");
+          }
+          ds.federation_address = fed;
+          continue;
+        }
         if (tokens[i].find(':') == std::string::npos) {
           return bad_line(line_no, "address '" + tokens[i] +
                                        "' must be host:port");
@@ -278,6 +287,34 @@ Result<GmetadConfig> parse_config(std::string_view text) {
     } else if (key == "standby_for") {
       if (tokens.size() != 2) return bad_line(line_no, "standby_for needs an id");
       config.standby_for.push_back(tokens[1]);
+    } else if (key == "federation") {
+      if (tokens.size() != 2 || (tokens[1] != "on" && tokens[1] != "off")) {
+        return bad_line(line_no, "federation must be on or off");
+      }
+      config.federation_enabled = tokens[1] == "on";
+    } else if (key == "federation_port") {
+      auto port = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!port || *port > 65535) return bad_line(line_no, "bad federation_port");
+      config.federation_bind = "127.0.0.1:" + std::to_string(*port);
+    } else if (key == "federation_bind") {
+      if (tokens.size() != 2) {
+        return bad_line(line_no, "federation_bind needs host:port");
+      }
+      config.federation_bind = tokens[1];
+    } else if (key == "federation_heartbeat") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t < 0) return bad_line(line_no, "bad federation_heartbeat");
+      config.federation_heartbeat_s = *t;
+    } else if (key == "federation_max_frame") {
+      auto t = parse_u64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t < 4096 || *t > (64u << 20)) {
+        return bad_line(line_no, "bad federation_max_frame");
+      }
+      config.federation_max_frame = static_cast<std::size_t>(*t);
+    } else if (key == "federation_resync_backoff") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t < 0) return bad_line(line_no, "bad federation_resync_backoff");
+      config.federation_resync_backoff_s = *t;
     } else {
       return bad_line(line_no, "unknown directive '" + key + "'");
     }

@@ -30,6 +30,13 @@ struct DataSourceConfig {
   std::string name;                     ///< cluster or child-grid name
   std::vector<std::string> addresses;   ///< failover candidates, in order
   std::int64_t poll_interval_s = 15;
+  /// Delta federation endpoint of this source ("host:port"; empty = poll
+  /// the XML dump port only).  Configured with a `fed=host:port` token on
+  /// the data_source line, or discovered through gossip metadata.
+  std::string federation_address;
+  /// Per-source copies of the global federation knobs (filled by Gmetad).
+  std::size_t federation_max_frame = 4u << 20;
+  std::int64_t federation_resync_backoff_s = 60;
 };
 
 struct GmetadConfig {
@@ -94,6 +101,22 @@ struct GmetadConfig {
   /// adopt its children's sources until it recovers.
   std::vector<std::string> standby_for;
 
+  // -- delta federation (streaming incremental polls) ----------------------
+  /// Master switch for the delta *client*: when on, sources with a
+  /// federation address are polled over the binary delta protocol first,
+  /// falling back to the XML dump port on any failure.
+  bool federation_enabled = true;
+  /// Delta federation listener ("host:port"; empty = delta serving off —
+  /// this node then answers only legacy full-XML polls).
+  std::string federation_bind;
+  /// Ping idle delta sessions this often to keep streams warm (0 = never).
+  std::int64_t federation_heartbeat_s = 30;
+  /// Largest frame either side may send on a delta session (bytes).
+  std::size_t federation_max_frame = 4u << 20;
+  /// After a delta poll fails, stay on the XML dump path for this many
+  /// seconds before retrying the delta session (0 = retry immediately).
+  std::int64_t federation_resync_backoff_s = 60;
+
   /// Config-declared alarm rules, evaluated after every poll round (the
   /// paper's §4 alarm mechanism, wired into the daemon).
   struct AlarmRuleConfig {
@@ -117,6 +140,7 @@ struct GmetadConfig {
 ///   mode n-level                        # or: one-level
 ///   data_source "meteor" 15 m0:8649 m1:8649
 ///   data_source "attic" attic-gmeta:8651        # default interval
+///   data_source "nashi" 15 fed=nashi:8655 nashi:8651  # delta endpoint + XML fallback
 ///   trusted_hosts 10.0.0.1 parent.example
 ///   xml_port 8651                        # or xml_bind host:port
 ///   interactive_port 8652
@@ -143,6 +167,11 @@ struct GmetadConfig {
 ///   gossip_aggregate on                  # adopt children naming us as parent
 ///   gossip_parent "core"                 # advertise our primary aggregator
 ///   standby_for "core"                   # repeatable; promote when DEAD
+///   federation off                       # disable the delta poll client
+///   federation_port 8655                 # or federation_bind host:port; delta serving
+///   federation_heartbeat 30              # idle-session ping cadence (s; 0 = never)
+///   federation_max_frame 4194304         # frame size cap (bytes)
+///   federation_resync_backoff 60         # seconds on XML path after a delta failure
 ///   alarm "high-load" load_one > 8 hold 30 clear 4
 ///   alarm "dead" __host_down__ >= 1 hosts "web-.*" clusters "prod-.*"
 Result<GmetadConfig> parse_config(std::string_view text);

@@ -6,28 +6,43 @@
 // intermittent failures, Gmeta retries the failed node periodically."
 // (paper §1)
 //
-// fetch() tries the preferred address first and rotates through the
-// remaining candidates on failure.  A success promotes the serving address
-// to preferred; total failure leaves the source marked unreachable and the
-// next poll round retries from the top — failures never cause permanent
-// fissures in the tree.
+// fetch() is a two-tier pipeline.  When the source has a federation
+// address (configured `fed=host:port` or discovered via gossip metadata),
+// the poll first runs over the binary delta protocol: a persistent
+// fed::Session that transfers only changed rows and resyncs from full XML
+// automatically on loss, restart, or corruption.  Any delta-path failure
+// falls straight through to the legacy path — the preferred XML dump
+// address first, rotating through the remaining candidates on failure —
+// and starts a resync backoff so a dead delta port is not re-dialed on
+// every poll.  A legacy success promotes the serving address to preferred;
+// total failure leaves the source marked unreachable and the next poll
+// round retries from the top — failures never cause permanent fissures in
+// the tree.
 //
 // Concurrency: the poll pool runs at most one fetch() per source at a time
 // (the scheduler never dispatches a source that is still in flight), but
 // the health accessors are read from other threads — daemon status pages,
 // tests, examples — while a fetch is running, so the scalar health fields
-// are atomics and the last-error string sits behind its own mutex.
+// are atomics and the last-error string sits behind its own mutex.  The
+// delta session is additionally shared with the heartbeat tick (scheduler
+// thread), so it hides behind session_mutex_; heartbeats try-lock and
+// simply skip a source whose session is busy polling.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/cpu_timer.hpp"
+#include "fed/session.hpp"
 #include "gmetad/config.hpp"
 #include "net/transport.hpp"
+#include "xml/ganglia.hpp"
 
 namespace ganglia::gmetad {
 
@@ -35,18 +50,37 @@ class DataSource {
  public:
   explicit DataSource(DataSourceConfig config) : config_(std::move(config)) {}
 
-  /// Download one full report, failing over across candidate addresses.
-  /// On success records which address served.  On exhaustion returns
+  /// One poll's worth of data: either a parsed report (delta path) or the
+  /// raw XML body (legacy dump path, parsed by the caller).
+  struct Fetched {
+    std::string body;                    ///< raw XML (legacy path only)
+    std::optional<Report> report;        ///< parsed document (delta path)
+    std::size_t bytes = 0;               ///< wire bytes this poll moved
+    bool via_delta = false;              ///< answered incrementally
+    bool resync = false;                 ///< delta session did a full resync
+  };
+
+  /// Download one report, delta session first, failing over across the
+  /// candidate XML addresses otherwise.  On exhaustion returns
   /// Errc::exhausted carrying the last error detail.  Not reentrant: one
   /// fetch per source at a time (the poll scheduler guarantees this).
-  Result<std::string> fetch(net::Transport& transport, TimeUs timeout,
-                            std::int64_t now_s);
+  /// `meter`, when set, is charged for parse/apply CPU, never I/O waits.
+  Result<Fetched> fetch(net::Transport& transport, TimeUs timeout,
+                        std::int64_t now_s, CpuMeter* meter = nullptr);
+
+  /// Keep-alive tick for the delta session: pings the publisher when the
+  /// session is live and idle.  Skips silently when a poll is in flight.
+  void heartbeat(net::Transport& transport, TimeUs timeout);
 
   const DataSourceConfig& config() const noexcept { return config_; }
   const std::string& name() const noexcept { return config_.name; }
   std::int64_t poll_interval_s() const noexcept {
     return config_.poll_interval_s;
   }
+
+  /// Swap the federation endpoint (gossip-discovered topology).  Resets
+  /// the session when the address actually changes.
+  void set_federation_address(const std::string& address);
 
   // -- health introspection (safe to call while a fetch is in flight) ------
   bool reachable() const noexcept { return reachable_.load(std::memory_order_relaxed); }
@@ -70,7 +104,35 @@ class DataSource {
     return last_error_;
   }
 
+  // -- delta federation introspection --------------------------------------
+  std::uint64_t delta_polls() const noexcept {
+    return delta_polls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t full_polls() const noexcept {
+    return full_polls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delta_resyncs() const noexcept {
+    return delta_resyncs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_delta() const noexcept {
+    return bytes_delta_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_full() const noexcept {
+    return bytes_full_.load(std::memory_order_relaxed);
+  }
+  /// Conservative estimate of bytes the delta path avoided transferring:
+  /// Σ over delta polls of (last full-size observed − delta bytes).
+  std::uint64_t bytes_saved() const noexcept {
+    return bytes_saved_.load(std::memory_order_relaxed);
+  }
+  /// "xml" (no delta endpoint), "backoff", "delta" (live session), or
+  /// "sync" (endpoint known, session not yet established).
+  std::string session_mode(std::int64_t now_s) const;
+
  private:
+  Result<Fetched> fetch_delta(net::Transport& transport, TimeUs timeout,
+                              std::int64_t now_s, CpuMeter* meter);
+
   DataSourceConfig config_;
   std::atomic<std::size_t> preferred_{0};
   std::atomic<bool> reachable_{true};  ///< optimistic until the first poll
@@ -79,6 +141,18 @@ class DataSource {
   std::atomic<std::int64_t> last_success_s_{0};
   mutable std::mutex last_error_mutex_;
   std::string last_error_;
+
+  std::mutex session_mutex_;
+  std::unique_ptr<fed::Session> session_;
+  std::atomic<std::int64_t> delta_retry_after_{0};
+  std::atomic<bool> session_live_{false};
+  std::atomic<std::uint64_t> delta_polls_{0};
+  std::atomic<std::uint64_t> full_polls_{0};
+  std::atomic<std::uint64_t> delta_resyncs_{0};
+  std::atomic<std::uint64_t> bytes_delta_{0};
+  std::atomic<std::uint64_t> bytes_full_{0};
+  std::atomic<std::uint64_t> bytes_saved_{0};
+  std::atomic<std::uint64_t> last_full_bytes_{0};
 };
 
 }  // namespace ganglia::gmetad

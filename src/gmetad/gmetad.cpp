@@ -6,6 +6,8 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "gmetad/render/fragments.hpp"
+#include "gmetad/render/report_builder.hpp"
+#include "net/framing.hpp"
 #include "xml/writer.hpp"
 
 namespace ganglia::gmetad {
@@ -30,11 +32,16 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
       engine_(store_),
       joins_(config_.join_expiry_s, config_.join_max_children) {
   for (const DataSourceConfig& ds : config_.sources) {
-    sources_.push_back(std::make_shared<DataSource>(ds));
+    sources_.push_back(std::make_shared<DataSource>(finish_source_config(ds)));
   }
   if (const std::size_t width = resolve_poll_threads(config_); width > 1) {
     pool_ = std::make_unique<PollPool>(width);
   }
+
+  fed::PublisherOptions fed_opts;
+  fed_opts.max_frame = config_.federation_max_frame;
+  publisher_ = std::make_unique<fed::Publisher>(
+      [this] { return current_doc(); }, fed_opts);
 
   if (!config_.gossip_bind.empty()) {
     gossip::AgentOptions opts;
@@ -57,6 +64,11 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
     if (!config_.authority.empty()) opts.meta["authority"] = config_.authority;
     if (!config_.gossip_parent.empty()) {
       opts.meta["parent"] = config_.gossip_parent;
+    }
+    if (!config_.federation_bind.empty()) {
+      // Advertise the delta port so aggregators discovered through
+      // membership poll incrementally instead of re-fetching full XML.
+      opts.meta["fed"] = config_.federation_bind;
     }
     if (!config_.standby_for.empty()) {
       failover_ =
@@ -81,6 +93,13 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
 }
 
 Gmetad::~Gmetad() { stop(); }
+
+DataSourceConfig Gmetad::finish_source_config(DataSourceConfig ds) const {
+  if (!config_.federation_enabled) ds.federation_address.clear();
+  ds.federation_max_frame = config_.federation_max_frame;
+  ds.federation_resync_backoff_s = config_.federation_resync_backoff_s;
+  return ds;
+}
 
 QueryContext Gmetad::context() {
   QueryContext ctx;
@@ -125,12 +144,14 @@ Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
   result.source = source.name();
   // The fetch is wait, not work: metering starts once bytes are in hand.
   // (Over the in-memory fabric the child produces its dump inside our
-  // read() and charges its *own* meter for it.)
-  auto body = source.fetch(transport_,
-                           config_.connect_timeout_s * kMicrosPerSecond, now);
+  // read() and charges its *own* meter for it.)  The delta session passes
+  // our meter down so decode/apply CPU is charged without the I/O waits.
+  auto fetched = source.fetch(transport_,
+                              config_.connect_timeout_s * kMicrosPerSecond,
+                              now, &cpu_meter_);
   ScopedCpuMeter meter(cpu_meter_);
-  if (!body.ok()) {
-    result.error = body.error().to_string();
+  if (!fetched.ok()) {
+    result.error = fetched.error().to_string();
     // Keep serving the previous data, marked unreachable; RRD heartbeats
     // lapse on their own, writing the forensic unknown records.
     auto stale = SourceSnapshot::unreachable_from(store_.get(source.name()),
@@ -139,17 +160,24 @@ Gmetad::PollResult Gmetad::poll_source(DataSource& source, std::int64_t now) {
     store_.publish(std::move(stale));
     return result;
   }
-  result.bytes = body->size();
-  bytes_polled_.fetch_add(body->size(), std::memory_order_relaxed);
+  result.bytes = fetched->bytes;
+  bytes_polled_.fetch_add(fetched->bytes, std::memory_order_relaxed);
 
-  auto report = parse_report(*body);
-  if (!report.ok()) {
-    result.error = report.error().to_string();
-    auto stale = SourceSnapshot::unreachable_from(store_.get(source.name()),
-                                                 source.name(), now);
-    render::prime_fragments(*stale, config_.mode);
-    store_.publish(std::move(stale));
-    return result;
+  std::optional<Report> report;
+  if (fetched->report.has_value()) {
+    // Delta path: the session already holds the parsed document.
+    report = std::move(fetched->report);
+  } else {
+    auto parsed = parse_report(fetched->body);
+    if (!parsed.ok()) {
+      result.error = parsed.error().to_string();
+      auto stale = SourceSnapshot::unreachable_from(store_.get(source.name()),
+                                                   source.name(), now);
+      render::prime_fragments(*stale, config_.mode);
+      store_.publish(std::move(stale));
+      return result;
+    }
+    report = std::move(*parsed);
   }
 
   // "Gmeta only keeps numerical summaries of data from clusters it is
@@ -310,7 +338,8 @@ Result<std::string> Gmetad::handle_join_line(std::string_view line) {
     DataSourceConfig ds;
     ds.name = request->name;
     ds.addresses = {request->address};
-    sources_.push_back(std::make_shared<DataSource>(std::move(ds)));
+    sources_.push_back(
+        std::make_shared<DataSource>(finish_source_config(std::move(ds))));
   }
   return std::string("OK\n");
 }
@@ -397,6 +426,80 @@ net::ServiceFn Gmetad::interactive_service() {
   };
 }
 
+// --------------------------------------------- delta federation (serving)
+
+fed::Doc Gmetad::current_doc() {
+  // Version fold: the exact store state a document renders from is pinned
+  // by (structure version, every per-source publish version) — and by the
+  // clock second, because LOCALTIME/TN attributes derive from now.  Equal
+  // folds therefore mean byte-identical documents, which is the publisher's
+  // contract; a fold miss merely rebuilds.
+  std::uint64_t structure = 0;
+  const auto versioned = store_.all_versioned(&structure);
+  std::uint64_t fold = 0xcbf29ce484222325ULL;
+  const auto mix = [&fold](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      fold = (fold ^ (v & 0xff)) * 0x100000001b3ULL;
+      v >>= 8;
+    }
+  };
+  mix(structure);
+  for (const Store::Versioned& v : versioned) mix(v.version);
+  mix(static_cast<std::uint64_t>(clock_.now_seconds()));
+  fold |= 1;  // 0 is the "no document yet" sentinel on the wire
+
+  std::lock_guard lock(doc_mutex_);
+  if (doc_cache_.report != nullptr && doc_cache_.version == fold) {
+    return doc_cache_;
+  }
+  render::ReportBuilder builder;
+  std::size_t matches = 0;
+  std::string redirect;
+  (void)engine_.render_with(ParsedQuery{}, context(), builder, matches,
+                            redirect);
+  doc_cache_.report = std::make_shared<const Report>(builder.take());
+  doc_cache_.version = fold;
+  return doc_cache_;
+}
+
+net::ServiceFn Gmetad::federation_service() {
+  return [this](std::string_view request) -> Result<std::string> {
+    ScopedCpuMeter meter(cpu_meter_);
+    return publisher_->serve(request);
+  };
+}
+
+std::string Gmetad::federation_address() const {
+  return federation_listener_ ? federation_listener_->address()
+                              : config_.federation_bind;
+}
+
+void Gmetad::handle_federation_connection(net::Stream& stream) {
+  if (!peer_trusted(stream.peer_address())) {
+    GLOG(warn, "gmetad") << config_.grid_name
+                         << ": rejected untrusted federation peer "
+                         << stream.peer_address();
+    stream.close();
+    return;
+  }
+  // Persistent session: one framed request, one framed response, repeat
+  // until the peer disconnects (or framing breaks — the client resyncs).
+  net::FrameReader reader(stream, config_.federation_max_frame);
+  while (running_.load()) {
+    auto frame = reader.next();
+    if (!frame.ok()) break;
+    std::string request;
+    net::put_frame(request, frame->type, frame->payload);
+    std::string response;
+    {
+      ScopedCpuMeter meter(cpu_meter_);
+      response = publisher_->serve(request);
+    }
+    if (!stream.write_all(response).ok()) break;
+  }
+  stream.close();
+}
+
 Status Gmetad::send_join(const std::string& parent_interactive_address) {
   if (config_.join_key.empty()) {
     return Err(Errc::invalid_argument, "no join_key configured");
@@ -435,7 +538,11 @@ void Gmetad::sync_membership_sources() {
   // either us (gossip_aggregate) or a primary we currently cover as a
   // standby.  The child names its aggregator — trust still points up the
   // tree, exactly like trusted_hosts.
-  std::map<std::string, std::string> desired;  // source name -> xml address
+  struct DesiredSource {
+    std::string xml;
+    std::string fed;  ///< delta endpoint ("" = XML polling only)
+  };
+  std::map<std::string, DesiredSource> desired;  // source name -> addresses
   for (const gossip::MemberEntry& member : gossip_->members()) {
     if (member.id == config_.grid_name) continue;
     if (member.state != gossip::MemberState::alive) continue;
@@ -451,7 +558,13 @@ void Gmetad::sync_membership_sources() {
     const std::string& name =
         source != member.meta.end() ? source->second : member.id;
     if (desired.size() < joins_.max_children()) {
-      desired.emplace(name, xml->second);
+      DesiredSource d;
+      d.xml = xml->second;
+      if (const auto fed = member.meta.find("fed");
+          config_.federation_enabled && fed != member.meta.end()) {
+        d.fed = fed->second;
+      }
+      desired.emplace(name, std::move(d));
     }
   }
 
@@ -459,9 +572,16 @@ void Gmetad::sync_membership_sources() {
   std::lock_guard mlock(membership_mutex_);
   {
     std::lock_guard lock(sources_mutex_);
-    for (const auto& [name, address] : desired) {
+    for (const auto& [name, want] : desired) {
       const auto it = membership_sources_.find(name);
-      if (it != membership_sources_.end() && it->second == address) continue;
+      if (it != membership_sources_.end() && it->second == want.xml) {
+        // XML address unchanged; the advertised delta endpoint may still
+        // have moved (set_federation_address is a no-op when it hasn't).
+        for (const auto& ds : sources_) {
+          if (ds->name() == name) ds->set_federation_address(want.fed);
+        }
+        continue;
+      }
       if (it == membership_sources_.end()) {
         // Never shadow a statically configured or join-registered source.
         const bool taken = std::any_of(
@@ -471,7 +591,7 @@ void Gmetad::sync_membership_sources() {
             });
         if (taken) continue;
         GLOG(info, "gmetad") << config_.grid_name << ": adopting source '"
-                             << name << "' at " << address
+                             << name << "' at " << want.xml
                              << " from gossip membership";
       } else {
         // The member came back on a new address: replace in place.
@@ -481,9 +601,11 @@ void Gmetad::sync_membership_sources() {
       }
       DataSourceConfig ds;
       ds.name = name;
-      ds.addresses = {address};
-      sources_.push_back(std::make_shared<DataSource>(std::move(ds)));
-      membership_sources_[name] = address;
+      ds.addresses = {want.xml};
+      ds.federation_address = want.fed;
+      sources_.push_back(
+          std::make_shared<DataSource>(finish_source_config(std::move(ds))));
+      membership_sources_[name] = want.xml;
     }
     for (auto it = membership_sources_.begin();
          it != membership_sources_.end();) {
@@ -580,6 +702,14 @@ Status Gmetad::start() {
     running_ = false;
     return interactive_listener.error();
   }
+  if (!config_.federation_bind.empty()) {
+    auto federation_listener = transport_.listen(config_.federation_bind);
+    if (!federation_listener.ok()) {
+      running_ = false;
+      return federation_listener.error();
+    }
+    federation_listener_ = std::move(*federation_listener);
+  }
   xml_listener_ = std::move(*xml_listener);
   interactive_listener_ = std::move(*interactive_listener);
   if (config_.authority.empty()) {
@@ -593,6 +723,9 @@ Status Gmetad::start() {
     // the first digest leaves this node.
     gossip_->set_self_meta("xml", xml_listener_->address());
     gossip_->set_self_meta("authority", config_.authority);
+    if (federation_listener_) {
+      gossip_->set_self_meta("fed", federation_listener_->address());
+    }
     if (Status s = gossip_->start(); !s.ok()) {
       // Monitoring still works without membership; degrade loudly.
       GLOG(warn, "gmetad") << config_.grid_name
@@ -612,6 +745,30 @@ Status Gmetad::start() {
   };
   threads_.emplace_back(accept_loop, xml_listener_.get(), false);
   threads_.emplace_back(accept_loop, interactive_listener_.get(), true);
+  if (federation_listener_) {
+    // Federation connections are persistent (one parent holds its stream
+    // across polls), so each gets its own handler thread; the accept loop
+    // reaps finished handlers as new connections arrive.
+    threads_.emplace_back([this] {
+      while (running_.load()) {
+        auto stream = federation_listener_->accept();
+        if (!stream.ok()) return;
+        std::shared_ptr<net::Stream> shared(std::move(*stream));
+        std::lock_guard lock(fed_conns_mutex_);
+        std::erase_if(fed_conns_, [](const FedConnection& c) {
+          return c.done->load(std::memory_order_acquire);
+        });
+        FedConnection conn;
+        conn.stream = shared;
+        conn.done = std::make_shared<std::atomic<bool>>(false);
+        conn.thread = std::jthread([this, shared, done = conn.done] {
+          handle_federation_connection(*shared);
+          done->store(true, std::memory_order_release);
+        });
+        fed_conns_.push_back(std::move(conn));
+      }
+    });
+  }
 
   // Write-behind persistence: a background flusher persists dirty archives
   // every archive_flush_interval_s (no-op when unset or interval 0).
@@ -644,6 +801,26 @@ void Gmetad::tick_scheduler() {
   }
 
   const auto sources = snapshot_sources();
+
+  // Keep idle delta sessions warm.  heartbeat() itself skips sources whose
+  // session is busy or not established, so this is cheap; the in-flight
+  // check just avoids dialing a source mid-poll.
+  if (config_.federation_heartbeat_s > 0 && now >= next_heartbeat_due_s_) {
+    next_heartbeat_due_s_ = now + config_.federation_heartbeat_s;
+    for (const auto& source : sources) {
+      bool busy = false;
+      {
+        std::lock_guard lock(schedule_mutex_);
+        const auto it = schedule_.find(source->name());
+        busy = it != schedule_.end() && it->second.in_flight;
+      }
+      if (!busy) {
+        source->heartbeat(transport_,
+                          config_.connect_timeout_s * kMicrosPerSecond);
+      }
+    }
+  }
+
   std::vector<std::shared_ptr<DataSource>> due;
   {
     std::lock_guard lock(schedule_mutex_);
@@ -690,11 +867,29 @@ void Gmetad::stop() {
   if (gossip_) gossip_->leave();
   if (xml_listener_) xml_listener_->close();
   if (interactive_listener_) interactive_listener_->close();
+  if (federation_listener_) federation_listener_->close();
+  {
+    // Unblock federation handlers stuck in a read; their threads join when
+    // the connection list is destroyed below.
+    std::lock_guard lock(fed_conns_mutex_);
+    for (FedConnection& conn : fed_conns_) {
+      if (conn.stream) conn.stream->close();
+    }
+  }
   for (std::jthread& t : threads_) t.request_stop();
-  threads_.clear();  // joins
+  threads_.clear();  // joins (including the federation accept loop)
+  {
+    std::vector<FedConnection> conns;
+    {
+      std::lock_guard lock(fed_conns_mutex_);
+      conns.swap(fed_conns_);
+    }
+    conns.clear();  // joins the per-connection handlers
+  }
   if (gossip_) gossip_->stop();
   xml_listener_.reset();
   interactive_listener_.reset();
+  federation_listener_.reset();
   // Join the write-behind flusher *before* the final flush: the shutdown
   // flush must not race a periodic one, and a repeated stop() (or a stop()
   // racing an empty-dir cold start) is a silent no-op, not a warning.

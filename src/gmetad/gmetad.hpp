@@ -41,6 +41,7 @@
 
 #include "common/clock.hpp"
 #include "common/cpu_timer.hpp"
+#include "fed/publisher.hpp"
 #include "gmetad/archiver.hpp"
 #include "gmetad/config.hpp"
 #include "gmetad/data_source.hpp"
@@ -115,6 +116,21 @@ class Gmetad {
   net::ServiceFn dump_service();
   net::ServiceFn interactive_service();
 
+  // -- delta federation (serving side) --------------------------------------
+
+  /// Service adapter answering framed delta-federation polls against this
+  /// node's current document (the dump-port tree in typed form).  Each
+  /// request is one complete framed poll/ping; each response is a complete
+  /// framed byte string — the same publisher also backs the persistent TCP
+  /// listener bound at config.federation_bind.
+  net::ServiceFn federation_service();
+
+  /// Bound delta listener address (config.federation_bind until start()).
+  std::string federation_address() const;
+
+  /// Serving-side delta counters for the stats route.
+  fed::PublisherStats federation_stats() const { return publisher_->stats(); }
+
   // -- join protocol (child side) -----------------------------------------
 
   /// Send one JOIN message to a parent's interactive address.
@@ -185,6 +201,15 @@ class Gmetad {
   /// One source's fetch→parse→summarise→archive→publish chain.  Runs on a
   /// pool worker; never called twice concurrently for the same source.
   PollResult poll_source(DataSource& source, std::int64_t now);
+  /// Apply per-source knobs derived from the global config (federation
+  /// client settings) before a DataSourceConfig becomes a DataSource.
+  DataSourceConfig finish_source_config(DataSourceConfig ds) const;
+  /// The document the delta publisher diffs: the dump-port tree in typed
+  /// form, cached until a store version (or the clock second) moves.
+  fed::Doc current_doc();
+  /// Serve framed polls over one accepted federation connection until the
+  /// peer goes away.
+  void handle_federation_connection(net::Stream& stream);
   /// Drop dynamic children whose joins lapsed (sources, schedule, store).
   void prune_expired_children(std::int64_t now);
   /// Reconcile membership-derived data sources (own children + any primary
@@ -231,10 +256,30 @@ class Gmetad {
   std::map<std::string, std::string> membership_sources_;
   std::int64_t next_gossip_due_s_ = 0;  ///< scheduler thread only
 
+  // Delta federation serving.  publisher_ always exists (cheap when idle)
+  // so the in-memory service adapter and the stats route work without a
+  // bound listener.  The document cache makes the provider idempotent per
+  // (store versions, clock second) — repeated polls within one second and
+  // polls from several parents share one built report.
+  std::unique_ptr<fed::Publisher> publisher_;
+  std::mutex doc_mutex_;
+  fed::Doc doc_cache_;
+  std::int64_t next_heartbeat_due_s_ = 0;  ///< scheduler thread only
+
   // Daemon mode.
   std::atomic<bool> running_{false};
   std::unique_ptr<net::Listener> xml_listener_;
   std::unique_ptr<net::Listener> interactive_listener_;
+  std::unique_ptr<net::Listener> federation_listener_;
+  /// Live federation connections: persistent, so each gets its own thread;
+  /// stop() closes the streams to unblock them, then joins.
+  struct FedConnection {
+    std::shared_ptr<net::Stream> stream;
+    std::shared_ptr<std::atomic<bool>> done;
+    std::jthread thread;
+  };
+  std::mutex fed_conns_mutex_;
+  std::vector<FedConnection> fed_conns_;
   std::vector<std::jthread> threads_;
 
   /// Declared last: destroyed first, joining any in-flight poll tasks

@@ -1,0 +1,83 @@
+#include "gmetad/render/report_builder.hpp"
+
+#include <utility>
+
+namespace ganglia::gmetad::render {
+
+void ReportBuilder::begin_document(const DocumentInfo& info) {
+  report_ = Report{};
+  report_.version.assign(info.version);
+  report_.source.assign(info.source);
+  stack_.clear();
+  cluster_ = nullptr;
+  // The dump document wraps every source in the node's own grid, exactly
+  // like XmlBackend's begin_document.
+  Grid self;
+  self.name.assign(info.grid_name);
+  self.authority.assign(info.authority);
+  self.localtime = info.localtime;
+  report_.grids.push_back(std::move(self));
+  stack_.push_back(&report_.grids.back());
+}
+
+void ReportBuilder::end_document() {
+  stack_.clear();
+  cluster_ = nullptr;
+}
+
+void ReportBuilder::begin_cluster(const Cluster& cluster) {
+  Cluster c;
+  c.name = cluster.name;
+  c.owner = cluster.owner;
+  c.latlong = cluster.latlong;
+  c.url = cluster.url;
+  c.localtime = cluster.localtime;
+  stack_.back()->clusters.push_back(std::move(c));
+  cluster_ = &stack_.back()->clusters.back();
+}
+
+void ReportBuilder::end_cluster(const Cluster&) { cluster_ = nullptr; }
+
+void ReportBuilder::begin_grid(const Grid& grid) {
+  Grid g;
+  g.name = grid.name;
+  g.authority = grid.authority;
+  g.localtime = grid.localtime;
+  stack_.back()->grids.push_back(std::move(g));
+  stack_.push_back(&stack_.back()->grids.back());
+}
+
+void ReportBuilder::end_grid(const Grid&) { stack_.pop_back(); }
+
+void ReportBuilder::begin_host(const Host& host) {
+  host_ = Host{};
+  host_.name = host.name;
+  host_.ip = host.ip;
+  host_.reported = host.reported;
+  host_.tn = host.tn;
+  host_.tmax = host.tmax;
+  host_.dmax = host.dmax;
+  host_.location = host.location;
+  host_.gmond_started = host.gmond_started;
+}
+
+void ReportBuilder::end_host(const Host&) {
+  if (cluster_ != nullptr) {
+    cluster_->hosts.emplace(host_.name, std::move(host_));
+  }
+  host_ = Host{};
+}
+
+void ReportBuilder::metric(const Host&, const Metric& m) {
+  host_.metrics.push_back(m);
+}
+
+void ReportBuilder::summary(const SummaryInfo& s) {
+  if (cluster_ != nullptr) {
+    cluster_->summary = s;
+  } else if (!stack_.empty()) {
+    stack_.back()->summary = s;
+  }
+}
+
+}  // namespace ganglia::gmetad::render

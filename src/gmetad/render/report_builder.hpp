@@ -1,0 +1,44 @@
+// Render backend that materialises the walked document as a typed Report.
+//
+// The federation publisher needs the *model* of the dump-port document —
+// the node's own grid wrapping every source, summaries reduced per the
+// node's mode — so it can diff consecutive documents into delta rows.
+// Driving this backend through the same traversal that renders the XML
+// dump guarantees the published model and the XML fallback describe the
+// identical tree: the full-resync path is write_report() of this report.
+#pragma once
+
+#include <vector>
+
+#include "gmetad/render/backend.hpp"
+#include "xml/ganglia.hpp"
+
+namespace ganglia::gmetad::render {
+
+class ReportBuilder final : public Backend {
+ public:
+  void begin_document(const DocumentInfo& info) override;
+  void end_document() override;
+
+  void begin_cluster(const Cluster& cluster) override;
+  void end_cluster(const Cluster& cluster) override;
+  void begin_grid(const Grid& grid) override;
+  void end_grid(const Grid& grid) override;
+  void begin_host(const Host& host) override;
+  void end_host(const Host& host) override;
+  void metric(const Host& host, const Metric& m) override;
+  void summary(const SummaryInfo& s) override;
+
+  /// The finished document (valid after end_document).
+  Report take() { return std::move(report_); }
+
+ private:
+  Report report_;
+  // Open ancestor chain.  Pointers are stable: while a grid is open, every
+  // append goes to *its* children, never to the vector that holds it.
+  std::vector<Grid*> stack_;
+  Cluster* cluster_ = nullptr;
+  Host host_;
+};
+
+}  // namespace ganglia::gmetad::render

@@ -29,9 +29,14 @@ Testbed::Testbed(TestbedSpec spec) : spec_(std::move(spec)) {
       config.cluster_name = cluster_name;
       config.host_count = spec_.hosts_per_cluster;
       config.seed = spec_.seed + (++cluster_index) * 7919;
+      config.soft_state_timers = spec_.soft_state;
       auto emulator = std::make_unique<gmon::PseudoGmond>(config, clock_);
       transport_.register_service(gmond_address(cluster_name),
                                   emulator->service());
+      if (spec_.federation) {
+        transport_.register_service(gmond_federation_address(cluster_name),
+                                    emulator->federation_service());
+      }
       clusters_.emplace(cluster_name, std::move(emulator));
     }
   }
@@ -50,6 +55,9 @@ Testbed::Testbed(TestbedSpec spec) : spec_(std::move(spec)) {
       ds.name = cluster_name;
       ds.addresses = {gmond_address(cluster_name)};
       ds.poll_interval_s = spec_.poll_interval_s;
+      if (spec_.federation) {
+        ds.federation_address = gmond_federation_address(cluster_name);
+      }
       config.sources.push_back(std::move(ds));
     }
     for (const std::string& child : node.children) {
@@ -57,6 +65,9 @@ Testbed::Testbed(TestbedSpec spec) : spec_(std::move(spec)) {
       ds.name = child;
       ds.addresses = {dump_address(child)};
       ds.poll_interval_s = spec_.poll_interval_s;
+      if (spec_.federation) {
+        ds.federation_address = federation_address(child);
+      }
       config.sources.push_back(std::move(ds));
     }
     auto gmetad = std::make_unique<Gmetad>(std::move(config), transport_, clock_);
@@ -64,6 +75,10 @@ Testbed::Testbed(TestbedSpec spec) : spec_(std::move(spec)) {
                                 gmetad->dump_service());
     transport_.register_service(interactive_address(node.name),
                                 gmetad->interactive_service());
+    if (spec_.federation) {
+      transport_.register_service(federation_address(node.name),
+                                  gmetad->federation_service());
+    }
     gmetads_.emplace(node.name, std::move(gmetad));
   }
 

@@ -37,6 +37,14 @@ struct TestbedSpec {
   std::int64_t poll_interval_s = 15;
   std::uint64_t seed = 2003;
   bool archive_enabled = true;
+  /// Wire every edge (gmond→gmetad and gmetad→gmetad) with a delta
+  /// federation endpoint alongside the XML dump address, so polls run
+  /// incrementally with automatic full-XML fallback.
+  bool federation = false;
+  /// Emulate gmond soft-state broadcast timers in the pseudo-gmonds (the
+  /// workload shape deltas are designed for) instead of redrawing every
+  /// value each report.
+  bool soft_state = false;
 };
 
 /// The monitoring tree of paper figure 2.
@@ -88,6 +96,12 @@ class Testbed {
   }
   static std::string interactive_address(const std::string& node) {
     return node + ".gmeta:8652";
+  }
+  static std::string gmond_federation_address(const std::string& cluster) {
+    return cluster + ".gmon:8655";
+  }
+  static std::string federation_address(const std::string& node) {
+    return node + ".gmeta:8655";
   }
 
  private:

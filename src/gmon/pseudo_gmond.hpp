@@ -15,9 +15,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "fed/publisher.hpp"
 #include "gmon/metrics.hpp"
 #include "net/transport.hpp"
 #include "xml/ganglia.hpp"
@@ -33,6 +36,13 @@ struct PseudoGmondConfig {
   /// Redraw volatile metric values on every report (matches live clusters);
   /// disable for byte-identical reports across polls.
   bool fresh_values_per_query = true;
+  /// Emulate gmond's soft-state broadcast timers instead of redrawing
+  /// everything: each metric rebroadcasts (new value, TN reset) only every
+  /// max(1, tmax/2) seconds, hosts heartbeat every 10 s, and everything
+  /// else just ages — the workload shape real deltas see.  Deterministic
+  /// in (seed, clock), so concurrent pollers observe identical reports.
+  /// Takes precedence over fresh_values_per_query.
+  bool soft_state_timers = false;
 };
 
 class PseudoGmond {
@@ -47,6 +57,12 @@ class PseudoGmond {
 
   /// Transport service: ignores the request, serves the full report.
   net::ServiceFn service();
+
+  /// Delta-federation service: answers framed poll/ping requests with row
+  /// deltas against the peer's last acknowledged report (full XML on first
+  /// contact or resync).  The published document is rebuilt at most once
+  /// per clock second, so every poller within a second sees one version.
+  net::ServiceFn federation_service();
 
   /// Mark the first `n` hosts as down (silent past 4*TMAX); they stay in
   /// the report so summaries count them in HOSTS DOWN.
@@ -64,16 +80,27 @@ class PseudoGmond {
     std::string ip;
     std::vector<double> values;  ///< one per catalogue metric
     bool down = false;
+    // Soft-state timers (lazily sized; 0 = not yet staggered in).
+    std::vector<std::int64_t> last_broadcast;  ///< one per catalogue metric
+    std::int64_t last_heartbeat = 0;
   };
 
   SimHost make_host(std::size_t index);
   void fill_cluster(Cluster& out, std::int64_t now);
+  fed::Doc federation_doc();
 
   PseudoGmondConfig config_;
   Clock& clock_;
   Rng rng_;
   std::vector<SimHost> hosts_;
   std::uint64_t reports_served_ = 0;
+
+  // Delta federation serving (created on first federation_service() call).
+  std::mutex fed_mutex_;
+  std::unique_ptr<fed::Publisher> fed_publisher_;
+  std::shared_ptr<const Report> fed_doc_;
+  std::int64_t fed_doc_second_ = -1;
+  std::uint64_t fed_doc_version_ = 0;
 };
 
 }  // namespace ganglia::gmon

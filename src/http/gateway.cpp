@@ -164,6 +164,13 @@ Result<Gateway::Content> Gateway::render_api(std::string_view rest,
     }
     return render_archiver_stats();
   }
+  if (rest == "/federation") {
+    if (!query.empty()) {
+      return Err(Errc::invalid_argument,
+                 "federation stats take no query options");
+    }
+    return render_federation_stats();
+  }
   if (rest == "/members") {
     if (!query.empty()) {
       return Err(Errc::invalid_argument,
@@ -298,6 +305,65 @@ Gateway::Content Gateway::render_archiver_stats() {
   return content;
 }
 
+Gateway::Content Gateway::render_federation_stats() {
+  const std::int64_t now_s = clock_.now_us() / kMicrosPerSecond;
+  std::string body;
+  xml::JsonWriter w(body);
+  w.begin_object();
+  w.key("FEDERATION");
+  w.begin_object();
+  w.key("SOURCES");
+  w.begin_array();
+  for (const gmetad::DataSource* source : monitor_.sources()) {
+    w.begin_object();
+    w.key("NAME");
+    w.value(source->name());
+    w.key("MODE");
+    w.value(source->session_mode(now_s));
+    w.key("DELTA_POLLS");
+    w.value(source->delta_polls());
+    w.key("FULL_POLLS");
+    w.value(source->full_polls());
+    w.key("RESYNCS");
+    w.value(source->delta_resyncs());
+    w.key("BYTES_DELTA");
+    w.value(source->bytes_delta());
+    w.key("BYTES_FULL");
+    w.value(source->bytes_full());
+    w.key("BYTES_SAVED");
+    w.value(source->bytes_saved());
+    w.end_object();
+  }
+  w.end_array();
+  const fed::PublisherStats stats = monitor_.federation_stats();
+  w.key("PUBLISHER");
+  w.begin_object();
+  w.key("POLLS");
+  w.value(stats.polls);
+  w.key("DELTAS");
+  w.value(stats.deltas);
+  w.key("FULLS");
+  w.value(stats.fulls);
+  w.key("PINGS");
+  w.value(stats.pings);
+  w.key("ERRORS");
+  w.value(stats.errors);
+  w.key("EVICTIONS");
+  w.value(stats.evictions);
+  w.key("SESSIONS");
+  w.value(static_cast<std::uint64_t>(stats.sessions));
+  w.key("BYTES_OUT");
+  w.value(stats.bytes_out);
+  w.end_object();
+  w.end_object();
+  w.end_object();
+  body += '\n';
+  // Session state and counters move with every poll; always serve live.
+  Content content{std::move(body), std::string(kJsonType), {}};
+  content.no_store = true;
+  return content;
+}
+
 Result<Gateway::Content> Gateway::render_server_stats() {
   if (server_ == nullptr) {
     return Err(Errc::not_found, "no http server attached");
@@ -391,6 +457,8 @@ Gateway::Content Gateway::render_index() const {
       "<li><a href=\"/api/v1/\">/api/v1/&lt;path&gt;</a> — JSON API</li>"
       "<li><a href=\"/api/v1/archiver\">/api/v1/archiver</a> — archiver "
       "stats (live, uncached)</li>"
+      "<li><a href=\"/api/v1/federation\">/api/v1/federation</a> — delta "
+      "federation stats</li>"
       "<li><a href=\"/api/v1/members\">/api/v1/members</a> — gossip "
       "membership table (live, uncached)</li>"
       "<li><a href=\"/api/v1/server\">/api/v1/server</a> — http server "

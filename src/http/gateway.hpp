@@ -12,6 +12,10 @@
 //                             id, address, state, incarnation, heartbeat,
 //                             metadata; never cached); 404 when membership
 //                             gossip is not enabled
+//   /api/v1/federation        delta federation live stats (FEDERATION JSON
+//                             object: per-source session mode and delta vs
+//                             full counters, plus this node's publisher
+//                             counters; never cached)
 //   /ui/meta                  meta view (per-source summary table)
 //   /ui/cluster/<cluster>     cluster view (per-host table)
 //   /ui/host/<cluster>/<host> host page with inline SVG RRD graphs
@@ -100,6 +104,7 @@ class Gateway {
   Result<Content> render_ui(std::string_view path);
   Content render_index() const;
   Content render_archiver_stats();
+  Content render_federation_stats();
   Result<Content> render_members();
   Result<Content> render_server_stats();
 

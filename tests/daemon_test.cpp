@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "fed/session.hpp"
 #include "gmetad/gmetad.hpp"
 #include "net/service_server.hpp"
 #include "gmon/pseudo_gmond.hpp"
@@ -91,6 +92,74 @@ TEST(Daemon, TcpEndToEndPollDumpAndQuery) {
   ASSERT_TRUE(meta.ok()) << meta.error().to_string();
   EXPECT_EQ(meta->total.hosts_up + meta->total.hosts_down, 6u);
 
+  monitor.stop();
+  EXPECT_FALSE(monitor.running());
+  gmond_port.stop();
+}
+
+// The federation listener over real TCP: a fed::Session dials the bound
+// port, gets a full document, then a delta on the same persistent stream
+// (stream reuse only exists on TCP — the in-mem fabric is one-exchange),
+// and stop() unblocks the per-connection serving thread.
+TEST(Daemon, TcpFederationListenerServesPersistentDeltaSession) {
+  WallClock clock;
+  net::TcpTransport transport;
+
+  gmon::PseudoGmondConfig cluster_config;
+  cluster_config.cluster_name = "meteor";
+  cluster_config.host_count = 6;
+  gmon::PseudoGmond emulator(cluster_config, clock);
+  ServiceServer gmond_port;
+  ASSERT_TRUE(gmond_port.start(transport, "127.0.0.1:0", emulator.service()).ok());
+
+  GmetadConfig config;
+  config.grid_name = "fed-grid";
+  config.xml_bind = "127.0.0.1:0";
+  config.interactive_bind = "127.0.0.1:0";
+  config.federation_bind = "127.0.0.1:0";
+  config.archive_enabled = false;
+  DataSourceConfig source;
+  source.name = "meteor";
+  source.addresses = {gmond_port.address()};
+  source.poll_interval_s = 1;
+  config.sources.push_back(source);
+
+  Gmetad monitor(config, transport, clock);
+  ASSERT_TRUE(monitor.start().ok());
+  ASSERT_NE(monitor.federation_address(), config.federation_bind)
+      << "listener should report the resolved port";
+
+  ASSERT_TRUE(eventually([&] {
+    auto snapshot = monitor.store().get("meteor");
+    return snapshot != nullptr && snapshot->reachable();
+  }));
+
+  fed::SessionOptions session_options;
+  session_options.address = monitor.federation_address();
+  fed::Session session(session_options);
+
+  // First poll: no base, so the publisher answers with a full document.
+  auto first = session.poll(transport, 2 * kMicrosPerSecond);
+  ASSERT_TRUE(first.ok()) << first.error().to_string();
+  EXPECT_FALSE(first->delta);
+  ASSERT_FALSE(first->report.grids.empty());
+  EXPECT_EQ(first->report.grids.front().host_count(), 6u);
+
+  // Keep-alive on the same stream, then an incremental answer.
+  ASSERT_TRUE(session.ping(transport, 2 * kMicrosPerSecond).ok());
+  auto second = session.poll(transport, 2 * kMicrosPerSecond);
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  EXPECT_TRUE(second->delta);
+  EXPECT_LT(second->bytes, first->bytes);
+  EXPECT_EQ(second->report.grids.front().host_count(), 6u);
+
+  const auto stats = monitor.federation_stats();
+  EXPECT_GE(stats.polls, 2u);
+  EXPECT_GE(stats.fulls, 1u);
+  EXPECT_GE(stats.deltas, 1u);
+
+  // stop() must close the live federation connection and join its thread
+  // even though the client never hung up.
   monitor.stop();
   EXPECT_FALSE(monitor.running());
   gmond_port.stop();

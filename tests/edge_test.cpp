@@ -96,7 +96,9 @@ TEST(Edge, QueryTrailingSlashEquivalence) {
 
 TEST(Edge, DataSourceWithNoAddressesExhaustsImmediately) {
   net::InMemTransport transport;
-  gmetad::DataSource source({"lonely", {}, 15});
+  gmetad::DataSourceConfig config;
+  config.name = "lonely";
+  gmetad::DataSource source(std::move(config));
   auto body = source.fetch(transport, kMicrosPerSecond, 100);
   ASSERT_FALSE(body.ok());
   EXPECT_EQ(body.code(), Errc::exhausted);

@@ -123,10 +123,18 @@ net::ServiceFn xml_service(const std::string& cluster_name) {
   };
 }
 
+DataSourceConfig source_config(std::string name,
+                               std::vector<std::string> addresses) {
+  DataSourceConfig config;
+  config.name = std::move(name);
+  config.addresses = std::move(addresses);
+  return config;
+}
+
 TEST(DataSource, FetchesFromPreferredAddress) {
   net::InMemTransport transport;
   transport.register_service("a:1", xml_service("alpha"));
-  DataSource source({"alpha", {"a:1", "b:1"}, 15});
+  DataSource source(source_config("alpha", {"a:1", "b:1"}));
   auto body = source.fetch(transport, kMicrosPerSecond, 100);
   ASSERT_TRUE(body.ok());
   EXPECT_TRUE(source.reachable());
@@ -143,7 +151,7 @@ TEST(DataSource, FailsOverToNextCandidateAndSticksToIt) {
   down.kind = net::FailurePolicy::Kind::refuse;
   transport.set_failure("a:1", down);
 
-  DataSource source({"alpha", {"a:1", "b:1"}, 15});
+  DataSource source(source_config("alpha", {"a:1", "b:1"}));
   ASSERT_TRUE(source.fetch(transport, kMicrosPerSecond, 100).ok());
   EXPECT_EQ(source.preferred_address(), "b:1");
   EXPECT_EQ(source.failovers(), 1u);
@@ -162,7 +170,7 @@ TEST(DataSource, ExhaustionReportsAndRecovers) {
   down.kind = net::FailurePolicy::Kind::refuse;
   transport.set_failure("a:1", down);
 
-  DataSource source({"alpha", {"a:1"}, 15});
+  DataSource source(source_config("alpha", {"a:1"}));
   auto body = source.fetch(transport, kMicrosPerSecond, 100);
   ASSERT_FALSE(body.ok());
   EXPECT_EQ(body.code(), Errc::exhausted);
@@ -186,7 +194,7 @@ TEST(DataSource, MidStreamTruncationTriggersFailover) {
   flaky.truncate_after = 10;
   transport.set_failure("a:1", flaky);
 
-  DataSource source({"alpha", {"a:1", "b:1"}, 15});
+  DataSource source(source_config("alpha", {"a:1", "b:1"}));
   auto body = source.fetch(transport, kMicrosPerSecond, 100);
   ASSERT_TRUE(body.ok()) << "intermittent failure must be masked";
   EXPECT_EQ(source.preferred_address(), "b:1");

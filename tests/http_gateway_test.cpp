@@ -115,6 +115,43 @@ TEST_F(GatewayTest, ArchiverStatsRouteIsLiveAndUncached) {
       << "archiver stats take no query options";
 }
 
+TEST_F(GatewayTest, FederationStatsRouteIsLiveAndUncached) {
+  const Response response = gateway_.handle(get("/api/v1/federation"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(header(response, "Content-Type"), "application/json");
+  EXPECT_NE(response.body.find("\"FEDERATION\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"SOURCES\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"PUBLISHER\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"MODE\""), std::string::npos);
+  // No federation endpoints in this testbed: every source polls legacy XML.
+  EXPECT_NE(response.body.find("\"xml\""), std::string::npos);
+  EXPECT_EQ(header(response, "X-Cache"), "bypass");
+  EXPECT_EQ(header(response, "Cache-Control"), "no-store");
+
+  EXPECT_EQ(gateway_.handle(get("/api/v1/federation?x=1")).status, 400)
+      << "federation stats take no query options";
+}
+
+TEST(GatewayFederation, ReportsDeltaSessionsWhenFederated) {
+  gmetad::TestbedSpec spec = single_node_spec();
+  spec.federation = true;
+  spec.soft_state = true;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(3);  // first poll full, later polls incremental
+  Gateway gateway(bed.node("root"), bed.clock());
+  Request request;
+  request.method = "GET";
+  request.target = "/api/v1/federation";
+  request.headers.push_back({"Host", "gw"});
+  const Response response = gateway.handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"delta\""), std::string::npos)
+      << "live sessions must report mode delta: " << response.body;
+  EXPECT_EQ(response.body.find("\"DELTA_POLLS\":0,"), std::string::npos)
+      << "every source should have polled incrementally: " << response.body;
+  EXPECT_NE(response.body.find("\"BYTES_SAVED\""), std::string::npos);
+}
+
 TEST_F(GatewayTest, UiMetaView) {
   const Response response = gateway_.handle(get("/ui/meta"));
   EXPECT_EQ(response.status, 200);
