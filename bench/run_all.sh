@@ -69,5 +69,7 @@ echo "== archiver_throughput"
 "$BENCH_DIR/archiver_throughput" 512 30 20 2048
 echo "== federation_delta"
 "$BENCH_DIR/federation_delta" 50 8 128
+echo "== query_engine"
+"$BENCH_DIR/query_engine" 50 10 200
 
 echo "all BENCH_*.json written to $(pwd)"

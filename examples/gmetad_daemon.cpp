@@ -42,6 +42,9 @@ http_cache_ttl 15
 # http_max_connections 10000       # concurrent-connection cap (503 above)
 # http_event_threads 0             # handler worker threads; 0 = auto
 # http_idle_timeout 30             # idle/slow-loris deadline (s)
+# query_max_scan 1000000           # /api/v1/query: rows scanned per plan (422 above)
+# query_max_groups 10000           # /api/v1/query: distinct groups per plan
+# query_max_result_bytes 1048576   # /api/v1/query: rendered result bytes
 archive on
 archive_step 15
 # archive_dir /var/lib/gmetad       # persist RRD images across restarts
@@ -127,6 +130,12 @@ int main(int argc, char** argv) {
   // The HTTP gateway (web front door) when the config asks for one.
   http::GatewayOptions gateway_options;
   gateway_options.cache_ttl_s = monitor.config().http_cache_ttl_s;
+  gateway_options.query_max_scan =
+      static_cast<std::uint64_t>(monitor.config().query_max_scan);
+  gateway_options.query_max_groups =
+      static_cast<std::uint64_t>(monitor.config().query_max_groups);
+  gateway_options.query_max_result_bytes =
+      static_cast<std::uint64_t>(monitor.config().query_max_result_bytes);
   http::ServerOptions server_options;
   server_options.max_connections =
       static_cast<std::size_t>(monitor.config().http_max_connections);

@@ -281,6 +281,24 @@ Result<rrd::Series> Archiver::fetch_host_metric(
   return it->second.db.fetch(rrd::ConsolidationFn::average, start, end);
 }
 
+Result<rrd::WindowAgg> Archiver::reduce_host_metric(
+    const std::string& source, const std::string& cluster,
+    const std::string& host, const std::string& metric, std::int64_t start,
+    std::int64_t end) const {
+  std::string key;
+  build_host_key(key, source, cluster, host, metric);
+  const Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.databases.find(std::string_view(key));
+  if (it == shard.databases.end()) {
+    return Err(Errc::not_found, "no archive for " + host + "/" + metric);
+  }
+  // The reduction runs under the shard mutex (like fetch), but touches only
+  // the window's rows — a historical query never deserialises files or
+  // copies the ring.
+  return it->second.db.reduce(rrd::ConsolidationFn::average, start, end);
+}
+
 Result<rrd::Series> Archiver::fetch_summary_metric(const std::string& scope,
                                                    const std::string& metric,
                                                    std::int64_t start,

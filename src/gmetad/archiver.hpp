@@ -105,6 +105,17 @@ class Archiver {
                                         std::int64_t start,
                                         std::int64_t end) const;
 
+  /// Reduce a host metric's history over [start, end) in place — the
+  /// query engine's time-range read path.  Walks the round-robin window of
+  /// the finest covering archive under the shard lock and returns only the
+  /// running sums; no Series is materialised and no file is touched.
+  Result<rrd::WindowAgg> reduce_host_metric(const std::string& source,
+                                            const std::string& cluster,
+                                            const std::string& host,
+                                            const std::string& metric,
+                                            std::int64_t start,
+                                            std::int64_t end) const;
+
   /// Fetch a summary metric's history; ds 0 = sum, ds 1 = num.
   Result<rrd::Series> fetch_summary_metric(const std::string& scope,
                                            const std::string& metric,

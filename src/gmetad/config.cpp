@@ -162,6 +162,18 @@ Result<GmetadConfig> parse_config(std::string_view text) {
       auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
       if (!t || *t <= 0) return bad_line(line_no, "bad http_idle_timeout");
       config.http_idle_timeout_s = *t;
+    } else if (key == "query_max_scan") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad query_max_scan");
+      config.query_max_scan = *t;
+    } else if (key == "query_max_groups") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad query_max_groups");
+      config.query_max_groups = *t;
+    } else if (key == "query_max_result_bytes") {
+      auto t = parse_i64(tokens.size() > 1 ? tokens[1] : "");
+      if (!t || *t <= 0) return bad_line(line_no, "bad query_max_result_bytes");
+      config.query_max_result_bytes = *t;
     } else if (key == "poll_threads") {
       auto t = parse_u64(tokens.size() > 1 ? tokens[1] : "");
       if (!t || *t > 256) return bad_line(line_no, "bad poll_threads");

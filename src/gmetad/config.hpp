@@ -75,6 +75,14 @@ struct GmetadConfig {
   /// Idle/slow-loris deadline: a connection with no read/write progress
   /// for this long is closed.
   std::int64_t http_idle_timeout_s = 30;
+  /// /api/v1/query execution budget: max relation rows one plan may scan
+  /// (one per host considered plus one per RRD row a time-range read
+  /// covers).  Breaches fail with a structured 422, never a slow worker.
+  std::int64_t query_max_scan = 1'000'000;
+  /// /api/v1/query budget: max distinct groups one plan may accumulate.
+  std::int64_t query_max_groups = 10'000;
+  /// /api/v1/query budget: max rendered result size in bytes.
+  std::int64_t query_max_result_bytes = 1 << 20;
   /// Shared secret for the soft-state join protocol (empty = joins refused).
   std::string join_key;
   /// A dynamically joined child is pruned after this silence (seconds).
@@ -149,6 +157,9 @@ struct GmetadConfig {
 ///   http_max_connections 10000
 ///   http_event_threads 0                 # handler workers (0 = auto)
 ///   http_idle_timeout 30                 # idle/slow-loris deadline (s)
+///   query_max_scan 1000000               # /api/v1/query budget: rows scanned per plan
+///   query_max_groups 10000               # /api/v1/query budget: distinct groups per plan
+///   query_max_result_bytes 1048576       # /api/v1/query budget: rendered result bytes
 ///   connect_timeout 10
 ///   poll_threads 4                       # 0 = auto, 1 = sequential
 ///   archive off                          # or: archive on

@@ -4,7 +4,11 @@
 #include "common/strings.hpp"
 #include "xml/json.hpp"
 #include "gmetad/render/traversal.hpp"
+#include "http/json_body.hpp"
 #include "presenter/html_backend.hpp"
+#include "query/executor.hpp"
+#include "query/grammar.hpp"
+#include "query/render.hpp"
 
 namespace ganglia::http {
 
@@ -56,6 +60,9 @@ Response Gateway::error_to_response(const Error& error) {
     case Errc::not_found:
       status = 404;
       break;
+    case Errc::exhausted:
+      status = 422;  // a resource budget, not a malformed request
+      break;
     default:
       status = 500;
   }
@@ -93,9 +100,10 @@ Response Gateway::route(const Request& request) {
     auto content = render(path, *decoded_query);
     if (!content.ok()) return error_to_response(content.error());
     if (content->no_store) {
-      // Live stats: every request reads the current counters; nothing is
-      // cached on either side.
-      Response response = Response::make(200, std::move(content->body));
+      // Live stats and structured query errors: every request reads the
+      // current state; nothing is cached on either side.
+      Response response =
+          Response::make(content->status, std::move(content->body));
       response.set_header("Content-Type", content->content_type);
       response.set_header("Cache-Control", "no-store");
       response.set_header("X-Cache", "bypass");
@@ -185,6 +193,9 @@ Result<Gateway::Content> Gateway::render_api(std::string_view rest,
     }
     return render_server_stats();
   }
+  if (rest == "/query") {
+    return render_query(query);
+  }
   auto line = query_line(rest, query);
   if (!line.ok()) return line.error();
   // Same traversal as /xml, JSON backend — the old design rendered XML,
@@ -273,33 +284,30 @@ Result<Gateway::Content> Gateway::render_ui(std::string_view path) {
 
 Gateway::Content Gateway::render_archiver_stats() {
   gmetad::Archiver& archiver = monitor_.archiver();
-  std::string body;
-  xml::JsonWriter w(body);
-  w.begin_object();
-  w.key("ARCHIVER");
-  w.begin_object();
-  w.key("DATABASES");
-  w.value(static_cast<std::uint64_t>(archiver.database_count()));
-  w.key("UPDATES");
-  w.value(archiver.rrd_updates());
-  w.key("STORAGE_BYTES");
-  w.value(static_cast<std::uint64_t>(archiver.storage_bytes()));
-  w.key("DIRTY");
-  w.value(static_cast<std::uint64_t>(archiver.dirty_count()));
-  w.key("FLUSHES");
-  w.value(archiver.flush_count());
-  const double since = archiver.seconds_since_last_flush();
-  w.key("SECONDS_SINCE_FLUSH");
-  if (since < 0) {
-    w.null();  // nothing flushed yet (or persistence disabled)
-  } else {
-    w.value(since);
-  }
-  w.key("WRITE_BEHIND");
-  w.value(archiver.flusher_running());
-  w.end_object();
-  w.end_object();
-  body += '\n';
+  std::string body = json_object_body([&](xml::JsonWriter& w) {
+    w.key("ARCHIVER");
+    w.begin_object();
+    w.key("DATABASES");
+    w.value(static_cast<std::uint64_t>(archiver.database_count()));
+    w.key("UPDATES");
+    w.value(archiver.rrd_updates());
+    w.key("STORAGE_BYTES");
+    w.value(static_cast<std::uint64_t>(archiver.storage_bytes()));
+    w.key("DIRTY");
+    w.value(static_cast<std::uint64_t>(archiver.dirty_count()));
+    w.key("FLUSHES");
+    w.value(archiver.flush_count());
+    const double since = archiver.seconds_since_last_flush();
+    w.key("SECONDS_SINCE_FLUSH");
+    if (since < 0) {
+      w.null();  // nothing flushed yet (or persistence disabled)
+    } else {
+      w.value(since);
+    }
+    w.key("WRITE_BEHIND");
+    w.value(archiver.flusher_running());
+    w.end_object();
+  });
   Content content{std::move(body), std::string(kJsonType), {}};
   content.no_store = true;
   return content;
@@ -307,57 +315,54 @@ Gateway::Content Gateway::render_archiver_stats() {
 
 Gateway::Content Gateway::render_federation_stats() {
   const std::int64_t now_s = clock_.now_us() / kMicrosPerSecond;
-  std::string body;
-  xml::JsonWriter w(body);
-  w.begin_object();
-  w.key("FEDERATION");
-  w.begin_object();
-  w.key("SOURCES");
-  w.begin_array();
-  for (const gmetad::DataSource* source : monitor_.sources()) {
+  std::string body = json_object_body([&](xml::JsonWriter& w) {
+    w.key("FEDERATION");
     w.begin_object();
-    w.key("NAME");
-    w.value(source->name());
-    w.key("MODE");
-    w.value(source->session_mode(now_s));
-    w.key("DELTA_POLLS");
-    w.value(source->delta_polls());
-    w.key("FULL_POLLS");
-    w.value(source->full_polls());
-    w.key("RESYNCS");
-    w.value(source->delta_resyncs());
-    w.key("BYTES_DELTA");
-    w.value(source->bytes_delta());
-    w.key("BYTES_FULL");
-    w.value(source->bytes_full());
-    w.key("BYTES_SAVED");
-    w.value(source->bytes_saved());
+    w.key("SOURCES");
+    w.begin_array();
+    for (const gmetad::DataSource* source : monitor_.sources()) {
+      w.begin_object();
+      w.key("NAME");
+      w.value(source->name());
+      w.key("MODE");
+      w.value(source->session_mode(now_s));
+      w.key("DELTA_POLLS");
+      w.value(source->delta_polls());
+      w.key("FULL_POLLS");
+      w.value(source->full_polls());
+      w.key("RESYNCS");
+      w.value(source->delta_resyncs());
+      w.key("BYTES_DELTA");
+      w.value(source->bytes_delta());
+      w.key("BYTES_FULL");
+      w.value(source->bytes_full());
+      w.key("BYTES_SAVED");
+      w.value(source->bytes_saved());
+      w.end_object();
+    }
+    w.end_array();
+    const fed::PublisherStats stats = monitor_.federation_stats();
+    w.key("PUBLISHER");
+    w.begin_object();
+    w.key("POLLS");
+    w.value(stats.polls);
+    w.key("DELTAS");
+    w.value(stats.deltas);
+    w.key("FULLS");
+    w.value(stats.fulls);
+    w.key("PINGS");
+    w.value(stats.pings);
+    w.key("ERRORS");
+    w.value(stats.errors);
+    w.key("EVICTIONS");
+    w.value(stats.evictions);
+    w.key("SESSIONS");
+    w.value(static_cast<std::uint64_t>(stats.sessions));
+    w.key("BYTES_OUT");
+    w.value(stats.bytes_out);
     w.end_object();
-  }
-  w.end_array();
-  const fed::PublisherStats stats = monitor_.federation_stats();
-  w.key("PUBLISHER");
-  w.begin_object();
-  w.key("POLLS");
-  w.value(stats.polls);
-  w.key("DELTAS");
-  w.value(stats.deltas);
-  w.key("FULLS");
-  w.value(stats.fulls);
-  w.key("PINGS");
-  w.value(stats.pings);
-  w.key("ERRORS");
-  w.value(stats.errors);
-  w.key("EVICTIONS");
-  w.value(stats.evictions);
-  w.key("SESSIONS");
-  w.value(static_cast<std::uint64_t>(stats.sessions));
-  w.key("BYTES_OUT");
-  w.value(stats.bytes_out);
-  w.end_object();
-  w.end_object();
-  w.end_object();
-  body += '\n';
+    w.end_object();
+  });
   // Session state and counters move with every poll; always serve live.
   Content content{std::move(body), std::string(kJsonType), {}};
   content.no_store = true;
@@ -369,28 +374,25 @@ Result<Gateway::Content> Gateway::render_server_stats() {
     return Err(Errc::not_found, "no http server attached");
   }
   const HttpServer::Stats stats = server_->stats();
-  std::string body;
-  xml::JsonWriter w(body);
-  w.begin_object();
-  w.key("SERVER");
-  w.begin_object();
-  w.key("ACTIVE_CONNECTIONS");
-  w.value(static_cast<std::uint64_t>(server_->active_connections()));
-  w.key("CONNECTIONS");
-  w.value(stats.connections);
-  w.key("REQUESTS");
-  w.value(stats.requests);
-  w.key("BAD_REQUESTS");
-  w.value(stats.bad_requests);
-  w.key("REJECTED_OVER_CAP");
-  w.value(stats.rejected_over_cap);
-  w.key("TIMEOUTS");
-  w.value(stats.timeouts);
-  w.key("BACKPRESSURE");
-  w.value(stats.backpressure);
-  w.end_object();
-  w.end_object();
-  body += '\n';
+  std::string body = json_object_body([&](xml::JsonWriter& w) {
+    w.key("SERVER");
+    w.begin_object();
+    w.key("ACTIVE_CONNECTIONS");
+    w.value(static_cast<std::uint64_t>(server_->active_connections()));
+    w.key("CONNECTIONS");
+    w.value(stats.connections);
+    w.key("REQUESTS");
+    w.value(stats.requests);
+    w.key("BAD_REQUESTS");
+    w.value(stats.bad_requests);
+    w.key("REJECTED_OVER_CAP");
+    w.value(stats.rejected_over_cap);
+    w.key("TIMEOUTS");
+    w.value(stats.timeouts);
+    w.key("BACKPRESSURE");
+    w.value(stats.backpressure);
+    w.end_object();
+  });
   // Counters move on every request; caching one snapshot would serve
   // stale operational truth.
   Content content{std::move(body), std::string(kJsonType), {}};
@@ -403,41 +405,81 @@ Result<Gateway::Content> Gateway::render_members() {
   if (agent == nullptr) {
     return Err(Errc::not_found, "membership gossip is not enabled");
   }
-  std::string body;
-  xml::JsonWriter w(body);
-  w.begin_object();
-  w.key("MEMBERS");
-  w.begin_array();
-  for (const gossip::MemberEntry& member : agent->members()) {
-    w.begin_object();
-    w.key("ID");
-    w.value(member.id);
-    w.key("ADDRESS");
-    w.value(member.address);
-    w.key("STATE");
-    w.value(gossip::member_state_name(member.state));
-    w.key("INCARNATION");
-    w.value(member.incarnation);
-    w.key("HEARTBEAT");
-    w.value(member.heartbeat);
-    w.key("SELF");
-    w.value(member.id == agent->options().id);
-    w.key("META");
-    w.begin_object();
-    for (const auto& [key, value] : member.meta) {
-      w.key(key);
-      w.value(value);
+  std::string body = json_object_body([&](xml::JsonWriter& w) {
+    w.key("MEMBERS");
+    w.begin_array();
+    for (const gossip::MemberEntry& member : agent->members()) {
+      w.begin_object();
+      w.key("ID");
+      w.value(member.id);
+      w.key("ADDRESS");
+      w.value(member.address);
+      w.key("STATE");
+      w.value(gossip::member_state_name(member.state));
+      w.key("INCARNATION");
+      w.value(member.incarnation);
+      w.key("HEARTBEAT");
+      w.value(member.heartbeat);
+      w.key("SELF");
+      w.value(member.id == agent->options().id);
+      w.key("META");
+      w.begin_object();
+      for (const auto& [key, value] : member.meta) {
+        w.key(key);
+        w.value(value);
+      }
+      w.end_object();
+      w.end_object();
     }
-    w.end_object();
-    w.end_object();
-  }
-  w.end_array();
-  w.end_object();
-  body += '\n';
+    w.end_array();
+  });
   // Liveness must be observed live: a cached SUSPECT row would defeat the
   // point of looking.
   Content content{std::move(body), std::string(kJsonType), {}};
   content.no_store = true;
+  return content;
+}
+
+Gateway::Content Gateway::render_query(std::string_view query) {
+  query::Budget budget;
+  budget.max_scan = options_.query_max_scan;
+  budget.max_groups = options_.query_max_groups;
+  budget.max_result_bytes = options_.query_max_result_bytes;
+
+  // Grammar and budget failures are structured JSON documents on the
+  // no_store path: 400s carry hostile text and 422s depend on the budget
+  // knobs, so neither belongs in the response cache.
+  auto fail = [](const query::QueryError& error) {
+    Content content{json_object_body([&](xml::JsonWriter& w) {
+                      query::render_error_json(error, w);
+                    }),
+                    std::string(kJsonType),
+                    {}};
+    content.no_store = true;
+    content.status = error.status;
+    return content;
+  };
+
+  const std::int64_t now_s = clock_.now_us() / kMicrosPerSecond;
+  auto plan = query::parse_plan(query, now_s);
+  if (!plan.ok()) return fail(plan.error());
+
+  // Charged to the node's CPU meter like every other render: the paper's
+  // figures track what monitoring costs the monitored.
+  ScopedCpuMeter meter(monitor_.cpu_meter());
+  auto output =
+      query::execute(*plan, monitor_.store(), &monitor_.archiver(), budget);
+  if (!output.ok()) return fail(output.error());
+
+  Content content{json_object_body([&](xml::JsonWriter& w) {
+                    query::render_json(*plan, *output, w);
+                  }),
+                  std::string(kJsonType), std::move(output->deps)};
+  if (content.body.size() > budget.max_result_bytes) {
+    return fail(query::budget_exceeded("query_max_result_bytes",
+                                       budget.max_result_bytes,
+                                       content.body.size()));
+  }
   return content;
 }
 
@@ -455,6 +497,9 @@ Gateway::Content Gateway::render_index() const {
       "<li><a href=\"/xml/\">/xml/&lt;path&gt;</a> — query-engine XML "
       "(?filter=summary)</li>"
       "<li><a href=\"/api/v1/\">/api/v1/&lt;path&gt;</a> — JSON API</li>"
+      "<li><a href=\"/api/v1/query?metric=load_one&amp;top=10\">"
+      "/api/v1/query</a> — relational query engine (filter, group-by, "
+      "aggregate, top-k)</li>"
       "<li><a href=\"/api/v1/archiver\">/api/v1/archiver</a> — archiver "
       "stats (live, uncached)</li>"
       "<li><a href=\"/api/v1/federation\">/api/v1/federation</a> — delta "

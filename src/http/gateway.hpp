@@ -16,6 +16,12 @@
 //                             object: per-source session mode and delta vs
 //                             full counters, plus this node's publisher
 //                             counters; never cached)
+//   /api/v1/query?metric=...  relational query engine (src/query): filter →
+//                             group-by → aggregate → order-by/top-k → limit
+//                             evaluated server-side, QUERY JSON object;
+//                             cached per plan with exact per-source deps.
+//                             Grammar errors are 400, budget breaches 422,
+//                             both with a structured ERROR JSON body.
 //   /ui/meta                  meta view (per-source summary table)
 //   /ui/cluster/<cluster>     cluster view (per-host table)
 //   /ui/host/<cluster>/<host> host page with inline SVG RRD graphs
@@ -51,6 +57,12 @@ struct GatewayOptions {
   std::vector<std::string> graph_metrics = {"load_one", "cpu_user",
                                             "mem_free"};
   std::int64_t history_window_s = 3600;
+  /// /api/v1/query execution budget; the daemon forwards GmetadConfig's
+  /// query_max_* knobs here (same wiring as cache_ttl_s).  Breaches fail
+  /// with a structured 422.
+  std::uint64_t query_max_scan = 1'000'000;
+  std::uint64_t query_max_groups = 10'000;
+  std::uint64_t query_max_result_bytes = 1u << 20;
 };
 
 class Gateway {
@@ -93,6 +105,9 @@ class Gateway {
     /// Live stats views bypass the response cache entirely (served with
     /// Cache-Control: no-store, no ETag).
     bool no_store = false;
+    /// Status for no_store bodies (structured query errors ride this path
+    /// as 400/422 JSON documents); cached content is always 200.
+    int status = 200;
   };
 
   /// Render a target from the store (cache miss path).  Non-200 outcomes
@@ -107,6 +122,7 @@ class Gateway {
   Content render_federation_stats();
   Result<Content> render_members();
   Result<Content> render_server_stats();
+  Content render_query(std::string_view query);
 
   /// Map gateway/query errors onto HTTP statuses (400/404/500).
   static Response error_to_response(const Error& error);

@@ -1,0 +1,30 @@
+// Shared JSON API body builder.
+//
+// Every /api/v1 JSON document the gateway composes by hand — the stats
+// views and the query route alike — is one root object followed by a
+// trailing newline.  Before this helper each route spelled the
+// string/writer/begin/end/newline dance itself; now the envelope lives in
+// exactly one place and a route only writes its members.
+#pragma once
+
+#include <string>
+
+#include "xml/json.hpp"
+
+namespace ganglia::http {
+
+/// Build a complete JSON body: `fill(writer)` emits the members of the
+/// root object (keys + values); the envelope and trailing newline are
+/// handled here.
+template <class Fill>
+std::string json_object_body(Fill&& fill) {
+  std::string body;
+  xml::JsonWriter w(body);
+  w.begin_object();
+  fill(w);
+  w.end_object();
+  body += '\n';
+  return body;
+}
+
+}  // namespace ganglia::http

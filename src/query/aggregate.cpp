@@ -1,0 +1,99 @@
+#include "query/aggregate.hpp"
+
+#include <algorithm>
+
+namespace ganglia::query {
+
+namespace {
+
+/// Key columns an output row carries for each grouping.
+void key_columns(GroupBy group, std::string_view source,
+                 std::string_view cluster, std::string_view host,
+                 std::vector<std::string>& out) {
+  switch (group) {
+    case GroupBy::none:
+      break;
+    case GroupBy::source:
+      out.emplace_back(source);
+      break;
+    case GroupBy::cluster:
+      out.emplace_back(source);
+      out.emplace_back(cluster);
+      break;
+    case GroupBy::host:
+      out.emplace_back(source);
+      out.emplace_back(cluster);
+      out.emplace_back(host);
+      break;
+  }
+}
+
+/// Lexicographic key comparison, column by column.
+bool key_less(const std::vector<std::string>& a,
+              const std::vector<std::string>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+bool GroupTable::add(std::string_view source, std::string_view cluster,
+                     std::string_view host, GroupBy group, double value) {
+  key_buf_.clear();
+  switch (group) {
+    case GroupBy::none:
+      break;
+    case GroupBy::host:
+      key_buf_ += source;
+      key_buf_ += '\x1f';
+      key_buf_ += cluster;
+      key_buf_ += '\x1f';
+      key_buf_ += host;
+      break;
+    case GroupBy::cluster:
+      key_buf_ += source;
+      key_buf_ += '\x1f';
+      key_buf_ += cluster;
+      break;
+    case GroupBy::source:
+      key_buf_ += source;
+      break;
+  }
+
+  auto it = index_.find(key_buf_);
+  if (it == index_.end()) {
+    if (groups_.size() >= max_groups_) return false;
+    it = index_.emplace(key_buf_, groups_.size()).first;
+    Group& fresh = groups_.emplace_back();
+    key_columns(group, source, cluster, host, fresh.key);
+  }
+  groups_[it->second].acc.add(value);
+  return true;
+}
+
+std::vector<Row> GroupTable::finish(const Plan& plan) && {
+  std::vector<Row> rows;
+  rows.reserve(groups_.size());
+  for (Group& group : groups_) {
+    Row row;
+    row.key = std::move(group.key);
+    row.value = group.acc.finalize(plan.agg);
+    row.hosts = group.acc.count;
+    rows.push_back(std::move(row));
+  }
+
+  const bool desc = plan.descending;
+  if (plan.order == OrderBy::value) {
+    std::sort(rows.begin(), rows.end(), [desc](const Row& a, const Row& b) {
+      if (a.value != b.value) return desc ? a.value > b.value : a.value < b.value;
+      return key_less(a.key, b.key);  // deterministic tie-break
+    });
+  } else {
+    std::sort(rows.begin(), rows.end(), [desc](const Row& a, const Row& b) {
+      return desc ? key_less(b.key, a.key) : key_less(a.key, b.key);
+    });
+  }
+  if (plan.limit != 0 && rows.size() > plan.limit) rows.resize(plan.limit);
+  return rows;
+}
+
+}  // namespace ganglia::query

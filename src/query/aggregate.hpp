@@ -1,0 +1,88 @@
+// Group table + aggregators for the query executor.
+//
+// One accumulator per distinct group key keeps every running reduction
+// (sum, count, min, max) so any Agg finalises in O(1) — the table never
+// needs a second pass over the inputs.  Insertion order is preserved: the
+// executor feeds hosts in tree order (sources sorted by name, clusters in
+// snapshot order, hosts sorted within a cluster), so two evaluations of
+// the same plan over the same store accumulate floating-point sums in the
+// identical order and produce bit-identical results (the property the
+// equivalence tests rely on).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/plan.hpp"
+
+namespace ganglia::query {
+
+/// One output row: the group key split into its columns, the finalised
+/// aggregate, and how many hosts contributed.
+struct Row {
+  std::vector<std::string> key;  ///< [source], [cluster], [host] per GroupBy
+  double value = 0;
+  std::uint64_t hosts = 0;
+};
+
+/// Running reduction for one group.
+struct Accumulator {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::uint64_t count = 0;
+
+  void add(double v) noexcept {
+    sum += v;
+    if (v < min) min = v;
+    if (v > max) max = v;
+    ++count;
+  }
+
+  double finalize(Agg agg) const noexcept {
+    switch (agg) {
+      case Agg::sum: return sum;
+      case Agg::avg: return count == 0 ? 0 : sum / static_cast<double>(count);
+      case Agg::min: return min;
+      case Agg::max: return max;
+      case Agg::count: return static_cast<double>(count);
+    }
+    return 0;
+  }
+};
+
+/// Group table with a hard cap.  add() returns false when admitting the
+/// value would create a group beyond `max_groups` — the executor turns
+/// that into a budget_exceeded error.
+class GroupTable {
+ public:
+  explicit GroupTable(std::uint64_t max_groups) : max_groups_(max_groups) {}
+
+  bool add(std::string_view source, std::string_view cluster,
+           std::string_view host, GroupBy group, double value);
+
+  std::size_t size() const noexcept { return groups_.size(); }
+
+  /// Finalise, order (by value or key, asc/desc, ties broken by key
+  /// ascending so output is deterministic), and truncate to `limit`
+  /// (0 = all).
+  std::vector<Row> finish(const Plan& plan) &&;
+
+ private:
+  struct Group {
+    std::vector<std::string> key;
+    Accumulator acc;
+  };
+
+  std::uint64_t max_groups_;
+  /// Composite key ("source\x1fcluster\x1fhost" truncated per GroupBy) →
+  /// index into groups_, which preserves first-seen order.
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<Group> groups_;
+  std::string key_buf_;  ///< reused per add()
+};
+
+}  // namespace ganglia::query

@@ -1,0 +1,66 @@
+// Plan executor: filter → group-by → aggregate → order-by/top-k → limit
+// over the live store, with RRD time-range reads through the archiver.
+//
+// The executor flattens the hierarchical tree into the relation
+// (source, cluster, host, metric, value) exactly as a client folding the
+// whole dump would see it, and walks it in a fixed order — sources sorted
+// by name (store order), clusters in snapshot order (top-level clusters
+// first, then grids depth-first), hosts sorted within a cluster.  The
+// property tests rely on that order: a naive whole-tree fold visiting the
+// same rows produces bit-identical aggregates.
+//
+// Reads follow the paper's freshness-for-latency trade: the walk holds
+// shared_ptr snapshots, never locks against the pollers, and historical
+// windows reduce in place inside the archiver's round-robin rings
+// (rrd::RoundRobinDb::reduce) — a time-range query never touches a file.
+//
+// The budget is enforced *during* the walk: every host considered charges
+// one scan unit, every RRD row a historical window covers charges another,
+// and the group table is capped — a hostile plan fails early with a
+// structured budget_exceeded error instead of pinning a worker.
+//
+// Cache contract: Output carries render::Deps mirroring the walk — a
+// literal source selector depends on exactly that source's publish
+// version; anything wider (regex / match-all) depends on every source plus
+// the source-set structure version.  The gateway stores these deps with
+// the cached response, so publishing source A never invalidates a cached
+// B-only query (PR 3's fragment-cache discipline, applied to query
+// results).
+#pragma once
+
+#include "gmetad/archiver.hpp"
+#include "gmetad/render/deps.hpp"
+#include "gmetad/store.hpp"
+#include "query/aggregate.hpp"
+#include "query/plan.hpp"
+
+namespace ganglia::query {
+
+/// Execution accounting, reported with every result (and useful for
+/// debugging a plan that matched nothing).
+struct ExecStats {
+  std::uint64_t scanned = 0;        ///< budget units consumed
+  std::uint64_t matched_hosts = 0;  ///< hosts that contributed a value
+  std::uint64_t groups = 0;         ///< distinct groups before limit
+  /// Summary-form clusters/grids in scope whose hosts live at a child
+  /// authority — the relational view cannot descend into them (paper
+  /// §2.2's pointer tree); they are skipped and counted.
+  std::uint64_t summary_skipped = 0;
+};
+
+/// A finished query: ordered rows, the dependency set for response
+/// caching, and the stats above.
+struct Output {
+  std::vector<Row> rows;
+  gmetad::render::Deps deps;
+  ExecStats stats;
+};
+
+/// Evaluate `plan` against the store (live values) or the archiver
+/// (plan.range set).  `archiver` may be null only for live plans from
+/// callers without archives; historical plans then fail cleanly.
+Expected<Output> execute(const Plan& plan, const gmetad::Store& store,
+                         const gmetad::Archiver* archiver,
+                         const Budget& budget);
+
+}  // namespace ganglia::query

@@ -1,0 +1,351 @@
+#include "query/grammar.hpp"
+
+#include <algorithm>
+
+#include "common/strings.hpp"
+
+namespace ganglia::query {
+
+std::string_view agg_name(Agg a) noexcept {
+  switch (a) {
+    case Agg::sum: return "sum";
+    case Agg::avg: return "avg";
+    case Agg::min: return "min";
+    case Agg::max: return "max";
+    case Agg::count: return "count";
+  }
+  return "?";
+}
+
+std::optional<Agg> agg_from_name(std::string_view s) noexcept {
+  if (s == "sum") return Agg::sum;
+  if (s == "avg") return Agg::avg;
+  if (s == "min") return Agg::min;
+  if (s == "max") return Agg::max;
+  if (s == "count") return Agg::count;
+  return std::nullopt;
+}
+
+std::string_view group_name(GroupBy g) noexcept {
+  switch (g) {
+    case GroupBy::none: return "none";
+    case GroupBy::host: return "host";
+    case GroupBy::cluster: return "cluster";
+    case GroupBy::source: return "source";
+  }
+  return "?";
+}
+
+std::optional<GroupBy> group_from_name(std::string_view s) noexcept {
+  if (s == "none") return GroupBy::none;
+  if (s == "host") return GroupBy::host;
+  if (s == "cluster") return GroupBy::cluster;
+  if (s == "source") return GroupBy::source;
+  return std::nullopt;
+}
+
+std::string_view order_name(OrderBy o) noexcept {
+  return o == OrderBy::value ? "value" : "key";
+}
+
+std::string_view cmp_name(Cmp c) noexcept {
+  switch (c) {
+    case Cmp::lt: return "<";
+    case Cmp::le: return "<=";
+    case Cmp::gt: return ">";
+    case Cmp::ge: return ">=";
+    case Cmp::eq: return "==";
+    case Cmp::ne: return "!=";
+  }
+  return "?";
+}
+
+bool cmp_eval(Cmp c, double lhs, double rhs) noexcept {
+  switch (c) {
+    case Cmp::lt: return lhs < rhs;
+    case Cmp::le: return lhs <= rhs;
+    case Cmp::gt: return lhs > rhs;
+    case Cmp::ge: return lhs >= rhs;
+    case Cmp::eq: return lhs == rhs;
+    case Cmp::ne: return lhs != rhs;
+  }
+  return false;
+}
+
+std::string_view fold_name(WindowFold f) noexcept {
+  switch (f) {
+    case WindowFold::avg: return "avg";
+    case WindowFold::min: return "min";
+    case WindowFold::max: return "max";
+  }
+  return "?";
+}
+
+std::optional<WindowFold> fold_from_name(std::string_view s) noexcept {
+  if (s == "avg") return WindowFold::avg;
+  if (s == "min") return WindowFold::min;
+  if (s == "max") return WindowFold::max;
+  return std::nullopt;
+}
+
+QueryError bad_query(std::string detail) {
+  QueryError err;
+  err.status = 400;
+  err.code = "bad_query";
+  err.detail = std::move(detail);
+  return err;
+}
+
+QueryError budget_exceeded(std::string_view limit, std::uint64_t cap,
+                           std::uint64_t observed) {
+  QueryError err;
+  err.status = 422;
+  err.code = "budget_exceeded";
+  err.limit = std::string(limit);
+  err.cap = cap;
+  err.observed = observed;
+  err.detail = std::string(limit) + " exceeded: observed " +
+               std::to_string(observed) + ", cap " + std::to_string(cap);
+  return err;
+}
+
+namespace {
+
+/// Parse a selector value: "~regex" compiles (under kMaxRegexBytes via the
+/// shared path grammar caps), anything else is a literal.
+bool parse_selector(std::string_view value, gmetad::QuerySegment& out,
+                    std::string_view what, QueryError& err) {
+  // Reuse the hardened path parser for its regex cap + compilation; a
+  // single-segment path "/x" or "/~re" exercises exactly the same checks.
+  auto parsed = gmetad::parse_query("/" + std::string(value));
+  if (!parsed.ok()) {
+    err = bad_query("bad " + std::string(what) + " selector: " +
+                    parsed.error().message);
+    return false;
+  }
+  if (parsed->segments.size() != 1) {
+    err = bad_query(std::string(what) + " selector must be a single name");
+    return false;
+  }
+  out = std::move(parsed->segments.front());
+  return true;
+}
+
+/// One `metric OP number` condition.
+bool parse_condition(std::string_view text, MetricCond& out,
+                     QueryError& err) {
+  static constexpr struct {
+    std::string_view token;
+    Cmp op;
+  } kOps[] = {
+      // Two-char operators first so ">=" doesn't parse as ">" + "=4".
+      {">=", Cmp::ge}, {"<=", Cmp::le}, {"==", Cmp::eq},
+      {"!=", Cmp::ne}, {">", Cmp::gt},  {"<", Cmp::lt},
+  };
+  for (const auto& candidate : kOps) {
+    const auto pos = text.find(candidate.token);
+    if (pos == std::string_view::npos) continue;
+    const std::string_view metric = trim(text.substr(0, pos));
+    const std::string_view number =
+        trim(text.substr(pos + candidate.token.size()));
+    if (metric.empty()) {
+      err = bad_query("where condition missing metric name: '" +
+                      std::string(text) + "'");
+      return false;
+    }
+    const auto value = parse_double(number);
+    if (!value) {
+      err = bad_query("where condition needs a numeric threshold: '" +
+                      std::string(text) + "'");
+      return false;
+    }
+    out.metric = std::string(metric);
+    out.op = candidate.op;
+    out.threshold = *value;
+    return true;
+  }
+  err = bad_query("where condition needs an operator (< <= > >= == !=): '" +
+                  std::string(text) + "'");
+  return false;
+}
+
+}  // namespace
+
+Expected<Plan> parse_plan(std::string_view query_string, std::int64_t now) {
+  if (query_string.size() > kMaxPlanBytes) {
+    return bad_query("query exceeds " + std::to_string(kMaxPlanBytes) +
+                     " bytes");
+  }
+
+  Plan plan;
+  bool have_order = false;
+  bool have_dir = false;
+  bool have_limit = false;
+  bool have_top = false;
+  bool have_range = false;
+  bool have_last = false;
+  bool have_cf = false;
+  WindowFold fold = WindowFold::avg;
+  std::vector<std::string_view> seen;
+
+  for (std::string_view param : split(query_string, '&', /*skip_empty=*/true)) {
+    const auto eq = param.find('=');
+    if (eq == std::string_view::npos) {
+      return bad_query("parameter without '=': '" + std::string(param) + "'");
+    }
+    const std::string_view key = param.substr(0, eq);
+    const std::string_view value = param.substr(eq + 1);
+    if (value.size() > kMaxParamBytes) {
+      return bad_query("parameter '" + std::string(key) + "' exceeds " +
+                       std::to_string(kMaxParamBytes) + " bytes");
+    }
+    if (std::find(seen.begin(), seen.end(), key) != seen.end()) {
+      return bad_query("duplicate parameter '" + std::string(key) + "'");
+    }
+    seen.push_back(key);
+    QueryError err;
+
+    if (key == "metric") {
+      if (value.empty()) return bad_query("empty metric name");
+      plan.metric = std::string(value);
+    } else if (key == "from") {
+      // Scope path through the hardened path grammar (shared caps).
+      auto parsed = gmetad::parse_query(value);
+      if (!parsed.ok()) {
+        return bad_query("bad from path: " + parsed.error().message);
+      }
+      if (parsed->summary) {
+        return bad_query("from path takes no ?filter option");
+      }
+      if (parsed->segments.size() > 2) {
+        return bad_query("from path is at most /<source>/<cluster>");
+      }
+      if (!parsed->segments.empty()) {
+        plan.source_sel = std::move(parsed->segments[0]);
+      }
+      if (parsed->segments.size() == 2) {
+        plan.cluster_sel = std::move(parsed->segments[1]);
+      }
+    } else if (key == "host") {
+      if (!parse_selector(value, plan.host_sel, "host", err)) return err;
+    } else if (key == "where") {
+      for (std::string_view cond :
+           split(value, ',', /*skip_empty=*/true)) {
+        if (plan.where.size() >= kMaxConditions) {
+          return bad_query("more than " + std::to_string(kMaxConditions) +
+                           " where conditions");
+        }
+        MetricCond parsed_cond;
+        if (!parse_condition(cond, parsed_cond, err)) return err;
+        plan.where.push_back(std::move(parsed_cond));
+      }
+    } else if (key == "up") {
+      if (value == "1") {
+        plan.up = true;
+      } else if (value == "0") {
+        plan.up = false;
+      } else {
+        return bad_query("up must be 1 or 0");
+      }
+    } else if (key == "group") {
+      const auto group = group_from_name(value);
+      if (!group) {
+        return bad_query("unknown group '" + std::string(value) + "'");
+      }
+      plan.group = *group;
+    } else if (key == "agg") {
+      const auto agg = agg_from_name(value);
+      if (!agg) return bad_query("unknown agg '" + std::string(value) + "'");
+      plan.agg = *agg;
+    } else if (key == "order") {
+      if (value == "value") {
+        plan.order = OrderBy::value;
+      } else if (value == "key") {
+        plan.order = OrderBy::key;
+      } else {
+        return bad_query("order must be value or key");
+      }
+      have_order = true;
+    } else if (key == "dir") {
+      if (value == "asc") {
+        plan.descending = false;
+      } else if (value == "desc") {
+        plan.descending = true;
+      } else {
+        return bad_query("dir must be asc or desc");
+      }
+      have_dir = true;
+    } else if (key == "limit" || key == "top") {
+      const auto n = parse_u64(value);
+      if (!n || *n == 0) {
+        return bad_query(std::string(key) + " must be a positive integer");
+      }
+      plan.limit = static_cast<std::size_t>(*n);
+      have_limit = true;
+      if (key == "top") have_top = true;
+    } else if (key == "range") {
+      const auto colon = value.find(':');
+      if (colon == std::string_view::npos) {
+        return bad_query("range must be <start>:<end>");
+      }
+      const auto start = parse_i64(value.substr(0, colon));
+      const auto end = parse_i64(value.substr(colon + 1));
+      if (!start || !end || *end <= *start) {
+        return bad_query("range needs integer seconds with end > start");
+      }
+      plan.range = TimeRange{*start, *end, WindowFold::avg};
+      have_range = true;
+    } else if (key == "last") {
+      const auto seconds = parse_i64(value);
+      if (!seconds || *seconds <= 0) {
+        return bad_query("last must be a positive number of seconds");
+      }
+      plan.range = TimeRange{now - *seconds, now, WindowFold::avg};
+      have_last = true;
+    } else if (key == "cf") {
+      const auto parsed_fold = fold_from_name(value);
+      if (!parsed_fold) {
+        return bad_query("cf must be avg, min, or max");
+      }
+      fold = *parsed_fold;
+      have_cf = true;
+    } else {
+      return bad_query("unknown parameter '" + std::string(key) + "'");
+    }
+  }
+
+  // Cross-parameter checks.
+  if (have_range && have_last) {
+    return bad_query("range and last are mutually exclusive");
+  }
+  if (have_cf && !plan.range) {
+    return bad_query("cf requires range or last");
+  }
+  if (plan.range) plan.range->fold = fold;
+  if (have_top && (have_order || have_dir)) {
+    return bad_query("top already implies order=value dir=desc");
+  }
+  if (have_top && std::find(seen.begin(), seen.end(), "limit") != seen.end()) {
+    return bad_query("top and limit are mutually exclusive");
+  }
+  if (plan.metric.empty() && plan.agg != Agg::count) {
+    return bad_query("metric is required unless agg=count");
+  }
+  if (plan.metric.empty() && plan.range) {
+    return bad_query("time-range plans need a metric");
+  }
+  if (!plan.where.empty() && plan.range) {
+    // WHERE evaluates live values; mixing it with a historical window
+    // would silently filter on *current* state.  Refuse instead.
+    return bad_query("where conditions apply to live plans only");
+  }
+  if (!have_limit && !have_order) {
+    // Unlimited, unordered output defaults to key order so results are
+    // deterministic and diff-friendly.
+    plan.order = OrderBy::key;
+    plan.descending = false;
+  }
+  return plan;
+}
+
+}  // namespace ganglia::query

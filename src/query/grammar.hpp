@@ -1,0 +1,49 @@
+// Query-string grammar for /api/v1/query.
+//
+// The query string is an &-separated list of key=value parameters, each
+// appearing at most once.  All validation happens here: the executor only
+// ever sees a checked Plan, never the original text.
+//
+//   metric=<name>            metric to aggregate (required unless agg=count)
+//   from=/<source>[/<cluster>]
+//                            scope path; segments are literal or ~regex and
+//                            go through gmetad::parse_query, inheriting its
+//                            4096B / 32-segment / 128B-regex hard caps.
+//                            Cluster scope matches at any grid depth (the
+//                            relational view flattens the hierarchy).
+//   host=<name> | host=~<regex>
+//                            host selector
+//   where=<m><op><num>[,...] per-host conditions on live numeric metrics;
+//                            op ∈ { < <= > >= == != }, at most
+//                            kMaxConditions conditions
+//   up=1|0                   liveness filter (default: both)
+//   group=host|cluster|source|none    (default host)
+//   agg=sum|avg|min|max|count         (default avg)
+//   order=value|key          result ordering   (default value)
+//   dir=asc|desc             direction         (default desc)
+//   limit=<n>                max rows after ordering (default all)
+//   top=<k>                  shorthand: order=value dir=desc limit=k
+//   range=<start>:<end>      RRD window, unix seconds, end exclusive
+//   last=<seconds>           shorthand: range=[now-seconds, now)
+//   cf=avg|min|max           window fold per host (default avg)
+//
+// Examples:
+//   metric=load_one&group=host&top=10            top 10 hosts by load
+//   metric=bytes_in&from=/sdsc&group=cluster&agg=sum
+//   metric=load_one&where=cpu_num>=4&agg=avg&group=none
+//   metric=load_one&last=3600&cf=max&top=5       hottest hosts, past hour
+#pragma once
+
+#include <string_view>
+
+#include "query/plan.hpp"
+
+namespace ganglia::query {
+
+/// Parse and validate one decoded query string into an executable plan.
+/// `now` resolves relative windows (last=).  Never throws; any malformed,
+/// duplicated, oversized, or unknown input yields a structured bad_query
+/// error.
+Expected<Plan> parse_plan(std::string_view query_string, std::int64_t now);
+
+}  // namespace ganglia::query

@@ -1,0 +1,179 @@
+// Typed query plans for the relational query & aggregation engine.
+//
+// The paper's 1-level presenter strategy pushes all cross-grid analysis to
+// the client: "top 10 hosts by load across the grid" means downloading the
+// whole tree and folding it yourself.  R-GMA showed that a *relational*
+// view over the same hierarchical monitoring data is the right abstraction
+// for grid-scale queries, so this subsystem answers them server-side: the
+// hierarchical store is flattened into one logical relation
+//
+//   (source, cluster, host, metric, value)
+//
+// over which a plan evaluates  filter → group-by → aggregate →
+// order-by/top-k → limit.  Historical plans swap the live value column for
+// a consolidated fold over an RRD time window, read through the archiver.
+//
+// The plan is the trust boundary (tarantool src/box/sql keeps the same
+// shape: text is compiled once into a checked structure, execution never
+// re-interprets strings).  The grammar parser (grammar.hpp) validates every
+// parameter against hard caps and produces a Plan; the executor
+// (executor.hpp) consumes only the Plan.  Budget enforcement (max rows
+// scanned, max groups, max result bytes) is part of the plan contract so a
+// hostile query cannot pin a reactor worker — the same defensive posture
+// as parse_query's 4096B/32-segment/128B-regex caps, which the grammar
+// reuses verbatim for its path and regex pieces.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gmetad/query.hpp"
+#include "rrd/rrd.hpp"
+
+namespace ganglia::query {
+
+// ------------------------------------------------------------ plan pieces
+
+/// Cross-host aggregation functions.
+enum class Agg : std::uint8_t { sum, avg, min, max, count };
+std::string_view agg_name(Agg a) noexcept;
+std::optional<Agg> agg_from_name(std::string_view s) noexcept;
+
+/// Grouping key: one output row per distinct value of this column.
+enum class GroupBy : std::uint8_t { none, host, cluster, source };
+std::string_view group_name(GroupBy g) noexcept;
+std::optional<GroupBy> group_from_name(std::string_view s) noexcept;
+
+/// Result ordering: by aggregate value or by group key.
+enum class OrderBy : std::uint8_t { value, key };
+std::string_view order_name(OrderBy o) noexcept;
+
+/// Comparison operators for WHERE conditions.
+enum class Cmp : std::uint8_t { lt, le, gt, ge, eq, ne };
+std::string_view cmp_name(Cmp c) noexcept;
+bool cmp_eval(Cmp c, double lhs, double rhs) noexcept;
+
+/// One WHERE condition: `<metric> <op> <number>` over a host's live
+/// numeric metric value.  A host missing the metric fails the condition.
+struct MetricCond {
+  std::string metric;
+  Cmp op = Cmp::gt;
+  double threshold = 0;
+};
+
+/// Time window folds for historical plans: how one host's RRD rows over
+/// [start, end) collapse into that host's single input value.
+enum class WindowFold : std::uint8_t { avg, min, max };
+std::string_view fold_name(WindowFold f) noexcept;
+std::optional<WindowFold> fold_from_name(std::string_view s) noexcept;
+
+/// RRD time window.  When absent the plan reads live snapshot values.
+struct TimeRange {
+  std::int64_t start = 0;  ///< unix seconds, inclusive
+  std::int64_t end = 0;    ///< unix seconds, exclusive
+  WindowFold fold = WindowFold::avg;
+};
+
+/// A validated, executable query.  Selectors reuse gmetad::QuerySegment
+/// (literal or ~regex, compiled once at parse time under kMaxRegexBytes);
+/// an empty selector text with is_regex=false means "match everything".
+struct Plan {
+  /// Metric whose value feeds the aggregate.  Empty only for agg=count
+  /// (count hosts instead of metric values).
+  std::string metric;
+
+  gmetad::QuerySegment source_sel;   ///< data-source (grid child) selector
+  gmetad::QuerySegment cluster_sel;  ///< cluster selector (any depth)
+  gmetad::QuerySegment host_sel;     ///< host selector
+
+  std::vector<MetricCond> where;
+  /// Liveness filter: require hosts up (true), down (false), or either.
+  std::optional<bool> up;
+
+  GroupBy group = GroupBy::host;
+  Agg agg = Agg::avg;
+
+  OrderBy order = OrderBy::value;
+  bool descending = true;
+  /// Max output rows after ordering (0 = all groups).
+  std::size_t limit = 0;
+
+  std::optional<TimeRange> range;
+
+  /// True when the selector matches everything ("" literal).
+  static bool match_all(const gmetad::QuerySegment& sel) noexcept {
+    return !sel.is_regex && sel.text.empty();
+  }
+};
+
+// ----------------------------------------------------------------- limits
+
+/// Hard caps on the textual grammar (adversarial input on the open HTTP
+/// port).  Path/regex pieces inherit gmetad::kMaxQueryBytes /
+/// kMaxRegexBytes through parse_query.
+inline constexpr std::size_t kMaxPlanBytes = gmetad::kMaxQueryBytes;
+inline constexpr std::size_t kMaxConditions = 16;
+inline constexpr std::size_t kMaxParamBytes = 512;
+
+/// Execution budget: breached plans fail with a structured 422 instead of
+/// pinning a worker.  Defaults mirror GmetadConfig's query_* knobs.
+struct Budget {
+  /// Max relation rows scanned: one per host considered (live plans) plus
+  /// one per RRD row touched (historical plans).
+  std::uint64_t max_scan = 1'000'000;
+  /// Max distinct groups the group table may hold.
+  std::uint64_t max_groups = 10'000;
+  /// Max rendered result size in bytes (enforced by the gateway after
+  /// rendering; carried here so the whole budget travels together).
+  std::uint64_t max_result_bytes = 1u << 20;
+};
+
+// ----------------------------------------------------------------- errors
+
+/// Structured query failure: everything the gateway needs to build the
+/// machine-readable error body (and the right status code) without parsing
+/// message strings back apart.
+struct QueryError {
+  int status = 400;     ///< 400 = bad grammar, 422 = budget breach
+  std::string code;     ///< stable token: "bad_query" | "budget_exceeded"
+  std::string detail;   ///< human-readable explanation
+  /// Budget breaches name the knob and the numbers; empty otherwise.
+  std::string limit;    ///< "query_max_scan" | "query_max_groups" | ...
+  std::uint64_t cap = 0;
+  std::uint64_t observed = 0;
+};
+
+QueryError bad_query(std::string detail);
+QueryError budget_exceeded(std::string_view limit, std::uint64_t cap,
+                           std::uint64_t observed);
+
+/// Minimal expected-type carrying a structured QueryError (ganglia::Result
+/// is fixed to the flat ganglia::Error and would lose the fields).
+template <class T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : state_(std::move(value)) {}           // NOLINT(implicit)
+  Expected(QueryError err) : state_(std::move(err)) {}      // NOLINT(implicit)
+
+  bool ok() const noexcept { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const noexcept { return ok(); }
+
+  T& value() & { return std::get<T>(state_); }
+  const T& value() const& { return std::get<T>(state_); }
+  T&& value() && { return std::get<T>(std::move(state_)); }
+  const QueryError& error() const& { return std::get<QueryError>(state_); }
+  QueryError&& error() && { return std::get<QueryError>(std::move(state_)); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::variant<T, QueryError> state_;
+};
+
+}  // namespace ganglia::query

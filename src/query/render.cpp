@@ -1,0 +1,155 @@
+#include "query/render.hpp"
+
+namespace ganglia::query {
+
+namespace {
+
+/// Selector as it appeared in the grammar: regexes get their "~" back so
+/// the echo round-trips.
+void selector_value(const gmetad::QuerySegment& sel, xml::JsonWriter& w) {
+  if (Plan::match_all(sel)) {
+    w.value("*");
+    return;
+  }
+  if (sel.is_regex) {
+    std::string text = "~" + sel.text;
+    w.value(text);
+    return;
+  }
+  w.value(sel.text);
+}
+
+void key_column_names(GroupBy group, std::vector<std::string_view>& out) {
+  switch (group) {
+    case GroupBy::host:
+      out = {"SOURCE", "CLUSTER", "HOST"};
+      return;
+    case GroupBy::cluster:
+      out = {"SOURCE", "CLUSTER"};
+      return;
+    case GroupBy::source:
+      out = {"SOURCE"};
+      return;
+    case GroupBy::none:
+      out = {};
+      return;
+  }
+}
+
+void render_plan(const Plan& plan, xml::JsonWriter& w) {
+  w.key("PLAN");
+  w.begin_object();
+  w.key("METRIC");
+  w.value(plan.metric);
+  w.key("FROM");
+  selector_value(plan.source_sel, w);
+  w.key("CLUSTER");
+  selector_value(plan.cluster_sel, w);
+  w.key("HOST");
+  selector_value(plan.host_sel, w);
+  if (!plan.where.empty()) {
+    w.key("WHERE");
+    w.begin_array();
+    for (const MetricCond& cond : plan.where) {
+      w.begin_object();
+      w.key("METRIC");
+      w.value(cond.metric);
+      w.key("OP");
+      w.value(cmp_name(cond.op));
+      w.key("THRESHOLD");
+      w.value(cond.threshold);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (plan.up) {
+    w.key("UP");
+    w.value(*plan.up);
+  }
+  w.key("GROUP");
+  w.value(group_name(plan.group));
+  w.key("AGG");
+  w.value(agg_name(plan.agg));
+  w.key("ORDER");
+  w.value(order_name(plan.order));
+  w.key("DIR");
+  w.value(plan.descending ? "desc" : "asc");
+  w.key("LIMIT");
+  w.value(static_cast<std::uint64_t>(plan.limit));
+  if (plan.range) {
+    w.key("RANGE");
+    w.begin_object();
+    w.key("START");
+    w.value(plan.range->start);
+    w.key("END");
+    w.value(plan.range->end);
+    w.key("CF");
+    w.value(fold_name(plan.range->fold));
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace
+
+void render_json(const Plan& plan, const Output& output, xml::JsonWriter& w) {
+  w.key("QUERY");
+  w.begin_object();
+  render_plan(plan, w);
+
+  std::vector<std::string_view> columns;
+  key_column_names(plan.group, columns);
+  w.key("COLUMNS");
+  w.begin_array();
+  for (std::string_view name : columns) w.value(name);
+  w.value("VALUE");
+  w.value("HOSTS");
+  w.end_array();
+
+  w.key("ROWS");
+  w.begin_array();
+  for (const Row& row : output.rows) {
+    w.begin_array();
+    for (const std::string& col : row.key) w.value(col);
+    w.value(row.value);
+    w.value(row.hosts);
+    w.end_array();
+  }
+  w.end_array();
+
+  w.key("STATS");
+  w.begin_object();
+  w.key("SCANNED");
+  w.value(output.stats.scanned);
+  w.key("MATCHED_HOSTS");
+  w.value(output.stats.matched_hosts);
+  w.key("GROUPS");
+  w.value(output.stats.groups);
+  w.key("SUMMARY_SKIPPED");
+  w.value(output.stats.summary_skipped);
+  w.end_object();
+
+  w.end_object();
+}
+
+void render_error_json(const QueryError& error, xml::JsonWriter& w) {
+  w.key("ERROR");
+  w.begin_object();
+  w.key("STATUS");
+  w.value(static_cast<std::int64_t>(error.status));
+  w.key("CODE");
+  w.value(error.code);
+  w.key("DETAIL");
+  w.value(error.detail);
+  if (!error.limit.empty()) {
+    w.key("LIMIT");
+    w.value(error.limit);
+    w.key("CAP");
+    w.value(error.cap);
+    w.key("OBSERVED");
+    w.value(error.observed);
+  }
+  w.end_object();
+}
+
+}  // namespace ganglia::query

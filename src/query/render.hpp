@@ -1,0 +1,27 @@
+// Result rendering for the query engine.
+//
+// Query results are tabular, not tree-shaped, so the render pipeline's
+// Backend events (begin_cluster/host/metric…) don't apply; what the two
+// paths share is the serialisation layer below them — the same
+// xml::JsonWriter the JSON tree backend and every /api/v1 stats route
+// write through, with its escaping and container bookkeeping.  The
+// renderer emits *into* a caller-owned writer (the gateway wraps it in the
+// shared root-object helper), so the query route's document is shaped like
+// every other API body from day one.
+#pragma once
+
+#include "query/executor.hpp"
+#include "xml/json.hpp"
+
+namespace ganglia::query {
+
+/// Emit the result as the "QUERY" member of the currently open JSON
+/// object: plan echo, column names, rows, and execution stats.
+void render_json(const Plan& plan, const Output& output, xml::JsonWriter& w);
+
+/// Emit a structured error as the "ERROR" member of the currently open
+/// JSON object (status, code, detail, and — for budget breaches — the
+/// knob, cap, and observed count).
+void render_error_json(const QueryError& error, xml::JsonWriter& w);
+
+}  // namespace ganglia::query

@@ -243,26 +243,7 @@ Result<Series> RoundRobinDb::fetch(ConsolidationFn cf, std::int64_t start,
   }
   if (end <= start) return Err(Errc::invalid_argument, "end must be > start");
 
-  // Finest archive with matching CF that still covers `start`; fall back to
-  // the coarsest matching archive when none reaches that far back.
-  const Rra* best = nullptr;
-  const Rra* coarsest = nullptr;
-  for (const Rra& rra : rras_) {
-    if (rra.def.cf != cf) continue;
-    const std::int64_t span =
-        def_.step_s * static_cast<std::int64_t>(rra.def.pdp_per_row);
-    const std::int64_t oldest =
-        rra.last_row_time - span * static_cast<std::int64_t>(rra.def.rows);
-    if (coarsest == nullptr ||
-        rra.def.pdp_per_row > coarsest->def.pdp_per_row) {
-      coarsest = &rra;
-    }
-    if (oldest <= start &&
-        (best == nullptr || rra.def.pdp_per_row < best->def.pdp_per_row)) {
-      best = &rra;
-    }
-  }
-  if (best == nullptr) best = coarsest;
+  const Rra* best = pick_rra(cf, start);
   if (best == nullptr) {
     return Err(Errc::not_found,
                std::string("no archive with CF ") + std::string(cf_name(cf)));
@@ -294,6 +275,74 @@ Result<Series> RoundRobinDb::fetch(ConsolidationFn cf, std::int64_t start,
     series.values.push_back(v);
   }
   return series;
+}
+
+const RoundRobinDb::Rra* RoundRobinDb::pick_rra(ConsolidationFn cf,
+                                                std::int64_t start) const {
+  // Finest archive with matching CF that still covers `start`; fall back to
+  // the coarsest matching archive when none reaches that far back.
+  const Rra* best = nullptr;
+  const Rra* coarsest = nullptr;
+  for (const Rra& rra : rras_) {
+    if (rra.def.cf != cf) continue;
+    const std::int64_t span =
+        def_.step_s * static_cast<std::int64_t>(rra.def.pdp_per_row);
+    const std::int64_t oldest =
+        rra.last_row_time - span * static_cast<std::int64_t>(rra.def.rows);
+    if (coarsest == nullptr ||
+        rra.def.pdp_per_row > coarsest->def.pdp_per_row) {
+      coarsest = &rra;
+    }
+    if (oldest <= start &&
+        (best == nullptr || rra.def.pdp_per_row < best->def.pdp_per_row)) {
+      best = &rra;
+    }
+  }
+  return best != nullptr ? best : coarsest;
+}
+
+Result<WindowAgg> RoundRobinDb::reduce(ConsolidationFn cf, std::int64_t start,
+                                       std::int64_t end,
+                                       std::size_t ds_index) const {
+  if (ds_index >= def_.ds.size()) {
+    return Err(Errc::invalid_argument, "no such data source");
+  }
+  if (end <= start) return Err(Errc::invalid_argument, "end must be > start");
+
+  const Rra* best = pick_rra(cf, start);
+  if (best == nullptr) {
+    return Err(Errc::not_found,
+               std::string("no archive with CF ") + std::string(cf_name(cf)));
+  }
+
+  // Same window walk as fetch(), folding each row into the running sums
+  // instead of appending it to a vector.
+  const std::int64_t span =
+      def_.step_s * static_cast<std::int64_t>(best->def.pdp_per_row);
+  const std::int64_t first_end = align_down(start, span) + span;
+  const std::int64_t last_end = align_down(end - 1, span) + span;
+  const std::int64_t oldest =
+      best->last_row_time - span * static_cast<std::int64_t>(best->def.rows);
+  const std::size_t n = def_.ds.size();
+
+  WindowAgg agg;
+  agg.step = span;
+  for (std::int64_t row_end = first_end; row_end <= last_end; row_end += span) {
+    ++agg.rows;
+    if (row_end <= oldest || row_end > best->last_row_time) continue;
+    const std::int64_t rows_back = (best->last_row_time - row_end) / span;
+    const std::int64_t rows_total = static_cast<std::int64_t>(best->def.rows);
+    std::int64_t idx =
+        (static_cast<std::int64_t>(best->cur_row) - 1 - rows_back) % rows_total;
+    if (idx < 0) idx += rows_total;
+    const double v = best->ring[static_cast<std::size_t>(idx) * n + ds_index];
+    if (is_unknown(v)) continue;
+    ++agg.known;
+    agg.sum += v;
+    if (v < agg.min) agg.min = v;
+    if (v > agg.max) agg.max = v;
+  }
+  return agg;
 }
 
 double RoundRobinDb::last_value(std::size_t ds_index) const {

@@ -21,6 +21,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <span>
 #include <string>
 #include <vector>
@@ -78,6 +79,24 @@ struct RrdDef {
                                 std::int64_t heartbeat_s = 120);
 };
 
+/// Windowed reduction over one archive range: the running sums a
+/// consumer needs to fold a time window into a single value (mean, min,
+/// max) without ever materialising the row vector.  `rows` counts every
+/// row position the window covers (known or unknown) — the unit the query
+/// engine's scan budget charges for historical reads.
+struct WindowAgg {
+  std::int64_t step = 0;     ///< row width of the archive that answered
+  std::uint64_t rows = 0;    ///< rows in the window, known + unknown
+  std::uint64_t known = 0;   ///< rows with a defined value
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  double mean() const noexcept {
+    return known == 0 ? unknown() : sum / static_cast<double>(known);
+  }
+};
+
 /// A fetched series: values[i] covers [start + i*step, start + (i+1)*step).
 struct Series {
   std::int64_t start = 0;
@@ -116,6 +135,14 @@ class RoundRobinDb {
   /// uses `cf`.
   Result<Series> fetch(ConsolidationFn cf, std::int64_t start,
                        std::int64_t end, std::size_t ds_index = 0) const;
+
+  /// Reduce [start, end) in place over the same archive fetch() would
+  /// pick, walking the round-robin ring directly — no row vector is
+  /// built, so a wide historical window costs O(rows) adds and zero
+  /// allocation.  Row-for-row equivalent to folding fetch()'s values
+  /// (the query engine's time-range reads are byte-checked against that).
+  Result<WindowAgg> reduce(ConsolidationFn cf, std::int64_t start,
+                           std::int64_t end, std::size_t ds_index = 0) const;
 
   /// Most recent finished-PDP value (NaN when unknown / never updated).
   double last_value(std::size_t ds_index = 0) const;
@@ -186,6 +213,11 @@ class RoundRobinDb {
   void advance_to(std::int64_t pdp_end, std::span<const double> rates,
                   std::span<const std::uint8_t> known);
   void commit_pdp(std::int64_t pdp_end, std::span<const double> pdp_values);
+
+  /// Finest archive with CF `cf` still covering `start` (coarsest match
+  /// as fallback; nullptr when no archive uses `cf`) — the shared
+  /// resolution step of fetch() and reduce().
+  const Rra* pick_rra(ConsolidationFn cf, std::int64_t start) const;
 
   /// Updates use stack scratch up to this many data sources (covers the
   /// 1-ds metric and 2-ds sum+num archives) and fall back to the heap.

@@ -17,6 +17,7 @@
 #include "gmon/wire.hpp"
 #include "net/framing.hpp"
 #include "net/inmem.hpp"
+#include "query/grammar.hpp"
 #include "rrd/rrd_file.hpp"
 #include "xml/sax.hpp"
 
@@ -139,6 +140,46 @@ TEST_P(FuzzSeeds, QueryParserNeverCrashes) {
       text += alphabet[rng_.next_below(static_cast<std::uint32_t>(alphabet.size()))];
     }
     (void)gmetad::parse_query(text);
+  }
+}
+
+TEST_P(FuzzSeeds, QueryPlanGrammarNeverCrashes) {
+  // The /api/v1/query grammar fronts the network: random plan-ish text,
+  // raw bytes, and mutated valid plans must parse or fail with a clean
+  // 400 — never crash, never return a plan without a clear verdict.
+  static constexpr std::string_view alphabet =
+      "&=~<>!,.:*[]()0123456789abcdef metric=from=/where=top=agg=group="
+      "order=dir=limit=range=last=cf=up=host=";
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    const std::size_t len = rng_.next_below(200);
+    for (std::size_t j = 0; j < len; ++j) {
+      text += alphabet[rng_.next_below(static_cast<std::uint32_t>(alphabet.size()))];
+    }
+    auto plan = query::parse_plan(text, 1000);
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.error().status, 400);
+    }
+    (void)query::parse_plan(random_bytes(rng_, 200), 1000);
+  }
+  // Mutated valid plans.
+  const std::string valid =
+      "metric=load_one&from=/sdsc/~^met.*&where=cpu_num>=2,load_one<4"
+      "&up=1&group=cluster&agg=max&top=5&host=~compute-.*";
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = valid;
+    const auto pos =
+        rng_.next_below(static_cast<std::uint32_t>(mutated.size()));
+    switch (rng_.next_below(3)) {
+      case 0: mutated[pos] = static_cast<char>(rng_.next_below(256)); break;
+      case 1: mutated.resize(pos); break;
+      case 2: mutated.insert(pos, 1,
+                             static_cast<char>(rng_.next_below(256))); break;
+    }
+    auto plan = query::parse_plan(mutated, 1000);
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.error().status, 400);
+    }
   }
 }
 

@@ -1,0 +1,820 @@
+// Tests for the relational query & aggregation engine (src/query): the
+// query-string grammar and its caps, plan execution proven equal to a
+// naive client-side whole-tree fold on randomized testbed stores, RRD
+// time-range reads byte-checked against direct archive iteration, the
+// execution budget's structured 422s, and the /api/v1/query gateway route
+// with per-plan response caching invalidated per source.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gmetad/testbed.hpp"
+#include "http/gateway.hpp"
+#include "query/executor.hpp"
+#include "query/grammar.hpp"
+#include "query/render.hpp"
+#include "rrd/rrd.hpp"
+
+namespace ganglia::query {
+namespace {
+
+// ---------------------------------------------------------------- grammar
+
+TEST(QueryGrammar, DefaultsAreKeyOrderedFullOutput) {
+  auto plan = parse_plan("metric=load_one", /*now=*/0);
+  ASSERT_TRUE(plan.ok()) << plan.error().detail;
+  EXPECT_EQ(plan->metric, "load_one");
+  EXPECT_EQ(plan->group, GroupBy::host);
+  EXPECT_EQ(plan->agg, Agg::avg);
+  EXPECT_EQ(plan->limit, 0u);
+  EXPECT_FALSE(plan->range.has_value());
+  EXPECT_TRUE(Plan::match_all(plan->source_sel));
+  EXPECT_TRUE(Plan::match_all(plan->cluster_sel));
+  EXPECT_TRUE(Plan::match_all(plan->host_sel));
+  // No limit and no explicit order: deterministic key-ascending output.
+  EXPECT_EQ(plan->order, OrderBy::key);
+  EXPECT_FALSE(plan->descending);
+}
+
+TEST(QueryGrammar, TopIsValueDescLimit) {
+  auto plan = parse_plan("metric=load_one&top=10", 0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->order, OrderBy::value);
+  EXPECT_TRUE(plan->descending);
+  EXPECT_EQ(plan->limit, 10u);
+}
+
+TEST(QueryGrammar, SelectorsAndConditionsParse) {
+  auto plan = parse_plan(
+      "metric=load_one&from=/sdsc/~^met.*&host=~compute-0-[0-3].*"
+      "&where=cpu_num>=4,load_one<2.5&up=1&group=cluster&agg=sum",
+      0);
+  ASSERT_TRUE(plan.ok()) << plan.error().detail;
+  EXPECT_EQ(plan->source_sel.text, "sdsc");
+  EXPECT_FALSE(plan->source_sel.is_regex);
+  EXPECT_TRUE(plan->cluster_sel.is_regex);
+  EXPECT_TRUE(plan->cluster_sel.matches("meteor"));
+  EXPECT_FALSE(plan->cluster_sel.matches("nashi"));
+  EXPECT_TRUE(plan->host_sel.matches("compute-0-2.local"));
+  ASSERT_EQ(plan->where.size(), 2u);
+  EXPECT_EQ(plan->where[0].metric, "cpu_num");
+  EXPECT_EQ(plan->where[0].op, Cmp::ge);
+  EXPECT_EQ(plan->where[0].threshold, 4.0);
+  EXPECT_EQ(plan->where[1].op, Cmp::lt);
+  ASSERT_TRUE(plan->up.has_value());
+  EXPECT_TRUE(*plan->up);
+  EXPECT_EQ(plan->group, GroupBy::cluster);
+  EXPECT_EQ(plan->agg, Agg::sum);
+}
+
+TEST(QueryGrammar, LastResolvesAgainstNow) {
+  auto plan = parse_plan("metric=load_one&last=1000&cf=max", /*now=*/5000);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_TRUE(plan->range.has_value());
+  EXPECT_EQ(plan->range->start, 4000);
+  EXPECT_EQ(plan->range->end, 5000);
+  EXPECT_EQ(plan->range->fold, WindowFold::max);
+}
+
+TEST(QueryGrammar, CountNeedsNoMetric) {
+  auto plan = parse_plan("agg=count&group=source&up=0", 0);
+  ASSERT_TRUE(plan.ok()) << plan.error().detail;
+  EXPECT_TRUE(plan->metric.empty());
+}
+
+TEST(QueryGrammar, RejectsMalformedInput) {
+  const std::string_view bad[] = {
+      "metric=",                                // empty metric
+      "bogus=1",                                // unknown parameter
+      "metric=load_one&metric=x",               // duplicate parameter
+      "metric=load_one&top",                    // no '='
+      "metric=load_one&top=0",                  // zero limit
+      "metric=load_one&top=5&order=key",        // top fixes ordering
+      "metric=load_one&dir=asc&top=5",          // ... in either order
+      "metric=load_one&top=5&limit=2",          // top and limit conflict
+      "metric=load_one&cf=max",                 // cf needs a window
+      "metric=load_one&range=5:5",              // empty window
+      "metric=load_one&range=0:10&last=10",     // exclusive windows
+      "metric=load_one&last=60&where=cpu_num>=4",  // where is live-only
+      "metric=load_one&up=yes",                 // up is 1|0
+      "metric=load_one&group=rack",             // unknown group
+      "metric=load_one&agg=median",             // unknown agg
+      "metric=load_one&where=cpu_num=4",        // '=' is not an operator
+      "metric=load_one&where=>=4",              // missing metric name
+      "metric=load_one&where=cpu_num>=x",       // non-numeric threshold
+      "where=cpu_num>=4",                       // metric required for avg
+      "agg=count&last=60",                      // range needs a metric
+      "metric=load_one&from=/a/b/c",            // from is source[/cluster]
+      "metric=load_one&from=/a?filter=summary",  // no filter option
+  };
+  for (const std::string_view text : bad) {
+    auto plan = parse_plan(text, 1000);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << text;
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.error().status, 400) << text;
+      EXPECT_EQ(plan.error().code, "bad_query") << text;
+      EXPECT_FALSE(plan.error().detail.empty()) << text;
+    }
+  }
+}
+
+TEST(QueryGrammar, CapsAreEnforced) {
+  // Whole query string over kMaxPlanBytes.
+  EXPECT_FALSE(
+      parse_plan("metric=" + std::string(kMaxPlanBytes, 'a'), 0).ok());
+  // One parameter value over kMaxParamBytes.
+  EXPECT_FALSE(
+      parse_plan("metric=" + std::string(kMaxParamBytes + 1, 'a'), 0).ok());
+  // Condition count over kMaxConditions.
+  std::string many = "metric=load_one&where=a>1";
+  for (std::size_t i = 0; i < kMaxConditions; ++i) many += ",a>1";
+  EXPECT_FALSE(parse_plan(many, 0).ok());
+  // Regex over the shared gmetad::kMaxRegexBytes cap.
+  const std::string regex(gmetad::kMaxRegexBytes + 1, 'x');
+  EXPECT_FALSE(parse_plan("metric=load_one&host=~" + regex, 0).ok());
+  // At the caps everything still parses.
+  std::string at_cap = "metric=load_one&where=a>1";
+  for (std::size_t i = 1; i < kMaxConditions; ++i) at_cap += ",a>1";
+  EXPECT_TRUE(parse_plan(at_cap, 0).ok());
+}
+
+// ------------------------------------------- naive whole-tree fold oracle
+
+bool sel_matches(const gmetad::QuerySegment& sel, std::string_view name) {
+  return Plan::match_all(sel) || sel.matches(name);
+}
+
+struct NaiveInput {
+  std::string source, cluster, host;
+  double value = 0;
+};
+
+/// The client-side strategy the engine replaces: download the tree, walk
+/// it, fold.  Mirrors the canonical walk order (clusters before grids,
+/// grids depth-first, hosts in map order) so floating-point accumulation
+/// order matches and results must be bit-identical.
+void naive_collect(const Plan& plan, const gmetad::Archiver* archiver,
+                   std::string_view source, const Cluster& cluster,
+                   std::vector<NaiveInput>& out) {
+  if (!sel_matches(plan.cluster_sel, cluster.name)) return;
+  if (cluster.is_summary_form()) return;
+  for (const auto& [name, host] : cluster.hosts) {
+    if (!sel_matches(plan.host_sel, host.name)) continue;
+    if (plan.up && *plan.up != host.is_up()) continue;
+    bool pass = true;
+    for (const MetricCond& cond : plan.where) {
+      const Metric* metric = host.find_metric(cond.metric);
+      if (metric == nullptr || !metric->is_numeric() ||
+          !cmp_eval(cond.op, metric->numeric, cond.threshold)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+
+    double value = 0;
+    if (plan.range) {
+      // Direct archive iteration: fetch the window rows and fold by hand.
+      auto series = archiver->fetch_host_metric(
+          std::string(source), cluster.name, host.name, plan.metric,
+          plan.range->start, plan.range->end);
+      if (!series.ok()) continue;
+      std::uint64_t known = 0;
+      double sum = 0;
+      double lo = std::numeric_limits<double>::infinity();
+      double hi = -std::numeric_limits<double>::infinity();
+      for (const double v : series->values) {
+        if (rrd::is_unknown(v)) continue;
+        ++known;
+        sum += v;
+        if (v < lo) lo = v;
+        if (v > hi) hi = v;
+      }
+      if (known == 0) continue;
+      switch (plan.range->fold) {
+        case WindowFold::avg: value = sum / static_cast<double>(known); break;
+        case WindowFold::min: value = lo; break;
+        case WindowFold::max: value = hi; break;
+      }
+    } else if (!plan.metric.empty()) {
+      const Metric* metric = host.find_metric(plan.metric);
+      if (metric == nullptr || !metric->is_numeric()) continue;
+      value = metric->numeric;
+    }
+    out.push_back(
+        {std::string(source), cluster.name, host.name, value});
+  }
+}
+
+void naive_collect_grid(const Plan& plan, const gmetad::Archiver* archiver,
+                        std::string_view source, const Grid& grid,
+                        std::vector<NaiveInput>& out) {
+  if (grid.is_summary_form()) return;
+  for (const Cluster& cluster : grid.clusters) {
+    naive_collect(plan, archiver, source, cluster, out);
+  }
+  for (const Grid& child : grid.grids) {
+    naive_collect_grid(plan, archiver, source, child, out);
+  }
+}
+
+std::vector<std::string> naive_key(const Plan& plan, const NaiveInput& in) {
+  switch (plan.group) {
+    case GroupBy::none: return {};
+    case GroupBy::source: return {in.source};
+    case GroupBy::cluster: return {in.source, in.cluster};
+    case GroupBy::host: return {in.source, in.cluster, in.host};
+  }
+  return {};
+}
+
+std::vector<Row> naive_eval(const Plan& plan, const gmetad::Store& store,
+                            const gmetad::Archiver* archiver) {
+  std::vector<NaiveInput> inputs;
+  for (const auto& snapshot : store.all()) {
+    if (!sel_matches(plan.source_sel, snapshot->name())) continue;
+    for (const Cluster& cluster : snapshot->clusters()) {
+      naive_collect(plan, archiver, snapshot->name(), cluster, inputs);
+    }
+    for (const Grid& grid : snapshot->grids()) {
+      naive_collect_grid(plan, archiver, snapshot->name(), grid, inputs);
+    }
+  }
+
+  struct NaiveGroup {
+    std::vector<std::string> key;
+    double sum = 0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+    std::uint64_t count = 0;
+  };
+  std::vector<NaiveGroup> groups;
+  for (const NaiveInput& in : inputs) {
+    const std::vector<std::string> key = naive_key(plan, in);
+    NaiveGroup* group = nullptr;
+    for (NaiveGroup& candidate : groups) {
+      if (candidate.key == key) {
+        group = &candidate;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.emplace_back();
+      group = &groups.back();
+      group->key = key;
+    }
+    group->sum += in.value;
+    if (in.value < group->min) group->min = in.value;
+    if (in.value > group->max) group->max = in.value;
+    ++group->count;
+  }
+
+  std::vector<Row> rows;
+  for (const NaiveGroup& group : groups) {
+    Row row;
+    row.key = group.key;
+    row.hosts = group.count;
+    switch (plan.agg) {
+      case Agg::sum: row.value = group.sum; break;
+      case Agg::avg:
+        row.value = group.count == 0
+                        ? 0
+                        : group.sum / static_cast<double>(group.count);
+        break;
+      case Agg::min: row.value = group.min; break;
+      case Agg::max: row.value = group.max; break;
+      case Agg::count: row.value = static_cast<double>(group.count); break;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const bool desc = plan.descending;
+  if (plan.order == OrderBy::value) {
+    std::sort(rows.begin(), rows.end(), [desc](const Row& a, const Row& b) {
+      if (a.value != b.value) {
+        return desc ? a.value > b.value : a.value < b.value;
+      }
+      return a.key < b.key;
+    });
+  } else {
+    std::sort(rows.begin(), rows.end(), [desc](const Row& a, const Row& b) {
+      return desc ? b.key < a.key : a.key < b.key;
+    });
+  }
+  if (plan.limit != 0 && rows.size() > plan.limit) rows.resize(plan.limit);
+  return rows;
+}
+
+void expect_rows_equal(const std::vector<Row>& engine,
+                       const std::vector<Row>& naive,
+                       const std::string& context) {
+  ASSERT_EQ(engine.size(), naive.size()) << context;
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    EXPECT_EQ(engine[i].key, naive[i].key) << context << " row " << i;
+    // Bit-identical, not approximately equal: both sides accumulate in
+    // the same canonical walk order.
+    EXPECT_EQ(engine[i].value, naive[i].value) << context << " row " << i;
+    EXPECT_EQ(engine[i].hosts, naive[i].hosts) << context << " row " << i;
+  }
+}
+
+// ----------------------------------------------- randomized property test
+
+/// Random *valid* plan text over the testbed's names: every production of
+/// the grammar is reachable, invalid combinations are never emitted.
+std::string random_plan_string(Rng& rng,
+                               const std::vector<std::string>& sources,
+                               const std::vector<std::string>& clusters) {
+  static const char* kMetrics[] = {"load_one", "cpu_num", "mem_free",
+                                   "bytes_in", "no_such_metric"};
+  static const char* kGroups[] = {"host", "cluster", "source", "none"};
+  static const char* kAggs[] = {"sum", "avg", "min", "max", "count"};
+  static const char* kConds[] = {"cpu_num>=2", "load_one<4",
+                                 "mem_free>100000", "bytes_in<=5000000",
+                                 "cpu_num!=3", "no_such_metric>0"};
+
+  const char* agg = kAggs[rng.next_below(5)];
+  std::string q = "agg=";
+  q += agg;
+  if (std::string_view(agg) != "count" || rng.next_bool(0.5)) {
+    q += "&metric=";
+    q += kMetrics[rng.next_below(5)];
+  }
+  q += "&group=";
+  q += kGroups[rng.next_below(4)];
+
+  if (rng.next_bool(0.4) && !sources.empty()) {
+    q += "&from=/" + sources[rng.next_below(
+                         static_cast<std::uint32_t>(sources.size()))];
+    if (rng.next_bool(0.4) && !clusters.empty()) {
+      q += "/" + clusters[rng.next_below(
+                     static_cast<std::uint32_t>(clusters.size()))];
+    }
+  } else if (rng.next_bool(0.2)) {
+    q += "&from=/~^[a-n].*";
+  }
+  if (rng.next_bool(0.3)) {
+    q += rng.next_bool(0.5) ? "&host=~compute-0-[0-2].*"
+                            : "&host=compute-0-1.local";
+  }
+  if (rng.next_bool(0.4)) {
+    q += "&where=";
+    q += kConds[rng.next_below(6)];
+    if (rng.next_bool(0.3)) {
+      q += ",";
+      q += kConds[rng.next_below(6)];
+    }
+  }
+  if (rng.next_bool(0.2)) q += rng.next_bool(0.5) ? "&up=1" : "&up=0";
+
+  switch (rng.next_below(4)) {
+    case 0:
+      q += "&top=" + std::to_string(1 + rng.next_below(6));
+      break;
+    case 1:
+      q += "&order=key&dir=" +
+           std::string(rng.next_bool(0.5) ? "asc" : "desc");
+      break;
+    case 2:
+      q += "&order=value&dir=asc&limit=" +
+           std::to_string(1 + rng.next_below(6));
+      break;
+    default:
+      break;  // grammar default: key-ascending, unlimited
+  }
+  return q;
+}
+
+void run_property_suite(gmetad::Gmetad& node,
+                        const std::vector<std::string>& sources,
+                        const std::vector<std::string>& clusters,
+                        std::uint64_t seed, const std::string& label) {
+  Rng rng(seed);
+  const Budget budget;
+  for (int i = 0; i < 120; ++i) {
+    const std::string text = random_plan_string(rng, sources, clusters);
+    auto plan = parse_plan(text, 0);
+    ASSERT_TRUE(plan.ok()) << label << ": generator emitted invalid plan '"
+                           << text << "': " << plan.error().detail;
+    auto output = execute(*plan, node.store(), &node.archiver(), budget);
+    ASSERT_TRUE(output.ok()) << label << ": " << text;
+    const std::vector<Row> expected =
+        naive_eval(*plan, node.store(), &node.archiver());
+    expect_rows_equal(output->rows, expected, label + ": " + text);
+  }
+}
+
+TEST(QueryProperty, MatchesNaiveFoldOnSingleNodeStore) {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = 5;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(2);
+  run_property_suite(bed.node("root"), {"meteor", "nashi"},
+                     {"meteor", "nashi"}, 11, "single-node");
+}
+
+TEST(QueryProperty, MatchesNaiveFoldOnOneLevelGrid) {
+  // 1-level federation: the root holds every remote host in full detail —
+  // the configuration where server-side queries replace the biggest
+  // client-side downloads.
+  gmetad::Testbed bed(gmetad::fig2_spec(3, gmetad::Mode::one_level));
+  bed.run_rounds(2);
+  run_property_suite(bed.node("root"), {"sdsc", "ucsd"},
+                     {"meteor", "nashi"}, 23, "one-level-root");
+}
+
+TEST(QueryProperty, MatchesNaiveFoldWithSummarySubtrees) {
+  // N-level: the sdsc node holds its own clusters in full detail but the
+  // attic child grid only in summary form; both evaluators must skip the
+  // summary subtree identically (the relation has no host rows there).
+  gmetad::Testbed bed(gmetad::fig2_spec(3, gmetad::Mode::n_level));
+  bed.run_rounds(2);
+  run_property_suite(bed.node("sdsc"), {"attic", "meteor", "nashi"},
+                     {"meteor", "nashi"}, 37, "n-level-sdsc");
+
+  auto plan = parse_plan("agg=count&group=source", 0);
+  ASSERT_TRUE(plan.ok());
+  auto output = execute(*plan, bed.node("sdsc").store(),
+                        &bed.node("sdsc").archiver(), Budget{});
+  ASSERT_TRUE(output.ok());
+  EXPECT_GT(output->stats.summary_skipped, 0u)
+      << "the attic subtree must be counted as skipped, not silently lost";
+}
+
+// --------------------------------------------------- historical windows
+
+TEST(QueryHistory, TimeRangePlansMatchDirectArchiveIteration) {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = 3;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(12);  // three minutes of 15 s archive rows
+  gmetad::Gmetad& node = bed.node("root");
+  const std::int64_t now_s = bed.clock().now_us() / kMicrosPerSecond;
+
+  for (const char* fold : {"avg", "min", "max"}) {
+    const std::string text = "metric=load_one&last=120&cf=" +
+                             std::string(fold) + "&group=host";
+    auto plan = parse_plan(text, now_s);
+    ASSERT_TRUE(plan.ok()) << plan.error().detail;
+    auto output = execute(*plan, node.store(), &node.archiver(), Budget{});
+    ASSERT_TRUE(output.ok()) << output.error().detail;
+    EXPECT_FALSE(output->rows.empty());
+    expect_rows_equal(output->rows,
+                      naive_eval(*plan, node.store(), &node.archiver()),
+                      text);
+    // Historical reads charge RRD rows, not just hosts.
+    EXPECT_GT(output->stats.scanned, output->stats.matched_hosts);
+  }
+}
+
+TEST(QueryHistory, ArchiverReduceMatchesFetchFold) {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor"}});
+  spec.hosts_per_cluster = 2;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(10);
+  gmetad::Gmetad& node = bed.node("root");
+  const std::int64_t now_s = bed.clock().now_us() / kMicrosPerSecond;
+
+  auto snapshot = node.store().get("meteor");
+  ASSERT_NE(snapshot, nullptr);
+  const Cluster* cluster = snapshot->find_cluster("meteor");
+  ASSERT_NE(cluster, nullptr);
+  for (const auto& [name, host] : cluster->hosts) {
+    auto window = node.archiver().reduce_host_metric(
+        "meteor", "meteor", name, "load_one", now_s - 120, now_s);
+    ASSERT_TRUE(window.ok()) << name;
+    auto series = node.archiver().fetch_host_metric(
+        "meteor", "meteor", name, "load_one", now_s - 120, now_s);
+    ASSERT_TRUE(series.ok()) << name;
+
+    EXPECT_EQ(window->step, series->step);
+    EXPECT_EQ(window->rows, series->values.size());
+    std::uint64_t known = 0;
+    double sum = 0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double v : series->values) {
+      if (rrd::is_unknown(v)) continue;
+      ++known;
+      sum += v;
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    ASSERT_GT(known, 0u);
+    EXPECT_EQ(window->known, known);
+    EXPECT_EQ(window->sum, sum);
+    EXPECT_EQ(window->min, lo);
+    EXPECT_EQ(window->max, hi);
+    EXPECT_EQ(window->mean(), sum / static_cast<double>(known));
+  }
+}
+
+TEST(QueryHistory, RrdReduceMatchesFetchAcrossArchives) {
+  auto db = rrd::RoundRobinDb::create(rrd::RrdDef::ganglia_default(), 0);
+  ASSERT_TRUE(db.ok());
+  Rng rng(7);
+  std::int64_t t = 0;
+  const std::int64_t horizon = 15 * 40000;  // deep enough for coarse RRAs
+  while (t < horizon) {
+    t += 15;
+    if (rng.next_below(300) == 0) t += 15 * 40;  // outage: unknown rows
+    ASSERT_TRUE(db->update(t, std::sin(static_cast<double>(t)) * 50 +
+                                  rng.next_range(0, 100))
+                    .ok());
+  }
+
+  const struct {
+    std::int64_t start, end;
+  } windows[] = {
+      {t - 3600, t},          // finest archive
+      {t - 86400, t},         // hourly-ish archive
+      {t - 500000, t},        // coarse archive
+      {t - 86400, t - 3600},  // interior window
+      {1234, 56789},          // mostly evicted / unknown
+  };
+  for (const auto& window : windows) {
+    auto reduced =
+        db->reduce(rrd::ConsolidationFn::average, window.start, window.end);
+    auto fetched =
+        db->fetch(rrd::ConsolidationFn::average, window.start, window.end);
+    ASSERT_EQ(reduced.ok(), fetched.ok());
+    if (!reduced.ok()) continue;
+    EXPECT_EQ(reduced->step, fetched->step);
+    EXPECT_EQ(reduced->rows, fetched->values.size());
+    std::uint64_t known = 0;
+    double sum = 0;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
+    for (const double v : fetched->values) {
+      if (rrd::is_unknown(v)) continue;
+      ++known;
+      sum += v;
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    EXPECT_EQ(reduced->known, known);
+    EXPECT_EQ(reduced->sum, sum) << "[" << window.start << "," << window.end
+                                 << ")";
+    if (known > 0) {
+      EXPECT_EQ(reduced->min, lo);
+      EXPECT_EQ(reduced->max, hi);
+    }
+  }
+}
+
+// ------------------------------------------------------------- budgets
+
+TEST(QueryBudget, ScanCapFailsStructurally) {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = 4;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(2);
+
+  auto plan = parse_plan("metric=load_one", 0);
+  ASSERT_TRUE(plan.ok());
+  Budget budget;
+  budget.max_scan = 3;  // 8 hosts in scope
+  auto output =
+      execute(*plan, bed.node("root").store(), &bed.node("root").archiver(),
+              budget);
+  ASSERT_FALSE(output.ok());
+  EXPECT_EQ(output.error().status, 422);
+  EXPECT_EQ(output.error().code, "budget_exceeded");
+  EXPECT_EQ(output.error().limit, "query_max_scan");
+  EXPECT_EQ(output.error().cap, 3u);
+  EXPECT_GT(output.error().observed, 3u);
+}
+
+TEST(QueryBudget, GroupCapFailsStructurally) {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = 4;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(2);
+
+  auto plan = parse_plan("metric=load_one&group=host", 0);
+  ASSERT_TRUE(plan.ok());
+  Budget budget;
+  budget.max_groups = 2;
+  auto output =
+      execute(*plan, bed.node("root").store(), &bed.node("root").archiver(),
+              budget);
+  ASSERT_FALSE(output.ok());
+  EXPECT_EQ(output.error().status, 422);
+  EXPECT_EQ(output.error().limit, "query_max_groups");
+  EXPECT_EQ(output.error().cap, 2u);
+}
+
+// ------------------------------------------------------- gateway route
+
+gmetad::TestbedSpec gateway_spec() {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = 4;
+  return spec;
+}
+
+class QueryGatewayTest : public ::testing::Test {
+ protected:
+  QueryGatewayTest()
+      : bed_(gateway_spec()), gateway_(bed_.node("root"), bed_.clock()) {
+    bed_.run_rounds(3);
+  }
+
+  static http::Request get(std::string target,
+                           std::string if_none_match = "") {
+    http::Request request;
+    request.method = "GET";
+    request.target = std::move(target);
+    request.headers.push_back({"Host", "gw"});
+    if (!if_none_match.empty()) {
+      request.headers.push_back({"If-None-Match", std::move(if_none_match)});
+    }
+    return request;
+  }
+
+  static std::string header(const http::Response& response,
+                            std::string_view name) {
+    const std::string* value = response.find_header(name);
+    return value ? *value : std::string();
+  }
+
+  void republish(const std::string& source) {
+    gmetad::Store& store = bed_.node("root").store();
+    auto current = store.get(source);
+    ASSERT_NE(current, nullptr);
+    Report report;
+    report.clusters = current->clusters();
+    report.grids = current->grids();
+    store.publish(std::make_shared<gmetad::SourceSnapshot>(
+        source, std::move(report), current->fetched_at()));
+  }
+
+  gmetad::Testbed bed_;
+  http::Gateway gateway_;
+};
+
+TEST_F(QueryGatewayTest, ServesTopKJson) {
+  const http::Response response =
+      gateway_.handle(get("/api/v1/query?metric=load_one&top=3"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(header(response, "Content-Type"), "application/json");
+  EXPECT_NE(response.body.find("\"QUERY\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"COLUMNS\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"ROWS\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"STATS\""), std::string::npos);
+  EXPECT_NE(response.body.find("compute-0-"), std::string::npos);
+  EXPECT_EQ(header(response, "X-Cache"), "miss");
+  // Same plan again: served from the response cache.
+  const http::Response again =
+      gateway_.handle(get("/api/v1/query?metric=load_one&top=3"));
+  EXPECT_EQ(header(again, "X-Cache"), "hit");
+  EXPECT_EQ(again.body, response.body);
+}
+
+TEST_F(QueryGatewayTest, BadGrammarIsStructured400) {
+  const http::Response response =
+      gateway_.handle(get("/api/v1/query?metric=load_one&bogus=1"));
+  EXPECT_EQ(response.status, 400);
+  EXPECT_EQ(header(response, "Content-Type"), "application/json");
+  EXPECT_NE(response.body.find("\"ERROR\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"bad_query\""), std::string::npos);
+  // Hostile text must never enter the response cache.
+  EXPECT_EQ(header(response, "X-Cache"), "bypass");
+  EXPECT_EQ(header(response, "Cache-Control"), "no-store");
+}
+
+TEST_F(QueryGatewayTest, BudgetBreachIsStructured422) {
+  http::GatewayOptions options;
+  options.query_max_scan = 2;  // 8 hosts in scope
+  http::Gateway tight(bed_.node("root"), bed_.clock(), options);
+  const http::Response response =
+      tight.handle(get("/api/v1/query?metric=load_one&top=3"));
+  EXPECT_EQ(response.status, 422);
+  EXPECT_NE(response.body.find("\"budget_exceeded\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"query_max_scan\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"CAP\":2"), std::string::npos);
+  EXPECT_NE(response.body.find("\"OBSERVED\""), std::string::npos);
+  EXPECT_EQ(header(response, "Cache-Control"), "no-store");
+
+  http::GatewayOptions small_result;
+  small_result.query_max_result_bytes = 64;
+  http::Gateway tiny(bed_.node("root"), bed_.clock(), small_result);
+  const http::Response too_big =
+      tiny.handle(get("/api/v1/query?metric=load_one&top=3"));
+  EXPECT_EQ(too_big.status, 422);
+  EXPECT_NE(too_big.body.find("\"query_max_result_bytes\""),
+            std::string::npos);
+}
+
+TEST_F(QueryGatewayTest, TimeRangeQueriesServeOverHttp) {
+  const http::Response response = gateway_.handle(
+      get("/api/v1/query?metric=load_one&last=60&cf=avg&group=cluster"));
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"RANGE\""), std::string::npos);
+  EXPECT_NE(response.body.find("\"meteor\""), std::string::npos);
+}
+
+TEST_F(QueryGatewayTest, SourceScopedPlansInvalidatePerSource) {
+  const std::string meteor_q =
+      "/api/v1/query?metric=load_one&from=/meteor&agg=sum&group=cluster";
+  const std::string nashi_q =
+      "/api/v1/query?metric=load_one&from=/nashi&agg=sum&group=cluster";
+  const http::Response meteor = gateway_.handle(get(meteor_q));
+  const http::Response nashi = gateway_.handle(get(nashi_q));
+  ASSERT_EQ(meteor.status, 200);
+  ASSERT_EQ(nashi.status, 200);
+  const std::string meteor_etag = header(meteor, "ETag");
+  const std::string nashi_etag = header(nashi, "ETag");
+  ASSERT_EQ(gateway_.handle(get(meteor_q, meteor_etag)).status, 304);
+  ASSERT_EQ(gateway_.handle(get(nashi_q, nashi_etag)).status, 304);
+
+  republish("meteor");
+
+  const http::Response meteor_after =
+      gateway_.handle(get(meteor_q, meteor_etag));
+  EXPECT_EQ(meteor_after.status, 200)
+      << "publishing meteor must invalidate the meteor-scoped plan";
+  EXPECT_EQ(header(meteor_after, "X-Cache"), "miss");
+  const http::Response nashi_after = gateway_.handle(get(nashi_q, nashi_etag));
+  EXPECT_EQ(nashi_after.status, 304)
+      << "publishing meteor must keep the nashi-only plan's 304 valid";
+  EXPECT_EQ(header(nashi_after, "X-Cache"), "hit");
+}
+
+TEST_F(QueryGatewayTest, WideScopedPlansDependOnEverySource) {
+  const std::string grid_q = "/api/v1/query?metric=load_one&top=3";
+  const std::string regex_q =
+      "/api/v1/query?metric=load_one&from=/~^m.*&top=3";
+  const std::string grid_etag = header(gateway_.handle(get(grid_q)), "ETag");
+  const std::string regex_etag =
+      header(gateway_.handle(get(regex_q)), "ETag");
+  ASSERT_EQ(gateway_.handle(get(grid_q, grid_etag)).status, 304);
+  ASSERT_EQ(gateway_.handle(get(regex_q, regex_etag)).status, 304);
+
+  republish("nashi");
+
+  EXPECT_EQ(gateway_.handle(get(grid_q, grid_etag)).status, 200)
+      << "a whole-grid plan reads every source";
+  EXPECT_EQ(gateway_.handle(get(regex_q, regex_etag)).status, 200)
+      << "a regex source selector depends on the whole source set";
+}
+
+TEST(QueryGatewayConcurrency, QueriesRaceWithPublishes) {
+  gmetad::TestbedSpec spec;
+  spec.nodes.push_back({"root", {}, {"meteor", "nashi"}});
+  spec.hosts_per_cluster = 4;
+  gmetad::Testbed bed(spec);
+  bed.run_rounds(3);
+  http::Gateway gateway(bed.node("root"), bed.clock());
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int reader = 0; reader < 4; ++reader) {
+    readers.emplace_back([&gateway, &failures, reader] {
+      const char* targets[] = {
+          "/api/v1/query?metric=load_one&top=3",
+          "/api/v1/query?metric=mem_free&agg=sum&group=cluster",
+          "/api/v1/query?agg=count&group=source",
+      };
+      for (int i = 0; i < 200; ++i) {
+        http::Request request;
+        request.method = "GET";
+        request.target = targets[(reader + i) % 3];
+        request.headers.push_back({"Host", "gw"});
+        if (gateway.handle(request).status != 200) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+      }
+    });
+  }
+
+  gmetad::Store& store = bed.node("root").store();
+  for (int i = 0; i < 200; ++i) {
+    const char* source = (i % 2) != 0 ? "meteor" : "nashi";
+    auto current = store.get(source);
+    ASSERT_NE(current, nullptr);
+    Report report;
+    report.clusters = current->clusters();
+    report.grids = current->grids();
+    store.publish(std::make_shared<gmetad::SourceSnapshot>(
+        source, std::move(report), current->fetched_at()));
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0)
+      << "queries must stay valid while snapshots are republished";
+}
+
+}  // namespace
+}  // namespace ganglia::query
