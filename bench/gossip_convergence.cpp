@@ -1,19 +1,32 @@
-// Gossip membership scalability: convergence and bandwidth vs group size.
+// Gossip membership scalability: convergence and bandwidth vs group size,
+// across wire modes.
 //
 // The paper's federation is a static tree of data_source lines; the gossip
 // membership layer replaces that with an epidemic protocol, so its costs
 // must stay sane as the federation grows.  This bench runs the same
 // deterministic harness the tests use (tests/gossip_sim_util.hpp — one
 // SimClock, one in-memory fabric, service-mode exchanges) over increasing
-// group sizes and reports, per size:
+// group sizes, once per wire mode:
+//
+//   * text — the legacy GOSSIP1 full-table digest every exchange;
+//   * delta — binary digest-delta sessions (per-peer cursors, interned
+//     names, only changed rows on the wire);
+//   * piggyback — delta sessions riding a carrier channel, as when
+//     membership shares the federation poll stream.
+//
+// Every member advertises a production-shaped metadata block (source=,
+// xml=, fed=, authority=) in all modes, so the text baseline pays what a
+// real federated gmetad pays.  Per size and mode it reports:
 //
 //   * join convergence — rounds until every member knows every member,
 //     starting from nothing but one seed address;
 //   * steady-state bandwidth — gossip payload bytes per member per round
-//     once the group has converged (digests scale with the member table);
+//     once the group has converged (this is where deltas win: a steady
+//     round re-sends heartbeats, not names/addresses/metadata);
 //   * failure detection — rounds from a silent crash until every live
-//     member has convicted the dead one (SUSPECT or worse), i.e. the
-//     completeness latency on top of the configured t_fail.
+//     member has convicted the dead one, i.e. the completeness latency on
+//     top of the configured t_fail.  Detection must not degrade with the
+//     cheaper wire format.
 //
 // Writes machine-readable results to BENCH_gossip.json.
 //
@@ -32,22 +45,38 @@ using namespace ganglia;
 
 namespace {
 
-struct SizeResult {
+struct ModeResult {
+  const char* mode = "text";
   std::size_t members = 0;
   int join_rounds = -1;
   double join_bytes_per_member_round = 0;
   double steady_bytes_per_member_round = 0;
+  double steady_rows_per_member_round = 0;  ///< binary digest rows (delta)
   int detect_rounds = -1;
+  std::uint64_t full_resyncs = 0;
+  std::uint64_t piggyback_exchanges = 0;
 };
 
-SizeResult run_size(std::size_t members) {
+ModeResult run_mode(std::size_t members, const char* mode) {
   gossip::GossipSimOptions options;
   options.members = members;
   options.fanout = 3;  // the shipped gossip_fanout default
+  options.realistic_meta = true;
+  options.delta = std::string(mode) != "text";
+  options.piggyback = std::string(mode) == "piggyback";
   gossip::GossipSim sim(options);
 
-  SizeResult result;
+  ModeResult result;
+  result.mode = mode;
   result.members = members;
+
+  const auto sum = [&](auto field) {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      total += field(sim.agent(i).stats());
+    }
+    return total;
+  };
 
   // Join convergence: everyone bootstraps knowing only the seed.
   const auto everyone_knows_everyone = [&] {
@@ -66,13 +95,22 @@ SizeResult run_size(std::size_t members) {
          static_cast<double>(members));
   }
 
-  // Steady state: converged table, digests at full size.
-  constexpr int kSteadyRounds = 5;
-  const std::uint64_t before = sim.total_bytes_out();
+  // Steady state: converged table; text re-ships it, deltas ship the rows
+  // that moved (heartbeats) against established cursors.
+  constexpr int kSteadyRounds = 10;
+  const std::uint64_t bytes_before = sim.total_bytes_out();
+  const std::uint64_t rows_before =
+      sum([](const gossip::AgentStats& s) { return s.digest_rows_sent; });
   for (int n = 0; n < kSteadyRounds; ++n) sim.run_round();
+  const double denom =
+      static_cast<double>(kSteadyRounds) * static_cast<double>(members);
   result.steady_bytes_per_member_round =
-      static_cast<double>(sim.total_bytes_out() - before) /
-      (static_cast<double>(kSteadyRounds) * static_cast<double>(members));
+      static_cast<double>(sim.total_bytes_out() - bytes_before) / denom;
+  result.steady_rows_per_member_round =
+      static_cast<double>(
+          sum([](const gossip::AgentStats& s) { return s.digest_rows_sent; }) -
+          rows_before) /
+      denom;
 
   // Silent crash in the middle of the id space; completeness latency is
   // rounds until every live member holds a SUSPECT-or-worse verdict.
@@ -86,6 +124,11 @@ SizeResult run_size(std::size_t members) {
     return true;
   };
   result.detect_rounds = sim.run_until(all_convicted, kJoinBound);
+
+  result.full_resyncs =
+      sum([](const gossip::AgentStats& s) { return s.full_resyncs; });
+  result.piggyback_exchanges =
+      sum([](const gossip::AgentStats& s) { return s.piggyback_exchanges; });
   return result;
 }
 
@@ -103,23 +146,36 @@ int main(int argc, char** argv) {
   }
   if (sizes.empty()) sizes = {64, 256, 1024};
 
-  std::printf(
-      "gossip membership: convergence + bandwidth vs group size\n"
-      "(interval 1 s, fanout 3, t_fail 5 s, t_cleanup 5 s)\n\n"
-      "%8s %12s %16s %18s %14s\n",
-      "members", "join (rds)", "join (B/m/rd)", "steady (B/m/rd)",
-      "detect (rds)");
+  static constexpr const char* kModes[] = {"text", "delta", "piggyback"};
 
-  std::vector<SizeResult> results;
+  std::printf(
+      "gossip membership: convergence + bandwidth vs group size and mode\n"
+      "(interval 1 s, fanout 3, t_fail 5 s, t_cleanup 5 s, realistic meta)\n\n"
+      "%8s %10s %10s %14s %16s %12s %10s\n",
+      "members", "mode", "join(rds)", "join(B/m/rd)", "steady(B/m/rd)",
+      "detect(rds)", "resyncs");
+
+  std::vector<ModeResult> results;
   for (const std::size_t members : sizes) {
-    const SizeResult r = run_size(members);
-    results.push_back(r);
-    std::printf("%8zu %12d %16.0f %18.0f %14d\n", r.members, r.join_rounds,
-                r.join_bytes_per_member_round, r.steady_bytes_per_member_round,
-                r.detect_rounds);
-    if (r.join_rounds < 0 || r.detect_rounds < 0) {
-      std::fprintf(stderr, "group of %zu failed to converge\n", members);
-      return 1;
+    double text_steady = 0;
+    for (const char* mode : kModes) {
+      const ModeResult r = run_mode(members, mode);
+      results.push_back(r);
+      std::printf("%8zu %10s %10d %14.0f %16.0f %12d %10llu\n", r.members,
+                  r.mode, r.join_rounds, r.join_bytes_per_member_round,
+                  r.steady_bytes_per_member_round, r.detect_rounds,
+                  static_cast<unsigned long long>(r.full_resyncs));
+      if (r.join_rounds < 0 || r.detect_rounds < 0) {
+        std::fprintf(stderr, "group of %zu (%s) failed to converge\n",
+                     members, mode);
+        return 1;
+      }
+      if (std::string(mode) == "text") {
+        text_steady = r.steady_bytes_per_member_round;
+      } else if (r.steady_bytes_per_member_round > 0) {
+        std::printf("%42s steady-state savings vs text: %.1fx\n", "",
+                    text_steady / r.steady_bytes_per_member_round);
+      }
     }
   }
 
@@ -146,23 +202,33 @@ int main(int argc, char** argv) {
   w.value(std::uint64_t{5});
   w.key("t_cleanup_s");
   w.value(std::uint64_t{5});
+  w.key("realistic_meta");
+  w.value(true);
   w.end_object();
   w.key("metrics");
   w.begin_object();
-  w.key("sizes");
+  w.key("runs");
   w.begin_array();
-  for (const SizeResult& r : results) {
+  for (const ModeResult& r : results) {
     w.begin_object();
     w.key("members");
     w.value(static_cast<std::uint64_t>(r.members));
+    w.key("mode");
+    w.value(r.mode);
     w.key("join_rounds");
     w.value(static_cast<std::int64_t>(r.join_rounds));
     w.key("join_bytes_per_member_per_round");
     w.value(r.join_bytes_per_member_round);
     w.key("steady_bytes_per_member_per_round");
     w.value(r.steady_bytes_per_member_round);
+    w.key("steady_rows_per_member_per_round");
+    w.value(r.steady_rows_per_member_round);
     w.key("detect_rounds");
     w.value(static_cast<std::int64_t>(r.detect_rounds));
+    w.key("full_resyncs");
+    w.value(r.full_resyncs);
+    w.key("piggyback_exchanges");
+    w.value(r.piggyback_exchanges);
     w.end_object();
   }
   w.end_array();

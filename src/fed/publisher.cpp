@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "gossip/delta.hpp"
+
 namespace ganglia::fed {
 
 namespace {
@@ -82,6 +84,37 @@ void Publisher::respond_full(std::string& out, const Doc& doc,
   }
 }
 
+std::string Publisher::serve_digest(std::string_view request) {
+  std::string out;
+  DigestHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(digest_mutex_);
+    handler = digest_handler_;
+  }
+  if (!handler) {
+    respond_error(out, "membership digests unsupported");
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    bytes_out_.fetch_add(out.size(), std::memory_order_relaxed);
+    return out;
+  }
+  auto payload = gossip::collect_digest_frames(request, opts_.max_digest_bytes);
+  if (payload.ok()) {
+    auto reply = handler(*payload);
+    if (reply.ok()) {
+      gossip::put_digest_frames(out, *reply, opts_.max_frame);
+      digests_.fetch_add(1, std::memory_order_relaxed);
+      bytes_out_.fetch_add(out.size(), std::memory_order_relaxed);
+      return out;
+    }
+    respond_error(out, reply.error().message);
+  } else {
+    respond_error(out, payload.error().message);
+  }
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  bytes_out_.fetch_add(out.size(), std::memory_order_relaxed);
+  return out;
+}
+
 std::string Publisher::serve(std::string_view request) {
   std::string out;
   net::Frame frame;
@@ -93,6 +126,7 @@ std::string Publisher::serve(std::string_view request) {
     bytes_out_.fetch_add(out.size(), std::memory_order_relaxed);
     return out;
   }
+  if (frame.type == gossip::kFrameDigestBegin) return serve_digest(request);
   auto req = decode_request(frame.type, frame.payload);
   if (!req.ok()) {
     respond_error(out, req.error().message);
@@ -213,6 +247,11 @@ std::string Publisher::serve(std::string_view request) {
   return out;
 }
 
+void Publisher::set_digest_handler(DigestHandler handler) {
+  std::lock_guard<std::mutex> lock(digest_mutex_);
+  digest_handler_ = std::move(handler);
+}
+
 net::ServiceFn Publisher::service() {
   return [this](std::string_view request) -> Result<std::string> {
     return serve(request);
@@ -225,6 +264,7 @@ PublisherStats Publisher::stats() const {
   s.deltas = deltas_.load(std::memory_order_relaxed);
   s.fulls = fulls_.load(std::memory_order_relaxed);
   s.pings = pings_.load(std::memory_order_relaxed);
+  s.digests = digests_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);

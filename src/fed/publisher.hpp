@@ -39,6 +39,8 @@ using DocProvider = std::function<Doc()>;
 struct PublisherOptions {
   std::size_t max_sessions = 64;
   std::size_t max_frame = kMaxFrameBytes;
+  /// Cap on a reassembled piggybacked membership digest payload.
+  std::size_t max_digest_bytes = 4u << 20;
 };
 
 /// Point-in-time counters for the stats route.
@@ -47,6 +49,7 @@ struct PublisherStats {
   std::uint64_t deltas = 0;      ///< responses answered with a row delta
   std::uint64_t fulls = 0;       ///< responses answered with full XML
   std::uint64_t pings = 0;
+  std::uint64_t digests = 0;     ///< piggybacked membership exchanges
   std::uint64_t errors = 0;      ///< malformed/unsupported requests
   std::uint64_t evictions = 0;   ///< sessions dropped by the LRU cap
   std::uint64_t bytes_out = 0;
@@ -65,6 +68,14 @@ class Publisher {
   /// Adapter for in-memory transport service registration.
   net::ServiceFn service();
 
+  /// Receiver for piggybacked membership digests: one reassembled digest
+  /// payload in, one payload out (the gmetad wires this to its gossip
+  /// agent).  Requests with digest frames answer through it, sharing the
+  /// poll stream; without a handler they get a kFrameError.
+  using DigestHandler =
+      std::function<Result<std::string>(std::string_view payload)>;
+  void set_digest_handler(DigestHandler handler);
+
   PublisherStats stats() const;
 
  private:
@@ -77,6 +88,7 @@ class Publisher {
   };
 
   std::shared_ptr<Session> session_for(const std::string& id);
+  std::string serve_digest(std::string_view request);
   std::shared_ptr<const std::string> xml_for(const Doc& doc);
   void respond_full(std::string& out, const Doc& doc, std::size_t max_payload,
                     Session* sess);
@@ -93,10 +105,14 @@ class Publisher {
   std::uint64_t xml_version_ = 0;
   std::shared_ptr<const std::string> xml_cache_;
 
+  std::mutex digest_mutex_;
+  DigestHandler digest_handler_;
+
   std::atomic<std::uint64_t> polls_{0};
   std::atomic<std::uint64_t> deltas_{0};
   std::atomic<std::uint64_t> fulls_{0};
   std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> digests_{0};
   std::atomic<std::uint64_t> errors_{0};
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::uint64_t> bytes_out_{0};

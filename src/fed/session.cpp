@@ -6,6 +6,8 @@
 
 #include "common/rng.hpp"
 #include "fed/apply.hpp"
+#include "gossip/delta.hpp"
+#include "gossip/message.hpp"
 #include "net/framing.hpp"
 
 namespace ganglia::fed {
@@ -186,6 +188,33 @@ Result<Outcome> Session::read_response(net::Stream& stream,
   out.delta = true;
   out.bytes = request_bytes + reader.bytes_read();
   return out;
+}
+
+Result<std::string> Session::digest_exchange(net::Transport& transport,
+                                             TimeUs timeout,
+                                             std::string_view payload) {
+  std::string request;
+  gossip::put_digest_frames(request, payload, opts_.max_frame);
+  auto stream = exchange(transport, timeout, request);
+  if (!stream.ok()) {
+    stream_.reset();
+    return stream.error();
+  }
+  net::FrameReader reader(**stream, opts_.max_frame + 64);
+  auto begin = reader.next();
+  if (!begin.ok()) {
+    stream_.reset();
+    return begin.error();
+  }
+  if (begin->type == kFrameError) {
+    stream_.reset();
+    return Err(Errc::unsupported,
+               "publisher error: " + std::string(begin->payload));
+  }
+  auto reply = gossip::read_digest_frames(reader, *begin,
+                                          gossip::kMaxDigestBytes);
+  if (!reply.ok()) stream_.reset();
+  return reply;
 }
 
 Status Session::ping(net::Transport& transport, TimeUs timeout) {

@@ -61,6 +61,15 @@ class Session {
   /// NATs and idle-timeout middleboxes from reaping it between polls.
   Status ping(net::Transport& transport, TimeUs timeout);
 
+  /// Piggyback one membership digest exchange on the poll stream: frame
+  /// `payload` as digest frames, send it like any other request, and read
+  /// back the peer's digest payload.  Digest failures reset only the
+  /// stream (it may be desynced), never the poll base — version matching
+  /// keeps the next poll correct either way.
+  Result<std::string> digest_exchange(net::Transport& transport,
+                                      TimeUs timeout,
+                                      std::string_view payload);
+
   /// Drop the base and the stream: the next poll performs a full resync.
   void invalidate();
 

@@ -80,6 +80,22 @@ void DataSource::heartbeat(net::Transport& transport, TimeUs timeout) {
   }
 }
 
+std::optional<Result<std::string>> DataSource::piggyback_digest(
+    net::Transport& transport, TimeUs timeout, std::string_view payload) {
+  if (config_.federation_address.empty()) return std::nullopt;
+  if (!session_live_.load(std::memory_order_relaxed)) return std::nullopt;
+  std::unique_lock lock(session_mutex_, std::try_to_lock);
+  if (!lock.owns_lock() || session_ == nullptr) return std::nullopt;
+  piggyback_digests_.fetch_add(1, std::memory_order_relaxed);
+  auto reply = session_->digest_exchange(transport, timeout, payload);
+  if (!reply.ok()) {
+    GLOG(debug, "gmetad") << "source " << config_.name
+                          << ": piggybacked digest failed: "
+                          << reply.error().to_string();
+  }
+  return reply;
+}
+
 Result<DataSource::Fetched> DataSource::fetch(net::Transport& transport,
                                               TimeUs timeout,
                                               std::int64_t now_s,

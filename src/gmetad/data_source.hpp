@@ -72,6 +72,13 @@ class DataSource {
   /// session is live and idle.  Skips silently when a poll is in flight.
   void heartbeat(net::Transport& transport, TimeUs timeout);
 
+  /// Offer one membership digest exchange a ride on the live delta
+  /// session (gossip::Agent::Carrier semantics): nullopt when there is no
+  /// live session or a poll holds it — the agent then dials gossip
+  /// directly — otherwise the exchange's result.
+  std::optional<Result<std::string>> piggyback_digest(
+      net::Transport& transport, TimeUs timeout, std::string_view payload);
+
   const DataSourceConfig& config() const noexcept { return config_; }
   const std::string& name() const noexcept { return config_.name; }
   std::int64_t poll_interval_s() const noexcept {
@@ -81,6 +88,10 @@ class DataSource {
   /// Swap the federation endpoint (gossip-discovered topology).  Resets
   /// the session when the address actually changes.
   void set_federation_address(const std::string& address);
+  std::string federation_address() const {
+    std::lock_guard lock(session_mutex_);
+    return config_.federation_address;
+  }
 
   // -- health introspection (safe to call while a fetch is in flight) ------
   bool reachable() const noexcept { return reachable_.load(std::memory_order_relaxed); }
@@ -128,6 +139,10 @@ class DataSource {
   /// "xml" (no delta endpoint), "backoff", "delta" (live session), or
   /// "sync" (endpoint known, session not yet established).
   std::string session_mode(std::int64_t now_s) const;
+  /// Membership digest exchanges carried on the poll stream.
+  std::uint64_t piggyback_digests() const noexcept {
+    return piggyback_digests_.load(std::memory_order_relaxed);
+  }
 
  private:
   Result<Fetched> fetch_delta(net::Transport& transport, TimeUs timeout,
@@ -142,7 +157,7 @@ class DataSource {
   mutable std::mutex last_error_mutex_;
   std::string last_error_;
 
-  std::mutex session_mutex_;
+  mutable std::mutex session_mutex_;
   std::unique_ptr<fed::Session> session_;
   std::atomic<std::int64_t> delta_retry_after_{0};
   std::atomic<bool> session_live_{false};
@@ -153,6 +168,7 @@ class DataSource {
   std::atomic<std::uint64_t> bytes_full_{0};
   std::atomic<std::uint64_t> bytes_saved_{0};
   std::atomic<std::uint64_t> last_full_bytes_{0};
+  std::atomic<std::uint64_t> piggyback_digests_{0};
 };
 
 }  // namespace ganglia::gmetad

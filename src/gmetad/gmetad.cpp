@@ -40,6 +40,7 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
 
   fed::PublisherOptions fed_opts;
   fed_opts.max_frame = config_.federation_max_frame;
+  fed_opts.max_digest_bytes = config_.gossip_max_digest;
   publisher_ = std::make_unique<fed::Publisher>(
       [this] { return current_doc(); }, fed_opts);
 
@@ -53,6 +54,10 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
     opts.t_fail_us = config_.gossip_t_fail_s * kMicrosPerSecond;
     opts.t_cleanup_us = config_.gossip_t_cleanup_s * kMicrosPerSecond;
     opts.connect_timeout_us = config_.connect_timeout_s * kMicrosPerSecond;
+    opts.delta = config_.gossip_delta;
+    opts.max_digest_bytes = config_.gossip_max_digest;
+    opts.resync_backoff_rounds =
+        static_cast<std::uint64_t>(config_.gossip_resync_backoff);
     // Independent deterministic stream per member id.
     std::uint64_t seed = 0xcbf29ce484222325ULL;
     for (const char c : config_.grid_name) {
@@ -87,6 +92,18 @@ Gmetad::Gmetad(GmetadConfig config, net::Transport& transport, Clock& clock)
     if (failover_) {
       gossip_->set_event_handler([this](const gossip::MemberEvent& event) {
         failover_->observe(event);
+      });
+    }
+    if (config_.gossip_delta && config_.gossip_piggyback) {
+      // Both halves of piggybacking: outbound digests ride our live poll
+      // sessions (carrier), inbound ones arrive through the publisher on
+      // the federation listener a parent is already polling.
+      gossip_->set_carrier(
+          [this](const std::string& peer_address, const std::string& payload) {
+            return piggyback_digest(peer_address, payload);
+          });
+      publisher_->set_digest_handler([this](std::string_view payload) {
+        return gossip_->handle_digest_payload(payload);
       });
     }
   }
@@ -484,12 +501,21 @@ void Gmetad::handle_federation_connection(net::Stream& stream) {
   }
   // Persistent session: one framed request, one framed response, repeat
   // until the peer disconnects (or framing breaks — the client resyncs).
+  // A piggybacked membership digest is the one multi-frame request; it is
+  // reassembled here so the publisher always sees a complete request.
   net::FrameReader reader(stream, config_.federation_max_frame);
   while (running_.load()) {
     auto frame = reader.next();
     if (!frame.ok()) break;
     std::string request;
-    net::put_frame(request, frame->type, frame->payload);
+    if (frame->type == gossip::kFrameDigestBegin) {
+      auto payload =
+          gossip::read_digest_frames(reader, *frame, config_.gossip_max_digest);
+      if (!payload.ok()) break;
+      gossip::put_digest_frames(request, *payload, config_.federation_max_frame);
+    } else {
+      net::put_frame(request, frame->type, frame->payload);
+    }
     std::string response;
     {
       ScopedCpuMeter meter(cpu_meter_);
@@ -498,6 +524,29 @@ void Gmetad::handle_federation_connection(net::Stream& stream) {
     if (!stream.write_all(response).ok()) break;
   }
   stream.close();
+}
+
+std::optional<Result<std::string>> Gmetad::piggyback_digest(
+    const std::string& peer_address, const std::string& payload) {
+  if (!gossip_) return std::nullopt;
+  // Gossip address -> the member's advertised delta endpoint -> the data
+  // source already holding a session to it.  Any miss along the way means
+  // no open channel, and the agent dials a gossip connection instead.
+  std::string fed_address;
+  for (const gossip::MemberEntry& member : gossip_->members()) {
+    if (member.address != peer_address) continue;
+    if (const auto fed = member.meta.find("fed"); fed != member.meta.end()) {
+      fed_address = fed->second;
+    }
+    break;
+  }
+  if (fed_address.empty()) return std::nullopt;
+  for (const auto& source : snapshot_sources()) {
+    if (source->federation_address() != fed_address) continue;
+    return source->piggyback_digest(
+        transport_, config_.connect_timeout_s * kMicrosPerSecond, payload);
+  }
+  return std::nullopt;
 }
 
 Status Gmetad::send_join(const std::string& parent_interactive_address) {

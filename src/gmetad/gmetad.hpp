@@ -37,6 +37,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "common/clock.hpp"
@@ -210,6 +211,10 @@ class Gmetad {
   /// Serve framed polls over one accepted federation connection until the
   /// peer goes away.
   void handle_federation_connection(net::Stream& stream);
+  /// gossip::Agent::Carrier: route an outbound membership digest over the
+  /// live federation poll session to that peer, when one exists.
+  std::optional<Result<std::string>> piggyback_digest(
+      const std::string& peer_address, const std::string& payload);
   /// Drop dynamic children whose joins lapsed (sources, schedule, store).
   void prune_expired_children(std::int64_t now);
   /// Reconcile membership-derived data sources (own children + any primary

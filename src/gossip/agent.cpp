@@ -7,6 +7,27 @@
 
 namespace ganglia::gossip {
 
+namespace {
+
+std::uint64_t hash_str(std::string_view s) {
+  // FNV-1a 64.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t z) {
+  // SplitMix64 finalizer.
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
 Agent::Agent(AgentOptions options, net::Transport& transport, Clock& clock)
     : options_(std::move(options)),
       transport_(transport),
@@ -20,18 +41,52 @@ Agent::Agent(AgentOptions options, net::Transport& transport, Clock& clock)
 
 Agent::~Agent() { stop(); }
 
-std::vector<std::string> Agent::pick_targets() {
-  // Caller holds mutex_.
-  std::vector<std::string> alive = table_.alive_peer_addresses();
-  std::vector<std::string> targets;
-
-  // Partial Fisher–Yates: the first `fanout` slots of a shuffle.
+const std::vector<PeerRef>& Agent::stable_partners() {
+  // Caller holds mutex_.  Recomputed only when the alive set changes:
+  // stable pairings are what give the per-peer cursors something to
+  // amortise against, and the pairwise-hash ranking still yields a random
+  // graph across the grid (expected degree ~2·fanout), so dissemination
+  // keeps the log-n spread that random fanout had.
+  const std::uint64_t version = table_.membership_version();
+  if (partners_valid_ && partners_version_ == version) return partners_;
+  partners_valid_ = true;
+  partners_version_ = version;
+  partners_.clear();
+  std::vector<PeerRef> alive = table_.alive_peers();
   const std::size_t k = std::min(options_.fanout, alive.size());
+  if (k == 0) return partners_;
+  const std::uint64_t self_hash = hash_str(options_.id);
+  std::vector<std::pair<std::uint64_t, std::size_t>> scored;
+  scored.reserve(alive.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    scored.emplace_back(
+        mix64(self_hash ^ (hash_str(alive[i].id) * 0x9e3779b97f4a7c15ULL)), i);
+  }
+  std::partial_sort(
+      scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+      scored.end(), [](const auto& a, const auto& b) { return a.first > b.first; });
   for (std::size_t i = 0; i < k; ++i) {
-    const std::size_t j =
-        i + rng_.next_below(static_cast<std::uint32_t>(alive.size() - i));
-    std::swap(alive[i], alive[j]);
-    targets.push_back(alive[i]);
+    partners_.push_back(std::move(alive[scored[i].second]));
+  }
+  return partners_;
+}
+
+std::vector<PeerRef> Agent::pick_targets() {
+  // Caller holds mutex_.
+  std::vector<PeerRef> alive = table_.alive_peers();
+  std::vector<PeerRef> targets;
+
+  if (options_.delta) {
+    targets = stable_partners();
+  } else {
+    // Partial Fisher–Yates: the first `fanout` slots of a shuffle.
+    const std::size_t k = std::min(options_.fanout, alive.size());
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j =
+          i + rng_.next_below(static_cast<std::uint32_t>(alive.size() - i));
+      std::swap(alive[i], alive[j]);
+      targets.push_back(alive[i]);
+    }
   }
 
   // Resurrection probe: while any peer stands convicted (or we know no live
@@ -39,7 +94,7 @@ std::vector<std::string> Agent::pick_targets() {
   // partition, the first answered probe re-merges both sides.  Otherwise
   // fall back to a periodic seed probe so a pruned table can rediscover the
   // group.
-  const std::vector<std::string> faulty = table_.faulty_peer_addresses();
+  const std::vector<PeerRef> faulty = table_.faulty_peers();
   if (!faulty.empty()) {
     targets.push_back(
         faulty[rng_.next_below(static_cast<std::uint32_t>(faulty.size()))]);
@@ -47,64 +102,519 @@ std::vector<std::string> Agent::pick_targets() {
              (alive.empty() || stats_.rounds % kSeedProbePeriod == 0)) {
     const std::string& seed = options_.seeds[rng_.next_below(
         static_cast<std::uint32_t>(options_.seeds.size()))];
-    if (seed != table_.self().address &&
-        std::find(targets.begin(), targets.end(), seed) == targets.end()) {
-      targets.push_back(seed);
+    const bool already =
+        std::any_of(targets.begin(), targets.end(),
+                    [&](const PeerRef& t) { return t.address == seed; });
+    if (seed != table_.self().address && !already) {
+      PeerRef ref{"", seed};
+      for (const PeerRef& peer : alive) {
+        if (peer.address == seed) {
+          ref.id = peer.id;
+          break;
+        }
+      }
+      targets.push_back(std::move(ref));
     }
   }
   return targets;
 }
 
+// Session capacity: the configured LRU bound is a floor, not a ceiling —
+// sessions are per-peer protocol state, so the natural working set is the
+// membership itself.  Evicting below that thrashes: every member
+// seed-probes on the same cadence, and a seed whose sessions cycle
+// answers each prober with a resync, turning O(changed) steady-state
+// digests back into full tables.  Memory stays O(n), which the member
+// table already is.
+std::size_t Agent::session_cap_locked() const {
+  return std::max(options_.max_sessions, table_.size());
+}
+
+Agent::SenderCursor& Agent::touch_cursor(const std::string& peer_id) {
+  auto it = cursors_.find(peer_id);
+  if (it == cursors_.end()) {
+    if (cursors_.size() >= session_cap_locked()) {
+      auto victim = cursors_.begin();
+      for (auto i = cursors_.begin(); i != cursors_.end(); ++i) {
+        if (i->second.last_used < victim->second.last_used) victim = i;
+      }
+      cursors_.erase(victim);
+    }
+    it = cursors_.emplace(peer_id, SenderCursor{}).first;
+  }
+  it->second.last_used = ++session_use_;
+  return it->second;
+}
+
+Agent::ReceiverSession& Agent::touch_rx(const std::string& sender_id) {
+  auto it = rx_.find(sender_id);
+  if (it == rx_.end()) {
+    if (rx_.size() >= session_cap_locked()) {
+      auto victim = rx_.begin();
+      for (auto i = rx_.begin(); i != rx_.end(); ++i) {
+        if (i->second.last_used < victim->second.last_used) victim = i;
+      }
+      rx_.erase(victim);
+    }
+    it = rx_.emplace(sender_id, ReceiverSession{}).first;
+  }
+  it->second.last_used = ++session_use_;
+  return it->second;
+}
+
+DigestAck Agent::rx_ack_locked(const std::string& sender_id) const {
+  const auto it = rx_.find(sender_id);
+  if (it == rx_.end() || !it->second.valid) return DigestAck{};
+  const ReceiverSession& session = it->second;
+  return DigestAck{AckKind::cursor, session.epoch, session.applied_seq,
+                   session.names.size()};
+}
+
+bool Agent::peer_holds(const ReceiverSession& rx, const MemberEntry& entry) {
+  const auto it = rx.heard.find(entry.id);
+  if (it == rx.heard.end()) return false;
+  const ReceiverSession::Heard& heard = it->second;
+  if (heard.left) {
+    // Tombstoned at the peer: merge() only listens to a fresher-incarnation
+    // rejoin; further tombstones and same-life heartbeats are ignored.
+    return entry.state == MemberState::left ||
+           entry.incarnation <= heard.incarnation;
+  }
+  if (entry.state == MemberState::left) {
+    // merge() honours a tombstone at an equal-or-newer incarnation.
+    return entry.incarnation < heard.incarnation;
+  }
+  // Liveness rows need strictly fresher (incarnation, heartbeat) to land.
+  return entry.incarnation < heard.incarnation ||
+         (entry.incarnation == heard.incarnation &&
+          entry.heartbeat <= heard.heartbeat);
+}
+
+std::string Agent::build_digest_locked(const std::string& peer_id,
+                                       bool* refused) {
+  BinaryDigest digest;
+  digest.sender_id = options_.id;
+  if (!peer_id.empty()) digest.ack = rx_ack_locked(peer_id);
+  SenderCursor* cursor = peer_id.empty() ? nullptr : &touch_cursor(peer_id);
+  const bool incremental = cursor != nullptr && cursor->established;
+  const std::uint64_t floor = incremental ? cursor->acked_seq : 0;
+
+  if (incremental) {
+    digest.kind = DigestKind::delta;
+    digest.epoch = cursor->epoch;
+  } else {
+    // Full resync: a fresh dictionary generation.  The epoch fences stale
+    // acks from the previous generation, and reassigning ids densely keeps
+    // the receiver's dictionary hole-free.
+    digest.kind = DigestKind::full;
+    digest.epoch = rng_.next_u64() | 1;
+    if (cursor != nullptr) {
+      cursor->epoch = digest.epoch;
+      cursor->ids.clear();
+      cursor->acked_seq = 0;
+      cursor->acked_names = 0;
+    }
+  }
+  digest.from_seq = floor;
+  digest.to_seq = table_.seq();
+
+  std::map<std::string, std::uint32_t> one_shot_ids;
+  std::map<std::string, std::uint32_t>& ids =
+      cursor != nullptr ? cursor->ids : one_shot_ids;
+  const std::vector<const MemberEntry*> changed = table_.gossipable_since(floor);
+  const ReceiverSession* peer_rx = nullptr;
+  if (!peer_id.empty()) {
+    const auto rx_it = rx_.find(peer_id);
+    if (rx_it != rx_.end()) peer_rx = &rx_it->second;
+  }
+
+  // Encode rows against the byte cap (96 bytes of header slack).
+  const std::size_t budget =
+      options_.max_digest_bytes > 96 ? options_.max_digest_bytes - 96 : 0;
+  std::string scratch;
+  std::uint64_t covered = floor;
+  bool truncated = false;
+  for (const MemberEntry* entry : changed) {
+    if (digest.rows.size() >= kMaxDigestEntries) {
+      truncated = true;
+      break;
+    }
+    if (peer_rx != nullptr && peer_holds(*peer_rx, *entry)) {
+      // Echo suppression: the peer told us this row (or fresher) itself —
+      // their merge() would reject it.  The cursor still advances past it;
+      // any later change re-versions the row back into the next delta.
+      covered = entry->version;
+      ++stats_.digest_rows_suppressed;
+      continue;
+    }
+    DigestRow row;
+    const auto [it, inserted] =
+        ids.try_emplace(entry->id, static_cast<std::uint32_t>(ids.size()));
+    row.name_id = it->second;
+    if (!incremental || inserted || row.name_id >= cursor->acked_names) {
+      row.flags |= kRowDefine;
+      row.id = entry->id;
+    }
+    if (!incremental || entry->fields_version > floor) {
+      row.flags |= kRowFields;
+      row.address = entry->address;
+      if (!entry->meta.empty()) {
+        row.flags |= kRowMeta;
+        row.meta = entry->meta;
+      }
+    }
+    if (entry->state == MemberState::left) row.flags |= kRowLeft;
+    row.incarnation = entry->incarnation;
+    row.heartbeat = entry->heartbeat;
+    const std::size_t before = scratch.size();
+    encode_digest_row(scratch, row);
+    if (scratch.size() > budget) {
+      scratch.resize(before);
+      truncated = true;
+      break;
+    }
+    covered = entry->version;
+    digest.rows.push_back(std::move(row));
+  }
+
+  if (truncated && !incremental) {
+    // The full table itself cannot fit: structured refusal, and back off
+    // to text digests (whose cap is independent) so membership still flows.
+    BinaryDigest refusal;
+    refusal.kind = DigestKind::refuse;
+    refusal.sender_id = options_.id;
+    refusal.ack = digest.ack;
+    refusal.refuse_reason = "member table exceeds digest byte cap";
+    ++stats_.digest_refusals;
+    if (refused != nullptr) *refused = true;
+    if (cursor != nullptr) {
+      cursor->text_until_round =
+          stats_.rounds + options_.resync_backoff_rounds;
+      ++stats_.text_fallbacks;
+    }
+    return encode_binary_digest(refusal);
+  }
+  if (truncated) {
+    // A cut delta stays correct by claiming only the covered prefix: the
+    // peer's ack floor advances to `covered` and the rest ships next round.
+    ++stats_.digest_truncations;
+    digest.to_seq = covered;
+  }
+
+  if (incremental) {
+    ++stats_.digests_delta_sent;
+  } else {
+    ++stats_.digests_full_sent;
+  }
+  stats_.digest_rows_sent += digest.rows.size();
+  if (cursor != nullptr) cursor->rows_sent += digest.rows.size();
+  return encode_binary_digest(digest);
+}
+
+void Agent::apply_ack_locked(const std::string& peer_id,
+                             const DigestAck& ack) {
+  const auto it = cursors_.find(peer_id);
+  if (it == cursors_.end()) return;
+  SenderCursor& cursor = it->second;
+  if (ack.kind == AckKind::cursor) {
+    if (cursor.epoch == 0 || ack.epoch != cursor.epoch) return;  // stale
+    cursor.established = true;
+    cursor.acked_seq =
+        std::max(cursor.acked_seq, std::min(ack.seq, table_.seq()));
+    cursor.acked_names = std::max(
+        cursor.acked_names,
+        std::min<std::uint64_t>(ack.names, cursor.ids.size()));
+  } else if (cursor.established) {
+    // The peer lost our session (restart, eviction, reject): next digest
+    // is a self-contained full.
+    cursor.established = false;
+    ++cursor.resyncs;
+    ++stats_.full_resyncs;
+  }
+}
+
+bool Agent::apply_body_locked(const BinaryDigest& digest,
+                              std::vector<MemberEvent>& events) {
+  ReceiverSession& session = touch_rx(digest.sender_id);
+  if (digest.kind == DigestKind::refuse) return true;  // nothing to apply
+  const bool full = digest.kind == DigestKind::full;
+  if (!full) {
+    // `from_seq <= applied_seq` rather than `==`: merges are idempotent,
+    // so replaying rows we already applied (a lost ack left the sender's
+    // floor behind) is harmless; only a gap *beyond* what we applied — or
+    // a different dictionary generation — forces a resync.
+    if (!session.valid || session.epoch != digest.epoch ||
+        digest.from_seq > session.applied_seq) {
+      session.valid = false;
+      ++stats_.digest_rejects;
+      return false;
+    }
+  }
+
+  // Phase 1: resolve every row, staging dictionary changes.  Any failure
+  // rejects the whole digest before a single row is merged — the strict
+  // applier rule that makes corruption cost a resync, never divergence.
+  const std::size_t base = full ? 0 : session.names.size();
+  std::map<std::uint32_t, std::string> staged;
+  std::size_t appended = 0;
+  std::vector<MemberEntry> entries;
+  entries.reserve(digest.rows.size());
+  std::vector<const std::string*> fresh_fields;
+  for (const DigestRow& row : digest.rows) {
+    std::string id;
+    if ((row.flags & kRowDefine) != 0) {
+      if (row.name_id > base + appended) {
+        session.valid = false;
+        ++stats_.digest_rejects;
+        return false;  // dictionary gap
+      }
+      if (row.name_id == base + appended) ++appended;
+      staged[row.name_id] = row.id;
+      id = row.id;
+    } else {
+      const auto it = staged.find(row.name_id);
+      if (it != staged.end()) {
+        id = it->second;
+      } else if (!full && row.name_id < base &&
+                 !session.names[row.name_id].empty()) {
+        id = session.names[row.name_id];
+      } else {
+        session.valid = false;
+        ++stats_.digest_rejects;
+        return false;  // unknown dictionary id
+      }
+    }
+    MemberEntry entry;
+    entry.id = id;
+    if ((row.flags & kRowFields) != 0) {
+      entry.address = row.address;
+      if ((row.flags & kRowMeta) != 0) entry.meta = row.meta;
+    } else {
+      // Context-stateful row: fill address/meta from our own table, which
+      // the session contract guarantees is current — unless we dropped and
+      // re-learned the member since (tainted), where the local copy may be
+      // from an older life.  Either miss is a hard reject.
+      if (full) {
+        session.valid = false;
+        ++stats_.digest_rejects;
+        return false;  // fulls must be self-contained
+      }
+      const MemberEntry* own = table_.find(id);
+      if (own == nullptr || session.tainted.count(id) != 0) {
+        session.valid = false;
+        ++stats_.digest_rejects;
+        return false;
+      }
+      entry.address = own->address;
+      entry.meta = own->meta;
+    }
+    entry.state =
+        (row.flags & kRowLeft) != 0 ? MemberState::left : MemberState::alive;
+    entry.incarnation = row.incarnation;
+    entry.heartbeat = row.heartbeat;
+    entries.push_back(std::move(entry));
+    if ((row.flags & kRowFields) != 0) {
+      fresh_fields.push_back(&entries.back().id);
+    }
+  }
+
+  // Phase 2: commit.
+  if (full) {
+    session.epoch = digest.epoch;
+    session.names.assign(appended, std::string());
+    session.applied_seq = digest.to_seq;
+    session.valid = true;
+    session.tainted.clear();
+    session.heard.clear();  // the full IS the peer's table; start over
+  } else {
+    session.names.resize(base + appended);
+    session.applied_seq = std::max(session.applied_seq, digest.to_seq);
+  }
+  for (auto& [name_id, name] : staged) {
+    session.names[name_id] = std::move(name);
+  }
+  for (const std::string* id : fresh_fields) {
+    session.tainted.erase(*id);
+  }
+  for (const MemberEntry& entry : entries) {
+    // Record what the peer demonstrably holds (echo suppression's floor).
+    ReceiverSession::Heard& heard = session.heard[entry.id];
+    const bool newer_life = entry.incarnation > heard.incarnation;
+    if (!newer_life && (entry.incarnation < heard.incarnation ||
+                        entry.heartbeat < heard.heartbeat)) {
+      continue;
+    }
+    if (entry.state == MemberState::left) {
+      heard.left = true;
+    } else if (newer_life) {
+      heard.left = false;  // a fresher incarnation supersedes a tombstone
+    }
+    heard.incarnation = entry.incarnation;
+    heard.heartbeat = entry.heartbeat;
+  }
+  table_.merge(entries, clock_.now_us(), events);
+  return true;
+}
+
+void Agent::mark_text_fallback(const std::string& peer_id) {
+  if (peer_id.empty()) return;
+  std::lock_guard lock(mutex_);
+  SenderCursor& cursor = touch_cursor(peer_id);
+  cursor.established = false;
+  cursor.text_until_round = stats_.rounds + options_.resync_backoff_rounds;
+  ++stats_.text_fallbacks;
+}
+
 void Agent::tick() {
   std::vector<MemberEvent> events;
-  std::string digest;
-  std::vector<std::string> targets;
+  std::vector<Outbound> outs;
   {
     std::lock_guard lock(mutex_);
     const TimeUs now = clock_.now_us();
     table_.tick_self(now);
     table_.advance(now, options_.t_fail_us, options_.t_cleanup_us, events);
     ++stats_.rounds;
-    targets = pick_targets();
-    if (!targets.empty()) {
-      digest = encode_digest(options_.id, table_.gossipable());
+    // A removed row taints every receiver session holding it: a later
+    // context-stateful row for that member can no longer trust the local
+    // copy (it may be a re-learned older life) and must carry its fields.
+    for (const MemberEvent& event : events) {
+      if (event.kind == MemberEvent::Kind::removed) {
+        for (auto& [sender, session] : rx_) {
+          (void)sender;
+          session.tainted.insert(event.entry.id);
+          // Drop the echo-suppression floor too: if the member rejoins in
+          // a same-incarnation life, stale "peer holds fresher" evidence
+          // must not stop us forwarding the rejoin.
+          session.heard.erase(event.entry.id);
+        }
+      }
+    }
+    std::string text;
+    for (PeerRef& target : pick_targets()) {
+      Outbound out;
+      out.target = std::move(target);
+      out.binary = options_.delta;
+      if (out.binary && !out.target.id.empty()) {
+        const auto it = cursors_.find(out.target.id);
+        if (it != cursors_.end() &&
+            stats_.rounds < it->second.text_until_round) {
+          out.binary = false;  // backoff window after a binary failure
+        }
+      }
+      if (out.binary) {
+        // A table too big for the binary cap refuses at build time; don't
+        // waste the round trip on a doomed exchange — initiate in text
+        // (the responder path still answers inbound requests with the
+        // structured refusal, since binary callers read binary replies).
+        bool refused = false;
+        out.payload = build_digest_locked(out.target.id, &refused);
+        if (refused) out.binary = false;
+      }
+      if (!out.binary) {
+        if (text.empty()) {
+          text = encode_digest(options_.id, table_.gossipable());
+        }
+        out.payload = text;
+      }
+      outs.push_back(std::move(out));
     }
   }
   dispatch(events);
-  for (const std::string& target : targets) {
-    exchange_with(target, digest);
+  for (Outbound& out : outs) {
+    exchange_with(out);
   }
 }
 
-void Agent::exchange_with(const std::string& peer_address,
-                          const std::string& digest) {
+void Agent::exchange_with(Outbound& out) {
   {
     std::lock_guard lock(mutex_);
     ++stats_.sends;
-    stats_.bytes_out += digest.size();
+    stats_.bytes_out += out.payload.size();
   }
   const TimeUs timeout =
       std::min(options_.connect_timeout_us, options_.interval_us);
-  auto conn = transport_.connect(peer_address, timeout);
+
+  if (out.binary) {
+    // Piggyback: offer the exchange to the carrier (an already-open
+    // federation stream) first; dial a gossip connection only when no
+    // carrier channel exists for this peer.
+    Carrier carrier;
+    {
+      std::lock_guard lock(handler_mutex_);
+      carrier = carrier_;
+    }
+    if (carrier) {
+      auto via = carrier(out.target.address, out.payload);
+      if (via.has_value()) {
+        if (via->ok()) {
+          {
+            std::lock_guard lock(mutex_);
+            ++stats_.piggyback_exchanges;
+          }
+          merge_reply_payload(**via);
+          return;
+        }
+        // The carrier channel existed but broke mid-exchange; fall through
+        // to a direct dial this round.
+      }
+    }
+  }
+
+  auto conn = transport_.connect(out.target.address, timeout);
   if (!conn.ok()) {
     std::lock_guard lock(mutex_);
     ++stats_.send_failures;
     return;
   }
   net::Stream& stream = **conn;
-  if (!stream.write_all(digest).ok()) {
+
+  if (!out.binary) {
+    if (!stream.write_all(out.payload).ok()) {
+      std::lock_guard lock(mutex_);
+      ++stats_.send_failures;
+      return;
+    }
+    auto reply = net::read_to_eof(stream, kMaxDigestBytes);
+    stream.close();
+    if (!reply.ok()) {
+      std::lock_guard lock(mutex_);
+      ++stats_.send_failures;
+      return;
+    }
+    merge_digest_text(*reply);
+    return;
+  }
+
+  std::string framed;
+  put_digest_frames(framed, out.payload, options_.max_frame);
+  if (!stream.write_all(framed).ok()) {
     std::lock_guard lock(mutex_);
     ++stats_.send_failures;
     return;
   }
-  auto reply = net::read_to_eof(stream, kMaxDigestBytes);
+  net::FrameReader reader(stream, options_.max_frame + 64);
+  auto begin = reader.next();
+  if (!begin.ok()) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.send_failures;
+    }
+    // Closed-without-reply is how a binary-unaware peer reacts; back off
+    // to text digests with it for a while.
+    mark_text_fallback(out.target.id);
+    return;
+  }
+  auto payload = read_digest_frames(reader, *begin, options_.max_digest_bytes);
   stream.close();
-  if (!reply.ok()) {
-    std::lock_guard lock(mutex_);
-    ++stats_.send_failures;
+  if (!payload.ok()) {
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.send_failures;
+    }
+    mark_text_fallback(out.target.id);
     return;
   }
-  merge_digest_text(*reply);
+  merge_reply_payload(*payload);
 }
 
 void Agent::merge_digest_text(std::string_view text) {
@@ -120,6 +630,28 @@ void Agent::merge_digest_text(std::string_view text) {
     stats_.bytes_in += text.size();
     ++stats_.digests_received;
     table_.merge(digest->entries, clock_.now_us(), events);
+  }
+  dispatch(events);
+}
+
+void Agent::merge_reply_payload(std::string_view payload) {
+  auto digest = decode_binary_digest(payload);
+  if (!digest.ok()) {
+    std::lock_guard lock(mutex_);
+    ++stats_.send_failures;
+    return;
+  }
+  std::vector<MemberEvent> events;
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_in += payload.size();
+    ++stats_.digests_received;
+    apply_ack_locked(digest->sender_id, digest->ack);
+    apply_body_locked(*digest, events);
+  }
+  if (digest->kind == DigestKind::refuse) {
+    // The peer's table exceeds its digest cap; give text digests a go.
+    mark_text_fallback(digest->sender_id);
   }
   dispatch(events);
 }
@@ -141,18 +673,54 @@ Result<std::string> Agent::handle_digest(std::string_view request) {
   return reply;
 }
 
+Result<std::string> Agent::handle_digest_payload(std::string_view payload) {
+  auto digest = decode_binary_digest(payload);
+  if (!digest.ok()) return digest.error();
+  if (digest->sender_id == options_.id) {
+    return Error{Errc::invalid_argument, "gossip: digest from own id"};
+  }
+  std::vector<MemberEvent> events;
+  std::string reply;
+  {
+    std::lock_guard lock(mutex_);
+    stats_.bytes_in += payload.size();
+    ++stats_.digests_received;
+    apply_ack_locked(digest->sender_id, digest->ack);
+    apply_body_locked(*digest, events);
+    // Reply after applying, so our ack covers the digest we just took and
+    // the initiator's floor advances one round sooner.  A rejected body
+    // still gets a reply — carrying the resync ack that heals the session.
+    reply = build_digest_locked(digest->sender_id);
+    stats_.bytes_out += reply.size();
+  }
+  dispatch(events);
+  return reply;
+}
+
+Result<std::string> Agent::handle_request(std::string_view request) {
+  if (looks_like_text_digest(request)) return handle_digest(request);
+  auto payload = collect_digest_frames(request, options_.max_digest_bytes);
+  if (!payload.ok()) return payload.error();
+  auto reply = handle_digest_payload(*payload);
+  if (!reply.ok()) return reply.error();
+  std::string framed;
+  put_digest_frames(framed, *reply, options_.max_frame);
+  return framed;
+}
+
 net::ServiceFn Agent::service() {
-  return [this](std::string_view request) { return handle_digest(request); };
+  return [this](std::string_view request) { return handle_request(request); };
 }
 
 void Agent::leave() {
-  std::string digest;
-  std::vector<std::string> targets;
+  std::vector<Outbound> outs;
   {
     std::lock_guard lock(mutex_);
     table_.leave_self(clock_.now_us());
-    digest = encode_digest(options_.id, table_.gossipable());
-    targets = table_.alive_peer_addresses();
+    // The tombstone goes out as a text digest: a one-shot, best-effort
+    // broadcast has no session to amortise and every peer accepts text.
+    std::string digest = encode_digest(options_.id, table_.gossipable());
+    std::vector<PeerRef> targets = table_.alive_peers();
     // Best effort: tell `fanout` live peers; gossip spreads the tombstone.
     if (targets.size() > options_.fanout) {
       for (std::size_t i = 0; i < options_.fanout; ++i) {
@@ -162,9 +730,12 @@ void Agent::leave() {
       }
       targets.resize(options_.fanout);
     }
+    for (PeerRef& target : targets) {
+      outs.push_back({std::move(target), digest, false});
+    }
   }
-  for (const std::string& target : targets) {
-    exchange_with(target, digest);
+  for (Outbound& out : outs) {
+    exchange_with(out);
   }
 }
 
@@ -203,6 +774,28 @@ AgentStats Agent::stats() const {
   return stats_;
 }
 
+std::vector<PeerSessionView> Agent::peer_sessions() const {
+  std::lock_guard lock(mutex_);
+  std::vector<PeerSessionView> out;
+  out.reserve(cursors_.size());
+  for (const auto& [peer, cursor] : cursors_) {
+    PeerSessionView view;
+    view.peer = peer;
+    if (stats_.rounds < cursor.text_until_round) {
+      view.mode = "text";
+    } else if (cursor.established) {
+      view.mode = "delta";
+    } else {
+      view.mode = "full";
+    }
+    view.acked_seq = cursor.acked_seq;
+    view.rows_sent = cursor.rows_sent;
+    view.resyncs = cursor.resyncs;
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
 void Agent::set_self_meta(const std::string& key, std::string value) {
   std::lock_guard lock(mutex_);
   table_.set_self_meta(key, std::move(value));
@@ -211,6 +804,11 @@ void Agent::set_self_meta(const std::string& key, std::string value) {
 void Agent::set_event_handler(EventHandler handler) {
   std::lock_guard lock(handler_mutex_);
   handler_ = std::move(handler);
+}
+
+void Agent::set_carrier(Carrier carrier) {
+  std::lock_guard lock(handler_mutex_);
+  carrier_ = std::move(carrier);
 }
 
 Status Agent::start() {
@@ -235,19 +833,73 @@ Status Agent::start() {
 }
 
 void Agent::serve_connection(net::Stream& stream) {
-  // Accumulate lines until the END terminator, then answer with our digest.
-  std::string request;
-  for (;;) {
-    auto line = net::read_line(stream, kMaxDigestLine + 1);
-    if (!line.ok()) return;
-    request += *line;
-    request += '\n';
-    if (*line == "END") break;
-    if (request.size() > kMaxDigestBytes) return;
+  // One request per connection, in either wire format.  The first byte
+  // disambiguates: 'G' opens a GOSSIP1 text digest, anything else is the
+  // length varint of a (tiny) digest Begin frame.
+  std::string buf;
+  char chunk[4096];
+  std::size_t off = 0;           // consumed frame bytes (binary)
+  std::string payload;           // reassembled binary digest
+  std::uint64_t total = 0;
+  bool have_total = false;
+  bool text = false;
+  bool complete = false;
+  while (!complete) {
+    auto n = stream.read(chunk, sizeof chunk);
+    if (!n.ok() || *n == 0) return;
+    buf.append(chunk, *n);
+    if (buf.front() == 'G') {
+      const std::size_t pos = buf.find("\nEND\n");
+      if (pos != std::string::npos) {
+        buf.resize(pos + 5);
+        text = true;
+        complete = true;
+      } else if (buf.size() > kMaxDigestBytes) {
+        return;
+      }
+      continue;
+    }
+    for (;;) {
+      net::Frame frame;
+      std::size_t consumed = 0;
+      const auto parsed =
+          net::parse_frame(std::string_view(buf).substr(off),
+                           options_.max_frame + 64, frame, consumed);
+      if (parsed == net::FrameParse::error) return;
+      if (parsed == net::FrameParse::need_more) break;
+      off += consumed;
+      if (!have_total) {
+        if (frame.type != kFrameDigestBegin) return;
+        net::WireReader reader(frame.payload);
+        if (!reader.get_varint(total) || !reader.done() ||
+            total > options_.max_digest_bytes) {
+          return;
+        }
+        have_total = true;
+      } else {
+        if (frame.type != kFrameDigestChunk ||
+            payload.size() + frame.payload.size() > total) {
+          return;
+        }
+        payload.append(frame.payload);
+      }
+      if (have_total && payload.size() == total) {
+        complete = true;
+        break;
+      }
+    }
   }
-  auto reply = handle_digest(request);
-  if (!reply.ok()) return;
-  (void)stream.write_all(*reply);
+  if (text) {
+    auto reply = handle_digest(buf);
+    if (!reply.ok()) return;
+    (void)stream.write_all(*reply);
+  } else {
+    auto reply = handle_digest_payload(payload);
+    if (!reply.ok()) return;
+    std::string framed;
+    put_digest_frames(framed, *reply, options_.max_frame);
+    (void)stream.write_all(framed);
+  }
   stream.close();
 }
 

@@ -7,13 +7,33 @@
 //
 //   1. advances its own heartbeat and runs the failure-detection timers
 //      (t_fail → SUSPECT, +t_cleanup → DEAD, +t_cleanup → dropped);
-//   2. push-pull gossips its table with `fanout` random ALIVE peers: write
+//   2. push-pull gossips its table with `fanout` ALIVE peers: write
 //      digest, read the peer's digest back, merge both ways;
 //   3. sends one *resurrection probe* when it has reason to doubt its view
 //      — to a random SUSPECT/DEAD address whenever any exist (so a healed
 //      partition reconverges: both sides keep dialling the members they
 //      convicted), and to a seed every kSeedProbePeriod rounds otherwise
 //      (so a fully pruned view can rediscover the group).
+//
+// Wire formats.  The legacy exchange ships the full table as a GOSSIP1
+// text digest every round.  With `delta` enabled the agent instead runs
+// binary digest-delta sessions (gossip/delta.hpp): a per-peer cursor
+// remembers what the peer last acknowledged and each exchange carries only
+// the rows that changed since, resyncing to a self-contained full table
+// whenever either side detects a gap — the fed::apply state machine
+// applied to membership.  Cursors only pay off against peers we revisit,
+// so delta mode swaps random fanout for *rendezvous-stable partners*: each
+// node ranks its alive peers by a pairwise hash and gossips with its top
+// `fanout` — still a random graph across the grid (so dissemination keeps
+// its log-n diameter) but stable between rounds, which is what keeps every
+// steady-state exchange down to the handful of rows that actually changed.
+// Inbound exchanges answer in whichever format the request used, and a
+// per-peer backoff falls back to text when a peer fails binary exchanges.
+//
+// A carrier hook lets digests piggyback on out-of-band channels: when set
+// (the gmetad wires it to its federation poll sessions), binary exchanges
+// are offered to the carrier first and only dial a fresh gossip connection
+// when no carrier channel exists for that peer.
 //
 // Completeness: every live member independently times out every silent
 // peer, so every join, failure, and leave is eventually detected
@@ -35,11 +55,14 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
+#include "gossip/delta.hpp"
 #include "gossip/member_table.hpp"
 #include "net/transport.hpp"
 
@@ -57,6 +80,23 @@ struct AgentOptions {
   std::uint64_t rng_seed = 0x676f73736970ULL;
   /// Initial self metadata (source=, xml=, parent=, authority=...).
   std::map<std::string, std::string> meta;
+
+  // -- digest-delta sessions ------------------------------------------------
+  /// Initiate binary digest-delta exchanges instead of full-table text
+  /// digests.  (Inbound exchanges always answer in the request's format.)
+  bool delta = false;
+  /// Per-exchange digest payload cap; a full table that cannot fit answers
+  /// with a structured refusal and the pair falls back to text.
+  std::size_t max_digest_bytes = kMaxDigestBytes;
+  /// Frame chunking bound for digest payloads (fed::Publisher-style).
+  std::size_t max_frame = 64u << 10;
+  /// Cursor/session LRU floor, each direction.  The effective cap is
+  /// max(max_sessions, member count): sessions are per-peer protocol state,
+  /// so evicting below the membership size thrashes (every eviction costs a
+  /// full-table resync on the peer's next exchange).
+  std::size_t max_sessions = 64;
+  /// Rounds of text fallback after a failed binary exchange with a peer.
+  std::uint64_t resync_backoff_rounds = 8;
 };
 
 struct AgentStats {
@@ -66,11 +106,38 @@ struct AgentStats {
   std::uint64_t digests_received = 0;
   std::uint64_t bytes_out = 0;       ///< digest bytes written (both roles)
   std::uint64_t bytes_in = 0;        ///< digest bytes read (both roles)
+
+  // -- digest-delta sessions ------------------------------------------------
+  std::uint64_t digests_delta_sent = 0;  ///< incremental digests encoded
+  std::uint64_t digests_full_sent = 0;   ///< self-contained fulls encoded
+  std::uint64_t digest_rows_sent = 0;    ///< rows across all binary digests
+  std::uint64_t digest_rows_suppressed = 0;  ///< echoes the peer already holds
+  std::uint64_t full_resyncs = 0;    ///< established cursors invalidated
+  std::uint64_t digest_rejects = 0;  ///< inbound digests refused -> resync
+  std::uint64_t digest_refusals = 0;     ///< oversize tables refused
+  std::uint64_t digest_truncations = 0;  ///< deltas cut at the byte cap
+  std::uint64_t piggyback_exchanges = 0; ///< exchanges via the carrier
+  std::uint64_t text_fallbacks = 0;      ///< peers demoted to text digests
+};
+
+/// One sender-side cursor, as exposed on /api/v1/members.
+struct PeerSessionView {
+  std::string peer;   ///< member id
+  std::string mode;   ///< "delta" | "full" (resync pending) | "text"
+  std::uint64_t acked_seq = 0;
+  std::uint64_t rows_sent = 0;
+  std::uint64_t resyncs = 0;
 };
 
 class Agent {
  public:
   using EventHandler = std::function<void(const MemberEvent&)>;
+  /// Out-of-band digest channel: given a peer's gossip address and an
+  /// encoded digest payload, perform one request/response exchange (the
+  /// gmetad routes this over its federation poll stream).  Returns nullopt
+  /// when no channel exists for that peer — the agent then dials directly.
+  using Carrier = std::function<std::optional<Result<std::string>>(
+      const std::string& peer_address, const std::string& request_payload)>;
 
   Agent(AgentOptions options, net::Transport& transport, Clock& clock);
   ~Agent();
@@ -81,9 +148,15 @@ class Agent {
   /// One gossip round: heartbeat, timers, fanout exchanges, probe.
   void tick();
 
-  /// Receiver side of one exchange: merge the request digest, answer with
-  /// ours.  Usable directly as an in-memory service.
+  /// Receiver side of one exchange, either format: a GOSSIP1 text digest
+  /// or framed binary digest frames.  Usable directly as an in-memory
+  /// service; replies in the request's format.
+  Result<std::string> handle_request(std::string_view request);
+  /// Text-digest receiver (legacy wire format).
   Result<std::string> handle_digest(std::string_view request);
+  /// Binary-digest receiver: one decoded payload in, one payload out.
+  /// This is what the federation publisher's digest hook calls.
+  Result<std::string> handle_digest_payload(std::string_view payload);
   net::ServiceFn service();
 
   /// Broadcast a LEFT tombstone (best effort) — call before shutdown.
@@ -94,12 +167,14 @@ class Agent {
   std::optional<MemberEntry> member(const std::string& id) const;
   std::size_t alive_count() const;
   AgentStats stats() const;
+  std::vector<PeerSessionView> peer_sessions() const;
   const AgentOptions& options() const noexcept { return options_; }
 
   void set_self_meta(const std::string& key, std::string value);
   /// Transitions are dispatched outside the table lock, on whichever
   /// thread drove the merge (a tick, or a peer's exchange).
   void set_event_handler(EventHandler handler);
+  void set_carrier(Carrier carrier);
 
   // -- daemon mode ---------------------------------------------------------
   /// Bind the gossip address and serve inbound exchanges until stop().
@@ -112,11 +187,72 @@ class Agent {
   static constexpr std::uint64_t kSeedProbePeriod = 8;
 
  private:
+  /// One planned exchange: where to, what to send, which format.
+  struct Outbound {
+    PeerRef target;  ///< id empty when dialling an unknown seed address
+    std::string payload;
+    bool binary = false;
+  };
+  /// Sender half of one digest-delta session: what this peer acknowledged.
+  struct SenderCursor {
+    std::uint64_t epoch = 0;       ///< dictionary generation (0 = unset)
+    bool established = false;      ///< peer acked a digest of this epoch
+    std::uint64_t acked_seq = 0;   ///< table seq the peer applied through
+    std::uint64_t acked_names = 0; ///< dictionary prefix the peer holds
+    std::map<std::string, std::uint32_t> ids;  ///< member id -> dict id
+    std::uint64_t rows_sent = 0;
+    std::uint64_t resyncs = 0;
+    std::uint64_t text_until_round = 0;  ///< binary backoff deadline
+    std::uint64_t last_used = 0;
+  };
+  /// Receiver half: the state a sender's stream has been applied into.
+  struct ReceiverSession {
+    std::uint64_t epoch = 0;
+    bool valid = false;
+    std::uint64_t applied_seq = 0;
+    std::vector<std::string> names;  ///< dict id -> member id
+    /// Members dropped from our table since their fields were applied —
+    /// a later row may not fill its address/meta from the (rejoined,
+    /// possibly stale) local row; it must carry fields or force a resync.
+    std::set<std::string> tainted;
+    /// Liveness evidence the peer itself sent us — a lower bound on what
+    /// they hold.  build_digest_locked suppresses rows at or below this
+    /// bound: the peer's merge() would reject the echo anyway.  Without
+    /// it, push-pull carries every row across each link twice (once in
+    /// the request, again reflected in the reply).
+    struct Heard {
+      std::uint64_t incarnation = 0;
+      std::uint64_t heartbeat = 0;
+      bool left = false;
+    };
+    std::unordered_map<std::string, Heard> heard;
+    std::uint64_t last_used = 0;
+  };
+
   /// Pick this round's exchange targets (fanout + probe).
-  std::vector<std::string> pick_targets();
-  void exchange_with(const std::string& peer_address,
-                     const std::string& digest);
+  std::vector<PeerRef> pick_targets();
+  /// Rendezvous-stable partners (delta mode), cached per alive-set.
+  const std::vector<PeerRef>& stable_partners();
+  std::size_t session_cap_locked() const;
+  SenderCursor& touch_cursor(const std::string& peer_id);
+  ReceiverSession& touch_rx(const std::string& sender_id);
+  /// Would `peer`'s merge() provably reject `entry` given what they have
+  /// already sent us?  (Echo suppression — see ReceiverSession::heard.)
+  static bool peer_holds(const ReceiverSession& rx, const MemberEntry& entry);
+  /// Encode the next digest for `peer_id` (delta against the cursor, or a
+  /// full/refusal) and update send-side stats.  Empty id = one-shot full.
+  /// `refused`, when given, reports that the result is a byte-cap refusal.
+  std::string build_digest_locked(const std::string& peer_id,
+                                  bool* refused = nullptr);
+  void apply_ack_locked(const std::string& peer_id, const DigestAck& ack);
+  /// Strict applier: resolve + merge, or reject wholesale (never partial).
+  bool apply_body_locked(const BinaryDigest& digest,
+                         std::vector<MemberEvent>& events);
+  DigestAck rx_ack_locked(const std::string& sender_id) const;
+  void mark_text_fallback(const std::string& peer_id);
+  void exchange_with(Outbound& out);
   void merge_digest_text(std::string_view text);
+  void merge_reply_payload(std::string_view payload);
   void dispatch(std::vector<MemberEvent>& events);
   void serve_connection(net::Stream& stream);
 
@@ -124,13 +260,20 @@ class Agent {
   net::Transport& transport_;
   Clock& clock_;
 
-  mutable std::mutex mutex_;  ///< guards table_, stats_, rng_
+  mutable std::mutex mutex_;  ///< guards table_, stats_, rng_, sessions
   MemberTable table_;
   AgentStats stats_;
   Rng rng_;
+  std::map<std::string, SenderCursor> cursors_;  ///< by peer id
+  std::map<std::string, ReceiverSession> rx_;    ///< by sender id
+  std::uint64_t session_use_ = 0;                ///< LRU clock
+  std::uint64_t partners_version_ = 0;
+  bool partners_valid_ = false;
+  std::vector<PeerRef> partners_;
 
   std::mutex handler_mutex_;
   EventHandler handler_;
+  Carrier carrier_;
 
   std::atomic<bool> running_{false};
   std::unique_ptr<net::Listener> listener_;

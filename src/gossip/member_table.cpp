@@ -1,5 +1,7 @@
 #include "gossip/member_table.hpp"
 
+#include <algorithm>
+
 namespace ganglia::gossip {
 
 MemberTable::MemberTable(std::string self_id, std::string self_address,
@@ -11,17 +13,32 @@ MemberTable::MemberTable(std::string self_id, std::string self_address,
   self.heartbeat = 1;
   self.state = MemberState::alive;
   self.local_time_us = now;
-  members_.emplace(self_id_, std::move(self));
+  auto [it, inserted] = members_.emplace(self_id_, std::move(self));
+  (void)inserted;
+  touch(it->second, /*fields=*/true);
+  ++membership_version_;
+}
+
+void MemberTable::touch(MemberEntry& entry, bool fields) {
+  if (entry.version != 0) changed_.erase(entry.version);
+  entry.version = ++seq_;
+  if (fields) entry.fields_version = entry.version;
+  changed_.emplace(entry.version, entry.id);
 }
 
 void MemberTable::tick_self(TimeUs now) {
   MemberEntry& self = members_.at(self_id_);
   ++self.heartbeat;
   self.local_time_us = now;
+  touch(self, /*fields=*/false);
 }
 
 void MemberTable::set_self_meta(const std::string& key, std::string value) {
-  members_.at(self_id_).meta[key] = std::move(value);
+  MemberEntry& self = members_.at(self_id_);
+  auto it = self.meta.find(key);
+  if (it != self.meta.end() && it->second == value) return;
+  self.meta[key] = std::move(value);
+  touch(self, /*fields=*/true);
 }
 
 void MemberTable::leave_self(TimeUs now) {
@@ -29,20 +46,30 @@ void MemberTable::leave_self(TimeUs now) {
   self.state = MemberState::left;
   ++self.heartbeat;
   self.local_time_us = now;
+  touch(self, /*fields=*/false);
+  ++membership_version_;
 }
 
 void MemberTable::merge(const std::vector<MemberEntry>& remote, TimeUs now,
                         std::vector<MemberEvent>& events) {
   for (const MemberEntry& theirs : remote) {
     if (theirs.id == self_id_) {
-      // Someone remembers a previous life of ours with a version at or
-      // beyond the current one (we restarted, or a stale LEFT tombstone is
-      // circulating).  Reassert ourselves with a fresh incarnation — the
-      // classic refutation rule.
+      // Refutation: reassert ourselves with a fresh incarnation when a
+      // peer doubts us (a LEFT tombstone at our incarnation or beyond) or
+      // remembers a *strictly fresher* life of ours (we restarted and the
+      // old life's heartbeat is still circulating).  An ALIVE echo at our
+      // exact (incarnation, heartbeat) is just our own digest reflected by
+      // push-pull — refuting on it would bump the incarnation every
+      // exchange, forever.
       MemberEntry& self = members_.at(self_id_);
-      if (self.state == MemberState::alive && !theirs.older_than(self)) {
-        self.incarnation = theirs.incarnation + 1;
+      const bool doubted = theirs.state != MemberState::alive &&
+                           theirs.incarnation >= self.incarnation;
+      if (self.state == MemberState::alive &&
+          (doubted || self.older_than(theirs))) {
+        self.incarnation =
+            std::max(self.incarnation, theirs.incarnation) + 1;
         self.local_time_us = now;
+        touch(self, /*fields=*/false);
       }
       continue;
     }
@@ -52,8 +79,13 @@ void MemberTable::merge(const std::vector<MemberEntry>& remote, TimeUs now,
       if (theirs.state == MemberState::left) continue;  // stale tombstone
       MemberEntry entry = theirs;
       entry.local_time_us = now;
-      events.push_back({MemberEvent::Kind::joined, entry});
-      members_.emplace(entry.id, std::move(entry));
+      entry.version = 0;
+      entry.fields_version = 0;
+      auto [pos, inserted] = members_.emplace(entry.id, std::move(entry));
+      (void)inserted;
+      touch(pos->second, /*fields=*/true);
+      ++membership_version_;
+      events.push_back({MemberEvent::Kind::joined, pos->second});
       continue;
     }
 
@@ -63,10 +95,13 @@ void MemberTable::merge(const std::vector<MemberEntry>& remote, TimeUs now,
       // the member *chose* to go, no failure-detection grace applies.
       if (theirs.incarnation >= ours.incarnation &&
           ours.state != MemberState::left) {
+        const bool was_alive = ours.state == MemberState::alive;
         ours.incarnation = theirs.incarnation;
         ours.heartbeat = theirs.heartbeat;
         ours.state = MemberState::left;
         ours.local_time_us = now;
+        touch(ours, /*fields=*/false);
+        if (was_alive) ++membership_version_;
         events.push_back({MemberEvent::Kind::left, ours});
       }
       continue;
@@ -75,20 +110,29 @@ void MemberTable::merge(const std::vector<MemberEntry>& remote, TimeUs now,
       // Rejoin after a leave needs a fresh incarnation; same-incarnation
       // heartbeats are echoes of the pre-leave life.
       if (theirs.incarnation <= ours.incarnation) continue;
+      const std::uint64_t version = ours.version;
       ours = theirs;
+      ours.version = version;
+      ours.fields_version = 0;
       ours.local_time_us = now;
+      touch(ours, /*fields=*/true);
+      ++membership_version_;
       events.push_back({MemberEvent::Kind::joined, ours});
       continue;
     }
     if (!ours.older_than(theirs)) continue;  // nothing fresher
     const bool was_faulty = ours.state == MemberState::suspect ||
                             ours.state == MemberState::dead;
+    const bool fields_changed =
+        ours.address != theirs.address || ours.meta != theirs.meta;
+    if (was_faulty || ours.address != theirs.address) ++membership_version_;
     ours.incarnation = theirs.incarnation;
     ours.heartbeat = theirs.heartbeat;
     ours.address = theirs.address;
     ours.meta = theirs.meta;
     ours.state = MemberState::alive;
     ours.local_time_us = now;
+    touch(ours, fields_changed);
     if (was_faulty) {
       events.push_back({MemberEvent::Kind::recovered, ours});
     }
@@ -109,6 +153,7 @@ void MemberTable::advance(TimeUs now, TimeUs t_fail, TimeUs t_cleanup,
       case MemberState::alive:
         if (silent >= t_fail) {
           entry.state = MemberState::suspect;
+          ++membership_version_;
           events.push_back({MemberEvent::Kind::suspected, entry});
         }
         break;
@@ -129,6 +174,7 @@ void MemberTable::advance(TimeUs now, TimeUs t_fail, TimeUs t_cleanup,
     }
     if (erase) {
       events.push_back({MemberEvent::Kind::removed, entry});
+      changed_.erase(entry.version);
       it = members_.erase(it);
     } else {
       ++it;
@@ -144,6 +190,21 @@ std::vector<MemberEntry> MemberTable::gossipable() const {
     if (entry.state == MemberState::alive ||
         entry.state == MemberState::left) {
       out.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::vector<const MemberEntry*> MemberTable::gossipable_since(
+    std::uint64_t floor) const {
+  std::vector<const MemberEntry*> out;
+  for (auto it = changed_.upper_bound(floor); it != changed_.end(); ++it) {
+    const auto pos = members_.find(it->second);
+    if (pos == members_.end()) continue;  // stale index entry (shouldn't happen)
+    const MemberEntry& entry = pos->second;
+    if (entry.state == MemberState::alive ||
+        entry.state == MemberState::left) {
+      out.push_back(&entry);
     }
   }
   return out;
@@ -169,6 +230,28 @@ std::vector<std::string> MemberTable::alive_peer_addresses() const {
   for (const auto& [id, entry] : members_) {
     if (id != self_id_ && entry.state == MemberState::alive) {
       out.push_back(entry.address);
+    }
+  }
+  return out;
+}
+
+std::vector<PeerRef> MemberTable::alive_peers() const {
+  std::vector<PeerRef> out;
+  for (const auto& [id, entry] : members_) {
+    if (id != self_id_ && entry.state == MemberState::alive) {
+      out.push_back({id, entry.address});
+    }
+  }
+  return out;
+}
+
+std::vector<PeerRef> MemberTable::faulty_peers() const {
+  std::vector<PeerRef> out;
+  for (const auto& [id, entry] : members_) {
+    if (id == self_id_) continue;
+    if (entry.state == MemberState::suspect ||
+        entry.state == MemberState::dead) {
+      out.push_back({id, entry.address});
     }
   }
   return out;

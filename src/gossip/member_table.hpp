@@ -59,6 +59,12 @@ constexpr const char* member_event_name(MemberEvent::Kind k) noexcept {
   return "unknown";
 }
 
+/// (id, address) of one peer — the agent's exchange-target handle.
+struct PeerRef {
+  std::string id;
+  std::string address;
+};
+
 class MemberTable {
  public:
   MemberTable(std::string self_id, std::string self_address, TimeUs now);
@@ -84,19 +90,46 @@ class MemberTable {
   // -- views ---------------------------------------------------------------
   /// Entries worth gossiping: self, ALIVE peers, LEFT tombstones.
   std::vector<MemberEntry> gossipable() const;
+  /// Gossipable rows whose (incarnation, heartbeat, state, metadata)
+  /// changed after `floor`, oldest change first — the delta-digest feed.
+  /// Pointers stay valid until the next mutating call.
+  std::vector<const MemberEntry*> gossipable_since(std::uint64_t floor) const;
   /// Everything, self included (the /api/v1/members payload).
   std::vector<MemberEntry> snapshot() const;
   const MemberEntry* find(const std::string& id) const;
   /// Gossip addresses of ALIVE peers (fanout candidates).
   std::vector<std::string> alive_peer_addresses() const;
+  /// (id, address) of ALIVE peers.
+  std::vector<PeerRef> alive_peers() const;
   /// Gossip addresses of SUSPECT/DEAD peers (resurrection-probe pool).
   std::vector<std::string> faulty_peer_addresses() const;
+  /// (id, address) of SUSPECT/DEAD peers.
+  std::vector<PeerRef> faulty_peers() const;
   std::size_t alive_count() const;  ///< self included
   std::size_t size() const noexcept { return members_.size(); }
 
+  // -- change tracking ------------------------------------------------------
+  /// Monotone mutation counter; every row change gets the next value as
+  /// its version, so `gossipable_since(seq-at-last-ack)` is exactly what a
+  /// peer has not acknowledged yet.
+  std::uint64_t seq() const noexcept { return seq_; }
+  /// Bumped whenever the ALIVE peer set (or a live address) changes —
+  /// invalidates cached partner selections.
+  std::uint64_t membership_version() const noexcept {
+    return membership_version_;
+  }
+
  private:
+  /// Record a row mutation: assign the next seq as its version and reindex
+  /// it in the change log.  `fields` marks an address/metadata change.
+  void touch(MemberEntry& entry, bool fields);
+
   std::string self_id_;
   std::map<std::string, MemberEntry> members_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t membership_version_ = 0;
+  /// version -> member id, the change log gossipable_since() walks.
+  std::map<std::uint64_t, std::string> changed_;
 };
 
 }  // namespace ganglia::gossip

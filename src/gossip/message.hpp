@@ -56,6 +56,12 @@ struct MemberEntry {
   /// Local receipt time of the last heartbeat progress — never gossiped;
   /// every member times out its peers on its own clock.
   TimeUs local_time_us = 0;
+  /// Local change-tracking (table seq at the last mutation / the last
+  /// address-or-metadata mutation) — never gossiped; the delta codec uses
+  /// `version` to pick changed rows and `fields_version` to decide when a
+  /// peer already holds the current address/metadata.
+  std::uint64_t version = 0;
+  std::uint64_t fields_version = 0;
   /// Advertised metadata (source=, xml=, parent=, authority=...).
   std::map<std::string, std::string> meta;
 

@@ -505,6 +505,53 @@ TEST(PublisherSession, PingPong) {
   EXPECT_EQ(rig.publisher->stats().pings, 1u);
 }
 
+TEST(PublisherSession, DigestExchangeSharesThePollStream) {
+  // A membership digest rides the same persistent connection as the polls:
+  // the publisher routes digest frames to its handler and the session's
+  // poll state is untouched on either side of the exchange.
+  PubRig rig(make_report(4, 4));
+  std::string seen;
+  rig.publisher->set_digest_handler(
+      [&seen](std::string_view payload) -> Result<std::string> {
+        seen = std::string(payload);
+        return std::string("digest-reply");
+      });
+  Session session(session_options());
+  ASSERT_TRUE(session.poll(rig.transport, kTimeout).ok());
+
+  auto reply = session.digest_exchange(rig.transport, kTimeout, "digest-req");
+  ASSERT_TRUE(reply.ok()) << reply.error().to_string();
+  EXPECT_EQ(*reply, "digest-reply");
+  EXPECT_EQ(seen, "digest-req");
+  EXPECT_EQ(rig.publisher->stats().digests, 1u);
+
+  // The poll session is still incremental — the digest did not reset it.
+  Report next = *rig.current;
+  next.clusters[0].localtime += 15;
+  rig.update(std::move(next));
+  auto outcome = session.poll(rig.transport, kTimeout);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->delta);
+  EXPECT_EQ(write_report(outcome->report), write_report(*rig.current));
+}
+
+TEST(PublisherSession, DigestWithoutHandlerErrorsWithoutBreakingPolls) {
+  PubRig rig(make_report(2, 2));
+  Session session(session_options());
+  ASSERT_TRUE(session.poll(rig.transport, kTimeout).ok());
+
+  auto reply = session.digest_exchange(rig.transport, kTimeout, "payload");
+  EXPECT_FALSE(reply.ok()) << "no handler wired -> structured error";
+
+  Report next = *rig.current;
+  next.clusters[0].localtime += 15;
+  rig.update(std::move(next));
+  auto outcome = session.poll(rig.transport, kTimeout);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->delta) << "digest failure must not reset the poll base";
+  EXPECT_EQ(write_report(outcome->report), write_report(*rig.current));
+}
+
 TEST(PublisherSession, TinyMaxFrameChunksBothDirections) {
   // A document whose XML and whose deltas both exceed one frame: the
   // publisher must chunk at row boundaries and the session reassemble.

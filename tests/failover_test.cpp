@@ -68,6 +68,7 @@ class FailoverTest : public ::testing::Test {
       data_source "leafcluster" leaf:8649
       xml_bind attic:8651
       interactive_bind attic:8652
+      federation_bind attic:8655
       gossip_bind attic:8654
       gossip_seed prime:8654
       gossip_interval 1
@@ -83,6 +84,7 @@ class FailoverTest : public ::testing::Test {
       archive off
       xml_bind prime:8651
       interactive_bind prime:8652
+      federation_bind prime:8655
       gossip_bind prime:8654
       gossip_interval 1
       gossip_fanout 2
@@ -97,6 +99,7 @@ class FailoverTest : public ::testing::Test {
       archive off
       xml_bind stand:8651
       interactive_bind stand:8652
+      federation_bind stand:8655
       gossip_bind stand:8654
       gossip_seed prime:8654
       gossip_interval 1
@@ -116,12 +119,15 @@ class FailoverTest : public ::testing::Test {
     fabric_.register_service(node.config().gossip_bind,
                              node.membership()->service());
     fabric_.register_service(node.config().xml_bind, node.dump_service());
+    fabric_.register_service(node.config().federation_bind,
+                             node.federation_service());
   }
 
   /// Stop failure: the node's endpoints vanish and it stops ticking.
   void kill(Gmetad& node) {
     fabric_.unregister_service(node.config().gossip_bind);
     fabric_.unregister_service(node.config().xml_bind);
+    fabric_.unregister_service(node.config().federation_bind);
     down_.push_back(&node);
   }
 
@@ -258,6 +264,51 @@ TEST_F(FailoverTest, SuspectWindowAloneNeverPromotes) {
   for (int n = 0; n < 10; ++n) round();
   EXPECT_EQ(stand_->failover()->promotions(), 0u);
   EXPECT_TRUE(stand_->sources().empty());
+}
+
+// Membership digests ride the open federation poll stream once a delta
+// poll session is live: prime adopts attic through gossip (fed= metadata
+// carried in the digest), polls it incrementally, and from then on its
+// gossip exchanges with attic go through DataSource::piggyback_digest
+// instead of dialling fresh gossip connections.
+TEST_F(FailoverTest, DigestsPiggybackOnFederationPollSessions) {
+  ASSERT_GE(rounds_until([&] { return has_source(*prime_, "attic"); }, 10), 0);
+
+  // The adopted source carries attic's advertised delta endpoint; one
+  // successful poll through it brings the session live.
+  const DataSource* attic_src = nullptr;
+  for (const DataSource* ds : prime_->sources()) {
+    if (ds->name() == "attic") attic_src = ds;
+  }
+  ASSERT_NE(attic_src, nullptr);
+  EXPECT_EQ(attic_src->federation_address(), "attic:8655");
+  const auto results = prime_->poll_once();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+
+  // Gossip rounds now ride the poll channel: the agent's exchanges with
+  // attic are carried, and the source counts them.
+  const auto before = prime_->membership()->stats();
+  for (int n = 0; n < 6; ++n) round();
+  const auto after = prime_->membership()->stats();
+  EXPECT_GT(after.piggyback_exchanges, before.piggyback_exchanges);
+  EXPECT_GT(attic_src->piggyback_digests(), 0u);
+
+  // Membership itself stays healthy over the piggybacked channel.
+  const auto entry = prime_->membership()->member("attic");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->state, gossip::MemberState::alive);
+
+  // When the peer dies the carrier channel breaks with it; the agent falls
+  // through to direct dials, and failure detection converges as usual.
+  kill(*attic_);
+  ASSERT_GE(rounds_until(
+                [&] {
+                  const auto e = prime_->membership()->member("attic");
+                  return e && e->state != gossip::MemberState::alive;
+                },
+                kPromoteBound),
+            0);
 }
 
 // ---------------------------------------------------- join prune vs re-join

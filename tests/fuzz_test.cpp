@@ -15,8 +15,11 @@
 #include "gmetad/config.hpp"
 #include "gmetad/query.hpp"
 #include "gmon/wire.hpp"
+#include "gossip/agent.hpp"
+#include "gossip/delta.hpp"
 #include "net/framing.hpp"
 #include "net/inmem.hpp"
+#include "sim/sim_clock.hpp"
 #include "query/grammar.hpp"
 #include "rrd/rrd_file.hpp"
 #include "xml/sax.hpp"
@@ -386,6 +389,131 @@ TEST_P(FuzzSeeds, CorruptedDeltaStreamResyncsCleanly) {
                                     "resync from a full transfer";
     }
   }
+}
+
+/// A well-formed binary membership digest for mutation.
+gossip::BinaryDigest make_digest_corpus() {
+  gossip::BinaryDigest digest;
+  digest.kind = gossip::DigestKind::full;
+  digest.sender_id = "fuzz-sender";
+  digest.ack.kind = gossip::AckKind::cursor;
+  digest.ack.epoch = 7;
+  digest.ack.seq = 42;
+  digest.ack.names = 3;
+  digest.epoch = 9;
+  digest.to_seq = 50;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    gossip::DigestRow row;
+    row.flags = gossip::kRowDefine | gossip::kRowFields | gossip::kRowMeta;
+    row.name_id = n;
+    row.id = "gm" + std::to_string(n);
+    row.address = "gm" + std::to_string(n) + ":8654";
+    row.meta = {{"source", row.id}, {"fed", row.address}};
+    row.incarnation = n;
+    row.heartbeat = 100 + n;
+    digest.rows.push_back(std::move(row));
+  }
+  return digest;
+}
+
+TEST_P(FuzzSeeds, GossipDigestDecoderNeverCrashes) {
+  // Raw bytes, then a valid digest mutated every way — flips, truncations
+  // at every boundary, insertions.  decode must accept or fail cleanly.
+  for (int i = 0; i < 300; ++i) {
+    (void)gossip::decode_binary_digest(random_bytes(rng_, 300));
+    (void)gossip::collect_digest_frames(random_bytes(rng_, 300), 1u << 20);
+  }
+  const std::string valid = gossip::encode_binary_digest(make_digest_corpus());
+  ASSERT_TRUE(gossip::decode_binary_digest(valid).ok());
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = valid;
+    const auto pos =
+        rng_.next_below(static_cast<std::uint32_t>(mutated.size()));
+    switch (rng_.next_below(3)) {
+      case 0: mutated[pos] = static_cast<char>(rng_.next_below(256)); break;
+      case 1: mutated.resize(pos); break;
+      case 2: mutated.insert(pos, 1,
+                             static_cast<char>(rng_.next_below(256))); break;
+    }
+    (void)gossip::decode_binary_digest(mutated);
+  }
+  // The framed form, chunked small so mutations tear chunk sequences too.
+  std::string framed;
+  gossip::put_digest_frames(framed, valid, 32);
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = framed;
+    const auto pos =
+        rng_.next_below(static_cast<std::uint32_t>(mutated.size()));
+    switch (rng_.next_below(3)) {
+      case 0: mutated[pos] = static_cast<char>(rng_.next_below(256)); break;
+      case 1: mutated.resize(pos); break;
+      case 2: mutated.insert(pos, 1,
+                             static_cast<char>(rng_.next_below(256))); break;
+    }
+    auto payload = gossip::collect_digest_frames(mutated, 1u << 20);
+    if (payload.ok()) (void)gossip::decode_binary_digest(*payload);
+  }
+}
+
+TEST_P(FuzzSeeds, GossipAgentAnswersPoisonDigestsWithResync) {
+  // Session-level poison a structurally valid digest can carry: a delta
+  // against a session that never existed (stale cursor), and rows
+  // referencing dictionary ids nobody defined.  The agent must answer with
+  // a resync ack — never crash, never apply a torn digest.
+  sim::SimClock clock;
+  net::InMemTransport fabric;
+  net::BoundTransport bound(fabric, "gm0:8654");
+  gossip::AgentOptions opts;
+  opts.id = "gm0";
+  opts.address = "gm0:8654";
+  opts.delta = true;
+  gossip::Agent agent(std::move(opts), bound, clock);
+
+  gossip::BinaryDigest poison;
+  poison.kind = gossip::DigestKind::delta;
+  poison.sender_id = "evil";
+  poison.epoch = 123;
+  poison.from_seq = 7;
+  poison.to_seq = 9;
+  gossip::DigestRow row;
+  row.name_id = 55;  // never defined
+  row.incarnation = 1;
+  row.heartbeat = 1;
+  poison.rows.push_back(row);
+  const auto reply =
+      agent.handle_digest_payload(gossip::encode_binary_digest(poison));
+  ASSERT_TRUE(reply.ok()) << "poison gets a reply, not a dropped connection";
+  const auto decoded = gossip::decode_binary_digest(*reply);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ack.kind, gossip::AckKind::resync)
+      << "a stream with no valid session must be answered with resync";
+  EXPECT_GE(agent.stats().digest_rejects, 1u);
+
+  // Mutated digests and raw garbage through the full service entry point.
+  const std::string valid = gossip::encode_binary_digest(make_digest_corpus());
+  for (int i = 0; i < 200; ++i) {
+    std::string mutated = valid;
+    const auto pos =
+        rng_.next_below(static_cast<std::uint32_t>(mutated.size()));
+    switch (rng_.next_below(3)) {
+      case 0: mutated[pos] = static_cast<char>(rng_.next_below(256)); break;
+      case 1: mutated.resize(pos); break;
+      case 2: mutated.insert(pos, 1,
+                             static_cast<char>(rng_.next_below(256))); break;
+    }
+    std::string framed;
+    gossip::put_digest_frames(framed, mutated, 64);
+    (void)agent.handle_request(framed);
+    (void)agent.handle_request(random_bytes(rng_, 200));
+  }
+
+  // Whatever landed, the agent's own row is intact and serving continues.
+  const auto self = agent.member("gm0");
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->state, gossip::MemberState::alive);
+  const auto clean =
+      agent.handle_digest_payload(gossip::encode_binary_digest(poison));
+  EXPECT_TRUE(clean.ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 8));

@@ -32,6 +32,22 @@ struct GossipSimOptions {
   std::size_t fanout = 2;
   TimeUs t_fail_us = 5 * kMicrosPerSecond;
   TimeUs t_cleanup_us = 5 * kMicrosPerSecond;
+  /// Binary digest-delta sessions instead of full-table text digests.
+  bool delta = false;
+  /// Mixed fleets: the first N members stay on text digests even when
+  /// `delta` is set (receivers are always bilingual; this exercises the
+  /// rolling-upgrade shape).
+  std::size_t text_members = 0;
+  /// Route outbound digests through a simulated federation channel (a
+  /// direct call into the target's digest receiver, standing in for an
+  /// open poll stream) instead of dialling gossip connections.
+  bool piggyback = false;
+  /// Per-exchange digest payload cap (0 = the agent default).
+  std::size_t max_digest_bytes = 0;
+  std::uint64_t resync_backoff_rounds = 8;
+  /// Give every member a production-shaped metadata block (source=, xml=,
+  /// fed=, authority=), as a real federated gmetad advertises.
+  bool realistic_meta = false;
 };
 
 class GossipSim {
@@ -138,6 +154,26 @@ class GossipSim {
     return total;
   }
 
+  /// Member tables of `i` and `j` identical in everything but heartbeats?
+  /// (The delta protocol's correctness bar: sessions may never fork the
+  /// stable columns — id, address, state, incarnation, metadata.  The
+  /// heartbeat counter is excluded because it is *designed* to be in
+  /// flight: while agents tick, no two nodes agree on it in text mode
+  /// either.)
+  bool same_view(std::size_t i, std::size_t j) const {
+    const auto a = agents_[i]->members();
+    const auto b = agents_[j]->members();
+    if (a.size() != b.size()) return false;
+    for (std::size_t k = 0; k < a.size(); ++k) {
+      if (a[k].id != b[k].id || a[k].address != b[k].address ||
+          a[k].state != b[k].state || a[k].incarnation != b[k].incarnation ||
+          a[k].meta != b[k].meta) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   sim::SimClock clock;
   net::InMemTransport fabric;
 
@@ -153,7 +189,40 @@ class GossipSim {
     opts.t_cleanup_us = options_.t_cleanup_us;
     opts.connect_timeout_us = options_.interval_us;
     opts.rng_seed = 0x9e3779b97f4a7c15ULL * (i + 1);
-    return std::make_unique<Agent>(std::move(opts), *bound_[i], clock);
+    opts.delta = options_.delta && i >= options_.text_members;
+    if (options_.max_digest_bytes != 0) {
+      opts.max_digest_bytes = options_.max_digest_bytes;
+    }
+    opts.resync_backoff_rounds = options_.resync_backoff_rounds;
+    if (options_.realistic_meta) {
+      opts.meta["source"] = name_of(i);
+      opts.meta["xml"] = "gm" + std::to_string(i) + ":8651";
+      opts.meta["fed"] = "gm" + std::to_string(i) + ":8655";
+      opts.meta["authority"] = "gmetad://gm" + std::to_string(i) +
+                               ".example:8651/";
+    }
+    auto agent = std::make_unique<Agent>(std::move(opts), *bound_[i], clock);
+    if (options_.piggyback) {
+      // The stand-in federation channel: an exchange lands directly in the
+      // target's digest receiver, exactly what a live poll stream carries.
+      // A crashed or partitioned target's channel reports broken (an
+      // engaged error — a severed TCP stream), so the agent falls through
+      // to a direct dial, which refuses/black-holes the same way.
+      agent->set_carrier([this, i](const std::string& peer_address,
+                                   const std::string& payload)
+                             -> std::optional<Result<std::string>> {
+        for (std::size_t j = 0; j < agents_.size(); ++j) {
+          if (address_of(j) != peer_address) continue;
+          if (!alive_[j]) return Err(Errc::closed, "peer is down");
+          if (fabric.group(address_of(i)) != fabric.group(address_of(j))) {
+            return Err(Errc::timeout, "partitioned");
+          }
+          return agents_[j]->handle_digest_payload(payload);
+        }
+        return std::nullopt;
+      });
+    }
+    return agent;
   }
 
   GossipSimOptions options_;

@@ -393,5 +393,331 @@ TEST(GossipSim, FastRestartRefutesItsOldLife) {
       << "refutation must have bumped the incarnation";
 }
 
+// ----------------------------------------------- digest-delta sessions
+
+// Every pair of live members must hold byte-identical tables once gossip
+// quiesces — the delta protocol's bar: cursors may delay news, never fork
+// a view.
+void expect_identical_views(const GossipSim& sim) {
+  std::size_t first = sim.size();
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (!sim.is_alive(i)) continue;
+    if (first == sim.size()) {
+      first = i;
+      continue;
+    }
+    EXPECT_TRUE(sim.same_view(first, i))
+        << "gm" << first << " and gm" << i << " diverged";
+  }
+}
+
+TEST(GossipDeltaSim, ConvergesLikeTextModeAndSendsDeltas) {
+  GossipSimOptions options;
+  options.members = 12;
+  options.realistic_meta = true;
+  GossipSimOptions text = options;
+  options.delta = true;
+  GossipSim sim(options);
+  GossipSim ref(text);
+
+  const int rounds = sim.run_until([&] { return sim.converged(); }, 20);
+  const int ref_rounds = ref.run_until([&] { return ref.converged(); }, 20);
+  ASSERT_GE(rounds, 0) << "delta-mode group never converged";
+  ASSERT_GE(ref_rounds, 0);
+  // Dissemination speed is a property of the exchange graph, not the wire
+  // format: join detection must not regress past the text baseline bound.
+  EXPECT_LE(rounds, 15);
+
+  // Let the sessions warm and the heartbeat traffic settle.
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  expect_identical_views(sim);
+
+  std::uint64_t deltas = 0, rows = 0, rejects = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    const AgentStats stats = sim.agent(i).stats();
+    deltas += stats.digests_delta_sent;
+    rows += stats.digest_rows_sent;
+    rejects += stats.digest_rejects;
+  }
+  EXPECT_GT(deltas, 0u) << "no incremental digest was ever sent";
+  EXPECT_GT(rows, 0u);
+  EXPECT_EQ(rejects, 0u) << "a loss-free fabric must never force a reject";
+
+  // Steady state: a delta round carries ~1 changed row per exchange where
+  // text mode re-ships all 12 members with their full metadata blocks.
+  const std::uint64_t before = sim.total_bytes_out();
+  const std::uint64_t ref_before = ref.total_bytes_out();
+  for (int i = 0; i < 10; ++i) {
+    sim.run_round();
+    ref.run_round();
+  }
+  const std::uint64_t delta_bytes = sim.total_bytes_out() - before;
+  const std::uint64_t text_bytes = ref.total_bytes_out() - ref_before;
+  EXPECT_LT(delta_bytes * 5, text_bytes)
+      << "steady-state delta traffic should be a small fraction of "
+         "full-table traffic (delta=" << delta_bytes
+      << " text=" << text_bytes << ")";
+}
+
+TEST(GossipDeltaSim, EchoSuppressionDropsReflectedRows) {
+  // Push-pull reflects rows straight back: the responder merges the
+  // request, then its reply reports those same rows as "changed since the
+  // initiator's ack" — guaranteed-rejected echoes.  The heard-floor must
+  // suppress them, roughly halving steady-state row traffic, without
+  // touching convergence.
+  GossipSimOptions options;
+  options.members = 12;
+  options.delta = true;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+  for (int i = 0; i < 10; ++i) sim.run_round();  // warm the cursors
+
+  std::uint64_t rows_before = 0, suppressed_before = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    rows_before += sim.agent(i).stats().digest_rows_sent;
+    suppressed_before += sim.agent(i).stats().digest_rows_suppressed;
+  }
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  std::uint64_t rows = 0, suppressed = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    rows += sim.agent(i).stats().digest_rows_sent;
+    suppressed += sim.agent(i).stats().digest_rows_suppressed;
+  }
+  rows -= rows_before;
+  suppressed -= suppressed_before;
+
+  EXPECT_GT(suppressed, 0u) << "no echo was ever suppressed";
+  // Every suppressed row is one the wire did not carry; in steady state
+  // the reflected half of each exchange is comparable to the useful half.
+  EXPECT_GT(suppressed * 4, rows)
+      << "suppression should remove a substantial share of steady-state "
+         "rows (sent=" << rows << " suppressed=" << suppressed << ")";
+  expect_identical_views(sim);
+}
+
+TEST(GossipDeltaSim, CompletenessHoldsUnderMessageLoss) {
+  GossipSimOptions options;
+  options.members = 10;
+  options.fanout = 3;
+  options.delta = true;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  sim.fabric.set_loss(0.10, /*seed=*/7);
+
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 40), 0)
+      << "10% per-exchange loss must only delay convergence";
+
+  sim.crash(3);
+  sim.crash(7);
+  const auto both_detected = [&] {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (!sim.is_alive(i)) continue;
+      if (!sim.sees_failed(i, 3) || !sim.sees_failed(i, 7)) return false;
+    }
+    return true;
+  };
+  const int rounds = sim.run_until(both_detected, 30);
+  ASSERT_GE(rounds, 0);
+  EXPECT_LE(rounds, 14) << "detection is timer-driven; the wire format "
+                           "cannot slow it down";
+
+  EXPECT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0);
+  sim.fabric.set_loss(0.0);
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  expect_identical_views(sim);
+}
+
+TEST(GossipDeltaSim, PartitionConvictsHealsAndResyncs) {
+  GossipSimOptions options;
+  options.members = 8;
+  options.delta = true;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+
+  const std::vector<std::string> minority = {GossipSim::address_of(0),
+                                             GossipSim::address_of(1),
+                                             GossipSim::address_of(2)};
+  const TimeUs now = sim.clock.now_us();
+  sim::FailureSchedule schedule;
+  schedule.add_partition(now + kMicrosPerSecond, now + 13 * kMicrosPerSecond,
+                         minority);
+  const auto step = [&] {
+    schedule.apply_due(sim.clock.now_us(), sim.fabric);
+    sim.run_round();
+  };
+
+  for (int i = 0; i < 12; ++i) step();
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 3; j < sim.size(); ++j) {
+      EXPECT_TRUE(sim.sees_failed(i, j)) << i << " should convict " << j;
+      EXPECT_TRUE(sim.sees_failed(j, i)) << j << " should convict " << i;
+    }
+  }
+
+  int rounds = 0;
+  while (!sim.converged() && rounds < 25) {
+    step();
+    ++rounds;
+  }
+  EXPECT_TRUE(sim.converged())
+      << "healed partition failed to re-converge after " << rounds;
+  for (int i = 0; i < 10; ++i) step();
+  expect_identical_views(sim);
+}
+
+TEST(GossipDeltaSim, RestartForcesResyncNotDivergence) {
+  GossipSimOptions options;
+  options.members = 8;
+  options.delta = true;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+  for (int i = 0; i < 5; ++i) sim.run_round();  // warm every cursor
+
+  // A restarted process holds no receiver sessions: peers' established
+  // cursors get a resync ack on their next delta and must rebuild a
+  // self-contained full — never leave the newcomer a partial table.
+  sim.crash(5);
+  ASSERT_GE(sim.run_until(
+                [&] {
+                  for (std::size_t i = 0; i < sim.size(); ++i) {
+                    if (sim.is_alive(i) && !sim.sees_failed(i, 5)) return false;
+                  }
+                  return true;
+                },
+                30),
+            0);
+  sim.restart(5);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0)
+      << "restarted member never re-admitted";
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  expect_identical_views(sim);
+
+  std::uint64_t resyncs = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    resyncs += sim.agent(i).stats().full_resyncs;
+  }
+  EXPECT_GT(resyncs, 0u)
+      << "crash/restart churn must surface as counted resyncs";
+}
+
+TEST(GossipDeltaSim, MixedFleetInteroperates) {
+  // Rolling upgrade: gm0..gm3 still initiate text digests, gm4..gm9 run
+  // delta sessions.  Receivers answer in the request's format, so every
+  // pair interoperates and the group converges as one.
+  GossipSimOptions options;
+  options.members = 10;
+  options.delta = true;
+  options.text_members = 4;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 25), 0);
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  expect_identical_views(sim);
+
+  // The text member never *initiates* binary exchanges, but as a responder
+  // it still answers them, so only the delta member's initiations are a
+  // clean observable.
+  EXPECT_GT(sim.agent(9).stats().digests_delta_sent, 0u);
+}
+
+TEST(GossipDeltaSim, OversizeTableRefusesAndFallsBackToText) {
+  // A cap too small for even a self-digest: every full encode refuses,
+  // every pair demotes to text digests, and the group still converges —
+  // the cap degrades efficiency, never correctness.
+  GossipSimOptions options;
+  options.members = 6;
+  options.delta = true;
+  options.realistic_meta = true;  // ~150 bytes of metadata per row
+  options.max_digest_bytes = 256;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 30), 0)
+      << "byte-cap refusals must not prevent convergence";
+
+  std::uint64_t refusals = 0, fallbacks = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    refusals += sim.agent(i).stats().digest_refusals;
+    fallbacks += sim.agent(i).stats().text_fallbacks;
+  }
+  EXPECT_GT(refusals, 0u) << "a 256-byte cap must refuse full tables";
+  EXPECT_GT(fallbacks, 0u) << "refused pairs must demote to text";
+}
+
+TEST(GossipDeltaSim, PiggybackCarrierCarriesExchanges) {
+  GossipSimOptions options;
+  options.members = 8;
+  options.delta = true;
+  options.piggyback = true;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  expect_identical_views(sim);
+
+  std::uint64_t carried = 0, total = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    carried += sim.agent(i).stats().piggyback_exchanges;
+    total += sim.agent(i).stats().sends;
+  }
+  EXPECT_GT(carried, 0u) << "no exchange ever rode the carrier";
+  // Known peers ride the channel; only seed probes at unknown addresses
+  // may still dial.
+  EXPECT_GT(carried * 2, total)
+      << "most exchanges should piggyback (carried=" << carried
+      << " of " << total << ")";
+}
+
+TEST(GossipDeltaSim, PiggybackSurvivesPartitionAndCrash) {
+  GossipSimOptions options;
+  options.members = 8;
+  options.delta = true;
+  options.piggyback = true;
+  options.realistic_meta = true;
+  GossipSim sim(options);
+  ASSERT_GE(sim.run_until([&] { return sim.converged(); }, 20), 0);
+
+  // The carrier honours the partition (a severed stream), so conviction
+  // and healing behave exactly as with dialled exchanges.
+  const std::vector<std::string> minority = {GossipSim::address_of(0),
+                                             GossipSim::address_of(1)};
+  const TimeUs now = sim.clock.now_us();
+  sim::FailureSchedule schedule;
+  schedule.add_partition(now + kMicrosPerSecond, now + 13 * kMicrosPerSecond,
+                         minority);
+  const auto step = [&] {
+    schedule.apply_due(sim.clock.now_us(), sim.fabric);
+    sim.run_round();
+  };
+  for (int i = 0; i < 12; ++i) step();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 2; j < sim.size(); ++j) {
+      EXPECT_TRUE(sim.sees_failed(i, j));
+      EXPECT_TRUE(sim.sees_failed(j, i));
+    }
+  }
+  int rounds = 0;
+  while (!sim.converged() && rounds < 25) {
+    step();
+    ++rounds;
+  }
+  EXPECT_TRUE(sim.converged());
+
+  sim.crash(6);
+  ASSERT_GE(sim.run_until(
+                [&] {
+                  for (std::size_t i = 0; i < sim.size(); ++i) {
+                    if (sim.is_alive(i) && !sim.sees_failed(i, 6)) return false;
+                  }
+                  return true;
+                },
+                30),
+            0)
+      << "a dead carrier channel must not mask the failure";
+  for (int i = 0; i < 10; ++i) sim.run_round();
+  expect_identical_views(sim);
+}
+
 }  // namespace
 }  // namespace ganglia::gossip
